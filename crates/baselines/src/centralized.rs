@@ -1,0 +1,198 @@
+//! The centralized-emulator recording model (Fig. 2).
+//!
+//! In a JEmu-style centralized emulator the server timestamps packets as
+//! it receives them. Receptions on the single incoming interface are
+//! *serial*: each packet occupies the interface/CPU for a service time, so
+//! when several clients transmit simultaneously, "in the view of the
+//! server these packets are sent at different time due to the serial
+//! reception and subsequent processing". [`SerialReceiver`] is that
+//! mechanism as an analytic queueing model: an M/D/1-style single server
+//! with deterministic (optionally jittered) service.
+//!
+//! PoEm's parallel client-side time-stamping makes the corresponding
+//! error zero (up to clock-sync residue, measured by experiment E6); the
+//! comparison functions here produce the Fig. 2/E4 numbers.
+
+use poem_core::stats::Summary;
+use poem_core::{EmuDuration, EmuRng, EmuTime};
+
+/// A single serially-serviced incoming interface.
+#[derive(Debug, Clone, Copy)]
+pub struct SerialReceiver {
+    /// Time to receive + process one packet (NIC capacity / CPU speed).
+    pub service: EmuDuration,
+    /// Uniform extra jitter added per packet, `[0, jitter]`.
+    pub jitter: EmuDuration,
+}
+
+impl SerialReceiver {
+    /// A receiver with deterministic service time.
+    pub fn new(service: EmuDuration) -> Self {
+        SerialReceiver { service, jitter: EmuDuration::ZERO }
+    }
+
+    /// The server-side timestamps for packets *actually sent* at
+    /// `arrivals` (must be sorted ascending). Packet `i` is stamped when
+    /// the interface finishes serving it: `finish_i = max(arrival_i,
+    /// finish_{i-1}) + service`.
+    pub fn stamp(&self, arrivals: &[EmuTime], rng: &mut EmuRng) -> Vec<EmuTime> {
+        let mut out = Vec::with_capacity(arrivals.len());
+        let mut free_at = EmuTime::ZERO;
+        for &a in arrivals {
+            debug_assert!(out.last().map_or(true, |_| free_at >= EmuTime::ZERO));
+            let start = a.max(free_at);
+            let jit = if self.jitter > EmuDuration::ZERO {
+                EmuDuration::from_nanos(rng.range_u64(0, self.jitter.as_nanos() as u64 + 1) as i64)
+            } else {
+                EmuDuration::ZERO
+            };
+            let finish = start + self.service + jit;
+            out.push(finish);
+            free_at = finish;
+        }
+        out
+    }
+
+    /// Timestamp errors (`server stamp − true send time`) for the given
+    /// arrivals.
+    pub fn stamp_errors(&self, arrivals: &[EmuTime], rng: &mut EmuRng) -> Vec<EmuDuration> {
+        self.stamp(arrivals, rng)
+            .iter()
+            .zip(arrivals)
+            .map(|(&s, &a)| s - a)
+            .collect()
+    }
+
+    /// The Fig. 2 scenario: `n` clients transmit **simultaneously** at
+    /// `t0`; returns the per-packet timestamp error summary (seconds).
+    pub fn simultaneous_burst(&self, n: usize, rng: &mut EmuRng) -> Summary {
+        let arrivals = vec![EmuTime::from_secs(1); n];
+        let errors = self.stamp_errors(&arrivals, rng);
+        Summary::of_durations(&errors).expect("n >= 1 produces samples")
+    }
+
+    /// Sustained offered load: `n` clients each sending at `rate_pps`
+    /// (phase-staggered) for `duration`; returns the error summary.
+    pub fn sustained_load(
+        &self,
+        n: usize,
+        rate_pps: f64,
+        duration: EmuDuration,
+        rng: &mut EmuRng,
+    ) -> Summary {
+        let interval = EmuDuration::from_secs_f64(1.0 / rate_pps);
+        let mut arrivals: Vec<EmuTime> = Vec::new();
+        for c in 0..n {
+            let phase = EmuDuration::from_secs_f64(
+                c as f64 / n as f64 * interval.as_secs_f64(),
+            );
+            let mut t = EmuTime::ZERO + phase;
+            while t < EmuTime::ZERO + duration {
+                arrivals.push(t);
+                t += interval;
+            }
+        }
+        arrivals.sort_unstable();
+        let errors = self.stamp_errors(&arrivals, rng);
+        Summary::of_durations(&errors).expect("non-empty load")
+    }
+}
+
+/// PoEm's counterpart for the same metric: with parallel client-side
+/// time-stamping the recording error per packet is the clock-sync
+/// residual — half the up/down path asymmetry (§4.1) — independent of the
+/// number of clients.
+pub fn poem_stamp_error(path_asymmetry: EmuDuration) -> EmuDuration {
+    path_asymmetry / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: i64) -> EmuDuration {
+        EmuDuration::from_micros(n)
+    }
+
+    #[test]
+    fn single_packet_error_is_service_time() {
+        let r = SerialReceiver::new(us(100));
+        let mut rng = EmuRng::seed(1);
+        let errs = r.stamp_errors(&[EmuTime::from_secs(1)], &mut rng);
+        assert_eq!(errs, vec![us(100)]);
+    }
+
+    #[test]
+    fn burst_errors_grow_linearly_with_position() {
+        // The serialization effect: the k-th simultaneous packet is
+        // stamped k service times late.
+        let r = SerialReceiver::new(us(100));
+        let mut rng = EmuRng::seed(1);
+        let arrivals = vec![EmuTime::from_secs(1); 10];
+        let errs = r.stamp_errors(&arrivals, &mut rng);
+        for (i, e) in errs.iter().enumerate() {
+            assert_eq!(*e, us(100 * (i as i64 + 1)));
+        }
+    }
+
+    #[test]
+    fn burst_mean_error_scales_with_n() {
+        let r = SerialReceiver::new(us(100));
+        let mut rng = EmuRng::seed(1);
+        let s10 = r.simultaneous_burst(10, &mut rng);
+        let s100 = r.simultaneous_burst(100, &mut rng);
+        // Mean of 1..n service times = (n+1)/2 · service.
+        assert!((s10.mean - 0.000_55).abs() < 1e-9, "{}", s10.mean);
+        assert!((s100.mean - 0.005_05).abs() < 1e-9, "{}", s100.mean);
+        assert!(s100.max > s10.max * 9.0);
+    }
+
+    #[test]
+    fn spaced_arrivals_have_no_queueing_error() {
+        let r = SerialReceiver::new(us(100));
+        let mut rng = EmuRng::seed(1);
+        let arrivals: Vec<EmuTime> =
+            (0..50).map(|i| EmuTime::from_millis(i * 10)).collect();
+        let errs = r.stamp_errors(&arrivals, &mut rng);
+        assert!(errs.iter().all(|&e| e == us(100)), "only service, no waiting");
+    }
+
+    #[test]
+    fn overload_accumulates_queue() {
+        // Arrivals every 50 µs, service 100 µs → unbounded queue growth.
+        let r = SerialReceiver::new(us(100));
+        let mut rng = EmuRng::seed(1);
+        let arrivals: Vec<EmuTime> = (0..100).map(|i| EmuTime::from_micros(i * 50)).collect();
+        let errs = r.stamp_errors(&arrivals, &mut rng);
+        assert!(errs.last().unwrap() > &us(4000), "{:?}", errs.last());
+        // Monotone growth under overload.
+        assert!(errs.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn sustained_load_summary_below_saturation() {
+        let r = SerialReceiver::new(us(10));
+        let mut rng = EmuRng::seed(2);
+        // 10 clients × 100 pps = 1000 pps, service 10 µs → 1 % utilization.
+        let s = r.sustained_load(10, 100.0, EmuDuration::from_secs(2), &mut rng);
+        assert!(s.mean < 20e-6, "{}", s.mean);
+        assert_eq!(s.count, 2000);
+    }
+
+    #[test]
+    fn jitter_stays_within_bound() {
+        let r = SerialReceiver { service: us(100), jitter: us(50) };
+        let mut rng = EmuRng::seed(3);
+        let arrivals: Vec<EmuTime> = (0..200).map(|i| EmuTime::from_millis(i * 10)).collect();
+        let errs = r.stamp_errors(&arrivals, &mut rng);
+        assert!(errs.iter().all(|&e| e >= us(100) && e <= us(150)));
+        // And actually varies.
+        assert!(errs.iter().any(|&e| e != errs[0]));
+    }
+
+    #[test]
+    fn poem_error_is_half_asymmetry_and_client_independent() {
+        assert_eq!(poem_stamp_error(us(8)), us(4));
+        assert_eq!(poem_stamp_error(EmuDuration::ZERO), EmuDuration::ZERO);
+    }
+}

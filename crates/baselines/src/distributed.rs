@@ -1,0 +1,256 @@
+//! The distributed-emulator scene-synchronization model (Fig. 3).
+//!
+//! A MobiEmu-style distributed emulator broadcasts every scene change to
+//! all stations, each of which applies it after its own processing delay.
+//! Until the *slowest* station has applied an update, the global view is
+//! inconsistent: a station still routing on the previous scene directs
+//! traffic "following the expired scene". §2.2 argues this breaks
+//! real-time scene construction for "a scalable emulator consisting of
+//! diverse ends" under "irregular high mobility and volatile
+//! circumstance".
+//!
+//! [`DistributedSceneSync`] models exactly that: per-station apply delays
+//! (a base heterogeneity draw plus a per-update jitter, with queueing —
+//! a slow station still busy with update *k* delays update *k+1*), and
+//! computes the staleness windows and the fraction of traffic decisions
+//! made on an expired scene. PoEm's centralized scene has, by
+//! construction, zero such window — the server *is* the scene.
+
+use poem_core::stats::Summary;
+use poem_core::{EmuDuration, EmuRng, EmuTime};
+
+/// Model parameters for one emulated deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedSceneSync {
+    /// Number of stations.
+    pub stations: usize,
+    /// Fastest station's per-update processing time.
+    pub min_apply: EmuDuration,
+    /// Slowest station's per-update processing time ("capacity
+    /// heterogeneity of distributed stations").
+    pub max_apply: EmuDuration,
+    /// Per-update uniform jitter on top of the station's base time.
+    pub jitter: EmuDuration,
+}
+
+/// The outcome of pushing an update stream through the model.
+#[derive(Debug, Clone)]
+pub struct SceneSyncReport {
+    /// Scene updates issued.
+    pub updates: u64,
+    /// Broadcast messages transmitted (`updates × stations` — the
+    /// "broadcast storm" cost).
+    pub messages: u64,
+    /// Per-update staleness window (time from issue until the last
+    /// station applied it), seconds.
+    pub staleness: Summary,
+    /// Fraction of (station, update-interval) routing decisions taken on
+    /// an expired scene.
+    pub expired_fraction: f64,
+    /// Updates that were obsoleted before every station applied them
+    /// (the next update arrived first) — scene views *skipped* states.
+    pub overrun_updates: u64,
+}
+
+impl DistributedSceneSync {
+    /// A homogeneous deployment (every station equally fast).
+    pub fn homogeneous(stations: usize, apply: EmuDuration) -> Self {
+        DistributedSceneSync {
+            stations,
+            min_apply: apply,
+            max_apply: apply,
+            jitter: EmuDuration::ZERO,
+        }
+    }
+
+    /// Runs `updates` scene changes issued every `update_interval` and
+    /// measures synchronization quality.
+    pub fn run(
+        &self,
+        updates: u64,
+        update_interval: EmuDuration,
+        rng: &mut EmuRng,
+    ) -> SceneSyncReport {
+        assert!(self.stations > 0 && updates > 0, "degenerate model");
+        // Base per-station apply times spread uniformly across the
+        // heterogeneity range (station 0 fastest .. n-1 slowest).
+        let base: Vec<EmuDuration> = (0..self.stations)
+            .map(|i| {
+                let f = if self.stations == 1 {
+                    0.0
+                } else {
+                    i as f64 / (self.stations - 1) as f64
+                };
+                self.min_apply + (self.max_apply - self.min_apply).mul_f64(f)
+            })
+            .collect();
+
+        let mut station_free: Vec<EmuTime> = vec![EmuTime::ZERO; self.stations];
+        let mut staleness: Vec<EmuDuration> = Vec::with_capacity(updates as usize);
+        let mut expired_station_time = EmuDuration::ZERO;
+        let mut total_station_time = EmuDuration::ZERO;
+        let mut overrun = 0u64;
+
+        for u in 0..updates {
+            let issued = EmuTime::ZERO + update_interval * (u as i64);
+            let next_issue = issued + update_interval;
+            let mut last_applied = issued;
+            for (i, free) in station_free.iter_mut().enumerate() {
+                let jit = if self.jitter > EmuDuration::ZERO {
+                    EmuDuration::from_nanos(
+                        rng.range_u64(0, self.jitter.as_nanos() as u64 + 1) as i64,
+                    )
+                } else {
+                    EmuDuration::ZERO
+                };
+                // Queueing: a station still applying the previous update
+                // starts this one late.
+                let start = issued.max(*free);
+                let applied = start + base[i] + jit;
+                *free = applied;
+                last_applied = last_applied.max(applied);
+                // Between `issued` and `applied` this station routes on
+                // the expired scene (capped at the next issue: after that
+                // a *newer* scene supersedes the comparison).
+                let stale = (applied.min(next_issue)) - issued;
+                expired_station_time += stale;
+                total_station_time += update_interval;
+            }
+            staleness.push(last_applied - issued);
+            if last_applied > next_issue && u + 1 < updates {
+                overrun += 1;
+            }
+        }
+
+        SceneSyncReport {
+            updates,
+            messages: updates * self.stations as u64,
+            staleness: Summary::of_durations(&staleness).expect("updates >= 1"),
+            expired_fraction: expired_station_time.as_secs_f64()
+                / total_station_time.as_secs_f64(),
+            overrun_updates: overrun,
+        }
+    }
+}
+
+/// PoEm's counterpart: the scene lives solely in the server, so every
+/// forwarding decision uses the current scene — staleness 0, expired
+/// fraction 0, no broadcast messages at all.
+pub fn poem_scene_sync(updates: u64) -> SceneSyncReport {
+    SceneSyncReport {
+        updates,
+        messages: 0,
+        staleness: Summary::of(&vec![0.0; updates.max(1) as usize]).expect("non-empty"),
+        expired_fraction: 0.0,
+        overrun_updates: 0,
+    }
+}
+
+/// Helper: scale an [`EmuDuration`] by a float.
+trait MulF64 {
+    fn mul_f64(self, f: f64) -> Self;
+}
+
+impl MulF64 for EmuDuration {
+    fn mul_f64(self, f: f64) -> Self {
+        EmuDuration::from_nanos((self.as_nanos() as f64 * f).round() as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: i64) -> EmuDuration {
+        EmuDuration::from_millis(n)
+    }
+
+    #[test]
+    fn homogeneous_fast_stations_track_the_scene() {
+        let model = DistributedSceneSync::homogeneous(10, ms(1));
+        let mut rng = EmuRng::seed(1);
+        let rep = model.run(100, ms(100), &mut rng);
+        assert_eq!(rep.updates, 100);
+        assert_eq!(rep.messages, 1000);
+        assert!((rep.staleness.mean - 0.001).abs() < 1e-9);
+        assert!((rep.expired_fraction - 0.01).abs() < 1e-9);
+        assert_eq!(rep.overrun_updates, 0);
+    }
+
+    #[test]
+    fn heterogeneity_grows_staleness() {
+        let mut rng = EmuRng::seed(1);
+        let homo = DistributedSceneSync::homogeneous(10, ms(1)).run(50, ms(100), &mut rng);
+        let hetero = DistributedSceneSync {
+            stations: 10,
+            min_apply: ms(1),
+            max_apply: ms(50),
+            jitter: EmuDuration::ZERO,
+        }
+        .run(50, ms(100), &mut rng);
+        assert!(hetero.staleness.mean > homo.staleness.mean * 10.0);
+        assert!(hetero.expired_fraction > homo.expired_fraction * 10.0);
+    }
+
+    #[test]
+    fn fast_updates_cause_overruns() {
+        // Slowest station needs 50 ms but updates come every 20 ms: it can
+        // never catch up — the §2.2 "broadcast storm" regime.
+        let model = DistributedSceneSync {
+            stations: 5,
+            min_apply: ms(1),
+            max_apply: ms(50),
+            jitter: EmuDuration::ZERO,
+        };
+        let mut rng = EmuRng::seed(1);
+        let rep = model.run(50, ms(20), &mut rng);
+        assert!(rep.overrun_updates > 40, "{}", rep.overrun_updates);
+        // Staleness accumulates beyond a single apply time (queueing).
+        assert!(rep.staleness.max > 0.5, "{}", rep.staleness.max);
+        assert!(rep.expired_fraction > 0.5, "{}", rep.expired_fraction);
+    }
+
+    #[test]
+    fn queueing_makes_staleness_monotone_under_overload() {
+        let model = DistributedSceneSync {
+            stations: 2,
+            min_apply: ms(30),
+            max_apply: ms(30),
+            jitter: EmuDuration::ZERO,
+        };
+        let mut rng = EmuRng::seed(1);
+        let rep = model.run(20, ms(10), &mut rng);
+        // Each update waits for ~20 ms more backlog than the previous.
+        assert!(rep.staleness.max > rep.staleness.min * 5.0);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let model = DistributedSceneSync {
+            stations: 4,
+            min_apply: ms(1),
+            max_apply: ms(2),
+            jitter: ms(1),
+        };
+        let a = model.run(50, ms(100), &mut EmuRng::seed(9));
+        let b = model.run(50, ms(100), &mut EmuRng::seed(9));
+        assert_eq!(a.staleness.mean, b.staleness.mean, "deterministic under a seed");
+        assert!(a.staleness.max <= 0.003 + 1e-9);
+    }
+
+    #[test]
+    fn poem_counterpart_is_always_consistent() {
+        let rep = poem_scene_sync(100);
+        assert_eq!(rep.messages, 0);
+        assert_eq!(rep.staleness.max, 0.0);
+        assert_eq!(rep.expired_fraction, 0.0);
+        assert_eq!(rep.overrun_updates, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate model")]
+    fn zero_stations_rejected() {
+        let model = DistributedSceneSync::homogeneous(0, ms(1));
+        let _ = model.run(1, ms(1), &mut EmuRng::seed(1));
+    }
+}

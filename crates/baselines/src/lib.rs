@@ -1,0 +1,29 @@
+//! # poem-baselines — comparison architectures (JEmu-like, MobiEmu-like)
+//!
+//! §2 classifies MANET emulators into *centralized* (JEmu, Seawind) and
+//! *distributed* (MobiEmu, EMWIN, MASSIVE) and argues:
+//!
+//! * a purely centralized emulator cannot record traffic in real time —
+//!   "the contention for the unique source of the incoming interface in
+//!   the central server" serializes receptions, so server-side timestamps
+//!   drift from true send times (Fig. 2);
+//! * a distributed emulator cannot construct scenes in real time — scene
+//!   updates broadcast to heterogeneous stations apply asynchronously, so
+//!   some nodes route traffic "following the expired scene" (Fig. 3).
+//!
+//! The original comparators are closed-source; what the figures compare
+//! is the *architecture*, so this crate models exactly the two mechanisms
+//! the arguments rest on ([`centralized`]'s serial receiver and
+//! [`distributed`]'s broadcast scene sync), plus PoEm's own behaviour for
+//! the same metrics, and the Table-1 feature matrix ([`features`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod centralized;
+pub mod distributed;
+pub mod features;
+
+pub use centralized::SerialReceiver;
+pub use distributed::{DistributedSceneSync, SceneSyncReport};
+pub use features::{feature_table, EmulatorFeatures};

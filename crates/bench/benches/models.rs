@@ -1,0 +1,89 @@
+//! Criterion bench for the configurable models (§4.3): per-packet loss
+//! and bandwidth evaluation, mobility integration, and the clock-sync
+//! arithmetic — the inner loops of the emulation server.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use poem_core::clock::sync::simulate_handshake;
+use poem_core::linkmodel::{LinkModel, LossModel};
+use poem_core::mobility::{Arena, MobilityModel, MobilityState};
+use poem_core::{EmuDuration, EmuRng, EmuTime, Point};
+use std::hint::black_box;
+
+fn bench_link_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_model");
+    group.throughput(Throughput::Elements(1));
+    let loss = LossModel::table3();
+    group.bench_function("loss_probability", |b| {
+        let mut r = 0.0f64;
+        b.iter(|| {
+            r = (r + 7.3) % 220.0;
+            black_box(loss.probability(black_box(r)))
+        });
+    });
+    let link = LinkModel::experiment(200.0);
+    group.bench_function("decide", |b| {
+        let mut rng = EmuRng::seed(1);
+        let mut r = 0.0f64;
+        b.iter(|| {
+            r = (r + 7.3) % 220.0;
+            black_box(link.decide(black_box(1000), black_box(r), &mut rng))
+        });
+    });
+    let gaussian = poem_core::BandwidthModel { max_bps: 11e6, min_bps: 1e6, range: 200.0 };
+    group.bench_function("gaussian_bandwidth", |b| {
+        let mut r = 0.0f64;
+        b.iter(|| {
+            r = (r + 7.3) % 220.0;
+            black_box(gaussian.bps(black_box(r)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mobility");
+    group.throughput(Throughput::Elements(1));
+    let arena = Arena::new(1000.0, 1000.0);
+    for (name, model) in [
+        ("random_walk", MobilityModel::random_walk(1.0, 10.0, 1.0)),
+        ("random_waypoint", MobilityModel::RandomWaypoint { min_speed: 1.0, max_speed: 10.0, pause: 1.0 }),
+        ("linear", MobilityModel::Linear { direction_deg: 270.0, speed: 10.0 }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut st = MobilityState::init(&model);
+            let mut rng = EmuRng::seed(1);
+            let mut pos = Point::new(500.0, 500.0);
+            b.iter(|| {
+                pos = st.advance(&model, pos, 0.1, &mut rng, Some(&arena));
+                black_box(pos)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_clock_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock_sync");
+    group.bench_function("handshake_solve", |b| {
+        let sample = simulate_handshake(
+            EmuTime::from_secs(10),
+            EmuTime::from_secs(90),
+            EmuDuration::from_millis(5),
+            EmuDuration::from_millis(7),
+            EmuDuration::from_millis(1),
+        );
+        b.iter(|| black_box(black_box(sample).solve()));
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_link_models, bench_mobility, bench_clock_sync);
+criterion_main!(benches);

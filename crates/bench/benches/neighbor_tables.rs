@@ -1,0 +1,110 @@
+//! Criterion bench for experiment E7: update and lookup cost of the
+//! channel-ID indexed neighbor tables vs. the unified baseline (§4.2).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poem_core::neighbor::{ChannelIndexedTables, NeighborTables, UnifiedTable};
+use poem_core::radio::RadioConfig;
+use poem_core::{ChannelId, EmuRng, NodeId, Point};
+use std::hint::black_box;
+
+fn populate<T: NeighborTables>(t: &mut T, nodes: usize, channels: usize, rng: &mut EmuRng) {
+    for i in 0..nodes {
+        let pos = Point::new(rng.range_f64(0.0, 1000.0), rng.range_f64(0.0, 1000.0));
+        let ch = ChannelId((i % channels) as u16);
+        t.insert_node(NodeId(i as u32), pos, RadioConfig::single(ch, 200.0));
+    }
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_update");
+    for &(nodes, channels) in &[(50usize, 1usize), (50, 8), (200, 1), (200, 8), (200, 16)] {
+        let label = format!("n{nodes}_c{channels}");
+        group.bench_with_input(
+            BenchmarkId::new("channel_indexed", &label),
+            &(nodes, channels),
+            |b, &(nodes, channels)| {
+                let mut rng = EmuRng::seed(1);
+                let mut t = ChannelIndexedTables::new();
+                populate(&mut t, nodes, channels, &mut rng);
+                let mut i = 0u32;
+                b.iter(|| {
+                    let id = NodeId(i % nodes as u32);
+                    i = i.wrapping_add(1);
+                    let pos =
+                        Point::new(rng.range_f64(0.0, 1000.0), rng.range_f64(0.0, 1000.0));
+                    t.update_position(black_box(id), black_box(pos));
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unified", &label),
+            &(nodes, channels),
+            |b, &(nodes, channels)| {
+                let mut rng = EmuRng::seed(1);
+                let mut t = UnifiedTable::new();
+                populate(&mut t, nodes, channels, &mut rng);
+                let mut i = 0u32;
+                b.iter(|| {
+                    let id = NodeId(i % nodes as u32);
+                    i = i.wrapping_add(1);
+                    let pos =
+                        Point::new(rng.range_f64(0.0, 1000.0), rng.range_f64(0.0, 1000.0));
+                    t.update_position(black_box(id), black_box(pos));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_lookup");
+    let (nodes, channels) = (200usize, 8usize);
+    let mut rng = EmuRng::seed(2);
+    let mut indexed = ChannelIndexedTables::new();
+    populate(&mut indexed, nodes, channels, &mut rng);
+    let mut rng = EmuRng::seed(2);
+    let mut unified = UnifiedTable::new();
+    populate(&mut unified, nodes, channels, &mut rng);
+    let mut out = Vec::with_capacity(nodes);
+    group.bench_function("channel_indexed", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            out.clear();
+            let id = NodeId(i % nodes as u32);
+            i = i.wrapping_add(1);
+            indexed.neighbors_into(
+                black_box(id),
+                ChannelId((id.0 % channels as u32) as u16),
+                &mut out,
+            );
+            black_box(out.len())
+        });
+    });
+    group.bench_function("unified", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            out.clear();
+            let id = NodeId(i % nodes as u32);
+            i = i.wrapping_add(1);
+            unified.neighbors_into(
+                black_box(id),
+                ChannelId((id.0 % channels as u32) as u16),
+                &mut out,
+            );
+            black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_updates, bench_lookups);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion bench for the recording substrate (§3.2 step 7 / E9):
+//! recorder append throughput, codec encode/decode of packets, and the
+//! statistics queries the evaluation runs over the logs.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use poem_core::packet::Destination;
+use poem_core::{ChannelId, EmuDuration, EmuPacket, EmuTime, NodeId, PacketId, RadioId};
+use poem_record::query::TrafficQuery;
+use poem_record::{Recorder, TrafficRecord};
+use std::hint::black_box;
+
+fn sample_packet(i: u64) -> EmuPacket {
+    EmuPacket::new(
+        PacketId(i),
+        NodeId((i % 16) as u32),
+        Destination::Broadcast,
+        ChannelId((i % 3) as u16),
+        RadioId(0),
+        EmuTime::from_micros(i * 100),
+        bytes::Bytes::from_static(&[0u8; 972]),
+    )
+}
+
+fn sample_log(n: u64) -> Vec<TrafficRecord> {
+    let mut recs = Vec::with_capacity(n as usize * 2);
+    for i in 0..n {
+        let pkt = sample_packet(i);
+        recs.push(TrafficRecord::ingress(&pkt, pkt.sent_at));
+        recs.push(TrafficRecord::Forward {
+            id: pkt.id,
+            to: NodeId(((i + 1) % 16) as u32),
+            at: pkt.sent_at + EmuDuration::from_micros(500),
+        });
+    }
+    recs
+}
+
+fn bench_recorder_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recorder");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("append", |b| {
+        let rec = Recorder::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let pkt = sample_packet(i);
+            i += 1;
+            rec.record_traffic(TrafficRecord::ingress(&pkt, pkt.sent_at));
+        });
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let pkt = sample_packet(42);
+    let encoded = poem_proto::to_bytes(&pkt).unwrap();
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_packet", |b| {
+        b.iter(|| black_box(poem_proto::to_bytes(black_box(&pkt)).unwrap()));
+    });
+    group.bench_function("decode_packet", |b| {
+        b.iter(|| black_box(poem_proto::from_bytes::<EmuPacket>(black_box(&encoded)).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    let recs = sample_log(50_000);
+    group.bench_function("loss_series_100k_records", |b| {
+        b.iter(|| {
+            black_box(
+                TrafficQuery::new(&recs)
+                    .from(NodeId(1))
+                    .loss_series(EmuDuration::from_secs(1)),
+            )
+        });
+    });
+    group.bench_function("delay_summary_100k_records", |b| {
+        b.iter(|| black_box(TrafficQuery::new(&recs).delay_summary()));
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_recorder_append, bench_codec, bench_queries);
+criterion_main!(benches);

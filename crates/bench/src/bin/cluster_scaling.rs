@@ -1,0 +1,13 @@
+//! Extension experiment E11: parallelized server cluster — pipeline
+//! throughput vs shard count (§7 future work). Run with --release.
+
+fn main() {
+    println!("E11 — cluster scaling (400-node grid, 20k broadcast ingests)\n");
+    println!("{:>8} {:>18} {:>14}", "shards", "packets/s", "deliveries");
+    for r in poem_bench::cluster::default_run() {
+        let label = if r.shards == 0 { "single".to_string() } else { r.shards.to_string() };
+        println!("{label:>8} {:>18.0} {:>14}", r.packets_per_sec, r.deliveries);
+    }
+    println!("\nScene construction stays centralized (one writer); only the per-packet");
+    println!("neighbor-lookup + decision work (steps 2-3) fans out across shards.");
+}

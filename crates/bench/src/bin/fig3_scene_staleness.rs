@@ -1,0 +1,31 @@
+//! Regenerates the **Figure 3** argument quantitatively: scene-update
+//! asynchronism of a distributed emulator vs. PoEm's centralized scene.
+
+fn main() {
+    println!("Figure 3 — distributed scene-update asynchronism");
+    println!("deployment: 20 stations, apply times 1–40 ms (heterogeneous), jitter 1 ms\n");
+    println!(
+        "{:>14} {:>16} {:>15} {:>14} {:>10} {:>10} {:>10}",
+        "update ivl (s)",
+        "staleness avg(s)",
+        "staleness max",
+        "expired frac",
+        "overruns",
+        "messages",
+        "PoEm frac"
+    );
+    for r in poem_bench::fig3::default_run() {
+        println!(
+            "{:>14.3} {:>16.4} {:>15.4} {:>14.3} {:>10} {:>10} {:>10.1}",
+            r.update_interval_s,
+            r.dist_staleness_mean,
+            r.dist_staleness_max,
+            r.dist_expired_fraction,
+            r.dist_overruns,
+            r.dist_messages,
+            r.poem_expired_fraction
+        );
+    }
+    println!("\nFast scene changes (high mobility, channel switching) drive the distributed");
+    println!("architecture into the broadcast-storm regime; PoEm's single scene never skews.");
+}

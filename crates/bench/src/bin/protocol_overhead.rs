@@ -1,0 +1,23 @@
+//! Extension experiment E13: protocol overhead — the hybrid routing
+//! protocol vs flooding on the same 6-node line and payload schedule.
+
+fn main() {
+    println!("E13 — protocol overhead (6-node line, 30 payloads end-to-end)\n");
+    println!(
+        "{:>16} {:>10} {:>11} {:>14} {:>10} {:>14}",
+        "protocol", "offered", "delivered", "transmissions", "data tx", "data tx/pay"
+    );
+    for r in poem_bench::overhead::default_run() {
+        println!(
+            "{:>16} {:>10} {:>11} {:>14} {:>10} {:>14.1}",
+            r.protocol,
+            r.offered,
+            r.delivered,
+            r.transmissions,
+            r.data_transmissions,
+            r.data_tx_per_delivery
+        );
+    }
+    println!("\nRouting pays periodic control broadcasts but unicasts data along the");
+    println!("5-hop path; flooding pays nothing up front and every node per payload.");
+}

@@ -1,0 +1,49 @@
+//! Renders the **Figure 8** and **Figure 9** scenario diagrams as text
+//! (the GUI-replacement view), including the channel-indexed neighbor
+//! tables of each scene.
+
+use poem_core::linkmodel::LinkParams;
+use poem_core::mobility::MobilityModel;
+use poem_core::scene::{Scene, SceneOp};
+use poem_core::EmuTime;
+use poem_server::viz::{render_neighbors, render_scene};
+
+fn main() {
+    let fig8 = poem_bench::scenes::fig8_scene();
+    let mut s8 = Scene::new();
+    for (id, pos, radios) in &fig8.nodes {
+        s8.apply(
+            EmuTime::ZERO,
+            &SceneOp::AddNode {
+                id: *id,
+                pos: *pos,
+                radios: radios.clone(),
+                mobility: MobilityModel::Stationary,
+                link: fig8.link,
+            },
+        )
+        .unwrap();
+    }
+    println!("Figure 8 — emulated MANET for the proof-of-concept test\n");
+    println!("{}", render_scene(&s8, 48, 14));
+    println!("{}", render_neighbors(&s8));
+
+    let fig9 = poem_bench::scenes::fig9_scene();
+    let mut s9 = Scene::new();
+    for (id, pos, radios, mobility) in &fig9.nodes {
+        s9.apply(
+            EmuTime::ZERO,
+            &SceneOp::AddNode {
+                id: *id,
+                pos: *pos,
+                radios: radios.clone(),
+                mobility: *mobility,
+                link: LinkParams::table3(),
+            },
+        )
+        .unwrap();
+    }
+    println!("\nFigure 9 — performance-evaluation scenario (VMN2 moves 270° at 10 u/s)\n");
+    println!("{}", render_scene(&s9, 48, 10));
+    println!("{}", render_neighbors(&s9));
+}

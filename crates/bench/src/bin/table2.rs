@@ -1,0 +1,19 @@
+//! Regenerates **Table 2** (§6.1): VMN1's routing table under the three
+//! real-time scene-construction operations.
+
+fn main() {
+    let r = poem_bench::table2::run(42);
+    let steps = [
+        "Step 1: construct the network scene shown in Figure 8",
+        "Step 2: shrink the radio range of VMN1 to exclude VMN3",
+        "Step 3: set different channels for the radios on VMN1 and VMN2",
+    ];
+    println!("Table 2 — proof-of-concept test (routing table in VMN1)\n");
+    for (step, rendered) in steps.iter().zip(&r.rendered) {
+        println!("{step}");
+        for line in rendered.lines() {
+            println!("    {line}");
+        }
+        println!();
+    }
+}

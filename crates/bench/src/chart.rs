@@ -1,0 +1,65 @@
+//! Tiny ASCII chart/table helpers for the experiment binaries.
+
+use poem_core::stats::SeriesPoint;
+
+/// Renders one or more aligned series as a text chart: one row per x
+/// value, one bar column per series (values expected in `[0, 1]`).
+pub fn render_series(labels: &[&str], series: &[&[SeriesPoint]], bar_width: usize) -> String {
+    let mut out = String::new();
+    let n = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    out.push_str(&format!("{:>8} ", "t(s)"));
+    for l in labels {
+        out.push_str(&format!(" {l:<width$}", width = bar_width + 8));
+    }
+    out.push('\n');
+    for i in 0..n {
+        let t = series
+            .iter()
+            .find_map(|s| s.get(i).map(|p| p.t))
+            .unwrap_or(i as f64);
+        out.push_str(&format!("{t:>8.1} "));
+        for s in series {
+            match s.get(i) {
+                Some(p) => {
+                    let filled =
+                        ((p.value.clamp(0.0, 1.0)) * bar_width as f64).round() as usize;
+                    out.push_str(&format!(
+                        " {:>6.1}% {}{}",
+                        p.value * 100.0,
+                        "█".repeat(filled),
+                        "·".repeat(bar_width - filled)
+                    ));
+                }
+                None => out.push_str(&format!(" {:>6} {}", "-", " ".repeat(bar_width))),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let a = vec![
+            SeriesPoint { t: 0.0, value: 0.0 },
+            SeriesPoint { t: 1.0, value: 0.5 },
+            SeriesPoint { t: 2.0, value: 1.0 },
+        ];
+        let b = vec![SeriesPoint { t: 0.0, value: 0.25 }];
+        let s = render_series(&["measured", "expected"], &[&a, &b], 10);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("100.0%"));
+        assert!(s.contains("██████████"), "{s}");
+        assert!(s.contains('-'), "missing-value placeholder");
+    }
+
+    #[test]
+    fn empty_series_renders_header_only() {
+        let s = render_series(&["x"], &[&[]], 5);
+        assert_eq!(s.lines().count(), 1);
+    }
+}

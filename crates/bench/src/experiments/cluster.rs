@@ -1,0 +1,138 @@
+//! Extension experiment E11 — parallelized server cluster (§7 future
+//! work: "expand the one server to a parallelized cluster to conquer the
+//! performance bottleneck").
+//!
+//! Measures per-packet pipeline throughput of the sharded
+//! [`ClusterPipeline`] against the single pipeline, over a large dense
+//! scene. Wall-clock timing — run with `--release` for meaningful
+//! absolute numbers; the *ratio* trend (more shards → more packets/s
+//! until lock contention saturates) is the reproducible shape.
+
+use poem_core::linkmodel::LinkParams;
+use poem_core::mobility::MobilityModel;
+use poem_core::packet::{Destination, HEADER_BYTES};
+use poem_core::radio::RadioConfig;
+use poem_core::scene::{Scene, SceneOp};
+use poem_core::{ChannelId, EmuPacket, EmuRng, EmuTime, NodeId, PacketId, Point, RadioId};
+use poem_record::Recorder;
+use poem_server::{ClusterConfig, ClusterPipeline, Pipeline};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One scaling row.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterRow {
+    /// Worker shards (0 = the plain single pipeline).
+    pub shards: usize,
+    /// Packets ingested per wall-clock second.
+    pub packets_per_sec: f64,
+    /// Deliveries produced (sanity: must match across configurations).
+    pub deliveries: usize,
+}
+
+fn grid_scene(n: u32) -> Scene {
+    let mut s = Scene::new();
+    let side = (n as f64).sqrt().ceil() as u32;
+    for i in 0..n {
+        s.apply(
+            EmuTime::ZERO,
+            &SceneOp::AddNode {
+                id: NodeId(i),
+                pos: Point::new((i % side) as f64 * 80.0, (i / side) as f64 * 80.0),
+                radios: RadioConfig::single(ChannelId(1), 170.0),
+                mobility: MobilityModel::Stationary,
+                link: LinkParams::ideal(8e6),
+            },
+        )
+        .expect("grid valid");
+    }
+    s
+}
+
+fn workload(nodes: u32, packets: usize) -> Vec<EmuPacket> {
+    let mut rng = EmuRng::seed(3);
+    (0..packets)
+        .map(|i| {
+            EmuPacket::new(
+                PacketId(i as u64),
+                NodeId(rng.index(nodes as usize) as u32),
+                Destination::Broadcast,
+                ChannelId(1),
+                RadioId(0),
+                EmuTime::from_micros(i as u64),
+                vec![0u8; 1000 - HEADER_BYTES],
+            )
+        })
+        .collect()
+}
+
+/// Runs the scaling sweep: the single pipeline plus clusters of each
+/// shard count, all over the same scene and workload.
+pub fn run(nodes: u32, packets: usize, shard_counts: &[usize]) -> Vec<ClusterRow> {
+    let batch = workload(nodes, packets);
+    let mut rows = Vec::new();
+
+    // Baseline: the plain single pipeline.
+    {
+        let mut p =
+            Pipeline::new(grid_scene(nodes), Arc::new(Recorder::new()), EmuRng::seed(1));
+        let start = Instant::now();
+        let mut deliveries = 0usize;
+        for pkt in &batch {
+            deliveries += p.ingest(pkt, pkt.sent_at).len();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(ClusterRow {
+            shards: 0,
+            packets_per_sec: packets as f64 / secs,
+            deliveries,
+        });
+    }
+
+    for &shards in shard_counts {
+        let cluster = ClusterPipeline::new(
+            grid_scene(nodes),
+            Arc::new(Recorder::new()),
+            ClusterConfig { shards, seed: 1 },
+        );
+        let start = Instant::now();
+        let out = cluster.ingest_batch_sharded(&batch, EmuTime::from_secs(1));
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(ClusterRow {
+            shards,
+            packets_per_sec: packets as f64 / secs,
+            deliveries: out.iter().map(Vec::len).sum(),
+        });
+    }
+    rows
+}
+
+/// The default sweep used by the `cluster_scaling` binary.
+pub fn default_run() -> Vec<ClusterRow> {
+    run(400, 20_000, &[1, 2, 4, 8])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configurations_produce_identical_delivery_counts() {
+        // Loss is disabled (ideal links), so the fan-out is deterministic
+        // regardless of sharding.
+        let rows = run(100, 2_000, &[1, 2, 4]);
+        let expect = rows[0].deliveries;
+        assert!(expect > 2_000, "{expect}");
+        for r in &rows {
+            assert_eq!(r.deliveries, expect, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn throughput_is_positive_everywhere() {
+        let rows = run(64, 1_000, &[2]);
+        for r in rows {
+            assert!(r.packets_per_sec > 0.0, "{r:?}");
+        }
+    }
+}

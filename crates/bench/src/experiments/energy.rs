@@ -1,0 +1,111 @@
+//! Extension experiment E12 — power consumption (§7 future work:
+//! "sophisticated underlying models such as power consumption").
+//!
+//! Reruns the Fig. 9 relay scenario with the three-state radio energy
+//! model switched on and reports per-node consumption. The reproducible
+//! shape: the dual-radio relay burns the most energy (it receives the
+//! whole flow on one channel and retransmits it on another), the sender
+//! is next (transmit-heavy), the receiver cheapest (receive-only) — and
+//! a battery sized between the relay's and the others' consumption
+//! depletes on the relay first.
+
+use crate::scenes::fig9_scene;
+use poem_core::energy::PowerProfile;
+use poem_core::{EmuDuration, EmuTime, NodeId};
+use poem_routing::{Router, RouterConfig};
+use poem_server::sim::{SimConfig, SimNet};
+use poem_server::PipelineConfig;
+use poem_traffic::{Pattern, TrafficApp, TrafficAppConfig};
+
+/// One node's energy outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyRow {
+    /// The node.
+    pub node: NodeId,
+    /// Total consumption, joules.
+    pub consumed_j: f64,
+    /// Transmit airtime, seconds.
+    pub tx_s: f64,
+    /// Receive airtime, seconds.
+    pub rx_s: f64,
+}
+
+/// Runs the energy-metered relay scenario for `secs` emulated seconds
+/// (static relay so the energy split is purely traffic-driven).
+pub fn run(secs: u64, seed: u64) -> Vec<EnergyRow> {
+    let mut scene = fig9_scene();
+    // Pin the relay and disable link loss: isolate the traffic-driven
+    // energy split from mobility and loss effects (a lossy first hop
+    // would let the sender transmit far more than the relay relays).
+    for node in &mut scene.nodes {
+        node.3 = poem_core::mobility::MobilityModel::Stationary;
+    }
+    scene.link = poem_core::linkmodel::LinkParams::ideal(11.0e6);
+    let mut net = SimNet::new(SimConfig {
+        seed,
+        models: PipelineConfig {
+            mac: poem_core::mac::MacModel::None,
+            power: Some(PowerProfile::wifi_11b()),
+        },
+        ..SimConfig::default()
+    });
+    let robust = RouterConfig {
+        broadcast_interval: EmuDuration::from_millis(250),
+        route_ttl: EmuDuration::from_secs(4),
+        buffer_cap: 512,
+        ..RouterConfig::hybrid()
+    };
+    let cbr = TrafficApp::new(
+        Router::new(robust),
+        TrafficAppConfig {
+            dst: NodeId(3),
+            pattern: Pattern::cbr_rate(scene.cbr_bps, scene.payload),
+            start: EmuTime::from_secs(3),
+            stop: EmuTime::from_secs(secs),
+            seed,
+        },
+    );
+    let apps: Vec<Box<dyn poem_client::ClientApp>> =
+        vec![Box::new(cbr), Box::new(Router::new(robust)), Box::new(Router::new(robust))];
+    for ((id, pos, radios, mobility), app) in scene.nodes.clone().into_iter().zip(apps) {
+        net.add_node(id, pos, radios, mobility, scene.link, app).expect("fig9 valid");
+    }
+    net.run_until(EmuTime::from_secs(secs));
+
+    let now = net.now();
+    let book = net.pipeline().energy().expect("power metering on");
+    book.report(now)
+        .into_iter()
+        .map(|(node, consumed_j, _)| {
+            let a = book.account(node).expect("reported node has account");
+            EnergyRow {
+                node,
+                consumed_j,
+                tx_s: a.tx_time.as_secs_f64(),
+                rx_s: a.rx_time.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_burns_the_most_energy() {
+        let rows = run(15, 11);
+        assert_eq!(rows.len(), 3);
+        let by_node = |id: u32| rows.iter().find(|r| r.node == NodeId(id)).copied().unwrap();
+        let sender = by_node(1);
+        let relay = by_node(2);
+        let receiver = by_node(3);
+        // The relay both receives and retransmits the whole flow.
+        assert!(relay.consumed_j > sender.consumed_j, "{relay:?} vs {sender:?}");
+        assert!(relay.consumed_j > receiver.consumed_j, "{relay:?} vs {receiver:?}");
+        assert!(relay.tx_s > 0.5 && relay.rx_s > 0.5, "{relay:?}");
+        // The sender is transmit-dominated, the receiver receive-dominated.
+        assert!(sender.tx_s > sender.rx_s, "{sender:?}");
+        assert!(receiver.rx_s > receiver.tx_s, "{receiver:?}");
+    }
+}

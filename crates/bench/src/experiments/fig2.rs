@@ -1,0 +1,75 @@
+//! Experiment E4 — Fig. 2, the centralized serial-reception timestamp
+//! error.
+//!
+//! "Several emulation clients generate packets simultaneously but in the
+//! view of the server these packets are sent at different time due to the
+//! serial reception and subsequent processing." The sweep measures that
+//! error as a function of burst size, next to PoEm's client-stamped
+//! error (zero up to the clock-sync residual of Fig. 5).
+
+use poem_baselines::centralized::{poem_stamp_error, SerialReceiver};
+use poem_core::{EmuDuration, EmuRng};
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Row {
+    /// Simultaneously transmitting clients.
+    pub clients: usize,
+    /// Mean server-stamp error, seconds.
+    pub central_mean: f64,
+    /// Worst server-stamp error, seconds.
+    pub central_max: f64,
+    /// PoEm's per-packet error (clock-sync residual), seconds.
+    pub poem: f64,
+}
+
+/// Runs the burst-size sweep.
+pub fn run(
+    service: EmuDuration,
+    sync_asymmetry: EmuDuration,
+    client_counts: &[usize],
+    seed: u64,
+) -> Vec<Fig2Row> {
+    let receiver = SerialReceiver::new(service);
+    let mut rng = EmuRng::seed(seed);
+    let poem = poem_stamp_error(sync_asymmetry).as_secs_f64();
+    client_counts
+        .iter()
+        .map(|&n| {
+            let s = receiver.simultaneous_burst(n, &mut rng);
+            Fig2Row { clients: n, central_mean: s.mean, central_max: s.max, poem }
+        })
+        .collect()
+}
+
+/// The default sweep used by the `fig2_timestamp_error` binary.
+pub fn default_run() -> Vec<Fig2Row> {
+    run(
+        EmuDuration::from_micros(200),
+        EmuDuration::from_micros(100),
+        &[1, 2, 5, 10, 20, 50, 100, 200],
+        1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn central_error_grows_linearly_poem_stays_flat() {
+        let rows = default_run();
+        assert_eq!(rows.len(), 8);
+        // Linear growth: max error = n × service.
+        for r in &rows {
+            assert!((r.central_max - r.clients as f64 * 200e-6).abs() < 1e-9);
+        }
+        // PoEm error is burst-size independent and tiny.
+        let poem: Vec<f64> = rows.iter().map(|r| r.poem).collect();
+        assert!(poem.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(poem[0], 50e-6);
+        // At 100 clients the centralized error dwarfs PoEm's.
+        let r100 = rows.iter().find(|r| r.clients == 100).unwrap();
+        assert!(r100.central_mean > 100.0 * r100.poem);
+    }
+}

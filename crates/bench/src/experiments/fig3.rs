@@ -1,0 +1,112 @@
+//! Experiment E5 — Fig. 3, the distributed scene-update asynchronism.
+//!
+//! Sweeps the scene-update rate over a heterogeneous distributed
+//! deployment and reports how stale station views get and what fraction
+//! of routing decisions happen on an expired scene — next to PoEm's
+//! centralized scene, which is consistent by construction.
+
+use poem_baselines::distributed::{poem_scene_sync, DistributedSceneSync};
+use poem_core::{EmuDuration, EmuRng};
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Row {
+    /// Interval between scene updates, seconds.
+    pub update_interval_s: f64,
+    /// Mean staleness window of the distributed deployment, seconds.
+    pub dist_staleness_mean: f64,
+    /// Worst staleness window, seconds.
+    pub dist_staleness_max: f64,
+    /// Fraction of station-time spent on an expired scene.
+    pub dist_expired_fraction: f64,
+    /// Updates that were obsoleted before full application.
+    pub dist_overruns: u64,
+    /// Broadcast messages sent.
+    pub dist_messages: u64,
+    /// PoEm's expired fraction (always 0).
+    pub poem_expired_fraction: f64,
+}
+
+/// Runs the update-rate sweep over a `stations`-node deployment with the
+/// given heterogeneity spread.
+pub fn run(
+    stations: usize,
+    min_apply: EmuDuration,
+    max_apply: EmuDuration,
+    intervals: &[EmuDuration],
+    updates: u64,
+    seed: u64,
+) -> Vec<Fig3Row> {
+    let model = DistributedSceneSync {
+        stations,
+        min_apply,
+        max_apply,
+        jitter: EmuDuration::from_millis(1),
+    };
+    let mut rng = EmuRng::seed(seed);
+    intervals
+        .iter()
+        .map(|&iv| {
+            let rep = model.run(updates, iv, &mut rng);
+            let poem = poem_scene_sync(updates);
+            Fig3Row {
+                update_interval_s: iv.as_secs_f64(),
+                dist_staleness_mean: rep.staleness.mean,
+                dist_staleness_max: rep.staleness.max,
+                dist_expired_fraction: rep.expired_fraction,
+                dist_overruns: rep.overrun_updates,
+                dist_messages: rep.messages,
+                poem_expired_fraction: poem.expired_fraction,
+            }
+        })
+        .collect()
+}
+
+/// The default sweep used by the `fig3_scene_staleness` binary: 20
+/// stations whose apply times span 1–40 ms ("diverse ends"), update
+/// intervals from leisurely to the §2.2 "broadcast storm" regime.
+pub fn default_run() -> Vec<Fig3Row> {
+    run(
+        20,
+        EmuDuration::from_millis(1),
+        EmuDuration::from_millis(40),
+        &[
+            EmuDuration::from_millis(1000),
+            EmuDuration::from_millis(300),
+            EmuDuration::from_millis(100),
+            EmuDuration::from_millis(50),
+            EmuDuration::from_millis(20),
+            EmuDuration::from_millis(10),
+        ],
+        200,
+        1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_updates_worsen_consistency() {
+        let rows = default_run();
+        assert_eq!(rows.len(), 6);
+        // Expired fraction grows monotonically as updates speed up.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].dist_expired_fraction >= w[0].dist_expired_fraction,
+                "{w:?}"
+            );
+        }
+        // Leisurely updates: consistent most of the time.
+        assert!(rows[0].dist_expired_fraction < 0.1, "{}", rows[0].dist_expired_fraction);
+        // Storm regime: stale most of the time, with overruns.
+        let storm = rows.last().unwrap();
+        assert!(storm.dist_expired_fraction > 0.5, "{}", storm.dist_expired_fraction);
+        assert!(storm.dist_overruns > 100);
+        // PoEm is always consistent.
+        assert!(rows.iter().all(|r| r.poem_expired_fraction == 0.0));
+        // Broadcast cost scales with stations × updates.
+        assert!(rows.iter().all(|r| r.dist_messages == 20 * 200));
+    }
+}

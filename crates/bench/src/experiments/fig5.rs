@@ -1,0 +1,102 @@
+//! Experiment E6 — Fig. 5, the lightweight clock synchronization.
+//!
+//! Validates the six-step handshake: under symmetric path delays the
+//! estimate is exact; under asymmetry the error equals half the
+//! difference between the downlink and uplink delays — the algorithm's
+//! stated assumption ("the transport delay from the client to the server
+//! is equal to that in reverse").
+
+use poem_core::clock::sync::simulate_handshake;
+use poem_core::clock::{Clock, VirtualClock};
+use poem_core::{EmuDuration, EmuTime};
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    /// Uplink one-way delay, seconds.
+    pub uplink_s: f64,
+    /// Downlink one-way delay, seconds.
+    pub downlink_s: f64,
+    /// Predicted error: `(uplink − downlink)/2`, seconds.
+    pub predicted_error_s: f64,
+    /// Error actually measured after running the handshake and applying
+    /// the offset to a client clock, seconds.
+    pub measured_error_s: f64,
+    /// Observed round-trip, seconds.
+    pub round_trip_s: f64,
+}
+
+/// Runs one handshake per `(uplink, downlink)` pair with the client clock
+/// initially `client_skew` behind the server.
+pub fn run(
+    pairs: &[(EmuDuration, EmuDuration)],
+    client_skew: EmuDuration,
+    turnaround: EmuDuration,
+) -> Vec<Fig5Row> {
+    pairs
+        .iter()
+        .map(|&(up, down)| {
+            let server_start = EmuTime::from_secs(1000);
+            let client_start = server_start - client_skew;
+            let sample = simulate_handshake(client_start, server_start, up, down, turnaround);
+            let out = sample.solve();
+            // Apply step 6 to a live clock and compare with the true
+            // server time at that instant.
+            let clock = VirtualClock::starting_at(sample.t_c4);
+            poem_core::clock::sync::apply(&out, &clock);
+            let true_server_at_c4 = server_start + up + turnaround + down;
+            let measured = clock.now() - true_server_at_c4;
+            Fig5Row {
+                uplink_s: up.as_secs_f64(),
+                downlink_s: down.as_secs_f64(),
+                predicted_error_s: ((up - down) / 2).as_secs_f64(),
+                measured_error_s: measured.as_secs_f64(),
+                round_trip_s: out.round_trip.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// The default sweep used by the `fig5_clock_sync` binary: symmetric
+/// cases plus asymmetries up to 20 ms.
+pub fn default_run() -> Vec<Fig5Row> {
+    let ms = EmuDuration::from_millis;
+    run(
+        &[
+            (ms(1), ms(1)),
+            (ms(5), ms(5)),
+            (ms(20), ms(20)),
+            (ms(5), ms(7)),
+            (ms(5), ms(15)),
+            (ms(5), ms(25)),
+            (ms(25), ms(5)),
+            (ms(1), ms(41)),
+        ],
+        EmuDuration::from_secs(3600), // client boots an hour behind
+        ms(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_rows_are_exact_asymmetric_rows_err_by_half() {
+        let rows = default_run();
+        for r in &rows {
+            assert!(
+                (r.measured_error_s - r.predicted_error_s).abs() < 1e-12,
+                "{r:?}"
+            );
+            if (r.uplink_s - r.downlink_s).abs() < 1e-12 {
+                assert_eq!(r.measured_error_s, 0.0, "{r:?}");
+            } else {
+                let half = (r.uplink_s - r.downlink_s) / 2.0;
+                assert!((r.measured_error_s - half).abs() < 1e-12, "{r:?}");
+            }
+        }
+        // A one-hour initial skew never leaks into the error.
+        assert!(rows.iter().all(|r| r.measured_error_s.abs() < 0.05));
+    }
+}

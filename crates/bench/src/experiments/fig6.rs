@@ -1,0 +1,136 @@
+//! Experiment E7 — Fig. 6 / §4.2, the channel-ID indexed neighbor table
+//! ablation.
+//!
+//! "Our scheme reduces the cost to update the neighbor table when the
+//! emulation scene has changed ... especially when emulating dynamic
+//! large-scale multi-radio MANETs." The sweep performs identical random
+//! node-move streams against the channel-indexed structure and the
+//! unified single-table baseline and reports the distance-evaluation work
+//! per update. The win grows with the number of channels, because a move
+//! only touches the mover's own channels in the indexed scheme.
+
+use poem_core::neighbor::{check_against_brute_force, ChannelIndexedTables, NeighborTables, UnifiedTable};
+use poem_core::radio::RadioConfig;
+use poem_core::{ChannelId, EmuRng, NodeId, Point};
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// Total nodes in the scene.
+    pub nodes: usize,
+    /// Distinct channels in use.
+    pub channels: usize,
+    /// Radios per node.
+    pub radios_per_node: usize,
+    /// Mean distance evaluations per move, channel-indexed scheme.
+    pub indexed_work_per_op: f64,
+    /// Mean distance evaluations per move, unified baseline.
+    pub unified_work_per_op: f64,
+}
+
+impl Fig6Row {
+    /// Unified cost / indexed cost.
+    pub fn speedup(&self) -> f64 {
+        if self.indexed_work_per_op > 0.0 {
+            self.unified_work_per_op / self.indexed_work_per_op
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Populates both structures identically and streams `moves` random
+/// position updates through each, verifying equivalence on the way.
+pub fn run_one(
+    nodes: usize,
+    channels: usize,
+    radios_per_node: usize,
+    moves: usize,
+    seed: u64,
+    verify: bool,
+) -> Fig6Row {
+    assert!(radios_per_node <= channels, "cannot tune more radios than channels");
+    let mut rng = EmuRng::seed(seed);
+    let mut indexed = ChannelIndexedTables::new();
+    let mut unified = UnifiedTable::new();
+
+    let arena = 1000.0;
+    for i in 0..nodes {
+        let pos = Point::new(rng.range_f64(0.0, arena), rng.range_f64(0.0, arena));
+        // Deterministically stripe radios over channels so every channel
+        // is equally populated.
+        let chans: Vec<ChannelId> = (0..radios_per_node)
+            .map(|k| ChannelId(((i + k * (channels / radios_per_node.max(1))) % channels) as u16))
+            .collect();
+        let radios = RadioConfig::multi(&chans, 200.0);
+        indexed.insert_node(NodeId(i as u32), pos, radios.clone());
+        unified.insert_node(NodeId(i as u32), pos, radios);
+    }
+
+    indexed.reset_work();
+    unified.reset_work();
+    for _ in 0..moves {
+        let id = NodeId(rng.index(nodes) as u32);
+        let pos = Point::new(rng.range_f64(0.0, arena), rng.range_f64(0.0, arena));
+        indexed.update_position(id, pos);
+        unified.update_position(id, pos);
+    }
+    if verify {
+        check_against_brute_force(&indexed).expect("indexed scheme correct");
+        check_against_brute_force(&unified).expect("unified scheme correct");
+    }
+
+    Fig6Row {
+        nodes,
+        channels,
+        radios_per_node,
+        indexed_work_per_op: indexed.work() as f64 / moves as f64,
+        unified_work_per_op: unified.work() as f64 / moves as f64,
+    }
+}
+
+/// The default sweep used by the `fig6_neighbor_ablation` binary.
+pub fn default_run() -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    for &(nodes, channels) in
+        &[(20usize, 1usize), (20, 4), (20, 8), (60, 1), (60, 4), (60, 8), (120, 8), (120, 12)]
+    {
+        rows.push(run_one(nodes, channels, 1, 200, 42, nodes <= 60));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_scheme_wins_and_win_grows_with_channels() {
+        let one_ch = run_one(40, 1, 1, 100, 7, true);
+        let many_ch = run_one(40, 8, 1, 100, 7, true);
+        // With one channel both schemes scan everyone: no win.
+        assert!((one_ch.speedup() - 1.0).abs() < 0.2, "{:?}", one_ch);
+        // With 8 channels the mover only touches its own channel (~1/8 of
+        // the nodes) while the unified table scans all nodes × channels.
+        assert!(many_ch.speedup() > 8.0, "{:?}", many_ch);
+        assert!(many_ch.indexed_work_per_op < one_ch.indexed_work_per_op);
+    }
+
+    #[test]
+    fn unified_work_scales_with_channel_universe() {
+        let c4 = run_one(30, 4, 1, 100, 3, false);
+        let c8 = run_one(30, 8, 1, 100, 3, false);
+        // Unified pays per channel in the universe: ~2× work at 8 channels.
+        let ratio = c8.unified_work_per_op / c4.unified_work_per_op;
+        assert!((ratio - 2.0).abs() < 0.3, "{ratio}");
+    }
+
+    #[test]
+    fn multi_radio_nodes_cost_proportionally_more_in_indexed_scheme() {
+        let r1 = run_one(40, 8, 1, 100, 9, false);
+        let r2 = run_one(40, 8, 2, 100, 9, false);
+        assert!(r2.indexed_work_per_op > r1.indexed_work_per_op * 1.5, "{r1:?} {r2:?}");
+        // But still far below the unified baseline.
+        assert!(r2.speedup() > 3.0, "{r2:?}");
+    }
+}

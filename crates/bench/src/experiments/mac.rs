@@ -1,0 +1,220 @@
+//! Extension experiment E10 — MAC-model ablation (§7 future work:
+//! "sophisticated underlying models such as ... MAC algorithms").
+//!
+//! A fully connected single-channel cell of `n` saturating broadcasters,
+//! swept over offered load, under the three MAC disciplines:
+//!
+//! * **None** (the paper's baseline): no channel contention — delivery is
+//!   perfect on lossless links regardless of load;
+//! * **Aloha**: delivery collapses as offered load approaches and passes
+//!   one airtime per airtime (the classic ALOHA throughput collapse);
+//! * **CSMA**: carrier sensing serializes the fully connected cell, so
+//!   collisions stay near zero while deferrals grow instead.
+
+use poem_bench_support::BlastApp;
+use poem_core::linkmodel::LinkParams;
+use poem_core::mac::MacModel;
+use poem_core::mobility::MobilityModel;
+use poem_core::radio::RadioConfig;
+use poem_core::{ChannelId, EmuDuration, EmuRng, EmuTime, NodeId, Point};
+use poem_record::{DropReason, TrafficRecord};
+use poem_server::sim::{SimConfig, SimNet};
+use poem_server::PipelineConfig;
+
+/// Helper app module (kept private to the experiment).
+mod poem_bench_support {
+    use bytes::Bytes;
+    use poem_client::nic::Nic;
+    use poem_client::ClientApp;
+    use poem_core::packet::Destination;
+    use poem_core::{ChannelId, EmuDuration, EmuPacket, EmuRng};
+
+    /// Broadcasts a fixed-size payload roughly every interval (±25 %
+    /// uniform jitter — unsynchronized senders, the ALOHA traffic
+    /// assumption), forever.
+    pub struct BlastApp {
+        /// Transmission channel.
+        pub channel: ChannelId,
+        /// Payload size, bytes.
+        pub payload: usize,
+        /// Mean send interval.
+        pub interval: EmuDuration,
+        /// Initial phase offset.
+        pub phase: EmuDuration,
+        /// Jitter source.
+        pub rng: EmuRng,
+    }
+
+    impl BlastApp {
+        fn next_gap(&mut self) -> EmuDuration {
+            let mean = self.interval.as_secs_f64();
+            EmuDuration::from_secs_f64(self.rng.range_f64(mean * 0.75, mean * 1.25))
+        }
+    }
+
+    impl ClientApp for BlastApp {
+        fn on_start(&mut self, _nic: &mut dyn Nic) -> Option<EmuDuration> {
+            Some(self.phase)
+        }
+        fn on_packet(&mut self, _nic: &mut dyn Nic, _pkt: EmuPacket) {}
+        fn on_tick(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+            nic.send(self.channel, Destination::Broadcast, Bytes::from(vec![0u8; self.payload]));
+            Some(self.next_gap())
+        }
+    }
+}
+
+/// One ablation row.
+#[derive(Debug, Clone, Copy)]
+pub struct MacRow {
+    /// MAC discipline.
+    pub mac: MacModel,
+    /// Normalized offered load `G` (aggregate airtime per unit time).
+    pub offered_load: f64,
+    /// Fraction of considered copies delivered.
+    pub delivery_ratio: f64,
+    /// Copies destroyed by collisions.
+    pub collisions: u64,
+    /// CSMA deferrals.
+    pub deferrals: u64,
+}
+
+/// Runs one cell: `n` senders, each broadcasting `payload`-byte frames
+/// every `interval`, for `duration`, under `mac`.
+pub fn run_cell(
+    mac: MacModel,
+    n: usize,
+    payload: usize,
+    interval: EmuDuration,
+    duration: EmuDuration,
+    seed: u64,
+) -> MacRow {
+    let mut net = SimNet::new(SimConfig {
+        seed,
+        models: PipelineConfig { mac, power: None },
+        ..SimConfig::default()
+    });
+    let bps = 8.0e6;
+    let mut seeder = EmuRng::seed(seed ^ 0xb1a57);
+    for i in 0..n {
+        // A tight circle: everyone hears everyone.
+        let angle = i as f64 / n as f64 * std::f64::consts::TAU;
+        net.add_node(
+            NodeId(i as u32),
+            Point::new(50.0 * angle.cos(), 50.0 * angle.sin()),
+            RadioConfig::single(ChannelId(1), 400.0),
+            MobilityModel::Stationary,
+            LinkParams::ideal(bps),
+            Box::new(BlastApp {
+                channel: ChannelId(1),
+                payload,
+                interval,
+                // Uniform phase stagger across one interval.
+                phase: (interval * (i as i64) / (n as i64)) + EmuDuration::from_micros(1),
+                rng: seeder.fork(),
+            }),
+        )
+        .expect("cell scene valid");
+    }
+    net.run_until(EmuTime::ZERO + duration);
+
+    let traffic = net.recorder().traffic();
+    let mut delivered = 0u64;
+    let mut collided = 0u64;
+    let mut considered = 0u64;
+    for r in &traffic {
+        match r {
+            TrafficRecord::Forward { .. } => {
+                delivered += 1;
+                considered += 1;
+            }
+            TrafficRecord::Drop { reason, .. } => {
+                considered += 1;
+                if *reason == DropReason::Collision {
+                    collided += 1;
+                }
+            }
+            TrafficRecord::Ingress { .. } => {}
+        }
+    }
+    let airtime = (payload + poem_core::packet::HEADER_BYTES) as f64 * 8.0 / bps;
+    let offered_load = n as f64 * airtime / interval.as_secs_f64();
+    MacRow {
+        mac,
+        offered_load,
+        delivery_ratio: if considered > 0 { delivered as f64 / considered as f64 } else { 0.0 },
+        collisions: collided,
+        deferrals: net.pipeline().csma_deferrals(),
+    }
+}
+
+/// The default sweep used by the `mac_ablation` binary.
+pub fn default_run() -> Vec<MacRow> {
+    let mut rows = Vec::new();
+    // 1000-byte frames at 8 Mbps ≈ 1 ms airtime; intervals sweep the
+    // normalized load G from ~0.1 to ~2.
+    for &(n, interval_ms) in &[(10usize, 100i64), (10, 20), (10, 10), (10, 5)] {
+        for mac in [MacModel::None, MacModel::Aloha, MacModel::Csma] {
+            rows.push(run_cell(
+                mac,
+                n,
+                1000 - poem_core::packet::HEADER_BYTES,
+                EmuDuration::from_millis(interval_ms),
+                EmuDuration::from_secs(10),
+                42,
+            ));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(mac: MacModel, interval_ms: i64) -> MacRow {
+        run_cell(
+            mac,
+            10,
+            1000 - poem_core::packet::HEADER_BYTES,
+            EmuDuration::from_millis(interval_ms),
+            EmuDuration::from_secs(5),
+            7,
+        )
+    }
+
+    #[test]
+    fn baseline_never_collides() {
+        let r = cell(MacModel::None, 10);
+        assert_eq!(r.delivery_ratio, 1.0);
+        assert_eq!(r.collisions, 0);
+    }
+
+    #[test]
+    fn aloha_collapses_under_load() {
+        let light = cell(MacModel::Aloha, 100); // G ≈ 0.1
+        let heavy = cell(MacModel::Aloha, 5); // G ≈ 2
+        assert!(light.delivery_ratio > 0.75, "{light:?}");
+        assert!(heavy.delivery_ratio < 0.35, "{heavy:?}");
+        assert!(heavy.collisions > light.collisions * 5);
+    }
+
+    #[test]
+    fn csma_trades_collisions_for_deferrals() {
+        let aloha = cell(MacModel::Aloha, 10);
+        let csma = cell(MacModel::Csma, 10);
+        // Fully connected cell: carrier sensing avoids nearly all
+        // collisions ALOHA suffers...
+        assert!(csma.delivery_ratio > aloha.delivery_ratio + 0.2, "{csma:?} vs {aloha:?}");
+        // ...by deferring instead.
+        assert!(csma.deferrals > 100, "{csma:?}");
+        assert_eq!(aloha.deferrals, 0);
+    }
+
+    #[test]
+    fn offered_load_is_computed_from_parameters() {
+        let r = cell(MacModel::None, 10);
+        // 10 senders × 1 ms airtime / 10 ms interval = G ≈ 1.0.
+        assert!((r.offered_load - 1.0).abs() < 0.05, "{}", r.offered_load);
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment runners, one per table/figure (DESIGN.md experiment index).
+
+pub mod cluster;
+pub mod energy;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod mac;
+pub mod overhead;
+pub mod table2;

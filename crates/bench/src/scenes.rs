@@ -1,0 +1,196 @@
+//! Scenario builders for the paper's figures.
+
+use poem_core::linkmodel::LinkParams;
+use poem_core::mobility::MobilityModel;
+use poem_core::radio::RadioConfig;
+use poem_core::{ChannelId, NodeId, Point};
+
+/// Geometry and radio plan of the Fig. 8 proof-of-concept scene.
+///
+/// Three VMNs, all initially on channel 1 with range 200 (units), placed
+/// so that step 2's range shrink (VMN1 → 120) keeps VMN2 in range
+/// (`D(1,2) = 100`) but excludes VMN3 (`D(1,3) = 150`), while VMN2–VMN3
+/// stay connected (`D(2,3) ≈ 180`) for the relay route.
+#[derive(Debug, Clone)]
+pub struct Fig8Scene {
+    /// `(id, position, radios)` per node.
+    pub nodes: Vec<(NodeId, Point, RadioConfig)>,
+    /// Link parameters (ideal: §6.1 tests routing logic, not loss).
+    pub link: LinkParams,
+    /// Step-2 shrunken range for VMN1.
+    pub shrunken_range: f64,
+    /// Step-3 channel for VMN2's radio.
+    pub step3_channel: ChannelId,
+}
+
+/// Builds the Fig. 8 scene.
+pub fn fig8_scene() -> Fig8Scene {
+    let ch1 = ChannelId(1);
+    Fig8Scene {
+        nodes: vec![
+            (NodeId(1), Point::new(0.0, 0.0), RadioConfig::single(ch1, 200.0)),
+            (NodeId(2), Point::new(100.0, 0.0), RadioConfig::single(ch1, 200.0)),
+            (NodeId(3), Point::new(0.0, 150.0), RadioConfig::single(ch1, 200.0)),
+        ],
+        link: LinkParams::ideal(11.0e6),
+        shrunken_range: 120.0,
+        step3_channel: ChannelId(2),
+    }
+}
+
+/// Geometry of the Fig. 9 / Table 3 performance scenario.
+///
+/// * hop distance `d = 120`, radio range `R = 200`;
+/// * VMN1 at the origin, one radio on channel 1 — the CBR source;
+/// * VMN2 at `(d, 0)`, radios on channels 1 **and** 2, moving downwards
+///   (direction 270°) at 10 units/s — the relay;
+/// * VMN3 at `(2d, 0)`, one radio on channel 2 — the receiver, outside
+///   VMN1's radio range (`2d = 240 > R`);
+/// * Table-3 loss model (`P0 = 0.1, P1 = 0.9, D0 = 50`) on every sender;
+/// * CBR 4 Mbps from VMN1 to VMN3.
+#[derive(Debug, Clone)]
+pub struct Fig9Scene {
+    /// `(id, position, radios, mobility)` per node.
+    pub nodes: Vec<(NodeId, Point, RadioConfig, MobilityModel)>,
+    /// The Table-3 link parameters.
+    pub link: LinkParams,
+    /// Offered rate, bits/second.
+    pub cbr_bps: f64,
+    /// CBR payload size, bytes.
+    pub payload: usize,
+    /// Hop distance `d`.
+    pub hop_distance: f64,
+    /// Radio range `R`.
+    pub radio_range: f64,
+}
+
+/// Builds the Fig. 9 scenario.
+pub fn fig9_scene() -> Fig9Scene {
+    let d = 120.0;
+    let r = 200.0;
+    let ch1 = ChannelId(1);
+    let ch2 = ChannelId(2);
+    Fig9Scene {
+        nodes: vec![
+            (
+                NodeId(1),
+                Point::new(0.0, 0.0),
+                RadioConfig::single(ch1, r),
+                MobilityModel::Stationary,
+            ),
+            (
+                NodeId(2),
+                Point::new(d, 0.0),
+                RadioConfig::multi(&[ch1, ch2], r),
+                MobilityModel::Linear { direction_deg: 270.0, speed: 10.0 },
+            ),
+            (
+                NodeId(3),
+                Point::new(2.0 * d, 0.0),
+                RadioConfig::single(ch2, r),
+                MobilityModel::Stationary,
+            ),
+        ],
+        link: LinkParams::table3(),
+        cbr_bps: 4.0e6,
+        payload: 1000,
+        hop_distance: d,
+        radio_range: r,
+    }
+}
+
+impl Fig9Scene {
+    /// Relay position at time `t` seconds.
+    pub fn relay_pos(&self, t: f64) -> Point {
+        Point::new(self.hop_distance, 0.0).advance(270.0, 10.0, t)
+    }
+
+    /// Distance of each hop at time `t`: `(VMN1→VMN2, VMN2→VMN3)`.
+    pub fn hop_distances(&self, t: f64) -> (f64, f64) {
+        let relay = self.relay_pos(t);
+        (
+            Point::new(0.0, 0.0).distance(relay),
+            Point::new(2.0 * self.hop_distance, 0.0).distance(relay),
+        )
+    }
+
+    /// The *theoretical* end-to-end loss probability at time `t` — what
+    /// the paper's "expected real-time performance curve" is drawn from:
+    /// per-hop Table-3 loss at the current hop distances, combined across
+    /// the two independent hops; 1.0 once either hop exceeds the range.
+    pub fn expected_loss(&self, t: f64) -> f64 {
+        let (d1, d2) = self.hop_distances(t);
+        let model = self.link.with_range(self.radio_range).loss;
+        if d1 > self.radio_range || d2 > self.radio_range {
+            return 1.0;
+        }
+        let p1 = model.probability(d1);
+        let p2 = model.probability(d2);
+        1.0 - (1.0 - p1) * (1.0 - p2)
+    }
+
+    /// The time at which the relay leaves radio range of the endpoints
+    /// (both hops break simultaneously by symmetry).
+    pub fn breakdown_time(&self) -> f64 {
+        // sqrt(R² − d²) units of travel at 10 units/s.
+        (self.radio_range * self.radio_range - self.hop_distance * self.hop_distance).sqrt()
+            / 10.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_distances_support_the_three_steps() {
+        let s = fig8_scene();
+        let pos: Vec<Point> = s.nodes.iter().map(|(_, p, _)| *p).collect();
+        let d12 = pos[0].distance(pos[1]);
+        let d13 = pos[0].distance(pos[2]);
+        let d23 = pos[1].distance(pos[2]);
+        // Step 1: everything mutually in range at R = 200.
+        assert!(d12 <= 200.0 && d13 <= 200.0 && d23 <= 200.0);
+        // Step 2: shrunken range keeps VMN2, drops VMN3.
+        assert!(d12 <= s.shrunken_range, "{d12}");
+        assert!(d13 > s.shrunken_range, "{d13}");
+        // Relay path survives.
+        assert!(d23 <= 200.0, "{d23}");
+    }
+
+    #[test]
+    fn fig9_receiver_is_outside_sender_range() {
+        let s = fig9_scene();
+        let (src, dst) = (s.nodes[0].1, s.nodes[2].1);
+        assert!(src.distance(dst) > s.radio_range);
+        // Both hops start at d = 120.
+        let (d1, d2) = s.hop_distances(0.0);
+        assert!((d1 - 120.0).abs() < 1e-9 && (d2 - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig9_hops_grow_as_relay_descends() {
+        let s = fig9_scene();
+        let (a1, _) = s.hop_distances(0.0);
+        let (b1, b2) = s.hop_distances(10.0);
+        assert!(b1 > a1);
+        assert!((b1 - b2).abs() < 1e-9, "symmetric by construction");
+        // After 10 s of 10 u/s: sqrt(120² + 100²) ≈ 156.2.
+        assert!((b1 - (120.0f64 * 120.0 + 100.0 * 100.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig9_expected_loss_is_monotone_and_saturates() {
+        let s = fig9_scene();
+        let l0 = s.expected_loss(0.0);
+        let l8 = s.expected_loss(8.0);
+        let l15 = s.expected_loss(15.0);
+        assert!(l0 < l8 && l8 < l15, "{l0} {l8} {l15}");
+        // At t=0: per-hop P(120) = 0.1 + (0.8/150)·70 ≈ 0.473 → e2e ≈ 0.72.
+        assert!((l0 - 0.7226).abs() < 0.01, "{l0}");
+        // Past breakdown the link is gone.
+        let tb = s.breakdown_time();
+        assert!((tb - 16.0).abs() < 1e-9, "{tb}");
+        assert_eq!(s.expected_loss(tb + 0.2), 1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Hosted protocol/application code.
+//!
+//! A [`ClientApp`] is the "real implementation" under test: a routing
+//! protocol, a traffic generator, an application. The host — a real
+//! [`crate::EmuClient`] loop or the deterministic in-process harness —
+//! drives it through three callbacks. Because the app only ever sees a
+//! [`Nic`], moving it between hosts requires no change at all.
+
+use crate::nic::Nic;
+use poem_core::{EmuDuration, EmuPacket};
+
+/// Protocol/application code hosted in an emulation client.
+pub trait ClientApp: Send {
+    /// Called once when the client comes up. Return the delay until the
+    /// first [`ClientApp::on_tick`], or `None` for no timer.
+    fn on_start(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration>;
+
+    /// Called for every packet delivered to this node.
+    fn on_packet(&mut self, nic: &mut dyn Nic, pkt: EmuPacket);
+
+    /// Called when the previously requested timer fires. Return the delay
+    /// until the next tick, or `None` to stop the timer.
+    fn on_tick(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration>;
+}
+
+/// A no-op app: never sends, ignores everything. Useful as a pure sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdleApp;
+
+impl ClientApp for IdleApp {
+    fn on_start(&mut self, _nic: &mut dyn Nic) -> Option<EmuDuration> {
+        None
+    }
+    fn on_packet(&mut self, _nic: &mut dyn Nic, _pkt: EmuPacket) {}
+    fn on_tick(&mut self, _nic: &mut dyn Nic) -> Option<EmuDuration> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nic::QueueNic;
+    use bytes::Bytes;
+    use poem_core::packet::Destination;
+    use poem_core::radio::RadioConfig;
+    use poem_core::{ChannelId, EmuTime, NodeId, PacketId, RadioId};
+
+    /// An app that echoes every payload back to its sender.
+    struct EchoApp {
+        echoed: usize,
+    }
+
+    impl ClientApp for EchoApp {
+        fn on_start(&mut self, _nic: &mut dyn Nic) -> Option<EmuDuration> {
+            Some(EmuDuration::from_secs(1))
+        }
+        fn on_packet(&mut self, nic: &mut dyn Nic, pkt: EmuPacket) {
+            nic.send(pkt.channel, Destination::Unicast(pkt.src), pkt.payload.clone());
+            self.echoed += 1;
+        }
+        fn on_tick(&mut self, _nic: &mut dyn Nic) -> Option<EmuDuration> {
+            None
+        }
+    }
+
+    #[test]
+    fn echo_app_round_trips_through_nic() {
+        let mut nic = QueueNic::new(NodeId(5), RadioConfig::single(ChannelId(1), 100.0));
+        let mut app = EchoApp { echoed: 0 };
+        assert_eq!(app.on_start(&mut nic), Some(EmuDuration::from_secs(1)));
+        let pkt = EmuPacket::new(
+            PacketId(9),
+            NodeId(1),
+            Destination::Unicast(NodeId(5)),
+            ChannelId(1),
+            RadioId(0),
+            EmuTime::ZERO,
+            Bytes::from_static(b"ping"),
+        );
+        app.on_packet(&mut nic, pkt);
+        assert_eq!(app.echoed, 1);
+        let out = nic.drain_outbound();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, Destination::Unicast(NodeId(1)));
+        assert_eq!(&out[0].payload[..], b"ping");
+    }
+
+    #[test]
+    fn idle_app_does_nothing() {
+        let mut nic = QueueNic::new(NodeId(1), RadioConfig::single(ChannelId(1), 100.0));
+        let mut app = IdleApp;
+        assert!(app.on_start(&mut nic).is_none());
+        assert!(app.on_tick(&mut nic).is_none());
+        assert!(nic.drain_outbound().is_empty());
+    }
+}
+
+/// Multiplexes several logical timers onto the single [`ClientApp`] tick.
+///
+/// An app that needs both a protocol heartbeat and its own send schedule
+/// arms one deadline per concern; `on_tick` pops what is due and returns
+/// [`TimerMux::next_delay`] as the next wake-up.
+#[derive(Debug, Clone)]
+pub struct TimerMux<K> {
+    deadlines: Vec<(poem_core::EmuTime, K)>,
+}
+
+impl<K> Default for TimerMux<K> {
+    fn default() -> Self {
+        TimerMux { deadlines: Vec::new() }
+    }
+}
+
+impl<K> TimerMux<K> {
+    /// An empty multiplexer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a timer of kind `k` at absolute time `at`.
+    pub fn arm(&mut self, at: poem_core::EmuTime, k: K) {
+        self.deadlines.push((at, k));
+    }
+
+    /// Pops every timer due at or before `now`, earliest first.
+    pub fn due(&mut self, now: poem_core::EmuTime) -> Vec<K> {
+        self.deadlines.sort_by_key(|&(at, _)| at);
+        let split = self.deadlines.partition_point(|&(at, _)| at <= now);
+        self.deadlines.drain(..split).map(|(_, k)| k).collect()
+    }
+
+    /// Delay from `now` until the earliest armed timer; `None` when idle.
+    pub fn next_delay(&self, now: poem_core::EmuTime) -> Option<EmuDuration> {
+        let earliest = self.deadlines.iter().map(|&(at, _)| at).min()?;
+        Some((earliest - now).max(EmuDuration::ZERO))
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.deadlines.len()
+    }
+
+    /// True when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.deadlines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod mux_tests {
+    use super::TimerMux;
+    use poem_core::{EmuDuration, EmuTime};
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    enum Kind {
+        Beat,
+        Send,
+    }
+
+    #[test]
+    fn due_pops_in_order() {
+        let mut m = TimerMux::new();
+        m.arm(EmuTime::from_secs(2), Kind::Send);
+        m.arm(EmuTime::from_secs(1), Kind::Beat);
+        assert_eq!(m.due(EmuTime::from_secs(2)), vec![Kind::Beat, Kind::Send]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn due_leaves_future_timers() {
+        let mut m = TimerMux::new();
+        m.arm(EmuTime::from_secs(1), Kind::Beat);
+        m.arm(EmuTime::from_secs(5), Kind::Send);
+        assert_eq!(m.due(EmuTime::from_secs(3)), vec![Kind::Beat]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m.next_delay(EmuTime::from_secs(3)),
+            Some(EmuDuration::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn next_delay_clamps_overdue_to_zero() {
+        let mut m = TimerMux::new();
+        m.arm(EmuTime::from_secs(1), Kind::Beat);
+        assert_eq!(m.next_delay(EmuTime::from_secs(9)), Some(EmuDuration::ZERO));
+        assert_eq!(TimerMux::<Kind>::new().next_delay(EmuTime::ZERO), None);
+    }
+}

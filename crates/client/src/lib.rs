@@ -1,0 +1,33 @@
+//! # poem-client — the PoEm emulation client
+//!
+//! "Developed routing protocols are embedded in the clients. All traffic
+//! originated from protocol implementations will be packed, time-stamped
+//! and then directed to the server via TCP/IP connections." (§3.3)
+//!
+//! The crate has three layers:
+//!
+//! * [`nic`] — the [`nic::Nic`] trait: the virtual multi-radio network
+//!   interface protocol implementations are written against, so the *same
+//!   unmodified protocol code* runs over a real TCP connection
+//!   ([`EmuClient`]) and inside the deterministic in-process harness
+//!   (`poem-server::sim`) — the emulation promise of the paper.
+//! * [`app`] — the [`app::ClientApp`] trait for protocol/application code
+//!   hosted in a client, with packet and timer callbacks.
+//! * [`client`] — [`EmuClient`]: the real client. Connects over any
+//!   `Read`/`Write` transport (TCP or an in-memory pipe), registers its
+//!   VMN identity, runs the Fig. 5 clock synchronization, time-stamps
+//!   outgoing packets against the synchronized emulation clock, and
+//!   receives forwarded traffic on a background reader thread.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod app;
+pub mod client;
+pub mod nic;
+pub mod runner;
+
+pub use app::{ClientApp, TimerMux};
+pub use client::{ClientError, EmuClient, PeriodicSync};
+pub use nic::{Nic, QueueNic};
+pub use runner::AppRunner;

@@ -1,0 +1,89 @@
+//! Drives a [`ClientApp`] over a live [`EmuClient`] connection.
+//!
+//! In a deployed (real-time TCP) emulation, the protocol code needs an
+//! event loop: wait for deliveries, fire timer ticks, push outgoing
+//! packets. [`AppRunner`] is that loop on a dedicated thread — the same
+//! `ClientApp` that the deterministic harness hosts runs here unchanged,
+//! which is the portability property the paper claims for real protocol
+//! implementations.
+
+use crate::app::ClientApp;
+use crate::client::EmuClient;
+use crate::nic::Nic;
+use poem_core::EmuTime;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running app loop.
+pub struct AppRunner {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<(EmuClient, Box<dyn ClientApp>)>>,
+}
+
+impl AppRunner {
+    /// Spawns the loop: `app` now owns the client connection and reacts
+    /// to deliveries and its own timers until [`AppRunner::stop`].
+    pub fn spawn(mut client: EmuClient, mut app: Box<dyn ClientApp>) -> AppRunner {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("poem-app-runner".into())
+            .spawn(move || {
+                let mut next_tick: Option<EmuTime> =
+                    app.on_start(&mut client).map(|d| client.now() + d);
+                while !stop2.load(Ordering::Acquire) && !client.is_closed() {
+                    // Wait for traffic, but never past the next timer.
+                    let now = client.now();
+                    let wait = match next_tick {
+                        Some(at) if at <= now => Duration::ZERO,
+                        Some(at) => (at - now).to_std().min(Duration::from_millis(20)),
+                        None => Duration::from_millis(20),
+                    };
+                    if let Ok((pkt, _fwd_at)) = client.recv_timeout(wait) {
+                        app.on_packet(&mut client, pkt);
+                        // Drain whatever queued behind it.
+                        while let Some((pkt, _)) = client.try_recv() {
+                            app.on_packet(&mut client, pkt);
+                        }
+                    }
+                    if let Some(at) = next_tick {
+                        if client.now() >= at {
+                            next_tick = app.on_tick(&mut client).map(|d| client.now() + d);
+                        }
+                    }
+                }
+                (client, app)
+            })
+            .expect("spawn app runner");
+        AppRunner { stop, handle: Some(handle) }
+    }
+
+    /// Stops the loop and returns the client and app for inspection.
+    pub fn stop(mut self) -> (EmuClient, Box<dyn ClientApp>) {
+        self.stop.store(true, Ordering::Release);
+        self.handle
+            .take()
+            .expect("runner not yet stopped")
+            .join()
+            .expect("app runner panicked")
+    }
+}
+
+impl Drop for AppRunner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for AppRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppRunner")
+            .field("stopped", &self.stop.load(Ordering::Acquire))
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,407 @@
+//! Emulation clocks and the §4.1 lightweight clock-synchronization scheme.
+//!
+//! PoEm's real-time traffic recording works because every *client* stamps
+//! its own packets against a clock that has been synchronized with the
+//! server's — "parallel time-stamping". Two clock implementations share the
+//! [`Clock`] trait:
+//!
+//! * [`VirtualClock`] — discrete-event time that only moves when the
+//!   emulation engine advances it. Deterministic; used by every test and
+//!   experiment that doesn't need wall time.
+//! * [`WallClock`] — monotonic OS time plus a synchronization offset; used
+//!   when PoEm runs in real-time mode over real sockets.
+//!
+//! The [`sync`] module implements the six-step handshake of Fig. 5 exactly
+//! and exposes its error analytically (the estimate is off by half the
+//! asymmetry between the forward and reverse path delays).
+
+use crate::time::{EmuDuration, EmuTime};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A source of emulation time.
+///
+/// Shared (`&self`) because many threads — scheduling, scanning, sending,
+/// recording — read the clock concurrently (§3.2).
+pub trait Clock: Send + Sync {
+    /// The current emulation time.
+    fn now(&self) -> EmuTime;
+
+    /// Shifts the clock by `offset` (positive = forward). Used by clients
+    /// after a synchronization round ("pushes the emulation clock
+    /// forward", §4.1 step 6).
+    fn adjust(&self, offset: EmuDuration);
+}
+
+/// Discrete-event emulation time.
+///
+/// Starts at the epoch; [`VirtualClock::advance_to`] moves it forward.
+/// Monotonicity is enforced: attempts to move backwards are ignored, so an
+/// out-of-order event pop can never make time regress.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ns: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A fresh clock at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh clock starting at `t`.
+    pub fn starting_at(t: EmuTime) -> Self {
+        VirtualClock {
+            now_ns: AtomicU64::new(t.as_nanos()),
+        }
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; otherwise leaves
+    /// it unchanged. Returns the resulting time.
+    pub fn advance_to(&self, t: EmuTime) -> EmuTime {
+        let mut cur = self.now_ns.load(Ordering::Acquire);
+        while t.as_nanos() > cur {
+            match self.now_ns.compare_exchange_weak(
+                cur,
+                t.as_nanos(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        EmuTime::from_nanos(cur)
+    }
+
+    /// Advances the clock by `d` (negative spans are ignored).
+    pub fn advance_by(&self, d: EmuDuration) -> EmuTime {
+        let now = EmuTime::from_nanos(self.now_ns.load(Ordering::Acquire));
+        self.advance_to(now + d)
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> EmuTime {
+        EmuTime::from_nanos(self.now_ns.load(Ordering::Acquire))
+    }
+
+    fn adjust(&self, offset: EmuDuration) {
+        if offset.as_nanos() > 0 {
+            self.advance_by(offset);
+        }
+        // A virtual clock never moves backwards; negative adjustments are
+        // dropped to preserve event-order monotonicity.
+    }
+}
+
+/// Wall-clock emulation time: a monotonic [`Instant`] base plus a signed
+/// offset installed by clock synchronization.
+#[derive(Debug)]
+pub struct WallClock {
+    base: Instant,
+    /// Signed nanosecond offset added to the elapsed monotonic time.
+    offset: Mutex<i64>,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock {
+            base: Instant::now(),
+            offset: Mutex::new(0),
+        }
+    }
+
+    /// A wall clock sharing another's monotonic base but with its own
+    /// offset — models several clients on one workstation (§3.1).
+    pub fn sharing_base(&self) -> Self {
+        WallClock {
+            base: self.base,
+            offset: Mutex::new(*self.offset.lock()),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> EmuTime {
+        let elapsed = self.base.elapsed().as_nanos() as i64;
+        let off = *self.offset.lock();
+        EmuTime::from_nanos(elapsed.saturating_add(off).max(0) as u64)
+    }
+
+    fn adjust(&self, offset: EmuDuration) {
+        let mut off = self.offset.lock();
+        *off = off.saturating_add(offset.as_nanos());
+    }
+}
+
+/// A shareable clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+pub mod sync {
+    //! The §4.1 / Fig. 5 clock-synchronization handshake.
+    //!
+    //! 1. Client sends a message stamped with its local time `t_c1`.
+    //! 2. Server receives it at server time `t_s2`.
+    //! 3. At server time `t_s3` the server replies with `t_s3` and
+    //!    `t_c1 + t_s3 − t_s2`.
+    //! 4. Client receives the reply at local time `t_c4`.
+    //! 5. Assuming symmetric transport delay, the client estimates
+    //!    `t_d = ½·(t_c4 − (t_c1 + t_s3 − t_s2))` and the current server
+    //!    clock as `t_s4 = t_s3 + t_d`.
+    //! 6. The client adopts `t_s4` as its emulation time.
+
+    use super::Clock;
+    use crate::time::{EmuDuration, EmuTime};
+
+    /// The four timestamps gathered by one handshake round.
+    ///
+    /// ```
+    /// use poem_core::clock::sync::simulate_handshake;
+    /// use poem_core::{EmuDuration, EmuTime};
+    /// // Client 100 s, server 105 s, symmetric 10 ms paths:
+    /// let d = EmuDuration::from_millis(10);
+    /// let sample = simulate_handshake(
+    ///     EmuTime::from_secs(100), EmuTime::from_secs(105), d, d, EmuDuration::ZERO);
+    /// let out = sample.solve();
+    /// assert_eq!(out.estimated_delay, d);            // exact under symmetry
+    /// assert_eq!(out.offset, EmuDuration::from_secs(5)); // the 5 s skew
+    /// ```
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SyncSample {
+        /// Client send time (client clock) — step 1.
+        pub t_c1: EmuTime,
+        /// Server receive time (server clock) — step 2.
+        pub t_s2: EmuTime,
+        /// Server reply time (server clock) — step 3.
+        pub t_s3: EmuTime,
+        /// Client receive time (client clock) — step 4.
+        pub t_c4: EmuTime,
+    }
+
+    /// The outcome of one synchronization round.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SyncOutcome {
+        /// Estimated one-way transport delay `t_d`.
+        pub estimated_delay: EmuDuration,
+        /// Estimated current server time `t_s4 = t_s3 + t_d`.
+        pub estimated_server_now: EmuTime,
+        /// Correction the client must apply: `t_s4 − t_c4`.
+        pub offset: EmuDuration,
+        /// Round-trip time observed by the client, `t_c4 − t_c1`.
+        pub round_trip: EmuDuration,
+    }
+
+    impl SyncSample {
+        /// Applies the paper's step-5 arithmetic.
+        ///
+        /// `t_d = ½·(t_c4 − (t_c1 + t_s3 − t_s2))`. Note that
+        /// `t_c4 − t_c1 − (t_s3 − t_s2)` is exactly the round trip minus
+        /// the server's turnaround, i.e. the sum of the two path delays —
+        /// halving it assumes symmetry, and the residual estimation error
+        /// equals half the path asymmetry (verified by experiment E6).
+        pub fn solve(self) -> SyncOutcome {
+            let round_trip = self.t_c4 - self.t_c1;
+            let turnaround = self.t_s3 - self.t_s2;
+            let estimated_delay = (round_trip - turnaround) / 2;
+            let estimated_server_now = self.t_s3 + estimated_delay;
+            SyncOutcome {
+                estimated_delay,
+                estimated_server_now,
+                offset: estimated_server_now - self.t_c4,
+                round_trip,
+            }
+        }
+    }
+
+    /// Runs step 6: applies the computed offset to the client clock.
+    pub fn apply(outcome: &SyncOutcome, client_clock: &dyn Clock) {
+        client_clock.adjust(outcome.offset);
+    }
+
+    /// Simulates a full handshake between two clocks over links with the
+    /// given one-way delays, returning the sample a real exchange would
+    /// have produced. `turnaround` is the server's processing time between
+    /// steps 2 and 3.
+    ///
+    /// This is the reference harness for experiment E6 (Fig. 5): with
+    /// `uplink == downlink` the estimate is exact; otherwise its error is
+    /// `(downlink − uplink)/2`.
+    pub fn simulate_handshake(
+        client_now: EmuTime,
+        server_now: EmuTime,
+        uplink: EmuDuration,
+        downlink: EmuDuration,
+        turnaround: EmuDuration,
+    ) -> SyncSample {
+        let t_c1 = client_now;
+        let t_s2 = server_now + uplink;
+        let t_s3 = t_s2 + turnaround;
+        // Client-side elapsed time while the exchange ran:
+        let t_c4 = t_c1 + uplink + turnaround + downlink;
+        SyncSample { t_c1, t_s2, t_s3, t_c4 }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::clock::VirtualClock;
+
+        #[test]
+        fn symmetric_delay_recovers_server_clock_exactly() {
+            // Client clock lags the server by 5 s; both paths take 10 ms.
+            let client = EmuTime::from_secs(100);
+            let server = EmuTime::from_secs(105);
+            let d = EmuDuration::from_millis(10);
+            let sample =
+                simulate_handshake(client, server, d, d, EmuDuration::from_millis(2));
+            let out = sample.solve();
+            assert_eq!(out.estimated_delay, d);
+            // True server time at t_c4 is server + up + turn + down.
+            let true_server_at_c4 =
+                server + d + EmuDuration::from_millis(2) + d;
+            assert_eq!(out.estimated_server_now, true_server_at_c4);
+            assert_eq!(out.round_trip, d + d + EmuDuration::from_millis(2));
+        }
+
+        #[test]
+        fn asymmetry_error_is_half_the_difference() {
+            let client = EmuTime::from_secs(10);
+            let server = EmuTime::from_secs(10);
+            let up = EmuDuration::from_millis(4);
+            let down = EmuDuration::from_millis(12);
+            let sample = simulate_handshake(client, server, up, down, EmuDuration::ZERO);
+            let out = sample.solve();
+            let true_server_at_c4 = server + up + down;
+            let err = out.estimated_server_now - true_server_at_c4;
+            assert_eq!(err, (up - down) / 2); // -4 ms
+            assert_eq!(err.abs(), EmuDuration::from_millis(4));
+        }
+
+        #[test]
+        fn apply_brings_client_to_server_time() {
+            let client_clock = VirtualClock::starting_at(EmuTime::from_secs(1));
+            let server_now = EmuTime::from_secs(60);
+            let d = EmuDuration::from_millis(5);
+            let sample = simulate_handshake(
+                client_clock.now(),
+                server_now,
+                d,
+                d,
+                EmuDuration::from_millis(1),
+            );
+            // Emulate the passage of client-local time during the exchange.
+            client_clock.advance_to(sample.t_c4);
+            let out = sample.solve();
+            apply(&out, &client_clock);
+            assert_eq!(out.offset.is_negative(), false);
+            assert_eq!(client_clock.now(), out.estimated_server_now);
+        }
+
+        #[test]
+        fn zero_delay_zero_turnaround_is_instantaneous() {
+            let sample = simulate_handshake(
+                EmuTime::from_secs(3),
+                EmuTime::from_secs(9),
+                EmuDuration::ZERO,
+                EmuDuration::ZERO,
+                EmuDuration::ZERO,
+            );
+            let out = sample.solve();
+            assert_eq!(out.estimated_delay, EmuDuration::ZERO);
+            assert_eq!(out.estimated_server_now, EmuTime::from_secs(9));
+            assert_eq!(out.offset, EmuDuration::from_secs(6));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn virtual_clock_starts_at_epoch() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), EmuTime::ZERO);
+    }
+
+    #[test]
+    fn virtual_clock_advances_monotonically() {
+        let c = VirtualClock::new();
+        assert_eq!(c.advance_to(EmuTime::from_secs(5)), EmuTime::from_secs(5));
+        // Regression attempt is ignored.
+        assert_eq!(c.advance_to(EmuTime::from_secs(3)), EmuTime::from_secs(5));
+        assert_eq!(c.now(), EmuTime::from_secs(5));
+        c.advance_by(EmuDuration::from_secs(2));
+        assert_eq!(c.now(), EmuTime::from_secs(7));
+    }
+
+    #[test]
+    fn virtual_clock_ignores_negative_adjust() {
+        let c = VirtualClock::starting_at(EmuTime::from_secs(10));
+        c.adjust(EmuDuration::from_secs(-5));
+        assert_eq!(c.now(), EmuTime::from_secs(10));
+        c.adjust(EmuDuration::from_secs(5));
+        assert_eq!(c.now(), EmuTime::from_secs(15));
+    }
+
+    #[test]
+    fn virtual_clock_concurrent_advance_takes_max() {
+        let c = Arc::new(VirtualClock::new());
+        let mut handles = vec![];
+        for i in 1..=8u64 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || {
+                for j in 0..1000u64 {
+                    c.advance_to(EmuTime::from_nanos(i * 1000 + j));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), EmuTime::from_nanos(8 * 1000 + 999));
+    }
+
+    #[test]
+    fn wall_clock_moves_forward() {
+        let c = WallClock::new();
+        let a = c.now();
+        thread::sleep(std::time::Duration::from_millis(5));
+        let b = c.now();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn wall_clock_adjust_shifts_reading() {
+        let c = WallClock::new();
+        let before = c.now();
+        c.adjust(EmuDuration::from_secs(100));
+        let after = c.now();
+        assert!(after.since(before) >= EmuDuration::from_secs(100));
+        // Negative adjustment saturates the reading at the epoch rather
+        // than producing a negative time.
+        c.adjust(EmuDuration::from_secs(-1_000_000));
+        assert_eq!(c.now(), EmuTime::ZERO);
+    }
+
+    #[test]
+    fn wall_clock_shared_base_agrees_initially() {
+        let a = WallClock::new();
+        a.adjust(EmuDuration::from_secs(50));
+        let b = a.sharing_base();
+        let da = a.now().as_secs_f64();
+        let db = b.now().as_secs_f64();
+        assert!((da - db).abs() < 0.05, "{da} vs {db}");
+    }
+}

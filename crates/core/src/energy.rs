@@ -1,0 +1,256 @@
+//! Power-consumption model — the paper's future-work item "sophisticated
+//! underlying models such as power consumption".
+//!
+//! Classic three-state radio energy model: a radio draws `idle` watts
+//! continuously, plus the *increments* `tx − idle` while transmitting and
+//! `rx − idle` while receiving. The server meters every node's
+//! transmission and reception airtime as it forwards packets and
+//! integrates energy on demand; nodes may carry a finite battery, whose
+//! exhaustion the caller can turn into a `RemoveNode` op ("moving out some
+//! nodes ... to emulate a military attack" has a sibling: battery death).
+
+use crate::ids::NodeId;
+use crate::time::{EmuDuration, EmuTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Radio power draw, watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// Transmit-state draw.
+    pub tx_w: f64,
+    /// Receive-state draw.
+    pub rx_w: f64,
+    /// Idle draw.
+    pub idle_w: f64,
+}
+
+impl PowerProfile {
+    /// Representative 802.11b-class numbers (≈ 1.65 W tx, 1.4 W rx,
+    /// 1.15 W idle).
+    pub fn wifi_11b() -> Self {
+        PowerProfile { tx_w: 1.65, rx_w: 1.4, idle_w: 1.15 }
+    }
+
+    /// A lossless bookkeeping profile (all zeros) — metering airtime only.
+    pub fn zero() -> Self {
+        PowerProfile { tx_w: 0.0, rx_w: 0.0, idle_w: 0.0 }
+    }
+}
+
+impl Default for PowerProfile {
+    fn default() -> Self {
+        Self::wifi_11b()
+    }
+}
+
+/// Per-node energy account.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    /// Cumulative transmit airtime.
+    pub tx_time: EmuDuration,
+    /// Cumulative receive airtime.
+    pub rx_time: EmuDuration,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Packets received.
+    pub rx_packets: u64,
+    /// Battery capacity in joules; `None` = mains-powered.
+    pub battery_j: Option<f64>,
+    /// When the account started (for idle integration).
+    pub since: EmuTime,
+}
+
+impl EnergyAccount {
+    fn new(since: EmuTime, battery_j: Option<f64>) -> Self {
+        EnergyAccount {
+            tx_time: EmuDuration::ZERO,
+            rx_time: EmuDuration::ZERO,
+            tx_packets: 0,
+            rx_packets: 0,
+            battery_j,
+            since,
+        }
+    }
+
+    /// Energy consumed up to `now` under `profile`, joules.
+    pub fn consumed_j(&self, profile: PowerProfile, now: EmuTime) -> f64 {
+        let elapsed = (now - self.since).as_secs_f64().max(0.0);
+        let tx = self.tx_time.as_secs_f64();
+        let rx = self.rx_time.as_secs_f64();
+        profile.idle_w * elapsed
+            + (profile.tx_w - profile.idle_w) * tx
+            + (profile.rx_w - profile.idle_w) * rx
+    }
+
+    /// Remaining battery at `now`; `None` for mains power.
+    pub fn remaining_j(&self, profile: PowerProfile, now: EmuTime) -> Option<f64> {
+        self.battery_j.map(|cap| cap - self.consumed_j(profile, now))
+    }
+
+    /// True when the battery is exhausted at `now`.
+    pub fn depleted(&self, profile: PowerProfile, now: EmuTime) -> bool {
+        self.remaining_j(profile, now).is_some_and(|r| r <= 0.0)
+    }
+}
+
+/// The fleet-wide energy ledger kept by the server.
+#[derive(Debug, Default)]
+pub struct EnergyBook {
+    profile_default: PowerProfile,
+    accounts: BTreeMap<NodeId, (PowerProfile, EnergyAccount)>,
+}
+
+impl EnergyBook {
+    /// A ledger whose nodes default to `profile`.
+    pub fn new(profile: PowerProfile) -> Self {
+        EnergyBook { profile_default: profile, accounts: BTreeMap::new() }
+    }
+
+    /// Opens an account for a node joining at `now`.
+    pub fn open(&mut self, id: NodeId, now: EmuTime, battery_j: Option<f64>) {
+        self.accounts
+            .insert(id, (self.profile_default, EnergyAccount::new(now, battery_j)));
+    }
+
+    /// Overrides one node's power profile.
+    pub fn set_profile(&mut self, id: NodeId, profile: PowerProfile) {
+        if let Some((p, _)) = self.accounts.get_mut(&id) {
+            *p = profile;
+        }
+    }
+
+    /// Closes a node's account (node removed).
+    pub fn close(&mut self, id: NodeId) {
+        self.accounts.remove(&id);
+    }
+
+    /// Assigns (or removes) a node's battery capacity, joules.
+    pub fn set_battery(&mut self, id: NodeId, battery_j: Option<f64>) {
+        if let Some((_, a)) = self.accounts.get_mut(&id) {
+            a.battery_j = battery_j;
+        }
+    }
+
+    /// Meters one transmission by `id` lasting `airtime`.
+    pub fn meter_tx(&mut self, id: NodeId, airtime: EmuDuration) {
+        if let Some((_, a)) = self.accounts.get_mut(&id) {
+            a.tx_time += airtime;
+            a.tx_packets += 1;
+        }
+    }
+
+    /// Meters one reception by `id` lasting `airtime`.
+    pub fn meter_rx(&mut self, id: NodeId, airtime: EmuDuration) {
+        if let Some((_, a)) = self.accounts.get_mut(&id) {
+            a.rx_time += airtime;
+            a.rx_packets += 1;
+        }
+    }
+
+    /// The account of one node.
+    pub fn account(&self, id: NodeId) -> Option<&EnergyAccount> {
+        self.accounts.get(&id).map(|(_, a)| a)
+    }
+
+    /// Per-node `(consumed, remaining)` joules at `now`, ascending by id.
+    pub fn report(&self, now: EmuTime) -> Vec<(NodeId, f64, Option<f64>)> {
+        self.accounts
+            .iter()
+            .map(|(&id, (p, a))| (id, a.consumed_j(*p, now), a.remaining_j(*p, now)))
+            .collect()
+    }
+
+    /// Nodes whose battery is exhausted at `now`.
+    pub fn depleted(&self, now: EmuTime) -> Vec<NodeId> {
+        self.accounts
+            .iter()
+            .filter(|(_, (p, a))| a.depleted(*p, now))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_only_consumption() {
+        let mut book = EnergyBook::new(PowerProfile { tx_w: 2.0, rx_w: 1.5, idle_w: 1.0 });
+        book.open(NodeId(1), EmuTime::ZERO, None);
+        let report = book.report(EmuTime::from_secs(10));
+        assert_eq!(report.len(), 1);
+        let (_, consumed, remaining) = report[0];
+        assert!((consumed - 10.0).abs() < 1e-9, "{consumed}");
+        assert_eq!(remaining, None);
+    }
+
+    #[test]
+    fn tx_rx_increments_add_to_idle() {
+        let profile = PowerProfile { tx_w: 2.0, rx_w: 1.5, idle_w: 1.0 };
+        let mut book = EnergyBook::new(profile);
+        book.open(NodeId(1), EmuTime::ZERO, None);
+        book.meter_tx(NodeId(1), EmuDuration::from_secs(2));
+        book.meter_rx(NodeId(1), EmuDuration::from_secs(4));
+        // 10 s idle base (10 J) + 2 s × (2−1) + 4 s × (1.5−1) = 14 J.
+        let consumed = book.account(NodeId(1)).unwrap().consumed_j(profile, EmuTime::from_secs(10));
+        assert!((consumed - 14.0).abs() < 1e-9, "{consumed}");
+        let a = book.account(NodeId(1)).unwrap();
+        assert_eq!(a.tx_packets, 1);
+        assert_eq!(a.rx_packets, 1);
+    }
+
+    #[test]
+    fn battery_depletes() {
+        let profile = PowerProfile { tx_w: 2.0, rx_w: 1.5, idle_w: 1.0 };
+        let mut book = EnergyBook::new(profile);
+        book.open(NodeId(1), EmuTime::ZERO, Some(5.0));
+        book.open(NodeId(2), EmuTime::ZERO, Some(1_000.0));
+        assert!(book.depleted(EmuTime::from_secs(4)).is_empty());
+        // At 6 s idle the 5 J battery is gone.
+        assert_eq!(book.depleted(EmuTime::from_secs(6)), vec![NodeId(1)]);
+        let remaining = book
+            .account(NodeId(2))
+            .unwrap()
+            .remaining_j(profile, EmuTime::from_secs(6))
+            .unwrap();
+        assert!((remaining - 994.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_node_profile_override() {
+        let mut book = EnergyBook::new(PowerProfile::zero());
+        book.open(NodeId(1), EmuTime::ZERO, None);
+        book.set_profile(NodeId(1), PowerProfile { tx_w: 0.0, rx_w: 0.0, idle_w: 3.0 });
+        let (_, consumed, _) = book.report(EmuTime::from_secs(2))[0];
+        assert!((consumed - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_accounts_stop_reporting() {
+        let mut book = EnergyBook::new(PowerProfile::default());
+        book.open(NodeId(1), EmuTime::ZERO, None);
+        book.close(NodeId(1));
+        assert!(book.report(EmuTime::from_secs(1)).is_empty());
+        // Metering a closed account is a no-op.
+        book.meter_tx(NodeId(1), EmuDuration::from_secs(1));
+        assert!(book.account(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn late_joiners_pay_no_retroactive_idle() {
+        let profile = PowerProfile { tx_w: 1.0, rx_w: 1.0, idle_w: 1.0 };
+        let mut book = EnergyBook::new(profile);
+        book.open(NodeId(1), EmuTime::from_secs(100), None);
+        let consumed =
+            book.account(NodeId(1)).unwrap().consumed_j(profile, EmuTime::from_secs(110));
+        assert!((consumed - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wifi_profile_ordering() {
+        let p = PowerProfile::wifi_11b();
+        assert!(p.tx_w > p.rx_w && p.rx_w > p.idle_w && p.idle_w > 0.0);
+    }
+}

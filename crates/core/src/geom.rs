@@ -1,0 +1,178 @@
+//! 2-D geometry for node placement and mobility.
+//!
+//! The paper's mobility and link models (§4.3) are planar: positions are
+//! `(x, y)` in an abstract "(unit)" coordinate system, directions are
+//! degrees measured counter-clockwise from the +x axis (so the paper's
+//! "moving direction 90°" in Table 3 points along +y; the experiment moves
+//! the relay "downwards", i.e. we treat +y as down — the models are
+//! orientation-agnostic).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A point (or displacement) in the 2-D emulation plane, in abstract units.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Builds a point from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point — the paper's `D(A,B)`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared distance; avoids the square root in neighbor checks.
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let d = self - other;
+        d.x * d.x + d.y * d.y
+    }
+
+    /// Vector length.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// A unit displacement for a heading in degrees (counter-clockwise
+    /// from +x), matching the paper's kinematics
+    /// `x += v·t·cosθ, y += v·t·sinθ`.
+    #[inline]
+    pub fn heading(degrees: f64) -> Point {
+        let r = degrees.to_radians();
+        Point::new(r.cos(), r.sin())
+    }
+
+    /// Moves `speed` units/second along `degrees` for `secs` seconds.
+    #[inline]
+    pub fn advance(self, degrees: f64, speed: f64, secs: f64) -> Point {
+        self + Point::heading(degrees) * (speed * secs)
+    }
+
+    /// Clamps the point into the axis-aligned rectangle `[0, w] × [0, h]`.
+    #[inline]
+    pub fn clamp_to(self, w: f64, h: f64) -> Point {
+        Point::new(self.x.clamp(0.0, w), self.y.clamp(0.0, h))
+    }
+
+    /// True when every coordinate is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, o: Point) -> Point {
+        Point::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, o: Point) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, o: Point) -> Point {
+        Point::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, k: f64) -> Point {
+        Point::new(self.x * k, self.y * k)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(close(a.distance(b), 5.0));
+        assert!(close(a.distance_sq(b), 25.0));
+        assert!(close(b.distance(a), 5.0));
+    }
+
+    #[test]
+    fn heading_cardinals() {
+        let e = Point::heading(0.0);
+        assert!(close(e.x, 1.0) && close(e.y, 0.0));
+        let n = Point::heading(90.0);
+        assert!(close(n.x, 0.0) && close(n.y, 1.0));
+        let w = Point::heading(180.0);
+        assert!(close(w.x, -1.0) && close(w.y, 0.0));
+        let s = Point::heading(270.0);
+        assert!(close(s.x, 0.0) && close(s.y, -1.0));
+    }
+
+    #[test]
+    fn advance_matches_kinematics() {
+        // Paper §4.3.1: x(t+Δ) = x(t) + v·t_move·cosθ
+        let p = Point::new(10.0, 20.0).advance(90.0, 10.0, 2.0);
+        assert!(close(p.x, 10.0));
+        assert!(close(p.y, 40.0));
+    }
+
+    #[test]
+    fn clamp_keeps_points_in_arena() {
+        let p = Point::new(-5.0, 1200.0).clamp_to(1000.0, 1000.0);
+        assert_eq!(p, Point::new(0.0, 1000.0));
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(b - a, Point::new(2.0, -3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,137 @@
+//! Strongly typed identifiers used throughout the emulator.
+//!
+//! The paper identifies virtual MANET nodes ("VMN1", "VMN2", ...) by small
+//! integers, radios by their index within a node, and channels by a global
+//! channel ID. Newtypes keep those three spaces from being mixed up.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a Virtual MANET Node (VMN).
+///
+/// Each emulation client maps to exactly one VMN in the server (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VMN{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a radio channel.
+///
+/// In the multi-radio model (§4.2) every radio is tuned to one channel and
+/// the server keeps one neighbor table per channel ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub u16);
+
+impl ChannelId {
+    /// Returns the raw channel number.
+    #[inline]
+    pub fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+impl From<u16> for ChannelId {
+    fn from(v: u16) -> Self {
+        ChannelId(v)
+    }
+}
+
+/// Index of a radio within a node (a multi-radio node has several).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RadioId(pub u8);
+
+impl RadioId {
+    /// Returns the raw radio slot index.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for RadioId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "radio{}", self.0)
+    }
+}
+
+/// Globally unique identifier of an emulated packet.
+///
+/// Assigned by the originating client; used by the recorder to correlate the
+/// incoming and outgoing legs of each forwarded packet (§3.2 step 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+impl PacketId {
+    /// Returns the raw value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_display_matches_paper_naming() {
+        assert_eq!(NodeId(1).to_string(), "VMN1");
+        assert_eq!(NodeId(42).to_string(), "VMN42");
+    }
+
+    #[test]
+    fn channel_id_display() {
+        assert_eq!(ChannelId(2).to_string(), "ch2");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ChannelId(1) < ChannelId(2));
+        assert!(PacketId(1) < PacketId(2));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(NodeId::from(7u32).index(), 7);
+        assert_eq!(ChannelId::from(3u16).index(), 3);
+        assert_eq!(RadioId(1).index(), 1);
+        assert_eq!(PacketId(9).raw(), 9);
+    }
+}

@@ -1,0 +1,471 @@
+//! Link models (§4.3.2) and the forward-time computation (§3.2 step 3).
+//!
+//! A link is modeled by three parameters — packet loss, bandwidth and
+//! delay — all driven by the sender→receiver distance `r`:
+//!
+//! * **Loss** (piecewise linear, after Liu & Song):
+//!   `P(r) = P0` for `r ≤ D0`, else `P0 + Kp·(r − D0)` with
+//!   `Kp = (P1 − P0)/(R − D0)`, clamped to `[0, 1]`. Constant when
+//!   `P1 = P0`.
+//! * **Bandwidth** (Gaussian, the paper's departure from Herrscher et al.'s
+//!   discrete table): `B(r) = M·exp(−Kb·r²)` with `Kb = ln(M/m)/R²`, so
+//!   `B(0) = M` and `B(R) = m`. Constant when `m = M`.
+//! * **Delay**: a configurable fixed propagation term (optionally with a
+//!   per-unit-distance component).
+//!
+//! The server forwards a packet at
+//! `t_forward = t_receipt + packet_size/bandwidth + delay` (§3.2 step 3).
+
+use crate::rng::EmuRng;
+use crate::time::EmuDuration;
+use serde::{Deserialize, Serialize};
+
+/// Distance-driven packet-loss model.
+///
+/// ```
+/// use poem_core::linkmodel::LossModel;
+/// let m = LossModel::table3(); // P0=0.1, P1=0.9, D0=50, R=200
+/// assert_eq!(m.probability(30.0), 0.1);         // inside D0
+/// assert!((m.probability(125.0) - 0.5).abs() < 1e-12); // on the ramp
+/// assert_eq!(m.probability(250.0), 1.0);        // beyond the range
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossModel {
+    /// Loss probability inside the reliable zone (`r ≤ D0`).
+    pub p0: f64,
+    /// Loss probability at the radio range edge (`r = R`).
+    pub p1: f64,
+    /// Radius of the reliable zone, units.
+    pub d0: f64,
+    /// Radio range `R`, units.
+    pub range: f64,
+}
+
+impl LossModel {
+    /// The Table-3 experiment parameters: `P0 = 0.1, P1 = 0.9, D0 = 50,
+    /// R = 200`.
+    pub fn table3() -> Self {
+        LossModel { p0: 0.1, p1: 0.9, d0: 50.0, range: 200.0 }
+    }
+
+    /// A constant-loss model (`P1 = P0`, the degenerate case the paper
+    /// calls out).
+    pub fn constant(p: f64, range: f64) -> Self {
+        LossModel { p0: p, p1: p, d0: 0.0, range }
+    }
+
+    /// A lossless model.
+    pub fn lossless(range: f64) -> Self {
+        Self::constant(0.0, range)
+    }
+
+    /// The ramp slope `Kp = (P1 − P0)/(R − D0)`; zero for degenerate
+    /// geometry (`R ≤ D0`).
+    pub fn kp(&self) -> f64 {
+        let denom = self.range - self.d0;
+        if denom > 0.0 {
+            (self.p1 - self.p0) / denom
+        } else {
+            0.0
+        }
+    }
+
+    /// Loss probability at distance `r`, clamped to `[0, 1]`.
+    ///
+    /// Distances beyond the radio range are not reachable at all (the
+    /// neighbor table excludes them); callers that still ask get 1.0.
+    pub fn probability(&self, r: f64) -> f64 {
+        if r > self.range {
+            return 1.0;
+        }
+        let p = if r <= self.d0 {
+            self.p0
+        } else {
+            self.p0 + self.kp() * (r - self.d0)
+        };
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Draws a Bernoulli loss decision for a packet at distance `r`.
+    pub fn drops(&self, r: f64, rng: &mut EmuRng) -> bool {
+        rng.chance(self.probability(r))
+    }
+}
+
+/// Distance-driven Gaussian bandwidth model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthModel {
+    /// Peak bandwidth `M` at zero distance, bits/second.
+    pub max_bps: f64,
+    /// Edge bandwidth `m` at the radio range, bits/second.
+    pub min_bps: f64,
+    /// Radio range `R`, units.
+    pub range: f64,
+}
+
+impl BandwidthModel {
+    /// A constant-bandwidth model (`m = M`).
+    pub fn constant(bps: f64, range: f64) -> Self {
+        BandwidthModel { max_bps: bps, min_bps: bps, range }
+    }
+
+    /// The decay constant `Kb = ln(M/m)/R²`; zero when `m = M` or the
+    /// geometry is degenerate.
+    pub fn kb(&self) -> f64 {
+        if self.range <= 0.0 || self.min_bps <= 0.0 || self.min_bps >= self.max_bps {
+            0.0
+        } else {
+            (self.max_bps / self.min_bps).ln() / (self.range * self.range)
+        }
+    }
+
+    /// Bandwidth at distance `r`: `M·exp(−Kb·r²)`, floored at `m`.
+    pub fn bps(&self, r: f64) -> f64 {
+        let b = self.max_bps * (-self.kb() * r * r).exp();
+        b.max(self.min_bps.min(self.max_bps))
+    }
+
+    /// Transmission time of `bytes` at distance `r`.
+    pub fn transmission_time(&self, bytes: usize, r: f64) -> EmuDuration {
+        let bps = self.bps(r);
+        if bps <= 0.0 {
+            return EmuDuration::from_secs(i64::MAX / 2_000_000_000);
+        }
+        EmuDuration::from_secs_f64((bytes as f64 * 8.0) / bps)
+    }
+}
+
+/// Propagation-delay model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Fixed delay regardless of distance.
+    Constant(EmuDuration),
+    /// `fixed + per_unit × r`.
+    PerDistance {
+        /// Distance-independent component.
+        fixed: EmuDuration,
+        /// Additional delay per distance unit.
+        per_unit: EmuDuration,
+    },
+}
+
+impl DelayModel {
+    /// Zero propagation delay.
+    pub fn none() -> Self {
+        DelayModel::Constant(EmuDuration::ZERO)
+    }
+
+    /// Delay at distance `r`.
+    pub fn delay(&self, r: f64) -> EmuDuration {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::PerDistance { fixed, per_unit } => {
+                fixed + EmuDuration::from_nanos((per_unit.as_nanos() as f64 * r).round() as i64)
+            }
+        }
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The full three-parameter link model of §4.3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Packet-loss component.
+    pub loss: LossModel,
+    /// Bandwidth component.
+    pub bandwidth: BandwidthModel,
+    /// Delay component.
+    pub delay: DelayModel,
+}
+
+/// The scheduling decision for one (packet, destination) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardDecision {
+    /// Drop the packet (loss draw fired).
+    Drop,
+    /// Forward it after the given span past the receipt timestamp.
+    ForwardAfter(EmuDuration),
+}
+
+impl LinkModel {
+    /// An ideal link: lossless, constant bandwidth, no delay.
+    pub fn ideal(bps: f64, range: f64) -> Self {
+        LinkModel {
+            loss: LossModel::lossless(range),
+            bandwidth: BandwidthModel::constant(bps, range),
+            delay: DelayModel::none(),
+        }
+    }
+
+    /// The Fig. 9/10 experiment link: Table-3 loss on an 11 Mbps-class
+    /// constant-bandwidth channel with no extra propagation delay.
+    pub fn experiment(range: f64) -> Self {
+        LinkModel {
+            loss: LossModel::table3(),
+            bandwidth: BandwidthModel::constant(11.0e6, range),
+            delay: DelayModel::none(),
+        }
+    }
+
+    /// The span between receipt and forwarding for a delivered packet:
+    /// `packet_size/bandwidth + delay` (§3.2 step 3).
+    pub fn forward_delay(&self, bytes: usize, r: f64) -> EmuDuration {
+        self.bandwidth.transmission_time(bytes, r) + self.delay.delay(r)
+    }
+
+    /// Full step-3 decision: draws the loss Bernoulli, then computes the
+    /// forward span for survivors.
+    pub fn decide(&self, bytes: usize, r: f64, rng: &mut EmuRng) -> ForwardDecision {
+        if self.loss.drops(r, rng) {
+            ForwardDecision::Drop
+        } else {
+            ForwardDecision::ForwardAfter(self.forward_delay(bytes, r))
+        }
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::ideal(11.0e6, 200.0)
+    }
+}
+
+/// Range-free link parameters as configured on the GUI (§4.3.3 lists
+/// `P1, P0, D0, R, M, m` as the configurable set).
+///
+/// The radio range `R` lives on the radio ([`crate::radio::Radio::range`]),
+/// not here: shrinking a radio's range on the GUI must consistently shrink
+/// both the neighborhood *and* the loss/bandwidth ramps, so the scene
+/// materializes a concrete [`LinkModel`] per transmission with
+/// [`LinkParams::with_range`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Loss probability inside the reliable zone.
+    pub p0: f64,
+    /// Loss probability at the range edge.
+    pub p1: f64,
+    /// Reliable-zone radius `D0`, units.
+    pub d0: f64,
+    /// Peak bandwidth `M`, bits/second.
+    pub max_bps: f64,
+    /// Edge bandwidth `m`, bits/second.
+    pub min_bps: f64,
+    /// Propagation-delay component.
+    pub delay: DelayModel,
+}
+
+impl LinkParams {
+    /// Ideal link: lossless, constant bandwidth, zero delay.
+    pub fn ideal(bps: f64) -> Self {
+        LinkParams { p0: 0.0, p1: 0.0, d0: 0.0, max_bps: bps, min_bps: bps, delay: DelayModel::none() }
+    }
+
+    /// The Table-3 experiment parameters on a constant 11 Mbps channel.
+    pub fn table3() -> Self {
+        LinkParams {
+            p0: 0.1,
+            p1: 0.9,
+            d0: 50.0,
+            max_bps: 11.0e6,
+            min_bps: 11.0e6,
+            delay: DelayModel::none(),
+        }
+    }
+
+    /// Materializes a [`LinkModel`] for a transmission with radio range
+    /// `range`.
+    pub fn with_range(&self, range: f64) -> LinkModel {
+        LinkModel {
+            loss: LossModel { p0: self.p0, p1: self.p1, d0: self.d0, range },
+            bandwidth: BandwidthModel {
+                max_bps: self.max_bps,
+                min_bps: self.min_bps,
+                range,
+            },
+            delay: self.delay,
+        }
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams::ideal(11.0e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn loss_is_p0_inside_d0() {
+        let m = LossModel::table3();
+        assert!(close(m.probability(0.0), 0.1));
+        assert!(close(m.probability(25.0), 0.1));
+        assert!(close(m.probability(50.0), 0.1));
+    }
+
+    #[test]
+    fn loss_ramps_linearly_to_p1_at_range() {
+        let m = LossModel::table3();
+        // Kp = (0.9-0.1)/(200-50) = 0.8/150
+        assert!(close(m.kp(), 0.8 / 150.0));
+        assert!(close(m.probability(200.0), 0.9));
+        // Midpoint of the ramp: r = 125 → P0 + Kp·75 = 0.1 + 0.4 = 0.5
+        assert!(close(m.probability(125.0), 0.5));
+    }
+
+    #[test]
+    fn loss_beyond_range_is_certain() {
+        let m = LossModel::table3();
+        assert_eq!(m.probability(200.1), 1.0);
+        assert_eq!(m.probability(1e9), 1.0);
+    }
+
+    #[test]
+    fn loss_clamps_to_unit_interval() {
+        let m = LossModel { p0: 0.5, p1: 3.0, d0: 0.0, range: 100.0 };
+        for r in [0.0, 50.0, 99.9, 100.0] {
+            let p = m.probability(r);
+            assert!((0.0..=1.0).contains(&p), "P({r}) = {p}");
+        }
+    }
+
+    #[test]
+    fn constant_loss_degenerate_case() {
+        // "This model turns to the constant model once P1 = P0."
+        let m = LossModel::constant(0.3, 150.0);
+        assert!(close(m.probability(0.0), 0.3));
+        assert!(close(m.probability(149.9), 0.3));
+        assert_eq!(m.kp(), 0.0);
+    }
+
+    #[test]
+    fn empirical_drop_rate_matches_model() {
+        let m = LossModel::table3();
+        let mut rng = EmuRng::seed(1);
+        let n = 40_000;
+        let drops = (0..n).filter(|_| m.drops(125.0, &mut rng)).count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn bandwidth_endpoints() {
+        let b = BandwidthModel { max_bps: 11e6, min_bps: 1e6, range: 200.0 };
+        assert!(close(b.bps(0.0), 11e6));
+        assert!((b.bps(200.0) - 1e6).abs() < 1.0, "{}", b.bps(200.0));
+    }
+
+    #[test]
+    fn bandwidth_is_monotone_decreasing() {
+        let b = BandwidthModel { max_bps: 11e6, min_bps: 1e6, range: 200.0 };
+        let mut prev = f64::INFINITY;
+        for i in 0..=20 {
+            let cur = b.bps(i as f64 * 10.0);
+            assert!(cur <= prev + 1e-9, "not monotone at {i}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn constant_bandwidth_degenerate_case() {
+        // "It turns to the constant model when m = M."
+        let b = BandwidthModel::constant(4e6, 200.0);
+        assert_eq!(b.kb(), 0.0);
+        assert!(close(b.bps(0.0), 4e6));
+        assert!(close(b.bps(199.0), 4e6));
+    }
+
+    #[test]
+    fn transmission_time_scales_with_size() {
+        let b = BandwidthModel::constant(8e6, 200.0); // 1 byte/µs
+        assert_eq!(b.transmission_time(1000, 10.0), EmuDuration::from_micros(1000));
+        assert_eq!(b.transmission_time(0, 10.0), EmuDuration::ZERO);
+    }
+
+    #[test]
+    fn delay_models() {
+        assert_eq!(DelayModel::none().delay(500.0), EmuDuration::ZERO);
+        let d = DelayModel::Constant(EmuDuration::from_millis(3));
+        assert_eq!(d.delay(0.0), EmuDuration::from_millis(3));
+        assert_eq!(d.delay(100.0), EmuDuration::from_millis(3));
+        let pd = DelayModel::PerDistance {
+            fixed: EmuDuration::from_millis(1),
+            per_unit: EmuDuration::from_micros(10),
+        };
+        assert_eq!(pd.delay(100.0), EmuDuration::from_millis(2));
+    }
+
+    #[test]
+    fn forward_delay_is_transmission_plus_delay() {
+        // §3.2 step 3: t_forward − t_receipt = size/bandwidth + delay.
+        let link = LinkModel {
+            loss: LossModel::lossless(200.0),
+            bandwidth: BandwidthModel::constant(8e6, 200.0),
+            delay: DelayModel::Constant(EmuDuration::from_millis(2)),
+        };
+        let fwd = link.forward_delay(1000, 50.0);
+        assert_eq!(fwd, EmuDuration::from_micros(1000) + EmuDuration::from_millis(2));
+    }
+
+    #[test]
+    fn decide_never_drops_on_lossless_link() {
+        let link = LinkModel::ideal(1e6, 200.0);
+        let mut rng = EmuRng::seed(2);
+        for _ in 0..100 {
+            match link.decide(100, 150.0, &mut rng) {
+                ForwardDecision::ForwardAfter(d) => assert!(d.as_nanos() > 0),
+                ForwardDecision::Drop => panic!("ideal link dropped"),
+            }
+        }
+    }
+
+    #[test]
+    fn decide_always_drops_beyond_range() {
+        let link = LinkModel::experiment(200.0);
+        let mut rng = EmuRng::seed(3);
+        for _ in 0..100 {
+            assert_eq!(link.decide(100, 250.0, &mut rng), ForwardDecision::Drop);
+        }
+    }
+
+    #[test]
+    fn zero_min_bandwidth_never_divides_by_zero() {
+        let b = BandwidthModel { max_bps: 0.0, min_bps: 0.0, range: 100.0 };
+        let t = b.transmission_time(100, 10.0);
+        assert!(t.as_nanos() > 0); // saturated, not panicked
+    }
+}
+
+#[cfg(test)]
+mod params_tests {
+    use super::*;
+
+    #[test]
+    fn with_range_threads_range_through_both_models() {
+        let p = LinkParams::table3();
+        let link = p.with_range(200.0);
+        assert_eq!(link.loss, LossModel::table3());
+        assert_eq!(link.bandwidth.range, 200.0);
+        // Shrinking the radio range steepens the loss ramp.
+        let short = p.with_range(100.0);
+        assert!(short.loss.probability(90.0) > link.loss.probability(90.0));
+    }
+
+    #[test]
+    fn ideal_params_are_lossless() {
+        let link = LinkParams::ideal(1e6).with_range(300.0);
+        assert_eq!(link.loss.probability(299.0), 0.0);
+        assert_eq!(link.bandwidth.bps(299.0), 1e6);
+    }
+}

@@ -1,0 +1,259 @@
+//! MAC-layer models — the paper's future-work item "sophisticated
+//! underlying models such as ... MAC algorithms".
+//!
+//! The baseline PoEm forwards every packet independently: channels are
+//! collision-free (which §6.2 leverages — "the two channels are assigned
+//! diverse channel IDs to avoid any collision"). This module adds two
+//! optional MAC disciplines evaluated at the server:
+//!
+//! * [`MacModel::Aloha`] — senders transmit immediately; a reception is
+//!   destroyed when another transmission audible at the receiver overlaps
+//!   it in time (classic interference-range collision).
+//! * [`MacModel::Csma`] — carrier sensing: a sender defers its
+//!   transmission start until the medium around it is free, then
+//!   transmits; receptions can still collide when two senders outside
+//!   each other's carrier-sense range overlap at a receiver (the hidden-
+//!   terminal case CSMA famously cannot fix).
+//!
+//! [`CollisionDomain`] tracks per-channel transmissions and answers both
+//! the carrier-sense and the collision questions.
+
+use crate::geom::Point;
+use crate::ids::{ChannelId, NodeId};
+use crate::time::EmuTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which MAC discipline the server applies per channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MacModel {
+    /// No MAC: every transmission succeeds independently (the paper's
+    /// baseline behaviour).
+    #[default]
+    None,
+    /// Transmit immediately; overlapping audible transmissions collide at
+    /// the receiver.
+    Aloha,
+    /// Carrier-sense before transmitting (defer until the local medium is
+    /// free); hidden terminals still collide.
+    Csma,
+}
+
+/// One transmission on the air.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transmission {
+    /// Transmitting node.
+    pub sender: NodeId,
+    /// Sender position at transmission time.
+    pub pos: Point,
+    /// Sender's radio range on the channel (interference range).
+    pub range: f64,
+    /// Airtime start.
+    pub start: EmuTime,
+    /// Airtime end.
+    pub end: EmuTime,
+}
+
+impl Transmission {
+    /// True when the two airtimes overlap (half-open intervals).
+    pub fn overlaps(&self, other: &Transmission) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// True when this transmission is audible at `at` (within the
+    /// sender's range).
+    pub fn audible_at(&self, at: Point) -> bool {
+        self.pos.distance(at) <= self.range
+    }
+}
+
+/// Per-channel airtime bookkeeping.
+#[derive(Debug, Default)]
+pub struct CollisionDomain {
+    active: HashMap<ChannelId, Vec<Transmission>>,
+    /// Transmissions registered since construction (for stats).
+    pub registered: u64,
+}
+
+impl CollisionDomain {
+    /// An empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops transmissions that ended at or before `now`.
+    pub fn prune(&mut self, now: EmuTime) {
+        self.active.retain(|_, txs| {
+            txs.retain(|t| t.end > now);
+            !txs.is_empty()
+        });
+    }
+
+    /// Registers a transmission on `channel`.
+    pub fn register(&mut self, channel: ChannelId, tx: Transmission) {
+        self.registered += 1;
+        self.active.entry(channel).or_default().push(tx);
+    }
+
+    /// Carrier sense: the earliest time at or after `tx.start` when the
+    /// medium around `tx.pos` is free on `channel`. A transmission is
+    /// sensed when *its sender's* range covers our position.
+    pub fn medium_free_at(&self, channel: ChannelId, pos: Point, from: EmuTime) -> EmuTime {
+        let mut t = from;
+        if let Some(txs) = self.active.get(&channel) {
+            // Iterate to a fixed point: deferring past one transmission
+            // can land inside another.
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for other in txs {
+                    if other.audible_at(pos) && other.start <= t && t < other.end {
+                        t = other.end;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Collision test: would a reception of `tx` at `receiver_pos` be
+    /// destroyed? True when any *other* registered transmission audible at
+    /// the receiver overlaps `tx` in time.
+    pub fn collides(
+        &self,
+        channel: ChannelId,
+        receiver_pos: Point,
+        tx: &Transmission,
+    ) -> bool {
+        self.active
+            .get(&channel)
+            .map(|txs| {
+                txs.iter().any(|other| {
+                    other.sender != tx.sender
+                        && other.overlaps(tx)
+                        && other.audible_at(receiver_pos)
+                })
+            })
+            .unwrap_or(false)
+    }
+
+    /// Number of currently tracked transmissions across all channels.
+    pub fn active_count(&self) -> usize {
+        self.active.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::EmuDuration;
+
+    fn tx(sender: u32, x: f64, start_us: u64, dur_us: i64) -> Transmission {
+        let start = EmuTime::from_micros(start_us);
+        Transmission {
+            sender: NodeId(sender),
+            pos: Point::new(x, 0.0),
+            range: 100.0,
+            start,
+            end: start + EmuDuration::from_micros(dur_us),
+        }
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let a = tx(1, 0.0, 0, 100);
+        let b = tx(2, 0.0, 50, 100);
+        let c = tx(3, 0.0, 100, 100); // starts exactly at a's end
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c), "half-open intervals do not overlap at the boundary");
+    }
+
+    #[test]
+    fn audibility_uses_sender_range() {
+        let a = tx(1, 0.0, 0, 100);
+        assert!(a.audible_at(Point::new(100.0, 0.0)));
+        assert!(!a.audible_at(Point::new(100.1, 0.0)));
+    }
+
+    #[test]
+    fn collision_requires_overlap_and_audibility() {
+        let ch = ChannelId(1);
+        let mut dom = CollisionDomain::new();
+        dom.register(ch, tx(1, 0.0, 0, 100));
+        // Overlapping, audible at receiver → collision.
+        let b = tx(2, 50.0, 50, 100);
+        assert!(dom.collides(ch, Point::new(25.0, 0.0), &b));
+        // Receiver out of the first sender's range → no collision.
+        assert!(!dom.collides(ch, Point::new(150.0, 0.0), &b));
+        // Non-overlapping in time → no collision.
+        let late = tx(2, 50.0, 500, 100);
+        assert!(!dom.collides(ch, Point::new(25.0, 0.0), &late));
+        // Own transmission never collides with itself.
+        let own = tx(1, 0.0, 0, 100);
+        assert!(!dom.collides(ch, Point::new(25.0, 0.0), &own));
+    }
+
+    #[test]
+    fn channels_are_isolated() {
+        let mut dom = CollisionDomain::new();
+        dom.register(ChannelId(1), tx(1, 0.0, 0, 100));
+        let b = tx(2, 10.0, 50, 100);
+        assert!(dom.collides(ChannelId(1), Point::new(5.0, 0.0), &b));
+        assert!(!dom.collides(ChannelId(2), Point::new(5.0, 0.0), &b));
+    }
+
+    #[test]
+    fn carrier_sense_defers_past_busy_medium() {
+        let ch = ChannelId(1);
+        let mut dom = CollisionDomain::new();
+        dom.register(ch, tx(1, 0.0, 100, 100)); // busy 100..200 µs
+        // Medium free before the transmission starts:
+        assert_eq!(
+            dom.medium_free_at(ch, Point::new(50.0, 0.0), EmuTime::from_micros(50)),
+            EmuTime::from_micros(50)
+        );
+        // Inside the busy window → deferred to its end.
+        assert_eq!(
+            dom.medium_free_at(ch, Point::new(50.0, 0.0), EmuTime::from_micros(150)),
+            EmuTime::from_micros(200)
+        );
+        // Out of carrier-sense range → no deferral.
+        assert_eq!(
+            dom.medium_free_at(ch, Point::new(500.0, 0.0), EmuTime::from_micros(150)),
+            EmuTime::from_micros(150)
+        );
+    }
+
+    #[test]
+    fn carrier_sense_chains_across_back_to_back_transmissions() {
+        let ch = ChannelId(1);
+        let mut dom = CollisionDomain::new();
+        dom.register(ch, tx(1, 0.0, 100, 100)); // 100..200
+        dom.register(ch, tx(2, 10.0, 200, 100)); // 200..300
+        assert_eq!(
+            dom.medium_free_at(ch, Point::new(5.0, 0.0), EmuTime::from_micros(150)),
+            EmuTime::from_micros(300)
+        );
+    }
+
+    #[test]
+    fn prune_drops_finished_airtime() {
+        let ch = ChannelId(1);
+        let mut dom = CollisionDomain::new();
+        dom.register(ch, tx(1, 0.0, 0, 100));
+        dom.register(ch, tx(2, 0.0, 500, 100));
+        assert_eq!(dom.active_count(), 2);
+        dom.prune(EmuTime::from_micros(100));
+        assert_eq!(dom.active_count(), 1);
+        dom.prune(EmuTime::from_micros(600));
+        assert_eq!(dom.active_count(), 0);
+        assert_eq!(dom.registered, 2, "registration counter is cumulative");
+    }
+
+    #[test]
+    fn default_model_is_none() {
+        assert_eq!(MacModel::default(), MacModel::None);
+    }
+}

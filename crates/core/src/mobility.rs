@@ -1,0 +1,703 @@
+//! Mobility models (§4.3.1).
+//!
+//! The paper generalizes VMN mobility as a 4-tuple
+//! `⟨pause_time, direction, move_speed, move_time⟩` where each field is
+//! either a constant or a uniform random draw from a range; by choosing the
+//! fields this single model "diverges to" the classic 2-D entity models of
+//! Camp et al. (random walk, random direction, ...). We implement exactly
+//! that generalized model plus the random-waypoint model (which needs a
+//! destination point and so does not fit the tuple) and a straight-line
+//! mover used by the Fig. 9/10 experiment.
+//!
+//! Kinematics follow the paper:
+//! `x(t+Δ) = x(t) + v·t_move·cosθ`, `y(t+Δ) = y(t) + v·t_move·sinθ`.
+
+use crate::geom::Point;
+use crate::ids::NodeId;
+use crate::rng::EmuRng;
+use crate::time::EmuDuration;
+use serde::{Deserialize, Serialize};
+
+/// A model field that is either a constant or drawn uniformly from a range
+/// at the start of each movement leg — the paper's "types {constant or
+/// random} and values {constant or variation range}".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FieldSpec {
+    /// Always the same value.
+    Constant(f64),
+    /// Redrawn uniformly from `[lo, hi]` each leg.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+}
+
+impl FieldSpec {
+    /// Samples the field for a new leg.
+    pub fn sample(self, rng: &mut EmuRng) -> f64 {
+        match self {
+            FieldSpec::Constant(v) => v,
+            FieldSpec::Uniform { lo, hi } => rng.range_f64(lo, hi),
+        }
+    }
+
+    /// The largest value the field can take (used for feasibility checks).
+    pub fn max(self) -> f64 {
+        match self {
+            FieldSpec::Constant(v) => v,
+            FieldSpec::Uniform { hi, .. } => hi,
+        }
+    }
+}
+
+/// What happens when a mobile node reaches the arena boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BoundaryPolicy {
+    /// Stop at the edge (position clamps to the rectangle).
+    #[default]
+    Clamp,
+    /// Bounce off the edge, reversing the offending velocity component.
+    Reflect,
+    /// Re-enter from the opposite edge (toroidal arena).
+    Wrap,
+}
+
+/// The rectangular arena `[0, width] × [0, height]` nodes move in.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arena {
+    /// Arena width in units.
+    pub width: f64,
+    /// Arena height in units.
+    pub height: f64,
+    /// Boundary behaviour.
+    pub policy: BoundaryPolicy,
+}
+
+impl Arena {
+    /// A clamping arena of the given size.
+    pub fn new(width: f64, height: f64) -> Self {
+        Arena { width, height, policy: BoundaryPolicy::Clamp }
+    }
+
+    /// Applies the boundary policy to a proposed position, possibly
+    /// flipping the heading (returned in degrees) under `Reflect`.
+    fn constrain(&self, p: Point, heading_deg: f64) -> (Point, f64) {
+        match self.policy {
+            BoundaryPolicy::Clamp => (p.clamp_to(self.width, self.height), heading_deg),
+            BoundaryPolicy::Wrap => {
+                let wrap = |v: f64, m: f64| {
+                    if m <= 0.0 {
+                        0.0
+                    } else {
+                        v.rem_euclid(m)
+                    }
+                };
+                (Point::new(wrap(p.x, self.width), wrap(p.y, self.height)), heading_deg)
+            }
+            BoundaryPolicy::Reflect => {
+                let mut x = p.x;
+                let mut y = p.y;
+                let mut h = heading_deg.to_radians();
+                let (mut dx, mut dy) = (h.cos(), h.sin());
+                if x < 0.0 {
+                    x = -x;
+                    dx = -dx;
+                } else if x > self.width {
+                    x = 2.0 * self.width - x;
+                    dx = -dx;
+                }
+                if y < 0.0 {
+                    y = -y;
+                    dy = -dy;
+                } else if y > self.height {
+                    y = 2.0 * self.height - y;
+                    dy = -dy;
+                }
+                h = dy.atan2(dx);
+                (
+                    Point::new(x.clamp(0.0, self.width), y.clamp(0.0, self.height)),
+                    h.to_degrees(),
+                )
+            }
+        }
+    }
+}
+
+/// The generalized 4-tuple of §4.3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FourTuple {
+    /// Seconds to pause between movement legs.
+    pub pause_time: FieldSpec,
+    /// Heading in degrees (counter-clockwise from +x).
+    pub direction: FieldSpec,
+    /// Speed in units/second.
+    pub move_speed: FieldSpec,
+    /// Seconds each movement leg lasts.
+    pub move_time: FieldSpec,
+}
+
+/// A VMN mobility model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MobilityModel {
+    /// The node never moves.
+    Stationary,
+    /// Constant-velocity straight line (Fig. 9: VMN2 moves at 10 units/s
+    /// "downwards", i.e. direction 270°).
+    Linear {
+        /// Heading in degrees.
+        direction_deg: f64,
+        /// Speed in units/second.
+        speed: f64,
+    },
+    /// The generalized 4-tuple model.
+    FourTuple(FourTuple),
+    /// Random waypoint (Camp et al.): pick a uniform destination in the
+    /// arena, travel to it at a uniform-random speed, pause, repeat.
+    RandomWaypoint {
+        /// Minimum leg speed, units/second.
+        min_speed: f64,
+        /// Maximum leg speed, units/second.
+        max_speed: f64,
+        /// Pause at each waypoint, seconds.
+        pause: f64,
+    },
+    /// Reference-point group mobility (a future-work model of §7): the
+    /// node keeps a formation offset from a *leader* node and wanders
+    /// randomly within `max_wander` units of that reference point. Group
+    /// members are integrated by the scene *after* their leader moves;
+    /// [`MobilityState::advance`] alone leaves them in place.
+    GroupMember {
+        /// The node this member follows.
+        leader: NodeId,
+        /// Wander radius around the formation reference point.
+        max_wander: f64,
+    },
+}
+
+impl MobilityModel {
+    /// The paper's random-walk instantiation of the 4-tuple:
+    /// `pause_time = 0, direction = rand[0°, 360°], move_speed =
+    /// rand[min, max], move_time = time_step`.
+    pub fn random_walk(min_speed: f64, max_speed: f64, time_step: f64) -> Self {
+        MobilityModel::FourTuple(FourTuple {
+            pause_time: FieldSpec::Constant(0.0),
+            direction: FieldSpec::Uniform { lo: 0.0, hi: 360.0 },
+            move_speed: FieldSpec::Uniform { lo: min_speed, hi: max_speed },
+            move_time: FieldSpec::Constant(time_step),
+        })
+    }
+
+    /// Random-direction flavour: travel a long leg in a random direction,
+    /// pause, pick a fresh direction.
+    pub fn random_direction(speed: f64, leg_time: f64, pause: f64) -> Self {
+        MobilityModel::FourTuple(FourTuple {
+            pause_time: FieldSpec::Constant(pause),
+            direction: FieldSpec::Uniform { lo: 0.0, hi: 360.0 },
+            move_speed: FieldSpec::Constant(speed),
+            move_time: FieldSpec::Constant(leg_time),
+        })
+    }
+
+    /// True if this model can ever change the node position.
+    pub fn is_mobile(&self) -> bool {
+        match self {
+            MobilityModel::Stationary => false,
+            MobilityModel::Linear { speed, .. } => *speed != 0.0,
+            MobilityModel::FourTuple(t) => t.move_speed.max() > 0.0,
+            MobilityModel::RandomWaypoint { max_speed, .. } => *max_speed > 0.0,
+            MobilityModel::GroupMember { .. } => true,
+        }
+    }
+
+    /// The leader this model follows, when it is a group member.
+    pub fn leader(&self) -> Option<NodeId> {
+        match self {
+            MobilityModel::GroupMember { leader, .. } => Some(*leader),
+            _ => None,
+        }
+    }
+}
+
+/// The per-node runtime state of a mobility model: which leg the node is in
+/// and how much of it remains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MobilityState {
+    /// No movement.
+    Still,
+    /// Constant-velocity motion (never expires).
+    Cruising {
+        /// Heading in degrees.
+        direction_deg: f64,
+        /// Speed in units/second.
+        speed: f64,
+    },
+    /// Paused; `remaining` seconds left before the next leg starts.
+    Pausing {
+        /// Seconds of pause remaining.
+        remaining: f64,
+    },
+    /// Mid-leg under a 4-tuple model.
+    Moving {
+        /// Heading in degrees.
+        direction_deg: f64,
+        /// Speed in units/second.
+        speed: f64,
+        /// Seconds of this leg remaining.
+        remaining: f64,
+    },
+    /// Travelling toward a waypoint.
+    Seeking {
+        /// Destination point.
+        target: Point,
+        /// Speed in units/second.
+        speed: f64,
+    },
+    /// Holding a formation offset from a group leader. `offset` is the
+    /// formation vector (member − leader), captured when the member joins;
+    /// `wander` is the current random disturbance around it.
+    Following {
+        /// Formation offset from the leader; `None` until the scene
+        /// captures it on the first integration step.
+        offset: Option<Point>,
+        /// Current wander disturbance.
+        wander: Point,
+    },
+}
+
+impl MobilityState {
+    /// Initial state for a model.
+    pub fn init(model: &MobilityModel) -> Self {
+        match model {
+            MobilityModel::Stationary => MobilityState::Still,
+            MobilityModel::Linear { direction_deg, speed } => MobilityState::Cruising {
+                direction_deg: *direction_deg,
+                speed: *speed,
+            },
+            MobilityModel::FourTuple(_) => MobilityState::Pausing { remaining: 0.0 },
+            MobilityModel::RandomWaypoint { .. } => MobilityState::Pausing { remaining: 0.0 },
+            MobilityModel::GroupMember { .. } =>
+                MobilityState::Following { offset: None, wander: Point::ORIGIN },
+        }
+    }
+
+    /// Advances a group member given its leader's (already updated)
+    /// position. Captures the formation offset on the first call, then
+    /// random-walks the wander disturbance inside the model's radius.
+    /// Returns the member's new position.
+    pub fn advance_following(
+        &mut self,
+        model: &MobilityModel,
+        own_pos: Point,
+        leader_pos: Point,
+        dt: f64,
+        rng: &mut EmuRng,
+        arena: Option<&Arena>,
+    ) -> Point {
+        let MobilityModel::GroupMember { max_wander, .. } = model else {
+            return own_pos;
+        };
+        let MobilityState::Following { offset, wander } = self else {
+            *self = MobilityState::Following { offset: None, wander: Point::ORIGIN };
+            return self.advance_following(model, own_pos, leader_pos, dt, rng, arena);
+        };
+        let base = *offset.get_or_insert(own_pos - leader_pos);
+        // Random-walk the disturbance; step size scales with elapsed time
+        // so integration granularity does not change the trajectory class.
+        let step = (max_wander * 0.5 * dt.min(2.0)).max(0.0);
+        let mut w = *wander
+            + Point::new(rng.range_f64(-step, step), rng.range_f64(-step, step));
+        let norm = w.norm();
+        if norm > *max_wander && norm > 0.0 {
+            w = w * (*max_wander / norm);
+        }
+        *wander = w;
+        let raw = leader_pos + base + w;
+        match arena {
+            Some(a) => raw.clamp_to(a.width, a.height),
+            None => raw,
+        }
+    }
+
+    /// Advances the node by `dt` (an [`EmuDuration`] is accepted via
+    /// [`MobilityState::advance_dur`]), returning the new position.
+    ///
+    /// The step subdivides across leg boundaries, so a large `dt` spanning
+    /// several pause/move legs is handled exactly (up to a safety cap on
+    /// the number of legs per call).
+    pub fn advance(
+        &mut self,
+        model: &MobilityModel,
+        mut pos: Point,
+        mut dt: f64,
+        rng: &mut EmuRng,
+        arena: Option<&Arena>,
+    ) -> Point {
+        const MAX_LEGS: usize = 10_000;
+        let mut legs = 0;
+        while dt > 0.0 && legs < MAX_LEGS {
+            legs += 1;
+            match self {
+                MobilityState::Still => return pos,
+                // Group members only move via `advance_following`, driven
+                // by the scene after the leader's own update.
+                MobilityState::Following { .. } => return pos,
+                MobilityState::Cruising { direction_deg, speed } => {
+                    pos = pos.advance(*direction_deg, *speed, dt);
+                    if let Some(a) = arena {
+                        let (p, h) = a.constrain(pos, *direction_deg);
+                        pos = p;
+                        *direction_deg = h;
+                    }
+                    return pos;
+                }
+                MobilityState::Pausing { remaining } => {
+                    if *remaining >= dt {
+                        *remaining -= dt;
+                        return pos;
+                    }
+                    dt -= *remaining;
+                    *self = Self::next_leg(model, pos, rng, arena);
+                }
+                MobilityState::Moving { direction_deg, speed, remaining } => {
+                    let step = remaining.min(dt);
+                    pos = pos.advance(*direction_deg, *speed, step);
+                    if let Some(a) = arena {
+                        let (p, h) = a.constrain(pos, *direction_deg);
+                        pos = p;
+                        *direction_deg = h;
+                    }
+                    *remaining -= step;
+                    dt -= step;
+                    if *remaining <= 0.0 {
+                        let pause = match model {
+                            MobilityModel::FourTuple(t) => t.pause_time.sample(rng).max(0.0),
+                            _ => 0.0,
+                        };
+                        *self = MobilityState::Pausing { remaining: pause };
+                    }
+                }
+                MobilityState::Seeking { target, speed } => {
+                    let dist = pos.distance(*target);
+                    let travel = *speed * dt;
+                    if *speed <= 0.0 {
+                        return pos;
+                    }
+                    if travel >= dist {
+                        pos = *target;
+                        dt -= dist / *speed;
+                        let pause = match model {
+                            MobilityModel::RandomWaypoint { pause, .. } => *pause,
+                            _ => 0.0,
+                        };
+                        *self = MobilityState::Pausing { remaining: pause.max(0.0) };
+                    } else {
+                        let dir = (*target - pos) * (1.0 / dist);
+                        pos = pos + dir * travel;
+                        return pos;
+                    }
+                }
+            }
+        }
+        pos
+    }
+
+    /// Advances by an [`EmuDuration`].
+    pub fn advance_dur(
+        &mut self,
+        model: &MobilityModel,
+        pos: Point,
+        dt: EmuDuration,
+        rng: &mut EmuRng,
+        arena: Option<&Arena>,
+    ) -> Point {
+        self.advance(model, pos, dt.as_secs_f64().max(0.0), rng, arena)
+    }
+
+    /// Samples the next movement leg after a pause ends.
+    fn next_leg(
+        model: &MobilityModel,
+        pos: Point,
+        rng: &mut EmuRng,
+        arena: Option<&Arena>,
+    ) -> MobilityState {
+        match model {
+            MobilityModel::Stationary => MobilityState::Still,
+            MobilityModel::Linear { direction_deg, speed } => MobilityState::Cruising {
+                direction_deg: *direction_deg,
+                speed: *speed,
+            },
+            MobilityModel::FourTuple(t) => {
+                let speed = t.move_speed.sample(rng).max(0.0);
+                let time = t.move_time.sample(rng).max(0.0);
+                if speed == 0.0 || time == 0.0 {
+                    // Degenerate leg: behave as a pause to avoid spinning.
+                    MobilityState::Pausing { remaining: time.max(1e-3) }
+                } else {
+                    MobilityState::Moving {
+                        direction_deg: t.direction.sample(rng),
+                        speed,
+                        remaining: time,
+                    }
+                }
+            }
+            MobilityModel::GroupMember { .. } => {
+                MobilityState::Following { offset: None, wander: Point::ORIGIN }
+            }
+            MobilityModel::RandomWaypoint { min_speed, max_speed, .. } => {
+                let (w, h) = arena.map(|a| (a.width, a.height)).unwrap_or((1000.0, 1000.0));
+                let target = Point::new(rng.range_f64(0.0, w), rng.range_f64(0.0, h));
+                let speed = rng.range_f64((*min_speed).max(1e-9), (*max_speed).max(1e-9));
+                if target == pos {
+                    MobilityState::Pausing { remaining: 1e-3 }
+                } else {
+                    MobilityState::Seeking { target, speed }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let model = MobilityModel::Stationary;
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(1);
+        let p0 = Point::new(5.0, 5.0);
+        let p1 = st.advance(&model, p0, 100.0, &mut rng, None);
+        assert_eq!(p0, p1);
+        assert!(!model.is_mobile());
+    }
+
+    #[test]
+    fn linear_matches_fig9_relay_motion() {
+        // VMN2: 10 units/s, direction 270° (downwards), for 6 s → 60 units down.
+        let model = MobilityModel::Linear { direction_deg: 270.0, speed: 10.0 };
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(2);
+        let p = st.advance(&model, Point::new(60.0, 0.0), 6.0, &mut rng, None);
+        assert!(close(p.x, 60.0), "{p}");
+        assert!(close(p.y, -60.0), "{p}");
+        assert!(model.is_mobile());
+    }
+
+    #[test]
+    fn linear_motion_is_time_additive() {
+        let model = MobilityModel::Linear { direction_deg: 45.0, speed: 2.0 };
+        let mut rng = EmuRng::seed(3);
+        let mut st_once = MobilityState::init(&model);
+        let whole = st_once.advance(&model, Point::ORIGIN, 8.0, &mut rng, None);
+        let mut st_steps = MobilityState::init(&model);
+        let mut p = Point::ORIGIN;
+        for _ in 0..8 {
+            p = st_steps.advance(&model, p, 1.0, &mut rng, None);
+        }
+        assert!(close(p.x, whole.x) && close(p.y, whole.y));
+    }
+
+    #[test]
+    fn random_walk_moves_with_bounded_speed() {
+        let model = MobilityModel::random_walk(1.0, 5.0, 0.5);
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(4);
+        let mut p = Point::new(500.0, 500.0);
+        let mut max_step = 0.0f64;
+        for _ in 0..200 {
+            let q = st.advance(&model, p, 0.5, &mut rng, None);
+            max_step = max_step.max(p.distance(q));
+            p = q;
+        }
+        // One 0.5 s step at ≤5 units/s moves ≤2.5 units.
+        assert!(max_step <= 2.5 + 1e-9, "max step {max_step}");
+        assert!(max_step > 0.0);
+    }
+
+    #[test]
+    fn four_tuple_pauses_between_legs() {
+        let model = MobilityModel::FourTuple(FourTuple {
+            pause_time: FieldSpec::Constant(10.0),
+            direction: FieldSpec::Constant(0.0),
+            move_speed: FieldSpec::Constant(1.0),
+            move_time: FieldSpec::Constant(1.0),
+        });
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(5);
+        // First call consumes the zero-length initial pause and the 1 s leg,
+        // then sits in the 10 s pause.
+        let p = st.advance(&model, Point::ORIGIN, 2.0, &mut rng, None);
+        assert!(close(p.x, 1.0) && close(p.y, 0.0), "{p}");
+        // The next 5 s are entirely pause.
+        let q = st.advance(&model, p, 5.0, &mut rng, None);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn leg_spanning_step_equals_split_steps() {
+        let model = MobilityModel::FourTuple(FourTuple {
+            pause_time: FieldSpec::Constant(1.0),
+            direction: FieldSpec::Uniform { lo: 0.0, hi: 360.0 },
+            move_speed: FieldSpec::Uniform { lo: 1.0, hi: 3.0 },
+            move_time: FieldSpec::Constant(2.0),
+        });
+        let mut rng_a = EmuRng::seed(7);
+        let mut rng_b = EmuRng::seed(7);
+        let mut st_a = MobilityState::init(&model);
+        let mut st_b = MobilityState::init(&model);
+        let pa = st_a.advance(&model, Point::ORIGIN, 9.0, &mut rng_a, None);
+        let mut pb = Point::ORIGIN;
+        for _ in 0..90 {
+            pb = st_b.advance(&model, pb, 0.1, &mut rng_b, None);
+        }
+        assert!(close(pa.x, pb.x) && close(pa.y, pb.y), "{pa} vs {pb}");
+    }
+
+    #[test]
+    fn waypoint_reaches_target_and_pauses() {
+        let model = MobilityModel::RandomWaypoint { min_speed: 2.0, max_speed: 2.0, pause: 5.0 };
+        let arena = Arena::new(100.0, 100.0);
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(8);
+        let mut p = Point::new(50.0, 50.0);
+        // Long advance: must end inside the arena.
+        for _ in 0..50 {
+            p = st.advance(&model, p, 3.0, &mut rng, Some(&arena));
+            assert!(p.x >= 0.0 && p.x <= 100.0 && p.y >= 0.0 && p.y <= 100.0, "{p}");
+        }
+    }
+
+    #[test]
+    fn clamp_policy_keeps_nodes_inside() {
+        let model = MobilityModel::Linear { direction_deg: 0.0, speed: 100.0 };
+        let arena = Arena::new(50.0, 50.0);
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(9);
+        let p = st.advance(&model, Point::new(25.0, 25.0), 10.0, &mut rng, Some(&arena));
+        assert_eq!(p, Point::new(50.0, 25.0));
+    }
+
+    #[test]
+    fn reflect_policy_bounces() {
+        let arena = Arena { width: 50.0, height: 50.0, policy: BoundaryPolicy::Reflect };
+        let model = MobilityModel::Linear { direction_deg: 0.0, speed: 10.0 };
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(10);
+        // From x=45 moving +x at 10 u/s for 1 s → raw x=55 → reflected to 45,
+        // heading flipped to 180°.
+        let p = st.advance(&model, Point::new(45.0, 25.0), 1.0, &mut rng, Some(&arena));
+        assert!(close(p.x, 45.0), "{p}");
+        match st {
+            MobilityState::Cruising { direction_deg, .. } => {
+                assert!(close(direction_deg.rem_euclid(360.0), 180.0), "{direction_deg}")
+            }
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrap_policy_is_toroidal() {
+        let arena = Arena { width: 50.0, height: 50.0, policy: BoundaryPolicy::Wrap };
+        let model = MobilityModel::Linear { direction_deg: 0.0, speed: 10.0 };
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(11);
+        let p = st.advance(&model, Point::new(45.0, 25.0), 1.0, &mut rng, Some(&arena));
+        assert!(close(p.x, 5.0), "{p}");
+    }
+
+    #[test]
+    fn zero_speed_four_tuple_is_effectively_still() {
+        let model = MobilityModel::FourTuple(FourTuple {
+            pause_time: FieldSpec::Constant(0.0),
+            direction: FieldSpec::Uniform { lo: 0.0, hi: 360.0 },
+            move_speed: FieldSpec::Constant(0.0),
+            move_time: FieldSpec::Constant(1.0),
+        });
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(12);
+        let p = st.advance(&model, Point::new(3.0, 4.0), 50.0, &mut rng, None);
+        assert_eq!(p, Point::new(3.0, 4.0));
+        assert!(!model.is_mobile());
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let model = MobilityModel::random_walk(0.5, 4.0, 1.0);
+        let run = |seed| {
+            let mut st = MobilityState::init(&model);
+            let mut rng = EmuRng::seed(seed);
+            let mut p = Point::new(100.0, 100.0);
+            for _ in 0..100 {
+                p = st.advance(&model, p, 1.0, &mut rng, None);
+            }
+            p
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+}
+
+#[cfg(test)]
+mod group_tests {
+    use super::*;
+
+    #[test]
+    fn group_member_is_inert_under_plain_advance() {
+        let model = MobilityModel::GroupMember { leader: NodeId(1), max_wander: 10.0 };
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(1);
+        let p = st.advance(&model, Point::new(5.0, 5.0), 100.0, &mut rng, None);
+        assert_eq!(p, Point::new(5.0, 5.0));
+        assert!(model.is_mobile());
+        assert_eq!(model.leader(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn following_captures_formation_offset() {
+        let model = MobilityModel::GroupMember { leader: NodeId(1), max_wander: 0.0 };
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(2);
+        // Member starts 20 units right of the leader.
+        let leader0 = Point::new(100.0, 100.0);
+        let member0 = Point::new(120.0, 100.0);
+        let p1 = st.advance_following(&model, member0, leader0, 0.1, &mut rng, None);
+        assert!(p1.distance(member0) < 1e-9, "zero wander keeps formation");
+        // Leader moves; member keeps the exact offset.
+        let leader1 = Point::new(150.0, 130.0);
+        let p2 = st.advance_following(&model, p1, leader1, 0.1, &mut rng, None);
+        assert!(p2.distance(Point::new(170.0, 130.0)) < 1e-9, "{p2}");
+    }
+
+    #[test]
+    fn wander_stays_within_radius() {
+        let model = MobilityModel::GroupMember { leader: NodeId(1), max_wander: 5.0 };
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(3);
+        let leader = Point::new(0.0, 0.0);
+        let mut pos = Point::new(10.0, 0.0); // offset (10, 0)
+        for _ in 0..500 {
+            pos = st.advance_following(&model, pos, leader, 0.1, &mut rng, None);
+            let deviation = pos.distance(Point::new(10.0, 0.0));
+            assert!(deviation <= 5.0 + 1e-9, "wandered {deviation}");
+        }
+        // And it actually wanders.
+        assert!(pos.distance(Point::new(10.0, 0.0)) > 1e-6);
+    }
+
+    #[test]
+    fn non_member_models_ignore_advance_following() {
+        let model = MobilityModel::Linear { direction_deg: 0.0, speed: 5.0 };
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(4);
+        let p = st.advance_following(&model, Point::new(1.0, 2.0), Point::ORIGIN, 1.0, &mut rng, None);
+        assert_eq!(p, Point::new(1.0, 2.0));
+        assert_eq!(model.leader(), None);
+    }
+}

@@ -1,0 +1,630 @@
+//! Channel-ID indexed neighbor tables (§4.2) — PoEm's key data structure —
+//! and the unified single-table baseline it is contrasted with.
+//!
+//! The neighborhood model: for channel `k`,
+//!
+//! ```text
+//! B ∈ NT(A, k)  ⇔  k ∈ CS(A) ∩ CS(B)  ∧  D(A, B) ≤ R(A, k)
+//! ```
+//!
+//! i.e. `B` is a neighbor of `A` on channel `k` when both are tuned to `k`
+//! and `B` sits within `A`'s radio range on `k`. Neighborhood is
+//! *directional*: if `R(A,k) ≠ R(B,k)` one may hear the other but not vice
+//! versa. (The emulation server forwards `A`'s packet to everything in
+//! `NT(A,k)`, so `R(A,k)` plays the role of `A`'s transmission range.)
+//!
+//! Two implementations share the [`NeighborTables`] trait:
+//!
+//! * [`ChannelIndexedTables`] — the paper's scheme: one table per channel.
+//!   A change to node `A` touches only the channels in `CS(A)`; "any change
+//!   of node a won't cause the update between it and the nodes in the
+//!   neighbor table indexed by channel 1 since its radio is on channel 2"
+//!   (Fig. 6).
+//! * [`UnifiedTable`] — the contrasted scheme: "one unique neighbor table
+//!   with multiple channel-ID marked units". Being one interleaved
+//!   structure, an update to `A` must re-scan `A`'s units against every
+//!   node over the whole channel universe.
+//!
+//! Both produce identical query results; they differ in *update cost*,
+//! which each implementation meters via [`NeighborTables::work`] (number of
+//! pair-wise distance evaluations) — the metric of experiment E7.
+
+use crate::geom::Point;
+use crate::ids::{ChannelId, NodeId};
+use crate::radio::RadioConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Everything a neighbor structure needs to know about one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSnapshot {
+    /// Current position.
+    pub pos: Point,
+    /// Current radio configuration.
+    pub radios: RadioConfig,
+}
+
+/// Common interface of the two neighbor-table schemes.
+pub trait NeighborTables {
+    /// Adds a node. Replaces any prior state for the same id.
+    fn insert_node(&mut self, id: NodeId, pos: Point, radios: RadioConfig);
+
+    /// Removes a node entirely ("moving out some nodes", §2.2).
+    fn remove_node(&mut self, id: NodeId);
+
+    /// Moves a node to a new position.
+    fn update_position(&mut self, id: NodeId, pos: Point);
+
+    /// Replaces a node's radio configuration (channel switch, range
+    /// change, radio add/remove).
+    fn update_radios(&mut self, id: NodeId, radios: RadioConfig);
+
+    /// Appends `NT(id, channel)` to `out` (sorted ascending).
+    fn neighbors_into(&self, id: NodeId, channel: ChannelId, out: &mut Vec<NodeId>);
+
+    /// `NT(id, channel)` as a fresh vector (sorted ascending).
+    fn neighbors(&self, id: NodeId, channel: ChannelId) -> Vec<NodeId> {
+        let mut v = Vec::new();
+        self.neighbors_into(id, channel, &mut v);
+        v
+    }
+
+    /// Cumulative number of pair-wise distance evaluations performed by
+    /// updates since construction or [`NeighborTables::reset_work`].
+    fn work(&self) -> u64;
+
+    /// Resets the work meter.
+    fn reset_work(&mut self);
+
+    /// The node's current snapshot, if present.
+    fn snapshot(&self, id: NodeId) -> Option<&NodeSnapshot>;
+
+    /// All node ids currently tracked, ascending.
+    fn node_ids(&self) -> Vec<NodeId>;
+}
+
+/// Recomputes the complete neighbor relation from scratch — the reference
+/// implementation every incremental scheme is property-tested against.
+pub fn brute_force(
+    nodes: &BTreeMap<NodeId, NodeSnapshot>,
+) -> BTreeMap<(NodeId, ChannelId), BTreeSet<NodeId>> {
+    let mut out: BTreeMap<(NodeId, ChannelId), BTreeSet<NodeId>> = BTreeMap::new();
+    for (&a, sa) in nodes {
+        for ch in sa.radios.channels() {
+            out.entry((a, ch)).or_default();
+        }
+    }
+    for (&a, sa) in nodes {
+        for (&b, sb) in nodes {
+            if a == b {
+                continue;
+            }
+            for ch in sa.radios.channels() {
+                if let (Some(ra), true) = (sa.radios.range_on(ch), sb.radios.listens_on(ch)) {
+                    if sa.pos.distance(sb.pos) <= ra {
+                        out.get_mut(&(a, ch)).unwrap().insert(b);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One per-channel table: `NT(·, k)` for every member of `NS(k)`.
+#[derive(Debug, Default, Clone)]
+struct ChannelTable {
+    /// Row per member: the member's out-neighbors on this channel.
+    rows: HashMap<NodeId, BTreeSet<NodeId>>,
+}
+
+/// The paper's channel-ID indexed scheme: a separate table per channel.
+#[derive(Debug, Default)]
+pub struct ChannelIndexedTables {
+    nodes: HashMap<NodeId, NodeSnapshot>,
+    tables: HashMap<ChannelId, ChannelTable>,
+    work: u64,
+}
+
+impl ChannelIndexedTables {
+    /// An empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The node set `NS(k)` indexed by channel `k`, ascending.
+    pub fn node_set(&self, channel: ChannelId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .tables
+            .get(&channel)
+            .map(|t| t.rows.keys().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Channels that currently have at least one member.
+    pub fn active_channels(&self) -> Vec<ChannelId> {
+        let mut v: Vec<ChannelId> = self
+            .tables
+            .iter()
+            .filter(|(_, t)| !t.rows.is_empty())
+            .map(|(&c, _)| c)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Re-derives node `a`'s row and column inside channel `ch` only.
+    fn relink_in_channel(&mut self, a: NodeId, ch: ChannelId) {
+        let Some(sa) = self.nodes.get(&a).cloned() else { return };
+        let Some(ra) = sa.radios.range_on(ch) else { return };
+        let table = self.tables.entry(ch).or_default();
+        let mut row = BTreeSet::new();
+        let members: Vec<NodeId> = table.rows.keys().copied().filter(|&b| b != a).collect();
+        for b in members {
+            let sb = &self.nodes[&b];
+            self.work += 1;
+            let d = sa.pos.distance(sb.pos);
+            if d <= ra {
+                row.insert(b);
+            }
+            let rb = sb.radios.range_on(ch).unwrap_or(0.0);
+            let brow = table.rows.get_mut(&b).expect("member row exists");
+            if d <= rb {
+                brow.insert(a);
+            } else {
+                brow.remove(&a);
+            }
+        }
+        table.rows.insert(a, row);
+    }
+
+    /// Removes node `a` from channel `ch`'s table.
+    fn unlink_from_channel(&mut self, a: NodeId, ch: ChannelId) {
+        if let Some(table) = self.tables.get_mut(&ch) {
+            table.rows.remove(&a);
+            for row in table.rows.values_mut() {
+                row.remove(&a);
+            }
+            if table.rows.is_empty() {
+                self.tables.remove(&ch);
+            }
+        }
+    }
+}
+
+impl NeighborTables for ChannelIndexedTables {
+    fn insert_node(&mut self, id: NodeId, pos: Point, radios: RadioConfig) {
+        if self.nodes.contains_key(&id) {
+            self.remove_node(id);
+        }
+        let channels = radios.channels();
+        self.nodes.insert(id, NodeSnapshot { pos, radios });
+        for ch in channels {
+            self.relink_in_channel(id, ch);
+        }
+    }
+
+    fn remove_node(&mut self, id: NodeId) {
+        if let Some(s) = self.nodes.remove(&id) {
+            for ch in s.radios.channels() {
+                self.unlink_from_channel(id, ch);
+            }
+        }
+    }
+
+    fn update_position(&mut self, id: NodeId, pos: Point) {
+        let Some(s) = self.nodes.get_mut(&id) else { return };
+        s.pos = pos;
+        let channels = s.radios.channels();
+        // Only the channels in CS(id) are touched — the paper's claim.
+        for ch in channels {
+            self.relink_in_channel(id, ch);
+        }
+    }
+
+    fn update_radios(&mut self, id: NodeId, radios: RadioConfig) {
+        let Some(s) = self.nodes.get_mut(&id) else { return };
+        let old = std::mem::replace(&mut s.radios, radios.clone());
+        let old_cs = old.channels();
+        let new_cs = radios.channels();
+        for ch in old_cs.difference(&new_cs) {
+            self.unlink_from_channel(id, *ch);
+        }
+        for &ch in &new_cs {
+            // New channels need linking; retained channels need re-linking
+            // only if the range on them changed.
+            if !old_cs.contains(&ch)
+                || old.range_on(ch) != self.nodes[&id].radios.range_on(ch)
+            {
+                self.relink_in_channel(id, ch);
+            }
+        }
+    }
+
+    fn neighbors_into(&self, id: NodeId, channel: ChannelId, out: &mut Vec<NodeId>) {
+        if let Some(t) = self.tables.get(&channel) {
+            if let Some(row) = t.rows.get(&id) {
+                out.extend(row.iter().copied());
+            }
+        }
+    }
+
+    fn work(&self) -> u64 {
+        self.work
+    }
+
+    fn reset_work(&mut self) {
+        self.work = 0;
+    }
+
+    fn snapshot(&self, id: NodeId) -> Option<&NodeSnapshot> {
+        self.nodes.get(&id)
+    }
+
+    fn node_ids(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// The baseline scheme: one table whose units are channel-ID marked.
+///
+/// Queries are as fast as the indexed scheme (it keys on `(node, channel)`)
+/// but *updates* cannot exploit channel locality: a change to node `A`
+/// re-scans `A` against every node over the whole channel universe, because
+/// the marked units for all channels live interleaved in the one table.
+#[derive(Debug, Default)]
+pub struct UnifiedTable {
+    nodes: HashMap<NodeId, NodeSnapshot>,
+    rows: HashMap<(NodeId, ChannelId), BTreeSet<NodeId>>,
+    /// Every channel id ever seen, the "channel universe" a full rescan
+    /// must consider.
+    universe: BTreeSet<ChannelId>,
+    work: u64,
+}
+
+impl UnifiedTable {
+    /// An empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-derives every unit involving node `a`, scanning the full node set
+    /// across the full channel universe.
+    fn rescan_node(&mut self, a: NodeId) {
+        // Drop all of a's rows.
+        self.rows.retain(|&(n, _), _| n != a);
+        for row in self.rows.values_mut() {
+            row.remove(&a);
+        }
+        let Some(sa) = self.nodes.get(&a).cloned() else { return };
+        for ch in sa.radios.channels() {
+            self.rows.entry((a, ch)).or_default();
+        }
+        let others: Vec<NodeId> = self.nodes.keys().copied().filter(|&b| b != a).collect();
+        let universe: Vec<ChannelId> = self.universe.iter().copied().collect();
+        for b in others {
+            let sb = self.nodes[&b].clone();
+            for &ch in &universe {
+                // The unified structure cannot skip channels outside CS(a):
+                // every marked unit is visited.
+                self.work += 1;
+                let d = sa.pos.distance(sb.pos);
+                if let Some(ra) = sa.radios.range_on(ch) {
+                    if sb.radios.listens_on(ch) && d <= ra {
+                        self.rows.entry((a, ch)).or_default().insert(b);
+                    }
+                }
+                if let Some(rb) = sb.radios.range_on(ch) {
+                    if sa.radios.listens_on(ch) && d <= rb {
+                        self.rows.entry((b, ch)).or_default().insert(a);
+                    } else if let Some(row) = self.rows.get_mut(&(b, ch)) {
+                        row.remove(&a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl NeighborTables for UnifiedTable {
+    fn insert_node(&mut self, id: NodeId, pos: Point, radios: RadioConfig) {
+        self.universe.extend(radios.channels());
+        self.nodes.insert(id, NodeSnapshot { pos, radios });
+        self.rescan_node(id);
+    }
+
+    fn remove_node(&mut self, id: NodeId) {
+        self.nodes.remove(&id);
+        self.rows.retain(|&(n, _), _| n != id);
+        for row in self.rows.values_mut() {
+            row.remove(&id);
+        }
+    }
+
+    fn update_position(&mut self, id: NodeId, pos: Point) {
+        if let Some(s) = self.nodes.get_mut(&id) {
+            s.pos = pos;
+            self.rescan_node(id);
+        }
+    }
+
+    fn update_radios(&mut self, id: NodeId, radios: RadioConfig) {
+        if let Some(s) = self.nodes.get_mut(&id) {
+            self.universe.extend(radios.channels());
+            s.radios = radios;
+            self.rescan_node(id);
+        }
+    }
+
+    fn neighbors_into(&self, id: NodeId, channel: ChannelId, out: &mut Vec<NodeId>) {
+        if let Some(row) = self.rows.get(&(id, channel)) {
+            out.extend(row.iter().copied());
+        }
+    }
+
+    fn work(&self) -> u64 {
+        self.work
+    }
+
+    fn reset_work(&mut self) {
+        self.work = 0;
+    }
+
+    fn snapshot(&self, id: NodeId) -> Option<&NodeSnapshot> {
+        self.nodes.get(&id)
+    }
+
+    fn node_ids(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Compares a live structure against the brute-force recomputation,
+/// returning the first mismatch as a human-readable message.
+pub fn check_against_brute_force<T: NeighborTables + ?Sized>(t: &T) -> Result<(), String> {
+    let mut nodes = BTreeMap::new();
+    for id in t.node_ids() {
+        nodes.insert(id, t.snapshot(id).expect("listed node has snapshot").clone());
+    }
+    let expect = brute_force(&nodes);
+    for (&(a, ch), want) in &expect {
+        let got: BTreeSet<NodeId> = t.neighbors(a, ch).into_iter().collect();
+        if &got != want {
+            return Err(format!(
+                "NT({a},{ch}) mismatch: got {got:?}, want {want:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::EmuRng;
+
+    fn fig6_setup<T: NeighborTables + Default>() -> T {
+        // Fig. 6 spirit: some nodes on channel 1, node "a" on channel 2.
+        let mut t = T::default();
+        t.insert_node(NodeId(1), Point::new(0.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        t.insert_node(NodeId(2), Point::new(50.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        t.insert_node(NodeId(3), Point::new(0.0, 50.0), RadioConfig::single(ChannelId(1), 100.0));
+        // node a:
+        t.insert_node(NodeId(10), Point::new(10.0, 10.0), RadioConfig::single(ChannelId(2), 100.0));
+        t.insert_node(NodeId(11), Point::new(20.0, 10.0), RadioConfig::single(ChannelId(2), 100.0));
+        t
+    }
+
+    #[test]
+    fn basic_neighborhood_symmetric_ranges() {
+        let mut t = ChannelIndexedTables::new();
+        t.insert_node(NodeId(1), Point::new(0.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        t.insert_node(NodeId(2), Point::new(60.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        t.insert_node(NodeId(3), Point::new(150.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        assert_eq!(t.neighbors(NodeId(1), ChannelId(1)), vec![NodeId(2)]);
+        assert_eq!(t.neighbors(NodeId(2), ChannelId(1)), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(t.neighbors(NodeId(3), ChannelId(1)), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn neighborhood_requires_common_channel() {
+        // k ∈ CS(A) ∩ CS(B) is required.
+        let mut t = ChannelIndexedTables::new();
+        t.insert_node(NodeId(1), Point::new(0.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        t.insert_node(NodeId(2), Point::new(10.0, 0.0), RadioConfig::single(ChannelId(2), 100.0));
+        assert!(t.neighbors(NodeId(1), ChannelId(1)).is_empty());
+        assert!(t.neighbors(NodeId(2), ChannelId(2)).is_empty());
+        // A dual-radio node bridges them (Fig. 9's relay).
+        t.insert_node(
+            NodeId(3),
+            Point::new(5.0, 0.0),
+            RadioConfig::multi(&[ChannelId(1), ChannelId(2)], 100.0),
+        );
+        assert_eq!(t.neighbors(NodeId(1), ChannelId(1)), vec![NodeId(3)]);
+        assert_eq!(t.neighbors(NodeId(3), ChannelId(1)), vec![NodeId(1)]);
+        assert_eq!(t.neighbors(NodeId(3), ChannelId(2)), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn directional_ranges() {
+        // D ≤ R(A,k) governs A's row: a long-range node hears further than
+        // a short-range one can reply.
+        let mut t = ChannelIndexedTables::new();
+        t.insert_node(NodeId(1), Point::new(0.0, 0.0), RadioConfig::single(ChannelId(1), 200.0));
+        t.insert_node(NodeId(2), Point::new(150.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        assert_eq!(t.neighbors(NodeId(1), ChannelId(1)), vec![NodeId(2)]);
+        assert!(t.neighbors(NodeId(2), ChannelId(1)).is_empty());
+    }
+
+    #[test]
+    fn table2_step2_shrinking_range_excludes_node() {
+        // Table 2 step 2: "Shrink the radio range of VMN1 to exclude VMN3."
+        let mut t = ChannelIndexedTables::new();
+        let ch = ChannelId(1);
+        t.insert_node(NodeId(1), Point::new(0.0, 0.0), RadioConfig::single(ch, 200.0));
+        t.insert_node(NodeId(2), Point::new(100.0, 0.0), RadioConfig::single(ch, 200.0));
+        t.insert_node(NodeId(3), Point::new(0.0, 150.0), RadioConfig::single(ch, 200.0));
+        assert_eq!(t.neighbors(NodeId(1), ch), vec![NodeId(2), NodeId(3)]);
+        t.update_radios(NodeId(1), RadioConfig::single(ch, 120.0));
+        assert_eq!(t.neighbors(NodeId(1), ch), vec![NodeId(2)]);
+        check_against_brute_force(&t).unwrap();
+    }
+
+    #[test]
+    fn table2_step3_channel_split_disconnects() {
+        // Table 2 step 3: different channels for VMN1 and VMN2 → no route.
+        let mut t = ChannelIndexedTables::new();
+        t.insert_node(NodeId(1), Point::new(0.0, 0.0), RadioConfig::single(ChannelId(1), 200.0));
+        t.insert_node(NodeId(2), Point::new(100.0, 0.0), RadioConfig::single(ChannelId(1), 200.0));
+        assert_eq!(t.neighbors(NodeId(1), ChannelId(1)), vec![NodeId(2)]);
+        t.update_radios(NodeId(2), RadioConfig::single(ChannelId(2), 200.0));
+        assert!(t.neighbors(NodeId(1), ChannelId(1)).is_empty());
+        assert!(t.neighbors(NodeId(2), ChannelId(2)).is_empty());
+        check_against_brute_force(&t).unwrap();
+    }
+
+    #[test]
+    fn fig6_update_locality_channel_indexed() {
+        // Moving node a (channel 2) must not evaluate any channel-1 pair.
+        let mut t: ChannelIndexedTables = fig6_setup();
+        t.reset_work();
+        t.update_position(NodeId(10), Point::new(11.0, 11.0));
+        // Only one other node (11) lives on channel 2 → exactly 1 check.
+        assert_eq!(t.work(), 1);
+    }
+
+    #[test]
+    fn fig6_unified_pays_for_all_channels() {
+        let mut t: UnifiedTable = fig6_setup();
+        t.reset_work();
+        t.update_position(NodeId(10), Point::new(11.0, 11.0));
+        // Unified: 4 other nodes × 2 channels in the universe = 8 checks.
+        assert_eq!(t.work(), 8);
+        check_against_brute_force(&t).unwrap();
+    }
+
+    #[test]
+    fn both_schemes_agree_with_brute_force_after_random_ops() {
+        let mut rng = EmuRng::seed(2024);
+        let mut ci = ChannelIndexedTables::new();
+        let mut un = UnifiedTable::new();
+        let channels = [ChannelId(1), ChannelId(2), ChannelId(3)];
+        for step in 0..400 {
+            let id = NodeId(rng.range_u64(0, 12) as u32);
+            match rng.index(4) {
+                0 => {
+                    let pos = Point::new(rng.range_f64(0.0, 300.0), rng.range_f64(0.0, 300.0));
+                    let n_radios = 1 + rng.index(2);
+                    let mut radios = RadioConfig::none();
+                    for _ in 0..n_radios {
+                        radios.add(crate::radio::Radio::new(
+                            channels[rng.index(3)],
+                            rng.range_f64(50.0, 200.0),
+                        ));
+                    }
+                    ci.insert_node(id, pos, radios.clone());
+                    un.insert_node(id, pos, radios);
+                }
+                1 => {
+                    ci.remove_node(id);
+                    un.remove_node(id);
+                }
+                2 => {
+                    let pos = Point::new(rng.range_f64(0.0, 300.0), rng.range_f64(0.0, 300.0));
+                    ci.update_position(id, pos);
+                    un.update_position(id, pos);
+                }
+                _ => {
+                    let radios =
+                        RadioConfig::single(channels[rng.index(3)], rng.range_f64(50.0, 250.0));
+                    ci.update_radios(id, radios.clone());
+                    un.update_radios(id, radios);
+                }
+            }
+            if step % 37 == 0 {
+                check_against_brute_force(&ci).unwrap_or_else(|e| panic!("ci step {step}: {e}"));
+                check_against_brute_force(&un).unwrap_or_else(|e| panic!("un step {step}: {e}"));
+            }
+        }
+        check_against_brute_force(&ci).unwrap();
+        check_against_brute_force(&un).unwrap();
+        // Same final relation.
+        for id in ci.node_ids() {
+            for &ch in &channels {
+                assert_eq!(ci.neighbors(id, ch), un.neighbors(id, ch), "{id} {ch}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_set_tracks_membership() {
+        let mut t = ChannelIndexedTables::new();
+        t.insert_node(NodeId(1), Point::ORIGIN, RadioConfig::single(ChannelId(1), 10.0));
+        t.insert_node(NodeId(2), Point::ORIGIN, RadioConfig::multi(&[ChannelId(1), ChannelId(2)], 10.0));
+        assert_eq!(t.node_set(ChannelId(1)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(t.node_set(ChannelId(2)), vec![NodeId(2)]);
+        assert_eq!(t.active_channels(), vec![ChannelId(1), ChannelId(2)]);
+        t.remove_node(NodeId(2));
+        assert_eq!(t.node_set(ChannelId(2)), Vec::<NodeId>::new());
+        assert_eq!(t.active_channels(), vec![ChannelId(1)]);
+    }
+
+    #[test]
+    fn removing_unknown_node_is_noop() {
+        let mut t = ChannelIndexedTables::new();
+        t.remove_node(NodeId(5));
+        t.update_position(NodeId(5), Point::new(1.0, 1.0));
+        t.update_radios(NodeId(5), RadioConfig::single(ChannelId(1), 1.0));
+        assert!(t.node_ids().is_empty());
+        let mut u = UnifiedTable::new();
+        u.remove_node(NodeId(5));
+        u.update_position(NodeId(5), Point::new(1.0, 1.0));
+        assert!(u.node_ids().is_empty());
+    }
+
+    #[test]
+    fn reinserting_node_replaces_state() {
+        let mut t = ChannelIndexedTables::new();
+        t.insert_node(NodeId(1), Point::ORIGIN, RadioConfig::single(ChannelId(1), 100.0));
+        t.insert_node(NodeId(2), Point::new(50.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        t.insert_node(NodeId(1), Point::new(500.0, 0.0), RadioConfig::single(ChannelId(2), 100.0));
+        assert!(t.neighbors(NodeId(2), ChannelId(1)).is_empty());
+        assert!(t.neighbors(NodeId(1), ChannelId(2)).is_empty());
+        check_against_brute_force(&t).unwrap();
+    }
+
+    #[test]
+    fn boundary_distance_is_inclusive() {
+        // D(A,B) ≤ R(A,k): exact equality is still a neighbor.
+        let mut t = ChannelIndexedTables::new();
+        t.insert_node(NodeId(1), Point::ORIGIN, RadioConfig::single(ChannelId(1), 100.0));
+        t.insert_node(NodeId(2), Point::new(100.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        assert_eq!(t.neighbors(NodeId(1), ChannelId(1)), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn update_radios_skips_unchanged_channels() {
+        let mut t = ChannelIndexedTables::new();
+        t.insert_node(NodeId(1), Point::ORIGIN, RadioConfig::multi(&[ChannelId(1), ChannelId(2)], 100.0));
+        for i in 2..10 {
+            t.insert_node(
+                NodeId(i),
+                Point::new(i as f64 * 10.0, 0.0),
+                RadioConfig::single(ChannelId(1), 100.0),
+            );
+        }
+        t.reset_work();
+        // Change only the channel-2 radio's range: channel-1 rows untouched.
+        let mut new = RadioConfig::multi(&[ChannelId(1), ChannelId(2)], 100.0);
+        new.set_range(crate::ids::RadioId(1), 50.0);
+        t.update_radios(NodeId(1), new);
+        assert_eq!(t.work(), 0, "no other node on channel 2 → no checks");
+        check_against_brute_force(&t).unwrap();
+    }
+}

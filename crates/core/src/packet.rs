@@ -1,0 +1,181 @@
+//! Emulated packets.
+//!
+//! An [`EmuPacket`] is one unit of traffic originated by a protocol
+//! implementation inside an emulation client. The client packs it,
+//! **time-stamps it locally** (the parallel time-stamping of §2.3/§3.3 that
+//! makes real-time traffic recording possible), and ships it to the server,
+//! which forwards copies to the neighbors of the source on the packet's
+//! channel.
+//!
+//! The payload is a [`Bytes`] buffer so that a broadcast forwarded to many
+//! neighbors shares one allocation.
+
+use crate::ids::{ChannelId, NodeId, PacketId, RadioId};
+use crate::time::EmuTime;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Fixed per-packet emulation-header overhead counted toward transmission
+/// time, in bytes (source, destination, channel, id, timestamp).
+pub const HEADER_BYTES: usize = 28;
+
+/// Where a packet is addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Destination {
+    /// One specific node. The server still only delivers it if the target
+    /// is a neighbor of the source on the packet's channel.
+    Unicast(NodeId),
+    /// Every neighbor of the source on the packet's channel — how HELLO
+    /// beacons and route requests spread.
+    Broadcast,
+}
+
+impl Destination {
+    /// True for broadcast packets.
+    pub fn is_broadcast(self) -> bool {
+        matches!(self, Destination::Broadcast)
+    }
+}
+
+impl fmt::Display for Destination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Destination::Unicast(n) => write!(f, "{n}"),
+            Destination::Broadcast => write!(f, "*"),
+        }
+    }
+}
+
+/// One emulated packet in flight between clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmuPacket {
+    /// Globally unique id assigned by the originating client.
+    pub id: PacketId,
+    /// Originating VMN.
+    pub src: NodeId,
+    /// Link-layer destination.
+    pub dst: Destination,
+    /// Channel the packet is transmitted on. The source must carry a radio
+    /// tuned to it.
+    pub channel: ChannelId,
+    /// Which of the source's radios transmitted it.
+    pub radio: RadioId,
+    /// The client-side emulation-clock timestamp taken when the packet was
+    /// handed to the virtual NIC (§3.3: "packed, time-stamped and then
+    /// directed to the server").
+    pub sent_at: EmuTime,
+    /// Protocol payload.
+    pub payload: Bytes,
+}
+
+impl EmuPacket {
+    /// Builds a packet.
+    pub fn new(
+        id: PacketId,
+        src: NodeId,
+        dst: Destination,
+        channel: ChannelId,
+        radio: RadioId,
+        sent_at: EmuTime,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        EmuPacket { id, src, dst, channel, radio, sent_at, payload: payload.into() }
+    }
+
+    /// The size used for transmission-time computation: payload plus the
+    /// emulation header.
+    pub fn wire_size(&self) -> usize {
+        HEADER_BYTES + self.payload.len()
+    }
+
+    /// True when `node` should accept a delivered copy: it is the unicast
+    /// target, or the packet is broadcast (and not its own echo).
+    pub fn accepts(&self, node: NodeId) -> bool {
+        match self.dst {
+            Destination::Unicast(d) => d == node,
+            Destination::Broadcast => node != self.src,
+        }
+    }
+}
+
+impl fmt::Display for EmuPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}→{} on {} ({}B @ {})",
+            self.id,
+            self.src,
+            self.dst,
+            self.channel,
+            self.wire_size(),
+            self.sent_at
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(dst: Destination) -> EmuPacket {
+        EmuPacket::new(
+            PacketId(7),
+            NodeId(1),
+            dst,
+            ChannelId(2),
+            RadioId(0),
+            EmuTime::from_millis(5),
+            vec![0u8; 100],
+        )
+    }
+
+    #[test]
+    fn wire_size_includes_header() {
+        let p = pkt(Destination::Broadcast);
+        assert_eq!(p.wire_size(), 100 + HEADER_BYTES);
+        let empty = EmuPacket::new(
+            PacketId(1),
+            NodeId(1),
+            Destination::Broadcast,
+            ChannelId(1),
+            RadioId(0),
+            EmuTime::ZERO,
+            Bytes::new(),
+        );
+        assert_eq!(empty.wire_size(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn unicast_acceptance() {
+        let p = pkt(Destination::Unicast(NodeId(3)));
+        assert!(p.accepts(NodeId(3)));
+        assert!(!p.accepts(NodeId(2)));
+        assert!(!p.accepts(NodeId(1)));
+    }
+
+    #[test]
+    fn broadcast_accepted_by_everyone_but_source() {
+        let p = pkt(Destination::Broadcast);
+        assert!(p.accepts(NodeId(2)));
+        assert!(p.accepts(NodeId(99)));
+        assert!(!p.accepts(NodeId(1)), "no self-echo");
+    }
+
+    #[test]
+    fn payload_clone_is_shallow() {
+        let p = pkt(Destination::Broadcast);
+        let q = p.clone();
+        // Bytes clones share the buffer.
+        assert_eq!(p.payload.as_ptr(), q.payload.as_ptr());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = pkt(Destination::Unicast(NodeId(3)));
+        let s = p.to_string();
+        assert!(s.contains("VMN1"), "{s}");
+        assert!(s.contains("VMN3"), "{s}");
+        assert!(s.contains("ch2"), "{s}");
+    }
+}

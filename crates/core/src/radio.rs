@@ -1,0 +1,192 @@
+//! Multi-radio node configuration.
+//!
+//! In the multi-radio environment (§4.2) "each MANET node has multiple
+//! radios to assign multiple channels", and neighborhood depends on both
+//! the radio range and the channel assignment. A [`Radio`] is one tunable
+//! transceiver; a node carries a small vector of them ([`RadioConfig`]).
+//! The paper's `CS(A)` (channel set of node A) and `R(A,n)` (radio range of
+//! A on channel n) are [`RadioConfig::channels`] and
+//! [`RadioConfig::range_on`].
+
+use crate::ids::{ChannelId, RadioId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One radio transceiver: a channel assignment and a transmission range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Radio {
+    /// The channel this radio is tuned to.
+    pub channel: ChannelId,
+    /// Transmission range on this channel, in arena units.
+    pub range: f64,
+}
+
+impl Radio {
+    /// Builds a radio.
+    pub fn new(channel: ChannelId, range: f64) -> Self {
+        Radio { channel, range }
+    }
+}
+
+/// The set of radios carried by one node.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RadioConfig {
+    radios: Vec<Radio>,
+}
+
+impl RadioConfig {
+    /// A node with no radios (it can never hear or be heard).
+    pub fn none() -> Self {
+        RadioConfig { radios: Vec::new() }
+    }
+
+    /// A single-radio node.
+    pub fn single(channel: ChannelId, range: f64) -> Self {
+        RadioConfig { radios: vec![Radio::new(channel, range)] }
+    }
+
+    /// A node with one radio per listed channel, all with the same range.
+    pub fn multi(channels: &[ChannelId], range: f64) -> Self {
+        RadioConfig {
+            radios: channels.iter().map(|&c| Radio::new(c, range)).collect(),
+        }
+    }
+
+    /// Builds from an explicit radio list.
+    pub fn from_radios(radios: Vec<Radio>) -> Self {
+        RadioConfig { radios }
+    }
+
+    /// Number of radios.
+    pub fn len(&self) -> usize {
+        self.radios.len()
+    }
+
+    /// True if the node has no radios.
+    pub fn is_empty(&self) -> bool {
+        self.radios.is_empty()
+    }
+
+    /// The radios, in slot order.
+    pub fn radios(&self) -> &[Radio] {
+        &self.radios
+    }
+
+    /// The radio in a given slot.
+    pub fn get(&self, id: RadioId) -> Option<&Radio> {
+        self.radios.get(id.index() as usize)
+    }
+
+    /// The paper's `CS(A)`: the set of channels this node is tuned to.
+    pub fn channels(&self) -> BTreeSet<ChannelId> {
+        self.radios.iter().map(|r| r.channel).collect()
+    }
+
+    /// True if any radio is tuned to `channel`.
+    pub fn listens_on(&self, channel: ChannelId) -> bool {
+        self.radios.iter().any(|r| r.channel == channel)
+    }
+
+    /// The paper's `R(A,n)`: the node's range on `channel`. If several
+    /// radios share the channel the strongest wins; `None` when the node
+    /// is not tuned to it.
+    pub fn range_on(&self, channel: ChannelId) -> Option<f64> {
+        self.radios
+            .iter()
+            .filter(|r| r.channel == channel)
+            .map(|r| r.range)
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+
+    /// Retunes radio slot `id` to a new channel, returning the previous
+    /// channel. `None` if the slot does not exist.
+    pub fn set_channel(&mut self, id: RadioId, channel: ChannelId) -> Option<ChannelId> {
+        let r = self.radios.get_mut(id.index() as usize)?;
+        let old = r.channel;
+        r.channel = channel;
+        Some(old)
+    }
+
+    /// Changes the range of radio slot `id`, returning the previous range.
+    pub fn set_range(&mut self, id: RadioId, range: f64) -> Option<f64> {
+        let r = self.radios.get_mut(id.index() as usize)?;
+        let old = r.range;
+        r.range = range;
+        Some(old)
+    }
+
+    /// Adds a radio, returning its slot.
+    pub fn add(&mut self, radio: Radio) -> RadioId {
+        self.radios.push(radio);
+        RadioId((self.radios.len() - 1) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_radio_config() {
+        let c = RadioConfig::single(ChannelId(1), 200.0);
+        assert_eq!(c.len(), 1);
+        assert!(c.listens_on(ChannelId(1)));
+        assert!(!c.listens_on(ChannelId(2)));
+        assert_eq!(c.range_on(ChannelId(1)), Some(200.0));
+        assert_eq!(c.range_on(ChannelId(2)), None);
+    }
+
+    #[test]
+    fn multi_radio_channel_set() {
+        // Fig. 9: VMN2 carries radios on channels 1 and 2.
+        let c = RadioConfig::multi(&[ChannelId(1), ChannelId(2)], 200.0);
+        let cs = c.channels();
+        assert_eq!(cs.len(), 2);
+        assert!(cs.contains(&ChannelId(1)) && cs.contains(&ChannelId(2)));
+    }
+
+    #[test]
+    fn duplicate_channels_take_strongest_range() {
+        let c = RadioConfig::from_radios(vec![
+            Radio::new(ChannelId(5), 100.0),
+            Radio::new(ChannelId(5), 300.0),
+        ]);
+        assert_eq!(c.range_on(ChannelId(5)), Some(300.0));
+        assert_eq!(c.channels().len(), 1);
+    }
+
+    #[test]
+    fn retuning_updates_channel_set() {
+        let mut c = RadioConfig::single(ChannelId(1), 150.0);
+        let old = c.set_channel(RadioId(0), ChannelId(7));
+        assert_eq!(old, Some(ChannelId(1)));
+        assert!(c.listens_on(ChannelId(7)));
+        assert!(!c.listens_on(ChannelId(1)));
+        assert_eq!(c.set_channel(RadioId(9), ChannelId(1)), None);
+    }
+
+    #[test]
+    fn range_change() {
+        let mut c = RadioConfig::single(ChannelId(1), 200.0);
+        assert_eq!(c.set_range(RadioId(0), 80.0), Some(200.0));
+        assert_eq!(c.range_on(ChannelId(1)), Some(80.0));
+    }
+
+    #[test]
+    fn empty_config() {
+        let c = RadioConfig::none();
+        assert!(c.is_empty());
+        assert!(c.channels().is_empty());
+        assert_eq!(c.range_on(ChannelId(0)), None);
+    }
+
+    #[test]
+    fn add_returns_slot() {
+        let mut c = RadioConfig::none();
+        let id0 = c.add(Radio::new(ChannelId(1), 10.0));
+        let id1 = c.add(Radio::new(ChannelId(2), 20.0));
+        assert_eq!(id0, RadioId(0));
+        assert_eq!(id1, RadioId(1));
+        assert_eq!(c.get(id1).unwrap().range, 20.0);
+    }
+}

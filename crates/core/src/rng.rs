@@ -1,0 +1,210 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic decision in the emulator — loss draws, mobility field
+//! sampling, jitter — comes from an [`EmuRng`] that is seeded explicitly.
+//! The paper itself notes (§6.2) that "the drift of the random number
+//! generator" shows up in the measured curves; keeping the generator
+//! explicit and forkable makes every experiment replayable bit-for-bit.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A small, fast, explicitly seeded random number generator.
+///
+/// Wraps [`SmallRng`] with the handful of sampling shapes the emulator
+/// needs. Clone-free: fork child generators with [`EmuRng::fork`] so that
+/// adding draws in one component never perturbs another.
+#[derive(Debug)]
+pub struct EmuRng {
+    inner: SmallRng,
+}
+
+impl EmuRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        EmuRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child's stream is a pure function of the parent's state at the
+    /// time of forking, so components that fork at setup time are isolated
+    /// from one another's later draws.
+    pub fn fork(&mut self) -> EmuRng {
+        EmuRng::seed(self.inner.gen::<u64>())
+    }
+
+    /// Uniform draw in `[0, 1)` — the Bernoulli source for loss decisions.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
+
+    /// Uniform draw in `[lo, hi]`. Degenerate ranges return `lo`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi > lo {
+            self.inner.gen_range(lo..hi)
+        } else {
+            lo
+        }
+    }
+
+    /// Uniform integer draw in `[lo, hi)`. Degenerate ranges return `lo`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi > lo {
+            self.inner.gen_range(lo..hi)
+        } else {
+            lo
+        }
+    }
+
+    /// Uniform index draw in `[0, n)`; `n` must be non-zero.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "index() requires a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Exponentially distributed draw with the given mean (for Poisson
+    /// inter-arrival times). Mean ≤ 0 returns 0.
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse-CDF; `1 - unit()` keeps the argument in (0, 1].
+        -mean * (1.0 - self.unit()).ln()
+    }
+
+    /// Standard-normal draw via Box–Muller (used for timestamp jitter in
+    /// the architecture baselines).
+    #[inline]
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = EmuRng::seed(42);
+        let mut b = EmuRng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = EmuRng::seed(1);
+        let mut b = EmuRng::seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_isolates_streams() {
+        let mut parent1 = EmuRng::seed(7);
+        let mut parent2 = EmuRng::seed(7);
+        let mut child1 = parent1.fork();
+        let mut child2 = parent2.fork();
+        // Extra parent draws after forking must not affect the child.
+        for _ in 0..10 {
+            parent2.next_u64();
+        }
+        for _ in 0..32 {
+            assert_eq!(child1.next_u64(), child2.next_u64());
+        }
+    }
+
+    #[test]
+    fn chance_extremes_never_draw() {
+        let mut r = EmuRng::seed(3);
+        for _ in 0..100 {
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0));
+            assert!(!r.chance(-0.5));
+            assert!(r.chance(1.5));
+        }
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = EmuRng::seed(11);
+        let hits = (0..20_000).filter(|_| r.chance(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = EmuRng::seed(5);
+        for _ in 0..1000 {
+            let v = r.range_f64(2.0, 5.0);
+            assert!((2.0..5.0).contains(&v));
+            let u = r.range_u64(10, 20);
+            assert!((10..20).contains(&u));
+        }
+        assert_eq!(r.range_f64(3.0, 3.0), 3.0);
+        assert_eq!(r.range_u64(9, 9), 9);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = EmuRng::seed(13);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(r.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = EmuRng::seed(17);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian(5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn index_covers_all_slots() {
+        let mut r = EmuRng::seed(19);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.index(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

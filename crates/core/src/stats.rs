@@ -1,0 +1,296 @@
+//! Statistics primitives for performance evaluation (§6.2).
+//!
+//! The paper's Fig. 10 reports the **packet loss rate over time** — a
+//! windowed ratio of lost to offered packets. [`WindowedLossMeter`]
+//! computes exactly that series; [`Summary`] condenses sample sets
+//! (delays, errors) into the usual order statistics.
+
+use crate::time::{EmuDuration, EmuTime};
+use serde::{Deserialize, Serialize};
+
+/// One point of a time series: `(window start seconds, value)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Window start, seconds since the epoch.
+    pub t: f64,
+    /// The value over that window.
+    pub value: f64,
+}
+
+/// Windowed loss-rate meter: offered and delivered packet counts bucketed
+/// into fixed windows; loss rate per window = 1 − delivered/offered.
+#[derive(Debug, Clone)]
+pub struct WindowedLossMeter {
+    window: EmuDuration,
+    sent: Vec<u64>,
+    received: Vec<u64>,
+}
+
+impl WindowedLossMeter {
+    /// A meter with the given window length (must be positive).
+    pub fn new(window: EmuDuration) -> Self {
+        assert!(window.as_nanos() > 0, "window must be positive");
+        WindowedLossMeter { window, sent: Vec::new(), received: Vec::new() }
+    }
+
+    fn bucket(&self, t: EmuTime) -> usize {
+        (t.as_nanos() / self.window.as_nanos() as u64) as usize
+    }
+
+    fn ensure(v: &mut Vec<u64>, idx: usize) -> &mut u64 {
+        if v.len() <= idx {
+            v.resize(idx + 1, 0);
+        }
+        &mut v[idx]
+    }
+
+    /// Records a packet offered at its **send** timestamp.
+    pub fn record_sent(&mut self, at: EmuTime) {
+        let b = self.bucket(at);
+        *Self::ensure(&mut self.sent, b) += 1;
+    }
+
+    /// Records a delivery, attributed to the packet's original **send**
+    /// timestamp (so each window's rate compares like with like).
+    pub fn record_received(&mut self, sent_at: EmuTime) {
+        let b = self.bucket(sent_at);
+        *Self::ensure(&mut self.received, b) += 1;
+    }
+
+    /// The loss-rate series: one point per window that offered traffic.
+    /// Windows with no offered packets are skipped.
+    pub fn series(&self) -> Vec<SeriesPoint> {
+        let w = self.window.as_secs_f64();
+        self.sent
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s > 0)
+            .map(|(i, &s)| {
+                let r = self.received.get(i).copied().unwrap_or(0).min(s);
+                SeriesPoint { t: i as f64 * w, value: 1.0 - r as f64 / s as f64 }
+            })
+            .collect()
+    }
+
+    /// Total offered / delivered counts.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.sent.iter().sum(), self.received.iter().sum())
+    }
+
+    /// Overall loss rate across the whole run; `None` with no traffic.
+    pub fn overall(&self) -> Option<f64> {
+        let (s, r) = self.totals();
+        if s == 0 {
+            None
+        } else {
+            Some(1.0 - (r.min(s)) as f64 / s as f64)
+        }
+    }
+}
+
+/// Summary statistics over a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes a summary; `None` for an empty input.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let pct = |q: f64| -> f64 {
+            let idx = ((n as f64 - 1.0) * q).round() as usize;
+            sorted[idx.min(n - 1)]
+        };
+        Some(Summary {
+            count: n,
+            mean,
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            std_dev: var.sqrt(),
+        })
+    }
+
+    /// Summary of a set of durations, in seconds.
+    pub fn of_durations(samples: &[EmuDuration]) -> Option<Summary> {
+        let secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+        Summary::of(&secs)
+    }
+}
+
+/// Simple fixed-bucket histogram for value distributions.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram over `[lo, hi)` with `buckets` equal-width bins.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo && buckets > 0, "degenerate histogram");
+        Histogram { lo, hi, counts: vec![0; buckets], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.counts.len();
+            let idx = ((v - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.counts[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// `(bucket lower bound, count)` pairs.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + i as f64 * w, c))
+            .collect()
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_meter_windows_correctly() {
+        let mut m = WindowedLossMeter::new(EmuDuration::from_secs(1));
+        // Window 0: 4 sent, 3 received → 25 % loss.
+        for i in 0..4 {
+            m.record_sent(EmuTime::from_millis(i * 200));
+        }
+        for i in 0..3 {
+            m.record_received(EmuTime::from_millis(i * 200));
+        }
+        // Window 2: 2 sent, 0 received → 100 % loss. Window 1 idle.
+        m.record_sent(EmuTime::from_millis(2100));
+        m.record_sent(EmuTime::from_millis(2900));
+        let s = m.series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].t, 0.0);
+        assert!((s[0].value - 0.25).abs() < 1e-12);
+        assert_eq!(s[1].t, 2.0);
+        assert_eq!(s[1].value, 1.0);
+        assert_eq!(m.totals(), (6, 3));
+        assert!((m.overall().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_meter_attributes_receipt_to_send_window() {
+        let mut m = WindowedLossMeter::new(EmuDuration::from_secs(1));
+        m.record_sent(EmuTime::from_millis(900));
+        // Delivered 300 ms later (in the next window) but attributed to
+        // the send window.
+        m.record_received(EmuTime::from_millis(900));
+        let s = m.series();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].value, 0.0);
+    }
+
+    #[test]
+    fn loss_meter_empty_is_none() {
+        let m = WindowedLossMeter::new(EmuDuration::from_secs(1));
+        assert!(m.series().is_empty());
+        assert!(m.overall().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = WindowedLossMeter::new(EmuDuration::ZERO);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_percentiles_on_large_set() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.p50 - 500.0).abs() <= 1.0);
+        assert!((s.p95 - 949.0).abs() <= 1.5);
+        assert!((s.p99 - 989.0).abs() <= 1.5);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        assert!(Summary::of(&[]).is_none());
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn summary_of_durations() {
+        let ds = [EmuDuration::from_millis(10), EmuDuration::from_millis(30)];
+        let s = Summary::of_durations(&ds).unwrap();
+        assert!((s.mean - 0.020).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [0.5, 1.5, 1.9, 9.99, -1.0, 10.0, 25.0] {
+            h.record(v);
+        }
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total(), 4);
+        let b = h.buckets();
+        assert_eq!(b[0], (0.0, 1));
+        assert_eq!(b[1], (1.0, 2));
+        assert_eq!(b[9], (9.0, 1));
+    }
+}

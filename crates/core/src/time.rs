@@ -1,0 +1,354 @@
+//! Emulation time.
+//!
+//! PoEm time-stamps every packet in the *clients* (parallel time-stamping,
+//! §2.3/§3.3) against an *emulation clock* that is synchronized with the
+//! server's clock (§4.1). All timestamps in this codebase are
+//! [`EmuTime`] — nanoseconds since the start of the emulation epoch — and
+//! all intervals are [`EmuDuration`] — a signed nanosecond count (signed so
+//! that clock-sync arithmetic, which can transiently go negative, stays in
+//! one type).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Nanoseconds elapsed since the emulation epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct EmuTime(u64);
+
+/// A signed span of emulation time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct EmuDuration(i64);
+
+impl EmuTime {
+    /// The emulation epoch (t = 0).
+    pub const ZERO: EmuTime = EmuTime(0);
+    /// The greatest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: EmuTime = EmuTime(u64::MAX);
+
+    /// Builds a time from raw nanoseconds since the epoch.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        EmuTime(ns)
+    }
+
+    /// Builds a time from microseconds since the epoch.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        EmuTime(us * 1_000)
+    }
+
+    /// Builds a time from milliseconds since the epoch.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        EmuTime(ms * 1_000_000)
+    }
+
+    /// Builds a time from whole seconds since the epoch.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        EmuTime(s * 1_000_000_000)
+    }
+
+    /// Builds a time from fractional seconds since the epoch.
+    ///
+    /// Negative and non-finite inputs saturate to the epoch.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_finite() && s > 0.0 {
+            EmuTime((s * 1e9).round() as u64)
+        } else {
+            EmuTime::ZERO
+        }
+    }
+
+    /// Raw nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`; negative if `self` precedes it.
+    #[inline]
+    pub fn since(self, earlier: EmuTime) -> EmuDuration {
+        EmuDuration(self.0 as i64 - earlier.0 as i64)
+    }
+
+    /// Saturating addition of a (possibly negative) duration.
+    #[inline]
+    pub fn saturating_add(self, d: EmuDuration) -> EmuTime {
+        if d.0 >= 0 {
+            EmuTime(self.0.saturating_add(d.0 as u64))
+        } else {
+            EmuTime(self.0.saturating_sub(d.0.unsigned_abs()))
+        }
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: EmuTime) -> EmuTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: EmuTime) -> EmuTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl EmuDuration {
+    /// Zero-length span.
+    pub const ZERO: EmuDuration = EmuDuration(0);
+
+    /// Builds a duration from raw (signed) nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: i64) -> Self {
+        EmuDuration(ns)
+    }
+
+    /// Builds a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: i64) -> Self {
+        EmuDuration(us * 1_000)
+    }
+
+    /// Builds a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: i64) -> Self {
+        EmuDuration(ms * 1_000_000)
+    }
+
+    /// Builds a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Self {
+        EmuDuration(s * 1_000_000_000)
+    }
+
+    /// Builds a duration from fractional seconds. Non-finite input becomes zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_finite() {
+            EmuDuration((s * 1e9).round() as i64)
+        } else {
+            EmuDuration::ZERO
+        }
+    }
+
+    /// Raw signed nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// Seconds, as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Absolute value of the span.
+    #[inline]
+    pub fn abs(self) -> EmuDuration {
+        EmuDuration(self.0.abs())
+    }
+
+    /// True if the span is negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Converts to [`std::time::Duration`], clamping negatives to zero.
+    ///
+    /// Used by the real-time scanning thread to sleep until the next
+    /// forward deadline (§3.2 step 5).
+    #[inline]
+    pub fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.0.max(0) as u64)
+    }
+}
+
+impl Add<EmuDuration> for EmuTime {
+    type Output = EmuTime;
+    #[inline]
+    fn add(self, d: EmuDuration) -> EmuTime {
+        self.saturating_add(d)
+    }
+}
+
+impl AddAssign<EmuDuration> for EmuTime {
+    #[inline]
+    fn add_assign(&mut self, d: EmuDuration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<EmuDuration> for EmuTime {
+    type Output = EmuTime;
+    #[inline]
+    fn sub(self, d: EmuDuration) -> EmuTime {
+        self.saturating_add(-d)
+    }
+}
+
+impl Sub<EmuTime> for EmuTime {
+    type Output = EmuDuration;
+    #[inline]
+    fn sub(self, other: EmuTime) -> EmuDuration {
+        self.since(other)
+    }
+}
+
+impl Add for EmuDuration {
+    type Output = EmuDuration;
+    #[inline]
+    fn add(self, other: EmuDuration) -> EmuDuration {
+        EmuDuration(self.0.saturating_add(other.0))
+    }
+}
+
+impl AddAssign for EmuDuration {
+    #[inline]
+    fn add_assign(&mut self, other: EmuDuration) {
+        *self = *self + other;
+    }
+}
+
+impl Sub for EmuDuration {
+    type Output = EmuDuration;
+    #[inline]
+    fn sub(self, other: EmuDuration) -> EmuDuration {
+        EmuDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl SubAssign for EmuDuration {
+    #[inline]
+    fn sub_assign(&mut self, other: EmuDuration) {
+        *self = *self - other;
+    }
+}
+
+impl Neg for EmuDuration {
+    type Output = EmuDuration;
+    #[inline]
+    fn neg(self) -> EmuDuration {
+        EmuDuration(self.0.saturating_neg())
+    }
+}
+
+impl Mul<i64> for EmuDuration {
+    type Output = EmuDuration;
+    #[inline]
+    fn mul(self, k: i64) -> EmuDuration {
+        EmuDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Div<i64> for EmuDuration {
+    type Output = EmuDuration;
+    #[inline]
+    fn div(self, k: i64) -> EmuDuration {
+        EmuDuration(self.0 / k)
+    }
+}
+
+impl fmt::Display for EmuTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for EmuDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(EmuTime::from_secs(2), EmuTime::from_millis(2_000));
+        assert_eq!(EmuTime::from_millis(3), EmuTime::from_micros(3_000));
+        assert_eq!(EmuTime::from_micros(5), EmuTime::from_nanos(5_000));
+        assert_eq!(EmuTime::from_secs_f64(1.5), EmuTime::from_millis(1_500));
+        assert_eq!(EmuDuration::from_secs(1), EmuDuration::from_nanos(1_000_000_000));
+    }
+
+    #[test]
+    fn negative_float_seconds_saturate_to_epoch() {
+        assert_eq!(EmuTime::from_secs_f64(-3.0), EmuTime::ZERO);
+        assert_eq!(EmuTime::from_secs_f64(f64::NAN), EmuTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = EmuTime::from_secs(10);
+        let d = EmuDuration::from_millis(250);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t - EmuDuration::from_secs(20), EmuTime::ZERO); // saturates
+    }
+
+    #[test]
+    fn negative_durations() {
+        let a = EmuTime::from_secs(1);
+        let b = EmuTime::from_secs(3);
+        let d = a - b;
+        assert!(d.is_negative());
+        assert_eq!(d.abs(), EmuDuration::from_secs(2));
+        assert_eq!(b + d, a);
+        assert_eq!(d.to_std(), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = EmuDuration::from_millis(10);
+        assert_eq!(d * 3, EmuDuration::from_millis(30));
+        assert_eq!((d * 3) / 3, d);
+        assert_eq!(-d, EmuDuration::from_millis(-10));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = EmuTime::from_secs(1);
+        let b = EmuTime::from_secs(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(EmuTime::from_millis(1500).to_string(), "1.500000s");
+        assert_eq!(EmuDuration::from_millis(-2).to_string(), "-0.002000s");
+    }
+
+    #[test]
+    fn saturating_extremes() {
+        assert_eq!(EmuTime::MAX + EmuDuration::from_secs(1), EmuTime::MAX);
+        let huge = EmuDuration::from_nanos(i64::MAX);
+        assert_eq!(huge + huge, EmuDuration::from_nanos(i64::MAX));
+    }
+}

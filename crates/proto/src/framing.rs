@@ -1,0 +1,236 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Every protocol message travels as one frame: a 4-byte little-endian
+//! length followed by the codec-encoded message body. [`MsgWriter`] /
+//! [`MsgReader`] wrap blocking `Write`/`Read` halves (a `TcpStream` and its
+//! `try_clone`, or an in-memory [`crate::pipe`]); [`FrameDecoder`] is a
+//! feed-style reassembler for callers that manage their own buffers.
+
+use crate::codec::{from_bytes, to_bytes, CodecError};
+use bytes::{Buf, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame body, guarding against corrupt or hostile length
+/// prefixes. Generously above any real PoEm message (packets are MTU-ish).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+fn codec_err(e: CodecError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Writes framed messages to a byte sink.
+#[derive(Debug)]
+pub struct MsgWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> MsgWriter<W> {
+    /// Wraps a sink.
+    pub fn new(w: W) -> Self {
+        MsgWriter { w }
+    }
+
+    /// Encodes and writes one message, flushing the sink.
+    pub fn send<T: Serialize>(&mut self, msg: &T) -> io::Result<()> {
+        let body = to_bytes(msg).map_err(codec_err)?;
+        if body.len() > MAX_FRAME_LEN {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+        }
+        self.w.write_all(&(body.len() as u32).to_le_bytes())?;
+        self.w.write_all(&body)?;
+        self.w.flush()
+    }
+
+    /// Consumes the writer, returning the sink.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+/// Reads framed messages from a byte source.
+#[derive(Debug)]
+pub struct MsgReader<R: Read> {
+    r: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> MsgReader<R> {
+    /// Wraps a source.
+    pub fn new(r: R) -> Self {
+        MsgReader { r, buf: Vec::new() }
+    }
+
+    /// Blocks until one full message arrives and decodes it.
+    ///
+    /// Returns `ErrorKind::UnexpectedEof` if the stream closes mid-frame
+    /// (or before a frame starts — callers distinguish clean shutdown by
+    /// protocol, e.g. receiving `Bye`/`Shutdown` first).
+    pub fn recv<T: DeserializeOwned>(&mut self) -> io::Result<T> {
+        let mut len_bytes = [0u8; 4];
+        self.r.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length exceeds cap"));
+        }
+        self.buf.resize(len, 0);
+        self.r.read_exact(&mut self.buf)?;
+        from_bytes(&self.buf).map_err(codec_err)
+    }
+
+    /// Consumes the reader, returning the source.
+    pub fn into_inner(self) -> R {
+        self.r
+    }
+}
+
+/// Feed-style frame reassembler: push arbitrary byte chunks in, pull
+/// complete frame bodies out.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete frame body, if one has fully arrived.
+    ///
+    /// Returns `Err` on a length prefix over [`MAX_FRAME_LEN`]; the decoder
+    /// is then poisoned and the connection should be dropped.
+    pub fn next_frame(&mut self) -> io::Result<Option<BytesMut>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length exceeds cap"));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len)))
+    }
+
+    /// Decodes the next complete frame as `T`, if available.
+    pub fn next_msg<T: DeserializeOwned>(&mut self) -> io::Result<Option<T>> {
+        match self.next_frame()? {
+            Some(body) => from_bytes(&body).map(Some).map_err(codec_err),
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{ClientMsg, ServerMsg};
+    use poem_core::{EmuTime, NodeId};
+    use std::io::Cursor;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = MsgWriter::new(Vec::new());
+        let msgs = vec![
+            ClientMsg::hello(NodeId(1)),
+            ClientMsg::SyncRequest { t_c1: EmuTime::from_millis(9) },
+            ClientMsg::Bye,
+        ];
+        for m in &msgs {
+            w.send(m).unwrap();
+        }
+        let bytes = w.into_inner();
+        let mut r = MsgReader::new(Cursor::new(bytes));
+        for m in &msgs {
+            let got: ClientMsg = r.recv().unwrap();
+            assert_eq!(&got, m);
+        }
+        // Stream exhausted → UnexpectedEof.
+        let err = r.recv::<ClientMsg>().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_frame_is_eof() {
+        let mut w = MsgWriter::new(Vec::new());
+        w.send(&ClientMsg::hello(NodeId(1))).unwrap();
+        let mut bytes = w.into_inner();
+        bytes.truncate(bytes.len() - 1);
+        let mut r = MsgReader::new(Cursor::new(bytes));
+        assert_eq!(r.recv::<ClientMsg>().unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut bytes = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        let mut r = MsgReader::new(Cursor::new(bytes));
+        assert_eq!(r.recv::<ClientMsg>().unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn decoder_reassembles_split_chunks() {
+        let mut w = MsgWriter::new(Vec::new());
+        w.send(&ServerMsg::Shutdown).unwrap();
+        w.send(&ServerMsg::Refused { reason: "x".into() }).unwrap();
+        let bytes = w.into_inner();
+
+        let mut d = FrameDecoder::new();
+        let mut out: Vec<ServerMsg> = Vec::new();
+        // Feed one byte at a time — worst-case fragmentation.
+        for b in &bytes {
+            d.feed(std::slice::from_ref(b));
+            while let Some(m) = d.next_msg::<ServerMsg>().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, vec![ServerMsg::Shutdown, ServerMsg::Refused { reason: "x".into() }]);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn decoder_handles_coalesced_frames() {
+        let mut w = MsgWriter::new(Vec::new());
+        for i in 0..10u32 {
+            w.send(&ClientMsg::hello(NodeId(i))).unwrap();
+        }
+        let mut d = FrameDecoder::new();
+        d.feed(&w.into_inner());
+        let mut n = 0;
+        while let Some(ClientMsg::Hello { node, .. }) = d.next_msg::<ClientMsg>().unwrap() {
+            assert_eq!(node, NodeId(n));
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn decoder_rejects_hostile_prefix() {
+        let mut d = FrameDecoder::new();
+        d.feed(&u32::MAX.to_le_bytes());
+        assert!(d.next_frame().is_err());
+    }
+
+    #[test]
+    fn empty_decoder_yields_nothing() {
+        let mut d = FrameDecoder::new();
+        assert!(d.next_frame().unwrap().is_none());
+        d.feed(&[1, 0]);
+        assert!(d.next_frame().unwrap().is_none(), "partial length prefix");
+    }
+}

@@ -1,0 +1,191 @@
+//! Client↔server message sets.
+//!
+//! The protocol is deliberately small — PoEm clients only ever (1) register
+//! as a VMN, (2) run the Fig. 5 clock-sync handshake, (3) ship time-stamped
+//! traffic, and (4) leave; the server (1) acknowledges registration,
+//! (2) answers sync requests, (3) delivers forwarded traffic, and
+//! (4) announces shutdown.
+
+use poem_core::{EmuPacket, EmuTime, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Current protocol version; bumped on any wire-incompatible change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Messages flowing client → server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientMsg {
+    /// Registration: the client claims a VMN identity. First message on
+    /// every connection.
+    Hello {
+        /// Protocol version spoken by the client.
+        version: u16,
+        /// The VMN this client embodies.
+        node: NodeId,
+    },
+    /// Step 1 of the Fig. 5 handshake: carries the client's local send
+    /// time `t_c1`.
+    SyncRequest {
+        /// Client clock at send time.
+        t_c1: EmuTime,
+    },
+    /// An emulated packet, already time-stamped by the client
+    /// (`packet.sent_at` — the parallel time-stamping).
+    Data(EmuPacket),
+    /// Graceful disconnect.
+    Bye,
+}
+
+/// Messages flowing server → client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerMsg {
+    /// Registration accepted.
+    Welcome {
+        /// Protocol version spoken by the server.
+        version: u16,
+        /// Echo of the registered VMN id.
+        node: NodeId,
+        /// Server clock at acceptance (informational; clients synchronize
+        /// properly via the handshake).
+        server_time: EmuTime,
+    },
+    /// Registration rejected (duplicate VMN, unknown VMN, bad version).
+    Refused {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Step 3 of the Fig. 5 handshake: carries the server reply time
+    /// `t_s3` and the echo term `t_c1 + t_s3 − t_s2`.
+    SyncReply {
+        /// Server clock at reply time.
+        t_s3: EmuTime,
+        /// `t_c1 + t_s3 − t_s2` as computed by the server.
+        echo: EmuTime,
+    },
+    /// A forwarded packet delivered to this client.
+    Deliver {
+        /// The packet (original client timestamp preserved).
+        packet: EmuPacket,
+        /// Server emulation time at which the forward fired (§3.2 step 6).
+        forwarded_at: EmuTime,
+    },
+    /// The emulation is over; the client should disconnect.
+    Shutdown,
+}
+
+impl ClientMsg {
+    /// Builds the registration message for `node`.
+    pub fn hello(node: NodeId) -> Self {
+        ClientMsg::Hello { version: PROTOCOL_VERSION, node }
+    }
+}
+
+impl ServerMsg {
+    /// Computes the [`ServerMsg::SyncReply`] for a request per the Fig. 5
+    /// arithmetic: given `t_c1` (from the request), `t_s2` (server receive
+    /// time) and `t_s3` (now), echo is `t_c1 + t_s3 − t_s2`.
+    pub fn sync_reply(t_c1: EmuTime, t_s2: EmuTime, t_s3: EmuTime) -> Self {
+        let echo = t_c1 + (t_s3 - t_s2);
+        ServerMsg::SyncReply { t_s3, echo }
+    }
+}
+
+/// Client-side completion of the handshake (steps 5–6): given the reply
+/// and the local receive time `t_c4`, returns the estimated server time
+/// `t_s4` and the offset to apply to the local emulation clock.
+pub fn finish_sync(reply_t_s3: EmuTime, reply_echo: EmuTime, t_c4: EmuTime) -> (EmuTime, poem_core::EmuDuration) {
+    let t_d = (t_c4 - reply_echo) / 2;
+    let t_s4 = reply_t_s3 + t_d;
+    (t_s4, t_s4 - t_c4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+    use poem_core::clock::sync::{simulate_handshake, SyncSample};
+    use poem_core::{ChannelId, EmuDuration, PacketId, RadioId};
+
+    #[test]
+    fn client_messages_roundtrip() {
+        let msgs = vec![
+            ClientMsg::hello(NodeId(4)),
+            ClientMsg::SyncRequest { t_c1: EmuTime::from_millis(3) },
+            ClientMsg::Data(EmuPacket::new(
+                PacketId(9),
+                NodeId(4),
+                poem_core::packet::Destination::Unicast(NodeId(2)),
+                ChannelId(1),
+                RadioId(0),
+                EmuTime::from_micros(77),
+                vec![9u8; 64],
+            )),
+            ClientMsg::Bye,
+        ];
+        for m in msgs {
+            let bytes = to_bytes(&m).unwrap();
+            assert_eq!(from_bytes::<ClientMsg>(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        let msgs = vec![
+            ServerMsg::Welcome {
+                version: PROTOCOL_VERSION,
+                node: NodeId(1),
+                server_time: EmuTime::from_secs(5),
+            },
+            ServerMsg::Refused { reason: "duplicate VMN1".into() },
+            ServerMsg::SyncReply { t_s3: EmuTime::from_secs(1), echo: EmuTime::from_secs(2) },
+            ServerMsg::Deliver {
+                packet: EmuPacket::new(
+                    PacketId(1),
+                    NodeId(2),
+                    poem_core::packet::Destination::Broadcast,
+                    ChannelId(3),
+                    RadioId(1),
+                    EmuTime::from_millis(1),
+                    vec![0u8; 16],
+                ),
+                forwarded_at: EmuTime::from_millis(2),
+            },
+            ServerMsg::Shutdown,
+        ];
+        for m in msgs {
+            let bytes = to_bytes(&m).unwrap();
+            assert_eq!(from_bytes::<ServerMsg>(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn sync_reply_matches_paper_arithmetic() {
+        let t_c1 = EmuTime::from_millis(100);
+        let t_s2 = EmuTime::from_millis(500);
+        let t_s3 = EmuTime::from_millis(502);
+        match ServerMsg::sync_reply(t_c1, t_s2, t_s3) {
+            ServerMsg::SyncReply { t_s3: s3, echo } => {
+                assert_eq!(s3, t_s3);
+                assert_eq!(echo, EmuTime::from_millis(102)); // t_c1 + (t_s3 - t_s2)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn finish_sync_agrees_with_core_solver() {
+        let sample: SyncSample = simulate_handshake(
+            EmuTime::from_secs(10),
+            EmuTime::from_secs(90),
+            EmuDuration::from_millis(7),
+            EmuDuration::from_millis(7),
+            EmuDuration::from_millis(1),
+        );
+        let core = sample.solve();
+        // The wire path: server computes the echo; client finishes.
+        let echo = sample.t_c1 + (sample.t_s3 - sample.t_s2);
+        let (t_s4, offset) = finish_sync(sample.t_s3, echo, sample.t_c4);
+        assert_eq!(t_s4, core.estimated_server_now);
+        assert_eq!(offset, core.offset);
+    }
+}

@@ -1,0 +1,195 @@
+//! An in-memory blocking byte pipe.
+//!
+//! [`pipe()`] returns connected `(PipeWriter, PipeReader)` halves whose
+//! `Write`/`Read` implementations behave like a loopback TCP stream:
+//! writes append to a shared buffer, reads block until bytes (or EOF)
+//! arrive. Dropping the writer closes the stream (reads drain the buffer
+//! and then return `Ok(0)`).
+//!
+//! This lets tests and deterministic experiments run the *identical*
+//! framing + codec path the TCP deployment uses, without sockets.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Shared {
+    buf: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+#[derive(Default)]
+struct PipeState {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+/// The write half of an in-memory pipe.
+pub struct PipeWriter {
+    shared: Arc<Shared>,
+}
+
+/// The read half of an in-memory pipe.
+pub struct PipeReader {
+    shared: Arc<Shared>,
+}
+
+/// Creates a connected unidirectional pipe.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(Shared::default());
+    (PipeWriter { shared: Arc::clone(&shared) }, PipeReader { shared })
+}
+
+/// Creates a connected bidirectional link: returns two `(writer, reader)`
+/// endpoints, A and B, where A's writer feeds B's reader and vice versa —
+/// the in-memory analogue of one TCP connection.
+pub fn duplex() -> ((PipeWriter, PipeReader), (PipeWriter, PipeReader)) {
+    let (aw, br) = pipe();
+    let (bw, ar) = pipe();
+    ((aw, ar), (bw, br))
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut state = self.shared.buf.lock();
+        if state.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        state.data.extend(buf.iter().copied());
+        self.shared.readable.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        let mut state = self.shared.buf.lock();
+        state.closed = true;
+        self.shared.readable.notify_all();
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.shared.buf.lock();
+        while state.data.is_empty() && !state.closed {
+            self.shared.readable.wait(&mut state);
+        }
+        if state.data.is_empty() {
+            return Ok(0); // EOF
+        }
+        let n = buf.len().min(state.data.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = state.data.pop_front().expect("checked non-empty");
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        // Mark closed so writers see BrokenPipe instead of buffering
+        // forever into a pipe nobody will read.
+        let mut state = self.shared.buf.lock();
+        state.closed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framing::{MsgReader, MsgWriter};
+    use crate::messages::ClientMsg;
+    use poem_core::NodeId;
+    use std::thread;
+
+    #[test]
+    fn bytes_flow_through() {
+        let (mut w, mut r) = pipe();
+        w.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn read_blocks_until_write() {
+        let (mut w, mut r) = pipe();
+        let t = thread::spawn(move || {
+            let mut buf = [0u8; 3];
+            r.read_exact(&mut buf).unwrap();
+            buf
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        w.write_all(b"abc").unwrap();
+        assert_eq!(t.join().unwrap(), *b"abc");
+    }
+
+    #[test]
+    fn dropping_writer_signals_eof() {
+        let (w, mut r) = pipe();
+        drop(w);
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn buffered_bytes_survive_writer_drop() {
+        let (mut w, mut r) = pipe();
+        w.write_all(b"tail").unwrap();
+        drop(w);
+        let mut s = String::new();
+        r.read_to_string(&mut s).unwrap();
+        assert_eq!(s, "tail");
+    }
+
+    #[test]
+    fn write_after_reader_drop_is_broken_pipe() {
+        let (mut w, r) = pipe();
+        drop(r);
+        let err = w.write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn duplex_carries_framed_messages_both_ways() {
+        let ((aw, ar), (bw, br)) = duplex();
+        let mut a_tx = MsgWriter::new(aw);
+        let mut a_rx = MsgReader::new(ar);
+        let mut b_tx = MsgWriter::new(bw);
+        let mut b_rx = MsgReader::new(br);
+
+        let t = thread::spawn(move || {
+            let got: ClientMsg = b_rx.recv().unwrap();
+            assert_eq!(got, ClientMsg::hello(NodeId(5)));
+            b_tx.send(&ClientMsg::Bye).unwrap();
+        });
+        a_tx.send(&ClientMsg::hello(NodeId(5))).unwrap();
+        let reply: ClientMsg = a_rx.recv().unwrap();
+        assert_eq!(reply, ClientMsg::Bye);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn large_transfer_integrity() {
+        let (mut w, mut r) = pipe();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = data.clone();
+        let t = thread::spawn(move || {
+            w.write_all(&data).unwrap();
+        });
+        let mut got = Vec::new();
+        r.read_to_end(&mut got).unwrap();
+        t.join().unwrap();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,28 @@
+//! # poem-record — traffic/scene recording and post-emulation replay
+//!
+//! PoEm's §3.2 step 7: "one recording thread collects the complete
+//! information of every incoming/outgoing packet to the database for later
+//! statistics and replay. Another recording thread gathers the detailed
+//! information of the varying scene for post-emulation replay."
+//!
+//! The paper logs to a SQL database over ODBC; this crate is the embedded
+//! substitute (see DESIGN.md): typed, append-only logs with file
+//! persistence in the workspace's own binary codec, a query layer for the
+//! statistics the evaluation needs, and a [`replay`] engine that
+//! reconstructs the scene at any emulation time and steps through the run
+//! chronologically.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod query;
+pub mod records;
+pub mod replay;
+pub mod scenestats;
+pub mod store;
+
+pub use query::{CopyCounts, TrafficQuery};
+pub use records::{DropReason, SceneRecord, TrafficRecord};
+pub use replay::ReplayEngine;
+pub use scenestats::{OpHistogram, SceneStats};
+pub use store::{LogStore, Recorder};

@@ -1,0 +1,385 @@
+//! Query layer over the traffic log — the statistics side of §3.2 step 7.
+//!
+//! Queries work on a slice of [`TrafficRecord`]s (live snapshot or loaded
+//! log) and compute what the evaluation needs: per-hop loss-rate series
+//! (Fig. 10's metric), forwarding-delay samples, throughput series and
+//! per-node counters. Filters compose: `TrafficQuery::new(&recs)
+//! .from(NodeId(1)).on_channel(ChannelId(2)).loss_series(window)`.
+
+use crate::records::{DropReason, TrafficRecord};
+use poem_core::stats::{SeriesPoint, Summary, WindowedLossMeter};
+use poem_core::{ChannelId, EmuDuration, EmuTime, NodeId, PacketId};
+use std::collections::HashMap;
+
+/// Ingress metadata used to attribute per-copy outcomes.
+#[derive(Debug, Clone, Copy)]
+struct IngressInfo {
+    src: NodeId,
+    channel: ChannelId,
+    bytes: u32,
+    sent_at: EmuTime,
+}
+
+/// Per-copy outcome counts of a query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CopyCounts {
+    /// Copies forwarded to their destination.
+    pub forwarded: u64,
+    /// Copies dropped by the link-model loss draw.
+    pub loss: u64,
+    /// Copies dropped for lack of a route.
+    pub no_route: u64,
+    /// Copies dropped because the destination client was gone.
+    pub disconnected: u64,
+    /// Copies destroyed by MAC collisions.
+    pub collision: u64,
+}
+
+impl CopyCounts {
+    /// All drops combined.
+    pub fn dropped(&self) -> u64 {
+        self.loss + self.no_route + self.disconnected + self.collision
+    }
+
+    /// Total copies considered.
+    pub fn total(&self) -> u64 {
+        self.forwarded + self.dropped()
+    }
+}
+
+/// A filtered view over a traffic log.
+#[derive(Debug, Clone)]
+pub struct TrafficQuery<'a> {
+    records: &'a [TrafficRecord],
+    src: Option<NodeId>,
+    dst: Option<NodeId>,
+    channel: Option<ChannelId>,
+}
+
+impl<'a> TrafficQuery<'a> {
+    /// A query over all records.
+    pub fn new(records: &'a [TrafficRecord]) -> Self {
+        TrafficQuery { records, src: None, dst: None, channel: None }
+    }
+
+    /// Restricts to packets originated by `src`.
+    pub fn from(mut self, src: NodeId) -> Self {
+        self.src = Some(src);
+        self
+    }
+
+    /// Restricts to copies destined to `dst`.
+    pub fn to(mut self, dst: NodeId) -> Self {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Restricts to packets transmitted on `channel`.
+    pub fn on_channel(mut self, channel: ChannelId) -> Self {
+        self.channel = Some(channel);
+        self
+    }
+
+    fn ingress_index(&self) -> HashMap<PacketId, IngressInfo> {
+        self.records
+            .iter()
+            .filter_map(|r| match *r {
+                TrafficRecord::Ingress { id, src, channel, bytes, sent_at, .. } => {
+                    Some((id, IngressInfo { src, channel, bytes, sent_at }))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn copy_matches(&self, info: &IngressInfo, to: NodeId) -> bool {
+        self.src.is_none_or(|s| s == info.src)
+            && self.dst.is_none_or(|d| d == to)
+            && self.channel.is_none_or(|c| c == info.channel)
+    }
+
+    /// Per-hop loss-rate series: copies dropped / copies considered,
+    /// bucketed by the originating client timestamp.
+    pub fn loss_series(&self, window: EmuDuration) -> Vec<SeriesPoint> {
+        let idx = self.ingress_index();
+        let mut meter = WindowedLossMeter::new(window);
+        for r in self.records {
+            match *r {
+                TrafficRecord::Forward { id, to, .. } => {
+                    if let Some(info) = idx.get(&id) {
+                        if self.copy_matches(info, to) {
+                            meter.record_sent(info.sent_at);
+                            meter.record_received(info.sent_at);
+                        }
+                    }
+                }
+                TrafficRecord::Drop { id, to, .. } => {
+                    if let Some(info) = idx.get(&id) {
+                        if self.copy_matches(info, to) {
+                            meter.record_sent(info.sent_at);
+                        }
+                    }
+                }
+                TrafficRecord::Ingress { .. } => {}
+            }
+        }
+        meter.series()
+    }
+
+    /// Overall per-hop loss rate; `None` with no matching copies.
+    pub fn overall_loss(&self, window: EmuDuration) -> Option<f64> {
+        let idx = self.ingress_index();
+        let mut meter = WindowedLossMeter::new(window);
+        for r in self.records {
+            match *r {
+                TrafficRecord::Forward { id, to, .. } => {
+                    if let Some(info) = idx.get(&id) {
+                        if self.copy_matches(info, to) {
+                            meter.record_sent(info.sent_at);
+                            meter.record_received(info.sent_at);
+                        }
+                    }
+                }
+                TrafficRecord::Drop { id, to, .. } => {
+                    if let Some(info) = idx.get(&id) {
+                        if self.copy_matches(info, to) {
+                            meter.record_sent(info.sent_at);
+                        }
+                    }
+                }
+                TrafficRecord::Ingress { .. } => {}
+            }
+        }
+        meter.overall()
+    }
+
+    /// Forwarding-delay samples (forward time − client send stamp) for
+    /// matching delivered copies.
+    pub fn delay_samples(&self) -> Vec<EmuDuration> {
+        let idx = self.ingress_index();
+        self.records
+            .iter()
+            .filter_map(|r| match *r {
+                TrafficRecord::Forward { id, to, at } => {
+                    let info = idx.get(&id)?;
+                    self.copy_matches(info, to).then(|| at - info.sent_at)
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Summary of forwarding delays, in seconds.
+    pub fn delay_summary(&self) -> Option<Summary> {
+        Summary::of_durations(&self.delay_samples())
+    }
+
+    /// Delivered throughput in bits/second, bucketed by forward time.
+    pub fn throughput_series(&self, window: EmuDuration) -> Vec<SeriesPoint> {
+        let idx = self.ingress_index();
+        let w_ns = window.as_nanos() as u64;
+        let w_secs = window.as_secs_f64();
+        let mut bits: HashMap<u64, f64> = HashMap::new();
+        for r in self.records {
+            if let TrafficRecord::Forward { id, to, at } = *r {
+                if let Some(info) = idx.get(&id) {
+                    if self.copy_matches(info, to) {
+                        *bits.entry(at.as_nanos() / w_ns).or_default() += info.bytes as f64 * 8.0;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<SeriesPoint> = bits
+            .into_iter()
+            .map(|(b, v)| SeriesPoint { t: b as f64 * w_secs, value: v / w_secs })
+            .collect();
+        out.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite times"));
+        out
+    }
+
+    /// Per-copy outcome counts.
+    pub fn copy_counts(&self) -> CopyCounts {
+        let idx = self.ingress_index();
+        let mut counts = CopyCounts::default();
+        for r in self.records {
+            match *r {
+                TrafficRecord::Forward { id, to, .. } => {
+                    if idx.get(&id).is_some_and(|i| self.copy_matches(i, to)) {
+                        counts.forwarded += 1;
+                    }
+                }
+                TrafficRecord::Drop { id, to, reason, .. } => {
+                    if idx.get(&id).is_some_and(|i| self.copy_matches(i, to)) {
+                        match reason {
+                            DropReason::Loss => counts.loss += 1,
+                            DropReason::NoRoute => counts.no_route += 1,
+                            DropReason::Disconnected => counts.disconnected += 1,
+                            DropReason::Collision => counts.collision += 1,
+                        }
+                    }
+                }
+                TrafficRecord::Ingress { .. } => {}
+            }
+        }
+        counts
+    }
+
+    /// Number of matching ingress rows (packets offered by clients).
+    pub fn offered(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| match **r {
+                TrafficRecord::Ingress { src, channel, .. } => {
+                    self.src.is_none_or(|s| s == src)
+                        && self.channel.is_none_or(|c| c == channel)
+                }
+                _ => false,
+            })
+            .count() as u64
+    }
+
+    /// The recording error of serial server-side time-stamping relative to
+    /// the client's parallel stamp: `received_at − sent_at` per ingress —
+    /// the quantity Fig. 2 is about. (Includes genuine uplink delay; under
+    /// zero-delay control links it is pure serialization error.)
+    pub fn stamp_skew_samples(&self) -> Vec<EmuDuration> {
+        self.records
+            .iter()
+            .filter_map(|r| match *r {
+                TrafficRecord::Ingress { src, channel, sent_at, received_at, .. } => {
+                    (self.src.is_none_or(|s| s == src)
+                        && self.channel.is_none_or(|c| c == channel))
+                    .then(|| received_at - sent_at)
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::packet::Destination;
+
+    /// Builds a two-destination log: packets from VMN1 on ch1; copies to
+    /// VMN2 always forwarded, copies to VMN3 dropped after the first two.
+    fn sample_log() -> Vec<TrafficRecord> {
+        let mut recs = Vec::new();
+        for i in 0..10u64 {
+            let id = PacketId(i);
+            let sent = EmuTime::from_millis(i * 100);
+            recs.push(TrafficRecord::Ingress {
+                id,
+                src: NodeId(1),
+                dst: Destination::Broadcast,
+                channel: ChannelId(1),
+                bytes: 125,
+                sent_at: sent,
+                received_at: sent + EmuDuration::from_micros(50),
+            });
+            recs.push(TrafficRecord::Forward {
+                id,
+                to: NodeId(2),
+                at: sent + EmuDuration::from_millis(1),
+            });
+            if i < 2 {
+                recs.push(TrafficRecord::Forward {
+                    id,
+                    to: NodeId(3),
+                    at: sent + EmuDuration::from_millis(2),
+                });
+            } else {
+                recs.push(TrafficRecord::Drop {
+                    id,
+                    to: NodeId(3),
+                    at: sent,
+                    reason: DropReason::Loss,
+                });
+            }
+        }
+        recs
+    }
+
+    #[test]
+    fn overall_loss_counts_copies() {
+        let recs = sample_log();
+        // 20 copies total: 12 forwarded, 8 dropped.
+        let q = TrafficQuery::new(&recs);
+        let counts = q.copy_counts();
+        assert_eq!((counts.forwarded, counts.loss), (12, 8));
+        assert_eq!(counts.dropped(), 8);
+        assert_eq!(counts.total(), 20);
+        let loss = q.overall_loss(EmuDuration::from_secs(1)).unwrap();
+        assert!((loss - 0.4).abs() < 1e-12, "{loss}");
+    }
+
+    #[test]
+    fn destination_filter() {
+        let recs = sample_log();
+        let to2 = TrafficQuery::new(&recs).to(NodeId(2));
+        assert_eq!(to2.overall_loss(EmuDuration::from_secs(1)), Some(0.0));
+        let to3 = TrafficQuery::new(&recs).to(NodeId(3));
+        let loss = to3.overall_loss(EmuDuration::from_secs(1)).unwrap();
+        assert!((loss - 0.8).abs() < 1e-12, "{loss}");
+    }
+
+    #[test]
+    fn source_and_channel_filters() {
+        let recs = sample_log();
+        assert_eq!(TrafficQuery::new(&recs).from(NodeId(1)).offered(), 10);
+        assert_eq!(TrafficQuery::new(&recs).from(NodeId(9)).offered(), 0);
+        assert_eq!(TrafficQuery::new(&recs).on_channel(ChannelId(2)).offered(), 0);
+        assert_eq!(
+            TrafficQuery::new(&recs).on_channel(ChannelId(2)).copy_counts(),
+            CopyCounts::default()
+        );
+    }
+
+    #[test]
+    fn loss_series_windows() {
+        let recs = sample_log();
+        // 100 ms sends over 1 s; 500 ms windows → 2 buckets of 5 packets
+        // (10 copies each). First bucket: i=0..4 → 5 fwd to 2, 2 fwd to 3,
+        // 3 drops → 3/10 loss. Second: i=5..9 → 5 fwd, 5 drops → 0.5.
+        let s = TrafficQuery::new(&recs).loss_series(EmuDuration::from_millis(500));
+        assert_eq!(s.len(), 2);
+        assert!((s[0].value - 0.3).abs() < 1e-12, "{}", s[0].value);
+        assert!((s[1].value - 0.5).abs() < 1e-12, "{}", s[1].value);
+    }
+
+    #[test]
+    fn delay_summary_reflects_forward_lag() {
+        let recs = sample_log();
+        let sum = TrafficQuery::new(&recs).to(NodeId(2)).delay_summary().unwrap();
+        assert_eq!(sum.count, 10);
+        assert!((sum.mean - 0.001).abs() < 1e-9, "{}", sum.mean);
+    }
+
+    #[test]
+    fn throughput_series_sums_bits() {
+        let recs = sample_log();
+        // To VMN2: 125 bytes × 10 forwards over ~1 s.
+        let tp = TrafficQuery::new(&recs).to(NodeId(2)).throughput_series(EmuDuration::from_secs(1));
+        let total: f64 = tp.iter().map(|p| p.value).sum();
+        assert!((total - 10_000.0).abs() < 1e-6, "{total}");
+    }
+
+    #[test]
+    fn stamp_skew_measures_serialization() {
+        let recs = sample_log();
+        let skews = TrafficQuery::new(&recs).stamp_skew_samples();
+        assert_eq!(skews.len(), 10);
+        assert!(skews.iter().all(|&d| d == EmuDuration::from_micros(50)));
+    }
+
+    #[test]
+    fn empty_log_queries() {
+        let recs: Vec<TrafficRecord> = Vec::new();
+        let q = TrafficQuery::new(&recs);
+        assert!(q.loss_series(EmuDuration::from_secs(1)).is_empty());
+        assert!(q.overall_loss(EmuDuration::from_secs(1)).is_none());
+        assert!(q.delay_summary().is_none());
+        assert_eq!(q.copy_counts(), CopyCounts::default());
+    }
+}

@@ -1,0 +1,197 @@
+//! Record schemas — the "tables" of the paper's database.
+
+use poem_core::packet::Destination;
+use poem_core::scene::SceneOp;
+use poem_core::{ChannelId, EmuPacket, EmuTime, NodeId, PacketId};
+use serde::{Deserialize, Serialize};
+
+/// Why a packet copy was not forwarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The link-model loss draw fired (§3.2 step 3).
+    Loss,
+    /// The destination was not a neighbor of the source on the packet's
+    /// channel (out of range, wrong channel, or removed).
+    NoRoute,
+    /// The destination client was not connected when the forward fired.
+    Disconnected,
+    /// A MAC-layer collision destroyed the reception (optional MAC models,
+    /// a §7 future-work extension).
+    Collision,
+}
+
+/// One row of the traffic log.
+///
+/// Each packet produces one `Ingress` row when the server receives it, and
+/// one `Forward` or `Drop` row per considered destination. The `id`
+/// correlates the legs (step 7: "the complete information of every
+/// incoming/outgoing packet").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficRecord {
+    /// The server received a packet from its originating client.
+    Ingress {
+        /// Packet id.
+        id: PacketId,
+        /// Originating VMN.
+        src: NodeId,
+        /// Link-layer destination.
+        dst: Destination,
+        /// Transmission channel.
+        channel: ChannelId,
+        /// Wire size, bytes.
+        bytes: u32,
+        /// The client-side (parallel) timestamp.
+        sent_at: EmuTime,
+        /// Server emulation time at reception — under serial server-side
+        /// time-stamping this is all a centralized emulator has; PoEm
+        /// records both so the recording error is itself measurable.
+        received_at: EmuTime,
+    },
+    /// A copy was forwarded to `to` at `at`.
+    Forward {
+        /// Packet id.
+        id: PacketId,
+        /// Receiving VMN.
+        to: NodeId,
+        /// Emulation time the forward fired (§3.2 step 6).
+        at: EmuTime,
+    },
+    /// A copy destined to `to` was dropped.
+    Drop {
+        /// Packet id.
+        id: PacketId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Emulation time of the decision.
+        at: EmuTime,
+        /// Cause.
+        reason: DropReason,
+    },
+}
+
+impl TrafficRecord {
+    /// Builds the `Ingress` row for a received packet.
+    pub fn ingress(pkt: &EmuPacket, received_at: EmuTime) -> Self {
+        TrafficRecord::Ingress {
+            id: pkt.id,
+            src: pkt.src,
+            dst: pkt.dst,
+            channel: pkt.channel,
+            bytes: pkt.wire_size() as u32,
+            sent_at: pkt.sent_at,
+            received_at,
+        }
+    }
+
+    /// The packet id the record refers to.
+    pub fn packet_id(&self) -> PacketId {
+        match *self {
+            TrafficRecord::Ingress { id, .. }
+            | TrafficRecord::Forward { id, .. }
+            | TrafficRecord::Drop { id, .. } => id,
+        }
+    }
+
+    /// The emulation time of the event (client stamp for ingress).
+    pub fn at(&self) -> EmuTime {
+        match *self {
+            TrafficRecord::Ingress { sent_at, .. } => sent_at,
+            TrafficRecord::Forward { at, .. } | TrafficRecord::Drop { at, .. } => at,
+        }
+    }
+}
+
+/// One row of the scene log: a timestamped scene operation.
+///
+/// The server appends a row for every applied [`SceneOp`] — interactive
+/// ops and the periodic position updates produced by mobility integration
+/// alike — so replay is an exact re-application of the log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneRecord {
+    /// When the op took effect.
+    pub at: EmuTime,
+    /// The operation.
+    pub op: SceneOp,
+}
+
+impl SceneRecord {
+    /// Builds a row.
+    pub fn new(at: EmuTime, op: SceneOp) -> Self {
+        SceneRecord { at, op }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::packet::Destination;
+    use poem_core::RadioId;
+
+    fn sample_packet() -> EmuPacket {
+        EmuPacket::new(
+            PacketId(42),
+            NodeId(1),
+            Destination::Unicast(NodeId(2)),
+            ChannelId(1),
+            RadioId(0),
+            EmuTime::from_millis(10),
+            vec![0u8; 100],
+        )
+    }
+
+    #[test]
+    fn ingress_captures_both_timestamps() {
+        let pkt = sample_packet();
+        let rec = TrafficRecord::ingress(&pkt, EmuTime::from_millis(12));
+        match rec {
+            TrafficRecord::Ingress { id, src, bytes, sent_at, received_at, .. } => {
+                assert_eq!(id, PacketId(42));
+                assert_eq!(src, NodeId(1));
+                assert_eq!(bytes as usize, pkt.wire_size());
+                assert_eq!(sent_at, EmuTime::from_millis(10));
+                assert_eq!(received_at, EmuTime::from_millis(12));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let f = TrafficRecord::Forward { id: PacketId(1), to: NodeId(2), at: EmuTime::from_secs(3) };
+        assert_eq!(f.packet_id(), PacketId(1));
+        assert_eq!(f.at(), EmuTime::from_secs(3));
+        let d = TrafficRecord::Drop {
+            id: PacketId(2),
+            to: NodeId(3),
+            at: EmuTime::from_secs(4),
+            reason: DropReason::Loss,
+        };
+        assert_eq!(d.packet_id(), PacketId(2));
+        assert_eq!(d.at(), EmuTime::from_secs(4));
+    }
+
+    #[test]
+    fn records_roundtrip_through_codec() {
+        let pkt = sample_packet();
+        let recs = vec![
+            TrafficRecord::ingress(&pkt, EmuTime::from_millis(12)),
+            TrafficRecord::Forward { id: PacketId(42), to: NodeId(2), at: EmuTime::from_millis(13) },
+            TrafficRecord::Drop {
+                id: PacketId(42),
+                to: NodeId(3),
+                at: EmuTime::from_millis(13),
+                reason: DropReason::NoRoute,
+            },
+        ];
+        for r in recs {
+            let bytes = poem_proto::to_bytes(&r).unwrap();
+            assert_eq!(poem_proto::from_bytes::<TrafficRecord>(&bytes).unwrap(), r);
+        }
+        let sr = SceneRecord::new(
+            EmuTime::from_secs(1),
+            SceneOp::RemoveNode { id: NodeId(7) },
+        );
+        let bytes = poem_proto::to_bytes(&sr).unwrap();
+        assert_eq!(poem_proto::from_bytes::<SceneRecord>(&bytes).unwrap(), sr);
+    }
+}

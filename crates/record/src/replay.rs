@@ -1,0 +1,272 @@
+//! Post-emulation replay (§3.2 step 7, Table 1's "Post-emulation Replay").
+//!
+//! The scene log records every applied `SceneOp` — interactive ops *and*
+//! the periodic position updates the server emits while integrating
+//! mobility — so replay is exact: re-applying the log's prefix up to time
+//! `t` reconstructs the scene as it stood at `t`, with no re-randomization.
+//!
+//! [`ReplayEngine`] supports random access ([`ReplayEngine::scene_at`]) and
+//! chronological stepping ([`ReplayEngine::player`]), and can merge the
+//! traffic log into one timeline ([`ReplayEngine::timeline`]) for the
+//! GUI-replacement renderer.
+
+use crate::records::{SceneRecord, TrafficRecord};
+use poem_core::scene::{Scene, SceneError};
+use poem_core::EmuTime;
+
+/// A replayable emulation run.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayEngine {
+    /// Scene ops sorted by time (stable for equal times).
+    scene_log: Vec<SceneRecord>,
+}
+
+/// One event on the merged replay timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayEvent {
+    /// A scene change.
+    Scene(SceneRecord),
+    /// A traffic event.
+    Traffic(TrafficRecord),
+}
+
+impl ReplayEvent {
+    /// Event time.
+    pub fn at(&self) -> EmuTime {
+        match self {
+            ReplayEvent::Scene(s) => s.at,
+            ReplayEvent::Traffic(t) => t.at(),
+        }
+    }
+}
+
+impl ReplayEngine {
+    /// Builds an engine from a scene log (sorted internally).
+    pub fn new(mut scene_log: Vec<SceneRecord>) -> Self {
+        scene_log.sort_by_key(|r| r.at);
+        ReplayEngine { scene_log }
+    }
+
+    /// Number of scene ops.
+    pub fn len(&self) -> usize {
+        self.scene_log.len()
+    }
+
+    /// True with no ops.
+    pub fn is_empty(&self) -> bool {
+        self.scene_log.is_empty()
+    }
+
+    /// The recorded ops, time-ordered.
+    pub fn ops(&self) -> &[SceneRecord] {
+        &self.scene_log
+    }
+
+    /// The time span `(first, last)` covered by the log, if non-empty.
+    pub fn span(&self) -> Option<(EmuTime, EmuTime)> {
+        Some((self.scene_log.first()?.at, self.scene_log.last()?.at))
+    }
+
+    /// Reconstructs the scene as of time `t` (ops with `at ≤ t` applied).
+    pub fn scene_at(&self, t: EmuTime) -> Result<Scene, SceneError> {
+        let mut scene = Scene::new();
+        for rec in self.scene_log.iter().take_while(|r| r.at <= t) {
+            scene.apply(rec.at, &rec.op)?;
+        }
+        Ok(scene)
+    }
+
+    /// A stepping player starting before the first op.
+    pub fn player(&self) -> Player<'_> {
+        Player { engine: self, scene: Scene::new(), cursor: 0 }
+    }
+
+    /// Merges this scene log with a traffic log into one time-ordered
+    /// timeline (stable: scene ops sort before traffic at equal times).
+    pub fn timeline(&self, traffic: &[TrafficRecord]) -> Vec<ReplayEvent> {
+        let mut events: Vec<ReplayEvent> = self
+            .scene_log
+            .iter()
+            .cloned()
+            .map(ReplayEvent::Scene)
+            .chain(traffic.iter().cloned().map(ReplayEvent::Traffic))
+            .collect();
+        events.sort_by_key(|e| {
+            let tie = match e {
+                ReplayEvent::Scene(_) => 0u8,
+                ReplayEvent::Traffic(_) => 1u8,
+            };
+            (e.at(), tie)
+        });
+        events
+    }
+}
+
+/// Chronological stepping over a replay.
+#[derive(Debug)]
+pub struct Player<'a> {
+    engine: &'a ReplayEngine,
+    scene: Scene,
+    cursor: usize,
+}
+
+impl<'a> Player<'a> {
+    /// The scene in its current replay state.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// The time of the next op, if any remain.
+    pub fn next_at(&self) -> Option<EmuTime> {
+        self.engine.scene_log.get(self.cursor).map(|r| r.at)
+    }
+
+    /// Applies the next op, returning it; `None` at the end.
+    pub fn step(&mut self) -> Result<Option<&SceneRecord>, SceneError> {
+        let Some(rec) = self.engine.scene_log.get(self.cursor) else {
+            return Ok(None);
+        };
+        self.scene.apply(rec.at, &rec.op)?;
+        self.cursor += 1;
+        Ok(Some(rec))
+    }
+
+    /// Fast-forwards through every op with `at ≤ t`. Returns the count
+    /// applied.
+    pub fn seek(&mut self, t: EmuTime) -> Result<usize, SceneError> {
+        let mut n = 0;
+        while self.next_at().is_some_and(|at| at <= t) {
+            self.step()?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Ops already applied.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// True when every op has been applied.
+    pub fn finished(&self) -> bool {
+        self.cursor >= self.engine.scene_log.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::linkmodel::LinkParams;
+    use poem_core::mobility::MobilityModel;
+    use poem_core::radio::RadioConfig;
+    use poem_core::scene::SceneOp;
+    use poem_core::{ChannelId, NodeId, PacketId, Point};
+
+    fn add_op(id: u32, x: f64) -> SceneOp {
+        SceneOp::AddNode {
+            id: NodeId(id),
+            pos: Point::new(x, 0.0),
+            radios: RadioConfig::single(ChannelId(1), 100.0),
+            mobility: MobilityModel::Stationary,
+            link: LinkParams::ideal(1e6),
+        }
+    }
+
+    fn sample_log() -> Vec<SceneRecord> {
+        vec![
+            SceneRecord::new(EmuTime::from_secs(0), add_op(1, 0.0)),
+            SceneRecord::new(EmuTime::from_secs(0), add_op(2, 50.0)),
+            SceneRecord::new(
+                EmuTime::from_secs(5),
+                SceneOp::MoveNode { id: NodeId(2), pos: Point::new(300.0, 0.0) },
+            ),
+            SceneRecord::new(EmuTime::from_secs(10), SceneOp::RemoveNode { id: NodeId(2) }),
+        ]
+    }
+
+    #[test]
+    fn scene_at_reconstructs_prefix() {
+        let engine = ReplayEngine::new(sample_log());
+        let s0 = engine.scene_at(EmuTime::from_secs(0)).unwrap();
+        assert_eq!(s0.len(), 2);
+        assert_eq!(s0.node(NodeId(2)).unwrap().pos, Point::new(50.0, 0.0));
+        let s5 = engine.scene_at(EmuTime::from_secs(5)).unwrap();
+        assert_eq!(s5.node(NodeId(2)).unwrap().pos, Point::new(300.0, 0.0));
+        let s10 = engine.scene_at(EmuTime::from_secs(10)).unwrap();
+        assert_eq!(s10.len(), 1);
+        assert!(s10.node(NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn scene_before_first_op_is_empty() {
+        let mut log = sample_log();
+        for r in &mut log {
+            r.at = r.at + poem_core::EmuDuration::from_secs(100);
+        }
+        let engine = ReplayEngine::new(log);
+        let s = engine.scene_at(EmuTime::from_secs(1)).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn unsorted_log_is_sorted_on_construction() {
+        let mut log = sample_log();
+        log.reverse();
+        let engine = ReplayEngine::new(log);
+        assert_eq!(engine.span().unwrap(), (EmuTime::from_secs(0), EmuTime::from_secs(10)));
+        // Replays cleanly despite the reversed input order.
+        let s = engine.scene_at(EmuTime::from_secs(20)).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn player_steps_in_order() {
+        let engine = ReplayEngine::new(sample_log());
+        let mut p = engine.player();
+        assert_eq!(p.next_at(), Some(EmuTime::from_secs(0)));
+        let mut count = 0;
+        while let Some(rec) = p.step().unwrap() {
+            assert!(rec.at <= EmuTime::from_secs(10));
+            count += 1;
+        }
+        assert_eq!(count, 4);
+        assert!(p.finished());
+        assert_eq!(p.scene().len(), 1);
+    }
+
+    #[test]
+    fn player_seek() {
+        let engine = ReplayEngine::new(sample_log());
+        let mut p = engine.player();
+        assert_eq!(p.seek(EmuTime::from_secs(5)).unwrap(), 3);
+        assert_eq!(p.scene().node(NodeId(2)).unwrap().pos, Point::new(300.0, 0.0));
+        assert_eq!(p.seek(EmuTime::from_secs(5)).unwrap(), 0, "idempotent");
+        assert_eq!(p.position(), 3);
+    }
+
+    #[test]
+    fn timeline_merges_sorted() {
+        let engine = ReplayEngine::new(sample_log());
+        let traffic = vec![
+            TrafficRecord::Forward { id: PacketId(1), to: NodeId(2), at: EmuTime::from_secs(3) },
+            TrafficRecord::Forward { id: PacketId(2), to: NodeId(2), at: EmuTime::from_secs(7) },
+        ];
+        let tl = engine.timeline(&traffic);
+        assert_eq!(tl.len(), 6);
+        for w in tl.windows(2) {
+            assert!(w[0].at() <= w[1].at(), "timeline out of order");
+        }
+        // Traffic event lands between the move (5 s) and removal (10 s).
+        assert!(matches!(&tl[4], ReplayEvent::Traffic(_)));
+    }
+
+    #[test]
+    fn empty_engine() {
+        let engine = ReplayEngine::new(Vec::new());
+        assert!(engine.is_empty());
+        assert!(engine.span().is_none());
+        assert!(engine.scene_at(EmuTime::from_secs(1)).unwrap().is_empty());
+        let mut p = engine.player();
+        assert!(p.step().unwrap().is_none());
+    }
+}

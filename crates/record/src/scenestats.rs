@@ -1,0 +1,233 @@
+//! Statistics over the *scene* log — the replay side of §3.2 step 7.
+//!
+//! The traffic log answers "what happened to the packets"; the scene log
+//! answers "what happened to the network". [`SceneStats`] summarizes a
+//! recorded run: how the population evolved, how often each kind of
+//! operation fired, how far nodes travelled, and how volatile the scene
+//! was over time (the §2.2 stress axis — "switching the channel, changing
+//! the radio range, moving out some nodes ... at any time").
+
+use crate::records::SceneRecord;
+use poem_core::scene::SceneOp;
+use poem_core::stats::SeriesPoint;
+use poem_core::{EmuDuration, NodeId, Point};
+use std::collections::{BTreeMap, HashMap};
+
+/// Counts per operation kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpHistogram {
+    /// `AddNode` ops.
+    pub add: u64,
+    /// `RemoveNode` ops.
+    pub remove: u64,
+    /// `MoveNode` ops (interactive drags *and* recorded mobility steps).
+    pub moves: u64,
+    /// Radio retunes.
+    pub retune: u64,
+    /// Radio range changes.
+    pub range: u64,
+    /// Whole-radio-config replacements.
+    pub radios: u64,
+    /// Mobility-model changes.
+    pub mobility: u64,
+    /// Link-parameter changes.
+    pub link: u64,
+    /// Arena changes.
+    pub arena: u64,
+}
+
+impl OpHistogram {
+    /// Total ops.
+    pub fn total(&self) -> u64 {
+        self.add
+            + self.remove
+            + self.moves
+            + self.retune
+            + self.range
+            + self.radios
+            + self.mobility
+            + self.link
+            + self.arena
+    }
+}
+
+/// Summary of a recorded scene log.
+#[derive(Debug, Clone)]
+pub struct SceneStats {
+    /// Op counts by kind.
+    pub ops: OpHistogram,
+    /// Node population after each change: `(seconds, population)`.
+    pub population: Vec<SeriesPoint>,
+    /// Total distance travelled per node (sum of recorded position
+    /// deltas), ascending by node.
+    pub distance_travelled: Vec<(NodeId, f64)>,
+    /// Scene ops per window — the "volatility" series.
+    pub op_rate: Vec<SeriesPoint>,
+}
+
+impl SceneStats {
+    /// Computes the summary from a scene log (sorted internally).
+    pub fn compute(log: &[SceneRecord], window: EmuDuration) -> SceneStats {
+        assert!(window.as_nanos() > 0, "window must be positive");
+        let mut sorted: Vec<&SceneRecord> = log.iter().collect();
+        sorted.sort_by_key(|r| r.at);
+
+        let mut ops = OpHistogram::default();
+        let mut population = Vec::new();
+        let mut pop = 0i64;
+        let mut last_pos: HashMap<NodeId, Point> = HashMap::new();
+        let mut travelled: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut op_buckets: BTreeMap<u64, u64> = BTreeMap::new();
+        let w_ns = window.as_nanos() as u64;
+
+        for rec in &sorted {
+            *op_buckets.entry(rec.at.as_nanos() / w_ns).or_default() += 1;
+            match &rec.op {
+                SceneOp::AddNode { id, pos, .. } => {
+                    ops.add += 1;
+                    pop += 1;
+                    last_pos.insert(*id, *pos);
+                    travelled.entry(*id).or_default();
+                    population.push(SeriesPoint { t: rec.at.as_secs_f64(), value: pop as f64 });
+                }
+                SceneOp::RemoveNode { id } => {
+                    ops.remove += 1;
+                    pop -= 1;
+                    last_pos.remove(id);
+                    population.push(SeriesPoint { t: rec.at.as_secs_f64(), value: pop as f64 });
+                }
+                SceneOp::MoveNode { id, pos } => {
+                    ops.moves += 1;
+                    if let Some(prev) = last_pos.insert(*id, *pos) {
+                        *travelled.entry(*id).or_default() += prev.distance(*pos);
+                    }
+                }
+                SceneOp::SetRadioChannel { .. } => ops.retune += 1,
+                SceneOp::SetRadioRange { .. } => ops.range += 1,
+                SceneOp::SetRadios { .. } => ops.radios += 1,
+                SceneOp::SetMobility { .. } => ops.mobility += 1,
+                SceneOp::SetLinkParams { .. } => ops.link += 1,
+                SceneOp::SetArena { .. } => ops.arena += 1,
+            }
+        }
+
+        let w_secs = window.as_secs_f64();
+        let op_rate = op_buckets
+            .into_iter()
+            .map(|(b, count)| SeriesPoint { t: b as f64 * w_secs, value: count as f64 })
+            .collect();
+
+        SceneStats {
+            ops,
+            population,
+            distance_travelled: travelled.into_iter().collect(),
+            op_rate,
+        }
+    }
+
+    /// The peak node population over the run.
+    pub fn peak_population(&self) -> u64 {
+        self.population.iter().map(|p| p.value as u64).max().unwrap_or(0)
+    }
+
+    /// Total distance travelled across all nodes.
+    pub fn total_distance(&self) -> f64 {
+        self.distance_travelled.iter().map(|(_, d)| d).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::linkmodel::LinkParams;
+    use poem_core::mobility::MobilityModel;
+    use poem_core::radio::RadioConfig;
+    use poem_core::{ChannelId, EmuTime, RadioId};
+
+    fn rec(at_s: u64, op: SceneOp) -> SceneRecord {
+        SceneRecord::new(EmuTime::from_secs(at_s), op)
+    }
+
+    fn add(id: u32, x: f64, y: f64) -> SceneOp {
+        SceneOp::AddNode {
+            id: NodeId(id),
+            pos: Point::new(x, y),
+            radios: RadioConfig::single(ChannelId(1), 100.0),
+            mobility: MobilityModel::Stationary,
+            link: LinkParams::default(),
+        }
+    }
+
+    fn sample_log() -> Vec<SceneRecord> {
+        vec![
+            rec(0, add(1, 0.0, 0.0)),
+            rec(0, add(2, 10.0, 0.0)),
+            rec(1, SceneOp::MoveNode { id: NodeId(2), pos: Point::new(10.0, 30.0) }),
+            rec(2, SceneOp::MoveNode { id: NodeId(2), pos: Point::new(10.0, 70.0) }),
+            rec(3, SceneOp::SetRadioChannel {
+                id: NodeId(1),
+                radio: RadioId(0),
+                channel: ChannelId(2),
+            }),
+            rec(9, SceneOp::RemoveNode { id: NodeId(1) }),
+        ]
+    }
+
+    #[test]
+    fn histogram_counts_by_kind() {
+        let s = SceneStats::compute(&sample_log(), EmuDuration::from_secs(1));
+        assert_eq!(s.ops.add, 2);
+        assert_eq!(s.ops.remove, 1);
+        assert_eq!(s.ops.moves, 2);
+        assert_eq!(s.ops.retune, 1);
+        assert_eq!(s.ops.total(), 6);
+    }
+
+    #[test]
+    fn population_series_tracks_adds_and_removes() {
+        let s = SceneStats::compute(&sample_log(), EmuDuration::from_secs(1));
+        let values: Vec<f64> = s.population.iter().map(|p| p.value).collect();
+        assert_eq!(values, vec![1.0, 2.0, 1.0]);
+        assert_eq!(s.peak_population(), 2);
+    }
+
+    #[test]
+    fn distance_sums_recorded_moves() {
+        let s = SceneStats::compute(&sample_log(), EmuDuration::from_secs(1));
+        let d2 = s
+            .distance_travelled
+            .iter()
+            .find(|(id, _)| *id == NodeId(2))
+            .map(|(_, d)| *d)
+            .unwrap();
+        assert!((d2 - 70.0).abs() < 1e-9, "{d2}"); // 30 + 40
+        assert!((s.total_distance() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_rate_buckets_by_window() {
+        let s = SceneStats::compute(&sample_log(), EmuDuration::from_secs(2));
+        // Windows: [0,2) → 3 ops, [2,4) → 2 ops, [8,10) → 1 op.
+        let rates: Vec<(f64, f64)> = s.op_rate.iter().map(|p| (p.t, p.value)).collect();
+        assert_eq!(rates, vec![(0.0, 3.0), (2.0, 2.0), (8.0, 1.0)]);
+    }
+
+    #[test]
+    fn unsorted_log_is_handled() {
+        let mut log = sample_log();
+        log.reverse();
+        let sorted = SceneStats::compute(&sample_log(), EmuDuration::from_secs(1));
+        let shuffled = SceneStats::compute(&log, EmuDuration::from_secs(1));
+        assert_eq!(sorted.ops, shuffled.ops);
+        assert_eq!(sorted.total_distance(), shuffled.total_distance());
+    }
+
+    #[test]
+    fn empty_log() {
+        let s = SceneStats::compute(&[], EmuDuration::from_secs(1));
+        assert_eq!(s.ops.total(), 0);
+        assert!(s.population.is_empty());
+        assert_eq!(s.peak_population(), 0);
+        assert_eq!(s.total_distance(), 0.0);
+    }
+}

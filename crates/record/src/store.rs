@@ -1,0 +1,303 @@
+//! Append-only log storage with file persistence.
+//!
+//! [`LogStore`] is the generic typed log (the paper's database table);
+//! [`Recorder`] bundles the traffic and scene logs behind a thread-safe
+//! facade that the server's recording threads append to concurrently.
+//!
+//! On-disk format: magic `POEMLOG1`, `u64` record count, then one
+//! `u32`-length-prefixed codec frame per record. Loading verifies the
+//! magic, the count, and every frame; a truncated or corrupt file is a
+//! hard error, never a silently shorter log.
+
+use crate::records::{SceneRecord, TrafficRecord};
+use parking_lot::Mutex;
+use poem_proto::{from_bytes, to_bytes};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"POEMLOG1";
+
+/// A typed append-only log.
+#[derive(Debug, Clone)]
+pub struct LogStore<T> {
+    items: Vec<T>,
+}
+
+impl<T> Default for LogStore<T> {
+    fn default() -> Self {
+        LogStore { items: Vec::new() }
+    }
+}
+
+impl<T> LogStore<T> {
+    /// An empty log.
+    pub fn new() -> Self {
+        LogStore { items: Vec::new() }
+    }
+
+    /// Appends one record.
+    pub fn append(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// All records, in append order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Record count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Consumes the store, returning the records.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Serialize> LogStore<T> {
+    /// Serializes the log to a writer.
+    pub fn save_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.items.len() as u64).to_le_bytes())?;
+        for item in &self.items {
+            let body = to_bytes(item)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            w.write_all(&(body.len() as u32).to_le_bytes())?;
+            w.write_all(&body)?;
+        }
+        w.flush()
+    }
+
+    /// Saves the log to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.save_to(&mut w)
+    }
+}
+
+impl<T: DeserializeOwned> LogStore<T> {
+    /// Deserializes a log from a reader, verifying integrity.
+    pub fn load_from(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad log magic"));
+        }
+        let mut count_bytes = [0u8; 8];
+        r.read_exact(&mut count_bytes)?;
+        let count = u64::from_le_bytes(count_bytes) as usize;
+        let mut items = Vec::with_capacity(count.min(1 << 20));
+        let mut buf = Vec::new();
+        for _ in 0..count {
+            let mut len_bytes = [0u8; 4];
+            r.read_exact(&mut len_bytes)?;
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            buf.resize(len, 0);
+            r.read_exact(&mut buf)?;
+            items.push(
+                from_bytes(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            );
+        }
+        // Trailing garbage means the file is not what it claims to be.
+        let mut probe = [0u8; 1];
+        if r.read(&mut probe)? != 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "trailing bytes in log"));
+        }
+        Ok(LogStore { items })
+    }
+
+    /// Loads a log from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        Self::load_from(&mut r)
+    }
+}
+
+impl<T> FromIterator<T> for LogStore<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        LogStore { items: iter.into_iter().collect() }
+    }
+}
+
+/// Thread-safe bundle of the traffic and scene logs — the sink the
+/// server's recording threads (§3.2 step 7) append to.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    traffic: Mutex<LogStore<TrafficRecord>>,
+    scene: Mutex<LogStore<SceneRecord>>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a traffic record.
+    pub fn record_traffic(&self, rec: TrafficRecord) {
+        self.traffic.lock().append(rec);
+    }
+
+    /// Appends a scene record.
+    pub fn record_scene(&self, rec: SceneRecord) {
+        self.scene.lock().append(rec);
+    }
+
+    /// Snapshot of the traffic log.
+    pub fn traffic(&self) -> Vec<TrafficRecord> {
+        self.traffic.lock().items().to_vec()
+    }
+
+    /// Snapshot of the scene log.
+    pub fn scene(&self) -> Vec<SceneRecord> {
+        self.scene.lock().items().to_vec()
+    }
+
+    /// Current record counts `(traffic, scene)`.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.traffic.lock().len(), self.scene.lock().len())
+    }
+
+    /// Saves both logs: `<stem>.traffic.poemlog` and `<stem>.scene.poemlog`.
+    pub fn save(&self, stem: impl AsRef<Path>) -> io::Result<()> {
+        let stem = stem.as_ref();
+        self.traffic.lock().save(stem.with_extension("traffic.poemlog"))?;
+        self.scene.lock().save(stem.with_extension("scene.poemlog"))
+    }
+
+    /// Loads both logs saved by [`Recorder::save`].
+    pub fn load(stem: impl AsRef<Path>) -> io::Result<Self> {
+        let stem = stem.as_ref();
+        let traffic = LogStore::load(stem.with_extension("traffic.poemlog"))?;
+        let scene = LogStore::load(stem.with_extension("scene.poemlog"))?;
+        Ok(Recorder { traffic: Mutex::new(traffic), scene: Mutex::new(scene) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::DropReason;
+    use poem_core::{EmuTime, NodeId, PacketId};
+    use std::io::Cursor;
+    use std::sync::Arc;
+
+    fn sample_records(n: u64) -> Vec<TrafficRecord> {
+        (0..n)
+            .map(|i| TrafficRecord::Forward {
+                id: PacketId(i),
+                to: NodeId((i % 5) as u32),
+                at: EmuTime::from_micros(i * 100),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn store_roundtrips_through_memory() {
+        let store: LogStore<TrafficRecord> = sample_records(100).into_iter().collect();
+        let mut buf = Vec::new();
+        store.save_to(&mut buf).unwrap();
+        let loaded: LogStore<TrafficRecord> = LogStore::load_from(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.items(), store.items());
+    }
+
+    #[test]
+    fn store_roundtrips_through_file() {
+        let dir = std::env::temp_dir().join(format!("poemlog-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.poemlog");
+        let store: LogStore<TrafficRecord> = sample_records(10).into_iter().collect();
+        store.save(&path).unwrap();
+        let loaded: LogStore<TrafficRecord> = LogStore::load(&path).unwrap();
+        assert_eq!(loaded.items(), store.items());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store: LogStore<TrafficRecord> = LogStore::new();
+        let mut buf = Vec::new();
+        store.save_to(&mut buf).unwrap();
+        let loaded: LogStore<TrafficRecord> = LogStore::load_from(&mut Cursor::new(buf)).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        LogStore::<TrafficRecord>::new().save_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(LogStore::<TrafficRecord>::load_from(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let store: LogStore<TrafficRecord> = sample_records(5).into_iter().collect();
+        let mut buf = Vec::new();
+        store.save_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(LogStore::<TrafficRecord>::load_from(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let store: LogStore<TrafficRecord> = sample_records(2).into_iter().collect();
+        let mut buf = Vec::new();
+        store.save_to(&mut buf).unwrap();
+        buf.push(0);
+        assert!(LogStore::<TrafficRecord>::load_from(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn recorder_is_concurrent() {
+        let rec = Arc::new(Recorder::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    rec.record_traffic(TrafficRecord::Drop {
+                        id: PacketId(t * 1000 + i),
+                        to: NodeId(1),
+                        at: EmuTime::from_nanos(i),
+                        reason: DropReason::Loss,
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.counts().0, 4000);
+    }
+
+    #[test]
+    fn recorder_save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("poemrec-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = Recorder::new();
+        for r in sample_records(20) {
+            rec.record_traffic(r);
+        }
+        rec.record_scene(crate::records::SceneRecord::new(
+            EmuTime::from_secs(1),
+            poem_core::scene::SceneOp::RemoveNode { id: NodeId(3) },
+        ));
+        let stem = dir.join("run1");
+        rec.save(&stem).unwrap();
+        let loaded = Recorder::load(&stem).unwrap();
+        assert_eq!(loaded.traffic(), rec.traffic());
+        assert_eq!(loaded.scene(), rec.scene());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

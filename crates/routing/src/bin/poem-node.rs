@@ -1,0 +1,150 @@
+//! The PoEm emulation client CLI: one VMN process.
+//!
+//! ```sh
+//! poem-node <server-addr> <node-id> [--radios ch1:200,ch2:200] \
+//!           [--send VMN3:COUNT] [--duration SECS]
+//! ```
+//!
+//! Connects to a running `poem-server`, registers as the given VMN, runs
+//! the Fig. 5 clock synchronization, hosts the hybrid routing protocol,
+//! optionally originates data toward a destination, and reports what it
+//! received before exiting.
+
+use poem_client::{AppRunner, EmuClient};
+use poem_core::clock::{Clock, WallClock};
+use poem_core::radio::{Radio, RadioConfig};
+use poem_core::{ChannelId, NodeId};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    node: NodeId,
+    radios: RadioConfig,
+    send: Option<(NodeId, usize)>,
+    duration: f64,
+}
+
+fn parse_radios(spec: &str) -> Result<RadioConfig, String> {
+    let mut radios = Vec::new();
+    for part in spec.split(',') {
+        let (ch, range) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad radio spec `{part}` (want ch<N>:<range>)"))?;
+        let ch: u16 = ch
+            .strip_prefix("ch")
+            .unwrap_or(ch)
+            .parse()
+            .map_err(|_| format!("bad channel in `{part}`"))?;
+        let range: f64 = range.parse().map_err(|_| format!("bad range in `{part}`"))?;
+        radios.push(Radio::new(ChannelId(ch), range));
+    }
+    if radios.is_empty() {
+        return Err("need at least one radio".into());
+    }
+    Ok(RadioConfig::from_radios(radios))
+}
+
+fn parse_node(spec: &str) -> Result<NodeId, String> {
+    spec.strip_prefix("VMN")
+        .unwrap_or(spec)
+        .parse::<u32>()
+        .map(NodeId)
+        .map_err(|_| format!("bad node id `{spec}`"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let usage = "usage: poem-node <server-addr> <node-id> [--radios ch1:200] [--send VMN3:50] [--duration SECS]";
+    let mut it = std::env::args().skip(1);
+    let addr = it.next().ok_or(usage)?;
+    let node = parse_node(&it.next().ok_or(usage)?)?;
+    let mut out = Args {
+        addr,
+        node,
+        radios: RadioConfig::single(ChannelId(1), 200.0),
+        send: None,
+        duration: 30.0,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--radios" => out.radios = parse_radios(&value()?)?,
+            "--send" => {
+                let v = value()?;
+                let (dst, count) =
+                    v.split_once(':').ok_or_else(|| format!("bad --send `{v}`"))?;
+                out.send = Some((
+                    parse_node(dst)?,
+                    count.parse().map_err(|_| format!("bad count in `{v}`"))?,
+                ));
+            }
+            "--duration" => {
+                out.duration = value()?.parse().map_err(|e| format!("bad duration: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let client = match EmuClient::connect_tcp(&args.addr, args.node, args.radios.clone(), clock) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    match client.sync_clock(3) {
+        Ok(offset) => println!("{} connected to {}; sync offset {offset}", args.node, args.addr),
+        Err(e) => {
+            eprintln!("clock sync failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let router = poem_routing::Router::new(poem_routing::RouterConfig {
+        broadcast_interval: poem_core::EmuDuration::from_millis(200),
+        route_ttl: poem_core::EmuDuration::from_millis(1_400),
+        ..poem_routing::RouterConfig::hybrid()
+    });
+    let handles = router.handles();
+    let runner = AppRunner::spawn(client, Box::new(router));
+
+    if let Some((dst, count)) = args.send {
+        // Give routing a moment to converge, then queue the payloads.
+        std::thread::sleep(Duration::from_secs(2));
+        for i in 0..count {
+            handles.tx.lock().push_back((dst, format!("payload-{i}").into_bytes()));
+        }
+        println!("queued {count} payloads toward {dst}");
+    }
+
+    let deadline = std::time::Instant::now() + Duration::from_secs_f64(args.duration);
+    let mut last_report = 0usize;
+    while std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(500));
+        let received = handles.received.lock().len();
+        if received != last_report {
+            println!("received {received} payloads so far");
+            last_report = received;
+        }
+    }
+
+    let (_client, _app) = runner.stop();
+    let table = handles.table.lock();
+    println!("\nfinal routing table:\n{}", table.render());
+    let stats = handles.stats.lock();
+    println!(
+        "stats: sent {}, delivered {}, forwarded {}, no-route drops {}",
+        stats.data_sent, stats.data_delivered, stats.data_forwarded, stats.drops_no_route
+    );
+}

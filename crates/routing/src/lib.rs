@@ -1,0 +1,37 @@
+//! # poem-routing — real MANET routing protocols under test
+//!
+//! §6.1 tests "a hybrid MANET routing protocol developed by our group,
+//! which is combining the periodic-broadcasting and on-demand mechanisms
+//! to achieve high robustness for military applications". This crate
+//! implements that protocol — and, as points of comparison, a purely
+//! proactive (DSDV-like) and a purely reactive (AODV-like) variant — as
+//! one channel-aware distance-vector engine ([`Router`]) with the two
+//! mechanisms individually switchable:
+//!
+//! * **periodic broadcasting** ([`RouterConfig::proactive`]): every
+//!   `broadcast_interval` the node floods its distance vector on every
+//!   radio, DSDV-style destination sequence numbers keeping the tables
+//!   loop-free;
+//! * **on-demand discovery** ([`RouterConfig::reactive`]): data for an
+//!   unknown destination is buffered while a route request floods the
+//!   network and a route reply returns along the reverse path.
+//!
+//! The engine is *multi-radio aware* (§4.2): every route remembers both
+//! the next hop and the **channel** to reach it, so a dual-radio relay
+//! (Fig. 9's VMN2) stitches two channels together.
+//!
+//! Everything is a `ClientApp` over the [`poem_client::Nic`] trait: the
+//! identical code runs in the deterministic harness and over real TCP —
+//! the "without any conversion and modification" promise of §1.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod flood;
+pub mod msg;
+pub mod router;
+pub mod table;
+
+pub use flood::{Flooder, FlooderHandles, FloodStats};
+pub use router::{Received, Router, RouterConfig, RouterHandles, RouterStats};
+pub use table::{NextHop, RouteEntry, RoutingTable};

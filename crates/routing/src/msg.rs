@@ -1,0 +1,150 @@
+//! Routing-protocol wire messages.
+//!
+//! Routing messages travel as the payload of [`poem_core::EmuPacket`]s,
+//! encoded with the workspace's binary codec — exactly how a deployed
+//! protocol would put its PDUs inside UDP datagrams.
+
+use bytes::Bytes;
+use poem_core::{EmuTime, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A routing-protocol PDU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RoutingMsg {
+    /// Periodic distance-vector broadcast (the "periodic-broadcasting
+    /// mechanism"): the sender's own sequence number and its current
+    /// vector.
+    TopoBroadcast {
+        /// Originating node.
+        origin: NodeId,
+        /// The origin's own destination sequence number (even, DSDV-style,
+        /// monotonically increasing).
+        origin_seq: u64,
+        /// `(destination, destination-sequence, hops-from-origin)` rows.
+        entries: Vec<(NodeId, u64, u32)>,
+    },
+    /// On-demand route request, flooded toward `target`.
+    Rreq {
+        /// Node that needs the route.
+        origin: NodeId,
+        /// Sought destination.
+        target: NodeId,
+        /// Flood identifier (unique per origin).
+        rreq_id: u64,
+        /// Hops travelled so far.
+        hops: u32,
+    },
+    /// On-demand route reply, unicast hop-by-hop back to `origin`.
+    Rrep {
+        /// Node that requested the route.
+        origin: NodeId,
+        /// Destination the route leads to.
+        target: NodeId,
+        /// The target's sequence number at reply time.
+        target_seq: u64,
+        /// Hops from the replying point to `target` (grows on the way
+        /// back).
+        hops: u32,
+    },
+    /// Network-layer data, forwarded hop-by-hop.
+    Data {
+        /// Original sender.
+        origin: NodeId,
+        /// Final destination.
+        final_dst: NodeId,
+        /// Origin-assigned sequence number (for end-to-end loss
+        /// accounting).
+        seq: u64,
+        /// Remaining hop budget; decremented per hop, dropped at zero.
+        ttl: u8,
+        /// Origin timestamp (end-to-end delay measurement).
+        sent_at: EmuTime,
+        /// Application payload.
+        #[serde(with = "serde_bytes_compat")]
+        payload: Vec<u8>,
+    },
+}
+
+/// Plain `Vec<u8>` serde passthrough (named module keeps the derive
+/// readable; the codec already encodes byte vectors compactly).
+mod serde_bytes_compat {
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[u8], s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(v)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<u8>, D::Error> {
+        struct V;
+        impl<'de> serde::de::Visitor<'de> for V {
+            type Value = Vec<u8>;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("bytes")
+            }
+            fn visit_bytes<E: serde::de::Error>(self, b: &[u8]) -> Result<Vec<u8>, E> {
+                Ok(b.to_vec())
+            }
+            fn visit_borrowed_bytes<E: serde::de::Error>(
+                self,
+                b: &'de [u8],
+            ) -> Result<Vec<u8>, E> {
+                Ok(b.to_vec())
+            }
+        }
+        d.deserialize_bytes(V)
+    }
+}
+
+impl RoutingMsg {
+    /// Encodes the PDU into a packet payload.
+    pub fn encode(&self) -> Bytes {
+        Bytes::from(poem_proto::to_bytes(self).expect("routing messages always encode"))
+    }
+
+    /// Decodes a PDU from a packet payload; `None` for foreign traffic.
+    pub fn decode(payload: &[u8]) -> Option<RoutingMsg> {
+        poem_proto::from_bytes(payload).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let msgs = vec![
+            RoutingMsg::TopoBroadcast {
+                origin: NodeId(1),
+                origin_seq: 42,
+                entries: vec![(NodeId(2), 10, 1), (NodeId(3), 8, 2)],
+            },
+            RoutingMsg::Rreq { origin: NodeId(1), target: NodeId(9), rreq_id: 7, hops: 3 },
+            RoutingMsg::Rrep { origin: NodeId(1), target: NodeId(9), target_seq: 12, hops: 2 },
+            RoutingMsg::Data {
+                origin: NodeId(1),
+                final_dst: NodeId(3),
+                seq: 99,
+                ttl: 16,
+                sent_at: EmuTime::from_millis(5),
+                payload: vec![1, 2, 3, 4],
+            },
+        ];
+        for m in msgs {
+            let bytes = m.encode();
+            assert_eq!(RoutingMsg::decode(&bytes), Some(m));
+        }
+    }
+
+    #[test]
+    fn foreign_payload_decodes_to_none() {
+        assert_eq!(RoutingMsg::decode(b"not a routing message"), None);
+        assert_eq!(RoutingMsg::decode(&[]), None);
+    }
+
+    #[test]
+    fn empty_vector_broadcast() {
+        let m = RoutingMsg::TopoBroadcast { origin: NodeId(5), origin_seq: 0, entries: vec![] };
+        assert_eq!(RoutingMsg::decode(&m.encode()), Some(m));
+    }
+}

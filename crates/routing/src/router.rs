@@ -1,0 +1,862 @@
+//! The channel-aware distance-vector routing engine.
+//!
+//! One engine, two switchable mechanisms (§6.1's hybrid protocol):
+//!
+//! * **Periodic broadcasting** — every interval the node floods a
+//!   [`RoutingMsg::TopoBroadcast`] on *each of its radios* carrying its
+//!   DSDV-style distance vector and the list of neighbors it has recently
+//!   heard **on that channel**. A receiver only accepts the sender as a
+//!   next hop when it finds *itself* in that heard list — a two-way
+//!   link-validation handshake that correctly rejects the asymmetric link
+//!   Table 2's step 2 creates (VMN1's range is shrunk so it can still
+//!   *hear* VMN3 but not reach it).
+//! * **On-demand discovery** — data for an unknown destination is
+//!   buffered; a [`RoutingMsg::Rreq`] floods the network (duplicate-
+//!   suppressed), the target (or any node with a route) answers with a
+//!   [`RoutingMsg::Rrep`] that travels back along the reverse path,
+//!   installing the forward route.
+//!
+//! Data packets ([`RoutingMsg::Data`]) are forwarded hop-by-hop with a TTL
+//! budget; each hop picks the stored `(next hop, channel)` pair, which is
+//! how a dual-radio relay moves a packet from channel 1 to channel 2
+//! (Fig. 9).
+
+use crate::msg::RoutingMsg;
+use crate::table::{NextHop, RouteEntry, RoutingTable};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use poem_client::nic::Nic;
+use poem_client::ClientApp;
+use poem_core::packet::Destination;
+use poem_core::{ChannelId, EmuDuration, EmuPacket, EmuTime, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Enable the periodic-broadcasting mechanism.
+    pub proactive: bool,
+    /// Enable the on-demand mechanism.
+    pub reactive: bool,
+    /// Interval between periodic broadcasts (also the housekeeping tick).
+    pub broadcast_interval: EmuDuration,
+    /// Routes and heard-neighbor records expire after this long without
+    /// refresh.
+    pub route_ttl: EmuDuration,
+    /// Hop budget for data packets.
+    pub data_ttl: u8,
+    /// Hop cap for route-request floods.
+    pub rreq_ttl: u32,
+    /// Maximum buffered data packets per unresolved destination.
+    pub buffer_cap: usize,
+}
+
+impl RouterConfig {
+    /// The paper's hybrid protocol: both mechanisms on.
+    pub fn hybrid() -> Self {
+        RouterConfig {
+            proactive: true,
+            reactive: true,
+            broadcast_interval: EmuDuration::from_secs(1),
+            route_ttl: EmuDuration::from_millis(3_500),
+            data_ttl: 16,
+            rreq_ttl: 16,
+            buffer_cap: 64,
+        }
+    }
+
+    /// DSDV-like baseline: periodic broadcasting only.
+    pub fn proactive_only() -> Self {
+        RouterConfig { reactive: false, ..Self::hybrid() }
+    }
+
+    /// AODV-like baseline: on-demand only.
+    pub fn reactive_only() -> Self {
+        RouterConfig { proactive: false, ..Self::hybrid() }
+    }
+}
+
+/// A data payload delivered end-to-end to this node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Received {
+    /// Original sender.
+    pub origin: NodeId,
+    /// Origin-assigned sequence number.
+    pub seq: u64,
+    /// Origin send time.
+    pub sent_at: EmuTime,
+    /// Local delivery time.
+    pub delivered_at: EmuTime,
+    /// The payload.
+    pub payload: Vec<u8>,
+}
+
+/// Engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Data packets originated here.
+    pub data_sent: u64,
+    /// Data packets delivered here as final destination.
+    pub data_delivered: u64,
+    /// Data packets relayed through this node.
+    pub data_forwarded: u64,
+    /// Data dropped: no route and no (successful) discovery.
+    pub drops_no_route: u64,
+    /// Data dropped: hop budget exhausted.
+    pub drops_ttl: u64,
+    /// Periodic broadcasts transmitted (per radio).
+    pub broadcasts_sent: u64,
+    /// Route requests originated or relayed.
+    pub rreq_sent: u64,
+    /// Route replies originated or relayed.
+    pub rrep_sent: u64,
+}
+
+/// Shared inspection handles — the emulator-side "double-click the VMN"
+/// view of live protocol state (Table 2 inspects the routing table of
+/// VMN1 in real time).
+#[derive(Debug, Clone)]
+pub struct RouterHandles {
+    /// Live routing table.
+    pub table: Arc<Mutex<RoutingTable>>,
+    /// Data delivered to this node.
+    pub received: Arc<Mutex<Vec<Received>>>,
+    /// Live counters.
+    pub stats: Arc<Mutex<RouterStats>>,
+    /// External send queue: `(destination, payload)` pairs pushed here are
+    /// originated on the router's next tick. This is how a test bench or
+    /// management console injects traffic into a router running behind an
+    /// [`poem_client::AppRunner`] on its own thread.
+    pub tx: Arc<Mutex<VecDeque<(NodeId, Vec<u8>)>>>,
+}
+
+/// The routing engine; one instance per hosted node.
+pub struct Router {
+    cfg: RouterConfig,
+    table: Arc<Mutex<RoutingTable>>,
+    received: Arc<Mutex<Vec<Received>>>,
+    stats: Arc<Mutex<RouterStats>>,
+    /// Own DSDV sequence number (incremented by 2 per broadcast).
+    own_seq: u64,
+    next_data_seq: u64,
+    next_rreq_id: u64,
+    /// `(origin, rreq_id)` floods already processed.
+    seen_rreq: HashSet<(NodeId, u64)>,
+    /// Last time each `(node, channel)` was heard (any PDU).
+    heard: HashMap<(NodeId, ChannelId), EmuTime>,
+    /// Buffered data awaiting a route, per destination.
+    pending: HashMap<NodeId, VecDeque<(u64, EmuTime, Vec<u8>)>>,
+    /// External send queue (see [`RouterHandles::tx`]).
+    tx: Arc<Mutex<VecDeque<(NodeId, Vec<u8>)>>>,
+    /// Destinations with an outstanding route request.
+    discovering: HashSet<NodeId>,
+}
+
+impl Router {
+    /// Builds an engine.
+    pub fn new(cfg: RouterConfig) -> Self {
+        Router {
+            cfg,
+            table: Arc::new(Mutex::new(RoutingTable::new())),
+            received: Arc::new(Mutex::new(Vec::new())),
+            stats: Arc::new(Mutex::new(RouterStats::default())),
+            own_seq: 0,
+            next_data_seq: 0,
+            next_rreq_id: 0,
+            seen_rreq: HashSet::new(),
+            heard: HashMap::new(),
+            pending: HashMap::new(),
+            tx: Arc::new(Mutex::new(VecDeque::new())),
+            discovering: HashSet::new(),
+        }
+    }
+
+    /// The inspection handles (clone freely; they stay live).
+    pub fn handles(&self) -> RouterHandles {
+        RouterHandles {
+            table: Arc::clone(&self.table),
+            received: Arc::clone(&self.received),
+            stats: Arc::clone(&self.stats),
+            tx: Arc::clone(&self.tx),
+        }
+    }
+
+    /// Originates an application payload toward `dst`. Returns the data
+    /// sequence number.
+    pub fn send_data(&mut self, nic: &mut dyn Nic, dst: NodeId, payload: Vec<u8>) -> u64 {
+        let seq = self.next_data_seq;
+        self.next_data_seq += 1;
+        self.stats.lock().data_sent += 1;
+        let now = nic.now();
+        if dst == nic.node() {
+            // Loopback.
+            self.stats.lock().data_delivered += 1;
+            self.received.lock().push(Received {
+                origin: dst,
+                seq,
+                sent_at: now,
+                delivered_at: now,
+                payload,
+            });
+            return seq;
+        }
+        let msg = RoutingMsg::Data {
+            origin: nic.node(),
+            final_dst: dst,
+            seq,
+            ttl: self.cfg.data_ttl,
+            sent_at: now,
+            payload,
+        };
+        self.route_or_buffer(nic, dst, msg);
+        seq
+    }
+
+    /// Sends `msg` toward `dst` via the table, or buffers it (and starts
+    /// discovery when reactive).
+    fn route_or_buffer(&mut self, nic: &mut dyn Nic, dst: NodeId, msg: RoutingMsg) {
+        let next = self.table.lock().route(dst).map(|e| e.next_hop);
+        match next {
+            Some(hop) => {
+                nic.send(hop.channel, Destination::Unicast(hop.node), msg.encode());
+            }
+            None => {
+                let RoutingMsg::Data { seq, sent_at, payload, .. } = msg else {
+                    return;
+                };
+                let q = self.pending.entry(dst).or_default();
+                if q.len() >= self.cfg.buffer_cap {
+                    q.pop_front();
+                    self.stats.lock().drops_no_route += 1;
+                }
+                q.push_back((seq, sent_at, payload));
+                if self.cfg.reactive {
+                    self.start_discovery(nic, dst);
+                } else if !self.cfg.proactive {
+                    // Neither mechanism can ever resolve this.
+                    self.stats.lock().drops_no_route += 1;
+                }
+            }
+        }
+    }
+
+    fn start_discovery(&mut self, nic: &mut dyn Nic, target: NodeId) {
+        if !self.discovering.insert(target) {
+            return; // one outstanding request per target
+        }
+        let rreq_id = self.next_rreq_id;
+        self.next_rreq_id += 1;
+        self.seen_rreq.insert((nic.node(), rreq_id));
+        let msg = RoutingMsg::Rreq { origin: nic.node(), target, rreq_id, hops: 0 };
+        self.broadcast_all(nic, &msg);
+        self.stats.lock().rreq_sent += 1;
+    }
+
+    /// Broadcasts a PDU on every radio.
+    fn broadcast_all(&mut self, nic: &mut dyn Nic, msg: &RoutingMsg) {
+        let channels: Vec<ChannelId> = nic.radios().channels().into_iter().collect();
+        let payload = msg.encode();
+        for ch in channels {
+            nic.send(ch, Destination::Broadcast, payload.clone());
+        }
+    }
+
+    /// Periodic broadcast: per radio, the distance vector plus the heard
+    /// list for that channel.
+    fn broadcast_vector(&mut self, nic: &mut dyn Nic) {
+        self.own_seq += 2;
+        let now = nic.now();
+        let me = nic.node();
+        let entries = self.table.lock().export();
+        let channels: Vec<ChannelId> = nic.radios().channels().into_iter().collect();
+        for ch in channels {
+            let heard: Vec<NodeId> = self
+                .heard
+                .iter()
+                .filter(|(&(n, c), &t)| {
+                    c == ch && n != me && (now - t) <= self.cfg.route_ttl
+                })
+                .map(|(&(n, _), _)| n)
+                .collect();
+            let mut rows = entries.clone();
+            // The origin's own row travels implicitly as (origin, seq, 0).
+            rows.retain(|(d, _, _)| *d != me);
+            let msg = RoutingMsg::TopoBroadcast {
+                origin: me,
+                origin_seq: self.own_seq,
+                entries: rows,
+            };
+            // Heard list rides in front of the vector: encode as a wrapper.
+            let framed = HeardFrame { heard, msg };
+            nic.send(ch, Destination::Broadcast, framed.encode());
+            self.stats.lock().broadcasts_sent += 1;
+        }
+    }
+
+    /// Flushes buffered data for destinations that just became routable.
+    fn flush_pending(&mut self, nic: &mut dyn Nic) {
+        let routable: Vec<NodeId> = self
+            .pending
+            .keys()
+            .copied()
+            .filter(|d| self.table.lock().route(*d).is_some())
+            .collect();
+        for dst in routable {
+            self.discovering.remove(&dst);
+            let Some(q) = self.pending.remove(&dst) else { continue };
+            for (seq, sent_at, payload) in q {
+                let msg = RoutingMsg::Data {
+                    origin: nic.node(),
+                    final_dst: dst,
+                    seq,
+                    ttl: self.cfg.data_ttl,
+                    sent_at,
+                    payload,
+                };
+                let next = self.table.lock().route(dst).map(|e| e.next_hop);
+                if let Some(hop) = next {
+                    nic.send(hop.channel, Destination::Unicast(hop.node), msg.encode());
+                }
+            }
+        }
+    }
+
+    fn handle_broadcast_frame(&mut self, nic: &mut dyn Nic, pkt: &EmuPacket, frame: HeardFrame) {
+        let me = nic.node();
+        let now = nic.now();
+        let RoutingMsg::TopoBroadcast { origin, origin_seq, entries } = frame.msg else {
+            return;
+        };
+        if origin == me {
+            return;
+        }
+        // I hear `origin` on this channel, regardless of validity.
+        self.heard.insert((origin, pkt.channel), now);
+        // Two-way validation: only a neighbor that hears me back is a
+        // usable next hop.
+        if !frame.heard.contains(&me) {
+            return;
+        }
+        let hop = NextHop { node: origin, channel: pkt.channel };
+        let mut table = self.table.lock();
+        table.offer(
+            origin,
+            RouteEntry { next_hop: hop, hops: 1, seq: origin_seq, refreshed_at: now },
+        );
+        for (dst, seq, hops) in entries {
+            if dst == me {
+                continue;
+            }
+            table.offer(
+                dst,
+                RouteEntry {
+                    next_hop: hop,
+                    hops: hops.saturating_add(1),
+                    seq,
+                    refreshed_at: now,
+                },
+            );
+        }
+        drop(table);
+        self.flush_pending(nic);
+    }
+
+    fn handle_rreq(
+        &mut self,
+        nic: &mut dyn Nic,
+        pkt: &EmuPacket,
+        origin: NodeId,
+        target: NodeId,
+        rreq_id: u64,
+        hops: u32,
+    ) {
+        let me = nic.node();
+        if origin == me || !self.seen_rreq.insert((origin, rreq_id)) {
+            return;
+        }
+        self.heard.insert((pkt.src, pkt.channel), nic.now());
+        // Reverse route to the origin through the previous hop.
+        let reverse = RouteEntry {
+            next_hop: NextHop { node: pkt.src, channel: pkt.channel },
+            hops: hops.saturating_add(1),
+            seq: 0,
+            refreshed_at: nic.now(),
+        };
+        if self.table.lock().route(origin).is_none() {
+            self.table.lock().install(origin, reverse);
+        }
+        if target == me {
+            let reply =
+                RoutingMsg::Rrep { origin, target, target_seq: self.own_seq, hops: 0 };
+            nic.send(pkt.channel, Destination::Unicast(pkt.src), reply.encode());
+            self.stats.lock().rrep_sent += 1;
+            return;
+        }
+        let known = self.table.lock().route(target).map(|e| (e.seq, e.hops));
+        if let Some((seq, h)) = known {
+            let reply = RoutingMsg::Rrep { origin, target, target_seq: seq, hops: h };
+            nic.send(pkt.channel, Destination::Unicast(pkt.src), reply.encode());
+            self.stats.lock().rrep_sent += 1;
+            return;
+        }
+        if hops < self.cfg.rreq_ttl {
+            let fwd = RoutingMsg::Rreq { origin, target, rreq_id, hops: hops + 1 };
+            self.broadcast_all(nic, &fwd);
+            self.stats.lock().rreq_sent += 1;
+        }
+    }
+
+    fn handle_rrep(
+        &mut self,
+        nic: &mut dyn Nic,
+        pkt: &EmuPacket,
+        origin: NodeId,
+        target: NodeId,
+        target_seq: u64,
+        hops: u32,
+    ) {
+        let me = nic.node();
+        self.heard.insert((pkt.src, pkt.channel), nic.now());
+        // Forward route to the target through the previous hop.
+        self.table.lock().install(
+            target,
+            RouteEntry {
+                next_hop: NextHop { node: pkt.src, channel: pkt.channel },
+                hops: hops.saturating_add(1),
+                seq: target_seq,
+                refreshed_at: nic.now(),
+            },
+        );
+        if origin == me {
+            self.flush_pending(nic);
+            return;
+        }
+        // Relay the reply along the reverse path.
+        let back = self.table.lock().route(origin).map(|e| e.next_hop);
+        if let Some(hop) = back {
+            let fwd = RoutingMsg::Rrep { origin, target, target_seq, hops: hops + 1 };
+            nic.send(hop.channel, Destination::Unicast(hop.node), fwd.encode());
+            self.stats.lock().rrep_sent += 1;
+        }
+    }
+
+    fn handle_data(
+        &mut self,
+        nic: &mut dyn Nic,
+        origin: NodeId,
+        final_dst: NodeId,
+        seq: u64,
+        ttl: u8,
+        sent_at: EmuTime,
+        payload: Vec<u8>,
+    ) {
+        let me = nic.node();
+        if final_dst == me {
+            self.stats.lock().data_delivered += 1;
+            self.received.lock().push(Received {
+                origin,
+                seq,
+                sent_at,
+                delivered_at: nic.now(),
+                payload,
+            });
+            return;
+        }
+        if ttl == 0 {
+            self.stats.lock().drops_ttl += 1;
+            return;
+        }
+        self.stats.lock().data_forwarded += 1;
+        let msg = RoutingMsg::Data { origin, final_dst, seq, ttl: ttl - 1, sent_at, payload };
+        self.route_or_buffer(nic, final_dst, msg);
+    }
+}
+
+/// Wrapper putting the per-channel heard list next to the broadcast PDU.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct HeardFrame {
+    heard: Vec<NodeId>,
+    msg: RoutingMsg,
+}
+
+impl HeardFrame {
+    fn encode(&self) -> Bytes {
+        Bytes::from(poem_proto::to_bytes(self).expect("heard frames always encode"))
+    }
+
+    fn decode(payload: &[u8]) -> Option<HeardFrame> {
+        poem_proto::from_bytes(payload).ok()
+    }
+}
+
+impl ClientApp for Router {
+    fn on_start(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+        if self.cfg.proactive {
+            self.broadcast_vector(nic);
+        }
+        Some(self.cfg.broadcast_interval)
+    }
+
+    fn on_packet(&mut self, nic: &mut dyn Nic, pkt: EmuPacket) {
+        self.heard.insert((pkt.src, pkt.channel), nic.now());
+        if let Some(frame) = HeardFrame::decode(&pkt.payload) {
+            self.handle_broadcast_frame(nic, &pkt, frame);
+            return;
+        }
+        match RoutingMsg::decode(&pkt.payload) {
+            Some(RoutingMsg::Rreq { origin, target, rreq_id, hops }) => {
+                self.handle_rreq(nic, &pkt, origin, target, rreq_id, hops)
+            }
+            Some(RoutingMsg::Rrep { origin, target, target_seq, hops }) => {
+                self.handle_rrep(nic, &pkt, origin, target, target_seq, hops)
+            }
+            Some(RoutingMsg::Data { origin, final_dst, seq, ttl, sent_at, payload }) => {
+                self.handle_data(nic, origin, final_dst, seq, ttl, sent_at, payload)
+            }
+            Some(RoutingMsg::TopoBroadcast { .. }) | None => {}
+        }
+    }
+
+    fn on_tick(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+        let now = nic.now();
+        // Originate externally queued payloads first.
+        let queued: Vec<(NodeId, Vec<u8>)> = self.tx.lock().drain(..).collect();
+        for (dst, payload) in queued {
+            self.send_data(nic, dst, payload);
+        }
+        // Expire stale heard records, then routes.
+        let ttl = self.cfg.route_ttl;
+        self.heard.retain(|_, &mut t| (now - t) <= ttl);
+        self.table.lock().purge(now, ttl, &[]);
+        if self.cfg.proactive {
+            self.broadcast_vector(nic);
+        }
+        if self.cfg.reactive {
+            // Retry discovery for still-pending destinations.
+            let stuck: Vec<NodeId> = self
+                .pending
+                .keys()
+                .copied()
+                .filter(|d| self.table.lock().route(*d).is_none())
+                .collect();
+            for dst in stuck {
+                self.discovering.remove(&dst);
+                self.start_discovery(nic, dst);
+            }
+        }
+        self.flush_pending(nic);
+        Some(self.cfg.broadcast_interval)
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("cfg", &self.cfg)
+            .field("own_seq", &self.own_seq)
+            .field("routes", &self.table.lock().len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_client::nic::QueueNic;
+    use poem_core::radio::RadioConfig;
+    use poem_core::{PacketId, RadioId};
+
+    fn nic(id: u32, chans: &[u16]) -> QueueNic {
+        let channels: Vec<ChannelId> = chans.iter().map(|&c| ChannelId(c)).collect();
+        QueueNic::new(NodeId(id), RadioConfig::multi(&channels, 200.0))
+    }
+
+    fn wrap(src: u32, ch: u16, payload: Bytes, at: EmuTime) -> EmuPacket {
+        EmuPacket::new(
+            PacketId(src as u64 * 1000),
+            NodeId(src),
+            Destination::Broadcast,
+            ChannelId(ch),
+            RadioId(0),
+            at,
+            payload,
+        )
+    }
+
+    /// Hand-delivers a broadcast frame from a fake neighbor.
+    fn fake_broadcast(
+        router: &mut Router,
+        nic_: &mut QueueNic,
+        from: u32,
+        ch: u16,
+        heard: Vec<u32>,
+        entries: Vec<(u32, u64, u32)>,
+        seq: u64,
+    ) {
+        let frame = HeardFrame {
+            heard: heard.into_iter().map(NodeId).collect(),
+            msg: RoutingMsg::TopoBroadcast {
+                origin: NodeId(from),
+                origin_seq: seq,
+                entries: entries.into_iter().map(|(d, s, h)| (NodeId(d), s, h)).collect(),
+            },
+        };
+        let pkt = wrap(from, ch, frame.encode(), nic_.now());
+        router.on_packet(nic_, pkt);
+    }
+
+    #[test]
+    fn bidirectional_neighbor_installs_one_hop_route() {
+        let mut r = Router::new(RouterConfig::hybrid());
+        let mut n = nic(1, &[1]);
+        fake_broadcast(&mut r, &mut n, 2, 1, vec![1], vec![], 10);
+        let t = r.handles().table;
+        let e = *t.lock().route(NodeId(2)).unwrap();
+        assert_eq!(e.hops, 1);
+        assert_eq!(e.next_hop, NextHop { node: NodeId(2), channel: ChannelId(1) });
+    }
+
+    #[test]
+    fn asymmetric_neighbor_is_rejected() {
+        // Table 2 step 2 in miniature: we hear VMN3 but it does not hear
+        // us, so no direct route may form.
+        let mut r = Router::new(RouterConfig::hybrid());
+        let mut n = nic(1, &[1]);
+        fake_broadcast(&mut r, &mut n, 3, 1, vec![2], vec![], 10);
+        assert!(r.handles().table.lock().is_empty());
+    }
+
+    #[test]
+    fn vector_rows_become_multi_hop_routes() {
+        let mut r = Router::new(RouterConfig::hybrid());
+        let mut n = nic(1, &[1]);
+        fake_broadcast(&mut r, &mut n, 2, 1, vec![1], vec![(3, 8, 1)], 10);
+        let t = r.handles().table;
+        let table = t.lock();
+        assert_eq!(table.route(NodeId(3)).unwrap().hops, 2);
+        assert_eq!(table.route(NodeId(3)).unwrap().next_hop.node, NodeId(2));
+    }
+
+    #[test]
+    fn own_row_in_vector_is_ignored() {
+        let mut r = Router::new(RouterConfig::hybrid());
+        let mut n = nic(1, &[1]);
+        fake_broadcast(&mut r, &mut n, 2, 1, vec![1], vec![(1, 50, 3)], 10);
+        assert!(r.handles().table.lock().route(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn send_data_with_route_unicasts_to_next_hop() {
+        let mut r = Router::new(RouterConfig::hybrid());
+        let mut n = nic(1, &[1]);
+        fake_broadcast(&mut r, &mut n, 2, 1, vec![1], vec![], 10);
+        n.drain_outbound();
+        r.send_data(&mut n, NodeId(2), b"hi".to_vec());
+        let out = n.drain_outbound();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, Destination::Unicast(NodeId(2)));
+        match RoutingMsg::decode(&out[0].payload) {
+            Some(RoutingMsg::Data { final_dst, payload, ttl, .. }) => {
+                assert_eq!(final_dst, NodeId(2));
+                assert_eq!(payload, b"hi");
+                assert_eq!(ttl, 16);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reactive_send_without_route_floods_rreq_and_buffers() {
+        let mut r = Router::new(RouterConfig::reactive_only());
+        let mut n = nic(1, &[1, 2]);
+        r.send_data(&mut n, NodeId(9), b"x".to_vec());
+        let out = n.drain_outbound();
+        // RREQ flooded on both radios, data buffered.
+        assert_eq!(out.len(), 2);
+        for pkt in &out {
+            assert!(matches!(
+                RoutingMsg::decode(&pkt.payload),
+                Some(RoutingMsg::Rreq { target: NodeId(9), .. })
+            ));
+        }
+        assert_eq!(r.pending[&NodeId(9)].len(), 1);
+    }
+
+    #[test]
+    fn rrep_installs_route_and_flushes_buffer() {
+        let mut r = Router::new(RouterConfig::reactive_only());
+        let mut n = nic(1, &[1]);
+        r.send_data(&mut n, NodeId(9), b"x".to_vec());
+        n.drain_outbound();
+        // Reply arrives from neighbor 2: route to 9 via 2, 2 hops.
+        let rrep =
+            RoutingMsg::Rrep { origin: NodeId(1), target: NodeId(9), target_seq: 4, hops: 1 };
+        let pkt = wrap(2, 1, rrep.encode(), EmuTime::from_millis(10));
+        r.on_packet(&mut n, pkt);
+        let out = n.drain_outbound();
+        assert_eq!(out.len(), 1, "buffered data flushed");
+        assert_eq!(out[0].dst, Destination::Unicast(NodeId(2)));
+        assert!(matches!(
+            RoutingMsg::decode(&out[0].payload),
+            Some(RoutingMsg::Data { final_dst: NodeId(9), .. })
+        ));
+        assert_eq!(r.handles().table.lock().route(NodeId(9)).unwrap().hops, 2);
+    }
+
+    #[test]
+    fn rreq_target_replies_directly() {
+        let mut r = Router::new(RouterConfig::hybrid());
+        let mut n = nic(9, &[1]);
+        let rreq =
+            RoutingMsg::Rreq { origin: NodeId(1), target: NodeId(9), rreq_id: 0, hops: 2 };
+        let pkt = wrap(5, 1, rreq.encode(), EmuTime::from_millis(1));
+        r.on_packet(&mut n, pkt);
+        let out = n.drain_outbound();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, Destination::Unicast(NodeId(5)));
+        assert!(matches!(
+            RoutingMsg::decode(&out[0].payload),
+            Some(RoutingMsg::Rrep { origin: NodeId(1), target: NodeId(9), hops: 0, .. })
+        ));
+        // Reverse route toward the origin was installed.
+        assert_eq!(r.handles().table.lock().route(NodeId(1)).unwrap().next_hop.node, NodeId(5));
+    }
+
+    #[test]
+    fn duplicate_rreq_is_suppressed() {
+        let mut r = Router::new(RouterConfig::hybrid());
+        let mut n = nic(4, &[1]);
+        let rreq =
+            RoutingMsg::Rreq { origin: NodeId(1), target: NodeId(9), rreq_id: 7, hops: 0 };
+        r.on_packet(&mut n, wrap(2, 1, rreq.encode(), EmuTime::ZERO));
+        let first = n.drain_outbound().len();
+        assert!(first >= 1, "first copy rebroadcast");
+        let rreq2 =
+            RoutingMsg::Rreq { origin: NodeId(1), target: NodeId(9), rreq_id: 7, hops: 1 };
+        r.on_packet(&mut n, wrap(3, 1, rreq2.encode(), EmuTime::ZERO));
+        assert!(n.drain_outbound().is_empty(), "duplicate suppressed");
+    }
+
+    #[test]
+    fn data_forwarding_decrements_ttl() {
+        let mut r = Router::new(RouterConfig::hybrid());
+        let mut n = nic(2, &[1, 2]);
+        // Route to 3 via channel 2 (the dual-radio relay case).
+        fake_broadcast(&mut r, &mut n, 3, 2, vec![2], vec![], 10);
+        n.drain_outbound();
+        let data = RoutingMsg::Data {
+            origin: NodeId(1),
+            final_dst: NodeId(3),
+            seq: 0,
+            ttl: 5,
+            sent_at: EmuTime::ZERO,
+            payload: b"payload".to_vec(),
+        };
+        r.on_packet(&mut n, wrap(1, 1, data.encode(), EmuTime::from_millis(1)));
+        let out = n.drain_outbound();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].channel, ChannelId(2), "relay crosses channels");
+        assert!(matches!(
+            RoutingMsg::decode(&out[0].payload),
+            Some(RoutingMsg::Data { ttl: 4, .. })
+        ));
+        assert_eq!(r.handles().stats.lock().data_forwarded, 1);
+    }
+
+    #[test]
+    fn data_at_zero_ttl_is_dropped() {
+        let mut r = Router::new(RouterConfig::hybrid());
+        let mut n = nic(2, &[1]);
+        let data = RoutingMsg::Data {
+            origin: NodeId(1),
+            final_dst: NodeId(3),
+            seq: 0,
+            ttl: 0,
+            sent_at: EmuTime::ZERO,
+            payload: vec![],
+        };
+        r.on_packet(&mut n, wrap(1, 1, data.encode(), EmuTime::ZERO));
+        assert!(n.drain_outbound().is_empty());
+        assert_eq!(r.handles().stats.lock().drops_ttl, 1);
+    }
+
+    #[test]
+    fn delivered_data_reaches_received_handle() {
+        let mut r = Router::new(RouterConfig::hybrid());
+        let mut n = nic(3, &[2]);
+        n.set_now(EmuTime::from_millis(50));
+        let data = RoutingMsg::Data {
+            origin: NodeId(1),
+            final_dst: NodeId(3),
+            seq: 4,
+            ttl: 3,
+            sent_at: EmuTime::from_millis(40),
+            payload: b"end-to-end".to_vec(),
+        };
+        r.on_packet(&mut n, wrap(2, 2, data.encode(), EmuTime::from_millis(50)));
+        let rx = r.handles().received;
+        let got = rx.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].origin, NodeId(1));
+        assert_eq!(got[0].seq, 4);
+        assert_eq!(got[0].sent_at, EmuTime::from_millis(40));
+        assert_eq!(got[0].delivered_at, EmuTime::from_millis(50));
+        assert_eq!(got[0].payload, b"end-to-end");
+    }
+
+    #[test]
+    fn routes_expire_on_tick() {
+        let mut r = Router::new(RouterConfig::hybrid());
+        let mut n = nic(1, &[1]);
+        fake_broadcast(&mut r, &mut n, 2, 1, vec![1], vec![], 10);
+        assert_eq!(r.handles().table.lock().len(), 1);
+        n.set_now(EmuTime::from_secs(10)); // > route_ttl
+        r.on_tick(&mut n);
+        assert!(r.handles().table.lock().is_empty());
+    }
+
+    #[test]
+    fn proactive_tick_broadcasts_on_every_radio() {
+        let mut r = Router::new(RouterConfig::proactive_only());
+        let mut n = nic(1, &[1, 2, 3]);
+        r.on_start(&mut n);
+        let out = n.drain_outbound();
+        assert_eq!(out.len(), 3);
+        let chans: HashSet<ChannelId> = out.iter().map(|p| p.channel).collect();
+        assert_eq!(chans.len(), 3);
+        assert_eq!(r.handles().stats.lock().broadcasts_sent, 3);
+    }
+
+    #[test]
+    fn reactive_only_never_broadcasts_vectors() {
+        let mut r = Router::new(RouterConfig::reactive_only());
+        let mut n = nic(1, &[1]);
+        r.on_start(&mut n);
+        r.on_tick(&mut n);
+        assert!(n.drain_outbound().is_empty());
+    }
+
+    #[test]
+    fn heard_list_is_channel_specific() {
+        let mut r = Router::new(RouterConfig::proactive_only());
+        let mut n = nic(1, &[1, 2]);
+        // Hear node 2 on channel 1 only.
+        fake_broadcast(&mut r, &mut n, 2, 1, vec![1], vec![], 10);
+        n.drain_outbound();
+        r.on_tick(&mut n);
+        let out = n.drain_outbound();
+        let frames: Vec<(ChannelId, HeardFrame)> = out
+            .iter()
+            .map(|p| (p.channel, HeardFrame::decode(&p.payload).unwrap()))
+            .collect();
+        for (ch, frame) in frames {
+            if ch == ChannelId(1) {
+                assert_eq!(frame.heard, vec![NodeId(2)]);
+            } else {
+                assert!(frame.heard.is_empty(), "channel 2 heard nobody");
+            }
+        }
+    }
+}

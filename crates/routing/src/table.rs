@@ -1,0 +1,261 @@
+//! The routing table — the object Table 2 inspects.
+//!
+//! Channel-aware: a route's next hop is a `(node, channel)` pair, because
+//! in a multi-radio MANET the same neighbor may be reachable on several
+//! channels with different qualities, and a relay forwards across
+//! channels. Entries carry DSDV-style destination sequence numbers and a
+//! last-refresh time for expiry.
+//!
+//! [`RoutingTable::render`] prints the table in the paper's Table-2
+//! format:
+//!
+//! ```text
+//! # of Routing Entries: 2
+//! 2 --> 2 1
+//! 3 --> 2 2
+//! ```
+//!
+//! (destination `-->` next hop, hop count).
+
+use poem_core::{ChannelId, EmuTime, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where to forward next for some destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NextHop {
+    /// Neighbor to hand the packet to.
+    pub node: NodeId,
+    /// Channel on which that neighbor is reached.
+    pub channel: ChannelId,
+}
+
+/// One routing-table row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// Next hop toward the destination.
+    pub next_hop: NextHop,
+    /// Distance in hops.
+    pub hops: u32,
+    /// Destination sequence number (freshness; higher wins).
+    pub seq: u64,
+    /// When the entry was installed or refreshed.
+    pub refreshed_at: EmuTime,
+}
+
+/// A node's routing table.
+///
+/// ```
+/// use poem_routing::{NextHop, RouteEntry, RoutingTable};
+/// use poem_core::{ChannelId, EmuTime, NodeId};
+/// let mut t = RoutingTable::new();
+/// t.offer(NodeId(3), RouteEntry {
+///     next_hop: NextHop { node: NodeId(2), channel: ChannelId(1) },
+///     hops: 2,
+///     seq: 10,
+///     refreshed_at: EmuTime::ZERO,
+/// });
+/// assert_eq!(t.render(), "# of Routing Entries: 1\n3 --> 2 2\n");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    routes: BTreeMap<NodeId, RouteEntry>,
+}
+
+impl RoutingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no routes are known.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The route to `dst`, if known.
+    pub fn route(&self, dst: NodeId) -> Option<&RouteEntry> {
+        self.routes.get(&dst)
+    }
+
+    /// All `(destination, entry)` rows, ascending by destination.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, &RouteEntry)> {
+        self.routes.iter().map(|(&d, e)| (d, e))
+    }
+
+    /// Installs `entry` for `dst` if it is *better*: fresher sequence, or
+    /// same sequence with fewer hops. Returns whether the table changed.
+    pub fn offer(&mut self, dst: NodeId, entry: RouteEntry) -> bool {
+        match self.routes.get_mut(&dst) {
+            Some(cur) => {
+                let better = entry.seq > cur.seq
+                    || (entry.seq == cur.seq && entry.hops < cur.hops);
+                let refresh = entry.seq == cur.seq
+                    && entry.hops == cur.hops
+                    && entry.next_hop == cur.next_hop;
+                if better {
+                    *cur = entry;
+                    true
+                } else if refresh {
+                    cur.refreshed_at = entry.refreshed_at;
+                    false
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.routes.insert(dst, entry);
+                true
+            }
+        }
+    }
+
+    /// Unconditionally installs `entry` (used by on-demand replies, which
+    /// carry their own freshness guarantee).
+    pub fn install(&mut self, dst: NodeId, entry: RouteEntry) {
+        self.routes.insert(dst, entry);
+    }
+
+    /// Removes the route to `dst`.
+    pub fn remove(&mut self, dst: NodeId) -> Option<RouteEntry> {
+        self.routes.remove(&dst)
+    }
+
+    /// Drops every entry whose last refresh is older than `ttl` before
+    /// `now`, and every route through a next hop in `broken`. Returns the
+    /// purged destinations.
+    pub fn purge(
+        &mut self,
+        now: EmuTime,
+        ttl: poem_core::EmuDuration,
+        broken: &[NodeId],
+    ) -> Vec<NodeId> {
+        let dead: Vec<NodeId> = self
+            .routes
+            .iter()
+            .filter(|(_, e)| {
+                (now - e.refreshed_at) > ttl || broken.contains(&e.next_hop.node)
+            })
+            .map(|(&d, _)| d)
+            .collect();
+        for d in &dead {
+            self.routes.remove(d);
+        }
+        dead
+    }
+
+    /// Exports the table as DSDV broadcast rows: `(dest, seq, hops)`.
+    pub fn export(&self) -> Vec<(NodeId, u64, u32)> {
+        self.entries().map(|(d, e)| (d, e.seq, e.hops)).collect()
+    }
+
+    /// Renders in the Table-2 format.
+    pub fn render(&self) -> String {
+        let mut out = format!("# of Routing Entries: {}\n", self.len());
+        for (dst, e) in self.entries() {
+            out.push_str(&format!("{} --> {} {}\n", dst.0, e.next_hop.node.0, e.hops));
+        }
+        out
+    }
+}
+
+impl fmt::Display for RoutingTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::EmuDuration;
+
+    fn entry(via: u32, ch: u16, hops: u32, seq: u64, at: u64) -> RouteEntry {
+        RouteEntry {
+            next_hop: NextHop { node: NodeId(via), channel: ChannelId(ch) },
+            hops,
+            seq,
+            refreshed_at: EmuTime::from_secs(at),
+        }
+    }
+
+    #[test]
+    fn offer_prefers_fresher_sequence() {
+        let mut t = RoutingTable::new();
+        assert!(t.offer(NodeId(3), entry(2, 1, 2, 10, 0)));
+        // Older sequence, better hops: rejected.
+        assert!(!t.offer(NodeId(3), entry(9, 1, 1, 8, 1)));
+        assert_eq!(t.route(NodeId(3)).unwrap().next_hop.node, NodeId(2));
+        // Fresher sequence, worse hops: accepted.
+        assert!(t.offer(NodeId(3), entry(9, 1, 5, 12, 2)));
+        assert_eq!(t.route(NodeId(3)).unwrap().hops, 5);
+    }
+
+    #[test]
+    fn offer_prefers_fewer_hops_at_equal_sequence() {
+        let mut t = RoutingTable::new();
+        t.offer(NodeId(3), entry(2, 1, 3, 10, 0));
+        assert!(t.offer(NodeId(3), entry(4, 2, 1, 10, 1)));
+        let e = t.route(NodeId(3)).unwrap();
+        assert_eq!(e.next_hop, NextHop { node: NodeId(4), channel: ChannelId(2) });
+        // Equal seq, equal hops, same next hop: refresh only.
+        assert!(!t.offer(NodeId(3), entry(4, 2, 1, 10, 5)));
+        assert_eq!(t.route(NodeId(3)).unwrap().refreshed_at, EmuTime::from_secs(5));
+    }
+
+    #[test]
+    fn purge_expires_stale_routes() {
+        let mut t = RoutingTable::new();
+        t.offer(NodeId(2), entry(2, 1, 1, 10, 0));
+        t.offer(NodeId(3), entry(2, 1, 2, 10, 8));
+        let dead = t.purge(EmuTime::from_secs(10), EmuDuration::from_secs(5), &[]);
+        assert_eq!(dead, vec![NodeId(2)]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn purge_drops_routes_through_broken_neighbor() {
+        let mut t = RoutingTable::new();
+        t.offer(NodeId(2), entry(2, 1, 1, 10, 9));
+        t.offer(NodeId(3), entry(2, 1, 2, 10, 9));
+        t.offer(NodeId(4), entry(5, 1, 2, 10, 9));
+        let mut dead =
+            t.purge(EmuTime::from_secs(10), EmuDuration::from_secs(100), &[NodeId(2)]);
+        dead.sort_unstable();
+        assert_eq!(dead, vec![NodeId(2), NodeId(3)]);
+        assert!(t.route(NodeId(4)).is_some());
+    }
+
+    #[test]
+    fn render_matches_table2_format() {
+        let mut t = RoutingTable::new();
+        t.offer(NodeId(2), entry(2, 1, 1, 10, 0));
+        t.offer(NodeId(3), entry(2, 1, 2, 10, 0));
+        let s = t.render();
+        assert_eq!(s, "# of Routing Entries: 2\n2 --> 2 1\n3 --> 2 2\n");
+        let empty = RoutingTable::new();
+        assert_eq!(empty.render(), "# of Routing Entries: 0\n");
+    }
+
+    #[test]
+    fn export_roundtrips_rows() {
+        let mut t = RoutingTable::new();
+        t.offer(NodeId(2), entry(2, 1, 1, 4, 0));
+        t.offer(NodeId(7), entry(2, 1, 3, 6, 0));
+        assert_eq!(t.export(), vec![(NodeId(2), 4, 1), (NodeId(7), 6, 3)]);
+    }
+
+    #[test]
+    fn install_overrides_unconditionally() {
+        let mut t = RoutingTable::new();
+        t.offer(NodeId(3), entry(2, 1, 1, 100, 0));
+        t.install(NodeId(3), entry(9, 2, 7, 1, 1));
+        assert_eq!(t.route(NodeId(3)).unwrap().next_hop.node, NodeId(9));
+    }
+}

@@ -1,0 +1,148 @@
+//! The PoEm emulation server CLI.
+//!
+//! ```sh
+//! poem-server <scenario.poem> [--listen 127.0.0.1:0] [--seed N] [--duration SECS]
+//! ```
+//!
+//! Loads a scenario script (see `poem_server::script` for the format),
+//! applies its t = 0 ops as the initial scene, starts the real-time TCP
+//! server, schedules the remaining ops at their wall-clock offsets, and
+//! on exit saves the recorded traffic and scene logs next to the script
+//! (`<script>.traffic.poemlog` / `<script>.scene.poemlog`).
+
+use poem_core::clock::{Clock, WallClock};
+use poem_core::scene::Scene;
+use poem_core::EmuTime;
+use poem_server::script::Script;
+use poem_server::{ServerConfig, ServerHandle};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    script: PathBuf,
+    listen: String,
+    seed: u64,
+    duration: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let script = PathBuf::from(args.next().ok_or("usage: poem-server <scenario.poem> [--listen ADDR] [--seed N] [--duration SECS]")?);
+    let mut out = Args { script, listen: "127.0.0.1:0".into(), seed: 0, duration: None };
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--listen" => out.listen = value()?,
+            "--seed" => out.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--duration" => {
+                out.duration = Some(value()?.parse().map_err(|e| format!("bad duration: {e}"))?)
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&args.script) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.script.display());
+            std::process::exit(2);
+        }
+    };
+    let script = match Script::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", args.script.display());
+            std::process::exit(2);
+        }
+    };
+
+    // t = 0 ops form the initial scene; later ops fire live.
+    let mut scene = Scene::new();
+    let mut deferred = Vec::new();
+    for entry in script.entries() {
+        if entry.at == EmuTime::ZERO {
+            if let Err(e) = scene.apply(EmuTime::ZERO, &entry.op) {
+                eprintln!("initial op `{}` failed: {e}", entry.op);
+                std::process::exit(2);
+            }
+        } else {
+            deferred.push(entry.clone());
+        }
+    }
+
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let config = ServerConfig {
+        addr: args.listen.parse().unwrap_or_else(|e| {
+            eprintln!("bad listen address {}: {e}", args.listen);
+            std::process::exit(2);
+        }),
+        seed: args.seed,
+        ..ServerConfig::default()
+    };
+    let server = match ServerHandle::start(scene, Arc::clone(&clock), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("poem-server listening on {}", server.addr());
+    println!(
+        "scene: {} nodes, {} deferred scenario ops",
+        server.with_scene(|s| s.len()),
+        deferred.len()
+    );
+    println!("{}", server.with_scene(|s| poem_server::viz::render_scene(s, 56, 12)));
+
+    // Scenario driver: fire deferred ops at their wall-clock offsets.
+    let driver = {
+        let server = Arc::clone(&server);
+        let clock = Arc::clone(&clock);
+        std::thread::spawn(move || {
+            for entry in deferred {
+                loop {
+                    let now = clock.now();
+                    if now >= entry.at {
+                        break;
+                    }
+                    std::thread::sleep((entry.at - now).to_std().min(Duration::from_millis(100)));
+                }
+                match server.apply_op(entry.op.clone()) {
+                    Ok(()) => println!("[{}] {}", clock.now(), entry.op),
+                    Err(e) => eprintln!("[{}] {} FAILED: {e}", clock.now(), entry.op),
+                }
+            }
+        })
+    };
+
+    // Run for the requested duration (default: script end + 5 s).
+    let run_secs = args.duration.unwrap_or(script.end().as_secs_f64() + 5.0);
+    println!("running for {run_secs:.1} s of wall time ...");
+    std::thread::sleep(Duration::from_secs_f64(run_secs));
+    let _ = driver.join();
+
+    let recorder = server.recorder();
+    let (traffic, ops) = recorder.counts();
+    println!("recorded {traffic} traffic events, {ops} scene ops");
+    let stem = args.script.with_extension("");
+    match recorder.save(&stem) {
+        Ok(()) => println!(
+            "logs saved to {}.traffic.poemlog / {}.scene.poemlog",
+            stem.display(),
+            stem.display()
+        ),
+        Err(e) => eprintln!("could not save logs: {e}"),
+    }
+    server.shutdown();
+}

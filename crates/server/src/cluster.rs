@@ -1,0 +1,408 @@
+//! The parallelized server cluster — §7's future work: "expand the one
+//! server to a parallelized cluster to conquer the performance bottleneck
+//! so as to support fine-granularity performance evaluations".
+//!
+//! [`ClusterPipeline`] shards the per-packet work (§3.2 steps 2–3: the
+//! neighbor lookup and the drop/forward-time decisions) across worker
+//! shards by source VMN. The scene stays **centralized** behind a
+//! read-write lock — preserving PoEm's consistency argument: scene
+//! construction is still a single serialized writer, only the
+//! embarrassingly parallel per-packet decisions fan out. Each shard owns
+//! an independent RNG (forked from the cluster seed), so runs are
+//! deterministic *per shard assignment*.
+//!
+//! The cluster path implements the paper's baseline models; the optional
+//! MAC collision domain is inherently a global serialization point and is
+//! deliberately not offered here (see DESIGN.md).
+
+use crate::engine::Delivery;
+use crossbeam::thread;
+use parking_lot::{Mutex, RwLock};
+use poem_core::linkmodel::ForwardDecision;
+use poem_core::packet::Destination;
+use poem_core::scene::{Scene, SceneError, SceneOp};
+use poem_core::{EmuPacket, EmuRng, EmuTime, NodeId};
+use poem_record::{DropReason, Recorder, SceneRecord, TrafficRecord};
+use std::sync::Arc;
+
+/// Cluster sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of worker shards (≥ 1).
+    pub shards: usize,
+    /// Seed forked into every shard's RNG.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { shards: 4, seed: 0 }
+    }
+}
+
+struct Shard {
+    rng: EmuRng,
+    /// Per-shard recorder — shards never contend on the log lock; the
+    /// logs are merged (time-ordered) on demand.
+    recorder: Arc<Recorder>,
+}
+
+/// A sharded emulation pipeline.
+pub struct ClusterPipeline {
+    scene: RwLock<Scene>,
+    shards: Vec<Mutex<Shard>>,
+    /// Scene-op log (single writer, so unsharded).
+    recorder: Arc<Recorder>,
+    mobility_rng: Mutex<EmuRng>,
+}
+
+impl ClusterPipeline {
+    /// Builds a cluster over an initial scene.
+    pub fn new(scene: Scene, recorder: Arc<Recorder>, config: ClusterConfig) -> Self {
+        assert!(config.shards >= 1, "a cluster needs at least one shard");
+        let mut root = EmuRng::seed(config.seed);
+        let shards = (0..config.shards)
+            .map(|_| {
+                Mutex::new(Shard { rng: root.fork(), recorder: Arc::new(Recorder::new()) })
+            })
+            .collect();
+        ClusterPipeline {
+            scene: RwLock::new(scene),
+            shards,
+            recorder,
+            mobility_rng: Mutex::new(root.fork()),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns a source VMN.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        node.0 as usize % self.shards.len()
+    }
+
+    /// The scene-op recorder (traffic records live in per-shard logs;
+    /// see [`ClusterPipeline::traffic_merged`]).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// All shards' traffic records merged into one time-ordered log.
+    pub fn traffic_merged(&self) -> Vec<TrafficRecord> {
+        let mut all: Vec<TrafficRecord> = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().recorder.traffic());
+        }
+        all.sort_by_key(|r| r.at());
+        all
+    }
+
+    /// Runs `f` with read access to the scene.
+    pub fn with_scene<R>(&self, f: impl FnOnce(&Scene) -> R) -> R {
+        f(&self.scene.read())
+    }
+
+    /// Applies a scene op (single serialized writer — the centralized
+    /// scene-construction path).
+    pub fn apply_op(&self, at: EmuTime, op: SceneOp) -> Result<(), SceneError> {
+        self.scene.write().apply(at, &op)?;
+        self.recorder.record_scene(SceneRecord::new(at, op));
+        Ok(())
+    }
+
+    /// Integrates mobility up to `to` (serialized writer).
+    pub fn advance_mobility(&self, to: EmuTime) {
+        let mut rng = self.mobility_rng.lock();
+        self.scene.write().advance_mobility(to, &mut rng);
+    }
+
+    /// Ingests one packet on its owning shard (steps 2–3).
+    pub fn ingest(&self, pkt: &EmuPacket, received_at: EmuTime) -> Vec<Delivery> {
+        let shard = &self.shards[self.shard_of(pkt.src)];
+        let mut shard = shard.lock();
+        let scene = self.scene.read();
+        let recorder = Arc::clone(&shard.recorder);
+        ingest_on(&scene, &recorder, &mut shard.rng, pkt, received_at)
+    }
+
+    /// Ingests a batch in parallel: packets are partitioned by their
+    /// owning shard and each shard processes its share on its own worker
+    /// thread. Returns all deliveries (ordering: by shard, then by the
+    /// batch order within a shard — deterministic for a fixed shard
+    /// count).
+    pub fn ingest_batch(&self, batch: &[EmuPacket], received_at: EmuTime) -> Vec<Delivery> {
+        self.ingest_batch_sharded(batch, received_at).into_iter().flatten().collect()
+    }
+
+    /// Like [`ClusterPipeline::ingest_batch`] but returns one delivery
+    /// vector per shard, skipping the serial merge — the fast path when
+    /// the consumer (e.g. per-shard scanning threads) can work sharded.
+    pub fn ingest_batch_sharded(
+        &self,
+        batch: &[EmuPacket],
+        received_at: EmuTime,
+    ) -> Vec<Vec<Delivery>> {
+        let n = self.shards.len();
+        let mut partitions: Vec<Vec<&EmuPacket>> = vec![Vec::new(); n];
+        for pkt in batch {
+            partitions[self.shard_of(pkt.src)].push(pkt);
+        }
+        let mut results: Vec<Vec<Delivery>> = Vec::with_capacity(n);
+        thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .iter()
+                .enumerate()
+                .map(|(i, part)| {
+                    let shard = &self.shards[i];
+                    let scene = &self.scene;
+                    scope.spawn(move |_| {
+                        let mut shard = shard.lock();
+                        let scene = scene.read();
+                        let recorder = Arc::clone(&shard.recorder);
+                        let mut out = Vec::new();
+                        for pkt in part {
+                            out.extend(ingest_on(
+                                &scene,
+                                &recorder,
+                                &mut shard.rng,
+                                pkt,
+                                received_at,
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("shard worker panicked"));
+            }
+        })
+        .expect("cluster scope");
+        results
+    }
+}
+
+impl std::fmt::Debug for ClusterPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterPipeline")
+            .field("shards", &self.shards.len())
+            .field("nodes", &self.scene.read().len())
+            .finish()
+    }
+}
+
+/// The shared per-packet decision logic (identical semantics to
+/// [`crate::engine::Pipeline::ingest`] with the baseline models).
+fn ingest_on(
+    scene: &Scene,
+    recorder: &Recorder,
+    rng: &mut EmuRng,
+    pkt: &EmuPacket,
+    received_at: EmuTime,
+) -> Vec<Delivery> {
+    recorder.record_traffic(TrafficRecord::ingress(pkt, received_at));
+    let targets = scene.route(pkt.src, pkt.channel, pkt.dst);
+    if targets.is_empty() {
+        if let Destination::Unicast(d) = pkt.dst {
+            recorder.record_traffic(TrafficRecord::Drop {
+                id: pkt.id,
+                to: d,
+                at: received_at,
+                reason: DropReason::NoRoute,
+            });
+        }
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(targets.len());
+    for to in targets {
+        match scene.decide(pkt.src, to, pkt.channel, pkt.wire_size(), rng) {
+            Some(ForwardDecision::ForwardAfter(d)) => {
+                out.push(Delivery { to, fire_at: pkt.sent_at + d, packet: pkt.clone() });
+            }
+            Some(ForwardDecision::Drop) => {
+                recorder.record_traffic(TrafficRecord::Drop {
+                    id: pkt.id,
+                    to,
+                    at: received_at,
+                    reason: DropReason::Loss,
+                });
+            }
+            None => {
+                recorder.record_traffic(TrafficRecord::Drop {
+                    id: pkt.id,
+                    to,
+                    at: received_at,
+                    reason: DropReason::NoRoute,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::linkmodel::LinkParams;
+    use poem_core::mobility::MobilityModel;
+    use poem_core::packet::HEADER_BYTES;
+    use poem_core::radio::RadioConfig;
+    use poem_core::{ChannelId, PacketId, Point, RadioId};
+
+    fn grid_scene(n: u32) -> Scene {
+        let mut s = Scene::new();
+        let side = (n as f64).sqrt().ceil() as u32;
+        for i in 0..n {
+            s.apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(i),
+                    pos: Point::new((i % side) as f64 * 80.0, (i / side) as f64 * 80.0),
+                    radios: RadioConfig::single(ChannelId(1), 170.0),
+                    mobility: MobilityModel::Stationary,
+                    link: LinkParams::ideal(8e6),
+                },
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn pkt(id: u64, src: u32) -> EmuPacket {
+        EmuPacket::new(
+            PacketId(id),
+            NodeId(src),
+            Destination::Broadcast,
+            ChannelId(1),
+            RadioId(0),
+            EmuTime::from_micros(id),
+            vec![0u8; 500 - HEADER_BYTES],
+        )
+    }
+
+    #[test]
+    fn single_shard_matches_pipeline_semantics() {
+        let rec_cluster = Arc::new(Recorder::new());
+        let cluster = ClusterPipeline::new(
+            grid_scene(16),
+            Arc::clone(&rec_cluster),
+            ClusterConfig { shards: 1, seed: 9 },
+        );
+        let rec_single = Arc::new(Recorder::new());
+        let mut single = crate::engine::Pipeline::new(
+            grid_scene(16),
+            Arc::clone(&rec_single),
+            // The cluster's one shard forks from the root RNG — mirror it.
+            {
+                let mut root = EmuRng::seed(9);
+                root.fork()
+            },
+        );
+        for i in 0..50u64 {
+            let p = pkt(i, (i % 16) as u32);
+            let a = cluster.ingest(&p, p.sent_at);
+            let b = single.ingest(&p, p.sent_at);
+            assert_eq!(a, b, "packet {i}");
+        }
+        // Traffic goes to the shard log; scene ops to the shared one.
+        assert_eq!(cluster.traffic_merged().len(), rec_single.traffic().len());
+        let _ = rec_cluster;
+    }
+
+    #[test]
+    fn batch_covers_every_packet_exactly_once() {
+        let cluster = ClusterPipeline::new(
+            grid_scene(25),
+            Arc::new(Recorder::new()),
+            ClusterConfig { shards: 4, seed: 1 },
+        );
+        let batch: Vec<EmuPacket> = (0..200).map(|i| pkt(i, (i % 25) as u32)).collect();
+        let _out = cluster.ingest_batch(&batch, EmuTime::from_millis(1));
+        let traffic = cluster.traffic_merged();
+        let ingress = traffic
+            .iter()
+            .filter(|r| matches!(r, TrafficRecord::Ingress { .. }))
+            .count();
+        assert_eq!(ingress, 200);
+        // Ideal links: every in-range copy becomes a delivery, none drop.
+        let drops =
+            traffic.iter().filter(|r| matches!(r, TrafficRecord::Drop { .. })).count();
+        assert_eq!(drops, 0);
+        assert!(!_out.is_empty());
+        // Each packet fans out to its sender's full neighbor set.
+        let expected: usize = batch
+            .iter()
+            .map(|p| cluster.with_scene(|s| s.route(p.src, p.channel, p.dst).len()))
+            .sum();
+        assert_eq!(_out.len(), expected);
+    }
+
+    #[test]
+    fn batch_is_deterministic_for_fixed_shards() {
+        let run = || {
+            let cluster = ClusterPipeline::new(
+                grid_scene(25),
+                Arc::new(Recorder::new()),
+                ClusterConfig { shards: 4, seed: 7 },
+            );
+            let batch: Vec<EmuPacket> = (0..100).map(|i| pkt(i, (i % 25) as u32)).collect();
+            cluster
+                .ingest_batch(&batch, EmuTime::ZERO)
+                .into_iter()
+                .map(|d| (d.packet.id, d.to, d.fire_at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scene_ops_remain_centralized_and_visible_to_all_shards() {
+        let cluster = ClusterPipeline::new(
+            grid_scene(4),
+            Arc::new(Recorder::new()),
+            ClusterConfig { shards: 4, seed: 1 },
+        );
+        // Remove node 1; every shard's next lookup sees it gone.
+        cluster.apply_op(EmuTime::from_secs(1), SceneOp::RemoveNode { id: NodeId(1) }).unwrap();
+        for src in [0u32, 2, 3] {
+            let out = cluster.ingest(&pkt(100 + src as u64, src), EmuTime::from_secs(1));
+            assert!(out.iter().all(|d| d.to != NodeId(1)), "shard for {src} saw a ghost");
+        }
+        assert_eq!(cluster.with_scene(|s| s.len()), 3);
+    }
+
+    #[test]
+    fn mobility_advances_under_the_cluster() {
+        let mut scene = grid_scene(1);
+        scene
+            .apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(99),
+                    pos: Point::ORIGIN,
+                    radios: RadioConfig::single(ChannelId(1), 100.0),
+                    mobility: MobilityModel::Linear { direction_deg: 0.0, speed: 10.0 },
+                    link: LinkParams::default(),
+                },
+            )
+            .unwrap();
+        let cluster =
+            ClusterPipeline::new(scene, Arc::new(Recorder::new()), ClusterConfig::default());
+        cluster.advance_mobility(EmuTime::from_secs(3));
+        let pos = cluster.with_scene(|s| s.node(NodeId(99)).unwrap().pos);
+        assert!((pos.x - 30.0).abs() < 1e-6, "{pos}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ClusterPipeline::new(
+            Scene::new(),
+            Arc::new(Recorder::new()),
+            ClusterConfig { shards: 0, seed: 0 },
+        );
+    }
+}

@@ -1,0 +1,708 @@
+//! The transport-independent emulation pipeline (§3.2 steps 2–4, 7).
+//!
+//! Both server frontends — the real-time TCP server and the deterministic
+//! in-process harness — drive the same [`Pipeline`]: it owns the scene,
+//! makes the per-packet routing and drop/forward-time decisions, and
+//! records everything (traffic and scene) for statistics and replay. The
+//! frontends differ only in where packets come from and how the resulting
+//! deliveries are clocked out (wall-clock scanning thread vs. virtual-time
+//! event loop).
+
+use poem_core::energy::{EnergyBook, PowerProfile};
+use poem_core::linkmodel::ForwardDecision;
+use poem_core::mac::{CollisionDomain, MacModel, Transmission};
+use poem_core::packet::Destination;
+use poem_core::scene::{Scene, SceneError, SceneOp};
+use poem_core::{EmuDuration, EmuPacket, EmuRng, EmuTime, NodeId};
+use poem_record::{DropReason, Recorder, SceneRecord, TrafficRecord};
+use std::sync::Arc;
+
+/// Optional model extensions applied by the pipeline (the §7 future-work
+/// models; both default to off, matching the paper's baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineConfig {
+    /// MAC discipline per channel.
+    pub mac: MacModel,
+    /// Power metering; `None` disables the energy ledger.
+    pub power: Option<PowerProfile>,
+}
+
+/// One delivery produced by ingesting a packet: forward a copy to `to`
+/// when the emulation clock reaches `fire_at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// Receiving VMN.
+    pub to: NodeId,
+    /// Forward time: `t_receipt + size/bandwidth + delay`, where
+    /// `t_receipt` is the **client's** parallel timestamp (§3.2 step 3:
+    /// "from the receipt time that is stamped by clients").
+    pub fire_at: EmuTime,
+    /// The packet (payload shared, not copied).
+    pub packet: EmuPacket,
+}
+
+/// The emulation engine shared by every server frontend.
+#[derive(Debug)]
+pub struct Pipeline {
+    scene: Scene,
+    recorder: Arc<Recorder>,
+    rng: EmuRng,
+    mac: MacModel,
+    collisions: CollisionDomain,
+    energy: Option<EnergyBook>,
+    collision_drops: u64,
+    csma_deferrals: u64,
+}
+
+impl Pipeline {
+    /// Builds a pipeline over an initial scene with the baseline models
+    /// (no MAC, no energy metering).
+    pub fn new(scene: Scene, recorder: Arc<Recorder>, rng: EmuRng) -> Self {
+        Self::with_config(scene, recorder, rng, PipelineConfig::default())
+    }
+
+    /// Builds a pipeline with explicit model extensions.
+    pub fn with_config(
+        scene: Scene,
+        recorder: Arc<Recorder>,
+        rng: EmuRng,
+        config: PipelineConfig,
+    ) -> Self {
+        let energy = config.power.map(|p| {
+            let mut book = EnergyBook::new(p);
+            for v in scene.nodes() {
+                book.open(v.id, EmuTime::ZERO, None);
+            }
+            book
+        });
+        Pipeline {
+            scene,
+            recorder,
+            rng,
+            mac: config.mac,
+            collisions: CollisionDomain::new(),
+            energy,
+            collision_drops: 0,
+            csma_deferrals: 0,
+        }
+    }
+
+    /// Copies destroyed by MAC collisions so far.
+    pub fn collision_drops(&self) -> u64 {
+        self.collision_drops
+    }
+
+    /// Transmissions deferred by CSMA carrier sensing so far.
+    pub fn csma_deferrals(&self) -> u64 {
+        self.csma_deferrals
+    }
+
+    /// The energy ledger, when power metering is on.
+    pub fn energy(&self) -> Option<&EnergyBook> {
+        self.energy.as_ref()
+    }
+
+    /// Mutable access to the energy ledger (battery assignment etc.).
+    pub fn energy_mut(&mut self) -> Option<&mut EnergyBook> {
+        self.energy.as_mut()
+    }
+
+    /// Read access to the scene.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// Records the current scene's nodes as `AddNode` ops at `at`, so a
+    /// replay of the scene log reconstructs runs whose initial scene was
+    /// built *before* the pipeline existed (the TCP server is handed a
+    /// ready-made scene).
+    pub fn record_initial_scene(&self, at: EmuTime) {
+        for v in self.scene.nodes() {
+            self.recorder.record_scene(SceneRecord::new(
+                at,
+                SceneOp::AddNode {
+                    id: v.id,
+                    pos: v.pos,
+                    radios: v.radios.clone(),
+                    mobility: v.mobility,
+                    link: v.link,
+                },
+            ));
+        }
+    }
+
+    /// The shared recorder.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// Applies a scene operation at `at`, recording it on success — the
+    /// server-side effect of every GUI/script action.
+    pub fn apply_op(&mut self, at: EmuTime, op: SceneOp) -> Result<(), SceneError> {
+        self.scene.apply(at, &op)?;
+        if let Some(book) = self.energy.as_mut() {
+            match &op {
+                SceneOp::AddNode { id, .. } => book.open(*id, at, None),
+                SceneOp::RemoveNode { id } => book.close(*id),
+                _ => {}
+            }
+        }
+        self.recorder.record_scene(SceneRecord::new(at, op));
+        Ok(())
+    }
+
+    /// Integrates mobility up to `to` and records the resulting positions
+    /// of mobile nodes as `MoveNode` ops, so replay is exact without
+    /// re-randomization.
+    pub fn advance_mobility(&mut self, to: EmuTime) {
+        if to <= self.scene.mobility_horizon() {
+            return;
+        }
+        self.scene.advance_mobility(to, &mut self.rng);
+        let moved: Vec<(NodeId, poem_core::Point)> = self
+            .scene
+            .nodes()
+            .filter(|v| v.mobility.is_mobile())
+            .map(|v| (v.id, v.pos))
+            .collect();
+        for (id, pos) in moved {
+            self.recorder
+                .record_scene(SceneRecord::new(to, SceneOp::MoveNode { id, pos }));
+        }
+    }
+
+    /// Steps 2–3 for one received packet: records the ingress, routes it,
+    /// draws the loss decisions, records the drops, and returns the
+    /// surviving deliveries for the frontend to schedule (step 4).
+    ///
+    /// `received_at` is the server's receipt time (recorded so the
+    /// difference to the client stamp — the serialization error a purely
+    /// centralized recorder would suffer — is itself measurable).
+    pub fn ingest(&mut self, pkt: &EmuPacket, received_at: EmuTime) -> Vec<Delivery> {
+        self.recorder.record_traffic(TrafficRecord::ingress(pkt, received_at));
+        let targets = self.scene.route(pkt.src, pkt.channel, pkt.dst);
+        // Sender-side MAC/energy bookkeeping: the transmission occupies
+        // the medium around the sender for its airtime.
+        let tx = self.sender_transmission(pkt);
+        if let (Some(book), Some(tx)) = (self.energy.as_mut(), tx.as_ref()) {
+            book.meter_tx(pkt.src, tx.end - tx.start);
+        }
+        // A unicast whose target is not a neighbor is a routing failure
+        // worth recording (the protocol under test believed it had a link).
+        if targets.is_empty() {
+            if let Destination::Unicast(d) = pkt.dst {
+                self.recorder.record_traffic(TrafficRecord::Drop {
+                    id: pkt.id,
+                    to: d,
+                    at: received_at,
+                    reason: DropReason::NoRoute,
+                });
+            }
+            // The transmission still happened (and can still interfere).
+            if let Some(tx) = tx {
+                if self.mac != MacModel::None {
+                    self.collisions.register(pkt.channel, tx);
+                }
+            }
+            return Vec::new();
+        }
+        let base = tx.as_ref().map(|t| t.start).unwrap_or(pkt.sent_at);
+        let mut out = Vec::with_capacity(targets.len());
+        for to in targets {
+            match self.scene.decide(pkt.src, to, pkt.channel, pkt.wire_size(), &mut self.rng) {
+                Some(ForwardDecision::ForwardAfter(d)) => {
+                    // MAC collision test at the receiver.
+                    if let Some(tx) = tx.as_ref() {
+                        if self.mac != MacModel::None {
+                            let dst_pos = self.scene.node(to).map(|v| v.pos);
+                            if dst_pos
+                                .is_some_and(|p| self.collisions.collides(pkt.channel, p, tx))
+                            {
+                                self.collision_drops += 1;
+                                self.recorder.record_traffic(TrafficRecord::Drop {
+                                    id: pkt.id,
+                                    to,
+                                    at: received_at,
+                                    reason: DropReason::Collision,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                    if let (Some(book), Some(tx)) = (self.energy.as_mut(), tx.as_ref()) {
+                        book.meter_rx(to, tx.end - tx.start);
+                    }
+                    out.push(Delivery { to, fire_at: base + d, packet: pkt.clone() });
+                }
+                Some(ForwardDecision::Drop) => {
+                    self.recorder.record_traffic(TrafficRecord::Drop {
+                        id: pkt.id,
+                        to,
+                        at: received_at,
+                        reason: DropReason::Loss,
+                    });
+                }
+                None => {
+                    self.recorder.record_traffic(TrafficRecord::Drop {
+                        id: pkt.id,
+                        to,
+                        at: received_at,
+                        reason: DropReason::NoRoute,
+                    });
+                }
+            }
+        }
+        if let Some(tx) = tx {
+            if self.mac != MacModel::None {
+                self.collisions.register(pkt.channel, tx);
+            }
+        }
+        out
+    }
+
+    /// Builds the sender-side [`Transmission`] for a packet: position,
+    /// range and airtime, with the start deferred under CSMA.
+    fn sender_transmission(&mut self, pkt: &EmuPacket) -> Option<Transmission> {
+        let sender = self.scene.node(pkt.src)?;
+        let range = sender.radios.range_on(pkt.channel)?;
+        let link = sender.link.with_range(range);
+        let airtime = link.bandwidth.transmission_time(pkt.wire_size(), 0.0);
+        let pos = sender.pos;
+        let start = match self.mac {
+            MacModel::Csma => {
+                self.collisions.prune(pkt.sent_at);
+                let deferred =
+                    self.collisions.medium_free_at(pkt.channel, pos, pkt.sent_at);
+                if deferred > pkt.sent_at {
+                    self.csma_deferrals += 1;
+                }
+                deferred
+            }
+            _ => {
+                self.collisions.prune(pkt.sent_at);
+                pkt.sent_at
+            }
+        };
+        Some(Transmission {
+            sender: pkt.src,
+            pos,
+            range,
+            start,
+            end: start + airtime.max(EmuDuration::from_nanos(1)),
+        })
+    }
+
+    /// Step 6 bookkeeping: records that a delivery fired at `at`.
+    pub fn record_forward(&self, delivery: &Delivery, at: EmuTime) {
+        self.recorder.record_traffic(TrafficRecord::Forward {
+            id: delivery.packet.id,
+            to: delivery.to,
+            at,
+        });
+    }
+
+    /// Records that a delivery could not be handed to its client (gone
+    /// between scheduling and firing).
+    pub fn record_undeliverable(&self, delivery: &Delivery, at: EmuTime) {
+        self.recorder.record_traffic(TrafficRecord::Drop {
+            id: delivery.packet.id,
+            to: delivery.to,
+            at,
+            reason: DropReason::Disconnected,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::linkmodel::LinkParams;
+    use poem_core::mobility::MobilityModel;
+    use poem_core::packet::HEADER_BYTES;
+    use poem_core::radio::RadioConfig;
+    use poem_core::{ChannelId, EmuDuration, PacketId, Point, RadioId};
+
+    fn scene_two_nodes(link: LinkParams) -> Scene {
+        let mut s = Scene::new();
+        for (id, x) in [(1u32, 0.0), (2u32, 60.0)] {
+            s.apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(id),
+                    pos: Point::new(x, 0.0),
+                    radios: RadioConfig::single(ChannelId(1), 100.0),
+                    mobility: MobilityModel::Stationary,
+                    link,
+                },
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn pkt(id: u64, dst: Destination, sent_at: EmuTime) -> EmuPacket {
+        EmuPacket::new(
+            PacketId(id),
+            NodeId(1),
+            dst,
+            ChannelId(1),
+            RadioId(0),
+            sent_at,
+            vec![0u8; 1000 - HEADER_BYTES],
+        )
+    }
+
+    #[test]
+    fn ingest_schedules_forward_at_client_stamp_plus_model_delay() {
+        let mut p = Pipeline::new(
+            scene_two_nodes(LinkParams::ideal(8e6)),
+            Arc::new(Recorder::new()),
+            EmuRng::seed(1),
+        );
+        let sent = EmuTime::from_millis(100);
+        let out = p.ingest(&pkt(1, Destination::Broadcast, sent), EmuTime::from_millis(103));
+        assert_eq!(out.len(), 1);
+        // 1000 B at 8 Mbps = 1 ms after the CLIENT stamp, not the server
+        // receipt.
+        assert_eq!(out[0].fire_at, sent + EmuDuration::from_millis(1));
+        assert_eq!(out[0].to, NodeId(2));
+    }
+
+    #[test]
+    fn ingest_records_ingress_and_forward() {
+        let rec = Arc::new(Recorder::new());
+        let mut p = Pipeline::new(
+            scene_two_nodes(LinkParams::ideal(8e6)),
+            Arc::clone(&rec),
+            EmuRng::seed(1),
+        );
+        let out = p.ingest(&pkt(7, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
+        p.record_forward(&out[0], out[0].fire_at);
+        let traffic = rec.traffic();
+        assert_eq!(traffic.len(), 2);
+        assert!(matches!(traffic[0], TrafficRecord::Ingress { id: PacketId(7), .. }));
+        assert!(
+            matches!(traffic[1], TrafficRecord::Forward { id: PacketId(7), to: NodeId(2), .. })
+        );
+    }
+
+    #[test]
+    fn unicast_to_unreachable_records_noroute() {
+        let rec = Arc::new(Recorder::new());
+        let mut p = Pipeline::new(
+            scene_two_nodes(LinkParams::ideal(8e6)),
+            Arc::clone(&rec),
+            EmuRng::seed(1),
+        );
+        let out = p.ingest(
+            &pkt(1, Destination::Unicast(NodeId(9)), EmuTime::ZERO),
+            EmuTime::ZERO,
+        );
+        assert!(out.is_empty());
+        let traffic = rec.traffic();
+        assert!(matches!(
+            traffic[1],
+            TrafficRecord::Drop { reason: DropReason::NoRoute, to: NodeId(9), .. }
+        ));
+    }
+
+    #[test]
+    fn lossy_link_records_loss_drops() {
+        let rec = Arc::new(Recorder::new());
+        // Constant 100 % loss.
+        let link = LinkParams { p0: 1.0, p1: 1.0, d0: 0.0, ..LinkParams::ideal(8e6) };
+        let mut p = Pipeline::new(scene_two_nodes(link), Arc::clone(&rec), EmuRng::seed(1));
+        let out = p.ingest(&pkt(1, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
+        assert!(out.is_empty());
+        assert!(matches!(
+            rec.traffic()[1],
+            TrafficRecord::Drop { reason: DropReason::Loss, .. }
+        ));
+    }
+
+    #[test]
+    fn apply_op_records_scene() {
+        let rec = Arc::new(Recorder::new());
+        let mut p = Pipeline::new(Scene::new(), Arc::clone(&rec), EmuRng::seed(1));
+        p.apply_op(
+            EmuTime::from_secs(1),
+            SceneOp::AddNode {
+                id: NodeId(1),
+                pos: Point::ORIGIN,
+                radios: RadioConfig::single(ChannelId(1), 50.0),
+                mobility: MobilityModel::Stationary,
+                link: LinkParams::default(),
+            },
+        )
+        .unwrap();
+        assert_eq!(rec.scene().len(), 1);
+        // A rejected op is not recorded.
+        assert!(p.apply_op(EmuTime::from_secs(2), SceneOp::RemoveNode { id: NodeId(9) }).is_err());
+        assert_eq!(rec.scene().len(), 1);
+    }
+
+    #[test]
+    fn mobility_advance_records_positions_for_replay() {
+        let rec = Arc::new(Recorder::new());
+        let mut p = Pipeline::new(Scene::new(), Arc::clone(&rec), EmuRng::seed(1));
+        p.apply_op(
+            EmuTime::ZERO,
+            SceneOp::AddNode {
+                id: NodeId(1),
+                pos: Point::ORIGIN,
+                radios: RadioConfig::single(ChannelId(1), 100.0),
+                mobility: MobilityModel::Linear { direction_deg: 0.0, speed: 10.0 },
+                link: LinkParams::default(),
+            },
+        )
+        .unwrap();
+        p.advance_mobility(EmuTime::from_secs(1));
+        p.advance_mobility(EmuTime::from_secs(2));
+        let ops = rec.scene();
+        assert_eq!(ops.len(), 3); // AddNode + 2 MoveNode
+        match &ops[2].op {
+            SceneOp::MoveNode { id, pos } => {
+                assert_eq!(*id, NodeId(1));
+                assert!((pos.x - 20.0).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Replaying the log reproduces the final position exactly.
+        let engine = poem_record::ReplayEngine::new(ops);
+        let replayed = engine.scene_at(EmuTime::from_secs(2)).unwrap();
+        assert!((replayed.node(NodeId(1)).unwrap().pos.x - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undeliverable_records_disconnected() {
+        let rec = Arc::new(Recorder::new());
+        let mut p = Pipeline::new(
+            scene_two_nodes(LinkParams::ideal(8e6)),
+            Arc::clone(&rec),
+            EmuRng::seed(1),
+        );
+        let out = p.ingest(&pkt(1, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
+        p.record_undeliverable(&out[0], EmuTime::from_millis(5));
+        assert!(matches!(
+            rec.traffic()[1],
+            TrafficRecord::Drop { reason: DropReason::Disconnected, .. }
+        ));
+    }
+
+    #[test]
+    fn broadcast_fans_out_to_all_neighbors() {
+        let mut scene = scene_two_nodes(LinkParams::ideal(8e6));
+        scene
+            .apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(3),
+                    pos: Point::new(0.0, 50.0),
+                    radios: RadioConfig::single(ChannelId(1), 100.0),
+                    mobility: MobilityModel::Stationary,
+                    link: LinkParams::ideal(8e6),
+                },
+            )
+            .unwrap();
+        let mut p = Pipeline::new(scene, Arc::new(Recorder::new()), EmuRng::seed(1));
+        let out = p.ingest(&pkt(1, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
+        let mut tos: Vec<NodeId> = out.iter().map(|d| d.to).collect();
+        tos.sort_unstable();
+        assert_eq!(tos, vec![NodeId(2), NodeId(3)]);
+        // Payload buffers are shared across the fan-out.
+        assert_eq!(out[0].packet.payload.as_ptr(), out[1].packet.payload.as_ptr());
+    }
+}
+
+#[cfg(test)]
+mod model_ext_tests {
+    use super::*;
+    use poem_core::linkmodel::LinkParams;
+    use poem_core::mobility::MobilityModel;
+    use poem_core::packet::HEADER_BYTES;
+    use poem_core::radio::RadioConfig;
+    use poem_core::{ChannelId, PacketId, Point, RadioId};
+
+    /// Dense single-channel scene: everyone hears everyone.
+    fn dense_scene(n: u32) -> Scene {
+        let mut s = Scene::new();
+        for i in 1..=n {
+            s.apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(i),
+                    pos: Point::new(i as f64 * 10.0, 0.0),
+                    radios: RadioConfig::single(ChannelId(1), 500.0),
+                    mobility: MobilityModel::Stationary,
+                    link: LinkParams::ideal(8e6),
+                },
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn pipeline(mac: MacModel, power: Option<PowerProfile>, n: u32) -> Pipeline {
+        Pipeline::with_config(
+            dense_scene(n),
+            Arc::new(Recorder::new()),
+            EmuRng::seed(1),
+            PipelineConfig { mac, power },
+        )
+    }
+
+    fn pkt(id: u64, src: u32, sent_at: EmuTime) -> EmuPacket {
+        EmuPacket::new(
+            PacketId(id),
+            NodeId(src),
+            Destination::Broadcast,
+            ChannelId(1),
+            RadioId(0),
+            sent_at,
+            vec![0u8; 1000 - HEADER_BYTES],
+        )
+    }
+
+    #[test]
+    fn aloha_collides_simultaneous_transmissions() {
+        let mut p = pipeline(MacModel::Aloha, None, 3);
+        let t = EmuTime::from_millis(10);
+        // First transmission registers cleanly and is delivered.
+        let out1 = p.ingest(&pkt(1, 1, t), t);
+        assert_eq!(out1.len(), 2);
+        // Simultaneous second transmission: receptions collide (the first
+        // is audible everywhere in this dense scene).
+        let out2 = p.ingest(&pkt(2, 2, t), t);
+        assert!(out2.is_empty(), "{out2:?}");
+        assert_eq!(p.collision_drops(), 2);
+        let drops = p
+            .recorder()
+            .traffic()
+            .iter()
+            .filter(|r| matches!(r, TrafficRecord::Drop { reason: DropReason::Collision, .. }))
+            .count();
+        assert_eq!(drops, 2);
+    }
+
+    #[test]
+    fn aloha_spaced_transmissions_do_not_collide() {
+        let mut p = pipeline(MacModel::Aloha, None, 3);
+        // 1000 B at 8 Mbps = 1 ms airtime; space sends 2 ms apart.
+        let out1 = p.ingest(&pkt(1, 1, EmuTime::from_millis(10)), EmuTime::from_millis(10));
+        let out2 = p.ingest(&pkt(2, 2, EmuTime::from_millis(12)), EmuTime::from_millis(12));
+        assert_eq!(out1.len(), 2);
+        assert_eq!(out2.len(), 2);
+        assert_eq!(p.collision_drops(), 0);
+    }
+
+    #[test]
+    fn csma_defers_instead_of_colliding() {
+        let mut p = pipeline(MacModel::Csma, None, 3);
+        let t = EmuTime::from_millis(10);
+        let out1 = p.ingest(&pkt(1, 1, t), t);
+        let out2 = p.ingest(&pkt(2, 2, t), t);
+        // CSMA: the second sender hears the first and defers by one
+        // airtime (1 ms) instead of colliding.
+        assert_eq!(out1.len(), 2);
+        assert_eq!(out2.len(), 2);
+        assert_eq!(p.collision_drops(), 0);
+        assert_eq!(p.csma_deferrals(), 1);
+        let fire1 = out1[0].fire_at;
+        let fire2 = out2[0].fire_at;
+        assert_eq!(fire2 - fire1, EmuDuration::from_millis(1), "{fire1} vs {fire2}");
+    }
+
+    #[test]
+    fn csma_hidden_terminal_still_collides() {
+        // Senders A (x=0) and C (x=300) cannot hear each other (range
+        // 180) but both reach B (x=150): the hidden-terminal case.
+        let mut s = Scene::new();
+        for (id, x) in [(1u32, 0.0), (2u32, 150.0), (3u32, 300.0)] {
+            s.apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(id),
+                    pos: Point::new(x, 0.0),
+                    radios: RadioConfig::single(ChannelId(1), 180.0),
+                    mobility: MobilityModel::Stationary,
+                    link: LinkParams::ideal(8e6),
+                },
+            )
+            .unwrap();
+        }
+        let mut p = Pipeline::with_config(
+            s,
+            Arc::new(Recorder::new()),
+            EmuRng::seed(1),
+            PipelineConfig { mac: MacModel::Csma, power: None },
+        );
+        let t = EmuTime::from_millis(5);
+        let out1 = p.ingest(&pkt(1, 1, t), t);
+        assert_eq!(out1.len(), 1, "A reaches only B");
+        let out3 = p.ingest(&pkt(2, 3, t), t);
+        // C did not defer (A inaudible at C) and its reception at B
+        // collides with A's ongoing transmission.
+        assert_eq!(p.csma_deferrals(), 0);
+        assert!(out3.is_empty());
+        assert_eq!(p.collision_drops(), 1);
+    }
+
+    #[test]
+    fn no_mac_never_collides() {
+        let mut p = pipeline(MacModel::None, None, 5);
+        let t = EmuTime::from_millis(1);
+        for i in 0..10u64 {
+            let src = (i % 5 + 1) as u32;
+            p.ingest(&pkt(i, src, t), t);
+        }
+        assert_eq!(p.collision_drops(), 0);
+    }
+
+    #[test]
+    fn energy_meters_tx_and_rx_airtime() {
+        let profile = PowerProfile { tx_w: 2.0, rx_w: 1.5, idle_w: 1.0 };
+        let mut p = pipeline(MacModel::None, Some(profile), 3);
+        let t = EmuTime::from_millis(10);
+        // One broadcast from node 1: 1 ms tx at node 1, 1 ms rx at 2 and 3.
+        let out = p.ingest(&pkt(1, 1, t), t);
+        assert_eq!(out.len(), 2);
+        let book = p.energy().unwrap();
+        let a1 = book.account(NodeId(1)).unwrap();
+        assert_eq!(a1.tx_time, EmuDuration::from_millis(1));
+        assert_eq!(a1.tx_packets, 1);
+        let a2 = book.account(NodeId(2)).unwrap();
+        assert_eq!(a2.rx_time, EmuDuration::from_millis(1));
+        assert_eq!(a2.rx_packets, 1);
+        // Energy at t = 1 s: node 1 idles 1 s (1 J) + 1 ms × (2−1) W.
+        let consumed = a1.consumed_j(profile, EmuTime::from_secs(1));
+        assert!((consumed - 1.001).abs() < 1e-9, "{consumed}");
+    }
+
+    #[test]
+    fn energy_accounts_follow_scene_ops() {
+        let mut p = pipeline(MacModel::None, Some(PowerProfile::wifi_11b()), 2);
+        p.apply_op(
+            EmuTime::from_secs(5),
+            SceneOp::AddNode {
+                id: NodeId(9),
+                pos: Point::new(500.0, 500.0),
+                radios: RadioConfig::single(ChannelId(1), 10.0),
+                mobility: MobilityModel::Stationary,
+                link: LinkParams::default(),
+            },
+        )
+        .unwrap();
+        assert!(p.energy().unwrap().account(NodeId(9)).is_some());
+        p.apply_op(EmuTime::from_secs(6), SceneOp::RemoveNode { id: NodeId(9) }).unwrap();
+        assert!(p.energy().unwrap().account(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn battery_depletion_is_reportable() {
+        let profile = PowerProfile { tx_w: 2.0, rx_w: 1.5, idle_w: 1.0 };
+        let mut p = pipeline(MacModel::None, Some(profile), 2);
+        p.energy_mut().unwrap().set_battery(NodeId(1), Some(3.0));
+        assert!(p.energy().unwrap().depleted(EmuTime::from_secs(2)).is_empty());
+        assert_eq!(p.energy().unwrap().depleted(EmuTime::from_secs(4)), vec![NodeId(1)]);
+    }
+}

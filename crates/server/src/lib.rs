@@ -1,0 +1,36 @@
+//! # poem-server — the PoEm central emulation server
+//!
+//! "PoEm emulation server accepts connections from emulation clients and
+//! forwards the packets to their corresponding clients according to the
+//! emulated network scene." (§3.2)
+//!
+//! Two frontends over one engine:
+//!
+//! * [`engine::Pipeline`] — the per-packet steps 2–4 and the recording
+//!   step 7, transport-independent.
+//! * [`server::ServerHandle`] — the real-time TCP server with the paper's
+//!   thread architecture (receiver threads, scheduling, one scanning
+//!   thread, mobility integration).
+//! * [`sim::SimNet`] — the deterministic in-process harness: the same
+//!   pipeline driven by a virtual-time event loop, hosting
+//!   [`poem_client::ClientApp`]s directly. Every experiment in the
+//!   evaluation runs here reproducibly; the TCP frontend demonstrates the
+//!   deployed mode.
+//! * [`viz`] — text rendering of scenes and neighbor tables (the GUI
+//!   replacement).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod engine;
+pub mod script;
+pub mod server;
+pub mod sim;
+pub mod viz;
+
+pub use cluster::{ClusterConfig, ClusterPipeline};
+pub use engine::{Delivery, Pipeline, PipelineConfig};
+pub use server::{ServerConfig, ServerHandle};
+pub use script::{Script, ScriptEntry};
+pub use sim::{SimConfig, SimNet};

@@ -1,0 +1,506 @@
+//! Scenario scripts — the paper's future-work item "fine-granularity
+//! performance evaluations driven by scenario scripts", and this
+//! reproduction's replacement for the GUI's interactive operations.
+//!
+//! A script is a line-oriented text format; each non-empty, non-comment
+//! line is `at <seconds> <command>`:
+//!
+//! ```text
+//! # Fig. 8 proof-of-concept scene
+//! at 0  add VMN1 0 0 radio ch1 200
+//! at 0  add VMN2 100 0 radio ch1 200
+//! at 0  add VMN3 0 150 radio ch1 200
+//! at 0  loss VMN1 p0 0.1 p1 0.9 d0 50
+//! at 6  range VMN1 radio0 120
+//! at 14 retune VMN2 radio0 ch2
+//! at 20 move VMN3 50 120
+//! at 22 mobility VMN3 walk 1 5 0.5
+//! at 25 remove VMN2
+//! ```
+//!
+//! Commands:
+//!
+//! * `add <node> <x> <y> radio <ch> <range> [radio <ch> <range> ...]`
+//! * `remove <node>`
+//! * `move <node> <x> <y>` — drag-and-drop
+//! * `range <node> radio<k> <range>`
+//! * `retune <node> radio<k> <ch>`
+//! * `mobility <node> still | linear <deg> <speed> | walk <min> <max> <step> | waypoint <min> <max> <pause>`
+//! * `loss <node> p0 <v> p1 <v> d0 <v>` — Table-3-style loss parameters
+//! * `bandwidth <node> max <bps> min <bps>`
+//! * `arena <width> <height>`
+//!
+//! Node names are `VMN<n>` or a bare integer; channels are `ch<n>` or a
+//! bare integer. Parsing is strict: any malformed line is an error with
+//! its line number.
+
+use poem_core::linkmodel::LinkParams;
+use poem_core::mobility::{Arena, MobilityModel};
+use poem_core::radio::{Radio, RadioConfig};
+use poem_core::scene::SceneOp;
+use poem_core::{ChannelId, EmuTime, NodeId, RadioId};
+use std::fmt;
+
+/// One parsed script entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptEntry {
+    /// When the op fires.
+    pub at: EmuTime,
+    /// The op.
+    pub op: SceneOp,
+}
+
+/// A parsed scenario script, time-ordered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Script {
+    entries: Vec<ScriptEntry>,
+}
+
+/// A parse failure, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_node(tok: &str, line: usize) -> Result<NodeId, ParseError> {
+    let digits = tok.strip_prefix("VMN").unwrap_or(tok);
+    digits
+        .parse::<u32>()
+        .map(NodeId)
+        .map_err(|_| err(line, format!("bad node id `{tok}` (want VMN<n> or <n>)")))
+}
+
+fn parse_channel(tok: &str, line: usize) -> Result<ChannelId, ParseError> {
+    let digits = tok.strip_prefix("ch").unwrap_or(tok);
+    digits
+        .parse::<u16>()
+        .map(ChannelId)
+        .map_err(|_| err(line, format!("bad channel `{tok}` (want ch<n> or <n>)")))
+}
+
+fn parse_radio_slot(tok: &str, line: usize) -> Result<RadioId, ParseError> {
+    let digits = tok.strip_prefix("radio").unwrap_or(tok);
+    digits
+        .parse::<u8>()
+        .map(RadioId)
+        .map_err(|_| err(line, format!("bad radio slot `{tok}` (want radio<k> or <k>)")))
+}
+
+fn parse_f64(tok: &str, line: usize, what: &str) -> Result<f64, ParseError> {
+    let v: f64 = tok
+        .parse()
+        .map_err(|_| err(line, format!("bad {what} `{tok}` (want a number)")))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(err(line, format!("{what} must be finite")))
+    }
+}
+
+impl Script {
+    /// Parses a full script text.
+    ///
+    /// ```
+    /// use poem_server::script::Script;
+    /// let s = Script::parse("
+    ///     at 0 add VMN1 0 0 radio ch1 200
+    ///     at 5 move VMN1 50 50   # drag-and-drop
+    /// ").unwrap();
+    /// assert_eq!(s.len(), 2);
+    /// assert_eq!(s.end(), poem_core::EmuTime::from_secs(5));
+    /// ```
+    pub fn parse(text: &str) -> Result<Script, ParseError> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            entries.push(Self::parse_line(line, line_no)?);
+        }
+        entries.sort_by_key(|e| e.at);
+        Ok(Script { entries })
+    }
+
+    fn parse_line(line: &str, n: usize) -> Result<ScriptEntry, ParseError> {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 3 || toks[0] != "at" {
+            return Err(err(n, "expected `at <seconds> <command> ...`"));
+        }
+        let secs = parse_f64(toks[1], n, "time")?;
+        if secs < 0.0 {
+            return Err(err(n, "time must be ≥ 0"));
+        }
+        let at = EmuTime::from_secs_f64(secs);
+        let args = &toks[3..];
+        let op = match toks[2] {
+            "add" => Self::parse_add(args, n)?,
+            "remove" => {
+                let [node] = args else {
+                    return Err(err(n, "usage: remove <node>"));
+                };
+                SceneOp::RemoveNode { id: parse_node(node, n)? }
+            }
+            "move" => {
+                let [node, x, y] = args else {
+                    return Err(err(n, "usage: move <node> <x> <y>"));
+                };
+                SceneOp::MoveNode {
+                    id: parse_node(node, n)?,
+                    pos: poem_core::Point::new(
+                        parse_f64(x, n, "x")?,
+                        parse_f64(y, n, "y")?,
+                    ),
+                }
+            }
+            "range" => {
+                let [node, slot, range] = args else {
+                    return Err(err(n, "usage: range <node> radio<k> <range>"));
+                };
+                SceneOp::SetRadioRange {
+                    id: parse_node(node, n)?,
+                    radio: parse_radio_slot(slot, n)?,
+                    range: parse_f64(range, n, "range")?,
+                }
+            }
+            "retune" => {
+                let [node, slot, ch] = args else {
+                    return Err(err(n, "usage: retune <node> radio<k> <channel>"));
+                };
+                SceneOp::SetRadioChannel {
+                    id: parse_node(node, n)?,
+                    radio: parse_radio_slot(slot, n)?,
+                    channel: parse_channel(ch, n)?,
+                }
+            }
+            "mobility" => Self::parse_mobility(args, n)?,
+            "loss" => Self::parse_loss(args, n)?,
+            "bandwidth" => Self::parse_bandwidth(args, n)?,
+            "arena" => {
+                let [w, h] = args else {
+                    return Err(err(n, "usage: arena <width> <height>"));
+                };
+                SceneOp::SetArena {
+                    arena: Some(Arena::new(
+                        parse_f64(w, n, "width")?,
+                        parse_f64(h, n, "height")?,
+                    )),
+                }
+            }
+            other => return Err(err(n, format!("unknown command `{other}`"))),
+        };
+        Ok(ScriptEntry { at, op })
+    }
+
+    fn parse_add(args: &[&str], n: usize) -> Result<SceneOp, ParseError> {
+        if args.len() < 3 {
+            return Err(err(n, "usage: add <node> <x> <y> radio <ch> <range> ..."));
+        }
+        let id = parse_node(args[0], n)?;
+        let pos = poem_core::Point::new(
+            parse_f64(args[1], n, "x")?,
+            parse_f64(args[2], n, "y")?,
+        );
+        let mut radios = Vec::new();
+        let mut rest = &args[3..];
+        while !rest.is_empty() {
+            let ["radio", ch, range, tail @ ..] = rest else {
+                return Err(err(n, format!("expected `radio <ch> <range>`, got `{}`", rest.join(" "))));
+            };
+            radios.push(Radio::new(parse_channel(ch, n)?, parse_f64(range, n, "range")?));
+            rest = tail;
+        }
+        if radios.is_empty() {
+            return Err(err(n, "a node needs at least one `radio <ch> <range>`"));
+        }
+        Ok(SceneOp::AddNode {
+            id,
+            pos,
+            radios: RadioConfig::from_radios(radios),
+            mobility: MobilityModel::Stationary,
+            link: LinkParams::default(),
+        })
+    }
+
+    fn parse_mobility(args: &[&str], n: usize) -> Result<SceneOp, ParseError> {
+        let usage = "usage: mobility <node> still | linear <deg> <speed> | walk <min> <max> <step> | waypoint <min> <max> <pause>";
+        let (node, spec) = match args {
+            [node, rest @ ..] if !rest.is_empty() => (parse_node(node, n)?, rest),
+            _ => return Err(err(n, usage)),
+        };
+        let model = match spec {
+            ["still"] => MobilityModel::Stationary,
+            ["linear", deg, speed] => MobilityModel::Linear {
+                direction_deg: parse_f64(deg, n, "direction")?,
+                speed: parse_f64(speed, n, "speed")?,
+            },
+            ["walk", min, max, step] => MobilityModel::random_walk(
+                parse_f64(min, n, "min speed")?,
+                parse_f64(max, n, "max speed")?,
+                parse_f64(step, n, "time step")?,
+            ),
+            ["waypoint", min, max, pause] => MobilityModel::RandomWaypoint {
+                min_speed: parse_f64(min, n, "min speed")?,
+                max_speed: parse_f64(max, n, "max speed")?,
+                pause: parse_f64(pause, n, "pause")?,
+            },
+            _ => return Err(err(n, usage)),
+        };
+        Ok(SceneOp::SetMobility { id: node, model })
+    }
+
+    fn parse_loss(args: &[&str], n: usize) -> Result<SceneOp, ParseError> {
+        let ["p0", p0, "p1", p1, "d0", d0] = &args[1..] else {
+            return Err(err(n, "usage: loss <node> p0 <v> p1 <v> d0 <v>"));
+        };
+        let id = parse_node(args[0], n)?;
+        Ok(SceneOp::SetLinkParams {
+            id,
+            params: LinkParams {
+                p0: parse_f64(p0, n, "p0")?,
+                p1: parse_f64(p1, n, "p1")?,
+                d0: parse_f64(d0, n, "d0")?,
+                ..LinkParams::default()
+            },
+        })
+    }
+
+    fn parse_bandwidth(args: &[&str], n: usize) -> Result<SceneOp, ParseError> {
+        let ["max", max, "min", min] = &args[1..] else {
+            return Err(err(n, "usage: bandwidth <node> max <bps> min <bps>"));
+        };
+        let id = parse_node(args[0], n)?;
+        Ok(SceneOp::SetLinkParams {
+            id,
+            params: LinkParams {
+                max_bps: parse_f64(max, n, "max bandwidth")?,
+                min_bps: parse_f64(min, n, "min bandwidth")?,
+                ..LinkParams::default()
+            },
+        })
+    }
+
+    /// The time-ordered entries.
+    pub fn entries(&self) -> &[ScriptEntry] {
+        &self.entries
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True with no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The last entry's time (useful for picking a run end).
+    pub fn end(&self) -> EmuTime {
+        self.entries.last().map(|e| e.at).unwrap_or(EmuTime::ZERO)
+    }
+
+    /// Installs every entry into a [`crate::sim::SimNet`] as scheduled
+    /// ops (entries at t = 0 apply immediately).
+    pub fn install(&self, net: &mut crate::sim::SimNet) {
+        for e in &self.entries {
+            if e.at <= net.now() {
+                let _ = net.apply_op(e.op.clone());
+            } else {
+                net.schedule_op(e.at, e.op.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::Point;
+
+    const FIG8: &str = r"
+        # Fig. 8 proof-of-concept scene
+        at 0  add VMN1 0 0 radio ch1 200
+        at 0  add VMN2 100 0 radio ch1 200
+        at 0  add VMN3 0 150 radio ch1 200
+        at 6  range VMN1 radio0 120
+        at 14 retune VMN2 radio0 ch2
+    ";
+
+    #[test]
+    fn parses_fig8_script() {
+        let s = Script::parse(FIG8).unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.end(), EmuTime::from_secs(14));
+        match &s.entries()[0].op {
+            SceneOp::AddNode { id, pos, radios, .. } => {
+                assert_eq!(*id, NodeId(1));
+                assert_eq!(*pos, Point::new(0.0, 0.0));
+                assert_eq!(radios.range_on(ChannelId(1)), Some(200.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &s.entries()[3].op {
+            SceneOp::SetRadioRange { id, radio, range } => {
+                assert_eq!(*id, NodeId(1));
+                assert_eq!(*radio, RadioId(0));
+                assert_eq!(*range, 120.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &s.entries()[4].op {
+            SceneOp::SetRadioChannel { channel, .. } => assert_eq!(*channel, ChannelId(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_radio_add() {
+        let s = Script::parse("at 0 add 2 120 0 radio ch1 200 radio ch2 180").unwrap();
+        match &s.entries()[0].op {
+            SceneOp::AddNode { radios, .. } => {
+                assert_eq!(radios.len(), 2);
+                assert_eq!(radios.range_on(ChannelId(2)), Some(180.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mobility_variants() {
+        let s = Script::parse(
+            "at 1 mobility VMN1 linear 270 10\n\
+             at 2 mobility VMN2 walk 1 5 0.5\n\
+             at 3 mobility VMN3 waypoint 2 8 1\n\
+             at 4 mobility VMN1 still",
+        )
+        .unwrap();
+        let models: Vec<&SceneOp> = s.entries().iter().map(|e| &e.op).collect();
+        assert!(matches!(
+            models[0],
+            SceneOp::SetMobility { model: MobilityModel::Linear { direction_deg, speed }, .. }
+                if *direction_deg == 270.0 && *speed == 10.0
+        ));
+        assert!(matches!(models[1], SceneOp::SetMobility { model: MobilityModel::FourTuple(_), .. }));
+        assert!(matches!(
+            models[2],
+            SceneOp::SetMobility { model: MobilityModel::RandomWaypoint { .. }, .. }
+        ));
+        assert!(matches!(
+            models[3],
+            SceneOp::SetMobility { model: MobilityModel::Stationary, .. }
+        ));
+    }
+
+    #[test]
+    fn loss_bandwidth_and_arena() {
+        let s = Script::parse(
+            "at 0 loss VMN1 p0 0.1 p1 0.9 d0 50\n\
+             at 0 bandwidth VMN1 max 11e6 min 1e6\n\
+             at 0 arena 500 400",
+        )
+        .unwrap();
+        assert!(matches!(
+            &s.entries()[0].op,
+            SceneOp::SetLinkParams { params, .. } if params.p1 == 0.9 && params.d0 == 50.0
+        ));
+        assert!(matches!(
+            &s.entries()[1].op,
+            SceneOp::SetLinkParams { params, .. } if params.max_bps == 11e6 && params.min_bps == 1e6
+        ));
+        assert!(matches!(
+            &s.entries()[2].op,
+            SceneOp::SetArena { arena: Some(a) } if a.width == 500.0 && a.height == 400.0
+        ));
+    }
+
+    #[test]
+    fn entries_are_time_sorted() {
+        let s = Script::parse(
+            "at 9 remove VMN1\n\
+             at 0 add VMN1 0 0 radio ch1 100\n\
+             at 4 move VMN1 10 10",
+        )
+        .unwrap();
+        let times: Vec<EmuTime> = s.entries().iter().map(|e| e.at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let s = Script::parse("\n  # nothing\n\nat 1 remove VMN1 # trailing comment\n").unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("at x remove VMN1", 1),
+            ("at 1 remove", 1),
+            ("\nat 1 warp VMN1", 2),
+            ("at 1 add VMN1 0 0", 1),                      // no radios
+            ("at 1 add VMN1 0 0 radio chX 100", 1),        // bad channel
+            ("at -1 remove VMN1", 1),                      // negative time
+            ("at 1 mobility VMN1 fly 3", 1),               // bad model
+            ("at 1 move VMN1 1", 1),                       // missing coord
+        ];
+        for (text, line) in cases {
+            let e = Script::parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text}: {e}");
+        }
+    }
+
+    #[test]
+    fn script_drives_the_harness() {
+        let mut net = crate::sim::SimNet::new(crate::sim::SimConfig::default());
+        let s = Script::parse(
+            "at 0 add VMN1 0 0 radio ch1 100\n\
+             at 0 add VMN2 50 0 radio ch1 100\n\
+             at 2 move VMN2 500 0\n\
+             at 4 remove VMN1",
+        )
+        .unwrap();
+        s.install(&mut net);
+        net.run_until(EmuTime::from_secs(1));
+        assert_eq!(net.scene().len(), 2);
+        net.run_until(EmuTime::from_secs(3));
+        assert_eq!(net.scene().node(NodeId(2)).unwrap().pos, Point::new(500.0, 0.0));
+        net.run_until(EmuTime::from_secs(5));
+        assert_eq!(net.scene().len(), 1);
+        assert!(net.scene().node(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn parse_render_roundtrip_through_replay() {
+        // A parsed script applied to a scene equals replaying the same ops.
+        let s = Script::parse(FIG8).unwrap();
+        let recs: Vec<poem_record::SceneRecord> = s
+            .entries()
+            .iter()
+            .map(|e| poem_record::SceneRecord::new(e.at, e.op.clone()))
+            .collect();
+        let engine = poem_record::ReplayEngine::new(recs);
+        let scene = engine.scene_at(EmuTime::from_secs(20)).unwrap();
+        assert_eq!(scene.len(), 3);
+        assert_eq!(
+            scene.node(NodeId(2)).unwrap().radios.channels().into_iter().next(),
+            Some(ChannelId(2))
+        );
+    }
+}

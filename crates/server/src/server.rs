@@ -1,0 +1,501 @@
+//! The real-time TCP emulation server (§3.2).
+//!
+//! Thread architecture mirrors the paper's step list:
+//!
+//! * one **accept** thread takes client connections;
+//! * one **receiver** thread per client performs steps 1–4 (receive,
+//!   neighbor lookup, drop/forward-time decision, list into the schedule)
+//!   and answers clock-sync requests;
+//! * one **scanning** thread "keeps watching the schedule and initiates"
+//!   the send "once the emulation clock meets the time to forward"
+//!   (steps 5–6);
+//! * one **mobility** thread integrates mobility models in real time;
+//! * recording (step 7) happens through the shared, thread-safe
+//!   [`Recorder`].
+//!
+//! Scene construction stays centralized: [`ServerHandle::apply_op`] is the
+//! programmatic equivalent of the paper's GUI interactions and takes
+//! effect immediately for every client — the consistency argument of §2.3.
+
+use crate::engine::{Delivery, Pipeline};
+use parking_lot::{Condvar, Mutex};
+use poem_core::clock::Clock;
+use poem_core::scene::{Scene, SceneError, SceneOp};
+use poem_core::{EmuDuration, EmuRng, EmuTime, ForwardSchedule, NodeId};
+use poem_record::{Recorder, TrafficRecord};
+use poem_proto::messages::{ClientMsg, ServerMsg, PROTOCOL_VERSION};
+use poem_proto::{MsgReader, MsgWriter};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: SocketAddr,
+    /// Seed for the pipeline's stochastic decisions.
+    pub seed: u64,
+    /// Wall-clock interval at which mobility is integrated.
+    pub mobility_step: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("static addr"),
+            seed: 0,
+            mobility_step: Duration::from_millis(100),
+        }
+    }
+}
+
+type SharedWriter = Arc<Mutex<MsgWriter<TcpStream>>>;
+
+struct Shared {
+    pipeline: Mutex<Pipeline>,
+    recorder: Arc<Recorder>,
+    clock: Arc<dyn Clock>,
+    clients: Mutex<HashMap<NodeId, SharedWriter>>,
+    schedule: Mutex<ForwardSchedule<Delivery>>,
+    schedule_cv: Condvar,
+    running: AtomicBool,
+}
+
+/// A running emulation server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// Starts a server emulating `scene` against `clock`.
+    pub fn start(
+        scene: Scene,
+        clock: Arc<dyn Clock>,
+        config: ServerConfig,
+    ) -> io::Result<Arc<ServerHandle>> {
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        let recorder = Arc::new(Recorder::new());
+        let pipeline = Pipeline::new(scene, Arc::clone(&recorder), EmuRng::seed(config.seed));
+        pipeline.record_initial_scene(clock.now());
+        let shared = Arc::new(Shared {
+            pipeline: Mutex::new(pipeline),
+            recorder,
+            clock,
+            clients: Mutex::new(HashMap::new()),
+            schedule: Mutex::new(ForwardSchedule::new()),
+            schedule_cv: Condvar::new(),
+            running: AtomicBool::new(true),
+        });
+
+        let mut threads = Vec::new();
+        threads.push(spawn_named("poem-accept", {
+            let shared = Arc::clone(&shared);
+            move || accept_loop(listener, shared)
+        }));
+        threads.push(spawn_named("poem-scan", {
+            let shared = Arc::clone(&shared);
+            move || scan_loop(shared)
+        }));
+        threads.push(spawn_named("poem-mobility", {
+            let shared = Arc::clone(&shared);
+            let step = config.mobility_step;
+            move || mobility_loop(shared, step)
+        }));
+
+        Ok(Arc::new(ServerHandle { shared, addr, threads: Mutex::new(threads) }))
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The run's recorder.
+    pub fn recorder(&self) -> Arc<Recorder> {
+        Arc::clone(&self.shared.recorder)
+    }
+
+    /// The server's emulation clock.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.shared.clock)
+    }
+
+    /// Applies a scene operation right now — the API behind the paper's
+    /// GUI drag/configure interactions.
+    pub fn apply_op(&self, op: SceneOp) -> Result<(), SceneError> {
+        let now = self.shared.clock.now();
+        self.shared.pipeline.lock().apply_op(now, op)
+    }
+
+    /// Runs `f` with read access to the current scene.
+    pub fn with_scene<R>(&self, f: impl FnOnce(&Scene) -> R) -> R {
+        f(self.shared.pipeline.lock().scene())
+    }
+
+    /// Currently connected VMNs.
+    pub fn connected(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.shared.clients.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Announces shutdown to every client and stops all threads.
+    pub fn shutdown(&self) {
+        if !self.shared.running.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        for (_, w) in self.shared.clients.lock().drain() {
+            let _ = w.lock().send(&ServerMsg::Shutdown);
+        }
+        self.shared.schedule_cv.notify_all();
+        // Unblock the accept thread with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("connected", &self.connected())
+            .finish_non_exhaustive()
+    }
+}
+
+fn spawn_named(name: &str, f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new().name(name.into()).spawn(f).expect("spawn server thread")
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if !shared.running.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        spawn_named("poem-receiver", move || {
+            let _ = client_session(stream, shared);
+        });
+    }
+}
+
+/// Registration + receive loop for one client connection (§3.2 steps 1–4).
+fn client_session(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = MsgReader::new(stream.try_clone()?);
+    let writer: SharedWriter = Arc::new(Mutex::new(MsgWriter::new(stream)));
+
+    // Registration.
+    let node = match reader.recv::<ClientMsg>()? {
+        ClientMsg::Hello { version, node } => {
+            let refusal = if version != PROTOCOL_VERSION {
+                Some(format!("protocol v{version} unsupported"))
+            } else if shared.pipeline.lock().scene().node(node).is_none() {
+                Some(format!("{node} is not part of the emulated scene"))
+            } else if shared.clients.lock().contains_key(&node) {
+                Some(format!("{node} is already connected"))
+            } else {
+                None
+            };
+            if let Some(reason) = refusal {
+                writer.lock().send(&ServerMsg::Refused { reason })?;
+                return Ok(());
+            }
+            writer.lock().send(&ServerMsg::Welcome {
+                version: PROTOCOL_VERSION,
+                node,
+                server_time: shared.clock.now(),
+            })?;
+            shared.clients.lock().insert(node, Arc::clone(&writer));
+            node
+        }
+        other => {
+            writer.lock().send(&ServerMsg::Refused {
+                reason: format!("expected Hello, got {other:?}"),
+            })?;
+            return Ok(());
+        }
+    };
+
+    // Receive loop.
+    let result = loop {
+        match reader.recv::<ClientMsg>() {
+            Ok(ClientMsg::Data(pkt)) => {
+                if pkt.src != node {
+                    // A client may only originate traffic as itself.
+                    continue;
+                }
+                let received_at = shared.clock.now();
+                let deliveries = shared.pipeline.lock().ingest(&pkt, received_at);
+                if !deliveries.is_empty() {
+                    let mut schedule = shared.schedule.lock();
+                    for d in deliveries {
+                        schedule.schedule(d.fire_at, d);
+                    }
+                    shared.schedule_cv.notify_all();
+                }
+            }
+            Ok(ClientMsg::SyncRequest { t_c1 }) => {
+                let t_s2 = shared.clock.now();
+                let t_s3 = shared.clock.now();
+                writer.lock().send(&ServerMsg::sync_reply(t_c1, t_s2, t_s3))?;
+            }
+            Ok(ClientMsg::Bye) => break Ok(()),
+            Ok(ClientMsg::Hello { .. }) => { /* duplicate Hello: ignore */ }
+            Err(e) => break Err(e),
+        }
+    };
+    shared.clients.lock().remove(&node);
+    result
+}
+
+/// The scanning thread (§3.2 steps 5–6).
+fn scan_loop(shared: Arc<Shared>) {
+    let mut schedule = shared.schedule.lock();
+    while shared.running.load(Ordering::Acquire) {
+        let now = shared.clock.now();
+        if let Some((_, d)) = schedule.pop_due(now) {
+            // Send outside the schedule lock so receivers keep scheduling.
+            drop(schedule);
+            fire(&shared, d, now);
+            schedule = shared.schedule.lock();
+            continue;
+        }
+        match schedule.next_due() {
+            Some(due) => {
+                let wait = (due - now).to_std().max(Duration::from_micros(50));
+                shared
+                    .schedule_cv
+                    .wait_for(&mut schedule, wait.min(Duration::from_millis(50)));
+            }
+            None => {
+                shared.schedule_cv.wait_for(&mut schedule, Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Step 6: the send itself, plus step-7 recording.
+fn fire(shared: &Shared, d: Delivery, now: EmuTime) {
+    let writer = shared.clients.lock().get(&d.to).cloned();
+    match writer {
+        Some(w) => {
+            let msg = ServerMsg::Deliver { packet: d.packet.clone(), forwarded_at: now };
+            if w.lock().send(&msg).is_ok() {
+                shared.recorder.record_traffic(TrafficRecord::Forward {
+                    id: d.packet.id,
+                    to: d.to,
+                    at: now,
+                });
+                return;
+            }
+            shared.record_disconnected(&d, now);
+        }
+        None => shared.record_disconnected(&d, now),
+    }
+}
+
+impl Shared {
+    fn record_disconnected(&self, d: &Delivery, now: EmuTime) {
+        self.recorder.record_traffic(TrafficRecord::Drop {
+            id: d.packet.id,
+            to: d.to,
+            at: now,
+            reason: poem_record::DropReason::Disconnected,
+        });
+    }
+}
+
+fn mobility_loop(shared: Arc<Shared>, step: Duration) {
+    while shared.running.load(Ordering::Acquire) {
+        std::thread::sleep(step);
+        let now = shared.clock.now();
+        let mut pipeline = shared.pipeline.lock();
+        let had_mobile = pipeline.scene().nodes().any(|v| v.mobility.is_mobile());
+        if had_mobile {
+            pipeline.advance_mobility(now);
+        }
+    }
+}
+
+/// Convenience: the emulation duration a `bytes`-sized payload needs on an
+/// ideal `bps` link — used by examples to pace real-time sends.
+pub fn pacing_interval(bytes: usize, bps: f64) -> EmuDuration {
+    EmuDuration::from_secs_f64(bytes as f64 * 8.0 / bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use poem_client::EmuClient;
+    use poem_core::clock::WallClock;
+    use poem_core::linkmodel::LinkParams;
+    use poem_core::mobility::MobilityModel;
+    use poem_core::packet::Destination;
+    use poem_core::radio::RadioConfig;
+    use poem_core::{ChannelId, Point};
+
+    fn test_scene() -> Scene {
+        let mut s = Scene::new();
+        for (id, x) in [(1u32, 0.0), (2u32, 60.0), (3u32, 120.0)] {
+            s.apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(id),
+                    pos: Point::new(x, 0.0),
+                    radios: RadioConfig::single(ChannelId(1), 100.0),
+                    mobility: MobilityModel::Stationary,
+                    link: LinkParams::ideal(8e6),
+                },
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn start_server() -> Arc<ServerHandle> {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        ServerHandle::start(test_scene(), clock, ServerConfig::default()).unwrap()
+    }
+
+    fn connect(server: &ServerHandle, id: u32) -> EmuClient {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        EmuClient::connect_tcp(
+            server.addr(),
+            NodeId(id),
+            RadioConfig::single(ChannelId(1), 100.0),
+            clock,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clients_register_and_exchange_traffic() {
+        let server = start_server();
+        let c1 = connect(&server, 1);
+        let c2 = connect(&server, 2);
+        c1.sync_clock(3).unwrap();
+        c2.sync_clock(3).unwrap();
+
+        c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"ping"))
+            .unwrap()
+            .expect("tuned radio");
+        let (pkt, _) = c2.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(pkt.src, NodeId(1));
+        assert_eq!(&pkt.payload[..], b"ping");
+
+        c1.close().unwrap();
+        c2.close().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_node_hears_nothing() {
+        let server = start_server();
+        let c1 = connect(&server, 1);
+        let c3 = connect(&server, 3); // at x=120, range 100 from node 1
+        c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"x"))
+            .unwrap()
+            .unwrap();
+        assert!(c3.recv_timeout(Duration::from_millis(300)).is_err());
+        drop((c1, c3));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_vmn_is_refused() {
+        let server = start_server();
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let err = EmuClient::connect_tcp(
+            server.addr(),
+            NodeId(99),
+            RadioConfig::none(),
+            clock,
+        )
+        .unwrap_err();
+        assert!(matches!(err, poem_client::ClientError::Refused(_)), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn duplicate_vmn_is_refused() {
+        let server = start_server();
+        let _c1 = connect(&server, 1);
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let err = EmuClient::connect_tcp(
+            server.addr(),
+            NodeId(1),
+            RadioConfig::single(ChannelId(1), 100.0),
+            clock,
+        )
+        .unwrap_err();
+        assert!(matches!(err, poem_client::ClientError::Refused(_)), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn scene_op_takes_effect_for_subsequent_traffic() {
+        let server = start_server();
+        let c1 = connect(&server, 1);
+        let c2 = connect(&server, 2);
+        // Retune node 2 away: broadcast no longer reaches it.
+        server
+            .apply_op(SceneOp::SetRadioChannel {
+                id: NodeId(2),
+                radio: poem_core::RadioId(0),
+                channel: ChannelId(7),
+            })
+            .unwrap();
+        c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"y"))
+            .unwrap()
+            .unwrap();
+        assert!(c2.recv_timeout(Duration::from_millis(300)).is_err());
+        drop((c1, c2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn traffic_is_recorded_with_client_stamps() {
+        let server = start_server();
+        let c1 = connect(&server, 1);
+        let c2 = connect(&server, 2);
+        c1.sync_clock(2).unwrap();
+        c1.send(ChannelId(1), Destination::Unicast(NodeId(2)), Bytes::from_static(b"z"))
+            .unwrap()
+            .unwrap();
+        let _ = c2.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Give the recorder a beat.
+        std::thread::sleep(Duration::from_millis(50));
+        let traffic = server.recorder().traffic();
+        assert!(traffic.iter().any(|r| matches!(r, TrafficRecord::Ingress { .. })));
+        assert!(traffic.iter().any(|r| matches!(r, TrafficRecord::Forward { .. })));
+        drop((c1, c2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let server = start_server();
+        server.shutdown();
+        server.shutdown();
+    }
+}

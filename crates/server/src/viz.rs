@@ -1,0 +1,239 @@
+//! Text visualization — the GUI replacement.
+//!
+//! The paper's server GUI shows the topology and per-node configuration;
+//! its clients show protocol output. Headless reproduction renders the
+//! same information as text: an ASCII map of node positions and a
+//! per-channel neighbor listing. Scenario scripts plus these renderers
+//! cover everything the GUI's visual interaction produced.
+
+use poem_core::neighbor::NeighborTables;
+use poem_core::scene::Scene;
+use std::fmt::Write as _;
+
+/// Renders the scene as an ASCII map of `cols × rows` characters covering
+/// the bounding box of all nodes (plus margin), followed by a node table.
+pub fn render_scene(scene: &Scene, cols: usize, rows: usize) -> String {
+    let mut out = String::new();
+    let nodes: Vec<_> = scene.nodes().collect();
+    if nodes.is_empty() {
+        return "(empty scene)\n".into();
+    }
+    let cols = cols.max(8);
+    let rows = rows.max(4);
+
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for v in &nodes {
+        min_x = min_x.min(v.pos.x);
+        max_x = max_x.max(v.pos.x);
+        min_y = min_y.min(v.pos.y);
+        max_y = max_y.max(v.pos.y);
+    }
+    let pad_x = ((max_x - min_x) * 0.05).max(1.0);
+    let pad_y = ((max_y - min_y) * 0.05).max(1.0);
+    min_x -= pad_x;
+    max_x += pad_x;
+    min_y -= pad_y;
+    max_y += pad_y;
+
+    let mut grid = vec![vec![b'.'; cols]; rows];
+    for v in &nodes {
+        let cx = ((v.pos.x - min_x) / (max_x - min_x) * (cols - 1) as f64).round() as usize;
+        let cy = ((v.pos.y - min_y) / (max_y - min_y) * (rows - 1) as f64).round() as usize;
+        // Screen y grows downward; scene y grows upward.
+        let row = rows - 1 - cy.min(rows - 1);
+        let label = (b'0' + (v.id.index() % 10) as u8) as char;
+        grid[row][cx.min(cols - 1)] = label as u8;
+    }
+    for row in grid {
+        out.push_str(std::str::from_utf8(&row).expect("ascii grid"));
+        out.push('\n');
+    }
+
+    let _ = writeln!(out, "\n{:<6} {:<18} {:<24} range", "node", "position", "channels");
+    for v in &nodes {
+        let channels: Vec<String> =
+            v.radios.channels().iter().map(|c| c.to_string()).collect();
+        let ranges: Vec<String> =
+            v.radios.radios().iter().map(|r| format!("{:.0}", r.range)).collect();
+        let _ = writeln!(
+            out,
+            "{:<6} {:<18} {:<24} {}",
+            v.id.to_string(),
+            v.pos.to_string(),
+            channels.join(","),
+            ranges.join(",")
+        );
+    }
+    out
+}
+
+/// Renders the channel-indexed neighbor tables: per active channel, each
+/// member and its `NT(·, k)` row.
+pub fn render_neighbors(scene: &Scene) -> String {
+    let mut out = String::new();
+    let tables = scene.tables();
+    for ch in tables.active_channels() {
+        let _ = writeln!(out, "[{ch}]");
+        for node in tables.node_set(ch) {
+            let nbrs: Vec<String> =
+                tables.neighbors(node, ch).iter().map(|n| n.to_string()).collect();
+            let _ = writeln!(out, "  {node} -> {{{}}}", nbrs.join(", "));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no active channels)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::linkmodel::LinkParams;
+    use poem_core::mobility::MobilityModel;
+    use poem_core::radio::RadioConfig;
+    use poem_core::scene::SceneOp;
+    use poem_core::{ChannelId, EmuTime, NodeId, Point};
+
+    fn demo_scene() -> Scene {
+        let mut s = Scene::new();
+        for (id, x, y, ch) in [(1u32, 0.0, 0.0, 1u16), (2, 100.0, 0.0, 1), (3, 50.0, 80.0, 2)] {
+            s.apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(id),
+                    pos: Point::new(x, y),
+                    radios: RadioConfig::single(ChannelId(ch), 150.0),
+                    mobility: MobilityModel::Stationary,
+                    link: LinkParams::default(),
+                },
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn map_contains_all_node_labels() {
+        let s = demo_scene();
+        let map = render_scene(&s, 40, 12);
+        assert!(map.contains('1'));
+        assert!(map.contains('2'));
+        assert!(map.contains('3'));
+        assert!(map.contains("VMN1"));
+        assert!(map.contains("ch2"));
+    }
+
+    #[test]
+    fn empty_scene_renders_placeholder() {
+        assert_eq!(render_scene(&Scene::new(), 40, 12), "(empty scene)\n");
+        assert_eq!(render_neighbors(&Scene::new()), "(no active channels)\n");
+    }
+
+    #[test]
+    fn neighbor_rendering_lists_channels() {
+        let s = demo_scene();
+        let txt = render_neighbors(&s);
+        assert!(txt.contains("[ch1]"), "{txt}");
+        assert!(txt.contains("[ch2]"), "{txt}");
+        assert!(txt.contains("VMN1 -> {VMN2}"), "{txt}");
+        assert!(txt.contains("VMN3 -> {}"), "{txt}");
+    }
+
+    #[test]
+    fn vertical_orientation_up_is_up() {
+        let mut s = Scene::new();
+        for (id, y) in [(1u32, 0.0), (2u32, 100.0)] {
+            s.apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(id),
+                    pos: Point::new(0.0, y),
+                    radios: RadioConfig::single(ChannelId(1), 50.0),
+                    mobility: MobilityModel::Stationary,
+                    link: LinkParams::default(),
+                },
+            )
+            .unwrap();
+        }
+        let map = render_scene(&s, 10, 8);
+        let row_of = |c: char| map.lines().position(|l| l.contains(c)).unwrap();
+        assert!(row_of('2') < row_of('1'), "higher y renders higher:\n{map}");
+    }
+}
+
+/// Renders a replay-run summary: op histogram, population curve and the
+/// most-travelled nodes — the "session overview" panel of the GUI
+/// replacement.
+pub fn render_run_summary(scene_log: &[poem_record::SceneRecord]) -> String {
+    use poem_core::EmuDuration;
+    let stats = poem_record::SceneStats::compute(scene_log, EmuDuration::from_secs(1));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scene ops: {} total (add {}, remove {}, move {}, retune {}, range {}, \
+         mobility {}, link {}, arena {})",
+        stats.ops.total(),
+        stats.ops.add,
+        stats.ops.remove,
+        stats.ops.moves,
+        stats.ops.retune,
+        stats.ops.range,
+        stats.ops.mobility,
+        stats.ops.link,
+        stats.ops.arena,
+    );
+    let _ = writeln!(out, "peak population: {}", stats.peak_population());
+    let _ = writeln!(out, "total distance travelled: {:.1} units", stats.total_distance());
+    let mut top: Vec<_> = stats.distance_travelled.clone();
+    top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite distances"));
+    for (id, d) in top.iter().take(5) {
+        if *d > 0.0 {
+            let _ = writeln!(out, "  {id}: {d:.1} units");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use poem_core::linkmodel::LinkParams;
+    use poem_core::mobility::MobilityModel;
+    use poem_core::radio::RadioConfig;
+    use poem_core::scene::SceneOp;
+    use poem_core::{ChannelId, EmuTime, NodeId, Point};
+    use poem_record::SceneRecord;
+
+    #[test]
+    fn summary_mentions_ops_and_distance() {
+        let log = vec![
+            SceneRecord::new(
+                EmuTime::ZERO,
+                SceneOp::AddNode {
+                    id: NodeId(1),
+                    pos: Point::ORIGIN,
+                    radios: RadioConfig::single(ChannelId(1), 100.0),
+                    mobility: MobilityModel::Stationary,
+                    link: LinkParams::default(),
+                },
+            ),
+            SceneRecord::new(
+                EmuTime::from_secs(1),
+                SceneOp::MoveNode { id: NodeId(1), pos: Point::new(30.0, 40.0) },
+            ),
+        ];
+        let s = render_run_summary(&log);
+        assert!(s.contains("2 total"), "{s}");
+        assert!(s.contains("peak population: 1"), "{s}");
+        assert!(s.contains("50.0 units"), "{s}");
+        assert!(s.contains("VMN1: 50.0"), "{s}");
+    }
+
+    #[test]
+    fn empty_log_summary() {
+        let s = render_run_summary(&[]);
+        assert!(s.contains("0 total"), "{s}");
+        assert!(s.contains("peak population: 0"), "{s}");
+    }
+}

@@ -1,0 +1,214 @@
+//! The traffic-sourcing client app.
+//!
+//! [`TrafficApp`] layers a workload pattern on top of a full
+//! [`Router`]: the routing protocol runs exactly as it would alone
+//! (periodic broadcasts, discovery, forwarding), while the pattern injects
+//! application payloads toward a destination during a configured window —
+//! the shape of §6.2's experiment, where VMN1 runs the routing protocol
+//! *and* offers 4 Mbps of CBR traffic to VMN3.
+
+use crate::meter::SentLog;
+use crate::pattern::{Pattern, TrafficPattern};
+use parking_lot::Mutex;
+use poem_client::nic::Nic;
+use poem_client::{ClientApp, TimerMux};
+use poem_core::{EmuDuration, EmuPacket, EmuRng, EmuTime, NodeId};
+use poem_routing::{Router, RouterHandles};
+use std::sync::Arc;
+
+/// What the traffic app sends, where, and when.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficAppConfig {
+    /// Final destination of the flow.
+    pub dst: NodeId,
+    /// The workload pattern.
+    pub pattern: Pattern,
+    /// First send time.
+    pub start: EmuTime,
+    /// No sends at or after this time.
+    pub stop: EmuTime,
+    /// Seed for stochastic patterns.
+    pub seed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Timer {
+    /// The wrapped router's own heartbeat.
+    RouterBeat,
+    /// The next workload send.
+    Send(usize),
+}
+
+/// A router plus a traffic source.
+pub struct TrafficApp {
+    router: Router,
+    cfg: TrafficAppConfig,
+    pattern: Pattern,
+    rng: EmuRng,
+    mux: TimerMux<Timer>,
+    sent: Arc<Mutex<SentLog>>,
+}
+
+impl TrafficApp {
+    /// Builds the app over a fresh router.
+    pub fn new(router: Router, cfg: TrafficAppConfig) -> Self {
+        TrafficApp {
+            router,
+            cfg,
+            pattern: cfg.pattern,
+            rng: EmuRng::seed(cfg.seed),
+            mux: TimerMux::new(),
+            sent: Arc::new(Mutex::new(SentLog::default())),
+        }
+    }
+
+    /// The wrapped router's inspection handles.
+    pub fn router_handles(&self) -> RouterHandles {
+        self.router.handles()
+    }
+
+    /// The send log `(data seq, send time)` of this flow.
+    pub fn sent_log(&self) -> Arc<Mutex<SentLog>> {
+        Arc::clone(&self.sent)
+    }
+
+    fn fire_send(&mut self, nic: &mut dyn Nic, payload_bytes: usize) {
+        let now = nic.now();
+        if now >= self.cfg.stop {
+            return;
+        }
+        let seq = self.router.send_data(nic, self.cfg.dst, vec![0u8; payload_bytes]);
+        self.sent.lock().push(seq, now);
+        // Arm the next send.
+        let (next, size) = self.pattern.next_after(now, &mut self.rng);
+        if next < self.cfg.stop {
+            self.mux.arm(next, Timer::Send(size));
+        }
+    }
+}
+
+impl ClientApp for TrafficApp {
+    fn on_start(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+        let now = nic.now();
+        if let Some(beat) = self.router.on_start(nic) {
+            self.mux.arm(now + beat, Timer::RouterBeat);
+        }
+        if self.cfg.start < self.cfg.stop {
+            // First payload size comes from the pattern's parameters.
+            let (_, size) = self.pattern.next_after(now, &mut EmuRng::seed(self.cfg.seed));
+            self.mux.arm(self.cfg.start.max(now), Timer::Send(size));
+        }
+        self.mux.next_delay(now)
+    }
+
+    fn on_packet(&mut self, nic: &mut dyn Nic, pkt: EmuPacket) {
+        self.router.on_packet(nic, pkt);
+    }
+
+    fn on_tick(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+        let now = nic.now();
+        for timer in self.mux.due(now) {
+            match timer {
+                Timer::RouterBeat => {
+                    if let Some(beat) = self.router.on_tick(nic) {
+                        self.mux.arm(now + beat, Timer::RouterBeat);
+                    }
+                }
+                Timer::Send(size) => self.fire_send(nic, size),
+            }
+        }
+        self.mux.next_delay(now)
+    }
+}
+
+impl std::fmt::Debug for TrafficApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrafficApp")
+            .field("dst", &self.cfg.dst)
+            .field("pattern", &self.cfg.pattern)
+            .field("sent", &self.sent.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_client::nic::QueueNic;
+    use poem_core::radio::RadioConfig;
+    use poem_core::ChannelId;
+    use poem_routing::RouterConfig;
+
+    fn app(start_ms: u64, stop_ms: u64) -> TrafficApp {
+        TrafficApp::new(
+            Router::new(RouterConfig::hybrid()),
+            TrafficAppConfig {
+                dst: NodeId(3),
+                pattern: Pattern::cbr_rate(4.0e6, 1000), // 2 ms interval
+                start: EmuTime::from_millis(start_ms),
+                stop: EmuTime::from_millis(stop_ms),
+                seed: 1,
+            },
+        )
+    }
+
+    /// Drives the app's timers standalone (no harness).
+    fn drive(app: &mut TrafficApp, nic: &mut QueueNic, until: EmuTime) {
+        nic.set_now(EmuTime::ZERO);
+        let mut next = app.on_start(nic).map(|d| EmuTime::ZERO + d);
+        while let Some(at) = next {
+            if at > until {
+                break;
+            }
+            nic.set_now(at);
+            next = app.on_tick(nic).map(|d| at + d);
+        }
+    }
+
+    #[test]
+    fn cbr_sends_at_the_configured_rate() {
+        let mut a = app(0, 100);
+        let mut n = QueueNic::new(NodeId(1), RadioConfig::single(ChannelId(1), 200.0));
+        drive(&mut a, &mut n, EmuTime::from_millis(200));
+        // 100 ms window at 2 ms interval → 50 sends.
+        let log = a.sent_log();
+        let sent = log.lock().len();
+        assert_eq!(sent, 50, "{sent}");
+    }
+
+    #[test]
+    fn sends_respect_start_and_stop() {
+        let mut a = app(50, 60);
+        let mut n = QueueNic::new(NodeId(1), RadioConfig::single(ChannelId(1), 200.0));
+        drive(&mut a, &mut n, EmuTime::from_millis(200));
+        let log = a.sent_log();
+        let log = log.lock();
+        assert_eq!(log.len(), 5); // 50, 52, 54, 56, 58 ms
+        for &(_, at) in log.entries() {
+            assert!(at >= EmuTime::from_millis(50) && at < EmuTime::from_millis(60), "{at}");
+        }
+    }
+
+    #[test]
+    fn router_heartbeat_keeps_running() {
+        let mut a = app(0, 10);
+        let mut n = QueueNic::new(NodeId(1), RadioConfig::single(ChannelId(1), 200.0));
+        drive(&mut a, &mut n, EmuTime::from_secs(5));
+        // Proactive broadcasts at 0,1,2,3,4,5 s (per the router config).
+        let stats = a.router_handles().stats;
+        let broadcasts = stats.lock().broadcasts_sent;
+        assert!(broadcasts >= 5, "{broadcasts}");
+    }
+
+    #[test]
+    fn seqs_are_consecutive() {
+        let mut a = app(0, 20);
+        let mut n = QueueNic::new(NodeId(1), RadioConfig::single(ChannelId(1), 200.0));
+        drive(&mut a, &mut n, EmuTime::from_millis(100));
+        let log = a.sent_log();
+        let log = log.lock();
+        for (i, &(seq, _)) in log.entries().iter().enumerate() {
+            assert_eq!(seq, i as u64);
+        }
+    }
+}

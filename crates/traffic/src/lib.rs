@@ -1,0 +1,25 @@
+//! # poem-traffic — workload generation and end-to-end metering
+//!
+//! §6.2 drives "CBR traffic of 4 Mbps" from VMN1 to VMN3 and measures the
+//! packet-loss rate over time. This crate supplies:
+//!
+//! * [`pattern`] — traffic patterns (CBR, Poisson, on/off bursts) as pure
+//!   schedule generators;
+//! * [`app`] — [`app::TrafficApp`]: a [`poem_routing::Router`] with a
+//!   pattern on top, sending application payloads through the routing
+//!   protocol during a configured window;
+//! * [`meter`] — end-to-end flow statistics (loss-rate series, delay
+//!   summaries) computed from the sender's send log and the receiver's
+//!   delivery log — the application-level counterpart of the recorder's
+//!   per-hop statistics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod app;
+pub mod meter;
+pub mod pattern;
+
+pub use app::{TrafficApp, TrafficAppConfig};
+pub use meter::{FlowReport, SentLog};
+pub use pattern::{Pattern, TrafficPattern};

@@ -1,0 +1,179 @@
+//! End-to-end flow metering.
+//!
+//! The Fig. 10 metric is the packet loss rate of the VMN1→VMN3 flow over
+//! time. The sender's [`SentLog`] records `(sequence, send time)` for
+//! every offered payload; the receiver's [`Received`] list records what
+//! arrived. [`FlowReport::compute`] joins the two into the loss-rate
+//! series, delivery counts and end-to-end delay summary.
+
+use poem_core::stats::{SeriesPoint, Summary, WindowedLossMeter};
+use poem_core::{EmuDuration, EmuTime, NodeId};
+use poem_routing::Received;
+use std::collections::HashSet;
+
+/// A sender-side record of offered payloads.
+#[derive(Debug, Clone, Default)]
+pub struct SentLog {
+    entries: Vec<(u64, EmuTime)>,
+}
+
+impl SentLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one offered payload.
+    pub fn push(&mut self, seq: u64, at: EmuTime) {
+        self.entries.push((seq, at));
+    }
+
+    /// Number of offered payloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True with no sends.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The raw `(seq, send time)` entries.
+    pub fn entries(&self) -> &[(u64, EmuTime)] {
+        &self.entries
+    }
+}
+
+/// End-to-end statistics of one flow.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Payloads offered by the sender.
+    pub offered: u64,
+    /// Payloads delivered to the receiver (unique sequences).
+    pub delivered: u64,
+    /// Overall loss rate; `None` with no offered traffic.
+    pub overall_loss: Option<f64>,
+    /// Windowed loss-rate series (the Fig. 10 curve).
+    pub loss_series: Vec<SeriesPoint>,
+    /// End-to-end delay summary over delivered payloads, seconds.
+    pub delay: Option<Summary>,
+}
+
+impl FlowReport {
+    /// Joins a send log with the receiver's deliveries.
+    ///
+    /// `origin` filters the receiver's list to this flow (a receiver may
+    /// serve several flows); duplicate deliveries of the same sequence
+    /// (possible under multipath) count once.
+    pub fn compute(
+        sent: &SentLog,
+        received: &[Received],
+        origin: NodeId,
+        window: EmuDuration,
+    ) -> FlowReport {
+        let mut meter = WindowedLossMeter::new(window);
+        let mut delivered_seqs: HashSet<u64> = HashSet::new();
+        let mut delays: Vec<f64> = Vec::new();
+        for r in received {
+            if r.origin == origin && delivered_seqs.insert(r.seq) {
+                delays.push((r.delivered_at - r.sent_at).as_secs_f64());
+            }
+        }
+        let mut delivered = 0u64;
+        for &(seq, at) in sent.entries() {
+            meter.record_sent(at);
+            if delivered_seqs.contains(&seq) {
+                meter.record_received(at);
+                delivered += 1;
+            }
+        }
+        FlowReport {
+            offered: sent.len() as u64,
+            delivered,
+            overall_loss: meter.overall(),
+            loss_series: meter.series(),
+            delay: Summary::of(&delays),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rx(origin: u32, seq: u64, sent_ms: u64, delivered_ms: u64) -> Received {
+        Received {
+            origin: NodeId(origin),
+            seq,
+            sent_at: EmuTime::from_millis(sent_ms),
+            delivered_at: EmuTime::from_millis(delivered_ms),
+            payload: vec![],
+        }
+    }
+
+    #[test]
+    fn joins_sent_and_received() {
+        let mut sent = SentLog::new();
+        for i in 0..10u64 {
+            sent.push(i, EmuTime::from_millis(i * 100));
+        }
+        // 7 of 10 delivered, 5 ms delay each.
+        let received: Vec<Received> =
+            (0..7).map(|i| rx(1, i, i * 100, i * 100 + 5)).collect();
+        let rep = FlowReport::compute(&sent, &received, NodeId(1), EmuDuration::from_secs(1));
+        assert_eq!(rep.offered, 10);
+        assert_eq!(rep.delivered, 7);
+        assert!((rep.overall_loss.unwrap() - 0.3).abs() < 1e-12);
+        let d = rep.delay.unwrap();
+        assert!((d.mean - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn foreign_origin_is_ignored() {
+        let mut sent = SentLog::new();
+        sent.push(0, EmuTime::ZERO);
+        let received = vec![rx(9, 0, 0, 5)];
+        let rep = FlowReport::compute(&sent, &received, NodeId(1), EmuDuration::from_secs(1));
+        assert_eq!(rep.delivered, 0);
+        assert_eq!(rep.overall_loss, Some(1.0));
+    }
+
+    #[test]
+    fn duplicate_deliveries_count_once() {
+        let mut sent = SentLog::new();
+        sent.push(0, EmuTime::ZERO);
+        let received = vec![rx(1, 0, 0, 5), rx(1, 0, 0, 9)];
+        let rep = FlowReport::compute(&sent, &received, NodeId(1), EmuDuration::from_secs(1));
+        assert_eq!(rep.delivered, 1);
+        assert_eq!(rep.overall_loss, Some(0.0));
+        assert_eq!(rep.delay.unwrap().count, 1);
+    }
+
+    #[test]
+    fn loss_series_is_windowed_by_send_time() {
+        let mut sent = SentLog::new();
+        // Second 0: seqs 0..10 all delivered. Second 1: seqs 10..20 none.
+        for i in 0..20u64 {
+            sent.push(i, EmuTime::from_millis(i * 100));
+        }
+        let received: Vec<Received> = (0..10).map(|i| rx(1, i, i * 100, i * 100 + 1)).collect();
+        let rep = FlowReport::compute(&sent, &received, NodeId(1), EmuDuration::from_secs(1));
+        assert_eq!(rep.loss_series.len(), 2);
+        assert_eq!(rep.loss_series[0].value, 0.0);
+        assert_eq!(rep.loss_series[1].value, 1.0);
+    }
+
+    #[test]
+    fn empty_flow() {
+        let rep = FlowReport::compute(
+            &SentLog::new(),
+            &[],
+            NodeId(1),
+            EmuDuration::from_secs(1),
+        );
+        assert_eq!(rep.offered, 0);
+        assert!(rep.overall_loss.is_none());
+        assert!(rep.delay.is_none());
+        assert!(rep.loss_series.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Traffic patterns: when to send and how big.
+
+use poem_core::{EmuDuration, EmuRng, EmuTime};
+use serde::{Deserialize, Serialize};
+
+/// A source of send events.
+pub trait TrafficPattern {
+    /// The next send strictly after `now`: `(send time, payload bytes)`.
+    fn next_after(&mut self, now: EmuTime, rng: &mut EmuRng) -> (EmuTime, usize);
+}
+
+/// The built-in patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Constant bit rate: fixed-size payloads at fixed intervals.
+    Cbr {
+        /// Payload size, bytes.
+        payload: usize,
+        /// Inter-packet interval.
+        interval: EmuDuration,
+    },
+    /// Poisson arrivals: exponential inter-arrival times.
+    Poisson {
+        /// Payload size, bytes.
+        payload: usize,
+        /// Mean inter-arrival time.
+        mean_interval: EmuDuration,
+    },
+    /// On/off bursts: CBR while "on", silence while "off".
+    Burst {
+        /// Payload size, bytes.
+        payload: usize,
+        /// Inter-packet interval during a burst.
+        interval: EmuDuration,
+        /// Burst length.
+        on: EmuDuration,
+        /// Gap length.
+        off: EmuDuration,
+    },
+}
+
+impl Pattern {
+    /// A CBR pattern delivering `rate_bps` with `payload`-byte packets —
+    /// §6.2's "CBR traffic of 4 Mbps".
+    pub fn cbr_rate(rate_bps: f64, payload: usize) -> Pattern {
+        assert!(rate_bps > 0.0 && payload > 0, "degenerate CBR");
+        let interval = EmuDuration::from_secs_f64(payload as f64 * 8.0 / rate_bps);
+        Pattern::Cbr { payload, interval }
+    }
+
+    /// The packets/second this pattern offers on average.
+    pub fn mean_rate_pps(&self) -> f64 {
+        match *self {
+            Pattern::Cbr { interval, .. } => 1.0 / interval.as_secs_f64(),
+            Pattern::Poisson { mean_interval, .. } => 1.0 / mean_interval.as_secs_f64(),
+            Pattern::Burst { interval, on, off, .. } => {
+                let duty = on.as_secs_f64() / (on + off).as_secs_f64();
+                duty / interval.as_secs_f64()
+            }
+        }
+    }
+}
+
+impl TrafficPattern for Pattern {
+    fn next_after(&mut self, now: EmuTime, rng: &mut EmuRng) -> (EmuTime, usize) {
+        match *self {
+            Pattern::Cbr { payload, interval } => (now + interval, payload),
+            Pattern::Poisson { payload, mean_interval } => {
+                let gap = rng.exponential(mean_interval.as_secs_f64()).max(1e-9);
+                (now + EmuDuration::from_secs_f64(gap), payload)
+            }
+            Pattern::Burst { payload, interval, on, off } => {
+                let cycle = (on + off).as_nanos() as u64;
+                let next = now + interval;
+                let phase = next.as_nanos() % cycle;
+                if phase < on.as_nanos() as u64 {
+                    (next, payload)
+                } else {
+                    // Jump to the start of the next on-period.
+                    let wait = cycle - phase;
+                    (next + EmuDuration::from_nanos(wait as i64), payload)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_rate_computes_interval() {
+        // 4 Mbps with 1000-byte payloads → 500 packets/s → 2 ms interval.
+        let p = Pattern::cbr_rate(4.0e6, 1000);
+        match p {
+            Pattern::Cbr { interval, payload } => {
+                assert_eq!(interval, EmuDuration::from_micros(2000));
+                assert_eq!(payload, 1000);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!((p.mean_rate_pps() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cbr_is_perfectly_periodic() {
+        let mut p = Pattern::cbr_rate(1.0e6, 125); // 1 ms interval
+        let mut rng = EmuRng::seed(1);
+        let mut t = EmuTime::ZERO;
+        for i in 1..=100u64 {
+            let (next, size) = p.next_after(t, &mut rng);
+            assert_eq!(next, EmuTime::from_millis(i));
+            assert_eq!(size, 125);
+            t = next;
+        }
+    }
+
+    #[test]
+    fn poisson_mean_interval_is_respected() {
+        let mut p = Pattern::Poisson {
+            payload: 100,
+            mean_interval: EmuDuration::from_millis(10),
+        };
+        let mut rng = EmuRng::seed(7);
+        let mut t = EmuTime::ZERO;
+        let n = 20_000;
+        for _ in 0..n {
+            let (next, _) = p.next_after(t, &mut rng);
+            assert!(next > t, "arrivals strictly advance");
+            t = next;
+        }
+        let mean = t.as_secs_f64() / n as f64;
+        assert!((mean - 0.010).abs() < 0.0005, "{mean}");
+    }
+
+    #[test]
+    fn burst_respects_on_off_cycle() {
+        let mut p = Pattern::Burst {
+            payload: 50,
+            interval: EmuDuration::from_millis(10),
+            on: EmuDuration::from_millis(100),
+            off: EmuDuration::from_millis(100),
+        };
+        let mut rng = EmuRng::seed(3);
+        let mut t = EmuTime::ZERO;
+        let mut in_on = 0;
+        for _ in 0..200 {
+            let (next, _) = p.next_after(t, &mut rng);
+            let phase = next.as_nanos() % 200_000_000;
+            assert!(phase < 100_000_000, "send at {next} is inside an on-period");
+            in_on += 1;
+            t = next;
+        }
+        assert_eq!(in_on, 200);
+    }
+
+    #[test]
+    fn burst_mean_rate_accounts_for_duty_cycle() {
+        let p = Pattern::Burst {
+            payload: 50,
+            interval: EmuDuration::from_millis(10),
+            on: EmuDuration::from_millis(100),
+            off: EmuDuration::from_millis(300),
+        };
+        // 100 pps while on, 25 % duty → 25 pps.
+        assert!((p.mean_rate_pps() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate CBR")]
+    fn zero_rate_cbr_rejected() {
+        let _ = Pattern::cbr_rate(0.0, 100);
+    }
+}

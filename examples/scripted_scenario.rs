@@ -1,0 +1,67 @@
+//! Scenario-script-driven emulation (the §7 future-work item): the same
+//! text format the `poem-server` CLI consumes drives the deterministic
+//! harness, including mid-run channel switches, range changes, mobility
+//! reassignment and node removal — the full §2.2 stress vocabulary
+//! ("switching the channel, changing the radio range, moving out some
+//! nodes and lowering link bandwidth ... at any time").
+//!
+//! ```sh
+//! cargo run --example scripted_scenario
+//! ```
+
+use poem::core::{EmuTime, NodeId};
+use poem::routing::{Router, RouterConfig};
+use poem::server::script::Script;
+use poem::server::sim::{SimConfig, SimNet};
+use poem::server::viz;
+
+const SCENARIO: &str = r"
+    # A 5-node multi-radio scene under volatile circumstances.
+    at 0   add VMN1 0 0     radio ch1 220
+    at 0   add VMN2 150 0   radio ch1 220 radio ch2 220
+    at 0   add VMN3 300 0   radio ch2 220
+    at 0   add VMN4 150 150 radio ch1 220
+    at 0   add VMN5 0 150   radio ch1 220
+
+    at 4   mobility VMN4 linear 180 12      # VMN4 drifts west
+    at 6   range VMN1 radio0 120            # military jamming: range cut
+    at 10  retune VMN3 radio0 ch1           # VMN3 switches channel
+    at 14  remove VMN5                      # node destroyed
+    at 18  move VMN4 80 40                  # drag-and-drop reposition
+";
+
+fn main() {
+    let script = Script::parse(SCENARIO).expect("valid scenario");
+    println!("parsed {} scenario ops, last at {}", script.len(), script.end());
+
+    // Host protocol code on every scripted node: the script's AddNode
+    // entries become hosted nodes running the hybrid router, every other
+    // entry is scheduled as-is.
+    let mut net = SimNet::new(SimConfig { seed: 99, ..SimConfig::default() });
+    let mut handles = Vec::new();
+    for entry in script.entries() {
+        if let poem::core::scene::SceneOp::AddNode { id, pos, radios, mobility, link } = &entry.op
+        {
+            let router = Router::new(RouterConfig::hybrid());
+            handles.push((*id, router.handles()));
+            net.add_node(*id, *pos, radios.clone(), *mobility, *link, Box::new(router))
+                .expect("valid node");
+        } else {
+            net.schedule_op(entry.at, entry.op.clone());
+        }
+    }
+
+    for checkpoint in [3u64, 8, 12, 16, 22] {
+        net.run_until(EmuTime::from_secs(checkpoint));
+        println!("\n===== t = {checkpoint} s =====");
+        println!("{}", viz::render_scene(net.scene(), 52, 10));
+        for (id, h) in &handles {
+            if net.scene().node(*id).is_some() && *id == NodeId(1) {
+                println!("routing table in {id}:\n{}", h.table.lock().render());
+            }
+        }
+    }
+
+    let (traffic, ops) = net.recorder().counts();
+    println!("run recorded {traffic} traffic events and {ops} scene ops (replayable)");
+}

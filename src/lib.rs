@@ -1,0 +1,43 @@
+//! # poem — a portable real-time emulator for testing multi-radio MANETs
+//!
+//! Facade crate re-exporting the PoEm workspace. See the individual crates
+//! for the full APIs:
+//!
+//! * [`core`] — emulation substrate (time, mobility, link models,
+//!   channel-indexed neighbor tables, scene, scheduler).
+//! * [`proto`] — client↔server wire protocol.
+//! * [`record`] — traffic/scene recording and post-emulation replay.
+//! * [`client`] — the emulation client library protocols run on.
+//! * [`server`] — the central emulation server.
+//! * [`routing`] — MANET routing protocols under test (hybrid, DSDV-like,
+//!   AODV-like).
+//! * [`traffic`] — workload generators and meters.
+//! * [`baselines`] — JEmu-like centralized and MobiEmu-like distributed
+//!   architecture models used for comparison.
+
+/// Commonly used items in one import: `use poem::prelude::*;`.
+pub mod prelude {
+    pub use poem_client::{AppRunner, ClientApp, EmuClient, Nic};
+    pub use poem_core::clock::{Clock, VirtualClock, WallClock};
+    pub use poem_core::linkmodel::LinkParams;
+    pub use poem_core::mobility::MobilityModel;
+    pub use poem_core::packet::Destination;
+    pub use poem_core::radio::RadioConfig;
+    pub use poem_core::scene::{Scene, SceneOp};
+    pub use poem_core::{ChannelId, EmuDuration, EmuTime, NodeId, Point};
+    pub use poem_record::{Recorder, ReplayEngine};
+    pub use poem_routing::{Router, RouterConfig};
+    pub use poem_server::script::Script;
+    pub use poem_server::sim::{SimConfig, SimNet};
+    pub use poem_server::{ServerConfig, ServerHandle};
+    pub use poem_traffic::{Pattern, TrafficApp, TrafficAppConfig};
+}
+
+pub use poem_baselines as baselines;
+pub use poem_client as client;
+pub use poem_core as core;
+pub use poem_proto as proto;
+pub use poem_record as record;
+pub use poem_routing as routing;
+pub use poem_server as server;
+pub use poem_traffic as traffic;

@@ -1,0 +1,159 @@
+//! Integration test for experiment E3 (Fig. 10 + Table 3, §6.2): the
+//! performance-evaluation shapes the paper reports.
+
+use poem_bench::fig10::{run, Fig10Params};
+use poem_core::EmuTime;
+
+fn result() -> poem_bench::fig10::Fig10Result {
+    run(Fig10Params { end: EmuTime::from_secs(22), ..Fig10Params::default() })
+}
+
+#[test]
+fn loss_rate_rises_as_the_relay_recedes() {
+    let r = result();
+    // Average the first three and last three pre-breakdown windows.
+    let tb = r.scene.breakdown_time();
+    let pre: Vec<f64> = r
+        .real_time
+        .iter()
+        .filter(|p| p.t + 1.0 <= tb)
+        .map(|p| p.value)
+        .collect();
+    assert!(pre.len() >= 8, "{}", pre.len());
+    let early: f64 = pre[..3].iter().sum::<f64>() / 3.0;
+    let late: f64 = pre[pre.len() - 3..].iter().sum::<f64>() / 3.0;
+    assert!(late > early + 0.1, "loss must climb: early {early}, late {late}");
+}
+
+#[test]
+fn real_time_curve_tracks_theory_within_minor_error() {
+    // The paper: "The result ... proves that PoEm is an effective
+    // real-time MANET emulator ... The minor error between the
+    // experimental and the expected real-time performance is analyzed as
+    // the result of the drift of the random number generator ..."
+    let r = result();
+    let tb = r.scene.breakdown_time();
+    let mut diffs = Vec::new();
+    for (m, e) in r.real_time.iter().zip(&r.expected) {
+        if m.t >= 4.0 && m.t + 1.0 < tb {
+            diffs.push((m.value - e.value).abs());
+        }
+    }
+    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    assert!(mean < 0.08, "mean deviation {mean} (windows: {diffs:?})");
+}
+
+#[test]
+fn non_real_time_recording_distorts_the_curve() {
+    let r = result();
+    // Serialized stamping under saturation pushes events later: the
+    // non-real-time series must span further in time than reality.
+    let rt_span = r.real_time.last().unwrap().t - r.real_time.first().unwrap().t;
+    let nrt_span = r.non_real_time.last().unwrap().t - r.non_real_time.first().unwrap().t;
+    assert!(nrt_span > rt_span * 1.15, "rt {rt_span}, nrt {nrt_span}");
+    // And it misrepresents the early loss plateau: compare the first
+    // window values at the same nominal time.
+    let rt_at5 = r.real_time.iter().find(|p| p.t == 5.0).unwrap().value;
+    let nrt_at5 = r.non_real_time.iter().find(|p| p.t == 5.0).unwrap().value;
+    assert!(
+        (rt_at5 - nrt_at5).abs() > 1e-6,
+        "the two recordings should disagree somewhere"
+    );
+}
+
+#[test]
+fn channel_isolation_means_no_collisions() {
+    // "The packet loss in the test is purely caused by the link model
+    // settings since the two channels are assigned diverse channel IDs."
+    // With the loss model disabled, the same scenario delivers everything
+    // that is offered while routes exist.
+    use poem_core::linkmodel::LinkParams;
+    use poem_core::{NodeId, Point};
+    use poem_routing::{Router, RouterConfig};
+    use poem_server::sim::{SimConfig, SimNet};
+    use poem_traffic::{FlowReport, Pattern, TrafficApp, TrafficAppConfig};
+
+    let scene = poem_bench::scenes::fig9_scene();
+    let mut net = SimNet::new(SimConfig::default());
+    let cbr = TrafficApp::new(
+        Router::new(RouterConfig::hybrid()),
+        TrafficAppConfig {
+            dst: NodeId(3),
+            pattern: Pattern::cbr_rate(4.0e6, 1000),
+            start: EmuTime::from_secs(3),
+            stop: EmuTime::from_secs(8),
+            seed: 5,
+        },
+    );
+    let sent = cbr.sent_log();
+    let rx = Router::new(RouterConfig::hybrid());
+    let rx_handles = rx.handles();
+    let apps: Vec<Box<dyn poem_client::ClientApp>> = vec![
+        Box::new(cbr),
+        Box::new(Router::new(RouterConfig::hybrid())),
+        Box::new(rx),
+    ];
+    for ((id, pos, radios, _mobility), app) in scene.nodes.clone().into_iter().zip(apps) {
+        // Stationary + lossless: isolate the channel-collision question.
+        net.add_node(
+            id,
+            pos,
+            radios,
+            poem_core::mobility::MobilityModel::Stationary,
+            LinkParams::ideal(11.0e6),
+            app,
+        )
+        .unwrap();
+    }
+    net.run_until(EmuTime::from_secs(10));
+    let report = FlowReport::compute(
+        &sent.lock().clone(),
+        &rx_handles.received.lock().clone(),
+        NodeId(1),
+        poem_core::EmuDuration::from_secs(1),
+    );
+    assert!(report.offered >= 2_400, "{}", report.offered);
+    assert_eq!(
+        report.overall_loss,
+        Some(0.0),
+        "no collisions across channels: {} of {} delivered",
+        report.delivered,
+        report.offered
+    );
+
+    // Cross-check with the emulator's own recorder: nothing was dropped.
+    let traffic = net.recorder().traffic();
+    let drops = traffic
+        .iter()
+        .filter(|r| matches!(r, poem_record::TrafficRecord::Drop { .. }))
+        .count();
+    assert_eq!(drops, 0, "recorder saw {drops} drops");
+}
+
+#[test]
+fn post_run_replay_reproduces_the_relay_trajectory() {
+    use poem_core::NodeId;
+    let scene = poem_bench::scenes::fig9_scene();
+    let params = Fig10Params { end: EmuTime::from_secs(10), ..Fig10Params::default() };
+    // Run the experiment through the harness and keep the recorder.
+    let r = run(params);
+    assert!(r.offered > 0);
+    // Rerun to grab a recorder (run() does not expose it); lighter: build
+    // a tiny run with just the moving relay.
+    use poem_client::app::IdleApp;
+    use poem_server::sim::{SimConfig, SimNet};
+    let mut net = SimNet::new(SimConfig::default());
+    let (id, pos, radios, mobility) = scene.nodes[1].clone();
+    net.add_node(id, pos, radios, mobility, scene.link, Box::new(IdleApp)).unwrap();
+    net.run_until(EmuTime::from_secs(10));
+    let engine = poem_record::ReplayEngine::new(net.recorder().scene());
+    for t in [0u64, 4, 8, 10] {
+        let replayed = engine.scene_at(EmuTime::from_secs(t)).unwrap();
+        let pos = replayed.node(NodeId(2)).unwrap().pos;
+        let truth = scene.relay_pos(t as f64);
+        assert!(
+            pos.distance(truth) < 1.5,
+            "t={t}: replayed {pos}, truth {truth}"
+        );
+    }
+}

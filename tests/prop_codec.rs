@@ -1,0 +1,112 @@
+//! Property tests for the wire codec: arbitrary values roundtrip
+//! bit-exactly, and corrupted/truncated frames never decode successfully
+//! into a *different* valid value silently (they error instead).
+
+use bytes::Bytes;
+use poem_core::packet::Destination;
+use poem_core::{ChannelId, EmuPacket, EmuTime, NodeId, PacketId, RadioId};
+use poem_proto::{from_bytes, to_bytes};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Tree {
+    Leaf(u64),
+    Pair(Box<Tree>, Box<Tree>),
+    Tagged { name: String, children: Vec<Tree> },
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = any::<u64>().prop_map(Tree::Leaf);
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
+            (".{0,12}", prop::collection::vec(inner, 0..4))
+                .prop_map(|(name, children)| Tree::Tagged { name, children }),
+        ]
+    })
+}
+
+fn packet_strategy() -> impl Strategy<Value = EmuPacket> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        prop_oneof![any::<u32>().prop_map(|d| Destination::Unicast(NodeId(d))), Just(Destination::Broadcast)],
+        any::<u16>(),
+        any::<u8>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(id, src, dst, ch, radio, t, payload)| {
+            EmuPacket::new(
+                PacketId(id),
+                NodeId(src),
+                dst,
+                ChannelId(ch),
+                RadioId(radio),
+                EmuTime::from_nanos(t),
+                Bytes::from(payload),
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn scalars_roundtrip(v in any::<(u8, i16, u32, i64, f64, bool, char)>()) {
+        let bytes = to_bytes(&v).unwrap();
+        let back: (u8, i16, u32, i64, f64, bool, char) = from_bytes(&bytes).unwrap();
+        // NaN-safe comparison for the float slot.
+        prop_assert_eq!(v.0, back.0);
+        prop_assert_eq!(v.1, back.1);
+        prop_assert_eq!(v.2, back.2);
+        prop_assert_eq!(v.3, back.3);
+        prop_assert!(v.4 == back.4 || (v.4.is_nan() && back.4.is_nan()));
+        prop_assert_eq!(v.5, back.5);
+        prop_assert_eq!(v.6, back.6);
+    }
+
+    #[test]
+    fn recursive_enums_roundtrip(t in tree_strategy()) {
+        let bytes = to_bytes(&t).unwrap();
+        prop_assert_eq!(from_bytes::<Tree>(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn maps_and_options_roundtrip(
+        m in prop::collection::btree_map(".{0,8}", prop::option::of(any::<i32>()), 0..16)
+    ) {
+        let bytes = to_bytes(&m).unwrap();
+        prop_assert_eq!(from_bytes::<BTreeMap<String, Option<i32>>>(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn packets_roundtrip(pkt in packet_strategy()) {
+        let bytes = to_bytes(&pkt).unwrap();
+        prop_assert_eq!(from_bytes::<EmuPacket>(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn truncation_always_errors(t in tree_strategy(), cut in 0usize..64) {
+        let bytes = to_bytes(&t).unwrap();
+        if cut < bytes.len() {
+            // Strictly shorter input can never decode to a value AND
+            // consume everything.
+            prop_assert!(from_bytes::<Tree>(&bytes[..bytes.len() - 1 - cut % bytes.len().max(1)]).is_err()
+                || bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_always_errors(pkt in packet_strategy(), tail in 1usize..16) {
+        let mut bytes = to_bytes(&pkt).unwrap();
+        bytes.extend(std::iter::repeat_n(0xAAu8, tail));
+        prop_assert!(from_bytes::<EmuPacket>(&bytes).is_err());
+    }
+
+    #[test]
+    fn encoding_is_deterministic(t in tree_strategy()) {
+        prop_assert_eq!(to_bytes(&t).unwrap(), to_bytes(&t).unwrap());
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests for the §4.3 configurable models and the §4.1 clock
+//! synchronization: the analytic invariants the emulation's correctness
+//! rests on.
+
+use poem_core::clock::sync::simulate_handshake;
+use poem_core::linkmodel::{BandwidthModel, DelayModel, LinkModel, LossModel};
+use poem_core::mobility::{Arena, MobilityModel, MobilityState};
+use poem_core::{EmuDuration, EmuRng, EmuTime, ForwardSchedule, Point};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn loss_probability_is_a_probability(
+        p0 in 0.0f64..1.0,
+        p1 in 0.0f64..1.0,
+        d0 in 0.0f64..100.0,
+        extra in 1.0f64..300.0,
+        r in 0.0f64..500.0,
+    ) {
+        let m = LossModel { p0, p1, d0, range: d0 + extra };
+        let p = m.probability(r);
+        prop_assert!((0.0..=1.0).contains(&p), "P({r}) = {p}");
+    }
+
+    #[test]
+    fn loss_is_monotone_in_distance_when_p1_ge_p0(
+        p0 in 0.0f64..0.5,
+        dp in 0.0f64..0.5,
+        d0 in 0.0f64..100.0,
+        extra in 1.0f64..300.0,
+        r1 in 0.0f64..400.0,
+        r2 in 0.0f64..400.0,
+    ) {
+        let m = LossModel { p0, p1: p0 + dp, d0, range: d0 + extra };
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(m.probability(lo) <= m.probability(hi) + 1e-12);
+    }
+
+    #[test]
+    fn loss_boundary_values_match_parameters(
+        p0 in 0.0f64..1.0,
+        p1 in 0.0f64..1.0,
+        d0 in 1.0f64..100.0,
+        extra in 1.0f64..300.0,
+    ) {
+        let m = LossModel { p0, p1, d0, range: d0 + extra };
+        prop_assert!((m.probability(0.0) - p0).abs() < 1e-12);
+        prop_assert!((m.probability(d0) - p0).abs() < 1e-12);
+        prop_assert!((m.probability(m.range) - p1.clamp(0.0, 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_stays_within_band_and_is_monotone(
+        min_bps in 1e3f64..1e6,
+        span in 1.0f64..100.0,
+        range in 10.0f64..500.0,
+        r1 in 0.0f64..500.0,
+        r2 in 0.0f64..500.0,
+    ) {
+        let m = BandwidthModel { max_bps: min_bps * span, min_bps, range };
+        for r in [r1, r2] {
+            let b = m.bps(r);
+            prop_assert!(b >= min_bps - 1e-6 && b <= m.max_bps + 1e-6, "B({r}) = {b}");
+        }
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(m.bps(lo) >= m.bps(hi) - 1e-6);
+    }
+
+    #[test]
+    fn forward_delay_is_nonnegative_and_additive_in_size(
+        bytes_a in 1usize..2000,
+        bytes_b in 1usize..2000,
+        r in 0.0f64..200.0,
+        bps in 1e5f64..1e8,
+    ) {
+        let link = LinkModel {
+            loss: LossModel::lossless(200.0),
+            bandwidth: BandwidthModel::constant(bps, 200.0),
+            delay: DelayModel::none(),
+        };
+        let da = link.forward_delay(bytes_a, r);
+        let db = link.forward_delay(bytes_b, r);
+        let dab = link.forward_delay(bytes_a + bytes_b, r);
+        prop_assert!(da >= EmuDuration::ZERO);
+        // Constant bandwidth → transmission time additive in size (±1 ns
+        // rounding per term).
+        prop_assert!(((da + db) - dab).abs() <= EmuDuration::from_nanos(2));
+    }
+
+    #[test]
+    fn empirical_loss_rate_matches_probability(
+        p in 0.05f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        let m = LossModel::constant(p, 100.0);
+        let mut rng = EmuRng::seed(seed);
+        let n = 4000;
+        let drops = (0..n).filter(|_| m.drops(50.0, &mut rng)).count();
+        let rate = drops as f64 / n as f64;
+        prop_assert!((rate - p).abs() < 0.05, "rate {rate} vs p {p}");
+    }
+
+    #[test]
+    fn mobility_never_exceeds_max_speed(
+        seed in 0u64..500,
+        min_speed in 0.1f64..5.0,
+        extra in 0.0f64..10.0,
+        step in 0.05f64..2.0,
+    ) {
+        let max_speed = min_speed + extra;
+        let model = MobilityModel::random_walk(min_speed, max_speed, 1.0);
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(seed);
+        let mut pos = Point::new(500.0, 500.0);
+        for _ in 0..50 {
+            let next = st.advance(&model, pos, step, &mut rng, None);
+            let dist = pos.distance(next);
+            prop_assert!(dist <= max_speed * step + 1e-6, "moved {dist} in {step}s");
+            pos = next;
+        }
+    }
+
+    #[test]
+    fn mobility_respects_arena_bounds(
+        seed in 0u64..500,
+        w in 50.0f64..500.0,
+        h in 50.0f64..500.0,
+    ) {
+        let arena = Arena::new(w, h);
+        let model = MobilityModel::RandomWaypoint { min_speed: 5.0, max_speed: 20.0, pause: 0.1 };
+        let mut st = MobilityState::init(&model);
+        let mut rng = EmuRng::seed(seed);
+        let mut pos = Point::new(w / 2.0, h / 2.0);
+        for _ in 0..100 {
+            pos = st.advance(&model, pos, 0.5, &mut rng, Some(&arena));
+            prop_assert!(pos.x >= -1e-9 && pos.x <= w + 1e-9, "{pos}");
+            prop_assert!(pos.y >= -1e-9 && pos.y <= h + 1e-9, "{pos}");
+        }
+    }
+
+    #[test]
+    fn clock_sync_error_is_exactly_half_the_asymmetry(
+        up_us in 0i64..50_000,
+        down_us in 0i64..50_000,
+        turn_us in 0i64..10_000,
+        skew_s in -100i64..100,
+    ) {
+        let up = EmuDuration::from_micros(up_us);
+        let down = EmuDuration::from_micros(down_us);
+        let server_start = EmuTime::from_secs(1_000);
+        let client_start = server_start + EmuDuration::from_secs(skew_s);
+        let sample = simulate_handshake(
+            client_start,
+            server_start,
+            up,
+            down,
+            EmuDuration::from_micros(turn_us),
+        );
+        let out = sample.solve();
+        let true_server_at_c4 =
+            server_start + up + EmuDuration::from_micros(turn_us) + down;
+        let err = out.estimated_server_now - true_server_at_c4;
+        prop_assert_eq!(err, (up - down) / 2);
+    }
+
+    #[test]
+    fn schedule_pops_sorted_regardless_of_insertion_order(
+        times in prop::collection::vec(0u64..1_000_000, 1..200)
+    ) {
+        let mut s = ForwardSchedule::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule(EmuTime::from_nanos(t), i);
+        }
+        let mut last = EmuTime::ZERO;
+        let mut popped = 0;
+        while let Some((at, _)) = s.pop_next() {
+            prop_assert!(at >= last);
+            last = at;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the §4.2 neighbor-table invariant: after *any*
+//! sequence of scene operations, both the channel-indexed scheme and the
+//! unified baseline agree exactly with a from-scratch recomputation of
+//!
+//! ```text
+//! B ∈ NT(A,k) ⇔ k ∈ CS(A) ∩ CS(B) ∧ D(A,B) ≤ R(A,k)
+//! ```
+
+use poem_core::neighbor::{
+    brute_force, check_against_brute_force, ChannelIndexedTables, NeighborTables, UnifiedTable,
+};
+use poem_core::radio::{Radio, RadioConfig};
+use poem_core::{ChannelId, NodeId, Point};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: u8, x: f64, y: f64, radios: Vec<(u8, f64)> },
+    Remove { id: u8 },
+    Move { id: u8, x: f64, y: f64 },
+    Retune { id: u8, radios: Vec<(u8, f64)> },
+}
+
+fn radio_strategy() -> impl Strategy<Value = Vec<(u8, f64)>> {
+    prop::collection::vec((0u8..4, 10.0f64..300.0), 1..3)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..10, 0.0f64..400.0, 0.0f64..400.0, radio_strategy())
+            .prop_map(|(id, x, y, radios)| Op::Insert { id, x, y, radios }),
+        (0u8..10).prop_map(|id| Op::Remove { id }),
+        (0u8..10, 0.0f64..400.0, 0.0f64..400.0).prop_map(|(id, x, y)| Op::Move { id, x, y }),
+        (0u8..10, radio_strategy()).prop_map(|(id, radios)| Op::Retune { id, radios }),
+    ]
+}
+
+fn to_config(radios: &[(u8, f64)]) -> RadioConfig {
+    RadioConfig::from_radios(
+        radios.iter().map(|&(c, r)| Radio::new(ChannelId(c as u16), r)).collect(),
+    )
+}
+
+fn apply<T: NeighborTables>(t: &mut T, op: &Op) {
+    match op {
+        Op::Insert { id, x, y, radios } => {
+            t.insert_node(NodeId(*id as u32), Point::new(*x, *y), to_config(radios))
+        }
+        Op::Remove { id } => t.remove_node(NodeId(*id as u32)),
+        Op::Move { id, x, y } => t.update_position(NodeId(*id as u32), Point::new(*x, *y)),
+        Op::Retune { id, radios } => t.update_radios(NodeId(*id as u32), to_config(radios)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn both_schemes_match_brute_force(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut indexed = ChannelIndexedTables::new();
+        let mut unified = UnifiedTable::new();
+        for op in &ops {
+            apply(&mut indexed, op);
+            apply(&mut unified, op);
+        }
+        prop_assert!(check_against_brute_force(&indexed).is_ok(),
+            "{:?}", check_against_brute_force(&indexed));
+        prop_assert!(check_against_brute_force(&unified).is_ok(),
+            "{:?}", check_against_brute_force(&unified));
+        // And with each other, over every (node, channel) pair.
+        for id in indexed.node_ids() {
+            for ch in 0u16..4 {
+                prop_assert_eq!(
+                    indexed.neighbors(id, ChannelId(ch)),
+                    unified.neighbors(id, ChannelId(ch))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_relation_is_channel_and_range_correct(
+        ops in prop::collection::vec(op_strategy(), 1..40)
+    ) {
+        let mut indexed = ChannelIndexedTables::new();
+        for op in &ops {
+            apply(&mut indexed, op);
+        }
+        let mut nodes = BTreeMap::new();
+        for id in indexed.node_ids() {
+            nodes.insert(id, indexed.snapshot(id).unwrap().clone());
+        }
+        let rel = brute_force(&nodes);
+        for ((a, ch), nbrs) in &rel {
+            let sa = &nodes[a];
+            // A row only exists for channels in CS(A).
+            prop_assert!(sa.radios.listens_on(*ch));
+            for b in nbrs {
+                let sb = &nodes[b];
+                prop_assert!(sb.radios.listens_on(*ch), "neighbor not on channel");
+                prop_assert!(
+                    sa.pos.distance(sb.pos) <= sa.radios.range_on(*ch).unwrap() + 1e-9,
+                    "neighbor out of range"
+                );
+                prop_assert_ne!(a, b, "no self loops");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_update_work_is_bounded_by_channel_population(
+        n_nodes in 4usize..12,
+        moves in 1usize..10,
+    ) {
+        // Every node single-radio; mover on channel 0. The indexed scheme
+        // may only evaluate pairs against channel-0 nodes.
+        let mut t = ChannelIndexedTables::new();
+        let ch0_nodes = n_nodes / 2;
+        for i in 0..n_nodes {
+            let ch = if i < ch0_nodes { 0 } else { 1 };
+            t.insert_node(
+                NodeId(i as u32),
+                Point::new(i as f64 * 10.0, 0.0),
+                RadioConfig::single(ChannelId(ch), 100.0),
+            );
+        }
+        t.reset_work();
+        for m in 0..moves {
+            t.update_position(NodeId(0), Point::new(m as f64, 5.0));
+        }
+        let max_checks = (ch0_nodes - 1) * moves;
+        prop_assert!(t.work() as usize <= max_checks, "{} > {max_checks}", t.work());
+    }
+}

@@ -1,0 +1,37 @@
+//! Integration test for experiment E2 (Table 2, §6.1): the proof-of-
+//! concept test under real-time scene construction, end-to-end through
+//! the harness, scene, neighbor tables and the hybrid routing protocol.
+
+use poem_bench::table2;
+
+#[test]
+fn table2_step_sequence_matches_paper() {
+    let r = table2::run(7);
+
+    // Step 1 — scene constructed: VMN1 reaches both peers directly.
+    assert_eq!(r.step1, vec![(2, 2, 1), (3, 3, 1)]);
+
+    // Step 2 — radio range shrunk to exclude VMN3: the direct route is
+    // replaced by the 2-hop route through VMN2. Crucially the link VMN1←VMN3
+    // still *carries* VMN3's broadcasts (asymmetric!), so this only works
+    // because the protocol validates bidirectionality.
+    assert_eq!(r.step2, vec![(2, 2, 1), (3, 2, 2)]);
+
+    // Step 3 — VMN1 and VMN2 radios on different channels: no usable
+    // neighbor remains and the table empties.
+    assert_eq!(r.step3, vec![]);
+}
+
+#[test]
+fn table2_renderings_match_format() {
+    let r = table2::run(99);
+    assert_eq!(
+        r.rendered[0],
+        "# of Routing Entries: 2\n2 --> 2 1\n3 --> 3 1\n"
+    );
+    assert_eq!(
+        r.rendered[1],
+        "# of Routing Entries: 2\n2 --> 2 1\n3 --> 2 2\n"
+    );
+    assert_eq!(r.rendered[2], "# of Routing Entries: 0\n");
+}

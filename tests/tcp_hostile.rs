@@ -1,0 +1,183 @@
+//! Server robustness against misbehaving clients: garbage bytes, hostile
+//! frame lengths, protocol-order violations and abrupt disconnects must
+//! never take the emulation server down or poison later, well-behaved
+//! sessions.
+
+use bytes::Bytes;
+use poem_client::EmuClient;
+use poem_core::clock::{Clock, WallClock};
+use poem_core::linkmodel::LinkParams;
+use poem_core::mobility::MobilityModel;
+use poem_core::packet::Destination;
+use poem_core::radio::RadioConfig;
+use poem_core::scene::{Scene, SceneOp};
+use poem_core::{ChannelId, EmuTime, NodeId, Point};
+use poem_server::{ServerConfig, ServerHandle};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn two_node_scene() -> Scene {
+    let mut s = Scene::new();
+    for (id, x) in [(1u32, 0.0), (2u32, 50.0)] {
+        s.apply(
+            EmuTime::ZERO,
+            &SceneOp::AddNode {
+                id: NodeId(id),
+                pos: Point::new(x, 0.0),
+                radios: RadioConfig::single(ChannelId(1), 200.0),
+                mobility: MobilityModel::Stationary,
+                link: LinkParams::ideal(11.0e6),
+            },
+        )
+        .unwrap();
+    }
+    s
+}
+
+fn start() -> Arc<ServerHandle> {
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    ServerHandle::start(two_node_scene(), clock, ServerConfig::default()).unwrap()
+}
+
+/// After the hostile interaction, a normal session must still work.
+fn assert_server_still_serves(server: &ServerHandle) {
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let c1 = EmuClient::connect_tcp(
+        server.addr(),
+        NodeId(1),
+        RadioConfig::single(ChannelId(1), 200.0),
+        Arc::clone(&clock),
+    )
+    .expect("healthy client connects");
+    let c2 = EmuClient::connect_tcp(
+        server.addr(),
+        NodeId(2),
+        RadioConfig::single(ChannelId(1), 200.0),
+        clock,
+    )
+    .expect("second healthy client connects");
+    c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"alive"))
+        .unwrap()
+        .unwrap();
+    let (pkt, _) = c2.recv_timeout(Duration::from_secs(5)).expect("traffic still flows");
+    assert_eq!(&pkt.payload[..], b"alive");
+    c1.close().unwrap();
+    c2.close().unwrap();
+}
+
+#[test]
+fn garbage_bytes_do_not_kill_the_server() {
+    let server = start();
+    {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(&[0xde; 64]).unwrap();
+        // 0xdededede as a length prefix exceeds MAX_FRAME_LEN → the server
+        // rejects and drops this connection.
+    }
+    assert_server_still_serves(&server);
+    server.shutdown();
+}
+
+#[test]
+fn hostile_length_prefix_is_rejected() {
+    let server = start();
+    {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        s.write_all(&[0u8; 128]).unwrap();
+    }
+    assert_server_still_serves(&server);
+    server.shutdown();
+}
+
+#[test]
+fn valid_frame_with_garbage_body_is_rejected() {
+    let server = start();
+    {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let body = [0xABu8; 32];
+        s.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        s.write_all(&body).unwrap();
+    }
+    assert_server_still_serves(&server);
+    server.shutdown();
+}
+
+#[test]
+fn abrupt_disconnect_mid_frame_is_survivable() {
+    let server = start();
+    {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        // Announce a 1000-byte frame, send 10 bytes, vanish.
+        s.write_all(&1000u32.to_le_bytes()).unwrap();
+        s.write_all(&[0u8; 10]).unwrap();
+    } // dropped here
+    assert_server_still_serves(&server);
+    server.shutdown();
+}
+
+#[test]
+fn data_before_hello_is_refused_politely() {
+    let server = start();
+    {
+        // A protocol-order violation: Data before Hello. The server replies
+        // Refused and drops the session.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let msg = poem_proto::messages::ClientMsg::Bye;
+        let body = poem_proto::to_bytes(&msg).unwrap();
+        s.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        s.write_all(&body).unwrap();
+        let mut reader = poem_proto::MsgReader::new(s.try_clone().unwrap());
+        match reader.recv::<poem_proto::messages::ServerMsg>() {
+            Ok(poem_proto::messages::ServerMsg::Refused { reason }) => {
+                assert!(reason.contains("expected Hello"), "{reason}");
+            }
+            other => panic!("expected Refused, got {other:?}"),
+        }
+    }
+    assert_server_still_serves(&server);
+    server.shutdown();
+}
+
+#[test]
+fn spoofed_source_packets_are_dropped() {
+    // A client registered as VMN1 sends a packet claiming src = VMN2; the
+    // server must not forward it.
+    let server = start();
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let c2 = EmuClient::connect_tcp(
+        server.addr(),
+        NodeId(2),
+        RadioConfig::single(ChannelId(1), 200.0),
+        Arc::clone(&clock),
+    )
+    .unwrap();
+    {
+        // Hand-roll a VMN1 session that spoofs VMN2 as the source.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let mut w = poem_proto::MsgWriter::new(s.try_clone().unwrap());
+        let mut r = poem_proto::MsgReader::new(s.try_clone().unwrap());
+        w.send(&poem_proto::messages::ClientMsg::hello(NodeId(1))).unwrap();
+        let _welcome: poem_proto::messages::ServerMsg = r.recv().unwrap();
+        let spoofed = poem_core::EmuPacket::new(
+            poem_core::PacketId(1),
+            NodeId(2), // lies about its identity
+            Destination::Broadcast,
+            ChannelId(1),
+            poem_core::RadioId(0),
+            EmuTime::from_millis(1),
+            Bytes::from_static(b"spoof"),
+        );
+        w.send(&poem_proto::messages::ClientMsg::Data(spoofed)).unwrap();
+        s.flush().unwrap();
+    }
+    // The spoofed broadcast must never reach VMN2's legitimate client...
+    assert!(c2.recv_timeout(Duration::from_millis(300)).is_err());
+    // ...nor appear in the recorder.
+    let traffic = server.recorder().traffic();
+    assert!(traffic.is_empty(), "{traffic:?}");
+    drop(c2);
+    server.shutdown();
+}
