@@ -1,0 +1,6 @@
+//! Offline shim for the subset of `crossbeam` that poem-rs uses:
+//! MPMC channels (`crossbeam::channel`) and scoped threads
+//! (`crossbeam::thread::scope`). Built on `std::sync` + `std::thread`.
+
+pub mod channel;
+pub mod thread;

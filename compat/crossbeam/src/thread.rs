@@ -1,0 +1,69 @@
+//! Scoped threads with the `crossbeam::thread` API shape, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Differences from crossbeam kept deliberately: `scope` returns
+//! `Ok(result)` always — std's scope propagates child panics by panicking
+//! in the parent, so the `Err` arm is unreachable but kept for API parity.
+
+/// A scope in which child threads borrowing from the stack can be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (like
+    /// crossbeam), enabling nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = Scope { inner: self.inner };
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+    }
+}
+
+/// Runs `f` with a scope; all threads spawned in it are joined before
+/// `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

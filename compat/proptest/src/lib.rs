@@ -1,0 +1,664 @@
+//! Offline shim of the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the subset of proptest's API the workspace tests use: `Strategy` with
+//! `prop_map` / `prop_recursive` / `boxed`, `any::<T>()` over scalars and
+//! tuples, range and collection strategies, the `proptest!` /
+//! `prop_oneof!` / `prop_assert*!` macros, and a deterministic runner.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking — on failure the offending inputs are printed verbatim;
+//! - generation is seeded from a fixed constant, so runs are reproducible
+//!   without persistence files;
+//! - string "regex" strategies only support the `.{m,n}` shape the tests
+//!   use (random printable ASCII of bounded length).
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Random source handed to strategies; wraps the rand shim's [`SmallRng`].
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::rc::Rc;
+
+    /// A recipe for producing random values of one type.
+    pub trait Strategy {
+        type Value: Debug;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds recursive values by applying `f` to progressively deeper
+        /// strategies `depth` times (no lazy recursion — depth is bounded
+        /// up front, which matches how the tests use it).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut s = self.boxed();
+            for _ in 0..depth {
+                s = f(s).boxed();
+            }
+            s
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies; built by `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Ranges of samplable numbers are strategies drawing uniformly.
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: rand::SampleUniform + PartialOrd + Copy + Debug,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    /// String "regex" strategy. Only the `.{m,n}` pattern the workspace
+    /// tests use is supported: random printable ASCII with length in
+    /// `[m, n]`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (min, max) = parse_dot_repeat(self).unwrap_or_else(|| {
+                panic!(
+                    "proptest shim: unsupported string pattern {self:?} \
+                     (only `.{{m,n}}` is implemented)"
+                )
+            });
+            let len = rng.gen_range(min..max + 1);
+            (0..len).map(|_| char::from(rng.gen_range(0x20u8..0x7f))).collect()
+        }
+    }
+
+    /// Parses `.{m,n}` → `(m, n)`.
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (m, n) = rest.split_once(',')?;
+        Some((m.trim().parse().ok()?, n.trim().parse().ok()?))
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::{Rng, RngCore};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized + Debug {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_standard {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, bool);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Raw bit patterns: exercises infinities, NaNs, and subnormals,
+            // which is exactly what codec round-trip tests want to see.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f32::from_bits(rng.next_u32())
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            loop {
+                if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                    return c;
+                }
+                // Surrogate range — redraw.
+            }
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($(($($t:ident),+))+) => {$(
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($t::arbitrary(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_tuple! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Size bound for collection strategies.
+    pub struct SizeRange(Range<usize>);
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.0.start >= self.0.end {
+                self.0.start
+            } else {
+                rng.gen_range(self.0.start..self.0.end)
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`. Key collisions make the
+    /// map smaller than the drawn size, same as real proptest.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            for _ in 0..len {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>` (3:1 in favour of `Some`, matching
+    /// real proptest's default weighting).
+    pub struct OptionStrategy<S>(S);
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_range(0u8..4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing either boolean with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool;
+
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            rng.gen()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::TestRng;
+    use std::cell::RefCell;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Runner configuration; only the case count is meaningful here.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Explicit test-case failure, produced by `Err(...)` returns from a
+    /// `proptest!` body.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    thread_local! {
+        static CASE_DESC: RefCell<String> = const { RefCell::new(String::new()) };
+    }
+
+    /// Records a debug rendering of the current case's inputs so a failure
+    /// can report them (the shim does not shrink).
+    pub fn set_case_desc(desc: String) {
+        CASE_DESC.with(|d| *d.borrow_mut() = desc);
+    }
+
+    /// Fixed base seed: runs are deterministic and reproducible without
+    /// proptest's persistence files.
+    const BASE_SEED: u64 = 0x5eed_cafe_0b5e_55ed;
+
+    /// Drives `body` for `cases` deterministic random cases, reporting the
+    /// generated inputs of the first failing case.
+    pub fn run<F: FnMut(&mut TestRng)>(cases: u32, mut body: F) {
+        for case in 0..cases {
+            let mut rng = TestRng::from_seed(BASE_SEED.wrapping_add(u64::from(case)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+            if let Err(panic) = outcome {
+                let desc = CASE_DESC.with(|d| d.borrow().clone());
+                eprintln!(
+                    "proptest shim: case {case}/{cases} failed.\n  inputs: {desc}\n  \
+                     (deterministic seed {BASE_SEED:#x} + case index; no shrinking)"
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+
+    /// Extracts the case count from a config expression.
+    pub fn cases_of(cfg: &ProptestConfig) -> u32 {
+        cfg.cases
+    }
+}
+
+/// Namespace mirror of `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// ------------------------------------------------------------------ macros
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            $crate::test_runner::run($crate::test_runner::cases_of(&__cfg), |__rng| {
+                let __vals = ($($crate::strategy::Strategy::generate(&{ $strat }, __rng),)+);
+                $crate::test_runner::set_case_desc(format!("{:?}", __vals));
+                let ($($arg,)+) = __vals;
+                // Bodies may `return Ok(())` early, matching real proptest.
+                let __case = move || -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                };
+                if let ::core::result::Result::Err(__e) = __case() {
+                    panic!("test case failed: {__e}");
+                }
+            });
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    (cfg = $cfg:expr;) => {};
+}
+
+/// Uniform choice among the given strategies (all producing one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assertion macros: the shim maps these to plain `assert!` family — the
+/// runner catches the panic and reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::from_seed(7);
+        let s = (0u8..6, 0.0f64..300.0, 1usize..4);
+        for _ in 0..200 {
+            let (a, b, c) = Strategy::generate(&s, &mut rng);
+            assert!(a < 6);
+            assert!((0.0..300.0).contains(&b));
+            assert!((1..4).contains(&c));
+        }
+    }
+
+    #[test]
+    fn string_pattern_bounds_length() {
+        let mut rng = crate::TestRng::from_seed(9);
+        for _ in 0..100 {
+            let s = Strategy::generate(&".{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(u64),
+            Pair(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Pair(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = any::<u64>().prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(4, 64, 4, |inner| {
+            prop_oneof![
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
+                any::<u64>().prop_map(Tree::Leaf),
+            ]
+        });
+        let mut rng = crate::TestRng::from_seed(11);
+        for _ in 0..50 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn macro_draws_collections(
+            v in prop::collection::vec(any::<u8>(), 0..16),
+            flag in prop::bool::ANY,
+            opt in prop::option::of(any::<i32>()),
+        ) {
+            prop_assert!(v.len() < 16);
+            prop_assert_eq!(flag, flag);
+            if let Some(x) = opt {
+                prop_assert_ne!(i64::from(x), i64::from(x) + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline shim for the subset of `rand` that poem-rs uses.
+//!
+//! Provides [`rngs::SmallRng`] (xoshiro256++, the same family real `rand`
+//! 0.8 uses for its 64-bit `SmallRng`), the [`Rng`] extension trait with
+//! `gen`/`gen_range`/`gen_bool`, and [`SeedableRng::seed_from_u64`] with
+//! SplitMix64 seeding. Deterministic per seed, which is all the emulator
+//! requires (replayability, not crypto).
+
+use std::ops::Range;
+
+/// Core RNG interface: a source of 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from the full value domain
+/// (floats: uniform in `[0, 1)`), i.e. `rand`'s `Standard` distribution.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 24) as u8
+    }
+}
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 16) as u16
+    }
+}
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for i8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u8::sample(rng) as i8
+    }
+}
+impl Standard for i16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u16::sample(rng) as i16
+    }
+}
+impl Standard for i32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits → uniform [0, 1) with full float precision.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide);
+                // Widening-multiply rejection-free mapping (Lemire); the
+                // slight modulo bias over a 64-bit draw is far below any
+                // statistical sensitivity of the emulator.
+                let draw = rng.next_u64() as u128;
+                let hi = ((draw * span as u128) >> 64) as $wide;
+                range.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as $u).wrapping_sub(range.start as $u);
+                let draw = rng.next_u64() as u128;
+                let hi = ((draw * span as u128) >> 64) as $u;
+                range.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => u64);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let unit = f64::sample(rng);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let unit = f32::sample(rng);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Extension methods on any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform draw from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Bernoulli draw.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.gen::<f64>() < p
+        }
+    }
+
+    /// Fills a byte slice.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 state expansion,
+    /// like real `rand`).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 to expand the seed, as rand does for xoshiro.
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Convenience: a fresh generator seeded from the system clock + a
+/// process-wide counter (mirrors `rand::thread_rng` loosely; only for
+/// non-replayable convenience paths).
+pub fn thread_rng() -> rngs::SmallRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    SeedableRng::seed_from_u64(nanos ^ COUNTER.fetch_add(0x9E37_79B9, Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen_lo = false;
+        for _ in 0..10_000 {
+            let x = r.gen_range(10u64..20);
+            assert!((10..20).contains(&x), "{x}");
+            seen_lo |= x == 10;
+        }
+        assert!(seen_lo, "lower bound reachable");
+        for _ in 0..1_000 {
+            let f = r.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[r.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "{buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline shim implementing the subset of serde's data model that
+//! poem-rs uses.
+//!
+//! The build environment has no registry access, so this crate provides
+//! source-compatible `Serialize`/`Deserialize`/`Serializer`/`Deserializer`
+//! traits plus impls for the std types the emulator serializes. The derive
+//! macros come from the sibling `serde_derive` shim and drive structs and
+//! enums through the same data model the real serde derive uses
+//! (`serialize_struct`, `serialize_*_variant`, seq-style visitors), so the
+//! wire format produced by `poem-proto`'s codec is unchanged.
+//!
+//! Scope notes: derived struct deserialization is seq-driven (how every
+//! non-self-describing binary format, including `poem-proto`, decodes);
+//! map-keyed self-describing formats (JSON-style) are out of scope.
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in the macro namespace, so these re-exports coexist
+// with the traits of the same name (exactly how real serde does it).
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,656 @@
+//! Offline shim of `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate re-implements the serde derives for the shapes poem-rs uses:
+//! non-generic structs (named / tuple / unit) and enums whose variants are
+//! unit, newtype, tuple, or struct-like. The `#[serde(with = "path")]`
+//! field attribute is honored on named fields. Generated code drives the
+//! same data-model calls as real serde derive (`serialize_struct`,
+//! `serialize_*_variant`, seq-style visitors, `u32` variant indices), so
+//! any format written against the data model — in particular
+//! `poem-proto`'s binary codec — sees identical structure.
+//!
+//! Parsing is hand-rolled over `proc_macro::TokenStream` (no syn/quote in
+//! this environment); unsupported shapes fail the build with a clear
+//! message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+// ------------------------------------------------------------------ model
+
+struct Field {
+    /// Named-field name, or the positional index rendered as a string.
+    name: String,
+    ty: String,
+    /// `#[serde(with = "path")]` module path, if present.
+    with: Option<String>,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Unnamed(Vec<Field>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ------------------------------------------------------------------ parse
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes attributes; returns the `with` path if a `#[serde(with =
+/// "path")]` attribute was among them.
+fn skip_attrs(iter: &mut TokenIter) -> Option<String> {
+    let mut with = None;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if let Some(w) = parse_serde_with(&g.stream()) {
+                    with = Some(w);
+                }
+            }
+            other => panic!("serde shim derive: expected [...] after #, got {other:?}"),
+        }
+    }
+    with
+}
+
+/// Extracts `path` from an attribute body of the form `serde(with = "path")`.
+fn parse_serde_with(attr_body: &TokenStream) -> Option<String> {
+    let mut iter = attr_body.clone().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let parts: Vec<TokenTree> = inner.into_iter().collect();
+    match parts.as_slice() {
+        [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if key.to_string() == "with" && eq.as_char() == '=' =>
+        {
+            let s = lit.to_string();
+            Some(s.trim_matches('"').to_string())
+        }
+        _ => {
+            let rendered: String = parts.iter().map(|t| t.to_string()).collect();
+            panic!(
+                "serde shim derive: unsupported #[serde(...)] attribute `{rendered}` \
+                 (only `with = \"path\"` is implemented)"
+            )
+        }
+    }
+}
+
+/// Skips `pub`, `pub(...)`.
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Collects type tokens until a top-level comma (tracking `<`/`>` depth),
+/// consuming the comma if present.
+fn collect_type(iter: &mut TokenIter) -> String {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    while let Some(tok) = iter.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                iter.next();
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+        let tok = iter.next().expect("peeked");
+        out.push_str(&tok.to_string());
+        out.push(' ');
+    }
+    let t = out.trim().to_string();
+    assert!(!t.is_empty(), "serde shim derive: empty field type");
+    t
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while iter.peek().is_some() {
+        let with = skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field name, got {other:?}"),
+        }
+        let ty = collect_type(&mut iter);
+        fields.push(Field { name, ty, with });
+    }
+    fields
+}
+
+fn parse_unnamed_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    let mut idx = 0usize;
+    while iter.peek().is_some() {
+        let with = skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        let ty = collect_type(&mut iter);
+        fields.push(Field { name: idx.to_string(), ty, with });
+        idx += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while iter.peek().is_some() {
+        skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Fields::Unnamed(parse_unnamed_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        let mut depth = 0i32;
+        while let Some(tok) = iter.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            iter.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (type `{name}`)");
+    }
+    let body = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Unnamed(parse_unnamed_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Item { name, body }
+}
+
+// -------------------------------------------------------------- serialize
+
+/// Emits `serialize_field` (or the `with`-wrapped equivalent) onto a
+/// compound serializer binding named `st`, for a named field bound to
+/// `expr`.
+fn ser_named_field(out: &mut String, trait_path: &str, f: &Field, expr: &str, tag: &str) {
+    if let Some(with) = &f.with {
+        out.push_str(&format!(
+            "{{\n\
+             struct __SerdeWith{tag}<'__a>(&'__a {ty});\n\
+             impl<'__a> ::serde::ser::Serialize for __SerdeWith{tag}<'__a> {{\n\
+               fn serialize<__S2: ::serde::ser::Serializer>(&self, __s: __S2) \
+                 -> ::core::result::Result<__S2::Ok, __S2::Error> {{\n\
+                 {with}::serialize(self.0, __s)\n\
+               }}\n\
+             }}\n\
+             {trait_path}::serialize_field(&mut __st, \"{name}\", &__SerdeWith{tag}({expr}))?;\n\
+             }}\n",
+            ty = f.ty,
+            name = f.name,
+        ));
+    } else {
+        out.push_str(&format!(
+            "{trait_path}::serialize_field(&mut __st, \"{name}\", {expr})?;\n",
+            name = f.name,
+        ));
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            body.push_str(&format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {n})?;\n",
+                n = fields.len()
+            ));
+            for f in fields {
+                ser_named_field(
+                    &mut body,
+                    "::serde::ser::SerializeStruct",
+                    f,
+                    &format!("&self.{}", f.name),
+                    &f.name,
+                );
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__st)\n");
+        }
+        Body::Struct(Fields::Unnamed(fields)) if fields.len() == 1 => {
+            assert!(
+                fields[0].with.is_none(),
+                "serde shim derive: #[serde(with)] on newtype structs is unsupported"
+            );
+            body.push_str(&format!(
+                "::serde::ser::Serializer::serialize_newtype_struct(\
+                 __serializer, \"{name}\", &self.0)\n"
+            ));
+        }
+        Body::Struct(Fields::Unnamed(fields)) => {
+            body.push_str(&format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_tuple_struct(\
+                 __serializer, \"{name}\", {n})?;\n",
+                n = fields.len()
+            ));
+            for f in fields {
+                assert!(f.with.is_none(), "serde shim derive: with on tuple fields unsupported");
+                body.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{})?;\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(__st)\n");
+        }
+        Body::Struct(Fields::Unit) => {
+            body.push_str(&format!(
+                "::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")\n"
+            ));
+        }
+        Body::Enum(variants) => {
+            body.push_str("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        body.push_str(&format!(
+                            "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                        ));
+                    }
+                    Fields::Unnamed(fields) if fields.len() == 1 => {
+                        body.push_str(&format!(
+                            "{name}::{vname}(__f0) => \
+                             ::serde::ser::Serializer::serialize_newtype_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                        ));
+                    }
+                    Fields::Unnamed(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __st = ::serde::ser::Serializer::serialize_tuple_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                            binds.join(", "),
+                            n = fields.len()
+                        ));
+                        for b in &binds {
+                            body.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(\
+                                 &mut __st, {b})?;\n"
+                            ));
+                        }
+                        body.push_str("::serde::ser::SerializeTupleVariant::end(__st)\n},\n");
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __st = ::serde::ser::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                            binds.join(", "),
+                            n = fields.len()
+                        ));
+                        for f in fields {
+                            ser_named_field(
+                                &mut body,
+                                "::serde::ser::SerializeStructVariant",
+                                f,
+                                &f.name,
+                                &format!("{vname}_{}", f.name),
+                            );
+                        }
+                        body.push_str("::serde::ser::SerializeStructVariant::end(__st)\n},\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+
+    format!(
+        "const _: () = {{\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+           fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+             -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n\
+         }};\n"
+    )
+}
+
+// ------------------------------------------------------------ deserialize
+
+/// Emits a `let __v_N = ...;` statement pulling the next seq element of
+/// the field's type (honoring `with`).
+fn de_seq_field(out: &mut String, f: &Field, slot: usize, expected: &str) {
+    let ty = &f.ty;
+    if let Some(with) = &f.with {
+        out.push_str(&format!(
+            "let __v_{slot}: {ty} = {{\n\
+             struct __WithField{slot}({ty});\n\
+             impl<'__de2> ::serde::de::Deserialize<'__de2> for __WithField{slot} {{\n\
+               fn deserialize<__D2: ::serde::de::Deserializer<'__de2>>(__d: __D2) \
+                 -> ::core::result::Result<Self, __D2::Error> {{\n\
+                 {with}::deserialize(__d).map(__WithField{slot})\n\
+               }}\n\
+             }}\n\
+             match ::serde::de::SeqAccess::next_element::<__WithField{slot}>(&mut __seq)? {{\n\
+               Some(__v) => __v.0,\n\
+               None => return ::core::result::Result::Err(\
+                 <__A::Error as ::serde::de::Error>::missing_field(\"{expected}\")),\n\
+             }}\n\
+             }};\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "let __v_{slot}: {ty} = \
+             match ::serde::de::SeqAccess::next_element::<{ty}>(&mut __seq)? {{\n\
+               Some(__v) => __v,\n\
+               None => return ::core::result::Result::Err(\
+                 <__A::Error as ::serde::de::Error>::missing_field(\"{expected}\")),\n\
+             }};\n"
+        ));
+    }
+}
+
+/// Emits a visitor struct (named `vis`) whose `visit_seq` builds
+/// `construct` from the given fields.
+fn de_seq_visitor(vis: &str, value_ty: &str, fields: &[Field], construct: &str) -> String {
+    let mut pulls = String::new();
+    for (slot, f) in fields.iter().enumerate() {
+        de_seq_field(&mut pulls, f, slot, &f.name);
+    }
+    format!(
+        "struct {vis};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {vis} {{\n\
+           type Value = {value_ty};\n\
+           fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+             __f.write_str(\"{value_ty}\")\n\
+           }}\n\
+           fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+             -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             {pulls}\n\
+             ::core::result::Result::Ok({construct})\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn named_construct(path: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> =
+        fields.iter().enumerate().map(|(slot, f)| format!("{}: __v_{slot}", f.name)).collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn tuple_construct(path: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = (0..fields.len()).map(|slot| format!("__v_{slot}")).collect();
+    format!("{path}({})", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let field_names: Vec<String> =
+                fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+            let visitor = de_seq_visitor("__Visitor", name, fields, &named_construct(name, fields));
+            format!(
+                "{visitor}\n\
+                 ::serde::de::Deserializer::deserialize_struct(\
+                 __deserializer, \"{name}\", &[{}], __Visitor)",
+                field_names.join(", ")
+            )
+        }
+        Body::Struct(Fields::Unnamed(fields)) if fields.len() == 1 => {
+            let ty = &fields[0].ty;
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                   type Value = {name};\n\
+                   fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) \
+                     -> ::core::fmt::Result {{ __f.write_str(\"{name}\") }}\n\
+                   fn visit_newtype_struct<__D2: ::serde::de::Deserializer<'de>>(\
+                     self, __d: __D2) -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                     <{ty} as ::serde::de::Deserialize>::deserialize(__d).map({name})\n\
+                   }}\n\
+                   fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                     match ::serde::de::SeqAccess::next_element::<{ty}>(&mut __seq)? {{\n\
+                       Some(__v) => ::core::result::Result::Ok({name}(__v)),\n\
+                       None => ::core::result::Result::Err(\
+                         <__A::Error as ::serde::de::Error>::missing_field(\"0\")),\n\
+                     }}\n\
+                   }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_newtype_struct(\
+                 __deserializer, \"{name}\", __Visitor)"
+            )
+        }
+        Body::Struct(Fields::Unnamed(fields)) => {
+            let visitor = de_seq_visitor("__Visitor", name, fields, &tuple_construct(name, fields));
+            format!(
+                "{visitor}\n\
+                 ::serde::de::Deserializer::deserialize_tuple_struct(\
+                 __deserializer, \"{name}\", {n}, __Visitor)",
+                n = fields.len()
+            )
+        }
+        Body::Struct(Fields::Unit) => {
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                   type Value = {name};\n\
+                   fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) \
+                     -> ::core::fmt::Result {{ __f.write_str(\"{name}\") }}\n\
+                   fn visit_unit<__E: ::serde::de::Error>(self) \
+                     -> ::core::result::Result<Self::Value, __E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                   }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_unit_struct(\
+                 __deserializer, \"{name}\", __Visitor)"
+            )
+        }
+        Body::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let mut arms = String::new();
+            let mut helper_visitors = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                let path = format!("{name}::{vname}");
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                             ::core::result::Result::Ok({path})\n\
+                             }},\n"
+                        ));
+                    }
+                    Fields::Unnamed(fields) if fields.len() == 1 => {
+                        let ty = &fields[0].ty;
+                        arms.push_str(&format!(
+                            "{idx}u32 => \
+                             ::serde::de::VariantAccess::newtype_variant::<{ty}>(__variant)\
+                             .map({path}),\n"
+                        ));
+                    }
+                    Fields::Unnamed(fields) => {
+                        let vis = format!("__V{idx}");
+                        helper_visitors.push_str(&de_seq_visitor(
+                            &vis,
+                            name,
+                            fields,
+                            &tuple_construct(&path, fields),
+                        ));
+                        arms.push_str(&format!(
+                            "{idx}u32 => ::serde::de::VariantAccess::tuple_variant(\
+                             __variant, {n}, {vis}),\n",
+                            n = fields.len()
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let vis = format!("__V{idx}");
+                        let field_names: Vec<String> =
+                            fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+                        helper_visitors.push_str(&de_seq_visitor(
+                            &vis,
+                            name,
+                            fields,
+                            &named_construct(&path, fields),
+                        ));
+                        arms.push_str(&format!(
+                            "{idx}u32 => ::serde::de::VariantAccess::struct_variant(\
+                             __variant, &[{}], {vis}),\n",
+                            field_names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{helper_visitors}\n\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                   type Value = {name};\n\
+                   fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) \
+                     -> ::core::fmt::Result {{ __f.write_str(\"enum {name}\") }}\n\
+                   fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) \
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                     let (__idx, __variant): (u32, __A::Variant) = \
+                       ::serde::de::EnumAccess::variant(__data)?;\n\
+                     match __idx {{\n\
+                       {arms}\n\
+                       __other => ::core::result::Result::Err(\
+                         <__A::Error as ::serde::de::Error>::custom(\
+                         format_args!(\"unknown variant index {{__other}} for enum {name}\"))),\n\
+                     }}\n\
+                   }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_enum(\
+                 __deserializer, \"{name}\", &[{}], __Visitor)",
+                variant_names.join(", ")
+            )
+        }
+    };
+
+    format!(
+        "const _: () = {{\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+           fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+             -> ::core::result::Result<Self, __D::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n\
+         }};\n"
+    )
+}
+
+// ------------------------------------------------------------ entrypoints
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl failed to parse")
+}

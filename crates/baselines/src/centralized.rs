@@ -39,7 +39,7 @@ impl SerialReceiver {
         let mut out = Vec::with_capacity(arrivals.len());
         let mut free_at = EmuTime::ZERO;
         for &a in arrivals {
-            debug_assert!(out.last().map_or(true, |_| free_at >= EmuTime::ZERO));
+            debug_assert!(out.last().is_none_or(|_| free_at >= EmuTime::ZERO));
             let start = a.max(free_at);
             let jit = if self.jitter > EmuDuration::ZERO {
                 EmuDuration::from_nanos(rng.range_u64(0, self.jitter.as_nanos() as u64 + 1) as i64)
@@ -56,11 +56,7 @@ impl SerialReceiver {
     /// Timestamp errors (`server stamp − true send time`) for the given
     /// arrivals.
     pub fn stamp_errors(&self, arrivals: &[EmuTime], rng: &mut EmuRng) -> Vec<EmuDuration> {
-        self.stamp(arrivals, rng)
-            .iter()
-            .zip(arrivals)
-            .map(|(&s, &a)| s - a)
-            .collect()
+        self.stamp(arrivals, rng).iter().zip(arrivals).map(|(&s, &a)| s - a).collect()
     }
 
     /// The Fig. 2 scenario: `n` clients transmit **simultaneously** at
@@ -83,9 +79,7 @@ impl SerialReceiver {
         let interval = EmuDuration::from_secs_f64(1.0 / rate_pps);
         let mut arrivals: Vec<EmuTime> = Vec::new();
         for c in 0..n {
-            let phase = EmuDuration::from_secs_f64(
-                c as f64 / n as f64 * interval.as_secs_f64(),
-            );
+            let phase = EmuDuration::from_secs_f64(c as f64 / n as f64 * interval.as_secs_f64());
             let mut t = EmuTime::ZERO + phase;
             while t < EmuTime::ZERO + duration {
                 arrivals.push(t);
@@ -151,8 +145,7 @@ mod tests {
     fn spaced_arrivals_have_no_queueing_error() {
         let r = SerialReceiver::new(us(100));
         let mut rng = EmuRng::seed(1);
-        let arrivals: Vec<EmuTime> =
-            (0..50).map(|i| EmuTime::from_millis(i * 10)).collect();
+        let arrivals: Vec<EmuTime> = (0..50).map(|i| EmuTime::from_millis(i * 10)).collect();
         let errs = r.stamp_errors(&arrivals, &mut rng);
         assert!(errs.iter().all(|&e| e == us(100)), "only service, no waiting");
     }

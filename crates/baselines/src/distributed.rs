@@ -76,11 +76,8 @@ impl DistributedSceneSync {
         // heterogeneity range (station 0 fastest .. n-1 slowest).
         let base: Vec<EmuDuration> = (0..self.stations)
             .map(|i| {
-                let f = if self.stations == 1 {
-                    0.0
-                } else {
-                    i as f64 / (self.stations - 1) as f64
-                };
+                let f =
+                    if self.stations == 1 { 0.0 } else { i as f64 / (self.stations - 1) as f64 };
                 self.min_apply + (self.max_apply - self.min_apply).mul_f64(f)
             })
             .collect();
@@ -98,7 +95,7 @@ impl DistributedSceneSync {
             for (i, free) in station_free.iter_mut().enumerate() {
                 let jit = if self.jitter > EmuDuration::ZERO {
                     EmuDuration::from_nanos(
-                        rng.range_u64(0, self.jitter.as_nanos() as u64 + 1) as i64,
+                        rng.range_u64(0, self.jitter.as_nanos() as u64 + 1) as i64
                     )
                 } else {
                     EmuDuration::ZERO
@@ -126,8 +123,7 @@ impl DistributedSceneSync {
             updates,
             messages: updates * self.stations as u64,
             staleness: Summary::of_durations(&staleness).expect("updates >= 1"),
-            expired_fraction: expired_station_time.as_secs_f64()
-                / total_station_time.as_secs_f64(),
+            expired_fraction: expired_station_time.as_secs_f64() / total_station_time.as_secs_f64(),
             overrun_updates: overrun,
         }
     }
@@ -226,12 +222,8 @@ mod tests {
 
     #[test]
     fn jitter_is_bounded_and_seeded() {
-        let model = DistributedSceneSync {
-            stations: 4,
-            min_apply: ms(1),
-            max_apply: ms(2),
-            jitter: ms(1),
-        };
+        let model =
+            DistributedSceneSync { stations: 4, min_apply: ms(1), max_apply: ms(2), jitter: ms(1) };
         let a = model.run(50, ms(100), &mut EmuRng::seed(9));
         let b = model.run(50, ms(100), &mut EmuRng::seed(9));
         assert_eq!(a.staleness.mean, b.staleness.mean, "deterministic under a seed");

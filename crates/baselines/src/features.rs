@@ -102,10 +102,7 @@ mod tests {
         // Only PoEm covers all four.
         assert_eq!(
             t.iter()
-                .filter(|e| e.real_time_scene
-                    && e.real_time_recording
-                    && e.multi_radio
-                    && e.replay)
+                .filter(|e| e.real_time_scene && e.real_time_recording && e.multi_radio && e.replay)
                 .count(),
             1
         );

@@ -2,13 +2,13 @@
 //! and bandwidth evaluation, mobility integration, and the clock-sync
 //! arithmetic — the inner loops of the emulation server.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use poem_core::clock::sync::simulate_handshake;
 use poem_core::linkmodel::{LinkModel, LossModel};
 use poem_core::mobility::{Arena, MobilityModel, MobilityState};
 use poem_core::{EmuDuration, EmuRng, EmuTime, Point};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_link_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("link_model");
@@ -47,7 +47,10 @@ fn bench_mobility(c: &mut Criterion) {
     let arena = Arena::new(1000.0, 1000.0);
     for (name, model) in [
         ("random_walk", MobilityModel::random_walk(1.0, 10.0, 1.0)),
-        ("random_waypoint", MobilityModel::RandomWaypoint { min_speed: 1.0, max_speed: 10.0, pause: 1.0 }),
+        (
+            "random_waypoint",
+            MobilityModel::RandomWaypoint { min_speed: 1.0, max_speed: 10.0, pause: 1.0 },
+        ),
         ("linear", MobilityModel::Linear { direction_deg: 270.0, speed: 10.0 }),
     ] {
         group.bench_function(name, |b| {

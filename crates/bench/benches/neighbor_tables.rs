@@ -1,12 +1,12 @@
 //! Criterion bench for experiment E7: update and lookup cost of the
 //! channel-ID indexed neighbor tables vs. the unified baseline (§4.2).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use poem_core::neighbor::{ChannelIndexedTables, NeighborTables, UnifiedTable};
 use poem_core::radio::RadioConfig;
 use poem_core::{ChannelId, EmuRng, NodeId, Point};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn populate<T: NeighborTables>(t: &mut T, nodes: usize, channels: usize, rng: &mut EmuRng) {
     for i in 0..nodes {
@@ -31,8 +31,7 @@ fn bench_updates(c: &mut Criterion) {
                 b.iter(|| {
                     let id = NodeId(i % nodes as u32);
                     i = i.wrapping_add(1);
-                    let pos =
-                        Point::new(rng.range_f64(0.0, 1000.0), rng.range_f64(0.0, 1000.0));
+                    let pos = Point::new(rng.range_f64(0.0, 1000.0), rng.range_f64(0.0, 1000.0));
                     t.update_position(black_box(id), black_box(pos));
                 });
             },
@@ -48,8 +47,7 @@ fn bench_updates(c: &mut Criterion) {
                 b.iter(|| {
                     let id = NodeId(i % nodes as u32);
                     i = i.wrapping_add(1);
-                    let pos =
-                        Point::new(rng.range_f64(0.0, 1000.0), rng.range_f64(0.0, 1000.0));
+                    let pos = Point::new(rng.range_f64(0.0, 1000.0), rng.range_f64(0.0, 1000.0));
                     t.update_position(black_box(id), black_box(pos));
                 });
             },

@@ -3,18 +3,20 @@
 //! emulate (the paper's future-work concern about the single-server
 //! bottleneck).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use poem_core::linkmodel::LinkParams;
 use poem_core::mobility::MobilityModel;
 use poem_core::packet::Destination;
 use poem_core::radio::RadioConfig;
 use poem_core::scene::{Scene, SceneOp};
-use poem_core::{ChannelId, EmuPacket, EmuRng, EmuTime, ForwardSchedule, NodeId, PacketId, Point, RadioId};
+use poem_core::{
+    ChannelId, EmuPacket, EmuRng, EmuTime, ForwardSchedule, NodeId, PacketId, Point, RadioId,
+};
 use poem_record::Recorder;
 use poem_server::{ClusterConfig, ClusterPipeline, Pipeline};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A grid scene: `n` nodes on `channels` channels, ~8 neighbors each.
 fn grid_scene(n: usize, channels: usize) -> Scene {
@@ -28,10 +30,7 @@ fn grid_scene(n: usize, channels: usize) -> Scene {
                 &SceneOp::AddNode {
                     id: NodeId(i as u32),
                     pos: Point::new(gx as f64 * 80.0, gy as f64 * 80.0),
-                    radios: RadioConfig::single(
-                        ChannelId((i % channels) as u16),
-                        170.0,
-                    ),
+                    radios: RadioConfig::single(ChannelId((i % channels) as u16), 170.0),
                     mobility: MobilityModel::Stationary,
                     link: LinkParams::table3(),
                 },
@@ -130,18 +129,14 @@ fn bench_cluster(c: &mut Criterion) {
     };
     for &shards in &[1usize, 2, 4, 8] {
         group.throughput(Throughput::Elements(batch.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(shards),
-            &shards,
-            |b, &shards| {
-                let cluster = ClusterPipeline::new(
-                    grid_scene(nodes, 1),
-                    Arc::new(Recorder::new()),
-                    ClusterConfig { shards, seed: 1 },
-                );
-                b.iter(|| black_box(cluster.ingest_batch(&batch, EmuTime::from_secs(1))));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
+            let cluster = ClusterPipeline::new(
+                grid_scene(nodes, 1),
+                Arc::new(Recorder::new()),
+                ClusterConfig { shards, seed: 1 },
+            );
+            b.iter(|| black_box(cluster.ingest_batch(&batch, EmuTime::from_secs(1))));
+        });
     }
     group.finish();
 }

@@ -2,13 +2,13 @@
 //! recorder append throughput, codec encode/decode of packets, and the
 //! statistics queries the evaluation runs over the logs.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use poem_core::packet::Destination;
 use poem_core::{ChannelId, EmuDuration, EmuPacket, EmuTime, NodeId, PacketId, RadioId};
 use poem_record::query::TrafficQuery;
 use poem_record::{Recorder, TrafficRecord};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn sample_packet(i: u64) -> EmuPacket {
     EmuPacket::new(
@@ -71,9 +71,7 @@ fn bench_queries(c: &mut Criterion) {
     group.bench_function("loss_series_100k_records", |b| {
         b.iter(|| {
             black_box(
-                TrafficQuery::new(&recs)
-                    .from(NodeId(1))
-                    .loss_series(EmuDuration::from_secs(1)),
+                TrafficQuery::new(&recs).from(NodeId(1)).loss_series(EmuDuration::from_secs(1)),
             )
         });
     });

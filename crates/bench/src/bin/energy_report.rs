@@ -3,10 +3,7 @@
 
 fn main() {
     println!("E12 — energy accounting (Fig. 9 relay flow, 802.11b-class radio)\n");
-    println!(
-        "{:>6} {:>14} {:>12} {:>12}",
-        "node", "consumed (J)", "tx time (s)", "rx time (s)"
-    );
+    println!("{:>6} {:>14} {:>12} {:>12}", "node", "consumed (J)", "tx time (s)", "rx time (s)");
     for r in poem_bench::energy::run(20, 7) {
         println!(
             "{:>6} {:>14.2} {:>12.3} {:>12.3}",

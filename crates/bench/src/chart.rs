@@ -13,16 +13,12 @@ pub fn render_series(labels: &[&str], series: &[&[SeriesPoint]], bar_width: usiz
     }
     out.push('\n');
     for i in 0..n {
-        let t = series
-            .iter()
-            .find_map(|s| s.get(i).map(|p| p.t))
-            .unwrap_or(i as f64);
+        let t = series.iter().find_map(|s| s.get(i).map(|p| p.t)).unwrap_or(i as f64);
         out.push_str(&format!("{t:>8.1} "));
         for s in series {
             match s.get(i) {
                 Some(p) => {
-                    let filled =
-                        ((p.value.clamp(0.0, 1.0)) * bar_width as f64).round() as usize;
+                    let filled = ((p.value.clamp(0.0, 1.0)) * bar_width as f64).round() as usize;
                     out.push_str(&format!(
                         " {:>6.1}% {}{}",
                         p.value * 100.0,

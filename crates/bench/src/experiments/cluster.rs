@@ -74,19 +74,14 @@ pub fn run(nodes: u32, packets: usize, shard_counts: &[usize]) -> Vec<ClusterRow
 
     // Baseline: the plain single pipeline.
     {
-        let mut p =
-            Pipeline::new(grid_scene(nodes), Arc::new(Recorder::new()), EmuRng::seed(1));
+        let mut p = Pipeline::new(grid_scene(nodes), Arc::new(Recorder::new()), EmuRng::seed(1));
         let start = Instant::now();
         let mut deliveries = 0usize;
         for pkt in &batch {
             deliveries += p.ingest(pkt, pkt.sent_at).len();
         }
         let secs = start.elapsed().as_secs_f64();
-        rows.push(ClusterRow {
-            shards: 0,
-            packets_per_sec: packets as f64 / secs,
-            deliveries,
-        });
+        rows.push(ClusterRow { shards: 0, packets_per_sec: packets as f64 / secs, deliveries });
     }
 
     for &shards in shard_counts {

@@ -17,9 +17,9 @@ use crate::scenes::{fig9_scene, Fig9Scene};
 use poem_baselines::SerialReceiver;
 use poem_core::stats::SeriesPoint;
 use poem_core::stats::WindowedLossMeter;
+use poem_core::EmuDuration as Dur;
 use poem_core::{EmuDuration, EmuRng, EmuTime, NodeId};
 use poem_routing::{Received, Router, RouterConfig};
-use poem_core::EmuDuration as Dur;
 use poem_server::sim::{SimConfig, SimNet};
 use poem_traffic::{FlowReport, Pattern, TrafficApp, TrafficAppConfig};
 use std::collections::HashSet;
@@ -107,11 +107,8 @@ pub fn run(params: Fig10Params) -> Fig10Result {
     let receiver = Router::new(robust_hybrid());
     let rx_handles = receiver.handles();
 
-    let apps: Vec<Box<dyn poem_client::ClientApp>> = vec![
-        Box::new(cbr),
-        Box::new(Router::new(robust_hybrid())),
-        Box::new(receiver),
-    ];
+    let apps: Vec<Box<dyn poem_client::ClientApp>> =
+        vec![Box::new(cbr), Box::new(Router::new(robust_hybrid())), Box::new(receiver)];
     for ((id, pos, radios, mobility), app) in scene.nodes.clone().into_iter().zip(apps) {
         net.add_node(id, pos, radios, mobility, scene.link, app).expect("fig9 scene valid");
     }
@@ -135,7 +132,7 @@ pub fn run(params: Fig10Params) -> Fig10Result {
     // Non-real-time curve: replace every send stamp by the serialized
     // server stamp and re-bin.
     let non_real_time = serialized_curve(
-        &sent.entries().to_vec(),
+        sent.entries(),
         &received,
         params.serial_service,
         params.window,
@@ -182,10 +179,7 @@ mod tests {
     use super::*;
 
     fn short_params() -> Fig10Params {
-        Fig10Params {
-            end: EmuTime::from_secs(20),
-            ..Fig10Params::default()
-        }
+        Fig10Params { end: EmuTime::from_secs(20), ..Fig10Params::default() }
     }
 
     #[test]
@@ -218,8 +212,7 @@ mod tests {
     #[test]
     fn loss_saturates_after_the_relay_leaves_range() {
         let r = run(Fig10Params { end: EmuTime::from_secs(24), ..Fig10Params::default() });
-        let late: Vec<&SeriesPoint> =
-            r.real_time.iter().filter(|p| p.t >= 19.0).collect();
+        let late: Vec<&SeriesPoint> = r.real_time.iter().filter(|p| p.t >= 19.0).collect();
         assert!(!late.is_empty());
         for p in late {
             assert!(p.value > 0.95, "at t={} loss {}", p.t, p.value);

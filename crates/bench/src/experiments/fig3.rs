@@ -93,10 +93,7 @@ mod tests {
         assert_eq!(rows.len(), 6);
         // Expired fraction grows monotonically as updates speed up.
         for w in rows.windows(2) {
-            assert!(
-                w[1].dist_expired_fraction >= w[0].dist_expired_fraction,
-                "{w:?}"
-            );
+            assert!(w[1].dist_expired_fraction >= w[0].dist_expired_fraction, "{w:?}");
         }
         // Leisurely updates: consistent most of the time.
         assert!(rows[0].dist_expired_fraction < 0.1, "{}", rows[0].dist_expired_fraction);

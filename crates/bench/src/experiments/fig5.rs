@@ -85,10 +85,7 @@ mod tests {
     fn symmetric_rows_are_exact_asymmetric_rows_err_by_half() {
         let rows = default_run();
         for r in &rows {
-            assert!(
-                (r.measured_error_s - r.predicted_error_s).abs() < 1e-12,
-                "{r:?}"
-            );
+            assert!((r.measured_error_s - r.predicted_error_s).abs() < 1e-12, "{r:?}");
             if (r.uplink_s - r.downlink_s).abs() < 1e-12 {
                 assert_eq!(r.measured_error_s, 0.0, "{r:?}");
             } else {

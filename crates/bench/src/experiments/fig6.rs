@@ -9,7 +9,9 @@
 //! per update. The win grows with the number of channels, because a move
 //! only touches the mover's own channels in the indexed scheme.
 
-use poem_core::neighbor::{check_against_brute_force, ChannelIndexedTables, NeighborTables, UnifiedTable};
+use poem_core::neighbor::{
+    check_against_brute_force, ChannelIndexedTables, NeighborTables, UnifiedTable,
+};
 use poem_core::radio::RadioConfig;
 use poem_core::{ChannelId, EmuRng, NodeId, Point};
 

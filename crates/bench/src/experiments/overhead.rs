@@ -52,11 +52,8 @@ fn line_scene(net: &mut SimNet, apps: Vec<Box<dyn poem_client::ClientApp>>) {
 }
 
 fn count_ingress(net: &SimNet) -> u64 {
-    net.recorder()
-        .traffic()
-        .iter()
-        .filter(|r| matches!(r, TrafficRecord::Ingress { .. }))
-        .count() as u64
+    net.recorder().traffic().iter().filter(|r| matches!(r, TrafficRecord::Ingress { .. })).count()
+        as u64
 }
 
 fn count_unicast_ingress(net: &SimNet) -> u64 {
@@ -66,10 +63,7 @@ fn count_unicast_ingress(net: &SimNet) -> u64 {
         .filter(|r| {
             matches!(
                 r,
-                TrafficRecord::Ingress {
-                    dst: poem_core::packet::Destination::Unicast(_),
-                    ..
-                }
+                TrafficRecord::Ingress { dst: poem_core::packet::Destination::Unicast(_), .. }
             )
         })
         .count() as u64
@@ -79,7 +73,8 @@ fn count_unicast_ingress(net: &SimNet) -> u64 {
 /// far end of a 6-node line.
 pub fn run_routing(seed: u64) -> OverheadRow {
     let mut net = SimNet::new(SimConfig { seed, ..SimConfig::default() });
-    let mut routers: Vec<Router> = (0..NODES).map(|_| Router::new(RouterConfig::hybrid())).collect();
+    let mut routers: Vec<Router> =
+        (0..NODES).map(|_| Router::new(RouterConfig::hybrid())).collect();
     let src_handles = routers[0].handles();
     let dst_handles = routers[NODES as usize - 1].handles();
     let apps: Vec<Box<dyn poem_client::ClientApp>> =
@@ -159,14 +154,8 @@ mod tests {
         let flooding = run_flooding(5);
         // Line of 6 nodes: routing unicasts each payload along 5 hops;
         // flooding transmits on every node (origin + 5 rebroadcasts).
-        assert!(
-            (routing.data_tx_per_delivery - 5.0).abs() < 0.75,
-            "{routing:?}"
-        );
-        assert!(
-            (flooding.data_tx_per_delivery - 6.0).abs() < 0.75,
-            "{flooding:?}"
-        );
+        assert!((routing.data_tx_per_delivery - 5.0).abs() < 0.75, "{routing:?}");
+        assert!((flooding.data_tx_per_delivery - 6.0).abs() < 0.75, "{flooding:?}");
         assert!(routing.data_transmissions < flooding.data_transmissions);
     }
 }

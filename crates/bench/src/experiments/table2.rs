@@ -28,10 +28,7 @@ pub struct Table2Result {
 
 fn snapshot(handles: &RouterHandles) -> (Vec<(u32, u32, u32)>, String) {
     let table = handles.table.lock();
-    let rows = table
-        .entries()
-        .map(|(d, e)| (d.0, e.next_hop.node.0, e.hops))
-        .collect();
+    let rows = table.entries().map(|(d, e)| (d.0, e.next_hop.node.0, e.hops)).collect();
     (rows, table.render())
 }
 

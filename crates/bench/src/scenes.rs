@@ -133,8 +133,7 @@ impl Fig9Scene {
     /// (both hops break simultaneously by symmetry).
     pub fn breakdown_time(&self) -> f64 {
         // sqrt(R² − d²) units of travel at 10 units/s.
-        (self.radio_range * self.radio_range - self.hop_distance * self.hop_distance).sqrt()
-            / 10.0
+        (self.radio_range * self.radio_range - self.hop_distance * self.hop_distance).sqrt() / 10.0
     }
 }
 

@@ -174,10 +174,7 @@ mod mux_tests {
         m.arm(EmuTime::from_secs(5), Kind::Send);
         assert_eq!(m.due(EmuTime::from_secs(3)), vec![Kind::Beat]);
         assert_eq!(m.len(), 1);
-        assert_eq!(
-            m.next_delay(EmuTime::from_secs(3)),
-            Some(EmuDuration::from_secs(2))
-        );
+        assert_eq!(m.next_delay(EmuTime::from_secs(3)), Some(EmuDuration::from_secs(2)));
     }
 
     #[test]

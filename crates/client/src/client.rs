@@ -16,6 +16,7 @@ use poem_core::clock::Clock;
 use poem_core::packet::Destination;
 use poem_core::radio::RadioConfig;
 use poem_core::{ChannelId, EmuDuration, EmuPacket, EmuTime, NodeId, PacketId};
+use poem_obs::{Counter, Gauge, MetricsSnapshot, Registry};
 use poem_proto::messages::{finish_sync, ClientMsg, ServerMsg, PROTOCOL_VERSION};
 use poem_proto::{MsgReader, MsgWriter};
 use std::fmt;
@@ -69,6 +70,9 @@ pub struct EmuClient {
     closed: Arc<AtomicBool>,
     next_seq: AtomicU64,
     reader_handle: Option<JoinHandle<()>>,
+    registry: Arc<Registry>,
+    sync_rounds: Arc<Counter>,
+    clock_offset_ns: Arc<Gauge>,
 }
 
 /// Object-safe writer facade so [`EmuClient`] is not generic over the
@@ -108,23 +112,22 @@ impl EmuClient {
                     )));
                 }
                 if n != node {
-                    return Err(ClientError::Protocol(format!(
-                        "welcomed as {n}, expected {node}"
-                    )));
+                    return Err(ClientError::Protocol(format!("welcomed as {n}, expected {node}")));
                 }
             }
             ServerMsg::Refused { reason } => return Err(ClientError::Refused(reason)),
-            other => {
-                return Err(ClientError::Protocol(format!(
-                    "expected Welcome, got {other:?}"
-                )))
-            }
+            other => return Err(ClientError::Protocol(format!("expected Welcome, got {other:?}"))),
         }
 
         let (inbound_tx, inbound_rx) = unbounded();
         let (sync_tx, sync_rx) = bounded(4);
         let closed = Arc::new(AtomicBool::new(false));
-        let reader_handle = Some(spawn_reader(msg_reader, inbound_tx, sync_tx, Arc::clone(&closed)));
+        let reader_handle =
+            Some(spawn_reader(msg_reader, inbound_tx, sync_tx, Arc::clone(&closed)));
+
+        let registry = Arc::new(Registry::new());
+        let sync_rounds = registry.counter("poem_client_sync_rounds_total");
+        let clock_offset_ns = registry.gauge("poem_client_clock_offset_ns");
 
         Ok(EmuClient {
             node,
@@ -136,6 +139,9 @@ impl EmuClient {
             closed,
             next_seq: AtomicU64::new(0),
             reader_handle,
+            registry,
+            sync_rounds,
+            clock_offset_ns,
         })
     }
 
@@ -185,9 +191,18 @@ impl EmuClient {
             let t_c4 = self.clock.now();
             let (_t_s4, offset) = finish_sync(t_s3, echo, t_c4);
             self.clock.adjust(offset);
+            self.sync_rounds.inc();
+            self.clock_offset_ns.set(offset.as_nanos());
             last = offset;
         }
         Ok(last)
+    }
+
+    /// A point-in-time snapshot of the client's own metrics: completed
+    /// Fig. 5 sync round-trips and the most recent estimated clock offset
+    /// (`poem_client_clock_offset_ns`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// Spawns a background thread re-running the Fig. 5 handshake every
@@ -280,9 +295,7 @@ impl Drop for PeriodicSync {
 
 impl fmt::Debug for PeriodicSync {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PeriodicSync")
-            .field("stopped", &self.stop.load(Ordering::Acquire))
-            .finish()
+        f.debug_struct("PeriodicSync").field("stopped", &self.stop.load(Ordering::Acquire)).finish()
     }
 }
 
@@ -362,7 +375,9 @@ mod tests {
     use std::thread;
 
     /// Spins up a minimal scripted "server" on the other end of a pipe.
-    fn scripted_server<F>(script: F) -> ((impl Read + Send + 'static, impl Write + Send + 'static), thread::JoinHandle<()>)
+    fn scripted_server<F>(
+        script: F,
+    ) -> ((impl Read + Send + 'static, impl Write + Send + 'static), thread::JoinHandle<()>)
     where
         F: FnOnce(MsgReader<poem_proto::pipe::PipeReader>, MsgWriter<poem_proto::pipe::PipeWriter>)
             + Send
@@ -398,14 +413,9 @@ mod tests {
             }
         });
         let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
-        let client = EmuClient::connect(
-            r,
-            w,
-            NodeId(3),
-            RadioConfig::single(ChannelId(1), 100.0),
-            clock,
-        )
-        .unwrap();
+        let client =
+            EmuClient::connect(r, w, NodeId(3), RadioConfig::single(ChannelId(1), 100.0), clock)
+                .unwrap();
         assert_eq!(client.node(), NodeId(3));
         client.close().unwrap();
         h.join().unwrap();
@@ -451,9 +461,8 @@ mod tests {
             clock,
         )
         .unwrap();
-        let id = client
-            .send(ChannelId(2), Destination::Broadcast, Bytes::from_static(b"data"))
-            .unwrap();
+        let id =
+            client.send(ChannelId(2), Destination::Broadcast, Bytes::from_static(b"data")).unwrap();
         assert!(id.is_some());
         // Untuned channel:
         let none = client.send(ChannelId(9), Destination::Broadcast, Bytes::new()).unwrap();
@@ -523,6 +532,10 @@ mod tests {
         let offset = client.sync_clock(1).unwrap();
         assert_eq!(offset, EmuDuration::from_secs(60));
         assert_eq!(clock.now(), EmuTime::from_secs(70));
+        let snap = client.metrics();
+        assert!(!snap.is_empty());
+        assert_eq!(snap.counter("poem_client_sync_rounds_total"), Some(1));
+        assert_eq!(snap.gauge("poem_client_clock_offset_ns"), Some(60_000_000_000));
         drop(client);
         h.join().unwrap();
     }

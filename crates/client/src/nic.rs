@@ -38,11 +38,7 @@ pub trait Nic {
 
 /// Finds the radio slot tuned to `channel` in `radios`.
 pub fn radio_for(radios: &RadioConfig, channel: ChannelId) -> Option<RadioId> {
-    radios
-        .radios()
-        .iter()
-        .position(|r| r.channel == channel)
-        .map(|i| RadioId(i as u8))
+    radios.radios().iter().position(|r| r.channel == channel).map(|i| RadioId(i as u8))
 }
 
 /// A queue-backed [`Nic`] used by the in-process harness and by unit
@@ -113,9 +109,8 @@ impl Nic for QueueNic {
     fn send(&mut self, channel: ChannelId, dst: Destination, payload: Bytes) -> Option<PacketId> {
         let radio = radio_for(&self.radios, channel)?;
         let id = self.alloc_id();
-        self.outbound.push_back(EmuPacket::new(
-            id, self.node, dst, channel, radio, self.now, payload,
-        ));
+        self.outbound
+            .push_back(EmuPacket::new(id, self.node, dst, channel, radio, self.now, payload));
         Some(id)
     }
 
@@ -133,10 +128,7 @@ mod tests {
     use super::*;
 
     fn nic() -> QueueNic {
-        QueueNic::new(
-            NodeId(2),
-            RadioConfig::multi(&[ChannelId(1), ChannelId(2)], 200.0),
-        )
+        QueueNic::new(NodeId(2), RadioConfig::multi(&[ChannelId(1), ChannelId(2)], 200.0))
     }
 
     #[test]

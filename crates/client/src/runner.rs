@@ -63,11 +63,7 @@ impl AppRunner {
     /// Stops the loop and returns the client and app for inspection.
     pub fn stop(mut self) -> (EmuClient, Box<dyn ClientApp>) {
         self.stop.store(true, Ordering::Release);
-        self.handle
-            .take()
-            .expect("runner not yet stopped")
-            .join()
-            .expect("app runner panicked")
+        self.handle.take().expect("runner not yet stopped").join().expect("app runner panicked")
     }
 }
 

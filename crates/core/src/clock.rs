@@ -53,9 +53,7 @@ impl VirtualClock {
 
     /// A fresh clock starting at `t`.
     pub fn starting_at(t: EmuTime) -> Self {
-        VirtualClock {
-            now_ns: AtomicU64::new(t.as_nanos()),
-        }
+        VirtualClock { now_ns: AtomicU64::new(t.as_nanos()) }
     }
 
     /// Advances the clock to `t` if `t` is in the future; otherwise leaves
@@ -109,19 +107,13 @@ pub struct WallClock {
 impl WallClock {
     /// A wall clock whose epoch is "now".
     pub fn new() -> Self {
-        WallClock {
-            base: Instant::now(),
-            offset: Mutex::new(0),
-        }
+        WallClock { base: Instant::now(), offset: Mutex::new(0) }
     }
 
     /// A wall clock sharing another's monotonic base but with its own
     /// offset — models several clients on one workstation (§3.1).
     pub fn sharing_base(&self) -> Self {
-        WallClock {
-            base: self.base,
-            offset: Mutex::new(*self.offset.lock()),
-        }
+        WallClock { base: self.base, offset: Mutex::new(*self.offset.lock()) }
     }
 }
 
@@ -262,13 +254,11 @@ pub mod sync {
             let client = EmuTime::from_secs(100);
             let server = EmuTime::from_secs(105);
             let d = EmuDuration::from_millis(10);
-            let sample =
-                simulate_handshake(client, server, d, d, EmuDuration::from_millis(2));
+            let sample = simulate_handshake(client, server, d, d, EmuDuration::from_millis(2));
             let out = sample.solve();
             assert_eq!(out.estimated_delay, d);
             // True server time at t_c4 is server + up + turn + down.
-            let true_server_at_c4 =
-                server + d + EmuDuration::from_millis(2) + d;
+            let true_server_at_c4 = server + d + EmuDuration::from_millis(2) + d;
             assert_eq!(out.estimated_server_now, true_server_at_c4);
             assert_eq!(out.round_trip, d + d + EmuDuration::from_millis(2));
         }

@@ -109,8 +109,7 @@ impl EnergyBook {
 
     /// Opens an account for a node joining at `now`.
     pub fn open(&mut self, id: NodeId, now: EmuTime, battery_j: Option<f64>) {
-        self.accounts
-            .insert(id, (self.profile_default, EnergyAccount::new(now, battery_j)));
+        self.accounts.insert(id, (self.profile_default, EnergyAccount::new(now, battery_j)));
     }
 
     /// Overrides one node's power profile.
@@ -163,11 +162,7 @@ impl EnergyBook {
 
     /// Nodes whose battery is exhausted at `now`.
     pub fn depleted(&self, now: EmuTime) -> Vec<NodeId> {
-        self.accounts
-            .iter()
-            .filter(|(_, (p, a))| a.depleted(*p, now))
-            .map(|(&id, _)| id)
-            .collect()
+        self.accounts.iter().filter(|(_, (p, a))| a.depleted(*p, now)).map(|(&id, _)| id).collect()
     }
 }
 
@@ -210,11 +205,8 @@ mod tests {
         assert!(book.depleted(EmuTime::from_secs(4)).is_empty());
         // At 6 s idle the 5 J battery is gone.
         assert_eq!(book.depleted(EmuTime::from_secs(6)), vec![NodeId(1)]);
-        let remaining = book
-            .account(NodeId(2))
-            .unwrap()
-            .remaining_j(profile, EmuTime::from_secs(6))
-            .unwrap();
+        let remaining =
+            book.account(NodeId(2)).unwrap().remaining_j(profile, EmuTime::from_secs(6)).unwrap();
         assert!((remaining - 994.0).abs() < 1e-9);
     }
 

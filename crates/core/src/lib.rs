@@ -79,9 +79,9 @@ pub mod stats;
 pub mod time;
 
 pub use clock::{Clock, VirtualClock, WallClock};
+pub use energy::{EnergyBook, PowerProfile};
 pub use geom::Point;
 pub use ids::{ChannelId, NodeId, PacketId, RadioId};
-pub use energy::{EnergyBook, PowerProfile};
 pub use linkmodel::{BandwidthModel, DelayModel, LinkModel, LossModel};
 pub use mac::{CollisionDomain, MacModel};
 pub use mobility::{FieldSpec, MobilityModel, MobilityState};

@@ -78,11 +78,7 @@ impl LossModel {
         if r > self.range {
             return 1.0;
         }
-        let p = if r <= self.d0 {
-            self.p0
-        } else {
-            self.p0 + self.kp() * (r - self.d0)
-        };
+        let p = if r <= self.d0 { self.p0 } else { self.p0 + self.kp() * (r - self.d0) };
         p.clamp(0.0, 1.0)
     }
 
@@ -262,7 +258,14 @@ pub struct LinkParams {
 impl LinkParams {
     /// Ideal link: lossless, constant bandwidth, zero delay.
     pub fn ideal(bps: f64) -> Self {
-        LinkParams { p0: 0.0, p1: 0.0, d0: 0.0, max_bps: bps, min_bps: bps, delay: DelayModel::none() }
+        LinkParams {
+            p0: 0.0,
+            p1: 0.0,
+            d0: 0.0,
+            max_bps: bps,
+            min_bps: bps,
+            delay: DelayModel::none(),
+        }
     }
 
     /// The Table-3 experiment parameters on a constant 11 Mbps channel.
@@ -282,11 +285,7 @@ impl LinkParams {
     pub fn with_range(&self, range: f64) -> LinkModel {
         LinkModel {
             loss: LossModel { p0: self.p0, p1: self.p1, d0: self.d0, range },
-            bandwidth: BandwidthModel {
-                max_bps: self.max_bps,
-                min_bps: self.min_bps,
-                range,
-            },
+            bandwidth: BandwidthModel { max_bps: self.max_bps, min_bps: self.min_bps, range },
             delay: self.delay,
         }
     }

@@ -120,12 +120,7 @@ impl CollisionDomain {
     /// Collision test: would a reception of `tx` at `receiver_pos` be
     /// destroyed? True when any *other* registered transmission audible at
     /// the receiver overlaps `tx` in time.
-    pub fn collides(
-        &self,
-        channel: ChannelId,
-        receiver_pos: Point,
-        tx: &Transmission,
-    ) -> bool {
+    pub fn collides(&self, channel: ChannelId, receiver_pos: Point, tx: &Transmission) -> bool {
         self.active
             .get(&channel)
             .map(|txs| {
@@ -209,7 +204,7 @@ mod tests {
         let ch = ChannelId(1);
         let mut dom = CollisionDomain::new();
         dom.register(ch, tx(1, 0.0, 100, 100)); // busy 100..200 µs
-        // Medium free before the transmission starts:
+                                                // Medium free before the transmission starts:
         assert_eq!(
             dom.medium_free_at(ch, Point::new(50.0, 0.0), EmuTime::from_micros(50)),
             EmuTime::from_micros(50)

@@ -116,10 +116,7 @@ impl Arena {
                     dy = -dy;
                 }
                 h = dy.atan2(dx);
-                (
-                    Point::new(x.clamp(0.0, self.width), y.clamp(0.0, self.height)),
-                    h.to_degrees(),
-                )
+                (Point::new(x.clamp(0.0, self.width), y.clamp(0.0, self.height)), h.to_degrees())
             }
         }
     }
@@ -271,14 +268,14 @@ impl MobilityState {
     pub fn init(model: &MobilityModel) -> Self {
         match model {
             MobilityModel::Stationary => MobilityState::Still,
-            MobilityModel::Linear { direction_deg, speed } => MobilityState::Cruising {
-                direction_deg: *direction_deg,
-                speed: *speed,
-            },
+            MobilityModel::Linear { direction_deg, speed } => {
+                MobilityState::Cruising { direction_deg: *direction_deg, speed: *speed }
+            }
             MobilityModel::FourTuple(_) => MobilityState::Pausing { remaining: 0.0 },
             MobilityModel::RandomWaypoint { .. } => MobilityState::Pausing { remaining: 0.0 },
-            MobilityModel::GroupMember { .. } =>
-                MobilityState::Following { offset: None, wander: Point::ORIGIN },
+            MobilityModel::GroupMember { .. } => {
+                MobilityState::Following { offset: None, wander: Point::ORIGIN }
+            }
         }
     }
 
@@ -306,8 +303,7 @@ impl MobilityState {
         // Random-walk the disturbance; step size scales with elapsed time
         // so integration granularity does not change the trajectory class.
         let step = (max_wander * 0.5 * dt.min(2.0)).max(0.0);
-        let mut w = *wander
-            + Point::new(rng.range_f64(-step, step), rng.range_f64(-step, step));
+        let mut w = *wander + Point::new(rng.range_f64(-step, step), rng.range_f64(-step, step));
         let norm = w.norm();
         if norm > *max_wander && norm > 0.0 {
             w = w * (*max_wander / norm);
@@ -394,7 +390,7 @@ impl MobilityState {
                         *self = MobilityState::Pausing { remaining: pause.max(0.0) };
                     } else {
                         let dir = (*target - pos) * (1.0 / dist);
-                        pos = pos + dir * travel;
+                        pos += dir * travel;
                         return pos;
                     }
                 }
@@ -424,10 +420,9 @@ impl MobilityState {
     ) -> MobilityState {
         match model {
             MobilityModel::Stationary => MobilityState::Still,
-            MobilityModel::Linear { direction_deg, speed } => MobilityState::Cruising {
-                direction_deg: *direction_deg,
-                speed: *speed,
-            },
+            MobilityModel::Linear { direction_deg, speed } => {
+                MobilityState::Cruising { direction_deg: *direction_deg, speed: *speed }
+            }
             MobilityModel::FourTuple(t) => {
                 let speed = t.move_speed.sample(rng).max(0.0);
                 let time = t.move_time.sample(rng).max(0.0);
@@ -696,7 +691,8 @@ mod group_tests {
         let model = MobilityModel::Linear { direction_deg: 0.0, speed: 5.0 };
         let mut st = MobilityState::init(&model);
         let mut rng = EmuRng::seed(4);
-        let p = st.advance_following(&model, Point::new(1.0, 2.0), Point::ORIGIN, 1.0, &mut rng, None);
+        let p =
+            st.advance_following(&model, Point::new(1.0, 2.0), Point::ORIGIN, 1.0, &mut rng, None);
         assert_eq!(p, Point::new(1.0, 2.0));
         assert_eq!(model.leader(), None);
     }

@@ -134,23 +134,16 @@ impl ChannelIndexedTables {
 
     /// The node set `NS(k)` indexed by channel `k`, ascending.
     pub fn node_set(&self, channel: ChannelId) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self
-            .tables
-            .get(&channel)
-            .map(|t| t.rows.keys().copied().collect())
-            .unwrap_or_default();
+        let mut v: Vec<NodeId> =
+            self.tables.get(&channel).map(|t| t.rows.keys().copied().collect()).unwrap_or_default();
         v.sort_unstable();
         v
     }
 
     /// Channels that currently have at least one member.
     pub fn active_channels(&self) -> Vec<ChannelId> {
-        let mut v: Vec<ChannelId> = self
-            .tables
-            .iter()
-            .filter(|(_, t)| !t.rows.is_empty())
-            .map(|(&c, _)| c)
-            .collect();
+        let mut v: Vec<ChannelId> =
+            self.tables.iter().filter(|(_, t)| !t.rows.is_empty()).map(|(&c, _)| c).collect();
         v.sort_unstable();
         v
     }
@@ -235,9 +228,7 @@ impl NeighborTables for ChannelIndexedTables {
         for &ch in &new_cs {
             // New channels need linking; retained channels need re-linking
             // only if the range on them changed.
-            if !old_cs.contains(&ch)
-                || old.range_on(ch) != self.nodes[&id].radios.range_on(ch)
-            {
+            if !old_cs.contains(&ch) || old.range_on(ch) != self.nodes[&id].radios.range_on(ch) {
                 self.relink_in_channel(id, ch);
             }
         }
@@ -396,9 +387,7 @@ pub fn check_against_brute_force<T: NeighborTables + ?Sized>(t: &T) -> Result<()
     for (&(a, ch), want) in &expect {
         let got: BTreeSet<NodeId> = t.neighbors(a, ch).into_iter().collect();
         if &got != want {
-            return Err(format!(
-                "NT({a},{ch}) mismatch: got {got:?}, want {want:?}"
-            ));
+            return Err(format!("NT({a},{ch}) mismatch: got {got:?}, want {want:?}"));
         }
     }
     Ok(())
@@ -566,7 +555,11 @@ mod tests {
     fn node_set_tracks_membership() {
         let mut t = ChannelIndexedTables::new();
         t.insert_node(NodeId(1), Point::ORIGIN, RadioConfig::single(ChannelId(1), 10.0));
-        t.insert_node(NodeId(2), Point::ORIGIN, RadioConfig::multi(&[ChannelId(1), ChannelId(2)], 10.0));
+        t.insert_node(
+            NodeId(2),
+            Point::ORIGIN,
+            RadioConfig::multi(&[ChannelId(1), ChannelId(2)], 10.0),
+        );
         assert_eq!(t.node_set(ChannelId(1)), vec![NodeId(1), NodeId(2)]);
         assert_eq!(t.node_set(ChannelId(2)), vec![NodeId(2)]);
         assert_eq!(t.active_channels(), vec![ChannelId(1), ChannelId(2)]);
@@ -611,7 +604,11 @@ mod tests {
     #[test]
     fn update_radios_skips_unchanged_channels() {
         let mut t = ChannelIndexedTables::new();
-        t.insert_node(NodeId(1), Point::ORIGIN, RadioConfig::multi(&[ChannelId(1), ChannelId(2)], 100.0));
+        t.insert_node(
+            NodeId(1),
+            Point::ORIGIN,
+            RadioConfig::multi(&[ChannelId(1), ChannelId(2)], 100.0),
+        );
         for i in 2..10 {
             t.insert_node(
                 NodeId(i),

@@ -47,9 +47,7 @@ impl RadioConfig {
 
     /// A node with one radio per listed channel, all with the same range.
     pub fn multi(channels: &[ChannelId], range: f64) -> Self {
-        RadioConfig {
-            radios: channels.iter().map(|&c| Radio::new(c, range)).collect(),
-        }
+        RadioConfig { radios: channels.iter().map(|&c| Radio::new(c, range)).collect() }
     }
 
     /// Builds from an explicit radio list.

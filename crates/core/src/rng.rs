@@ -22,9 +22,7 @@ pub struct EmuRng {
 impl EmuRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        EmuRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        EmuRng { inner: SmallRng::seed_from_u64(seed) }
     }
 
     /// Derives an independent child generator.

@@ -282,9 +282,7 @@ impl Scene {
                     return Err(SceneError::BadParameter("range must be finite and ≥ 0"));
                 }
                 let v = self.nodes.get_mut(id).ok_or(SceneError::UnknownNode(*id))?;
-                v.radios
-                    .set_range(*radio, *range)
-                    .ok_or(SceneError::NoSuchRadio(*id, *radio))?;
+                v.radios.set_range(*radio, *range).ok_or(SceneError::NoSuchRadio(*id, *radio))?;
                 self.tables.update_radios(*id, v.radios.clone());
                 Ok(())
             }
@@ -332,20 +330,14 @@ impl Scene {
             .values_mut()
             .filter(|v| v.mobility.is_mobile() && v.mobility.leader().is_none())
             .map(|v| {
-                let new_pos =
-                    v.mob_state
-                        .advance(&v.mobility, v.pos, dt, rng, arena.as_ref());
+                let new_pos = v.mob_state.advance(&v.mobility, v.pos, dt, rng, arena.as_ref());
                 v.pos = new_pos;
                 (v.id, new_pos)
             })
             .collect();
         // Second pass: group members follow their leader's new position.
-        let member_ids: Vec<NodeId> = self
-            .nodes
-            .values()
-            .filter(|v| v.mobility.leader().is_some())
-            .map(|v| v.id)
-            .collect();
+        let member_ids: Vec<NodeId> =
+            self.nodes.values().filter(|v| v.mobility.leader().is_some()).map(|v| v.id).collect();
         for id in member_ids {
             let leader = self.nodes[&id].mobility.leader().expect("filtered members");
             let Some(leader_pos) = self.nodes.get(&leader).map(|l| l.pos) else {
@@ -353,14 +345,8 @@ impl Scene {
             };
             let v = self.nodes.get_mut(&id).expect("member exists");
             let model = v.mobility;
-            let new_pos = v.mob_state.advance_following(
-                &model,
-                v.pos,
-                leader_pos,
-                dt,
-                rng,
-                arena.as_ref(),
-            );
+            let new_pos =
+                v.mob_state.advance_following(&model, v.pos, leader_pos, dt, rng, arena.as_ref());
             v.pos = new_pos;
             moved.push((id, new_pos));
         }
@@ -412,16 +398,11 @@ impl Scene {
 
     /// Steps 2+3 for a whole packet: routes it and returns, per reachable
     /// destination, the forwarding decision.
-    pub fn dispatch(
-        &self,
-        pkt: &EmuPacket,
-        rng: &mut EmuRng,
-    ) -> Vec<(NodeId, ForwardDecision)> {
+    pub fn dispatch(&self, pkt: &EmuPacket, rng: &mut EmuRng) -> Vec<(NodeId, ForwardDecision)> {
         self.route(pkt.src, pkt.channel, pkt.dst)
             .into_iter()
             .filter_map(|dst| {
-                self.decide(pkt.src, dst, pkt.channel, pkt.wire_size(), rng)
-                    .map(|dec| (dst, dec))
+                self.decide(pkt.src, dst, pkt.channel, pkt.wire_size(), rng).map(|dec| (dst, dec))
             })
             .collect()
     }
@@ -543,8 +524,11 @@ mod tests {
         add(&mut s, 1, 0.0, 0.0, 1, 100.0);
         add(&mut s, 2, 300.0, 0.0, 1, 100.0);
         assert!(s.route(NodeId(1), ChannelId(1), Destination::Broadcast).is_empty());
-        s.apply(EmuTime::from_secs(1), &SceneOp::MoveNode { id: NodeId(2), pos: Point::new(80.0, 0.0) })
-            .unwrap();
+        s.apply(
+            EmuTime::from_secs(1),
+            &SceneOp::MoveNode { id: NodeId(2), pos: Point::new(80.0, 0.0) },
+        )
+        .unwrap();
         assert_eq!(s.route(NodeId(1), ChannelId(1), Destination::Broadcast), vec![NodeId(2)]);
         check_against_brute_force(s.tables()).unwrap();
     }
@@ -671,8 +655,7 @@ mod tests {
     #[test]
     fn arena_constrains_scene_mobility() {
         let mut s = Scene::new();
-        s.apply(EmuTime::ZERO, &SceneOp::SetArena { arena: Some(Arena::new(50.0, 50.0)) })
-            .unwrap();
+        s.apply(EmuTime::ZERO, &SceneOp::SetArena { arena: Some(Arena::new(50.0, 50.0)) }).unwrap();
         s.apply(
             EmuTime::ZERO,
             &SceneOp::AddNode {

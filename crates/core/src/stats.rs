@@ -178,11 +178,7 @@ impl Histogram {
     /// `(bucket lower bound, count)` pairs.
     pub fn buckets(&self) -> Vec<(f64, u64)> {
         let w = (self.hi - self.lo) / self.counts.len() as f64;
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (self.lo + i as f64 * w, c))
-            .collect()
+        self.counts.iter().enumerate().map(|(i, &c)| (self.lo + i as f64 * w, c)).collect()
     }
 
     /// Total in-range samples.

@@ -95,7 +95,7 @@ struct BinSerializer {
     out: Vec<u8>,
 }
 
-impl<'a> ser::Serializer for &'a mut BinSerializer {
+impl ser::Serializer for &mut BinSerializer {
     type Ok = ();
     type Error = CodecError;
     type SerializeSeq = Self;
@@ -267,7 +267,7 @@ forward_compound!(ser::SerializeTupleStruct, serialize_field);
 forward_compound!(ser::SerializeTupleVariant, serialize_field);
 forward_compound!(ser::SerializeMap, serialize_value, serialize_key);
 
-impl<'a> ser::SerializeStruct for &'a mut BinSerializer {
+impl ser::SerializeStruct for &mut BinSerializer {
     type Ok = ();
     type Error = CodecError;
     fn serialize_field<T: Serialize + ?Sized>(
@@ -282,7 +282,7 @@ impl<'a> ser::SerializeStruct for &'a mut BinSerializer {
     }
 }
 
-impl<'a> ser::SerializeStructVariant for &'a mut BinSerializer {
+impl ser::SerializeStructVariant for &mut BinSerializer {
     type Ok = ();
     type Error = CodecError;
     fn serialize_field<T: Serialize + ?Sized>(
@@ -337,7 +337,7 @@ impl<'de> BinDeserializer<'de> {
     }
 }
 
-impl<'de, 'a> de::Deserializer<'de> for &'a mut BinDeserializer<'de> {
+impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
     type Error = CodecError;
 
     fn deserialize_any<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, CodecError> {
@@ -615,7 +615,7 @@ mod tests {
         roundtrip(&u64::MAX);
         roundtrip(&i64::MIN);
         roundtrip(&-1i32);
-        roundtrip(&3.14159f64);
+        roundtrip(&2.71828f64);
         roundtrip(&f64::NEG_INFINITY);
         roundtrip(&true);
         roundtrip(&'λ');

@@ -93,7 +93,11 @@ impl ServerMsg {
 /// Client-side completion of the handshake (steps 5–6): given the reply
 /// and the local receive time `t_c4`, returns the estimated server time
 /// `t_s4` and the offset to apply to the local emulation clock.
-pub fn finish_sync(reply_t_s3: EmuTime, reply_echo: EmuTime, t_c4: EmuTime) -> (EmuTime, poem_core::EmuDuration) {
+pub fn finish_sync(
+    reply_t_s3: EmuTime,
+    reply_echo: EmuTime,
+    t_c4: EmuTime,
+) -> (EmuTime, poem_core::EmuDuration) {
     let t_d = (t_c4 - reply_echo) / 2;
     let t_s4 = reply_t_s3 + t_d;
     (t_s4, t_s4 - t_c4)

@@ -22,7 +22,7 @@ pub mod scenestats;
 pub mod store;
 
 pub use query::{CopyCounts, TrafficQuery};
-pub use records::{DropReason, SceneRecord, TrafficRecord};
+pub use records::{DropReason, MetricsRecord, SceneRecord, TrafficRecord};
 pub use replay::ReplayEngine;
 pub use scenestats::{OpHistogram, SceneStats};
 pub use store::{LogStore, Recorder};

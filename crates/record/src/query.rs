@@ -230,8 +230,7 @@ impl<'a> TrafficQuery<'a> {
             .iter()
             .filter(|r| match **r {
                 TrafficRecord::Ingress { src, channel, .. } => {
-                    self.src.is_none_or(|s| s == src)
-                        && self.channel.is_none_or(|c| c == channel)
+                    self.src.is_none_or(|s| s == src) && self.channel.is_none_or(|c| c == channel)
                 }
                 _ => false,
             })
@@ -247,9 +246,8 @@ impl<'a> TrafficQuery<'a> {
             .iter()
             .filter_map(|r| match *r {
                 TrafficRecord::Ingress { src, channel, sent_at, received_at, .. } => {
-                    (self.src.is_none_or(|s| s == src)
-                        && self.channel.is_none_or(|c| c == channel))
-                    .then(|| received_at - sent_at)
+                    (self.src.is_none_or(|s| s == src) && self.channel.is_none_or(|c| c == channel))
+                        .then(|| received_at - sent_at)
                 }
                 _ => None,
             })
@@ -360,7 +358,8 @@ mod tests {
     fn throughput_series_sums_bits() {
         let recs = sample_log();
         // To VMN2: 125 bytes × 10 forwards over ~1 s.
-        let tp = TrafficQuery::new(&recs).to(NodeId(2)).throughput_series(EmuDuration::from_secs(1));
+        let tp =
+            TrafficQuery::new(&recs).to(NodeId(2)).throughput_series(EmuDuration::from_secs(1));
         let total: f64 = tp.iter().map(|p| p.value).sum();
         assert!((total - 10_000.0).abs() < 1e-6, "{total}");
     }

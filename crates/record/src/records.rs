@@ -101,6 +101,33 @@ impl TrafficRecord {
     }
 }
 
+/// One periodic observability snapshot row (§3.2 step 7 extended): the
+/// server's metrics thread flattens a `poem-obs` snapshot into the record
+/// log so post-emulation analysis can plot pipeline health (ingest rate,
+/// drops, schedule depth) against the traffic and scene logs on the same
+/// emulation-time axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRecord {
+    /// Emulation time the snapshot was taken.
+    pub at: EmuTime,
+    /// Counter values by metric name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by metric name.
+    pub gauges: Vec<(String, i64)>,
+}
+
+impl MetricsRecord {
+    /// Looks a counter up by its exact metric name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks a gauge up by its exact metric name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
 /// One row of the scene log: a timestamped scene operation.
 ///
 /// The server appends a row for every applied [`SceneOp`] — interactive
@@ -157,7 +184,8 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let f = TrafficRecord::Forward { id: PacketId(1), to: NodeId(2), at: EmuTime::from_secs(3) };
+        let f =
+            TrafficRecord::Forward { id: PacketId(1), to: NodeId(2), at: EmuTime::from_secs(3) };
         assert_eq!(f.packet_id(), PacketId(1));
         assert_eq!(f.at(), EmuTime::from_secs(3));
         let d = TrafficRecord::Drop {
@@ -175,7 +203,11 @@ mod tests {
         let pkt = sample_packet();
         let recs = vec![
             TrafficRecord::ingress(&pkt, EmuTime::from_millis(12)),
-            TrafficRecord::Forward { id: PacketId(42), to: NodeId(2), at: EmuTime::from_millis(13) },
+            TrafficRecord::Forward {
+                id: PacketId(42),
+                to: NodeId(2),
+                at: EmuTime::from_millis(13),
+            },
             TrafficRecord::Drop {
                 id: PacketId(42),
                 to: NodeId(3),
@@ -187,11 +219,25 @@ mod tests {
             let bytes = poem_proto::to_bytes(&r).unwrap();
             assert_eq!(poem_proto::from_bytes::<TrafficRecord>(&bytes).unwrap(), r);
         }
-        let sr = SceneRecord::new(
-            EmuTime::from_secs(1),
-            SceneOp::RemoveNode { id: NodeId(7) },
-        );
+        let sr = SceneRecord::new(EmuTime::from_secs(1), SceneOp::RemoveNode { id: NodeId(7) });
         let bytes = poem_proto::to_bytes(&sr).unwrap();
         assert_eq!(poem_proto::from_bytes::<SceneRecord>(&bytes).unwrap(), sr);
+    }
+
+    #[test]
+    fn metrics_record_roundtrips_and_looks_up() {
+        let mr = MetricsRecord {
+            at: EmuTime::from_secs(5),
+            counters: vec![
+                ("poem_ingest_packets_total".into(), 120),
+                ("poem_drops_total{reason=\"loss\"}".into(), 7),
+            ],
+            gauges: vec![("poem_schedule_depth".into(), -1)],
+        };
+        let bytes = poem_proto::to_bytes(&mr).unwrap();
+        assert_eq!(poem_proto::from_bytes::<MetricsRecord>(&bytes).unwrap(), mr);
+        assert_eq!(mr.counter("poem_ingest_packets_total"), Some(120));
+        assert_eq!(mr.counter("nope"), None);
+        assert_eq!(mr.gauge("poem_schedule_depth"), Some(-1));
     }
 }

@@ -117,12 +117,7 @@ impl SceneStats {
             .map(|(b, count)| SeriesPoint { t: b as f64 * w_secs, value: count as f64 })
             .collect();
 
-        SceneStats {
-            ops,
-            population,
-            distance_travelled: travelled.into_iter().collect(),
-            op_rate,
-        }
+        SceneStats { ops, population, distance_travelled: travelled.into_iter().collect(), op_rate }
     }
 
     /// The peak node population over the run.
@@ -164,11 +159,14 @@ mod tests {
             rec(0, add(2, 10.0, 0.0)),
             rec(1, SceneOp::MoveNode { id: NodeId(2), pos: Point::new(10.0, 30.0) }),
             rec(2, SceneOp::MoveNode { id: NodeId(2), pos: Point::new(10.0, 70.0) }),
-            rec(3, SceneOp::SetRadioChannel {
-                id: NodeId(1),
-                radio: RadioId(0),
-                channel: ChannelId(2),
-            }),
+            rec(
+                3,
+                SceneOp::SetRadioChannel {
+                    id: NodeId(1),
+                    radio: RadioId(0),
+                    channel: ChannelId(2),
+                },
+            ),
             rec(9, SceneOp::RemoveNode { id: NodeId(1) }),
         ]
     }
@@ -194,12 +192,8 @@ mod tests {
     #[test]
     fn distance_sums_recorded_moves() {
         let s = SceneStats::compute(&sample_log(), EmuDuration::from_secs(1));
-        let d2 = s
-            .distance_travelled
-            .iter()
-            .find(|(id, _)| *id == NodeId(2))
-            .map(|(_, d)| *d)
-            .unwrap();
+        let d2 =
+            s.distance_travelled.iter().find(|(id, _)| *id == NodeId(2)).map(|(_, d)| *d).unwrap();
         assert!((d2 - 70.0).abs() < 1e-9, "{d2}"); // 30 + 40
         assert!((s.total_distance() - 70.0).abs() < 1e-9);
     }

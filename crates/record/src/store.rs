@@ -9,14 +9,16 @@
 //! magic, the count, and every frame; a truncated or corrupt file is a
 //! hard error, never a silently shorter log.
 
-use crate::records::{SceneRecord, TrafficRecord};
+use crate::records::{MetricsRecord, SceneRecord, TrafficRecord};
 use parking_lot::Mutex;
+use poem_obs::{Counter, Registry};
 use poem_proto::{from_bytes, to_bytes};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"POEMLOG1";
 
@@ -70,8 +72,7 @@ impl<T: Serialize> LogStore<T> {
         w.write_all(MAGIC)?;
         w.write_all(&(self.items.len() as u64).to_le_bytes())?;
         for item in &self.items {
-            let body = to_bytes(item)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let body = to_bytes(item).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             w.write_all(&(body.len() as u32).to_le_bytes())?;
             w.write_all(&body)?;
         }
@@ -104,9 +105,8 @@ impl<T: DeserializeOwned> LogStore<T> {
             let len = u32::from_le_bytes(len_bytes) as usize;
             buf.resize(len, 0);
             r.read_exact(&mut buf)?;
-            items.push(
-                from_bytes(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
-            );
+            items
+                .push(from_bytes(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?);
         }
         // Trailing garbage means the file is not what it claims to be.
         let mut probe = [0u8; 1];
@@ -129,12 +129,20 @@ impl<T> FromIterator<T> for LogStore<T> {
     }
 }
 
-/// Thread-safe bundle of the traffic and scene logs — the sink the
-/// server's recording threads (§3.2 step 7) append to.
+/// Thread-safe bundle of the traffic, scene and metrics logs — the sink
+/// the server's recording threads (§3.2 step 7) append to.
+///
+/// The recorder keeps its own `poem-obs` counters (records buffered per
+/// log, records flushed to disk); [`Recorder::register_metrics`] attaches
+/// them to a shared registry so they show up in the server's snapshot.
 #[derive(Debug, Default)]
 pub struct Recorder {
     traffic: Mutex<LogStore<TrafficRecord>>,
     scene: Mutex<LogStore<SceneRecord>>,
+    metrics: Mutex<LogStore<MetricsRecord>>,
+    traffic_buffered: Arc<Counter>,
+    scene_buffered: Arc<Counter>,
+    records_written: Arc<Counter>,
 }
 
 impl Recorder {
@@ -146,11 +154,18 @@ impl Recorder {
     /// Appends a traffic record.
     pub fn record_traffic(&self, rec: TrafficRecord) {
         self.traffic.lock().append(rec);
+        self.traffic_buffered.inc();
     }
 
     /// Appends a scene record.
     pub fn record_scene(&self, rec: SceneRecord) {
         self.scene.lock().append(rec);
+        self.scene_buffered.inc();
+    }
+
+    /// Appends a metrics snapshot record.
+    pub fn record_metrics(&self, rec: MetricsRecord) {
+        self.metrics.lock().append(rec);
     }
 
     /// Snapshot of the traffic log.
@@ -163,24 +178,63 @@ impl Recorder {
         self.scene.lock().items().to_vec()
     }
 
+    /// Snapshot of the metrics log.
+    pub fn metrics(&self) -> Vec<MetricsRecord> {
+        self.metrics.lock().items().to_vec()
+    }
+
     /// Current record counts `(traffic, scene)`.
     pub fn counts(&self) -> (usize, usize) {
         (self.traffic.lock().len(), self.scene.lock().len())
     }
 
-    /// Saves both logs: `<stem>.traffic.poemlog` and `<stem>.scene.poemlog`.
-    pub fn save(&self, stem: impl AsRef<Path>) -> io::Result<()> {
-        let stem = stem.as_ref();
-        self.traffic.lock().save(stem.with_extension("traffic.poemlog"))?;
-        self.scene.lock().save(stem.with_extension("scene.poemlog"))
+    /// Attaches the recorder's own instruments to `registry` under the
+    /// `poem_recorder_*` names.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "poem_recorder_traffic_records_total",
+            Arc::clone(&self.traffic_buffered),
+        );
+        registry.register_counter(
+            "poem_recorder_scene_records_total",
+            Arc::clone(&self.scene_buffered),
+        );
+        registry.register_counter(
+            "poem_recorder_records_written_total",
+            Arc::clone(&self.records_written),
+        );
     }
 
-    /// Loads both logs saved by [`Recorder::save`].
+    /// Saves all logs: `<stem>.traffic.poemlog`, `<stem>.scene.poemlog`
+    /// and `<stem>.metrics.poemlog`.
+    pub fn save(&self, stem: impl AsRef<Path>) -> io::Result<()> {
+        let stem = stem.as_ref();
+        let (traffic, scene, metrics) =
+            (self.traffic.lock(), self.scene.lock(), self.metrics.lock());
+        traffic.save(stem.with_extension("traffic.poemlog"))?;
+        scene.save(stem.with_extension("scene.poemlog"))?;
+        metrics.save(stem.with_extension("metrics.poemlog"))?;
+        self.records_written.add((traffic.len() + scene.len() + metrics.len()) as u64);
+        Ok(())
+    }
+
+    /// Loads logs saved by [`Recorder::save`]. A missing metrics file is
+    /// tolerated (logs written before the observability layer existed).
     pub fn load(stem: impl AsRef<Path>) -> io::Result<Self> {
         let stem = stem.as_ref();
         let traffic = LogStore::load(stem.with_extension("traffic.poemlog"))?;
         let scene = LogStore::load(stem.with_extension("scene.poemlog"))?;
-        Ok(Recorder { traffic: Mutex::new(traffic), scene: Mutex::new(scene) })
+        let metrics = match LogStore::load(stem.with_extension("metrics.poemlog")) {
+            Ok(m) => m,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => LogStore::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(Recorder {
+            traffic: Mutex::new(traffic),
+            scene: Mutex::new(scene),
+            metrics: Mutex::new(metrics),
+            ..Recorder::default()
+        })
     }
 }
 
@@ -279,6 +333,45 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(rec.counts().0, 4000);
+    }
+
+    #[test]
+    fn recorder_counts_buffered_records_in_registry() {
+        let rec = Recorder::new();
+        let registry = poem_obs::Registry::new();
+        rec.register_metrics(&registry);
+        for r in sample_records(3) {
+            rec.record_traffic(r);
+        }
+        rec.record_scene(crate::records::SceneRecord::new(
+            EmuTime::from_secs(1),
+            poem_core::scene::SceneOp::RemoveNode { id: NodeId(3) },
+        ));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("poem_recorder_traffic_records_total"), Some(3));
+        assert_eq!(snap.counter("poem_recorder_scene_records_total"), Some(1));
+        assert_eq!(snap.counter("poem_recorder_records_written_total"), Some(0));
+    }
+
+    #[test]
+    fn recorder_metrics_log_roundtrips_and_missing_file_tolerated() {
+        let dir = std::env::temp_dir().join(format!("poemmet-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = Recorder::new();
+        rec.record_metrics(crate::records::MetricsRecord {
+            at: EmuTime::from_secs(2),
+            counters: vec![("poem_ingest_packets_total".into(), 4)],
+            gauges: vec![],
+        });
+        let stem = dir.join("run-metrics");
+        rec.save(&stem).unwrap();
+        let loaded = Recorder::load(&stem).unwrap();
+        assert_eq!(loaded.metrics(), rec.metrics());
+        // Pre-observability logs have no metrics file: load still succeeds.
+        std::fs::remove_file(stem.with_extension("metrics.poemlog")).unwrap();
+        let legacy = Recorder::load(&stem).unwrap();
+        assert!(legacy.metrics().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -71,8 +71,7 @@ fn parse_args() -> Result<Args, String> {
             "--radios" => out.radios = parse_radios(&value()?)?,
             "--send" => {
                 let v = value()?;
-                let (dst, count) =
-                    v.split_once(':').ok_or_else(|| format!("bad --send `{v}`"))?;
+                let (dst, count) = v.split_once(':').ok_or_else(|| format!("bad --send `{v}`"))?;
                 out.send = Some((
                     parse_node(dst)?,
                     count.parse().map_err(|_| format!("bad count in `{v}`"))?,

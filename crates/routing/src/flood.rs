@@ -118,13 +118,7 @@ impl Flooder {
         self.next_seq += 1;
         self.seen.insert((nic.node(), seq));
         self.stats.lock().originated += 1;
-        let msg = FloodMsg {
-            origin: nic.node(),
-            seq,
-            ttl: self.ttl,
-            sent_at: nic.now(),
-            payload,
-        };
+        let msg = FloodMsg { origin: nic.node(), seq, ttl: self.ttl, sent_at: nic.now(), payload };
         self.broadcast_all(nic, &msg);
         seq
     }
@@ -243,13 +237,8 @@ mod tests {
     fn duplicates_are_suppressed() {
         let mut f = Flooder::new(8);
         let mut n = nic(2, &[1]);
-        let msg = FloodMsg {
-            origin: NodeId(1),
-            seq: 7,
-            ttl: 3,
-            sent_at: EmuTime::ZERO,
-            payload: vec![],
-        };
+        let msg =
+            FloodMsg { origin: NodeId(1), seq: 7, ttl: 3, sent_at: EmuTime::ZERO, payload: vec![] };
         f.on_packet(&mut n, wrap(1, 1, msg.encode()));
         n.drain_outbound();
         f.on_packet(&mut n, wrap(3, 1, msg.encode())); // same flood via another path
@@ -263,13 +252,8 @@ mod tests {
     fn zero_ttl_copies_deliver_but_stop() {
         let mut f = Flooder::new(0);
         let mut n = nic(2, &[1]);
-        let msg = FloodMsg {
-            origin: NodeId(1),
-            seq: 0,
-            ttl: 0,
-            sent_at: EmuTime::ZERO,
-            payload: vec![],
-        };
+        let msg =
+            FloodMsg { origin: NodeId(1), seq: 0, ttl: 0, sent_at: EmuTime::ZERO, payload: vec![] };
         f.on_packet(&mut n, wrap(1, 1, msg.encode()));
         assert!(n.drain_outbound().is_empty());
         assert_eq!(f.handles().delivered.lock().len(), 1);

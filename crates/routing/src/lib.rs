@@ -32,6 +32,6 @@ pub mod msg;
 pub mod router;
 pub mod table;
 
-pub use flood::{Flooder, FlooderHandles, FloodStats};
+pub use flood::{FloodStats, Flooder, FlooderHandles};
 pub use router::{Received, Router, RouterConfig, RouterHandles, RouterStats};
 pub use table::{NextHop, RouteEntry, RoutingTable};

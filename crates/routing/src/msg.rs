@@ -84,10 +84,7 @@ mod serde_bytes_compat {
             fn visit_bytes<E: serde::de::Error>(self, b: &[u8]) -> Result<Vec<u8>, E> {
                 Ok(b.to_vec())
             }
-            fn visit_borrowed_bytes<E: serde::de::Error>(
-                self,
-                b: &'de [u8],
-            ) -> Result<Vec<u8>, E> {
+            fn visit_borrowed_bytes<E: serde::de::Error>(self, b: &'de [u8]) -> Result<Vec<u8>, E> {
                 Ok(b.to_vec())
             }
         }

@@ -113,6 +113,11 @@ pub struct RouterStats {
     pub rrep_sent: u64,
 }
 
+/// External send queue shared between a [`Router`] and its driver:
+/// `(destination, payload)` pairs pushed here are originated on the
+/// router's next tick.
+pub type SendQueue = Arc<Mutex<VecDeque<(NodeId, Vec<u8>)>>>;
+
 /// Shared inspection handles — the emulator-side "double-click the VMN"
 /// view of live protocol state (Table 2 inspects the routing table of
 /// VMN1 in real time).
@@ -128,7 +133,7 @@ pub struct RouterHandles {
     /// originated on the router's next tick. This is how a test bench or
     /// management console injects traffic into a router running behind an
     /// [`poem_client::AppRunner`] on its own thread.
-    pub tx: Arc<Mutex<VecDeque<(NodeId, Vec<u8>)>>>,
+    pub tx: SendQueue,
 }
 
 /// The routing engine; one instance per hosted node.
@@ -148,7 +153,7 @@ pub struct Router {
     /// Buffered data awaiting a route, per destination.
     pending: HashMap<NodeId, VecDeque<(u64, EmuTime, Vec<u8>)>>,
     /// External send queue (see [`RouterHandles::tx`]).
-    tx: Arc<Mutex<VecDeque<(NodeId, Vec<u8>)>>>,
+    tx: SendQueue,
     /// Destinations with an outstanding route request.
     discovering: HashSet<NodeId>,
 }
@@ -274,19 +279,14 @@ impl Router {
             let heard: Vec<NodeId> = self
                 .heard
                 .iter()
-                .filter(|(&(n, c), &t)| {
-                    c == ch && n != me && (now - t) <= self.cfg.route_ttl
-                })
+                .filter(|(&(n, c), &t)| c == ch && n != me && (now - t) <= self.cfg.route_ttl)
                 .map(|(&(n, _), _)| n)
                 .collect();
             let mut rows = entries.clone();
             // The origin's own row travels implicitly as (origin, seq, 0).
             rows.retain(|(d, _, _)| *d != me);
-            let msg = RoutingMsg::TopoBroadcast {
-                origin: me,
-                origin_seq: self.own_seq,
-                entries: rows,
-            };
+            let msg =
+                RoutingMsg::TopoBroadcast { origin: me, origin_seq: self.own_seq, entries: rows };
             // Heard list rides in front of the vector: encode as a wrapper.
             let framed = HeardFrame { heard, msg };
             nic.send(ch, Destination::Broadcast, framed.encode());
@@ -350,12 +350,7 @@ impl Router {
             }
             table.offer(
                 dst,
-                RouteEntry {
-                    next_hop: hop,
-                    hops: hops.saturating_add(1),
-                    seq,
-                    refreshed_at: now,
-                },
+                RouteEntry { next_hop: hop, hops: hops.saturating_add(1), seq, refreshed_at: now },
             );
         }
         drop(table);
@@ -387,8 +382,7 @@ impl Router {
             self.table.lock().install(origin, reverse);
         }
         if target == me {
-            let reply =
-                RoutingMsg::Rrep { origin, target, target_seq: self.own_seq, hops: 0 };
+            let reply = RoutingMsg::Rrep { origin, target, target_seq: self.own_seq, hops: 0 };
             nic.send(pkt.channel, Destination::Unicast(pkt.src), reply.encode());
             self.stats.lock().rrep_sent += 1;
             return;
@@ -441,6 +435,7 @@ impl Router {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_data(
         &mut self,
         nic: &mut dyn Nic,
@@ -709,8 +704,7 @@ mod tests {
     fn rreq_target_replies_directly() {
         let mut r = Router::new(RouterConfig::hybrid());
         let mut n = nic(9, &[1]);
-        let rreq =
-            RoutingMsg::Rreq { origin: NodeId(1), target: NodeId(9), rreq_id: 0, hops: 2 };
+        let rreq = RoutingMsg::Rreq { origin: NodeId(1), target: NodeId(9), rreq_id: 0, hops: 2 };
         let pkt = wrap(5, 1, rreq.encode(), EmuTime::from_millis(1));
         r.on_packet(&mut n, pkt);
         let out = n.drain_outbound();
@@ -728,13 +722,11 @@ mod tests {
     fn duplicate_rreq_is_suppressed() {
         let mut r = Router::new(RouterConfig::hybrid());
         let mut n = nic(4, &[1]);
-        let rreq =
-            RoutingMsg::Rreq { origin: NodeId(1), target: NodeId(9), rreq_id: 7, hops: 0 };
+        let rreq = RoutingMsg::Rreq { origin: NodeId(1), target: NodeId(9), rreq_id: 7, hops: 0 };
         r.on_packet(&mut n, wrap(2, 1, rreq.encode(), EmuTime::ZERO));
         let first = n.drain_outbound().len();
         assert!(first >= 1, "first copy rebroadcast");
-        let rreq2 =
-            RoutingMsg::Rreq { origin: NodeId(1), target: NodeId(9), rreq_id: 7, hops: 1 };
+        let rreq2 = RoutingMsg::Rreq { origin: NodeId(1), target: NodeId(9), rreq_id: 7, hops: 1 };
         r.on_packet(&mut n, wrap(3, 1, rreq2.encode(), EmuTime::ZERO));
         assert!(n.drain_outbound().is_empty(), "duplicate suppressed");
     }
@@ -847,10 +839,8 @@ mod tests {
         n.drain_outbound();
         r.on_tick(&mut n);
         let out = n.drain_outbound();
-        let frames: Vec<(ChannelId, HeardFrame)> = out
-            .iter()
-            .map(|p| (p.channel, HeardFrame::decode(&p.payload).unwrap()))
-            .collect();
+        let frames: Vec<(ChannelId, HeardFrame)> =
+            out.iter().map(|p| (p.channel, HeardFrame::decode(&p.payload).unwrap())).collect();
         for (ch, frame) in frames {
             if ch == ChannelId(1) {
                 assert_eq!(frame.heard, vec![NodeId(2)]);

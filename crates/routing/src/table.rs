@@ -94,8 +94,7 @@ impl RoutingTable {
     pub fn offer(&mut self, dst: NodeId, entry: RouteEntry) -> bool {
         match self.routes.get_mut(&dst) {
             Some(cur) => {
-                let better = entry.seq > cur.seq
-                    || (entry.seq == cur.seq && entry.hops < cur.hops);
+                let better = entry.seq > cur.seq || (entry.seq == cur.seq && entry.hops < cur.hops);
                 let refresh = entry.seq == cur.seq
                     && entry.hops == cur.hops
                     && entry.next_hop == cur.next_hop;
@@ -139,9 +138,7 @@ impl RoutingTable {
         let dead: Vec<NodeId> = self
             .routes
             .iter()
-            .filter(|(_, e)| {
-                (now - e.refreshed_at) > ttl || broken.contains(&e.next_hop.node)
-            })
+            .filter(|(_, e)| (now - e.refreshed_at) > ttl || broken.contains(&e.next_hop.node))
             .map(|(&d, _)| d)
             .collect();
         for d in &dead {
@@ -225,8 +222,7 @@ mod tests {
         t.offer(NodeId(2), entry(2, 1, 1, 10, 9));
         t.offer(NodeId(3), entry(2, 1, 2, 10, 9));
         t.offer(NodeId(4), entry(5, 1, 2, 10, 9));
-        let mut dead =
-            t.purge(EmuTime::from_secs(10), EmuDuration::from_secs(100), &[NodeId(2)]);
+        let mut dead = t.purge(EmuTime::from_secs(10), EmuDuration::from_secs(100), &[NodeId(2)]);
         dead.sort_unstable();
         assert_eq!(dead, vec![NodeId(2), NodeId(3)]);
         assert!(t.route(NodeId(4)).is_some());

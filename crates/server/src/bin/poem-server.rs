@@ -28,7 +28,9 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
-    let script = PathBuf::from(args.next().ok_or("usage: poem-server <scenario.poem> [--listen ADDR] [--seed N] [--duration SECS]")?);
+    let script = PathBuf::from(args.next().ok_or(
+        "usage: poem-server <scenario.poem> [--listen ADDR] [--seed N] [--duration SECS]",
+    )?);
     let mut out = Args { script, listen: "127.0.0.1:0".into(), seed: 0, duration: None };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -135,13 +137,12 @@ fn main() {
     let recorder = server.recorder();
     let (traffic, ops) = recorder.counts();
     println!("recorded {traffic} traffic events, {ops} scene ops");
+    println!("\n=== metrics ===\n{}", poem_server::viz::render_metrics(&server.metrics()));
     let stem = args.script.with_extension("");
     match recorder.save(&stem) {
-        Ok(()) => println!(
-            "logs saved to {}.traffic.poemlog / {}.scene.poemlog",
-            stem.display(),
-            stem.display()
-        ),
+        Ok(()) => {
+            println!("logs saved to {}.{{traffic,scene,metrics}}.poemlog", stem.display())
+        }
         Err(e) => eprintln!("could not save logs: {e}"),
     }
     server.shutdown();

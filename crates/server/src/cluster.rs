@@ -22,8 +22,12 @@ use poem_core::linkmodel::ForwardDecision;
 use poem_core::packet::Destination;
 use poem_core::scene::{Scene, SceneError, SceneOp};
 use poem_core::{EmuPacket, EmuRng, EmuTime, NodeId};
+use poem_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use poem_record::{DropReason, Recorder, SceneRecord, TrafficRecord};
 use std::sync::Arc;
+
+/// Bucket bounds (packets) for the per-call batch-size distribution.
+const BATCH_SIZE_BOUNDS: &[u64] = &[8, 32, 128, 512, 2_048, 8_192, 32_768];
 
 /// Cluster sizing.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +49,9 @@ struct Shard {
     /// Per-shard recorder — shards never contend on the log lock; the
     /// logs are merged (time-ordered) on demand.
     recorder: Arc<Recorder>,
+    /// Packets this shard has ingested
+    /// (`poem_shard_ingest_total{shard="i"}`).
+    ingested: Arc<Counter>,
 }
 
 /// A sharded emulation pipeline.
@@ -54,16 +61,28 @@ pub struct ClusterPipeline {
     /// Scene-op log (single writer, so unsharded).
     recorder: Arc<Recorder>,
     mobility_rng: Mutex<EmuRng>,
+    registry: Arc<Registry>,
+    /// Distribution of `ingest_batch*` call sizes (packets).
+    batch_size: Arc<Histogram>,
+    /// Shard imbalance of the most recent batch: `100·(max−mean)/mean`
+    /// over the per-shard partition sizes (0 = perfectly balanced).
+    imbalance_pct: Arc<Gauge>,
 }
 
 impl ClusterPipeline {
     /// Builds a cluster over an initial scene.
     pub fn new(scene: Scene, recorder: Arc<Recorder>, config: ClusterConfig) -> Self {
         assert!(config.shards >= 1, "a cluster needs at least one shard");
+        let registry = Arc::new(Registry::new());
         let mut root = EmuRng::seed(config.seed);
         let shards = (0..config.shards)
-            .map(|_| {
-                Mutex::new(Shard { rng: root.fork(), recorder: Arc::new(Recorder::new()) })
+            .map(|i| {
+                Mutex::new(Shard {
+                    rng: root.fork(),
+                    recorder: Arc::new(Recorder::new()),
+                    ingested: registry
+                        .counter(&format!("poem_shard_ingest_total{{shard=\"{i}\"}}")),
+                })
             })
             .collect();
         ClusterPipeline {
@@ -71,7 +90,20 @@ impl ClusterPipeline {
             shards,
             recorder,
             mobility_rng: Mutex::new(root.fork()),
+            batch_size: registry.histogram("poem_batch_size_packets", BATCH_SIZE_BOUNDS),
+            imbalance_pct: registry.gauge("poem_shard_imbalance_pct"),
+            registry,
         }
+    }
+
+    /// The cluster's metric registry.
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of every cluster metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// Number of worker shards.
@@ -125,6 +157,7 @@ impl ClusterPipeline {
         let mut shard = shard.lock();
         let scene = self.scene.read();
         let recorder = Arc::clone(&shard.recorder);
+        shard.ingested.inc();
         ingest_on(&scene, &recorder, &mut shard.rng, pkt, received_at)
     }
 
@@ -150,6 +183,8 @@ impl ClusterPipeline {
         for pkt in batch {
             partitions[self.shard_of(pkt.src)].push(pkt);
         }
+        self.batch_size.observe(batch.len() as u64);
+        self.imbalance_pct.set(imbalance_pct(&partitions));
         let mut results: Vec<Vec<Delivery>> = Vec::with_capacity(n);
         thread::scope(|scope| {
             let handles: Vec<_> = partitions
@@ -162,6 +197,7 @@ impl ClusterPipeline {
                         let mut shard = shard.lock();
                         let scene = scene.read();
                         let recorder = Arc::clone(&shard.recorder);
+                        shard.ingested.add(part.len() as u64);
                         let mut out = Vec::new();
                         for pkt in part {
                             out.extend(ingest_on(
@@ -194,8 +230,22 @@ impl std::fmt::Debug for ClusterPipeline {
     }
 }
 
+/// Shard imbalance of one batch partitioning: `100·(max−mean)/mean` over
+/// the per-shard sizes, 0 for an empty batch.
+fn imbalance_pct(partitions: &[Vec<&EmuPacket>]) -> i64 {
+    let total: usize = partitions.iter().map(Vec::len).sum();
+    if total == 0 || partitions.is_empty() {
+        return 0;
+    }
+    let max = partitions.iter().map(Vec::len).max().unwrap_or(0) as f64;
+    let mean = total as f64 / partitions.len() as f64;
+    (100.0 * (max - mean) / mean).round() as i64
+}
+
 /// The shared per-packet decision logic (identical semantics to
-/// [`crate::engine::Pipeline::ingest`] with the baseline models).
+/// [`crate::engine::Pipeline::ingest`] with the baseline models). Drops
+/// are stamped with the client's `sent_at` — the same base the forward
+/// times use — not the server receipt time.
 fn ingest_on(
     scene: &Scene,
     recorder: &Recorder,
@@ -210,7 +260,7 @@ fn ingest_on(
             recorder.record_traffic(TrafficRecord::Drop {
                 id: pkt.id,
                 to: d,
-                at: received_at,
+                at: pkt.sent_at,
                 reason: DropReason::NoRoute,
             });
         }
@@ -226,7 +276,7 @@ fn ingest_on(
                 recorder.record_traffic(TrafficRecord::Drop {
                     id: pkt.id,
                     to,
-                    at: received_at,
+                    at: pkt.sent_at,
                     reason: DropReason::Loss,
                 });
             }
@@ -234,7 +284,7 @@ fn ingest_on(
                 recorder.record_traffic(TrafficRecord::Drop {
                     id: pkt.id,
                     to,
-                    at: received_at,
+                    at: pkt.sent_at,
                     reason: DropReason::NoRoute,
                 });
             }
@@ -322,14 +372,10 @@ mod tests {
         let batch: Vec<EmuPacket> = (0..200).map(|i| pkt(i, (i % 25) as u32)).collect();
         let _out = cluster.ingest_batch(&batch, EmuTime::from_millis(1));
         let traffic = cluster.traffic_merged();
-        let ingress = traffic
-            .iter()
-            .filter(|r| matches!(r, TrafficRecord::Ingress { .. }))
-            .count();
+        let ingress = traffic.iter().filter(|r| matches!(r, TrafficRecord::Ingress { .. })).count();
         assert_eq!(ingress, 200);
         // Ideal links: every in-range copy becomes a delivery, none drop.
-        let drops =
-            traffic.iter().filter(|r| matches!(r, TrafficRecord::Drop { .. })).count();
+        let drops = traffic.iter().filter(|r| matches!(r, TrafficRecord::Drop { .. })).count();
         assert_eq!(drops, 0);
         assert!(!_out.is_empty());
         // Each packet fans out to its sender's full neighbor set.
@@ -394,6 +440,56 @@ mod tests {
         cluster.advance_mobility(EmuTime::from_secs(3));
         let pos = cluster.with_scene(|s| s.node(NodeId(99)).unwrap().pos);
         assert!((pos.x - 30.0).abs() < 1e-6, "{pos}");
+    }
+
+    #[test]
+    fn cluster_metrics_cover_shards_and_batches() {
+        let cluster = ClusterPipeline::new(
+            grid_scene(25),
+            Arc::new(Recorder::new()),
+            ClusterConfig { shards: 4, seed: 1 },
+        );
+        // 100 batched + 1 single ingest from source 2 (shard 2).
+        let batch: Vec<EmuPacket> = (0..100).map(|i| pkt(i, (i % 25) as u32)).collect();
+        cluster.ingest_batch(&batch, EmuTime::ZERO);
+        cluster.ingest(&pkt(200, 2), EmuTime::ZERO);
+        let snap = cluster.metrics();
+        assert!(!snap.is_empty());
+        let per_shard: u64 = (0..4)
+            .map(|i| snap.counter(&format!("poem_shard_ingest_total{{shard=\"{i}\"}}")).unwrap())
+            .sum();
+        assert_eq!(per_shard, 101);
+        let h = snap.histogram("poem_batch_size_packets").unwrap();
+        assert_eq!((h.count, h.sum), (1, 100));
+        // 25 sources round-robin over 4 shards: shard 0 owns 7 of them →
+        // visibly imbalanced, and the gauge is non-negative by definition.
+        assert!(snap.gauge("poem_shard_imbalance_pct").unwrap() >= 0);
+    }
+
+    #[test]
+    fn cluster_drops_are_stamped_with_the_client_stamp() {
+        // A unicast to a non-neighbor records NoRoute at the client stamp.
+        let cluster = ClusterPipeline::new(
+            grid_scene(4),
+            Arc::new(Recorder::new()),
+            ClusterConfig { shards: 2, seed: 1 },
+        );
+        let sent = EmuTime::from_micros(55);
+        let p = EmuPacket::new(
+            PacketId(1),
+            NodeId(0),
+            Destination::Unicast(NodeId(77)),
+            ChannelId(1),
+            RadioId(0),
+            sent,
+            vec![0u8; 64],
+        );
+        let out = cluster.ingest(&p, EmuTime::from_secs(9)); // late receipt
+        assert!(out.is_empty());
+        match cluster.traffic_merged()[1] {
+            TrafficRecord::Drop { at, reason: DropReason::NoRoute, .. } => assert_eq!(at, sent),
+            ref other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -14,8 +14,47 @@ use poem_core::mac::{CollisionDomain, MacModel, Transmission};
 use poem_core::packet::Destination;
 use poem_core::scene::{Scene, SceneError, SceneOp};
 use poem_core::{EmuDuration, EmuPacket, EmuRng, EmuTime, NodeId};
+use poem_obs::{Counter, Histogram, Registry};
 use poem_record::{DropReason, Recorder, SceneRecord, TrafficRecord};
 use std::sync::Arc;
+
+/// Ingest-latency samples are timed once every this many packets: two
+/// monotonic clock reads cost tens of nanoseconds, a visible fraction of a
+/// sub-microsecond ingest, so the histogram is populated by sampling while
+/// the counters (one relaxed `fetch_add` each) count every packet.
+const LATENCY_SAMPLE_EVERY: u32 = 64;
+
+/// Bucket bounds (ns) for per-ingest latency: 250 ns … 1 ms.
+const INGEST_LATENCY_BOUNDS: &[u64] =
+    &[250, 500, 1_000, 2_000, 4_000, 8_000, 16_000, 64_000, 256_000, 1_000_000];
+
+/// The pipeline's handles into its [`Registry`] (see DESIGN.md "Metrics").
+#[derive(Debug)]
+struct PipelineMetrics {
+    ingest_packets: Arc<Counter>,
+    deliveries: Arc<Counter>,
+    drops_loss: Arc<Counter>,
+    drops_noroute: Arc<Counter>,
+    drops_collision: Arc<Counter>,
+    drops_disconnected: Arc<Counter>,
+    csma_deferrals: Arc<Counter>,
+    ingest_latency_ns: Arc<Histogram>,
+}
+
+impl PipelineMetrics {
+    fn new(registry: &Registry) -> Self {
+        PipelineMetrics {
+            ingest_packets: registry.counter("poem_ingest_packets_total"),
+            deliveries: registry.counter("poem_ingest_deliveries_total"),
+            drops_loss: registry.counter("poem_drops_total{reason=\"loss\"}"),
+            drops_noroute: registry.counter("poem_drops_total{reason=\"noroute\"}"),
+            drops_collision: registry.counter("poem_drops_total{reason=\"collision\"}"),
+            drops_disconnected: registry.counter("poem_drops_total{reason=\"disconnected\"}"),
+            csma_deferrals: registry.counter("poem_csma_deferrals_total"),
+            ingest_latency_ns: registry.histogram("poem_ingest_latency_ns", INGEST_LATENCY_BOUNDS),
+        }
+    }
+}
 
 /// Optional model extensions applied by the pipeline (the §7 future-work
 /// models; both default to off, matching the paper's baseline).
@@ -52,6 +91,9 @@ pub struct Pipeline {
     energy: Option<EnergyBook>,
     collision_drops: u64,
     csma_deferrals: u64,
+    registry: Arc<Registry>,
+    metrics: PipelineMetrics,
+    latency_sample_tick: u32,
 }
 
 impl Pipeline {
@@ -75,6 +117,9 @@ impl Pipeline {
             }
             book
         });
+        let registry = Arc::new(Registry::new());
+        let metrics = PipelineMetrics::new(&registry);
+        recorder.register_metrics(&registry);
         Pipeline {
             scene,
             recorder,
@@ -84,7 +129,22 @@ impl Pipeline {
             energy,
             collision_drops: 0,
             csma_deferrals: 0,
+            registry,
+            metrics,
+            latency_sample_tick: 0,
         }
+    }
+
+    /// The pipeline's metric registry. Frontends share it: the TCP server
+    /// registers its scheduling/session instruments here so one snapshot
+    /// covers the whole emulation ([`crate::ServerHandle::metrics`]).
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of every pipeline metric.
+    pub fn metrics(&self) -> poem_obs::MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// Copies destroyed by MAC collisions so far.
@@ -159,15 +219,10 @@ impl Pipeline {
             return;
         }
         self.scene.advance_mobility(to, &mut self.rng);
-        let moved: Vec<(NodeId, poem_core::Point)> = self
-            .scene
-            .nodes()
-            .filter(|v| v.mobility.is_mobile())
-            .map(|v| (v.id, v.pos))
-            .collect();
+        let moved: Vec<(NodeId, poem_core::Point)> =
+            self.scene.nodes().filter(|v| v.mobility.is_mobile()).map(|v| (v.id, v.pos)).collect();
         for (id, pos) in moved {
-            self.recorder
-                .record_scene(SceneRecord::new(to, SceneOp::MoveNode { id, pos }));
+            self.recorder.record_scene(SceneRecord::new(to, SceneOp::MoveNode { id, pos }));
         }
     }
 
@@ -179,6 +234,12 @@ impl Pipeline {
     /// difference to the client stamp — the serialization error a purely
     /// centralized recorder would suffer — is itself measurable).
     pub fn ingest(&mut self, pkt: &EmuPacket, received_at: EmuTime) -> Vec<Delivery> {
+        self.latency_sample_tick = self.latency_sample_tick.wrapping_add(1);
+        let timer = self
+            .latency_sample_tick
+            .is_multiple_of(LATENCY_SAMPLE_EVERY)
+            .then(std::time::Instant::now);
+        self.metrics.ingest_packets.inc();
         self.recorder.record_traffic(TrafficRecord::ingress(pkt, received_at));
         let targets = self.scene.route(pkt.src, pkt.channel, pkt.dst);
         // Sender-side MAC/energy bookkeeping: the transmission occupies
@@ -187,14 +248,19 @@ impl Pipeline {
         if let (Some(book), Some(tx)) = (self.energy.as_mut(), tx.as_ref()) {
             book.meter_tx(pkt.src, tx.end - tx.start);
         }
+        // Drop records are stamped off the same client-stamp base the
+        // forward times use (§3.2 step 3), not the server receipt time —
+        // both legs of a packet's fate must sit on the same time axis.
+        let base = tx.as_ref().map(|t| t.start).unwrap_or(pkt.sent_at);
         // A unicast whose target is not a neighbor is a routing failure
         // worth recording (the protocol under test believed it had a link).
         if targets.is_empty() {
             if let Destination::Unicast(d) = pkt.dst {
+                self.metrics.drops_noroute.inc();
                 self.recorder.record_traffic(TrafficRecord::Drop {
                     id: pkt.id,
                     to: d,
-                    at: received_at,
+                    at: base,
                     reason: DropReason::NoRoute,
                 });
             }
@@ -204,9 +270,11 @@ impl Pipeline {
                     self.collisions.register(pkt.channel, tx);
                 }
             }
+            if let Some(t0) = timer {
+                self.metrics.ingest_latency_ns.observe(t0.elapsed().as_nanos() as u64);
+            }
             return Vec::new();
         }
-        let base = tx.as_ref().map(|t| t.start).unwrap_or(pkt.sent_at);
         let mut out = Vec::with_capacity(targets.len());
         for to in targets {
             match self.scene.decide(pkt.src, to, pkt.channel, pkt.wire_size(), &mut self.rng) {
@@ -215,14 +283,14 @@ impl Pipeline {
                     if let Some(tx) = tx.as_ref() {
                         if self.mac != MacModel::None {
                             let dst_pos = self.scene.node(to).map(|v| v.pos);
-                            if dst_pos
-                                .is_some_and(|p| self.collisions.collides(pkt.channel, p, tx))
+                            if dst_pos.is_some_and(|p| self.collisions.collides(pkt.channel, p, tx))
                             {
                                 self.collision_drops += 1;
+                                self.metrics.drops_collision.inc();
                                 self.recorder.record_traffic(TrafficRecord::Drop {
                                     id: pkt.id,
                                     to,
-                                    at: received_at,
+                                    at: base,
                                     reason: DropReason::Collision,
                                 });
                                 continue;
@@ -235,18 +303,20 @@ impl Pipeline {
                     out.push(Delivery { to, fire_at: base + d, packet: pkt.clone() });
                 }
                 Some(ForwardDecision::Drop) => {
+                    self.metrics.drops_loss.inc();
                     self.recorder.record_traffic(TrafficRecord::Drop {
                         id: pkt.id,
                         to,
-                        at: received_at,
+                        at: base,
                         reason: DropReason::Loss,
                     });
                 }
                 None => {
+                    self.metrics.drops_noroute.inc();
                     self.recorder.record_traffic(TrafficRecord::Drop {
                         id: pkt.id,
                         to,
-                        at: received_at,
+                        at: base,
                         reason: DropReason::NoRoute,
                     });
                 }
@@ -256,6 +326,10 @@ impl Pipeline {
             if self.mac != MacModel::None {
                 self.collisions.register(pkt.channel, tx);
             }
+        }
+        self.metrics.deliveries.add(out.len() as u64);
+        if let Some(t0) = timer {
+            self.metrics.ingest_latency_ns.observe(t0.elapsed().as_nanos() as u64);
         }
         out
     }
@@ -271,10 +345,10 @@ impl Pipeline {
         let start = match self.mac {
             MacModel::Csma => {
                 self.collisions.prune(pkt.sent_at);
-                let deferred =
-                    self.collisions.medium_free_at(pkt.channel, pos, pkt.sent_at);
+                let deferred = self.collisions.medium_free_at(pkt.channel, pos, pkt.sent_at);
                 if deferred > pkt.sent_at {
                     self.csma_deferrals += 1;
+                    self.metrics.csma_deferrals.inc();
                 }
                 deferred
             }
@@ -304,6 +378,7 @@ impl Pipeline {
     /// Records that a delivery could not be handed to its client (gone
     /// between scheduling and firing).
     pub fn record_undeliverable(&self, delivery: &Delivery, at: EmuTime) {
+        self.metrics.drops_disconnected.inc();
         self.recorder.record_traffic(TrafficRecord::Drop {
             id: delivery.packet.id,
             to: delivery.to,
@@ -381,9 +456,10 @@ mod tests {
         let traffic = rec.traffic();
         assert_eq!(traffic.len(), 2);
         assert!(matches!(traffic[0], TrafficRecord::Ingress { id: PacketId(7), .. }));
-        assert!(
-            matches!(traffic[1], TrafficRecord::Forward { id: PacketId(7), to: NodeId(2), .. })
-        );
+        assert!(matches!(
+            traffic[1],
+            TrafficRecord::Forward { id: PacketId(7), to: NodeId(2), .. }
+        ));
     }
 
     #[test]
@@ -394,10 +470,7 @@ mod tests {
             Arc::clone(&rec),
             EmuRng::seed(1),
         );
-        let out = p.ingest(
-            &pkt(1, Destination::Unicast(NodeId(9)), EmuTime::ZERO),
-            EmuTime::ZERO,
-        );
+        let out = p.ingest(&pkt(1, Destination::Unicast(NodeId(9)), EmuTime::ZERO), EmuTime::ZERO);
         assert!(out.is_empty());
         let traffic = rec.traffic();
         assert!(matches!(
@@ -414,10 +487,76 @@ mod tests {
         let mut p = Pipeline::new(scene_two_nodes(link), Arc::clone(&rec), EmuRng::seed(1));
         let out = p.ingest(&pkt(1, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
         assert!(out.is_empty());
-        assert!(matches!(
-            rec.traffic()[1],
-            TrafficRecord::Drop { reason: DropReason::Loss, .. }
-        ));
+        assert!(matches!(rec.traffic()[1], TrafficRecord::Drop { reason: DropReason::Loss, .. }));
+    }
+
+    #[test]
+    fn drop_records_are_stamped_from_the_client_base_not_server_receipt() {
+        // Regression: drops used to be stamped with the server's receipt
+        // time while forwards used the client stamp, putting the two legs
+        // of a packet's fate on different time axes.
+        let rec = Arc::new(Recorder::new());
+        let link = LinkParams { p0: 1.0, p1: 1.0, d0: 0.0, ..LinkParams::ideal(8e6) };
+        let mut p = Pipeline::new(scene_two_nodes(link), Arc::clone(&rec), EmuRng::seed(1));
+        let sent = EmuTime::from_millis(100);
+        let received = EmuTime::from_millis(137); // skewed transport
+        let out = p.ingest(&pkt(1, Destination::Broadcast, sent), received);
+        assert!(out.is_empty());
+        match rec.traffic()[1] {
+            TrafficRecord::Drop { at, reason: DropReason::Loss, .. } => {
+                assert_eq!(at, sent, "loss drop must carry the client-stamp base");
+            }
+            ref other => panic!("{other:?}"),
+        }
+        // Same for a unicast routing failure.
+        let out = p.ingest(&pkt(2, Destination::Unicast(NodeId(9)), sent), received);
+        assert!(out.is_empty());
+        match rec.traffic()[3] {
+            TrafficRecord::Drop { at, reason: DropReason::NoRoute, .. } => {
+                assert_eq!(at, sent, "noroute drop must carry the client-stamp base");
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_metrics_cover_ingest_and_drops() {
+        let rec = Arc::new(Recorder::new());
+        let mut p = Pipeline::new(
+            scene_two_nodes(LinkParams::ideal(8e6)),
+            Arc::clone(&rec),
+            EmuRng::seed(1),
+        );
+        let out = p.ingest(&pkt(1, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
+        p.ingest(&pkt(2, Destination::Unicast(NodeId(9)), EmuTime::ZERO), EmuTime::ZERO);
+        p.record_undeliverable(&out[0], EmuTime::from_millis(5));
+        let snap = p.metrics();
+        assert_eq!(snap.counter("poem_ingest_packets_total"), Some(2));
+        assert_eq!(snap.counter("poem_ingest_deliveries_total"), Some(1));
+        assert_eq!(snap.counter("poem_drops_total{reason=\"noroute\"}"), Some(1));
+        assert_eq!(snap.counter("poem_drops_total{reason=\"disconnected\"}"), Some(1));
+        // The shared recorder's own instruments ride in the same registry.
+        assert_eq!(
+            snap.counter("poem_recorder_traffic_records_total"),
+            Some(rec.counts().0 as u64)
+        );
+        // The text exposition renders the same numbers.
+        assert!(snap.to_text().contains("poem_ingest_packets_total 2"));
+    }
+
+    #[test]
+    fn ingest_latency_histogram_fills_under_sampling() {
+        let mut p = Pipeline::new(
+            scene_two_nodes(LinkParams::ideal(8e6)),
+            Arc::new(Recorder::new()),
+            EmuRng::seed(1),
+        );
+        for i in 0..(LATENCY_SAMPLE_EVERY as u64 * 3) {
+            p.ingest(&pkt(i, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
+        }
+        let snap = p.metrics();
+        let h = snap.histogram("poem_ingest_latency_ns").expect("registered");
+        assert_eq!(h.count, 3, "one sample per {LATENCY_SAMPLE_EVERY} packets");
     }
 
     #[test]

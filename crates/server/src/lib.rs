@@ -31,6 +31,6 @@ pub mod viz;
 
 pub use cluster::{ClusterConfig, ClusterPipeline};
 pub use engine::{Delivery, Pipeline, PipelineConfig};
-pub use server::{ServerConfig, ServerHandle};
 pub use script::{Script, ScriptEntry};
+pub use server::{ServerConfig, ServerHandle};
 pub use sim::{SimConfig, SimNet};

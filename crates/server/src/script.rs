@@ -102,9 +102,8 @@ fn parse_radio_slot(tok: &str, line: usize) -> Result<RadioId, ParseError> {
 }
 
 fn parse_f64(tok: &str, line: usize, what: &str) -> Result<f64, ParseError> {
-    let v: f64 = tok
-        .parse()
-        .map_err(|_| err(line, format!("bad {what} `{tok}` (want a number)")))?;
+    let v: f64 =
+        tok.parse().map_err(|_| err(line, format!("bad {what} `{tok}` (want a number)")))?;
     if v.is_finite() {
         Ok(v)
     } else {
@@ -163,10 +162,7 @@ impl Script {
                 };
                 SceneOp::MoveNode {
                     id: parse_node(node, n)?,
-                    pos: poem_core::Point::new(
-                        parse_f64(x, n, "x")?,
-                        parse_f64(y, n, "y")?,
-                    ),
+                    pos: poem_core::Point::new(parse_f64(x, n, "x")?, parse_f64(y, n, "y")?),
                 }
             }
             "range" => {
@@ -197,10 +193,7 @@ impl Script {
                     return Err(err(n, "usage: arena <width> <height>"));
                 };
                 SceneOp::SetArena {
-                    arena: Some(Arena::new(
-                        parse_f64(w, n, "width")?,
-                        parse_f64(h, n, "height")?,
-                    )),
+                    arena: Some(Arena::new(parse_f64(w, n, "width")?, parse_f64(h, n, "height")?)),
                 }
             }
             other => return Err(err(n, format!("unknown command `{other}`"))),
@@ -213,15 +206,15 @@ impl Script {
             return Err(err(n, "usage: add <node> <x> <y> radio <ch> <range> ..."));
         }
         let id = parse_node(args[0], n)?;
-        let pos = poem_core::Point::new(
-            parse_f64(args[1], n, "x")?,
-            parse_f64(args[2], n, "y")?,
-        );
+        let pos = poem_core::Point::new(parse_f64(args[1], n, "x")?, parse_f64(args[2], n, "y")?);
         let mut radios = Vec::new();
         let mut rest = &args[3..];
         while !rest.is_empty() {
             let ["radio", ch, range, tail @ ..] = rest else {
-                return Err(err(n, format!("expected `radio <ch> <range>`, got `{}`", rest.join(" "))));
+                return Err(err(
+                    n,
+                    format!("expected `radio <ch> <range>`, got `{}`", rest.join(" ")),
+                ));
             };
             radios.push(Radio::new(parse_channel(ch, n)?, parse_f64(range, n, "range")?));
             rest = tail;
@@ -397,15 +390,15 @@ mod tests {
             SceneOp::SetMobility { model: MobilityModel::Linear { direction_deg, speed }, .. }
                 if *direction_deg == 270.0 && *speed == 10.0
         ));
-        assert!(matches!(models[1], SceneOp::SetMobility { model: MobilityModel::FourTuple(_), .. }));
+        assert!(matches!(
+            models[1],
+            SceneOp::SetMobility { model: MobilityModel::FourTuple(_), .. }
+        ));
         assert!(matches!(
             models[2],
             SceneOp::SetMobility { model: MobilityModel::RandomWaypoint { .. }, .. }
         ));
-        assert!(matches!(
-            models[3],
-            SceneOp::SetMobility { model: MobilityModel::Stationary, .. }
-        ));
+        assert!(matches!(models[3], SceneOp::SetMobility { model: MobilityModel::Stationary, .. }));
     }
 
     #[test]
@@ -454,11 +447,11 @@ mod tests {
             ("at x remove VMN1", 1),
             ("at 1 remove", 1),
             ("\nat 1 warp VMN1", 2),
-            ("at 1 add VMN1 0 0", 1),                      // no radios
-            ("at 1 add VMN1 0 0 radio chX 100", 1),        // bad channel
-            ("at -1 remove VMN1", 1),                      // negative time
-            ("at 1 mobility VMN1 fly 3", 1),               // bad model
-            ("at 1 move VMN1 1", 1),                       // missing coord
+            ("at 1 add VMN1 0 0", 1),               // no radios
+            ("at 1 add VMN1 0 0 radio chX 100", 1), // bad channel
+            ("at -1 remove VMN1", 1),               // negative time
+            ("at 1 mobility VMN1 fly 3", 1),        // bad model
+            ("at 1 move VMN1 1", 1),                // missing coord
         ];
         for (text, line) in cases {
             let e = Script::parse(text).unwrap_err();
@@ -490,11 +483,8 @@ mod tests {
     fn parse_render_roundtrip_through_replay() {
         // A parsed script applied to a scene equals replaying the same ops.
         let s = Script::parse(FIG8).unwrap();
-        let recs: Vec<poem_record::SceneRecord> = s
-            .entries()
-            .iter()
-            .map(|e| poem_record::SceneRecord::new(e.at, e.op.clone()))
-            .collect();
+        let recs: Vec<poem_record::SceneRecord> =
+            s.entries().iter().map(|e| poem_record::SceneRecord::new(e.at, e.op.clone())).collect();
         let engine = poem_record::ReplayEngine::new(recs);
         let scene = engine.scene_at(EmuTime::from_secs(20)).unwrap();
         assert_eq!(scene.len(), 3);

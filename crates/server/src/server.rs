@@ -22,9 +22,10 @@ use parking_lot::{Condvar, Mutex};
 use poem_core::clock::Clock;
 use poem_core::scene::{Scene, SceneError, SceneOp};
 use poem_core::{EmuDuration, EmuRng, EmuTime, ForwardSchedule, NodeId};
-use poem_record::{Recorder, TrafficRecord};
+use poem_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use poem_proto::messages::{ClientMsg, ServerMsg, PROTOCOL_VERSION};
 use poem_proto::{MsgReader, MsgWriter};
+use poem_record::{MetricsRecord, Recorder, TrafficRecord};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -42,6 +43,9 @@ pub struct ServerConfig {
     pub seed: u64,
     /// Wall-clock interval at which mobility is integrated.
     pub mobility_step: Duration,
+    /// Wall-clock interval at which a [`MetricsRecord`] snapshot is
+    /// appended to the record log.
+    pub metrics_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -50,20 +54,66 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".parse().expect("static addr"),
             seed: 0,
             mobility_step: Duration::from_millis(100),
+            metrics_interval: Duration::from_secs(1),
         }
     }
 }
 
 type SharedWriter = Arc<Mutex<MsgWriter<TcpStream>>>;
 
+/// Per-connection server-side state.
+struct ClientEntry {
+    writer: SharedWriter,
+    /// A clone of the session's stream so shutdown can unblock the
+    /// session's blocking read deterministically.
+    stream: TcpStream,
+    /// Deliveries sent to this client
+    /// (`poem_client_deliveries_total{node="N"}`).
+    delivered: Arc<Counter>,
+}
+
+/// Bucket bounds (ns) for scan-loop firing lag (`fired_at − fire_at`):
+/// 1 µs … 1 s.
+const SCAN_LAG_BOUNDS: &[u64] =
+    &[1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000];
+
+/// The server threads' handles into the shared registry.
+struct ServerMetrics {
+    schedule_depth: Arc<Gauge>,
+    scan_lag_ns: Arc<Histogram>,
+    clients_connected: Arc<Gauge>,
+    disconnects: Arc<Counter>,
+    deliveries_sent: Arc<Counter>,
+    drops_disconnected: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new(registry: &Registry) -> Self {
+        ServerMetrics {
+            schedule_depth: registry.gauge("poem_schedule_depth"),
+            scan_lag_ns: registry.histogram("poem_scan_lag_ns", SCAN_LAG_BOUNDS),
+            clients_connected: registry.gauge("poem_clients_connected"),
+            disconnects: registry.counter("poem_client_disconnects_total"),
+            deliveries_sent: registry.counter("poem_deliveries_sent_total"),
+            // Same instrument the pipeline registered — shared handle.
+            drops_disconnected: registry.counter("poem_drops_total{reason=\"disconnected\"}"),
+        }
+    }
+}
+
 struct Shared {
     pipeline: Mutex<Pipeline>,
     recorder: Arc<Recorder>,
     clock: Arc<dyn Clock>,
-    clients: Mutex<HashMap<NodeId, SharedWriter>>,
+    clients: Mutex<HashMap<NodeId, ClientEntry>>,
     schedule: Mutex<ForwardSchedule<Delivery>>,
     schedule_cv: Condvar,
     running: AtomicBool,
+    registry: Arc<Registry>,
+    metrics: ServerMetrics,
+    /// Per-client receiver threads, joined on shutdown (they used to be
+    /// detached, leaking a thread per connection on long-running servers).
+    receivers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A running emulation server.
@@ -85,6 +135,11 @@ impl ServerHandle {
         let recorder = Arc::new(Recorder::new());
         let pipeline = Pipeline::new(scene, Arc::clone(&recorder), EmuRng::seed(config.seed));
         pipeline.record_initial_scene(clock.now());
+        // One registry for the whole server: the pipeline created it (and
+        // registered its own and the recorder's instruments); the server
+        // threads add scheduling/session instruments to the same one.
+        let registry = Arc::clone(pipeline.metrics_registry());
+        let metrics = ServerMetrics::new(&registry);
         let shared = Arc::new(Shared {
             pipeline: Mutex::new(pipeline),
             recorder,
@@ -93,6 +148,9 @@ impl ServerHandle {
             schedule: Mutex::new(ForwardSchedule::new()),
             schedule_cv: Condvar::new(),
             running: AtomicBool::new(true),
+            registry,
+            metrics,
+            receivers: Mutex::new(Vec::new()),
         });
 
         let mut threads = Vec::new();
@@ -108,6 +166,11 @@ impl ServerHandle {
             let shared = Arc::clone(&shared);
             let step = config.mobility_step;
             move || mobility_loop(shared, step)
+        }));
+        threads.push(spawn_named("poem-metrics", {
+            let shared = Arc::clone(&shared);
+            let interval = config.metrics_interval;
+            move || metrics_loop(shared, interval)
         }));
 
         Ok(Arc::new(ServerHandle { shared, addr, threads: Mutex::new(threads) }))
@@ -126,6 +189,18 @@ impl ServerHandle {
     /// The server's emulation clock.
     pub fn clock(&self) -> Arc<dyn Clock> {
         Arc::clone(&self.shared.clock)
+    }
+
+    /// A point-in-time snapshot of every server metric: pipeline ingest
+    /// and drop counters, recorder buffering, schedule depth, scan-loop
+    /// firing lag, and per-client delivery counts. Render it with
+    /// [`poem_obs::MetricsSnapshot::to_text`] (Prometheus exposition) or
+    /// [`crate::viz::render_metrics`] (human table).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        // Refresh the depth gauge so a snapshot between scan wake-ups
+        // still reflects reality.
+        self.shared.metrics.schedule_depth.set(self.shared.schedule.lock().len() as i64);
+        self.shared.registry.snapshot()
     }
 
     /// Applies a scene operation right now — the API behind the paper's
@@ -147,19 +222,30 @@ impl ServerHandle {
         v
     }
 
-    /// Announces shutdown to every client and stops all threads.
+    /// Announces shutdown to every client and stops all threads,
+    /// including the per-client receiver threads.
     pub fn shutdown(&self) {
         if !self.shared.running.swap(false, Ordering::AcqRel) {
             return;
         }
-        for (_, w) in self.shared.clients.lock().drain() {
-            let _ = w.lock().send(&ServerMsg::Shutdown);
+        for (_, entry) in self.shared.clients.lock().drain() {
+            let _ = entry.writer.lock().send(&ServerMsg::Shutdown);
+            // Unblock the session's blocking read so its receiver thread
+            // can be joined even if the client never closes its end.
+            let _ = entry.stream.shutdown(std::net::Shutdown::Both);
         }
+        self.shared.metrics.clients_connected.set(0);
         self.shared.schedule_cv.notify_all();
-        // Unblock the accept thread with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock the accept thread with a dummy connection. A bounded
+        // connect: if the listener already died (e.g. the OS tore it down
+        // first), shutdown must not hang on the wake-up it no longer needs.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
         let mut threads = self.threads.lock();
         for t in threads.drain(..) {
+            let _ = t.join();
+        }
+        let mut receivers = self.shared.receivers.lock();
+        for t in receivers.drain(..) {
             let _ = t.join();
         }
     }
@@ -190,16 +276,24 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(&shared);
-        spawn_named("poem-receiver", move || {
-            let _ = client_session(stream, shared);
+        let handle = spawn_named("poem-receiver", {
+            let shared = Arc::clone(&shared);
+            move || {
+                let _ = client_session(stream, shared);
+            }
         });
+        let mut receivers = shared.receivers.lock();
+        // Keep the vec bounded on long-running servers with churning
+        // clients: finished sessions need no join.
+        receivers.retain(|h| !h.is_finished());
+        receivers.push(handle);
     }
 }
 
 /// Registration + receive loop for one client connection (§3.2 steps 1–4).
 fn client_session(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    let stream_for_shutdown = stream.try_clone()?;
     let mut reader = MsgReader::new(stream.try_clone()?);
     let writer: SharedWriter = Arc::new(Mutex::new(MsgWriter::new(stream)));
 
@@ -224,13 +318,21 @@ fn client_session(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                 node,
                 server_time: shared.clock.now(),
             })?;
-            shared.clients.lock().insert(node, Arc::clone(&writer));
+            let entry = ClientEntry {
+                writer: Arc::clone(&writer),
+                stream: stream_for_shutdown,
+                delivered: shared
+                    .registry
+                    .counter(&format!("poem_client_deliveries_total{{node=\"{}\"}}", node.0)),
+            };
+            shared.clients.lock().insert(node, entry);
+            shared.metrics.clients_connected.add(1);
             node
         }
         other => {
-            writer.lock().send(&ServerMsg::Refused {
-                reason: format!("expected Hello, got {other:?}"),
-            })?;
+            writer
+                .lock()
+                .send(&ServerMsg::Refused { reason: format!("expected Hello, got {other:?}") })?;
             return Ok(());
         }
     };
@@ -250,20 +352,29 @@ fn client_session(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                     for d in deliveries {
                         schedule.schedule(d.fire_at, d);
                     }
+                    shared.metrics.schedule_depth.set(schedule.len() as i64);
                     shared.schedule_cv.notify_all();
                 }
             }
             Ok(ClientMsg::SyncRequest { t_c1 }) => {
                 let t_s2 = shared.clock.now();
                 let t_s3 = shared.clock.now();
-                writer.lock().send(&ServerMsg::sync_reply(t_c1, t_s2, t_s3))?;
+                // `break`, not `?`: an early return here would skip the
+                // client-map cleanup below and leave the node registered
+                // forever (rejecting its reconnects as duplicates).
+                if let Err(e) = writer.lock().send(&ServerMsg::sync_reply(t_c1, t_s2, t_s3)) {
+                    break Err(e);
+                }
             }
             Ok(ClientMsg::Bye) => break Ok(()),
             Ok(ClientMsg::Hello { .. }) => { /* duplicate Hello: ignore */ }
             Err(e) => break Err(e),
         }
     };
-    shared.clients.lock().remove(&node);
+    if shared.clients.lock().remove(&node).is_some() {
+        shared.metrics.clients_connected.sub(1);
+        shared.metrics.disconnects.inc();
+    }
     result
 }
 
@@ -273,6 +384,7 @@ fn scan_loop(shared: Arc<Shared>) {
     while shared.running.load(Ordering::Acquire) {
         let now = shared.clock.now();
         if let Some((_, d)) = schedule.pop_due(now) {
+            shared.metrics.schedule_depth.set(schedule.len() as i64);
             // Send outside the schedule lock so receivers keep scheduling.
             drop(schedule);
             fire(&shared, d, now);
@@ -282,9 +394,7 @@ fn scan_loop(shared: Arc<Shared>) {
         match schedule.next_due() {
             Some(due) => {
                 let wait = (due - now).to_std().max(Duration::from_micros(50));
-                shared
-                    .schedule_cv
-                    .wait_for(&mut schedule, wait.min(Duration::from_millis(50)));
+                shared.schedule_cv.wait_for(&mut schedule, wait.min(Duration::from_millis(50)));
             }
             None => {
                 shared.schedule_cv.wait_for(&mut schedule, Duration::from_millis(50));
@@ -295,11 +405,20 @@ fn scan_loop(shared: Arc<Shared>) {
 
 /// Step 6: the send itself, plus step-7 recording.
 fn fire(shared: &Shared, d: Delivery, now: EmuTime) {
-    let writer = shared.clients.lock().get(&d.to).cloned();
-    match writer {
-        Some(w) => {
+    // `pop_due(now)` only hands out entries whose deadline has passed, so
+    // the firing lag (how far behind its deadline the scan thread ran the
+    // send) is non-negative.
+    shared.metrics.scan_lag_ns.observe((now - d.fire_at).as_nanos() as u64);
+    let target = {
+        let clients = shared.clients.lock();
+        clients.get(&d.to).map(|e| (Arc::clone(&e.writer), Arc::clone(&e.delivered)))
+    };
+    match target {
+        Some((w, delivered)) => {
             let msg = ServerMsg::Deliver { packet: d.packet.clone(), forwarded_at: now };
             if w.lock().send(&msg).is_ok() {
+                shared.metrics.deliveries_sent.inc();
+                delivered.inc();
                 shared.recorder.record_traffic(TrafficRecord::Forward {
                     id: d.packet.id,
                     to: d.to,
@@ -315,6 +434,7 @@ fn fire(shared: &Shared, d: Delivery, now: EmuTime) {
 
 impl Shared {
     fn record_disconnected(&self, d: &Delivery, now: EmuTime) {
+        self.metrics.drops_disconnected.inc();
         self.recorder.record_traffic(TrafficRecord::Drop {
             id: d.packet.id,
             to: d.to,
@@ -333,6 +453,25 @@ fn mobility_loop(shared: Arc<Shared>, step: Duration) {
         if had_mobile {
             pipeline.advance_mobility(now);
         }
+    }
+}
+
+/// Step-7 companion: periodically appends a [`MetricsRecord`] snapshot of
+/// every counter and gauge to the record log, so post-emulation replay can
+/// plot pipeline health over the run.
+fn metrics_loop(shared: Arc<Shared>, interval: Duration) {
+    while shared.running.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        if !shared.running.load(Ordering::Acquire) {
+            break;
+        }
+        shared.metrics.schedule_depth.set(shared.schedule.lock().len() as i64);
+        let snap = shared.registry.snapshot();
+        shared.recorder.record_metrics(MetricsRecord {
+            at: shared.clock.now(),
+            counters: snap.counters,
+            gauges: snap.gauges,
+        });
     }
 }
 
@@ -413,9 +552,7 @@ mod tests {
         let server = start_server();
         let c1 = connect(&server, 1);
         let c3 = connect(&server, 3); // at x=120, range 100 from node 1
-        c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"x"))
-            .unwrap()
-            .unwrap();
+        c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"x")).unwrap().unwrap();
         assert!(c3.recv_timeout(Duration::from_millis(300)).is_err());
         drop((c1, c3));
         server.shutdown();
@@ -425,13 +562,8 @@ mod tests {
     fn unknown_vmn_is_refused() {
         let server = start_server();
         let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
-        let err = EmuClient::connect_tcp(
-            server.addr(),
-            NodeId(99),
-            RadioConfig::none(),
-            clock,
-        )
-        .unwrap_err();
+        let err = EmuClient::connect_tcp(server.addr(), NodeId(99), RadioConfig::none(), clock)
+            .unwrap_err();
         assert!(matches!(err, poem_client::ClientError::Refused(_)), "{err}");
         server.shutdown();
     }
@@ -465,9 +597,7 @@ mod tests {
                 channel: ChannelId(7),
             })
             .unwrap();
-        c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"y"))
-            .unwrap()
-            .unwrap();
+        c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"y")).unwrap().unwrap();
         assert!(c2.recv_timeout(Duration::from_millis(300)).is_err());
         drop((c1, c2));
         server.shutdown();
@@ -497,5 +627,57 @@ mod tests {
         let server = start_server();
         server.shutdown();
         server.shutdown();
+    }
+
+    #[test]
+    fn server_metrics_cover_ingest_drops_schedule_and_scan_lag() {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let config =
+            ServerConfig { metrics_interval: Duration::from_millis(20), ..ServerConfig::default() };
+        let server = ServerHandle::start(test_scene(), clock, config).unwrap();
+        let c1 = connect(&server, 1);
+        let c2 = connect(&server, 2);
+        c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"m")).unwrap().unwrap();
+        let _ = c2.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Unicast towards the out-of-range node 3 → a NoRoute drop.
+        c1.send(ChannelId(1), Destination::Unicast(NodeId(3)), Bytes::from_static(b"n"))
+            .unwrap()
+            .unwrap();
+        // Let the metrics thread take at least one periodic snapshot.
+        std::thread::sleep(Duration::from_millis(120));
+
+        let snap = server.metrics();
+        assert!(!snap.is_empty());
+        assert!(snap.counter("poem_ingest_packets_total").unwrap_or(0) >= 2);
+        assert!(snap.counter("poem_deliveries_sent_total").unwrap_or(0) >= 1);
+        assert!(snap.counter_family("poem_drops_total") >= 1);
+        assert_eq!(snap.gauge("poem_clients_connected"), Some(2));
+        // The delivery fired, so the scan thread observed its lag and the
+        // depth gauge has been written (possibly back to zero).
+        let lag = snap.histogram("poem_scan_lag_ns").expect("scan lag histogram");
+        assert!(lag.count >= 1);
+        assert!(snap.gauge("poem_schedule_depth").is_some());
+        assert!(snap.counter("poem_client_deliveries_total{node=\"2\"}").unwrap_or(0) >= 1);
+
+        let metrics_log = server.recorder().metrics();
+        assert!(!metrics_log.is_empty(), "periodic MetricsRecord snapshots");
+        let last = metrics_log.last().unwrap().clone();
+        assert!(last.counter("poem_ingest_packets_total").unwrap_or(0) >= 1);
+
+        drop((c1, c2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_receiver_threads() {
+        let server = start_server();
+        let c1 = connect(&server, 1);
+        let _c2 = connect(&server, 2);
+        // One client leaves cleanly, one stays connected through shutdown.
+        c1.close().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        server.shutdown();
+        assert!(server.shared.receivers.lock().is_empty());
+        assert_eq!(server.connected(), vec![]);
     }
 }

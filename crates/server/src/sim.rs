@@ -10,14 +10,14 @@
 //! time).
 
 use crate::engine::{Delivery, Pipeline};
+use poem_client::nic::QueueNic;
+use poem_client::ClientApp;
 use poem_core::linkmodel::LinkParams;
 use poem_core::mobility::MobilityModel;
 use poem_core::radio::RadioConfig;
 use poem_core::scene::{Scene, SceneError, SceneOp};
 use poem_core::{EmuDuration, EmuRng, EmuTime, ForwardSchedule, NodeId, Point};
 use poem_record::Recorder;
-use poem_client::nic::QueueNic;
-use poem_client::ClientApp;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -107,6 +107,13 @@ impl SimNet {
         self.nodes.len()
     }
 
+    /// A point-in-time snapshot of the pipeline's metrics (ingest and drop
+    /// counters, latency histogram, recorder buffering) — the sim-harness
+    /// counterpart of [`crate::ServerHandle::metrics`].
+    pub fn metrics(&self) -> poem_obs::MetricsSnapshot {
+        self.pipeline.metrics()
+    }
+
     /// Read access to the pipeline (MAC/energy statistics).
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
@@ -170,11 +177,7 @@ impl SimNet {
             SceneOp::SetRadioChannel { id, .. }
             | SceneOp::SetRadioRange { id, .. }
             | SceneOp::SetRadios { id, .. } => {
-                let radios = self
-                    .pipeline
-                    .scene()
-                    .node(*id)
-                    .map(|v| v.radios.clone());
+                let radios = self.pipeline.scene().node(*id).map(|v| v.radios.clone());
                 if let (Some(radios), Some(node)) = (radios, self.nodes.get_mut(id)) {
                     node.nic.set_radios(radios);
                 }
@@ -219,8 +222,7 @@ impl SimNet {
                 }
                 SimEvent::Mobility => {
                     self.pipeline.advance_mobility(self.now);
-                    self.schedule
-                        .schedule(self.now + self.mobility_step, SimEvent::Mobility);
+                    self.schedule.schedule(self.now + self.mobility_step, SimEvent::Mobility);
                 }
                 SimEvent::Op(op) => {
                     // Scripted ops were validated by the author; a failure
@@ -267,10 +269,10 @@ impl std::fmt::Debug for SimNet {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use parking_lot::Mutex;
     use poem_client::nic::Nic;
     use poem_core::packet::Destination;
     use poem_core::{ChannelId, EmuPacket};
-    use parking_lot::Mutex;
     use poem_record::TrafficRecord;
 
     /// Broadcasts one beacon per second; counts everything it hears.
@@ -293,7 +295,8 @@ mod tests {
         }
     }
 
-    fn beacon_pair() -> (SimNet, Arc<Mutex<Vec<(NodeId, EmuTime)>>>, Arc<Mutex<Vec<(NodeId, EmuTime)>>>) {
+    fn beacon_pair(
+    ) -> (SimNet, Arc<Mutex<Vec<(NodeId, EmuTime)>>>, Arc<Mutex<Vec<(NodeId, EmuTime)>>>) {
         let mut net = SimNet::new(SimConfig::default());
         let heard1 = Arc::new(Mutex::new(Vec::new()));
         let heard2 = Arc::new(Mutex::new(Vec::new()));
@@ -369,12 +372,8 @@ mod tests {
         net.schedule_op(EmuTime::from_millis(3_500), SceneOp::RemoveNode { id: NodeId(2) });
         net.run_until(EmuTime::from_secs(10));
         assert_eq!(net.client_count(), 1);
-        let heard_after: Vec<_> = h1
-            .lock()
-            .iter()
-            .filter(|&&(_, at)| at > EmuTime::from_secs(4))
-            .cloned()
-            .collect();
+        let heard_after: Vec<_> =
+            h1.lock().iter().filter(|&&(_, at)| at > EmuTime::from_secs(4)).cloned().collect();
         assert!(heard_after.is_empty(), "{heard_after:?}");
     }
 
@@ -399,13 +398,27 @@ mod tests {
     }
 
     #[test]
+    fn sim_harness_exposes_pipeline_metrics() {
+        let (mut net, _h1, _h2) = beacon_pair();
+        net.run_until(EmuTime::from_secs(5));
+        let snap = net.metrics();
+        assert!(!snap.is_empty());
+        // 2 start beacons + 2×5 ticks ingested (see
+        // traffic_is_recorded_end_to_end for the tally).
+        assert_eq!(snap.counter("poem_ingest_packets_total"), Some(12));
+        assert!(snap.counter("poem_ingest_deliveries_total").unwrap_or(0) >= 9);
+        assert!(snap.counter("poem_recorder_traffic_records_total").unwrap_or(0) >= 12);
+    }
+
+    #[test]
     fn traffic_is_recorded_end_to_end() {
         let (mut net, _h1, _h2) = beacon_pair();
         net.run_until(EmuTime::from_secs(5));
         let rec = net.recorder();
         let traffic = rec.traffic();
         let ingress = traffic.iter().filter(|r| matches!(r, TrafficRecord::Ingress { .. })).count();
-        let forwards = traffic.iter().filter(|r| matches!(r, TrafficRecord::Forward { .. })).count();
+        let forwards =
+            traffic.iter().filter(|r| matches!(r, TrafficRecord::Forward { .. })).count();
         // 2 start beacons + 2×5 ticks = 12 ingress. Forwards: node 1's
         // start beacon found no neighbor yet, and the two t=5 s beacons'
         // deliveries (t=5 s + 33 µs) fall beyond the run end → 9.

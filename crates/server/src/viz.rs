@@ -51,8 +51,7 @@ pub fn render_scene(scene: &Scene, cols: usize, rows: usize) -> String {
 
     let _ = writeln!(out, "\n{:<6} {:<18} {:<24} range", "node", "position", "channels");
     for v in &nodes {
-        let channels: Vec<String> =
-            v.radios.channels().iter().map(|c| c.to_string()).collect();
+        let channels: Vec<String> = v.radios.channels().iter().map(|c| c.to_string()).collect();
         let ranges: Vec<String> =
             v.radios.radios().iter().map(|r| format!("{:.0}", r.range)).collect();
         let _ = writeln!(
@@ -193,6 +192,73 @@ pub fn render_run_summary(scene_log: &[poem_record::SceneRecord]) -> String {
         }
     }
     out
+}
+
+/// Renders a [`poem_obs::MetricsSnapshot`] as a human-readable table —
+/// the "health panel" of the GUI replacement. Counters and gauges get one
+/// aligned row each; histograms show count, mean and p99.
+pub fn render_metrics(snap: &poem_obs::MetricsSnapshot) -> String {
+    if snap.is_empty() {
+        return "(no metrics)\n".into();
+    }
+    let mut out = String::new();
+    let width = snap
+        .counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(snap.gauges.iter().map(|(n, _)| n.len()))
+        .chain(snap.histograms.iter().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(0);
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for (name, h) in &snap.histograms {
+            let p99 = h.quantile(0.99).map_or_else(|| "-".into(), |v| v.to_string());
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  count={} mean={:.0} p99={p99}",
+                h.count,
+                h.mean(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod metrics_tests {
+    use super::*;
+    use poem_obs::Registry;
+
+    #[test]
+    fn metrics_table_lists_every_instrument() {
+        let r = Registry::new();
+        r.counter("poem_ingest_packets_total").add(7);
+        r.gauge("poem_schedule_depth").set(3);
+        r.histogram("poem_scan_lag_ns", &[1_000, 1_000_000]).observe(500);
+        let txt = render_metrics(&r.snapshot());
+        assert!(txt.contains("poem_ingest_packets_total"), "{txt}");
+        assert!(txt.contains("7"), "{txt}");
+        assert!(txt.contains("poem_schedule_depth"), "{txt}");
+        assert!(txt.contains("count=1"), "{txt}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        assert_eq!(render_metrics(&Registry::new().snapshot()), "(no metrics)\n");
+    }
 }
 
 #[cfg(test)]

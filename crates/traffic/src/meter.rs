@@ -118,8 +118,7 @@ mod tests {
             sent.push(i, EmuTime::from_millis(i * 100));
         }
         // 7 of 10 delivered, 5 ms delay each.
-        let received: Vec<Received> =
-            (0..7).map(|i| rx(1, i, i * 100, i * 100 + 5)).collect();
+        let received: Vec<Received> = (0..7).map(|i| rx(1, i, i * 100, i * 100 + 5)).collect();
         let rep = FlowReport::compute(&sent, &received, NodeId(1), EmuDuration::from_secs(1));
         assert_eq!(rep.offered, 10);
         assert_eq!(rep.delivered, 7);
@@ -165,12 +164,7 @@ mod tests {
 
     #[test]
     fn empty_flow() {
-        let rep = FlowReport::compute(
-            &SentLog::new(),
-            &[],
-            NodeId(1),
-            EmuDuration::from_secs(1),
-        );
+        let rep = FlowReport::compute(&SentLog::new(), &[], NodeId(1), EmuDuration::from_secs(1));
         assert_eq!(rep.offered, 0);
         assert!(rep.overall_loss.is_none());
         assert!(rep.delay.is_none());

@@ -118,10 +118,7 @@ mod tests {
 
     #[test]
     fn poisson_mean_interval_is_respected() {
-        let mut p = Pattern::Poisson {
-            payload: 100,
-            mean_interval: EmuDuration::from_millis(10),
-        };
+        let mut p = Pattern::Poisson { payload: 100, mean_interval: EmuDuration::from_millis(10) };
         let mut rng = EmuRng::seed(7);
         let mut t = EmuTime::ZERO;
         let n = 20_000;

@@ -21,10 +21,7 @@ fn main() {
         r.scene.radio_range
     );
 
-    println!(
-        "{}",
-        render_series(&["measured", "expected"], &[&r.real_time, &r.expected], 24)
-    );
+    println!("{}", render_series(&["measured", "expected"], &[&r.real_time, &r.expected], 24));
 
     println!(
         "offered {} payloads, delivered {} ({:.1}% overall loss)",

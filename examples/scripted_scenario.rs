@@ -40,8 +40,7 @@ fn main() {
     let mut net = SimNet::new(SimConfig { seed: 99, ..SimConfig::default() });
     let mut handles = Vec::new();
     for entry in script.entries() {
-        if let poem::core::scene::SceneOp::AddNode { id, pos, radios, mobility, link } = &entry.op
-        {
+        if let poem::core::scene::SceneOp::AddNode { id, pos, radios, mobility, link } = &entry.op {
             let router = Router::new(RouterConfig::hybrid());
             handles.push((*id, router.handles()));
             net.add_node(*id, *pos, radios.clone(), *mobility, *link, Box::new(router))

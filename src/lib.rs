@@ -12,6 +12,8 @@
 //! * [`routing`] — MANET routing protocols under test (hybrid, DSDV-like,
 //!   AODV-like).
 //! * [`traffic`] — workload generators and meters.
+//! * [`obs`] — dependency-free metrics substrate (counters, gauges,
+//!   histograms) wired through the pipeline, server, cluster and client.
 //! * [`baselines`] — JEmu-like centralized and MobiEmu-like distributed
 //!   architecture models used for comparison.
 
@@ -36,6 +38,7 @@ pub mod prelude {
 pub use poem_baselines as baselines;
 pub use poem_client as client;
 pub use poem_core as core;
+pub use poem_obs as obs;
 pub use poem_proto as proto;
 pub use poem_record as record;
 pub use poem_routing as routing;

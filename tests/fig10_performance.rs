@@ -13,12 +13,7 @@ fn loss_rate_rises_as_the_relay_recedes() {
     let r = result();
     // Average the first three and last three pre-breakdown windows.
     let tb = r.scene.breakdown_time();
-    let pre: Vec<f64> = r
-        .real_time
-        .iter()
-        .filter(|p| p.t + 1.0 <= tb)
-        .map(|p| p.value)
-        .collect();
+    let pre: Vec<f64> = r.real_time.iter().filter(|p| p.t + 1.0 <= tb).map(|p| p.value).collect();
     assert!(pre.len() >= 8, "{}", pre.len());
     let early: f64 = pre[..3].iter().sum::<f64>() / 3.0;
     let late: f64 = pre[pre.len() - 3..].iter().sum::<f64>() / 3.0;
@@ -55,10 +50,7 @@ fn non_real_time_recording_distorts_the_curve() {
     // window values at the same nominal time.
     let rt_at5 = r.real_time.iter().find(|p| p.t == 5.0).unwrap().value;
     let nrt_at5 = r.non_real_time.iter().find(|p| p.t == 5.0).unwrap().value;
-    assert!(
-        (rt_at5 - nrt_at5).abs() > 1e-6,
-        "the two recordings should disagree somewhere"
-    );
+    assert!((rt_at5 - nrt_at5).abs() > 1e-6, "the two recordings should disagree somewhere");
 }
 
 #[test]
@@ -68,7 +60,7 @@ fn channel_isolation_means_no_collisions() {
     // With the loss model disabled, the same scenario delivers everything
     // that is offered while routes exist.
     use poem_core::linkmodel::LinkParams;
-    use poem_core::{NodeId, Point};
+    use poem_core::NodeId;
     use poem_routing::{Router, RouterConfig};
     use poem_server::sim::{SimConfig, SimNet};
     use poem_traffic::{FlowReport, Pattern, TrafficApp, TrafficAppConfig};
@@ -88,11 +80,8 @@ fn channel_isolation_means_no_collisions() {
     let sent = cbr.sent_log();
     let rx = Router::new(RouterConfig::hybrid());
     let rx_handles = rx.handles();
-    let apps: Vec<Box<dyn poem_client::ClientApp>> = vec![
-        Box::new(cbr),
-        Box::new(Router::new(RouterConfig::hybrid())),
-        Box::new(rx),
-    ];
+    let apps: Vec<Box<dyn poem_client::ClientApp>> =
+        vec![Box::new(cbr), Box::new(Router::new(RouterConfig::hybrid())), Box::new(rx)];
     for ((id, pos, radios, _mobility), app) in scene.nodes.clone().into_iter().zip(apps) {
         // Stationary + lossless: isolate the channel-collision question.
         net.add_node(
@@ -123,10 +112,8 @@ fn channel_isolation_means_no_collisions() {
 
     // Cross-check with the emulator's own recorder: nothing was dropped.
     let traffic = net.recorder().traffic();
-    let drops = traffic
-        .iter()
-        .filter(|r| matches!(r, poem_record::TrafficRecord::Drop { .. }))
-        .count();
+    let drops =
+        traffic.iter().filter(|r| matches!(r, poem_record::TrafficRecord::Drop { .. })).count();
     assert_eq!(drops, 0, "recorder saw {drops} drops");
 }
 
@@ -151,9 +138,6 @@ fn post_run_replay_reproduces_the_relay_trajectory() {
         let replayed = engine.scene_at(EmuTime::from_secs(t)).unwrap();
         let pos = replayed.node(NodeId(2)).unwrap().pos;
         let truth = scene.relay_pos(t as f64);
-        assert!(
-            pos.distance(truth) < 1.5,
-            "t={t}: replayed {pos}, truth {truth}"
-        );
+        assert!(pos.distance(truth) < 1.5, "t={t}: replayed {pos}, truth {truth}");
     }
 }

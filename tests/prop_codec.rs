@@ -21,8 +21,7 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
     let leaf = any::<u64>().prop_map(Tree::Leaf);
     leaf.prop_recursive(4, 64, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
             (".{0,12}", prop::collection::vec(inner, 0..4))
                 .prop_map(|(name, children)| Tree::Tagged { name, children }),
         ]
@@ -33,7 +32,10 @@ fn packet_strategy() -> impl Strategy<Value = EmuPacket> {
     (
         any::<u64>(),
         any::<u32>(),
-        prop_oneof![any::<u32>().prop_map(|d| Destination::Unicast(NodeId(d))), Just(Destination::Broadcast)],
+        prop_oneof![
+            any::<u32>().prop_map(|d| Destination::Unicast(NodeId(d))),
+            Just(Destination::Broadcast)
+        ],
         any::<u16>(),
         any::<u8>(),
         any::<u64>(),

@@ -6,7 +6,7 @@ use poem_core::linkmodel::LinkParams;
 use poem_core::mobility::MobilityModel;
 use poem_core::radio::RadioConfig;
 use poem_core::scene::SceneOp;
-use poem_core::{ChannelId, EmuDuration, EmuTime, NodeId, Point};
+use poem_core::{ChannelId, EmuTime, NodeId, Point};
 use poem_record::{LogStore, ReplayEngine, SceneRecord};
 use poem_server::sim::{SimConfig, SimNet};
 use proptest::prelude::*;
@@ -15,64 +15,60 @@ use proptest::prelude::*;
 /// added before being moved/removed (invalid ops are filtered out by
 /// construction).
 fn script_strategy() -> impl Strategy<Value = Vec<SceneRecord>> {
-    prop::collection::vec(
-        (0u8..6, 0.0f64..300.0, 0.0f64..300.0, 0u64..60, prop::bool::ANY),
-        1..40,
-    )
-    .prop_map(|raw| {
-        let mut present = [false; 6];
-        let mut out = Vec::new();
-        for (id, x, y, t, remove) in raw {
-            let at = EmuTime::from_secs(t);
-            let node = NodeId(id as u32);
-            let op = if !present[id as usize] {
-                present[id as usize] = true;
-                SceneOp::AddNode {
-                    id: node,
-                    pos: Point::new(x, y),
-                    radios: RadioConfig::single(ChannelId(1), 100.0),
-                    mobility: MobilityModel::Stationary,
-                    link: LinkParams::default(),
-                }
-            } else if remove {
-                present[id as usize] = false;
-                SceneOp::RemoveNode { id: node }
-            } else {
-                SceneOp::MoveNode { id: node, pos: Point::new(x, y) }
-            };
-            out.push(SceneRecord::new(at, op));
-        }
-        // Records must be applied in time order for the per-node
-        // add/remove bookkeeping above to stay valid.
-        let mut out = out;
-        out.sort_by_key(|r| r.at);
-        // Re-derive validity after sorting: drop ops that now reference
-        // absent nodes.
-        let mut present = [false; 6];
-        out.retain(|r| match &r.op {
-            SceneOp::AddNode { id, .. } => {
-                let i = id.0 as usize;
-                if present[i] {
-                    false
+    prop::collection::vec((0u8..6, 0.0f64..300.0, 0.0f64..300.0, 0u64..60, prop::bool::ANY), 1..40)
+        .prop_map(|raw| {
+            let mut present = [false; 6];
+            let mut out = Vec::new();
+            for (id, x, y, t, remove) in raw {
+                let at = EmuTime::from_secs(t);
+                let node = NodeId(id as u32);
+                let op = if !present[id as usize] {
+                    present[id as usize] = true;
+                    SceneOp::AddNode {
+                        id: node,
+                        pos: Point::new(x, y),
+                        radios: RadioConfig::single(ChannelId(1), 100.0),
+                        mobility: MobilityModel::Stationary,
+                        link: LinkParams::default(),
+                    }
+                } else if remove {
+                    present[id as usize] = false;
+                    SceneOp::RemoveNode { id: node }
                 } else {
-                    present[i] = true;
-                    true
-                }
+                    SceneOp::MoveNode { id: node, pos: Point::new(x, y) }
+                };
+                out.push(SceneRecord::new(at, op));
             }
-            SceneOp::RemoveNode { id } => {
-                let i = id.0 as usize;
-                if present[i] {
-                    present[i] = false;
-                    true
-                } else {
-                    false
+            // Records must be applied in time order for the per-node
+            // add/remove bookkeeping above to stay valid.
+            out.sort_by_key(|r| r.at);
+            // Re-derive validity after sorting: drop ops that now reference
+            // absent nodes.
+            let mut present = [false; 6];
+            out.retain(|r| match &r.op {
+                SceneOp::AddNode { id, .. } => {
+                    let i = id.0 as usize;
+                    if present[i] {
+                        false
+                    } else {
+                        present[i] = true;
+                        true
+                    }
                 }
-            }
-            SceneOp::MoveNode { id, .. } => present[id.0 as usize],
-            _ => false,
-        });
-        out
-    })
+                SceneOp::RemoveNode { id } => {
+                    let i = id.0 as usize;
+                    if present[i] {
+                        present[i] = false;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                SceneOp::MoveNode { id, .. } => present[id.0 as usize],
+                _ => false,
+            });
+            out
+        })
 }
 
 proptest! {

@@ -25,13 +25,7 @@ fn table2_step_sequence_matches_paper() {
 #[test]
 fn table2_renderings_match_format() {
     let r = table2::run(99);
-    assert_eq!(
-        r.rendered[0],
-        "# of Routing Entries: 2\n2 --> 2 1\n3 --> 3 1\n"
-    );
-    assert_eq!(
-        r.rendered[1],
-        "# of Routing Entries: 2\n2 --> 2 1\n3 --> 2 2\n"
-    );
+    assert_eq!(r.rendered[0], "# of Routing Entries: 2\n2 --> 2 1\n3 --> 3 1\n");
+    assert_eq!(r.rendered[1], "# of Routing Entries: 2\n2 --> 2 1\n3 --> 2 2\n");
     assert_eq!(r.rendered[2], "# of Routing Entries: 0\n");
 }

@@ -104,10 +104,7 @@ fn multi_hop_cross_channel_flow_over_real_tcp() {
         if got >= 20 {
             break;
         }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "only {got} of 20 payloads arrived at VMN3"
-        );
+        assert!(std::time::Instant::now() < deadline, "only {got} of 20 payloads arrived at VMN3");
         std::thread::sleep(Duration::from_millis(20));
     }
     let received = rx_handles.received.lock().clone();
@@ -143,10 +140,7 @@ fn clock_sync_over_tcp_brings_client_close_to_server() {
     let after = (server_clock.now() - client_clock.now()).abs();
     // Loopback TCP: sub-10 ms accuracy is ample (the estimate error is half
     // the path asymmetry, which on loopback is microseconds).
-    assert!(
-        after < poem_core::EmuDuration::from_millis(10),
-        "offset after sync: {after}"
-    );
+    assert!(after < poem_core::EmuDuration::from_millis(10), "offset after sync: {after}");
     client.close().unwrap();
     server.shutdown();
 }
@@ -168,9 +162,7 @@ fn recorder_captures_the_tcp_run_for_replay() {
         got += 1;
     }
     // A scene op mid-run is recorded too.
-    server
-        .apply_op(SceneOp::MoveNode { id: NodeId(2), pos: Point::new(130.0, 5.0) })
-        .unwrap();
+    server.apply_op(SceneOp::MoveNode { id: NodeId(2), pos: Point::new(130.0, 5.0) }).unwrap();
     std::thread::sleep(Duration::from_millis(50));
     let recorder = server.recorder();
     let (traffic, scene_ops) = recorder.counts();

@@ -58,9 +58,7 @@ fn assert_server_still_serves(server: &ServerHandle) {
         clock,
     )
     .expect("second healthy client connects");
-    c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"alive"))
-        .unwrap()
-        .unwrap();
+    c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"alive")).unwrap().unwrap();
     let (pkt, _) = c2.recv_timeout(Duration::from_secs(5)).expect("traffic still flows");
     assert_eq!(&pkt.payload[..], b"alive");
     c1.close().unwrap();
@@ -137,6 +135,63 @@ fn data_before_hello_is_refused_politely() {
             other => panic!("expected Refused, got {other:?}"),
         }
     }
+    assert_server_still_serves(&server);
+    server.shutdown();
+}
+
+#[test]
+fn disconnect_mid_clock_sync_is_survivable() {
+    // A registered client fires a SyncRequest and vanishes before reading
+    // the reply: the server's answering send hits a dead socket. Neither
+    // the receiver thread nor later sessions may be harmed.
+    let server = start();
+    {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let mut w = poem_proto::MsgWriter::new(s.try_clone().unwrap());
+        let mut r = poem_proto::MsgReader::new(s.try_clone().unwrap());
+        w.send(&poem_proto::messages::ClientMsg::hello(NodeId(1))).unwrap();
+        let _welcome: poem_proto::messages::ServerMsg = r.recv().unwrap();
+        w.send(&poem_proto::messages::ClientMsg::SyncRequest { t_c1: EmuTime::from_millis(1) })
+            .unwrap();
+        s.flush().unwrap();
+        // Drop the socket without ever reading the SyncReply.
+    }
+    // Give the server a beat to notice the dead connection.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_server_still_serves(&server);
+    server.shutdown();
+}
+
+#[test]
+fn raw_data_frame_before_hello_is_refused() {
+    // Unlike the Bye-based variant above, this sends an actual Data frame
+    // (a full EmuPacket) as the very first message of the session.
+    let server = start();
+    {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let pkt = poem_core::EmuPacket::new(
+            poem_core::PacketId(7),
+            NodeId(1),
+            Destination::Broadcast,
+            ChannelId(1),
+            poem_core::RadioId(0),
+            EmuTime::from_millis(1),
+            Bytes::from_static(b"premature"),
+        );
+        let msg = poem_proto::messages::ClientMsg::Data(pkt);
+        let body = poem_proto::to_bytes(&msg).unwrap();
+        s.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        s.write_all(&body).unwrap();
+        let mut reader = poem_proto::MsgReader::new(s.try_clone().unwrap());
+        match reader.recv::<poem_proto::messages::ServerMsg>() {
+            Ok(poem_proto::messages::ServerMsg::Refused { reason }) => {
+                assert!(reason.contains("expected Hello"), "{reason}");
+            }
+            other => panic!("expected Refused, got {other:?}"),
+        }
+    }
+    // The premature packet must never have entered the pipeline.
+    assert!(server.recorder().traffic().is_empty());
     assert_server_still_serves(&server);
     server.shutdown();
 }
