@@ -7,6 +7,8 @@
 //! then a timed measurement window, reporting mean time per iteration and
 //! throughput — but does no statistics, plots, or baseline persistence.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::hint::black_box;
 use std::time::{Duration, Instant};

@@ -2,5 +2,7 @@
 //! MPMC channels (`crossbeam::channel`) and scoped threads
 //! (`crossbeam::thread::scope`). Built on `std::sync` + `std::thread`.
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod thread;

@@ -48,7 +48,7 @@ where
 mod tests {
     #[test]
     fn scoped_threads_borrow_stack() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total: u64 = super::scope(|s| {
             let handles: Vec<_> =
                 data.chunks(2).map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>())).collect();

@@ -7,6 +7,8 @@
 //! poison unrelated threads, matching parking_lot semantics closely enough
 //! for this codebase.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::time::Duration;

@@ -13,6 +13,8 @@
 //! - string "regex" strategies only support the `.{m,n}` shape the tests
 //!   use (random printable ASCII of bounded length).
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 

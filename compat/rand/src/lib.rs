@@ -6,6 +6,8 @@
 //! SplitMix64 seeding. Deterministic per seed, which is all the emulator
 //! requires (replayability, not crypto).
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Core RNG interface: a source of 32/64-bit words.

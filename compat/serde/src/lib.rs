@@ -13,6 +13,8 @@
 //! non-self-describing binary format, including `poem-proto`, decodes);
 //! map-keyed self-describing formats (JSON-style) are out of scope.
 
+#![forbid(unsafe_code)]
+
 pub mod de;
 pub mod ser;
 

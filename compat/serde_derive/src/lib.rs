@@ -14,6 +14,8 @@
 //! this environment); unsupported shapes fail the build with a clear
 //! message rather than silently mis-serializing.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::iter::Peekable;
 

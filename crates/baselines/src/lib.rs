@@ -17,6 +17,7 @@
 //! [`distributed`]'s broadcast scene sync), plus PoEm's own behaviour for
 //! the same metrics, and the Table-1 feature matrix ([`features`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

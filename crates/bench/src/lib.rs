@@ -7,6 +7,7 @@
 //! pipeline, the recorder, the models). Workspace-level integration tests
 //! assert the *shapes* the paper reports.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

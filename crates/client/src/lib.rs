@@ -19,6 +19,7 @@
 //!   outgoing packets against the synchronized emulation clock, and
 //!   receives forwarded traffic on a background reader thread.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -107,6 +107,9 @@ pub struct WallClock {
 impl WallClock {
     /// A wall clock whose epoch is "now".
     pub fn new() -> Self {
+        // WallClock IS the real-time boundary of the emulator; everything
+        // replay-deterministic runs against SimClock instead.
+        // poem-lint: allow(determinism): this type is the wall-clock abstraction
         WallClock { base: Instant::now(), offset: Mutex::new(0) }
     }
 
@@ -293,7 +296,7 @@ pub mod sync {
             client_clock.advance_to(sample.t_c4);
             let out = sample.solve();
             apply(&out, &client_clock);
-            assert_eq!(out.offset.is_negative(), false);
+            assert!(!out.offset.is_negative());
             assert_eq!(client_clock.now(), out.estimated_server_now);
         }
 

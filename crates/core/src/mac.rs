@@ -22,7 +22,7 @@ use crate::geom::Point;
 use crate::ids::{ChannelId, NodeId};
 use crate::time::EmuTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which MAC discipline the server applies per channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -70,7 +70,7 @@ impl Transmission {
 /// Per-channel airtime bookkeeping.
 #[derive(Debug, Default)]
 pub struct CollisionDomain {
-    active: HashMap<ChannelId, Vec<Transmission>>,
+    active: BTreeMap<ChannelId, Vec<Transmission>>,
     /// Transmissions registered since construction (for stats).
     pub registered: u64,
 }

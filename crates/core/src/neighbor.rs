@@ -33,7 +33,7 @@ use crate::geom::Point;
 use crate::ids::{ChannelId, NodeId};
 use crate::radio::RadioConfig;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything a neighbor structure needs to know about one node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -115,14 +115,14 @@ pub fn brute_force(
 #[derive(Debug, Default, Clone)]
 struct ChannelTable {
     /// Row per member: the member's out-neighbors on this channel.
-    rows: HashMap<NodeId, BTreeSet<NodeId>>,
+    rows: BTreeMap<NodeId, BTreeSet<NodeId>>,
 }
 
 /// The paper's channel-ID indexed scheme: a separate table per channel.
 #[derive(Debug, Default)]
 pub struct ChannelIndexedTables {
-    nodes: HashMap<NodeId, NodeSnapshot>,
-    tables: HashMap<ChannelId, ChannelTable>,
+    nodes: BTreeMap<NodeId, NodeSnapshot>,
+    tables: BTreeMap<ChannelId, ChannelTable>,
     work: u64,
 }
 
@@ -269,8 +269,8 @@ impl NeighborTables for ChannelIndexedTables {
 /// the marked units for all channels live interleaved in the one table.
 #[derive(Debug, Default)]
 pub struct UnifiedTable {
-    nodes: HashMap<NodeId, NodeSnapshot>,
-    rows: HashMap<(NodeId, ChannelId), BTreeSet<NodeId>>,
+    nodes: BTreeMap<NodeId, NodeSnapshot>,
+    rows: BTreeMap<(NodeId, ChannelId), BTreeSet<NodeId>>,
     /// Every channel id ever seen, the "channel universe" a full rescan
     /// must consider.
     universe: BTreeSet<ChannelId>,

@@ -1,0 +1,360 @@
+//! A small self-contained Rust lexer.
+//!
+//! `poem-lint` runs in an offline build environment with no registry access,
+//! so it cannot use `syn`/`proc-macro2`. The rules in this crate only need a
+//! token stream with line numbers plus the comment text (for suppression
+//! annotations and `// SAFETY:` checks), which a few hundred lines of
+//! hand-rolled lexing provide. The lexer understands line/block comments
+//! (including nesting), string/char/byte/raw-string literals, lifetimes and
+//! numeric literals; everything else is emitted as single-character
+//! punctuation.
+
+/// One lexed token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// The token categories the lint rules distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime such as `'a` or `'_`.
+    Lifetime,
+}
+
+/// A comment with the 1-based line it starts on. Doc comments are comments.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*`.
+    pub line: u32,
+    /// Comment text without the delimiters.
+    pub text: String,
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated constructs
+/// simply consume the rest of the input.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Comment>) {
+        let mut tokens = Vec::new();
+        let mut comments = Vec::new();
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    let text = self.line_comment();
+                    comments.push(Comment { line, text });
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    let text = self.block_comment();
+                    comments.push(Comment { line, text });
+                }
+                '"' => {
+                    self.string_literal();
+                    tokens.push(Token { kind: TokenKind::Str, line });
+                }
+                '\'' => {
+                    let kind = self.char_or_lifetime();
+                    tokens.push(Token { kind, line });
+                }
+                _ if c.is_ascii_digit() => {
+                    self.number();
+                    tokens.push(Token { kind: TokenKind::Num, line });
+                }
+                _ if c.is_alphabetic() || c == '_' => {
+                    let ident = self.ident();
+                    if self.raw_or_byte_string(&ident) {
+                        tokens.push(Token { kind: TokenKind::Str, line });
+                    } else {
+                        tokens.push(Token { kind: TokenKind::Ident(ident), line });
+                    }
+                }
+                _ => {
+                    self.bump();
+                    tokens.push(Token { kind: TokenKind::Punct(c), line });
+                }
+            }
+        }
+        (tokens, comments)
+    }
+
+    fn line_comment(&mut self) -> String {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+
+    fn block_comment(&mut self) -> String {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        text
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Distinguish `'a'` / `'\n'` (char literals) from `'a` / `'_` (lifetimes).
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escape: definitely a char literal. Consume until closing quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                TokenKind::Char
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    TokenKind::Char
+                } else {
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            _ => {
+                // `'('` and friends: char literal of a punctuation character.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the literal; `1..n` does not.
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && self.chars.get(self.pos.wrapping_sub(1)).is_some_and(|p| *p == 'e' || *p == 'E')
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// If `ident` was a raw/byte string prefix (`r`, `b`, `br`, `rb`) and a
+    /// string follows, consume the string body and return true.
+    fn raw_or_byte_string(&mut self, ident: &str) -> bool {
+        let raw = matches!(ident, "r" | "br" | "rb");
+        let plain_byte = ident == "b";
+        if (raw || plain_byte) && self.peek(0) == Some('"') {
+            if raw {
+                self.raw_string_body(0);
+            } else {
+                self.string_literal();
+            }
+            return true;
+        }
+        if raw && self.peek(0) == Some('#') {
+            let mut hashes = 0usize;
+            while self.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) == Some('"') {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.raw_string_body(hashes);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        let (toks, _) = lex(src);
+        toks.into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let (toks, comments) = lex("let x = 1; // done\nfoo.bar()");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].text, " done");
+        assert_eq!(comments[0].line, 1);
+        let kinds: Vec<_> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], TokenKind::Ident(s) if s == "let"));
+        assert!(matches!(kinds[3], TokenKind::Num));
+        assert_eq!(toks.last().map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        assert_eq!(idents(r#"let s = "unwrap() inside";"#), vec!["let", "s"]);
+        assert_eq!(idents(r##"let s = r#"a "quoted" unwrap()"#;"##), vec!["let", "s"]);
+        assert_eq!(idents(r#"let b = b"bytes unwrap";"#), vec!["let", "b"]);
+    }
+
+    #[test]
+    fn comments_do_not_leak_tokens() {
+        assert_eq!(idents("/* unwrap() /* nested */ still comment */ real"), vec!["real"]);
+        assert_eq!(idents("/// doc with unwrap()\nfn f() {}"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numeric_ranges() {
+        // `0..4` must not swallow the range dots.
+        let (toks, _) = lex("for i in 0..4 {}");
+        let dots = toks.iter().filter(|t| t.kind == TokenKind::Punct('.')).count();
+        assert_eq!(dots, 2);
+        let (toks, _) = lex("let f = 1.5e-3;");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Num).count(), 1);
+    }
+
+    #[test]
+    fn block_comment_lines_advance() {
+        let (toks, comments) = lex("/* a\nb\nc */ fn f() {}");
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(toks[0].line, 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! # poem-lint — workspace static analysis for PoEm's runtime invariants
+//!
+//! PoEm's replay fidelity and hostile-client resilience are semantic
+//! invariants `rustc`/`clippy` cannot see: replay-critical code must not
+//! read wall clocks or iterate hash tables, protocol decode must never
+//! panic, every wire variant needs a dispatch arm, and server locks must be
+//! acquired in one global order. This crate checks them with a hand-rolled
+//! lexer (the build environment has no registry access, so no `syn`) and a
+//! small rule framework.
+//!
+//! Run as `cargo run -p poem-lint -- --deny-all` (CI does). Suppress a rule
+//! at a specific site with a justified annotation:
+//!
+//! ```text
+//! // poem-lint: allow(determinism): WallClock IS the real-time boundary.
+//! let base = Instant::now();
+//! ```
+//!
+//! or for a whole file with `// poem-lint: allow-file(<rule>): <reason>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use report::{Finding, Report};
+use source::SourceFile;
+
+/// Directory names never descended into: build output, VCS metadata, and
+/// the lint fixtures themselves (they contain intentional violations).
+const SKIP_DIRS: &[&str] = &["target", "fixtures", "node_modules"];
+
+/// Lint the workspace rooted at `root` and return the report.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let files = collect_files(root)?;
+    let mut raw: Vec<Finding> = Vec::new();
+    for rule in rules::all_rules() {
+        rule.check(&files, &mut raw);
+    }
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for finding in raw {
+        let sf = files.iter().find(|f| f.rel_path == finding.path);
+        if sf.is_some_and(|f| f.suppressed(finding.rule, finding.line)) {
+            suppressed += 1;
+        } else {
+            findings.push(finding);
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings.dedup();
+    Ok(Report { findings, suppressed, files_scanned: files.len() })
+}
+
+/// Recursively gather and lex every `.rs` file under `root`, in sorted
+/// path order so reports are stable.
+pub fn collect_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = fs::read_to_string(&p)?;
+        files.push(SourceFile::parse(rel, &text));
+    }
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Map a finished report to the process exit code: `0` clean, `1` findings
+/// (when denying), `2` is reserved for usage/IO errors.
+pub fn exit_code(report: &Report, deny: bool) -> i32 {
+    if deny && !report.findings.is_empty() {
+        1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,79 @@
+//! `poem-lint` CLI: lint the workspace, print a report, exit non-zero on
+//! findings under `--deny-all`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+poem-lint: static analysis for PoEm's determinism / panic-safety / protocol invariants
+
+USAGE:
+    cargo run -p poem-lint -- [OPTIONS]
+
+OPTIONS:
+    --deny-all      exit 1 when any finding survives suppression (CI mode)
+    --json          emit the machine-readable report instead of text
+    --root <PATH>   workspace root to lint (default: autodetected)
+    --help          print this help
+
+Suppressions: `// poem-lint: allow(<rule>): <justification>` on or above the
+flagged line; `// poem-lint: allow-file(<rule>): <justification>` anywhere in
+a file. Rules: determinism, panic_safety, exhaustiveness, lock_order,
+unsafe_doc.
+";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-all" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(detect_root);
+    match poem_lint::run(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            ExitCode::from(poem_lint::exit_code(&report, deny) as u8)
+        }
+        Err(e) => {
+            eprintln!("error: failed to lint {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Prefer the current directory when it looks like the workspace root,
+/// otherwise fall back to the workspace this binary was built from.
+fn detect_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("Cargo.toml").exists() && cwd.join("crates").exists() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}

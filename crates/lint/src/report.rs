@@ -1,0 +1,105 @@
+//! Finding collection and rendering (human text and machine JSON).
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule slug, e.g. `determinism`.
+    pub rule: &'static str,
+    /// Path relative to the lint root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by `poem-lint: allow` annotations.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{}:{}: [{}] {}\n", f.path, f.line, f.rule, f.msg));
+        }
+        out.push_str(&format!(
+            "poem-lint: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// Machine-readable report: a JSON object with a `findings` array.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                json_escape(f.rule),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.msg)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"suppressed\": {},\n  \"files_scanned\": {}\n}}\n",
+            self.suppressed, self.files_scanned
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = Report {
+            findings: vec![Finding {
+                rule: "determinism",
+                path: "crates/x/src/a.rs".into(),
+                line: 3,
+                msg: "iterates a \"HashMap\"".into(),
+            }],
+            suppressed: 1,
+            files_scanned: 2,
+        };
+        let j = r.render_json();
+        assert!(j.contains("\\\"HashMap\\\""));
+        assert!(j.contains("\"suppressed\": 1"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -1,0 +1,200 @@
+//! `determinism` — forbid wall-clock reads, OS randomness, and hash-order
+//! iteration in replay-deterministic code.
+//!
+//! PoEm's replay claim (PAPER.md §3) requires that a recorded run and its
+//! replay make byte-identical decisions. `Instant::now`/`SystemTime::now`
+//! leak host time into the pipeline, `thread_rng`-style OS entropy breaks
+//! seeded reproducibility, and iterating a `HashMap`/`HashSet` visits
+//! entries in a per-process randomized order that can leak into schedules
+//! and wire frames.
+
+use crate::report::Finding;
+use crate::source::{ident_at, is_ident, is_punct, SourceFile};
+
+/// See module docs.
+pub struct Determinism;
+
+const BANNED_CALLS: &[(&str, &str)] = &[("Instant", "now"), ("SystemTime", "now")];
+
+const BANNED_IDENTS: &[&str] = &["thread_rng", "from_entropy", "RandomState", "getrandom"];
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+impl super::Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
+        for f in files {
+            if !super::determinism_scope(&f.rel_path) {
+                continue;
+            }
+            banned_calls(f, out);
+            hash_iteration(f, out);
+        }
+    }
+}
+
+fn banned_calls(f: &SourceFile, out: &mut Vec<Finding>) {
+    let t = &f.tokens;
+    for i in 0..t.len() {
+        let line = t[i].line;
+        if f.in_test_region(line) {
+            continue;
+        }
+        for (ty, method) in BANNED_CALLS {
+            if is_ident(t, i, ty)
+                && is_punct(t, i + 1, ':')
+                && is_punct(t, i + 2, ':')
+                && is_ident(t, i + 3, method)
+            {
+                out.push(Finding {
+                    rule: "determinism",
+                    path: f.rel_path.clone(),
+                    line,
+                    msg: format!(
+                        "wall-clock read `{ty}::{method}` in replay-deterministic code; \
+                         route time through the Clock abstraction instead"
+                    ),
+                });
+            }
+        }
+        for name in BANNED_IDENTS {
+            if is_ident(t, i, name) {
+                out.push(Finding {
+                    rule: "determinism",
+                    path: f.rel_path.clone(),
+                    line,
+                    msg: format!(
+                        "`{name}` pulls OS entropy into replay-deterministic code; \
+                         use a seeded RNG plumbed from the scenario config"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Two-pass hash-iteration detection: first collect bindings declared with a
+/// `HashMap`/`HashSet` type (or initialized from their constructors), then
+/// flag order-dependent uses of those bindings.
+fn hash_iteration(f: &SourceFile, out: &mut Vec<Finding>) {
+    let t = &f.tokens;
+    let mut names: Vec<String> = Vec::new();
+
+    for i in 0..t.len() {
+        if f.in_test_region(t[i].line) {
+            continue;
+        }
+        let Some(id) = ident_at(t, i) else { continue };
+        if id != "HashMap" && id != "HashSet" {
+            continue;
+        }
+        // Walk back over a `std::collections::` style path prefix to the
+        // path head, then look for `name :` (type position).
+        let mut head = i;
+        while head >= 3
+            && is_punct(t, head - 1, ':')
+            && is_punct(t, head - 2, ':')
+            && ident_at(t, head - 3).is_some()
+        {
+            head -= 3;
+        }
+        if head >= 2
+            && is_punct(t, head - 1, ':')
+            && !is_punct(t, head - 2, ':')
+            && ident_at(t, head - 2).is_some()
+        {
+            if let Some(name) = ident_at(t, head - 2) {
+                names.push(name.to_string());
+            }
+        }
+        // `let [mut] name = HashMap::new()` style initializations: walk back
+        // to the `=` within the same statement.
+        let mut j = head;
+        while j > 0 && !is_punct(t, j, ';') && !is_punct(t, j, '{') {
+            if is_punct(t, j, '=') {
+                let k = if is_ident(t, j.wrapping_sub(1), "mut") { 2 } else { 1 };
+                if let Some(name) = ident_at(t, j.wrapping_sub(k)) {
+                    names.push(name.to_string());
+                }
+                break;
+            }
+            j -= 1;
+        }
+    }
+    names.sort();
+    names.dedup();
+    if names.is_empty() {
+        return;
+    }
+
+    for i in 0..t.len() {
+        let line = t[i].line;
+        if f.in_test_region(line) {
+            continue;
+        }
+        // `binding.iter()` / `.retain(..)` etc. on a hash-typed binding.
+        if let Some(name) = ident_at(t, i) {
+            if names.iter().any(|n| n == name)
+                && is_punct(t, i + 1, '.')
+                && ident_at(t, i + 2).is_some_and(|m| ITER_METHODS.contains(&m))
+                && is_punct(t, i + 3, '(')
+            {
+                let method = ident_at(t, i + 2).unwrap_or_default();
+                out.push(Finding {
+                    rule: "determinism",
+                    path: f.rel_path.clone(),
+                    line,
+                    msg: format!(
+                        "`.{method}()` on `HashMap`/`HashSet`-typed binding `{name}` visits \
+                         entries in nondeterministic order; use BTreeMap/BTreeSet or sort first"
+                    ),
+                });
+            }
+        }
+        // `for x in <header mentioning a hash binding> {`
+        if is_ident(t, i, "for") {
+            let mut j = i + 1;
+            while j < t.len() && !is_ident(t, j, "in") && !is_punct(t, j, '{') {
+                j += 1;
+            }
+            if !is_ident(t, j, "in") {
+                continue;
+            }
+            let mut k = j + 1;
+            while k < t.len() && !is_punct(t, k, '{') && !is_punct(t, k, ';') {
+                if let Some(name) = ident_at(t, k) {
+                    // Direct mention that is not a `.get(..)`-style lookup.
+                    if names.iter().any(|n| n == name)
+                        && !is_punct(t, k + 1, '.')
+                        && !is_punct(t, k + 1, '[')
+                    {
+                        out.push(Finding {
+                            rule: "determinism",
+                            path: f.rel_path.clone(),
+                            line: t[k].line,
+                            msg: format!(
+                                "`for` loop over `HashMap`/`HashSet`-typed binding `{name}` has \
+                                 nondeterministic order; use BTreeMap/BTreeSet or sort first"
+                            ),
+                        });
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! `lock_order` — extract lock-acquisition sites across `poem-server` and
+//! flag inconsistent orderings.
+//!
+//! The server crate takes several mutexes (pipeline, clients, schedule,
+//! per-client writers). Two threads that acquire the same pair of locks in
+//! opposite orders can deadlock; this rule builds a global acquired-while-
+//! holding graph from the token streams and reports every edge that also
+//! exists in the reverse direction, plus re-acquisition of a lock already
+//! held (parking_lot mutexes are not reentrant).
+//!
+//! Heuristics (token-level, no type information): an acquisition is
+//! `recv.lock()` / `recv.read()` / `recv.write()` with no arguments, named
+//! by the receiver's final path segment; a `let`-bound guard is held until
+//! `drop(guard)` or the end of the function, a temporary until the end of
+//! its statement.
+
+use crate::report::Finding;
+use crate::source::{ident_at, is_ident, is_punct, matching, SourceFile, Token};
+
+/// See module docs.
+pub struct LockOrder;
+
+#[derive(Debug)]
+struct Acquisition {
+    /// Lock name: final path segment of the receiver (`clients` in
+    /// `self.shared.clients.lock()`).
+    resource: String,
+    /// Binding name when `let`-bound or assigned, else `None` (temporary).
+    binding: Option<String>,
+    /// Token index of the acquisition, for lifetime bookkeeping.
+    token_idx: usize,
+    line: u32,
+}
+
+/// One `A held while acquiring B` observation.
+#[derive(Debug)]
+struct Edge {
+    held: String,
+    acquired: String,
+    path: String,
+    line: u32,
+    func: String,
+}
+
+impl super::Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock_order"
+    }
+
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
+        let mut edges: Vec<Edge> = Vec::new();
+        for f in files {
+            if !super::lock_scope(&f.rel_path) {
+                continue;
+            }
+            for (func, body) in functions(&f.tokens) {
+                scan_function(f, &func, body, &mut edges, out);
+            }
+        }
+        // Report each edge whose reverse also exists somewhere in the crate.
+        for e in &edges {
+            let Some(rev) = edges.iter().find(|r| r.held == e.acquired && r.acquired == e.held)
+            else {
+                continue;
+            };
+            out.push(Finding {
+                rule: "lock_order",
+                path: e.path.clone(),
+                line: e.line,
+                msg: format!(
+                    "inconsistent lock order: `{}` acquired while holding `{}` in `{}`, but \
+                     `{}:{}` (`{}`) acquires them in the opposite order",
+                    e.acquired, e.held, e.func, rev.path, rev.line, rev.func
+                ),
+            });
+        }
+    }
+}
+
+/// Yield `(name, body token range)` for every `fn` in the stream.
+fn functions(t: &[Token]) -> Vec<(String, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if is_ident(t, i, "fn") {
+            if let Some(name) = ident_at(t, i + 1) {
+                // Find the body `{`, stopping at `;` (trait method without body).
+                let mut j = i + 2;
+                let mut body = None;
+                while j < t.len() {
+                    if is_punct(t, j, ';') {
+                        break;
+                    }
+                    if is_punct(t, j, '{') {
+                        if let Some(close) = matching(t, j, '{', '}') {
+                            body = Some(j + 1..close);
+                            i = j; // inner items (closures, nested fns) stay in range
+                        }
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(range) = body {
+                    out.push((name.to_string(), range));
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn scan_function(
+    f: &SourceFile,
+    func: &str,
+    body: std::ops::Range<usize>,
+    edges: &mut Vec<Edge>,
+    out: &mut Vec<Finding>,
+) {
+    let t = &f.tokens;
+    let mut held: Vec<Acquisition> = Vec::new();
+    let mut i = body.start;
+    while i < body.end {
+        if is_punct(t, i, ';') {
+            // Temporaries die at the end of their statement.
+            held.retain(|a| a.binding.is_some() || a.token_idx > i);
+            i += 1;
+            continue;
+        }
+        // `drop(guard)` releases a bound guard.
+        if is_ident(t, i, "drop") && is_punct(t, i + 1, '(') {
+            if let Some(name) = ident_at(t, i + 2) {
+                if is_punct(t, i + 3, ')') {
+                    held.retain(|a| a.binding.as_deref() != Some(name));
+                    i += 4;
+                    continue;
+                }
+            }
+        }
+        if let Some(acq) = acquisition_at(t, i, f.in_test_region(t[i].line)) {
+            for h in &held {
+                if h.resource == acq.resource {
+                    out.push(Finding {
+                        rule: "lock_order",
+                        path: f.rel_path.clone(),
+                        line: acq.line,
+                        msg: format!(
+                            "`{}` re-acquires lock `{}` already held since line {} \
+                             (non-reentrant mutex: self-deadlock)",
+                            func, acq.resource, h.line
+                        ),
+                    });
+                } else {
+                    edges.push(Edge {
+                        held: h.resource.clone(),
+                        acquired: acq.resource.clone(),
+                        path: f.rel_path.clone(),
+                        line: acq.line,
+                        func: func.to_string(),
+                    });
+                }
+            }
+            // Reassignment to an existing binding replaces the old guard.
+            if let Some(b) = &acq.binding {
+                held.retain(|a| a.binding.as_deref() != Some(b.as_str()));
+            }
+            held.push(acq);
+        }
+        i += 1;
+    }
+}
+
+/// Detect `recv.lock()` / `.read()` / `.write()` (no arguments) at token `i`
+/// (pointing at the method name).
+fn acquisition_at(t: &[Token], i: usize, in_test: bool) -> Option<Acquisition> {
+    if in_test {
+        return None;
+    }
+    let method = ident_at(t, i)?;
+    if !matches!(method, "lock" | "read" | "write") {
+        return None;
+    }
+    if !is_punct(t, i.wrapping_sub(1), '.') || !is_punct(t, i + 1, '(') || !is_punct(t, i + 2, ')')
+    {
+        return None;
+    }
+    let resource = ident_at(t, i.wrapping_sub(2))?.to_string();
+    // Walk back over the receiver chain (`self.shared.clients`) to find a
+    // `let name =` / `name =` binding in front of it.
+    let mut head = i - 2;
+    while head >= 2 && is_punct(t, head - 1, '.') && ident_at(t, head - 2).is_some() {
+        head -= 2;
+    }
+    let mut binding = None;
+    if head >= 2 && is_punct(t, head - 1, '=') && !is_punct(t, head - 2, '=') {
+        if let Some(name) = ident_at(t, head - 2) {
+            if name != "mut" {
+                binding = Some(name.to_string());
+            }
+        }
+    }
+    Some(Acquisition { resource, binding, token_idx: i, line: t[i].line })
+}

@@ -1,0 +1,74 @@
+//! The rule registry and the per-rule scope definitions.
+//!
+//! Each rule implements [`Rule`] and receives the full set of lexed files so
+//! cross-file rules (protocol exhaustiveness, lock ordering) can correlate
+//! sites. Scopes are path predicates over workspace-relative paths; the
+//! golden-file fixtures mirror the real workspace layout so the same scopes
+//! apply there.
+
+mod determinism;
+mod exhaustiveness;
+mod lock_order;
+mod panic_safety;
+mod unsafe_doc;
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// A single static-analysis rule.
+pub trait Rule {
+    /// Stable slug used in reports and `poem-lint: allow(<slug>)` comments.
+    fn name(&self) -> &'static str;
+    /// Scan `files` and append violations to `out`.
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>);
+}
+
+/// Every registered rule, in report order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(determinism::Determinism),
+        Box::new(panic_safety::PanicSafety),
+        Box::new(exhaustiveness::Exhaustiveness),
+        Box::new(lock_order::LockOrder),
+        Box::new(unsafe_doc::UnsafeDoc),
+    ]
+}
+
+/// Replay-deterministic code: the pipeline/sim/record/routing layers, where
+/// wall-clock reads or hash-order iteration would diverge between a live run
+/// and its replay (PAPER.md §3).
+pub(crate) fn determinism_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/routing/src/")
+        || rel.starts_with("crates/record/src/")
+        || matches!(
+            rel,
+            "crates/server/src/sim.rs"
+                | "crates/server/src/engine.rs"
+                | "crates/server/src/script.rs"
+        )
+}
+
+/// Hostile-input surfaces: protocol decode plus the server ingest/session
+/// threads. A malformed frame must surface as `Err`, never a panic.
+pub(crate) fn panic_scope(rel: &str) -> bool {
+    rel.starts_with("crates/proto/src/")
+        || matches!(
+            rel,
+            "crates/server/src/server.rs"
+                | "crates/server/src/engine.rs"
+                | "crates/server/src/cluster.rs"
+                | "crates/server/src/sim.rs"
+        )
+}
+
+/// Files where even slice indexing is banned (decode paths driven directly
+/// by attacker-controlled lengths).
+pub(crate) fn strict_index_scope(rel: &str) -> bool {
+    matches!(rel, "crates/proto/src/codec.rs" | "crates/proto/src/framing.rs")
+}
+
+/// Lock-discipline scope: everything in the server crate.
+pub(crate) fn lock_scope(rel: &str) -> bool {
+    rel.starts_with("crates/server/src/")
+}

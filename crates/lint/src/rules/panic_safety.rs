@@ -1,0 +1,74 @@
+//! `panic_safety` — forbid `unwrap`/`expect`/panic macros (and, on the
+//! decode paths, slice indexing) in code a hostile client can drive.
+//!
+//! A malformed frame must surface as `Err` from decode and as a dropped
+//! session in the server — never as a panic that takes the emulator (and
+//! every other client's session) down with it.
+
+use crate::report::Finding;
+use crate::source::{ident_at, is_punct, SourceFile, TokenKindExt};
+
+/// See module docs.
+pub struct PanicSafety;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented", "assert"];
+
+impl super::Rule for PanicSafety {
+    fn name(&self) -> &'static str {
+        "panic_safety"
+    }
+
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
+        for f in files {
+            if !super::panic_scope(&f.rel_path) {
+                continue;
+            }
+            let strict_index = super::strict_index_scope(&f.rel_path);
+            let t = &f.tokens;
+            for i in 0..t.len() {
+                let line = t[i].line;
+                if f.in_test_region(line) {
+                    continue;
+                }
+                if let Some(id) = ident_at(t, i) {
+                    if (id == "unwrap" || id == "expect")
+                        && is_punct(t, i.wrapping_sub(1), '.')
+                        && is_punct(t, i + 1, '(')
+                    {
+                        out.push(Finding {
+                            rule: "panic_safety",
+                            path: f.rel_path.clone(),
+                            line,
+                            msg: format!(
+                                "`.{id}()` on a hostile-input path can panic the emulator; \
+                                 propagate a typed error instead"
+                            ),
+                        });
+                    }
+                    if PANIC_MACROS.contains(&id) && is_punct(t, i + 1, '!') {
+                        out.push(Finding {
+                            rule: "panic_safety",
+                            path: f.rel_path.clone(),
+                            line,
+                            msg: format!(
+                                "`{id}!` on a hostile-input path; return an error instead \
+                                 of aborting the thread"
+                            ),
+                        });
+                    }
+                }
+                // Decode paths: `expr[..]` indexing panics on short input.
+                if strict_index && is_punct(t, i, '[') && i > 0 && t[i - 1].kind.ends_expression() {
+                    out.push(Finding {
+                        rule: "panic_safety",
+                        path: f.rel_path.clone(),
+                        line,
+                        msg: "slice indexing in a decode path panics on truncated input; \
+                              use `.get(..)` or a checked split"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+}

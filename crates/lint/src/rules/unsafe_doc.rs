@@ -1,0 +1,43 @@
+//! `unsafe_doc` — every `unsafe` must carry a `// SAFETY:` comment.
+//!
+//! The poem crates themselves are `#![forbid(unsafe_code)]`; the vendored
+//! `compat/` shims are the only place `unsafe` may legitimately appear, and
+//! there each use must justify itself with a `// SAFETY:` comment within
+//! the three lines above it (or on the same line).
+
+use crate::report::Finding;
+use crate::source::{is_ident, SourceFile};
+
+/// See module docs.
+pub struct UnsafeDoc;
+
+impl super::Rule for UnsafeDoc {
+    fn name(&self) -> &'static str {
+        "unsafe_doc"
+    }
+
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
+        for f in files {
+            let t = &f.tokens;
+            for i in 0..t.len() {
+                if !is_ident(t, i, "unsafe") {
+                    continue;
+                }
+                let line = t[i].line;
+                let documented = f.comments.iter().any(|c| {
+                    c.text.contains("SAFETY") && c.line <= line && line.saturating_sub(c.line) <= 3
+                });
+                if !documented {
+                    out.push(Finding {
+                        rule: "unsafe_doc",
+                        path: f.rel_path.clone(),
+                        line,
+                        msg: "`unsafe` without a `// SAFETY:` comment in the preceding \
+                              three lines"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Per-file lint model: token stream plus derived facts (test regions,
+//! suppression annotations) that every rule consults.
+
+use crate::lexer::lex;
+pub use crate::lexer::{Comment, Token, TokenKind};
+
+/// A lexed source file plus the metadata rules need.
+pub struct SourceFile {
+    /// Path relative to the lint root, always `/`-separated.
+    pub rel_path: String,
+    /// Token stream (comments stripped).
+    pub tokens: Vec<Token>,
+    /// Comments, for suppression and `SAFETY:` checks.
+    pub comments: Vec<Comment>,
+    /// Whether the whole file is test/bench/example collateral.
+    pub is_test_file: bool,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` modules or
+    /// `#[test]` functions.
+    test_ranges: Vec<(u32, u32)>,
+    /// Rules suppressed for the entire file.
+    file_allows: Vec<String>,
+    /// `(rule, first line, last line)` triples; an annotation suppresses the
+    /// rule from its own line through the end of the statement that follows
+    /// (the next `;`), so multi-line expressions stay coverable.
+    line_allows: Vec<(String, u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lex `text` and derive test regions and suppressions.
+    pub fn parse(rel_path: String, text: &str) -> SourceFile {
+        let (tokens, comments) = lex(text);
+        let is_test_file = {
+            let p = &rel_path;
+            p.starts_with("tests/")
+                || p.starts_with("benches/")
+                || p.starts_with("examples/")
+                || p.contains("/tests/")
+                || p.contains("/benches/")
+                || p.contains("/examples/")
+        };
+        let test_ranges = find_test_ranges(&tokens);
+        let mut file_allows = Vec::new();
+        let mut line_allows = Vec::new();
+        for c in &comments {
+            for (rule, file_wide) in parse_allows(&c.text) {
+                if file_wide {
+                    file_allows.push(rule);
+                } else {
+                    let to = tokens
+                        .iter()
+                        .find(|t| t.line >= c.line && t.kind == TokenKind::Punct(';'))
+                        .map_or(c.line + 1, |t| t.line);
+                    line_allows.push((rule, c.line, to.max(c.line)));
+                }
+            }
+        }
+        SourceFile {
+            rel_path,
+            tokens,
+            comments,
+            is_test_file,
+            test_ranges,
+            file_allows,
+            line_allows,
+        }
+    }
+
+    /// True when `line` falls inside `#[cfg(test)]`/`#[test]` code or the
+    /// whole file is test collateral.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.is_test_file || self.test_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// True when a `poem-lint: allow(rule)` annotation covers `line`.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.file_allows.iter().any(|r| r == rule)
+            || self
+                .line_allows
+                .iter()
+                .any(|(r, from, to)| r == rule && (*from..=*to).contains(&line))
+    }
+}
+
+/// Parse `poem-lint: allow(rule_a, rule_b): justification` (line scope) and
+/// `poem-lint: allow-file(rule): justification` (file scope) out of a
+/// comment. Returns `(rule, file_wide)` pairs.
+fn parse_allows(comment: &str) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    let Some(idx) = comment.find("poem-lint:") else { return out };
+    let rest = comment[idx + "poem-lint:".len()..].trim_start();
+    let file_wide = rest.starts_with("allow-file(");
+    let body = if file_wide {
+        &rest["allow-file(".len()..]
+    } else if let Some(b) = rest.strip_prefix("allow(") {
+        b
+    } else {
+        return out;
+    };
+    let Some(close) = body.find(')') else { return out };
+    for rule in body[..close].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            out.push((rule.to_string(), file_wide));
+        }
+    }
+    out
+}
+
+/// Locate `#[cfg(test)] mod … { … }` bodies and `#[test] fn … { … }` bodies.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(attr_end) = match_test_attr(tokens, i) {
+            // Skip any further attributes between the test attr and the item.
+            let mut j = attr_end;
+            while is_punct(tokens, j, '#') {
+                if let Some(e) = skip_attr(tokens, j) {
+                    j = e;
+                } else {
+                    break;
+                }
+            }
+            if let Some(range) = item_body_range(tokens, j) {
+                ranges.push(range);
+                i = attr_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// If the tokens at `i` start `#[cfg(test)]`-like or `#[test]` attributes,
+/// return the index one past the closing `]`.
+fn match_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if !is_punct(tokens, i, '#') || !is_punct(tokens, i + 1, '[') {
+        return None;
+    }
+    let end = matching(tokens, i + 1, '[', ']')?;
+    let inner = &tokens[i + 2..end];
+    let is_test = match inner.first().map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) if s == "test" => inner.len() == 1,
+        Some(TokenKind::Ident(s)) if s == "cfg" => {
+            inner.iter().any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "test"))
+        }
+        _ => false,
+    };
+    is_test.then_some(end + 1)
+}
+
+/// Skip a generic `#[…]` attribute starting at `i`, returning the index one
+/// past the `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if is_punct(tokens, i, '#') && is_punct(tokens, i + 1, '[') {
+        Some(matching(tokens, i + 1, '[', ']')? + 1)
+    } else {
+        None
+    }
+}
+
+/// Given tokens starting at an item (`pub mod x { … }`, `fn f() { … }`),
+/// return the line range of its braced body.
+fn item_body_range(tokens: &[Token], mut i: usize) -> Option<(u32, u32)> {
+    // Scan forward to the first `{` before any `;` (a `mod foo;` has no body).
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('{') => {
+                let close = matching(tokens, i, '{', '}')?;
+                return Some((tokens[i].line, tokens[close].line));
+            }
+            TokenKind::Punct(';') => return None,
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+pub fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        match t.kind {
+            TokenKind::Punct(c) if c == open => depth += 1,
+            TokenKind::Punct(c) if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// True when `tokens[i]` is the punctuation `c`.
+pub fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c)
+}
+
+/// True when `tokens[i]` is the identifier `name`.
+pub fn is_ident(tokens: &[Token], i: usize, name: &str) -> bool {
+    matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Ident(s)) if s == name)
+}
+
+/// Extension helpers on [`TokenKind`] used by expression-position checks.
+pub trait TokenKindExt {
+    /// True when a token of this kind can end an expression, so a following
+    /// `[` is an index operation (not an attribute or array type).
+    fn ends_expression(&self) -> bool;
+}
+
+impl TokenKindExt for TokenKind {
+    fn ends_expression(&self) -> bool {
+        match self {
+            TokenKind::Ident(s) => {
+                // Keywords that precede `[` without forming an index.
+                !matches!(
+                    s.as_str(),
+                    "return" | "break" | "in" | "mut" | "ref" | "dyn" | "as" | "let" | "else"
+                )
+            }
+            TokenKind::Punct(c) => matches!(c, ')' | ']'),
+            TokenKind::Str | TokenKind::Num | TokenKind::Char => true,
+            TokenKind::Lifetime => false,
+        }
+    }
+}
+
+/// The identifier text at `tokens[i]`, if any.
+pub fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs".into(), src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(4));
+    }
+
+    #[test]
+    fn test_fn_is_a_test_region() {
+        let src = "#[test]\nfn roundtrip() {\n    x.unwrap();\n}\nfn live() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs".into(), src);
+        assert!(f.in_test_region(3));
+        assert!(!f.in_test_region(5));
+    }
+
+    #[test]
+    fn integration_test_files_are_all_test() {
+        let f = SourceFile::parse("crates/x/tests/it.rs".into(), "fn f() {}");
+        assert!(f.in_test_region(1));
+    }
+
+    #[test]
+    fn line_allow_covers_same_and_next_line() {
+        let src = "// poem-lint: allow(determinism): fixed seed\nlet x = 1;\nlet y = 2;\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs".into(), src);
+        assert!(f.suppressed("determinism", 1));
+        assert!(f.suppressed("determinism", 2));
+        assert!(!f.suppressed("determinism", 3));
+        assert!(!f.suppressed("panic_safety", 2));
+    }
+
+    #[test]
+    fn file_allow_covers_everything() {
+        let src = "// poem-lint: allow-file(lock_order): single-threaded tool\nfn f() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs".into(), src);
+        assert!(f.suppressed("lock_order", 999));
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let got = parse_allows(" poem-lint: allow(determinism, panic_safety): reason");
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|(_, fw)| !fw));
+    }
+}

@@ -1,0 +1,7 @@
+pub fn dispatch(msg: crate::ServerMsg) {
+    match msg {
+        crate::ServerMsg::Welcome { version } => log_welcome(version),
+    }
+}
+
+fn log_welcome(_version: u16) {}

@@ -1,0 +1,11 @@
+use std::collections::BTreeMap;
+
+pub struct Table {
+    rows: BTreeMap<u32, u32>,
+}
+
+impl Table {
+    pub fn sum(&self) -> u32 {
+        self.rows.values().sum()
+    }
+}

@@ -1,0 +1,4 @@
+pub fn read_u32(input: &[u8]) -> Option<u32> {
+    let head = input.get(..4)?;
+    <[u8; 4]>::try_from(head).ok().map(u32::from_le_bytes)
+}

@@ -1,0 +1,10 @@
+#[derive(Serialize, Deserialize)]
+pub enum ClientMsg {
+    Hello { version: u16 },
+    Bye,
+}
+
+#[derive(Serialize, Deserialize)]
+pub enum ServerMsg {
+    Welcome { version: u16 },
+}

@@ -1,0 +1,13 @@
+pub fn forward(s: &super::Shared) {
+    let clients = s.clients.lock();
+    let writer = s.writer.lock();
+    drop(writer);
+    drop(clients);
+}
+
+pub fn also_forward(s: &super::Shared) {
+    let clients = s.clients.lock();
+    let writer = s.writer.lock();
+    drop(writer);
+    drop(clients);
+}

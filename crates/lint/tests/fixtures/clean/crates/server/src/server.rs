@@ -1,0 +1,6 @@
+pub fn dispatch(msg: crate::ClientMsg) {
+    match msg {
+        ClientMsg::Hello { .. } => {}
+        ClientMsg::Bye => {}
+    }
+}

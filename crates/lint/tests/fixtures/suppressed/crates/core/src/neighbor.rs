@@ -1,0 +1,12 @@
+// poem-lint: allow-file(determinism): scratch table, order never observed
+use std::collections::HashMap;
+
+pub struct Table {
+    rows: HashMap<u32, u32>,
+}
+
+impl Table {
+    pub fn sum(&self) -> u32 {
+        self.rows.iter().map(|(_, v)| v).sum()
+    }
+}

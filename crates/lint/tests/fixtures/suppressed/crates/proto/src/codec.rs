@@ -1,0 +1,5 @@
+pub fn read_u32(input: &[u8]) -> u32 {
+    // poem-lint: allow(panic_safety): length checked by the framing layer
+    let head: [u8; 4] = input[..4].try_into().unwrap();
+    u32::from_le_bytes(head)
+}

@@ -1,0 +1,5 @@
+pub fn dispatch(msg: crate::ServerMsg) {
+    match msg {
+        ServerMsg::Welcome => {}
+    }
+}

@@ -1,0 +1,15 @@
+use std::collections::HashMap;
+
+pub struct Table {
+    rows: HashMap<u32, u32>,
+}
+
+impl Table {
+    pub fn sum(&self) -> u32 {
+        let mut total = 0;
+        for (_, v) in self.rows.iter() {
+            total += v;
+        }
+        total
+    }
+}

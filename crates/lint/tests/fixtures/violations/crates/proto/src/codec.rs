@@ -1,0 +1,13 @@
+pub fn read_u32(input: &[u8]) -> u32 {
+    let head: [u8; 4] = input[..4].try_into().unwrap();
+    u32::from_le_bytes(head)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+    }
+}

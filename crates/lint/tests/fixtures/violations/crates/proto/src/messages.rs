@@ -1,0 +1,11 @@
+#[derive(Serialize, Deserialize)]
+pub enum ClientMsg {
+    Hello { version: u16 },
+    Data(Vec<u8>),
+    Bye,
+}
+
+#[derive(Serialize, Deserialize)]
+pub enum ServerMsg {
+    Welcome,
+}

@@ -1,0 +1,6 @@
+pub fn forward(s: &super::Shared) {
+    let clients = s.clients.lock();
+    let writer = s.writer.lock();
+    drop(writer);
+    drop(clients);
+}

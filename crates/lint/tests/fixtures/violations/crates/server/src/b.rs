@@ -1,0 +1,6 @@
+pub fn shutdown(s: &super::Shared) {
+    let writer = s.writer.lock();
+    let clients = s.clients.lock();
+    drop(clients);
+    drop(writer);
+}

@@ -1,0 +1,7 @@
+pub fn dispatch(msg: crate::ClientMsg) {
+    match msg {
+        ClientMsg::Hello { .. } => {}
+        ClientMsg::Data(_) => {}
+        _ => {}
+    }
+}

@@ -24,6 +24,7 @@
 //! pipeline ingest benchmark guards the end-to-end cost (< 5% of ingest
 //! throughput, see `crates/bench/benches/pipeline.rs`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -311,16 +311,23 @@ impl<'de> BinDeserializer<'de> {
         Ok(head)
     }
 
+    /// Like [`take`](Self::take) but returns a fixed-size array, so scalar
+    /// reads need no panicking `try_into().unwrap()` conversion.
+    fn take_n<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        <[u8; N]>::try_from(self.take(N)?).map_err(|_| CodecError::Eof)
+    }
+
     fn read_u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_n::<1>()?;
+        Ok(b)
     }
 
     fn read_u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_n()?))
     }
 
     fn read_u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_n()?))
     }
 
     fn read_len(&mut self) -> Result<usize, CodecError> {
@@ -356,19 +363,19 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
         v.visit_i8(self.read_u8()? as i8)
     }
     fn deserialize_i16<V: Visitor<'de>>(self, v: V) -> Result<V::Value, CodecError> {
-        v.visit_i16(i16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        v.visit_i16(i16::from_le_bytes(self.take_n()?))
     }
     fn deserialize_i32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, CodecError> {
-        v.visit_i32(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        v.visit_i32(i32::from_le_bytes(self.take_n()?))
     }
     fn deserialize_i64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, CodecError> {
-        v.visit_i64(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        v.visit_i64(i64::from_le_bytes(self.take_n()?))
     }
     fn deserialize_u8<V: Visitor<'de>>(self, v: V) -> Result<V::Value, CodecError> {
         v.visit_u8(self.read_u8()?)
     }
     fn deserialize_u16<V: Visitor<'de>>(self, v: V) -> Result<V::Value, CodecError> {
-        v.visit_u16(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        v.visit_u16(u16::from_le_bytes(self.take_n()?))
     }
     fn deserialize_u32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, CodecError> {
         v.visit_u32(self.read_u32()?)
@@ -377,10 +384,10 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
         v.visit_u64(self.read_u64()?)
     }
     fn deserialize_f32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, CodecError> {
-        v.visit_f32(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        v.visit_f32(f32::from_le_bytes(self.take_n()?))
     }
     fn deserialize_f64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, CodecError> {
-        v.visit_f64(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        v.visit_f64(f64::from_le_bytes(self.take_n()?))
     }
     fn deserialize_char<V: Visitor<'de>>(self, v: V) -> Result<V::Value, CodecError> {
         let c = self.read_u32()?;
@@ -615,7 +622,7 @@ mod tests {
         roundtrip(&u64::MAX);
         roundtrip(&i64::MIN);
         roundtrip(&-1i32);
-        roundtrip(&2.71828f64);
+        roundtrip(&2.25f64);
         roundtrip(&f64::NEG_INFINITY);
         roundtrip(&true);
         roundtrip(&'λ');

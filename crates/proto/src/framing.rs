@@ -108,10 +108,10 @@ impl FrameDecoder {
     /// Returns `Err` on a length prefix over [`MAX_FRAME_LEN`]; the decoder
     /// is then poisoned and the connection should be dropped.
     pub fn next_frame(&mut self) -> io::Result<Option<BytesMut>> {
-        if self.buf.len() < 4 {
+        let Some(prefix) = self.buf.get(..4).and_then(|p| <[u8; 4]>::try_from(p).ok()) else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        };
+        let len = u32::from_le_bytes(prefix) as usize;
         if len > MAX_FRAME_LEN {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length exceeds cap"));
         }

@@ -17,6 +17,7 @@
 //!   `Read`/`Write`, so the full framing+codec path can be exercised
 //!   without sockets.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

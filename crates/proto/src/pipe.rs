@@ -88,8 +88,8 @@ impl Read for PipeReader {
             return Ok(0); // EOF
         }
         let n = buf.len().min(state.data.len());
-        for slot in buf.iter_mut().take(n) {
-            *slot = state.data.pop_front().expect("checked non-empty");
+        for (slot, byte) in buf.iter_mut().zip(state.data.drain(..n)) {
+            *slot = byte;
         }
         Ok(n)
     }

@@ -12,6 +12,7 @@
 //! reconstructs the scene at any emulation time and steps through the run
 //! chronologically.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -9,7 +9,7 @@
 use crate::records::{DropReason, TrafficRecord};
 use poem_core::stats::{SeriesPoint, Summary, WindowedLossMeter};
 use poem_core::{ChannelId, EmuDuration, EmuTime, NodeId, PacketId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Ingress metadata used to attribute per-copy outcomes.
 #[derive(Debug, Clone, Copy)]
@@ -80,7 +80,7 @@ impl<'a> TrafficQuery<'a> {
         self
     }
 
-    fn ingress_index(&self) -> HashMap<PacketId, IngressInfo> {
+    fn ingress_index(&self) -> BTreeMap<PacketId, IngressInfo> {
         self.records
             .iter()
             .filter_map(|r| match *r {
@@ -179,7 +179,7 @@ impl<'a> TrafficQuery<'a> {
         let idx = self.ingress_index();
         let w_ns = window.as_nanos() as u64;
         let w_secs = window.as_secs_f64();
-        let mut bits: HashMap<u64, f64> = HashMap::new();
+        let mut bits: BTreeMap<u64, f64> = BTreeMap::new();
         for r in self.records {
             if let TrafficRecord::Forward { id, to, at } = *r {
                 if let Some(info) = idx.get(&id) {
@@ -189,12 +189,11 @@ impl<'a> TrafficQuery<'a> {
                 }
             }
         }
-        let mut out: Vec<SeriesPoint> = bits
-            .into_iter()
+        // BTreeMap iterates buckets in ascending order, so the series is
+        // already time-sorted.
+        bits.into_iter()
             .map(|(b, v)| SeriesPoint { t: b as f64 * w_secs, value: v / w_secs })
-            .collect();
-        out.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite times"));
-        out
+            .collect()
     }
 
     /// Per-copy outcome counts.

@@ -201,7 +201,7 @@ mod tests {
     fn scene_before_first_op_is_empty() {
         let mut log = sample_log();
         for r in &mut log {
-            r.at = r.at + poem_core::EmuDuration::from_secs(100);
+            r.at += poem_core::EmuDuration::from_secs(100);
         }
         let engine = ReplayEngine::new(log);
         let s = engine.scene_at(EmuTime::from_secs(1)).unwrap();

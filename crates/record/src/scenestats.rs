@@ -11,7 +11,7 @@ use crate::records::SceneRecord;
 use poem_core::scene::SceneOp;
 use poem_core::stats::SeriesPoint;
 use poem_core::{EmuDuration, NodeId, Point};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Counts per operation kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -75,7 +75,7 @@ impl SceneStats {
         let mut ops = OpHistogram::default();
         let mut population = Vec::new();
         let mut pop = 0i64;
-        let mut last_pos: HashMap<NodeId, Point> = HashMap::new();
+        let mut last_pos: BTreeMap<NodeId, Point> = BTreeMap::new();
         let mut travelled: BTreeMap<NodeId, f64> = BTreeMap::new();
         let mut op_buckets: BTreeMap<u64, u64> = BTreeMap::new();
         let w_ns = window.as_nanos() as u64;

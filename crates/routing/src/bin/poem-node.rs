@@ -10,6 +10,8 @@
 //! optionally originates data toward a destination, and reports what it
 //! received before exiting.
 
+#![forbid(unsafe_code)]
+
 use poem_client::{AppRunner, EmuClient};
 use poem_core::clock::{Clock, WallClock};
 use poem_core::radio::{Radio, RadioConfig};
@@ -127,8 +129,12 @@ fn main() {
         println!("queued {count} payloads toward {dst}");
     }
 
+    // This binary is the live CLI front-end running against a real server
+    // in real time — it is never part of a recorded/replayed pipeline.
+    // poem-lint: allow(determinism): interactive CLI runs on wall-clock time
     let deadline = std::time::Instant::now() + Duration::from_secs_f64(args.duration);
     let mut last_report = 0usize;
+    // poem-lint: allow(determinism): interactive CLI runs on wall-clock time
     while std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(500));
         let received = handles.received.lock().len();

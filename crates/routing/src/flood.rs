@@ -16,7 +16,7 @@ use poem_client::ClientApp;
 use poem_core::packet::Destination;
 use poem_core::{ChannelId, EmuDuration, EmuPacket, EmuTime, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// A flooded payload.
@@ -71,7 +71,7 @@ pub struct FloodStats {
 pub struct Flooder {
     ttl: u8,
     next_seq: u64,
-    seen: HashSet<(NodeId, u64)>,
+    seen: BTreeSet<(NodeId, u64)>,
     delivered: Arc<Mutex<Vec<FloodDelivery>>>,
     stats: Arc<Mutex<FloodStats>>,
     /// External origination queue, like [`crate::RouterHandles::tx`] but
@@ -96,7 +96,7 @@ impl Flooder {
         Flooder {
             ttl,
             next_seq: 0,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             delivered: Arc::new(Mutex::new(Vec::new())),
             stats: Arc::new(Mutex::new(FloodStats::default())),
             tx: Arc::new(Mutex::new(Vec::new())),

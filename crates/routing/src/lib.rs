@@ -24,6 +24,7 @@
 //! identical code runs in the deterministic harness and over real TCP —
 //! the "without any conversion and modification" promise of §1.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -29,7 +29,7 @@ use poem_client::nic::Nic;
 use poem_client::ClientApp;
 use poem_core::packet::Destination;
 use poem_core::{ChannelId, EmuDuration, EmuPacket, EmuTime, NodeId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// Engine configuration.
@@ -147,15 +147,15 @@ pub struct Router {
     next_data_seq: u64,
     next_rreq_id: u64,
     /// `(origin, rreq_id)` floods already processed.
-    seen_rreq: HashSet<(NodeId, u64)>,
+    seen_rreq: BTreeSet<(NodeId, u64)>,
     /// Last time each `(node, channel)` was heard (any PDU).
-    heard: HashMap<(NodeId, ChannelId), EmuTime>,
+    heard: BTreeMap<(NodeId, ChannelId), EmuTime>,
     /// Buffered data awaiting a route, per destination.
-    pending: HashMap<NodeId, VecDeque<(u64, EmuTime, Vec<u8>)>>,
+    pending: BTreeMap<NodeId, VecDeque<(u64, EmuTime, Vec<u8>)>>,
     /// External send queue (see [`RouterHandles::tx`]).
     tx: SendQueue,
     /// Destinations with an outstanding route request.
-    discovering: HashSet<NodeId>,
+    discovering: BTreeSet<NodeId>,
 }
 
 impl Router {
@@ -169,11 +169,11 @@ impl Router {
             own_seq: 0,
             next_data_seq: 0,
             next_rreq_id: 0,
-            seen_rreq: HashSet::new(),
-            heard: HashMap::new(),
-            pending: HashMap::new(),
+            seen_rreq: BTreeSet::new(),
+            heard: BTreeMap::new(),
+            pending: BTreeMap::new(),
             tx: Arc::new(Mutex::new(VecDeque::new())),
-            discovering: HashSet::new(),
+            discovering: BTreeSet::new(),
         }
     }
 
@@ -816,7 +816,7 @@ mod tests {
         r.on_start(&mut n);
         let out = n.drain_outbound();
         assert_eq!(out.len(), 3);
-        let chans: HashSet<ChannelId> = out.iter().map(|p| p.channel).collect();
+        let chans: BTreeSet<ChannelId> = out.iter().map(|p| p.channel).collect();
         assert_eq!(chans.len(), 3);
         assert_eq!(r.handles().stats.lock().broadcasts_sent, 3);
     }

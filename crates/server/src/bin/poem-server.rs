@@ -10,6 +10,8 @@
 //! on exit saves the recorded traffic and scene logs next to the script
 //! (`<script>.traffic.poemlog` / `<script>.scene.poemlog`).
 
+#![forbid(unsafe_code)]
+
 use poem_core::clock::{Clock, WallClock};
 use poem_core::scene::Scene;
 use poem_core::EmuTime;

@@ -72,6 +72,9 @@ pub struct ClusterPipeline {
 impl ClusterPipeline {
     /// Builds a cluster over an initial scene.
     pub fn new(scene: Scene, recorder: Arc<Recorder>, config: ClusterConfig) -> Self {
+        // Constructor precondition on operator-supplied config, checked once
+        // at startup — not reachable from client traffic.
+        // poem-lint: allow(panic_safety): startup config validation
         assert!(config.shards >= 1, "a cluster needs at least one shard");
         let registry = Arc::new(Registry::new());
         let mut root = EmuRng::seed(config.seed);
@@ -186,7 +189,7 @@ impl ClusterPipeline {
         self.batch_size.observe(batch.len() as u64);
         self.imbalance_pct.set(imbalance_pct(&partitions));
         let mut results: Vec<Vec<Delivery>> = Vec::with_capacity(n);
-        thread::scope(|scope| {
+        let scope_result = thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .iter()
                 .enumerate()
@@ -213,10 +216,17 @@ impl ClusterPipeline {
                 })
                 .collect();
             for h in handles {
-                results.push(h.join().expect("shard worker panicked"));
+                match h.join() {
+                    Ok(out) => results.push(out),
+                    // A shard worker panicked: re-raise its payload on the
+                    // caller rather than aborting with a misleading message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
-        })
-        .expect("cluster scope");
+        });
+        if let Err(payload) = scope_result {
+            std::panic::resume_unwind(payload);
+        }
         results
     }
 }

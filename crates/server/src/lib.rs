@@ -19,6 +19,7 @@
 //! * [`viz`] — text rendering of scenes and neighbor tables (the GUI
 //!   replacement).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -51,7 +51,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            addr: "127.0.0.1:0".parse().expect("static addr"),
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             seed: 0,
             mobility_step: Duration::from_millis(100),
             metrics_interval: Duration::from_secs(1),
@@ -157,21 +157,21 @@ impl ServerHandle {
         threads.push(spawn_named("poem-accept", {
             let shared = Arc::clone(&shared);
             move || accept_loop(listener, shared)
-        }));
+        })?);
         threads.push(spawn_named("poem-scan", {
             let shared = Arc::clone(&shared);
             move || scan_loop(shared)
-        }));
+        })?);
         threads.push(spawn_named("poem-mobility", {
             let shared = Arc::clone(&shared);
             let step = config.mobility_step;
             move || mobility_loop(shared, step)
-        }));
+        })?);
         threads.push(spawn_named("poem-metrics", {
             let shared = Arc::clone(&shared);
             let interval = config.metrics_interval;
             move || metrics_loop(shared, interval)
-        }));
+        })?);
 
         Ok(Arc::new(ServerHandle { shared, addr, threads: Mutex::new(threads) }))
     }
@@ -266,8 +266,8 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
-fn spawn_named(name: &str, f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
-    std::thread::Builder::new().name(name.into()).spawn(f).expect("spawn server thread")
+fn spawn_named(name: &str, f: impl FnOnce() + Send + 'static) -> io::Result<JoinHandle<()>> {
+    std::thread::Builder::new().name(name.into()).spawn(f)
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -276,12 +276,16 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let handle = spawn_named("poem-receiver", {
+        let Ok(handle) = spawn_named("poem-receiver", {
             let shared = Arc::clone(&shared);
             move || {
                 let _ = client_session(stream, shared);
             }
-        });
+        }) else {
+            // Thread exhaustion: drop this connection and keep serving the
+            // clients that are already registered.
+            continue;
+        };
         let mut receivers = shared.receivers.lock();
         // Keep the vec bounded on long-running servers with churning
         // clients: finished sessions need no join.

@@ -207,7 +207,7 @@ impl SimNet {
             if due > t_end {
                 break;
             }
-            let (at, ev) = self.schedule.pop_next().expect("peeked entry");
+            let Some((at, ev)) = self.schedule.pop_next() else { break };
             self.now = self.now.max(at);
             match ev {
                 SimEvent::Deliver(d) => self.fire_delivery(d),
@@ -295,8 +295,9 @@ mod tests {
         }
     }
 
-    fn beacon_pair(
-    ) -> (SimNet, Arc<Mutex<Vec<(NodeId, EmuTime)>>>, Arc<Mutex<Vec<(NodeId, EmuTime)>>>) {
+    type HeardLog = Arc<Mutex<Vec<(NodeId, EmuTime)>>>;
+
+    fn beacon_pair() -> (SimNet, HeardLog, HeardLog) {
         let mut net = SimNet::new(SimConfig::default());
         let heard1 = Arc::new(Mutex::new(Vec::new()));
         let heard2 = Arc::new(Mutex::new(Vec::new()));

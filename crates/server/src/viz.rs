@@ -45,7 +45,7 @@ pub fn render_scene(scene: &Scene, cols: usize, rows: usize) -> String {
         grid[row][cx.min(cols - 1)] = label as u8;
     }
     for row in grid {
-        out.push_str(std::str::from_utf8(&row).expect("ascii grid"));
+        out.extend(row.into_iter().map(char::from));
         out.push('\n');
     }
 
@@ -185,7 +185,7 @@ pub fn render_run_summary(scene_log: &[poem_record::SceneRecord]) -> String {
     let _ = writeln!(out, "peak population: {}", stats.peak_population());
     let _ = writeln!(out, "total distance travelled: {:.1} units", stats.total_distance());
     let mut top: Vec<_> = stats.distance_travelled.clone();
-    top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite distances"));
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (id, d) in top.iter().take(5) {
         if *d > 0.0 {
             let _ = writeln!(out, "  {id}: {d:.1} units");

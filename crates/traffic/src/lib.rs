@@ -13,6 +13,7 @@
 //!   delivery log — the application-level counterpart of the recorder's
 //!   per-hop statistics.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -17,6 +17,8 @@
 //! * [`baselines`] — JEmu-like centralized and MobiEmu-like distributed
 //!   architecture models used for comparison.
 
+#![forbid(unsafe_code)]
+
 /// Commonly used items in one import: `use poem::prelude::*;`.
 pub mod prelude {
     pub use poem_client::{AppRunner, ClientApp, EmuClient, Nic};
