@@ -1,0 +1,151 @@
+//! Extension experiment E14 — fault sweep: loss-burst intensity vs
+//! delivery ratio.
+//!
+//! A unicast pair under periodic channel jamming from `poem-chaos`: the
+//! jam's duty cycle sweeps from 0 (no bursts) toward 1 (the channel is
+//! dark most of the time). While a jam is active the receiver is out of
+//! radio reach, so the sender's unicasts fail routing and are dropped —
+//! delivery ratio should fall roughly linearly with the duty cycle,
+//! which is exactly the sanity shape a fault-injection layer must show
+//! before it can be trusted to distort an experiment on purpose.
+
+use bytes::Bytes;
+use poem_chaos::{FaultKind, FaultPlan};
+use poem_client::nic::Nic;
+use poem_client::ClientApp;
+use poem_core::linkmodel::LinkParams;
+use poem_core::mobility::MobilityModel;
+use poem_core::packet::Destination;
+use poem_core::radio::RadioConfig;
+use poem_core::{ChannelId, EmuDuration, EmuPacket, EmuTime, NodeId, Point};
+use poem_record::TrafficQuery;
+use poem_server::sim::{SimConfig, SimNet};
+
+/// Steadily unicasts fixed-size frames to one peer.
+struct UnicastApp {
+    channel: ChannelId,
+    peer: NodeId,
+    payload: usize,
+    interval: EmuDuration,
+}
+
+impl ClientApp for UnicastApp {
+    fn on_start(&mut self, _nic: &mut dyn Nic) -> Option<EmuDuration> {
+        Some(self.interval)
+    }
+    fn on_packet(&mut self, _nic: &mut dyn Nic, _pkt: EmuPacket) {}
+    fn on_tick(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+        nic.send(
+            self.channel,
+            Destination::Unicast(self.peer),
+            Bytes::from(vec![0u8; self.payload]),
+        );
+        Some(self.interval)
+    }
+}
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSweepRow {
+    /// Fraction of each burst period the channel is jammed.
+    pub duty_cycle: f64,
+    /// Jam bursts injected over the run.
+    pub bursts: u64,
+    /// Fraction of copies delivered.
+    pub delivery_ratio: f64,
+    /// Copies forwarded.
+    pub forwarded: u64,
+    /// Copies dropped (all reasons; here dominated by `NoRoute` during
+    /// bursts).
+    pub dropped: u64,
+}
+
+/// Runs one pair for `duration` with periodic jams of `duty_cycle × period`
+/// every `period`.
+pub fn run_pair(
+    duty_cycle: f64,
+    period: EmuDuration,
+    duration: EmuDuration,
+    seed: u64,
+) -> FaultSweepRow {
+    let channel = ChannelId(1);
+    let mut net = SimNet::new(SimConfig { seed, ..SimConfig::default() });
+    for (id, x) in [(1u32, 0.0), (2u32, 60.0)] {
+        net.add_node(
+            NodeId(id),
+            Point::new(x, 0.0),
+            RadioConfig::single(channel, 150.0),
+            MobilityModel::Stationary,
+            LinkParams::ideal(8.0e6),
+            Box::new(UnicastApp {
+                channel,
+                peer: NodeId(if id == 1 { 2 } else { 1 }),
+                payload: 256,
+                interval: EmuDuration::from_millis(50),
+            }),
+        )
+        .expect("pair scene valid");
+    }
+
+    let mut plan = FaultPlan::new();
+    let mut bursts = 0u64;
+    if duty_cycle > 0.0 {
+        let burst = EmuDuration::from_secs_f64(period.as_secs_f64() * duty_cycle.min(1.0));
+        let mut at = EmuTime::ZERO + EmuDuration::from_millis(25);
+        while at < EmuTime::ZERO + duration {
+            plan.push(at, FaultKind::Jam { channel, duration: burst });
+            bursts += 1;
+            at += period;
+        }
+    }
+    net.install_faults(&plan);
+    net.run_until(EmuTime::ZERO + duration);
+
+    let traffic = net.recorder().traffic();
+    let counts = TrafficQuery::new(&traffic).copy_counts();
+    FaultSweepRow {
+        duty_cycle,
+        bursts,
+        delivery_ratio: if counts.total() > 0 {
+            counts.forwarded as f64 / counts.total() as f64
+        } else {
+            0.0
+        },
+        forwarded: counts.forwarded,
+        dropped: counts.dropped(),
+    }
+}
+
+/// The default sweep used by the `fault_sweep` binary.
+pub fn default_run() -> Vec<FaultSweepRow> {
+    [0.0, 0.1, 0.25, 0.5, 0.75, 0.9]
+        .iter()
+        .map(|&d| run_pair(d, EmuDuration::from_secs(2), EmuDuration::from_secs(20), 42))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_falls_with_jam_duty_cycle() {
+        let clean = run_pair(0.0, EmuDuration::from_secs(2), EmuDuration::from_secs(10), 7);
+        let half = run_pair(0.5, EmuDuration::from_secs(2), EmuDuration::from_secs(10), 7);
+        assert_eq!(clean.bursts, 0);
+        assert!(clean.delivery_ratio > 0.99, "{clean:?}");
+        assert!(half.bursts >= 4, "{half:?}");
+        // Bursty loss must visibly depress delivery, but not to zero.
+        assert!(half.delivery_ratio < 0.8, "{half:?}");
+        assert!(half.delivery_ratio > 0.2, "{half:?}");
+        assert!(half.dropped > 0, "{half:?}");
+    }
+
+    #[test]
+    fn sweep_is_monotone_enough() {
+        let rows = default_run();
+        assert_eq!(rows.len(), 6);
+        // Endpoints bound the sweep; interior noise is tolerated.
+        assert!(rows[0].delivery_ratio > rows[5].delivery_ratio, "{rows:?}");
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod cluster;
 pub mod energy;
+pub mod fault_sweep;
 pub mod fig10;
 pub mod fig2;
 pub mod fig3;

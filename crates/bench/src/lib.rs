@@ -15,4 +15,6 @@ pub mod chart;
 pub mod experiments;
 pub mod scenes;
 
-pub use experiments::{cluster, energy, fig10, fig2, fig3, fig5, fig6, mac, overhead, table2};
+pub use experiments::{
+    cluster, energy, fault_sweep, fig10, fig2, fig3, fig5, fig6, mac, overhead, table2,
+};

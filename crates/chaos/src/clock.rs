@@ -1,0 +1,131 @@
+//! Clock-layer faults: skew and jitter on a client's view of time.
+//!
+//! [`ChaosClock`] wraps any [`Clock`] and perturbs `now()` reads with a
+//! constant skew plus `|N(0, σ)|` jitter. Handing one to an `EmuClient`
+//! makes its parallel time-stamping and Fig. 5 sync rounds operate on
+//! faulty time — exactly the condition the synchronization scheme exists
+//! to absorb. `adjust` passes through to the inner clock, so a sync round
+//! still corrects the underlying clock while the skew persists.
+
+use parking_lot::Mutex;
+use poem_core::clock::Clock;
+use poem_core::{EmuDuration, EmuRng, EmuTime};
+use std::sync::Arc;
+
+struct ClockState {
+    skew: EmuDuration,
+    jitter_std: EmuDuration,
+    rng: EmuRng,
+}
+
+/// A [`Clock`] decorator injecting deterministic skew and jitter.
+pub struct ChaosClock {
+    inner: Arc<dyn Clock>,
+    state: Mutex<ClockState>,
+}
+
+impl ChaosClock {
+    /// Wraps `inner`; starts faultless.
+    pub fn new(inner: Arc<dyn Clock>, rng: EmuRng) -> Self {
+        ChaosClock {
+            inner,
+            state: Mutex::new(ClockState {
+                skew: EmuDuration::ZERO,
+                jitter_std: EmuDuration::ZERO,
+                rng,
+            }),
+        }
+    }
+
+    /// Sets the constant offset added to every read (may be negative;
+    /// reads saturate at the epoch).
+    pub fn set_skew(&self, skew: EmuDuration) {
+        self.state.lock().skew = skew;
+    }
+
+    /// Sets the jitter standard deviation (`ZERO` disables jitter).
+    pub fn set_jitter(&self, std_dev: EmuDuration) {
+        self.state.lock().jitter_std = std_dev;
+    }
+
+    /// The current skew.
+    pub fn skew(&self) -> EmuDuration {
+        self.state.lock().skew
+    }
+}
+
+impl Clock for ChaosClock {
+    fn now(&self) -> EmuTime {
+        let mut st = self.state.lock();
+        let mut t = self.inner.now() + st.skew;
+        let std_ns = st.jitter_std.as_nanos();
+        if std_ns > 0 {
+            let j = st.rng.gaussian(0.0, std_ns as f64).abs();
+            t += EmuDuration::from_nanos(j as i64);
+        }
+        t
+    }
+
+    fn adjust(&self, offset: EmuDuration) {
+        self.inner.adjust(offset);
+    }
+}
+
+impl std::fmt::Debug for ChaosClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("ChaosClock")
+            .field("skew", &st.skew)
+            .field("jitter_std", &st.jitter_std)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::clock::VirtualClock;
+
+    #[test]
+    fn skew_shifts_reads_without_touching_inner() {
+        let inner = Arc::new(VirtualClock::starting_at(EmuTime::from_secs(10)));
+        let chaos = ChaosClock::new(inner.clone(), EmuRng::seed(1));
+        assert_eq!(chaos.now(), EmuTime::from_secs(10));
+        chaos.set_skew(EmuDuration::from_millis(250));
+        assert_eq!(chaos.now(), EmuTime::from_millis(10_250));
+        chaos.set_skew(EmuDuration::from_millis(-250));
+        assert_eq!(chaos.now(), EmuTime::from_millis(9_750));
+        assert_eq!(inner.now(), EmuTime::from_secs(10));
+    }
+
+    #[test]
+    fn negative_skew_saturates_at_epoch() {
+        let chaos = ChaosClock::new(Arc::new(VirtualClock::new()), EmuRng::seed(2));
+        chaos.set_skew(EmuDuration::from_secs(-5));
+        assert_eq!(chaos.now(), EmuTime::ZERO);
+    }
+
+    #[test]
+    fn jitter_is_nonnegative_and_seed_deterministic() {
+        let reads = |seed| {
+            let chaos =
+                ChaosClock::new(Arc::new(VirtualClock::starting_at(EmuTime::from_secs(1))), {
+                    EmuRng::seed(seed)
+                });
+            chaos.set_jitter(EmuDuration::from_millis(2));
+            (0..16).map(|_| chaos.now()).collect::<Vec<_>>()
+        };
+        let a = reads(3);
+        assert!(a.iter().all(|&t| t >= EmuTime::from_secs(1)));
+        assert!(a.iter().any(|&t| t > EmuTime::from_secs(1)), "jitter never fired");
+        assert_eq!(a, reads(3));
+    }
+
+    #[test]
+    fn adjust_passes_through() {
+        let inner = Arc::new(VirtualClock::new());
+        let chaos = ChaosClock::new(inner.clone(), EmuRng::seed(4));
+        chaos.adjust(EmuDuration::from_secs(3));
+        assert_eq!(inner.now(), EmuTime::from_secs(3));
+    }
+}

@@ -1,0 +1,53 @@
+//! Deterministic fault injection for the PoEm emulator.
+//!
+//! PoEm's pitch is testing real protocol stacks under *hostile* radio
+//! conditions; this crate supplies the hostility. A [`FaultPlan`] is a
+//! time-ordered schedule of typed faults spanning four layers:
+//!
+//! * **wire** — byte corruption, truncation, duplication and reordering of
+//!   the client↔server byte stream ([`ChaosReader`]/[`ChaosWriter`] wrap
+//!   any `Read`/`Write`, including `poem-proto`'s in-memory pipes and a
+//!   `TcpStream`; the deterministic sim harness applies the same faults at
+//!   the packet level).
+//! * **transport** — client disconnect, stall, and slow readers with
+//!   bounded buffers.
+//! * **scene** — link flap (shrink/restore range), node crash/restart and
+//!   per-channel jamming, expressed through the existing `SceneOp`
+//!   vocabulary so multi-radio jamming exercises the channel-indexed
+//!   neighbor tables.
+//! * **clock** — skew and jitter injected into a client's view of time
+//!   ([`ChaosClock`]), which the Fig. 5 sync rounds must then absorb.
+//!
+//! Every random draw comes from an [`poem_core::EmuRng`] stream derived
+//! from the scenario seed via [`chaos_rng`], isolated from the pipeline's
+//! own stream, so installing a plan never perturbs loss or mobility draws
+//! and two runs of the same script + plan + seed are byte-identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod engine;
+pub mod plan;
+pub mod wire;
+
+pub use clock::ChaosClock;
+pub use engine::{crash_legs, flap_legs, jam_legs, ChaosMetrics};
+pub use plan::{FaultKind, FaultPlan, FaultSpec};
+pub use wire::{ChaosReader, ChaosWriter, WireFaultHub, WireFaults};
+
+use poem_core::EmuRng;
+
+/// Salt mixed into the scenario seed to derive the chaos RNG stream.
+///
+/// The pipeline consumes `EmuRng::seed(seed)` itself; deriving the chaos
+/// stream from `seed ^ CHAOS_STREAM` keeps fault draws off the pipeline's
+/// sequence, so a plan with zero-probability faults is behaviorally
+/// identical to no plan at all.
+pub const CHAOS_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The chaos RNG stream for a scenario seed (see [`CHAOS_STREAM`]).
+pub fn chaos_rng(seed: u64) -> EmuRng {
+    EmuRng::seed(seed ^ CHAOS_STREAM)
+}

@@ -1,0 +1,312 @@
+//! The fault taxonomy and time-ordered fault plans.
+//!
+//! A [`FaultKind`] is one typed fault; a [`FaultPlan`] is a schedule of
+//! them. Plans are authored programmatically with [`FaultPlan::push`] or
+//! parsed from `fault …` lines of a scenario script (see
+//! `poem-server::script`). The kinds map onto the four layers described in
+//! the crate docs; [`FaultKind::layer`] and [`FaultKind::name`] give the
+//! labels used for metrics and fault records.
+
+use poem_core::{ChannelId, EmuDuration, EmuTime, NodeId, RadioId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One typed fault.
+///
+/// Probabilities are per-event Bernoulli parameters in `[0, 1]`; setting a
+/// wire probability to `0.0` deactivates that wire fault for the node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Wire: each frame from `node` has one payload byte flipped with
+    /// probability `prob`.
+    WireCorrupt {
+        /// Affected VMN.
+        node: NodeId,
+        /// Per-frame corruption probability.
+        prob: f64,
+    },
+    /// Wire: each frame from `node` loses its tail with probability `prob`.
+    WireTruncate {
+        /// Affected VMN.
+        node: NodeId,
+        /// Per-frame truncation probability.
+        prob: f64,
+    },
+    /// Wire: each frame from `node` is duplicated with probability `prob`.
+    WireDuplicate {
+        /// Affected VMN.
+        node: NodeId,
+        /// Per-frame duplication probability.
+        prob: f64,
+    },
+    /// Wire: each frame from `node` is delayed past its successors with
+    /// probability `prob` (observable as delivery reordering).
+    WireReorder {
+        /// Affected VMN.
+        node: NodeId,
+        /// Per-frame reorder probability.
+        prob: f64,
+    },
+    /// Transport: `node`'s client connection is severed.
+    Disconnect {
+        /// Affected VMN.
+        node: NodeId,
+    },
+    /// Transport: `node`'s client stops consuming deliveries for
+    /// `duration`; everything buffers (unbounded) and flushes at the end.
+    Stall {
+        /// Affected VMN.
+        node: NodeId,
+        /// How long the client is wedged.
+        duration: EmuDuration,
+    },
+    /// Transport: like [`FaultKind::Stall`] but with a bounded buffer of
+    /// `buffer` frames — overflow is dropped as a disconnected copy.
+    SlowReader {
+        /// Affected VMN.
+        node: NodeId,
+        /// Frames buffered before overflow drops begin.
+        buffer: u32,
+        /// How long the client reads slowly.
+        duration: EmuDuration,
+    },
+    /// Scene: `node`'s radio range shrinks to `factor ×` its current value
+    /// for `duration`, then restores — a link flap.
+    LinkFlap {
+        /// Affected VMN.
+        node: NodeId,
+        /// Which radio slot flaps.
+        radio: RadioId,
+        /// Range multiplier while down (0 = fully dark).
+        factor: f64,
+        /// Outage length.
+        duration: EmuDuration,
+    },
+    /// Scene: `node` is removed from the scene (and its hosted app, in the
+    /// sim harness), optionally re-added `restart_after` later.
+    Crash {
+        /// Affected VMN.
+        node: NodeId,
+        /// Delay until restart, or `None` for a permanent crash.
+        restart_after: Option<EmuDuration>,
+    },
+    /// Scene: every radio tuned to `channel` goes dark for `duration` —
+    /// per-channel jamming through the channel-indexed neighbor tables.
+    Jam {
+        /// Jammed channel.
+        channel: ChannelId,
+        /// Jam length.
+        duration: EmuDuration,
+    },
+    /// Clock: `node`'s clock reads are offset by `offset` (may be
+    /// negative) from injection onward.
+    ClockSkew {
+        /// Affected VMN.
+        node: NodeId,
+        /// Constant offset applied to clock reads.
+        offset: EmuDuration,
+    },
+    /// Clock: `node`'s clock reads gain `|N(0, std_dev)|` of jitter.
+    ClockJitter {
+        /// Affected VMN.
+        node: NodeId,
+        /// Standard deviation of the jitter distribution.
+        std_dev: EmuDuration,
+    },
+}
+
+/// Metric/record label for every fault kind, in declaration order.
+pub const KIND_NAMES: &[&str] = &[
+    "wire_corrupt",
+    "wire_truncate",
+    "wire_duplicate",
+    "wire_reorder",
+    "disconnect",
+    "stall",
+    "slow_reader",
+    "link_flap",
+    "crash",
+    "jam",
+    "clock_skew",
+    "clock_jitter",
+];
+
+impl FaultKind {
+    /// The stable label used for metrics and fault records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::WireCorrupt { .. } => "wire_corrupt",
+            FaultKind::WireTruncate { .. } => "wire_truncate",
+            FaultKind::WireDuplicate { .. } => "wire_duplicate",
+            FaultKind::WireReorder { .. } => "wire_reorder",
+            FaultKind::Disconnect { .. } => "disconnect",
+            FaultKind::Stall { .. } => "stall",
+            FaultKind::SlowReader { .. } => "slow_reader",
+            FaultKind::LinkFlap { .. } => "link_flap",
+            FaultKind::Crash { .. } => "crash",
+            FaultKind::Jam { .. } => "jam",
+            FaultKind::ClockSkew { .. } => "clock_skew",
+            FaultKind::ClockJitter { .. } => "clock_jitter",
+        }
+    }
+
+    /// Which layer the fault acts on: `wire`, `transport`, `scene`, `clock`.
+    pub fn layer(&self) -> &'static str {
+        match self {
+            FaultKind::WireCorrupt { .. }
+            | FaultKind::WireTruncate { .. }
+            | FaultKind::WireDuplicate { .. }
+            | FaultKind::WireReorder { .. } => "wire",
+            FaultKind::Disconnect { .. }
+            | FaultKind::Stall { .. }
+            | FaultKind::SlowReader { .. } => "transport",
+            FaultKind::LinkFlap { .. } | FaultKind::Crash { .. } | FaultKind::Jam { .. } => "scene",
+            FaultKind::ClockSkew { .. } | FaultKind::ClockJitter { .. } => "clock",
+        }
+    }
+
+    /// The node the fault targets, when it targets one (jam targets a
+    /// channel instead).
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            FaultKind::WireCorrupt { node, .. }
+            | FaultKind::WireTruncate { node, .. }
+            | FaultKind::WireDuplicate { node, .. }
+            | FaultKind::WireReorder { node, .. }
+            | FaultKind::Disconnect { node }
+            | FaultKind::Stall { node, .. }
+            | FaultKind::SlowReader { node, .. }
+            | FaultKind::LinkFlap { node, .. }
+            | FaultKind::Crash { node, .. }
+            | FaultKind::ClockSkew { node, .. }
+            | FaultKind::ClockJitter { node, .. } => Some(*node),
+            FaultKind::Jam { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node() {
+            Some(n) => write!(f, "{} {n}", self.name()),
+            None => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+/// A fault and the time it fires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// When the fault is injected.
+    pub at: EmuTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault; the plan stays time-ordered (stable for equal times,
+    /// so insertion order breaks ties deterministically).
+    pub fn push(&mut self, at: EmuTime, kind: FaultKind) -> &mut Self {
+        self.specs.push(FaultSpec { at, kind });
+        self.specs.sort_by_key(|s| s.at);
+        self
+    }
+
+    /// The time-ordered specs.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True with no faults.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The last injection time (timed faults may *act* past this; add
+    /// their durations when picking a run end).
+    pub fn end(&self) -> EmuTime {
+        self.specs.last().map(|s| s.at).unwrap_or(EmuTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_stay_time_ordered() {
+        let mut p = FaultPlan::new();
+        p.push(EmuTime::from_secs(9), FaultKind::Disconnect { node: NodeId(1) });
+        p.push(EmuTime::from_secs(2), FaultKind::WireCorrupt { node: NodeId(2), prob: 0.5 });
+        p.push(
+            EmuTime::from_secs(5),
+            FaultKind::Jam { channel: ChannelId(1), duration: EmuDuration::from_secs(1) },
+        );
+        let times: Vec<EmuTime> = p.specs().iter().map(|s| s.at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(p.end(), EmuTime::from_secs(9));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn names_layers_and_display_agree() {
+        let kinds = [
+            FaultKind::WireCorrupt { node: NodeId(1), prob: 0.1 },
+            FaultKind::WireTruncate { node: NodeId(1), prob: 0.1 },
+            FaultKind::WireDuplicate { node: NodeId(1), prob: 0.1 },
+            FaultKind::WireReorder { node: NodeId(1), prob: 0.1 },
+            FaultKind::Disconnect { node: NodeId(1) },
+            FaultKind::Stall { node: NodeId(1), duration: EmuDuration::from_secs(1) },
+            FaultKind::SlowReader { node: NodeId(1), buffer: 4, duration: EmuDuration::ZERO },
+            FaultKind::LinkFlap {
+                node: NodeId(1),
+                radio: RadioId(0),
+                factor: 0.0,
+                duration: EmuDuration::ZERO,
+            },
+            FaultKind::Crash { node: NodeId(1), restart_after: None },
+            FaultKind::Jam { channel: ChannelId(1), duration: EmuDuration::ZERO },
+            FaultKind::ClockSkew { node: NodeId(1), offset: EmuDuration::from_millis(5) },
+            FaultKind::ClockJitter { node: NodeId(1), std_dev: EmuDuration::from_millis(1) },
+        ];
+        let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names, KIND_NAMES);
+        for k in &kinds {
+            assert!(["wire", "transport", "scene", "clock"].contains(&k.layer()), "{k}");
+            assert!(k.to_string().starts_with(k.name()));
+        }
+        assert_eq!(kinds[9].node(), None);
+        assert_eq!(kinds[0].node(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn specs_roundtrip_through_codec() {
+        let spec = FaultSpec {
+            at: EmuTime::from_millis(1500),
+            kind: FaultKind::SlowReader {
+                node: NodeId(7),
+                buffer: 2,
+                duration: EmuDuration::from_secs(3),
+            },
+        };
+        let bytes = poem_proto::to_bytes(&spec).unwrap();
+        let back: FaultSpec = poem_proto::from_bytes(&bytes).unwrap();
+        assert_eq!(back, spec);
+    }
+}

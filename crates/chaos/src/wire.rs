@@ -1,0 +1,424 @@
+//! Wire-layer fault interposers.
+//!
+//! [`ChaosWriter`]/[`ChaosReader`] wrap any blocking `Write`/`Read` half —
+//! a `poem-proto` in-memory pipe or a `TcpStream` clone — and mangle the
+//! byte stream according to a shared [`WireFaults`] handle. Faults are
+//! applied per `write` call; since `MsgWriter` emits one length prefix and
+//! one body per frame, corrupting either chunk produces exactly the
+//! hostile byte streams the framing layer must survive (decode errors and
+//! desyncs, never panics).
+//!
+//! All draws come from the handle's [`EmuRng`], so a fixed seed and fixed
+//! write sequence mangle identically. A [`WireFaultHub`] maps node ids to
+//! handles so a real-time fault driver can retarget probabilities while
+//! streams are live.
+
+use crate::engine::ChaosMetrics;
+use crate::plan::FaultKind;
+use parking_lot::Mutex;
+use poem_core::clock::Clock;
+use poem_core::{EmuRng, NodeId};
+use poem_record::{FaultRecord, Recorder};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// Occurrence counts per wire action.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCounts {
+    /// Frames with a flipped byte.
+    pub corrupt: u64,
+    /// Frames with a dropped tail.
+    pub truncate: u64,
+    /// Frames written twice.
+    pub duplicate: u64,
+    /// Frames delayed past a successor.
+    pub reorder: u64,
+}
+
+struct WireSink {
+    recorder: Arc<Recorder>,
+    node: NodeId,
+    clock: Arc<dyn Clock>,
+}
+
+struct WireState {
+    corrupt: f64,
+    truncate: f64,
+    duplicate: f64,
+    reorder: f64,
+    rng: EmuRng,
+    /// A reordered chunk awaiting its successor.
+    held: Option<Vec<u8>>,
+    /// When set, writes fail and reads report EOF (severed wire).
+    cut: bool,
+    counts: WireCounts,
+    sink: Option<WireSink>,
+    metrics: Option<ChaosMetrics>,
+}
+
+/// Shared, cloneable fault configuration for one byte stream.
+#[derive(Clone)]
+pub struct WireFaults {
+    state: Arc<Mutex<WireState>>,
+}
+
+impl WireFaults {
+    /// A quiet handle (all probabilities zero) drawing from `rng`.
+    pub fn new(rng: EmuRng) -> Self {
+        WireFaults {
+            state: Arc::new(Mutex::new(WireState {
+                corrupt: 0.0,
+                truncate: 0.0,
+                duplicate: 0.0,
+                reorder: 0.0,
+                rng,
+                held: None,
+                cut: false,
+                counts: WireCounts::default(),
+                sink: None,
+                metrics: None,
+            })),
+        }
+    }
+
+    /// Emits a [`FaultRecord::Wire`] per occurrence into `recorder`,
+    /// stamped with `clock` and attributed to `node`.
+    pub fn with_recorder(
+        self,
+        recorder: Arc<Recorder>,
+        node: NodeId,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        self.state.lock().sink = Some(WireSink { recorder, node, clock });
+        self
+    }
+
+    /// Counts occurrences into per-kind chaos metrics.
+    pub fn with_metrics(self, metrics: ChaosMetrics) -> Self {
+        self.state.lock().metrics = Some(metrics);
+        self
+    }
+
+    /// Applies a wire fault kind to this handle. Returns `false` (and does
+    /// nothing) for non-wire kinds.
+    pub fn configure(&self, kind: &FaultKind) -> bool {
+        let mut st = self.state.lock();
+        match kind {
+            FaultKind::WireCorrupt { prob, .. } => st.corrupt = *prob,
+            FaultKind::WireTruncate { prob, .. } => st.truncate = *prob,
+            FaultKind::WireDuplicate { prob, .. } => st.duplicate = *prob,
+            FaultKind::WireReorder { prob, .. } => st.reorder = *prob,
+            _ => return false,
+        }
+        true
+    }
+
+    /// Severs the wire: subsequent writes fail with `BrokenPipe`, reads
+    /// report EOF.
+    pub fn cut(&self) {
+        self.state.lock().cut = true;
+    }
+
+    /// Occurrence counts so far.
+    pub fn counts(&self) -> WireCounts {
+        self.state.lock().counts
+    }
+}
+
+impl std::fmt::Debug for WireFaults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("WireFaults")
+            .field("corrupt", &st.corrupt)
+            .field("truncate", &st.truncate)
+            .field("duplicate", &st.duplicate)
+            .field("reorder", &st.reorder)
+            .field("cut", &st.cut)
+            .field("counts", &st.counts)
+            .finish()
+    }
+}
+
+/// What one `write` call must actually emit, decided under the state lock.
+struct WritePlan {
+    chunks: Vec<Vec<u8>>,
+    events: Vec<(&'static str, u32)>,
+}
+
+fn plan_write(st: &mut WireState, buf: &[u8]) -> io::Result<WritePlan> {
+    if st.cut {
+        return Err(io::Error::new(io::ErrorKind::BrokenPipe, "wire cut by fault injection"));
+    }
+    let mut chunk = buf.to_vec();
+    let mut events: Vec<(&'static str, u32)> = Vec::new();
+    if st.corrupt > 0.0 && st.rng.chance(st.corrupt) {
+        let i = st.rng.index(chunk.len());
+        let mask = st.rng.range_u64(1, 256) as u8;
+        chunk[i] ^= mask;
+        st.counts.corrupt += 1;
+        events.push(("wire_corrupt", 1));
+    }
+    if st.truncate > 0.0 && st.rng.chance(st.truncate) {
+        let keep = st.rng.index(chunk.len());
+        let lost = (chunk.len() - keep) as u32;
+        chunk.truncate(keep);
+        st.counts.truncate += 1;
+        events.push(("wire_truncate", lost));
+    }
+    let mut chunks = Vec::new();
+    if st.reorder > 0.0 && st.rng.chance(st.reorder) && st.held.is_none() {
+        // Hold this chunk back; it goes out after the next write (a
+        // trailing hold at stream close degrades to tail loss).
+        st.counts.reorder += 1;
+        events.push(("wire_reorder", chunk.len() as u32));
+        st.held = Some(chunk);
+    } else {
+        if st.duplicate > 0.0 && st.rng.chance(st.duplicate) {
+            st.counts.duplicate += 1;
+            events.push(("wire_duplicate", chunk.len() as u32));
+            chunks.push(chunk.clone());
+        }
+        chunks.push(chunk);
+        if let Some(held) = st.held.take() {
+            chunks.push(held);
+        }
+    }
+    Ok(WritePlan { chunks, events })
+}
+
+fn note_events(state: &Arc<Mutex<WireState>>, events: &[(&'static str, u32)]) {
+    if events.is_empty() {
+        return;
+    }
+    let st = state.lock();
+    for (action, bytes) in events {
+        if let Some(m) = &st.metrics {
+            m.injected(action);
+        }
+        if let Some(s) = &st.sink {
+            s.recorder.record_fault(FaultRecord::Wire {
+                at: s.clock.now(),
+                node: s.node,
+                action: (*action).to_string(),
+                bytes: *bytes,
+            });
+        }
+    }
+}
+
+/// A `Write` half with fault injection (see module docs).
+#[derive(Debug)]
+pub struct ChaosWriter<W: Write> {
+    inner: W,
+    faults: WireFaults,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wraps a sink.
+    pub fn new(inner: W, faults: WireFaults) -> Self {
+        ChaosWriter { inner, faults }
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        let plan = plan_write(&mut self.faults.state.lock(), buf)?;
+        for chunk in &plan.chunks {
+            self.inner.write_all(chunk)?;
+        }
+        note_events(&self.faults.state, &plan.events);
+        // Report full success so framed writers never retry a mangled tail.
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A `Read` half honoring the severed-wire flag.
+#[derive(Debug)]
+pub struct ChaosReader<R: Read> {
+    inner: R,
+    faults: WireFaults,
+}
+
+impl<R: Read> ChaosReader<R> {
+    /// Wraps a source.
+    pub fn new(inner: R, faults: WireFaults) -> Self {
+        ChaosReader { inner, faults }
+    }
+}
+
+impl<R: Read> Read for ChaosReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.faults.state.lock().cut {
+            return Ok(0);
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// Node-indexed registry of live [`WireFaults`] handles.
+///
+/// A real-time fault driver resolves `FaultKind::Wire*` specs against the
+/// hub so probabilities change on streams that are already connected.
+#[derive(Default)]
+pub struct WireFaultHub {
+    handles: Mutex<BTreeMap<NodeId, WireFaults>>,
+}
+
+impl WireFaultHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the handle for `node`.
+    pub fn register(&self, node: NodeId, faults: WireFaults) {
+        self.handles.lock().insert(node, faults);
+    }
+
+    /// The handle for `node`, if registered.
+    pub fn handle(&self, node: NodeId) -> Option<WireFaults> {
+        self.handles.lock().get(&node).cloned()
+    }
+
+    /// Routes a wire fault kind to its node's handle. Returns `true` when
+    /// a registered stream was reconfigured.
+    pub fn configure(&self, kind: &FaultKind) -> bool {
+        let Some(node) = kind.node() else { return false };
+        match self.handle(node) {
+            Some(h) => h.configure(kind),
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for WireFaultHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireFaultHub").field("nodes", &self.handles.lock().len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_proto::pipe::pipe;
+
+    fn noisy(corrupt: f64, truncate: f64, duplicate: f64, reorder: f64, seed: u64) -> WireFaults {
+        let f = WireFaults::new(EmuRng::seed(seed));
+        f.configure(&FaultKind::WireCorrupt { node: NodeId(1), prob: corrupt });
+        f.configure(&FaultKind::WireTruncate { node: NodeId(1), prob: truncate });
+        f.configure(&FaultKind::WireDuplicate { node: NodeId(1), prob: duplicate });
+        f.configure(&FaultKind::WireReorder { node: NodeId(1), prob: reorder });
+        f
+    }
+
+    #[test]
+    fn quiet_wire_is_transparent() {
+        let (w, mut r) = pipe();
+        let mut cw = ChaosWriter::new(w, WireFaults::new(EmuRng::seed(1)));
+        cw.write_all(b"hello").unwrap();
+        drop(cw);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"hello");
+    }
+
+    #[test]
+    fn always_duplicate_doubles_every_chunk() {
+        let (w, mut r) = pipe();
+        let mut cw = ChaosWriter::new(w, noisy(0.0, 0.0, 1.0, 0.0, 2));
+        cw.write_all(b"ab").unwrap();
+        drop(cw);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"abab");
+    }
+
+    #[test]
+    fn always_reorder_swaps_adjacent_chunks() {
+        let (w, mut r) = pipe();
+        // First chunk held, second chunk drawn while a hold exists passes
+        // straight through, then the held chunk follows.
+        let mut cw = ChaosWriter::new(w, noisy(0.0, 0.0, 0.0, 1.0, 3));
+        cw.write_all(b"AAA").unwrap();
+        cw.write_all(b"BBB").unwrap();
+        drop(cw);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"BBBAAA");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let (w, mut r) = pipe();
+        let faults = noisy(1.0, 0.0, 0.0, 0.0, 4);
+        let mut cw = ChaosWriter::new(w, faults.clone());
+        cw.write_all(&[0u8; 16]).unwrap();
+        drop(cw);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 16);
+        assert_eq!(out.iter().filter(|&&b| b != 0).count(), 1);
+        assert_eq!(faults.counts().corrupt, 1);
+    }
+
+    #[test]
+    fn truncation_drops_a_tail() {
+        let (w, mut r) = pipe();
+        let faults = noisy(0.0, 1.0, 0.0, 0.0, 5);
+        let mut cw = ChaosWriter::new(w, faults.clone());
+        cw.write_all(&[7u8; 32]).unwrap();
+        drop(cw);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert!(out.len() < 32, "kept {}", out.len());
+        assert_eq!(faults.counts().truncate, 1);
+    }
+
+    #[test]
+    fn mangling_is_deterministic_per_seed() {
+        let run = |seed| {
+            let (w, mut r) = pipe();
+            let mut cw = ChaosWriter::new(w, noisy(0.3, 0.3, 0.3, 0.3, seed));
+            for i in 0..50u8 {
+                cw.write_all(&[i; 8]).unwrap();
+            }
+            drop(cw);
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            out
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn cut_wire_fails_writes_and_eofs_reads() {
+        let (w, r) = pipe();
+        let faults = WireFaults::new(EmuRng::seed(6));
+        let mut cw = ChaosWriter::new(w, faults.clone());
+        let mut cr = ChaosReader::new(r, faults.clone());
+        cw.write_all(b"x").unwrap();
+        faults.cut();
+        assert_eq!(cw.write_all(b"y").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        let mut buf = [0u8; 4];
+        assert_eq!(cr.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn hub_routes_by_node() {
+        let hub = WireFaultHub::new();
+        hub.register(NodeId(3), WireFaults::new(EmuRng::seed(7)));
+        assert!(hub.configure(&FaultKind::WireCorrupt { node: NodeId(3), prob: 0.5 }));
+        assert!(!hub.configure(&FaultKind::WireCorrupt { node: NodeId(4), prob: 0.5 }));
+        assert!(!hub.configure(&FaultKind::Disconnect { node: NodeId(3) }));
+        assert!(hub.handle(NodeId(3)).is_some());
+    }
+}

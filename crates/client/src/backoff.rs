@@ -1,0 +1,115 @@
+//! Capped exponential backoff for client reconnection.
+//!
+//! A fault-injected emulation disconnects clients on purpose (transport
+//! `Disconnect`/`Crash` faults, slow-consumer eviction); a resilient VMN
+//! process reconnects instead of dying. [`Backoff`] produces the retry
+//! delays — exponential growth, a hard cap, and full jitter — with every
+//! draw taken from an [`EmuRng`], so a seeded run retries at identical
+//! offsets and a deterministic test can pin the exact schedule.
+
+use poem_core::{EmuDuration, EmuRng};
+use std::time::Duration;
+
+/// A capped exponential backoff schedule with deterministic jitter.
+///
+/// Delay for attempt `n` (0-based) is drawn uniformly from
+/// `[base·2ⁿ/2, base·2ⁿ]`, clamped to `cap` — "full jitter" biased high
+/// enough that retry storms still spread out. [`Backoff::next_delay`]
+/// returns `None` once `max_attempts` delays have been handed out.
+#[derive(Debug)]
+pub struct Backoff {
+    base: EmuDuration,
+    cap: EmuDuration,
+    max_attempts: u32,
+    attempt: u32,
+    rng: EmuRng,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, doubling per attempt, clamped to
+    /// `cap`, ending after `max_attempts` retries. Draws jitter from `rng`.
+    pub fn new(base: EmuDuration, cap: EmuDuration, max_attempts: u32, rng: EmuRng) -> Self {
+        Backoff { base, cap, max_attempts, attempt: 0, rng }
+    }
+
+    /// Sensible defaults for a LAN emulation: 100 ms base, 5 s cap,
+    /// 8 attempts.
+    pub fn standard(rng: EmuRng) -> Self {
+        Backoff::new(EmuDuration::from_millis(100), EmuDuration::from_secs(5), 8, rng)
+    }
+
+    /// Retries consumed so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Forgets consumed attempts (call after a successful connect so the
+    /// next outage restarts from `base`).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The next retry delay, or `None` when the attempt budget is spent.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.max_attempts {
+            return None;
+        }
+        let exp = self.attempt.min(30);
+        self.attempt += 1;
+        let ceiling_ns = (self.base.as_nanos().max(1) as u64)
+            .saturating_mul(1u64 << exp)
+            .min(self.cap.as_nanos().max(0) as u64);
+        let floor_ns = ceiling_ns / 2;
+        let ns = if ceiling_ns > floor_ns {
+            self.rng.range_u64(floor_ns, ceiling_ns + 1)
+        } else {
+            ceiling_ns
+        };
+        Some(Duration::from_nanos(ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(seed: u64) -> Vec<Duration> {
+        let mut b = Backoff::new(
+            EmuDuration::from_millis(100),
+            EmuDuration::from_secs(2),
+            6,
+            EmuRng::seed(seed),
+        );
+        std::iter::from_fn(|| b.next_delay()).collect()
+    }
+
+    #[test]
+    fn delays_grow_stay_capped_and_end() {
+        let s = schedule(1);
+        assert_eq!(s.len(), 6, "budget exhausts");
+        for (i, d) in s.iter().enumerate() {
+            let ceiling = Duration::from_millis(100 * (1 << i)).min(Duration::from_secs(2));
+            assert!(*d <= ceiling, "attempt {i}: {d:?} > {ceiling:?}");
+            assert!(*d >= ceiling / 2, "attempt {i}: {d:?} < {:?}", ceiling / 2);
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        assert_eq!(schedule(7), schedule(7));
+        assert_ne!(schedule(7), schedule(8));
+    }
+
+    #[test]
+    fn reset_restarts_from_base() {
+        let mut b = Backoff::standard(EmuRng::seed(3));
+        let first = b.next_delay().unwrap();
+        let _ = b.next_delay().unwrap();
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        let again = b.next_delay().unwrap();
+        // Same attempt index ⇒ same ceiling; both under base.
+        assert!(first <= Duration::from_millis(100));
+        assert!(again <= Duration::from_millis(100));
+    }
+}

@@ -158,6 +158,34 @@ impl EmuClient {
         Self::connect(reader, stream, node, radios, clock)
     }
 
+    /// Connects over TCP, retrying transport failures on `backoff`'s
+    /// schedule — the reconnect path after a server restart or an injected
+    /// disconnect. Only [`ClientError::Io`] is retried; a `Refused` or
+    /// protocol error is a permanent answer and returns immediately. On
+    /// success the backoff is reset so the caller can reuse it for the
+    /// next outage.
+    pub fn connect_tcp_with_retry(
+        addr: impl std::net::ToSocketAddrs + Clone,
+        node: NodeId,
+        radios: RadioConfig,
+        clock: Arc<dyn Clock>,
+        backoff: &mut crate::backoff::Backoff,
+    ) -> Result<Self, ClientError> {
+        loop {
+            match Self::connect_tcp(addr.clone(), node, radios.clone(), Arc::clone(&clock)) {
+                Ok(client) => {
+                    backoff.reset();
+                    return Ok(client);
+                }
+                Err(ClientError::Io(e)) => match backoff.next_delay() {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => return Err(ClientError::Io(e)),
+                },
+                Err(permanent) => return Err(permanent),
+            }
+        }
+    }
+
     /// The VMN identity.
     pub fn node(&self) -> NodeId {
         self.node

@@ -24,11 +24,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod app;
+pub mod backoff;
 pub mod client;
 pub mod nic;
 pub mod runner;
 
 pub use app::{ClientApp, TimerMux};
+pub use backoff::Backoff;
 pub use client::{ClientError, EmuClient, PeriodicSync};
 pub use nic::{Nic, QueueNic};
 pub use runner::AppRunner;

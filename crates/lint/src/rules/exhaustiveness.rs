@@ -19,6 +19,12 @@ const CHECKS: &[(&str, &str, &[&str])] = &[
     ("crates/proto/src/messages.rs", "ClientMsg", &["crates/server/src/server.rs"]),
     ("crates/proto/src/messages.rs", "ServerMsg", &["crates/client/src/client.rs"]),
     ("crates/record/src/records.rs", "TrafficRecord", &["crates/record/src/query.rs"]),
+    ("crates/record/src/records.rs", "FaultRecord", &["crates/record/src/query.rs"]),
+    (
+        "crates/chaos/src/plan.rs",
+        "FaultKind",
+        &["crates/server/src/script.rs", "crates/server/src/sim.rs"],
+    ),
 ];
 
 impl super::Rule for Exhaustiveness {

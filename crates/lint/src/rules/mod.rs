@@ -41,6 +41,7 @@ pub(crate) fn determinism_scope(rel: &str) -> bool {
     rel.starts_with("crates/core/src/")
         || rel.starts_with("crates/routing/src/")
         || rel.starts_with("crates/record/src/")
+        || rel.starts_with("crates/chaos/src/")
         || matches!(
             rel,
             "crates/server/src/sim.rs"

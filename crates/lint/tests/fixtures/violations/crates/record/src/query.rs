@@ -1,0 +1,16 @@
+pub fn describe(r: &TrafficRecord) -> &'static str {
+    match r {
+        TrafficRecord::Ingress { .. } => "ingress",
+    }
+}
+
+pub fn layer(r: &FaultRecord) -> &'static str {
+    // Forgets the clock layer: `FaultRecord::Clock` falls into the
+    // catch-all and is silently misreported.
+    match r {
+        FaultRecord::Wire { .. } => "wire",
+        FaultRecord::Transport { .. } => "transport",
+        FaultRecord::Scene { .. } => "scene",
+        _ => "other",
+    }
+}

@@ -1,0 +1,12 @@
+#[derive(Serialize, Deserialize)]
+pub enum TrafficRecord {
+    Ingress { at: u64 },
+}
+
+#[derive(Serialize, Deserialize)]
+pub enum FaultRecord {
+    Wire { at: u64 },
+    Transport { at: u64 },
+    Scene { at: u64 },
+    Clock { at: u64 },
+}

@@ -29,6 +29,7 @@ fn violations_fixture_hits_every_rule_and_exits_nonzero() {
             ("panic_safety", "crates/proto/src/codec.rs", 2),
             ("panic_safety", "crates/proto/src/codec.rs", 2),
             ("exhaustiveness", "crates/proto/src/messages.rs", 5),
+            ("exhaustiveness", "crates/record/src/records.rs", 11),
             ("lock_order", "crates/server/src/a.rs", 3),
             ("lock_order", "crates/server/src/b.rs", 3),
         ]
@@ -49,6 +50,7 @@ fn violations_fixture_messages_name_the_problem() {
     assert!(msgs.iter().any(|m| m.contains("Instant::now")));
     assert!(msgs.iter().any(|m| m.contains("nondeterministic order")));
     assert!(msgs.iter().any(|m| m.contains("ClientMsg::Bye")));
+    assert!(msgs.iter().any(|m| m.contains("FaultRecord::Clock")));
     assert!(msgs.iter().any(|m| m.contains("opposite order")));
     assert!(msgs.iter().any(|m| m.contains("SAFETY")));
 }

@@ -8,6 +8,11 @@
 //!
 //! This lets tests and deterministic experiments run the *identical*
 //! framing + codec path the TCP deployment uses, without sockets.
+//!
+//! [`bounded_pipe()`] adds a capacity: writes block once `capacity` bytes
+//! are buffered, like a full socket send buffer facing a reader that has
+//! stopped reading. This is the substrate slow-consumer faults (and their
+//! server-side eviction) are tested against.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -18,11 +23,14 @@ use std::sync::Arc;
 struct Shared {
     buf: Mutex<PipeState>,
     readable: Condvar,
+    writable: Condvar,
 }
 
 #[derive(Default)]
 struct PipeState {
     data: VecDeque<u8>,
+    /// `None` = unbounded; `Some(n)` = writes block at `n` buffered bytes.
+    capacity: Option<usize>,
     closed: bool,
 }
 
@@ -42,6 +50,16 @@ pub fn pipe() -> (PipeWriter, PipeReader) {
     (PipeWriter { shared: Arc::clone(&shared) }, PipeReader { shared })
 }
 
+/// Creates a pipe whose writer blocks once `capacity` bytes are buffered
+/// (capacity 0 is promoted to 1 so a write can always make progress).
+pub fn bounded_pipe(capacity: usize) -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(Shared {
+        buf: Mutex::new(PipeState { capacity: Some(capacity.max(1)), ..PipeState::default() }),
+        ..Shared::default()
+    });
+    (PipeWriter { shared: Arc::clone(&shared) }, PipeReader { shared })
+}
+
 /// Creates a connected bidirectional link: returns two `(writer, reader)`
 /// endpoints, A and B, where A's writer feeds B's reader and vice versa —
 /// the in-memory analogue of one TCP connection.
@@ -53,13 +71,26 @@ pub fn duplex() -> ((PipeWriter, PipeReader), (PipeWriter, PipeReader)) {
 
 impl Write for PipeWriter {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        let mut state = self.shared.buf.lock();
-        if state.closed {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        if buf.is_empty() {
+            return Ok(0);
         }
-        state.data.extend(buf.iter().copied());
-        self.shared.readable.notify_all();
-        Ok(buf.len())
+        let mut state = self.shared.buf.lock();
+        loop {
+            if state.closed {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+            }
+            let room = match state.capacity {
+                Some(cap) => cap.saturating_sub(state.data.len()),
+                None => buf.len(),
+            };
+            if room > 0 {
+                let n = buf.len().min(room);
+                state.data.extend(buf[..n].iter().copied());
+                self.shared.readable.notify_all();
+                return Ok(n);
+            }
+            self.shared.writable.wait(&mut state);
+        }
     }
 
     fn flush(&mut self) -> io::Result<()> {
@@ -72,6 +103,7 @@ impl Drop for PipeWriter {
         let mut state = self.shared.buf.lock();
         state.closed = true;
         self.shared.readable.notify_all();
+        self.shared.writable.notify_all();
     }
 }
 
@@ -91,6 +123,7 @@ impl Read for PipeReader {
         for (slot, byte) in buf.iter_mut().zip(state.data.drain(..n)) {
             *slot = byte;
         }
+        self.shared.writable.notify_all();
         Ok(n)
     }
 }
@@ -101,6 +134,7 @@ impl Drop for PipeReader {
         // forever into a pipe nobody will read.
         let mut state = self.shared.buf.lock();
         state.closed = true;
+        self.shared.writable.notify_all();
     }
 }
 
@@ -177,6 +211,42 @@ mod tests {
         let reply: ClientMsg = a_rx.recv().unwrap();
         assert_eq!(reply, ClientMsg::Bye);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_pipe_blocks_writer_until_reader_drains() {
+        let (mut w, mut r) = bounded_pipe(4);
+        // Fits: returns immediately.
+        w.write_all(b"abcd").unwrap();
+        let t = thread::spawn(move || {
+            // Blocks until the reader below makes room.
+            w.write_all(b"efgh").unwrap();
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        let mut got = vec![0u8; 8];
+        r.read_exact(&mut got).unwrap();
+        t.join().unwrap();
+        assert_eq!(got, b"abcdefgh");
+    }
+
+    #[test]
+    fn bounded_pipe_write_unblocks_on_reader_drop() {
+        let (mut w, r) = bounded_pipe(2);
+        w.write_all(b"xy").unwrap();
+        let t = thread::spawn(move || w.write_all(b"z"));
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(r);
+        assert_eq!(t.join().unwrap().unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn bounded_pipe_zero_capacity_still_moves_bytes() {
+        let (mut w, mut r) = bounded_pipe(0);
+        let t = thread::spawn(move || w.write_all(b"ok"));
+        let mut got = [0u8; 2];
+        r.read_exact(&mut got).unwrap();
+        t.join().unwrap().unwrap();
+        assert_eq!(&got, b"ok");
     }
 
     #[test]

@@ -22,8 +22,8 @@ pub mod replay;
 pub mod scenestats;
 pub mod store;
 
-pub use query::{CopyCounts, TrafficQuery};
-pub use records::{DropReason, MetricsRecord, SceneRecord, TrafficRecord};
+pub use query::{CopyCounts, FaultCounts, FaultQuery, TrafficQuery};
+pub use records::{DropReason, FaultRecord, MetricsRecord, SceneRecord, TrafficRecord};
 pub use replay::ReplayEngine;
 pub use scenestats::{OpHistogram, SceneStats};
 pub use store::{LogStore, Recorder};

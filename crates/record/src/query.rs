@@ -5,8 +5,11 @@
 //! (Fig. 10's metric), forwarding-delay samples, throughput series and
 //! per-node counters. Filters compose: `TrafficQuery::new(&recs)
 //! .from(NodeId(1)).on_channel(ChannelId(2)).loss_series(window)`.
+//!
+//! [`FaultQuery`] is the companion view over the fault log, correlating
+//! `poem-chaos` injections with the traffic they disturbed.
 
-use crate::records::{DropReason, TrafficRecord};
+use crate::records::{DropReason, FaultRecord, TrafficRecord};
 use poem_core::stats::{SeriesPoint, Summary, WindowedLossMeter};
 use poem_core::{ChannelId, EmuDuration, EmuTime, NodeId, PacketId};
 use std::collections::BTreeMap;
@@ -254,6 +257,81 @@ impl<'a> TrafficQuery<'a> {
     }
 }
 
+/// Per-layer fault-event counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Wire-layer events (one per mangled frame).
+    pub wire: u64,
+    /// Transport-layer events.
+    pub transport: u64,
+    /// Scene-layer events.
+    pub scene: u64,
+    /// Clock-layer events.
+    pub clock: u64,
+}
+
+impl FaultCounts {
+    /// All events combined.
+    pub fn total(&self) -> u64 {
+        self.wire + self.transport + self.scene + self.clock
+    }
+}
+
+/// A filtered view over a fault log.
+#[derive(Debug, Clone)]
+pub struct FaultQuery<'a> {
+    records: &'a [FaultRecord],
+    node: Option<NodeId>,
+}
+
+impl<'a> FaultQuery<'a> {
+    /// A query over all fault records.
+    pub fn new(records: &'a [FaultRecord]) -> Self {
+        FaultQuery { records, node: None }
+    }
+
+    /// Restricts to events naming `node` (scene events name no node and
+    /// are excluded by this filter).
+    pub fn for_node(mut self, node: NodeId) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    fn matches(&self, r: &FaultRecord) -> bool {
+        self.node.is_none_or(|n| r.node() == Some(n))
+    }
+
+    /// Per-layer event counts.
+    pub fn counts(&self) -> FaultCounts {
+        let mut counts = FaultCounts::default();
+        for r in self.records.iter().filter(|r| self.matches(r)) {
+            match r {
+                FaultRecord::Wire { .. } => counts.wire += 1,
+                FaultRecord::Transport { .. } => counts.transport += 1,
+                FaultRecord::Scene { .. } => counts.scene += 1,
+                FaultRecord::Clock { .. } => counts.clock += 1,
+            }
+        }
+        counts
+    }
+
+    /// Events with `from ≤ at < to` — the correlation primitive: slice the
+    /// fault log around a traffic anomaly to see what chaos was acting.
+    pub fn during(&self, from: EmuTime, to: EmuTime) -> Vec<&'a FaultRecord> {
+        self.records.iter().filter(|r| self.matches(r) && r.at() >= from && r.at() < to).collect()
+    }
+
+    /// Number of matching events.
+    pub fn len(&self) -> usize {
+        self.records.iter().filter(|r| self.matches(r)).count()
+    }
+
+    /// True with no matching events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +447,52 @@ mod tests {
         let skews = TrafficQuery::new(&recs).stamp_skew_samples();
         assert_eq!(skews.len(), 10);
         assert!(skews.iter().all(|&d| d == EmuDuration::from_micros(50)));
+    }
+
+    fn sample_faults() -> Vec<FaultRecord> {
+        vec![
+            FaultRecord::Wire {
+                at: EmuTime::from_secs(1),
+                node: NodeId(1),
+                action: "wire_corrupt".into(),
+                bytes: 32,
+            },
+            FaultRecord::Wire {
+                at: EmuTime::from_secs(2),
+                node: NodeId(2),
+                action: "wire_truncate".into(),
+                bytes: 16,
+            },
+            FaultRecord::Transport {
+                at: EmuTime::from_secs(3),
+                node: NodeId(1),
+                action: "stall".into(),
+            },
+            FaultRecord::Scene { at: EmuTime::from_secs(4), action: "jam ch1".into() },
+            FaultRecord::Clock { at: EmuTime::from_secs(5), node: NodeId(1), offset_ns: 1000 },
+        ]
+    }
+
+    #[test]
+    fn fault_counts_by_layer_and_node() {
+        let recs = sample_faults();
+        let all = FaultQuery::new(&recs).counts();
+        assert_eq!(all, FaultCounts { wire: 2, transport: 1, scene: 1, clock: 1 });
+        assert_eq!(all.total(), 5);
+        let n1 = FaultQuery::new(&recs).for_node(NodeId(1));
+        assert_eq!(n1.len(), 3);
+        // Scene events name no node and fall outside any node filter.
+        assert_eq!(n1.counts().scene, 0);
+    }
+
+    #[test]
+    fn fault_during_slices_by_time() {
+        let recs = sample_faults();
+        let q = FaultQuery::new(&recs);
+        let mid = q.during(EmuTime::from_secs(2), EmuTime::from_secs(4));
+        assert_eq!(mid.len(), 2);
+        assert!(mid.iter().all(|r| r.at() >= EmuTime::from_secs(2)));
+        assert!(FaultQuery::new(&[]).is_empty());
     }
 
     #[test]

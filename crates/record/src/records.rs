@@ -148,6 +148,88 @@ impl SceneRecord {
     }
 }
 
+/// One row of the fault log: a `poem-chaos` injection event, stamped with
+/// the emulation time it acted so post-emulation analysis can correlate
+/// faults against the traffic and scene logs on the same time axis.
+///
+/// Wire faults log one row per *occurrence* (each mangled frame);
+/// transport, scene and clock faults log one row per injection (and one
+/// per restore, where the fault has a restore leg).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultRecord {
+    /// A wire-layer fault fired on a node's byte stream.
+    Wire {
+        /// When it fired.
+        at: EmuTime,
+        /// Whose stream.
+        node: NodeId,
+        /// Which wire fault (`wire_corrupt`, `wire_truncate`,
+        /// `wire_duplicate`, `wire_reorder`).
+        action: String,
+        /// Bytes in the affected frame.
+        bytes: u32,
+    },
+    /// A transport-layer fault was injected against a client connection.
+    Transport {
+        /// When it was injected.
+        at: EmuTime,
+        /// Whose connection.
+        node: NodeId,
+        /// Which transport fault (`disconnect`, `stall`, `slow_reader`,
+        /// or a `… release` restore event).
+        action: String,
+    },
+    /// A scene-layer fault changed the scene.
+    Scene {
+        /// When it was injected.
+        at: EmuTime,
+        /// Which scene fault (`link_flap`, `crash`, `jam`, or a
+        /// `… restore` event).
+        action: String,
+    },
+    /// A clock-layer fault perturbed a node's view of time.
+    Clock {
+        /// When it was injected.
+        at: EmuTime,
+        /// Whose clock.
+        node: NodeId,
+        /// Skew offset, or jitter standard deviation, in nanoseconds.
+        offset_ns: i64,
+    },
+}
+
+impl FaultRecord {
+    /// The emulation time of the event.
+    pub fn at(&self) -> EmuTime {
+        match *self {
+            FaultRecord::Wire { at, .. }
+            | FaultRecord::Transport { at, .. }
+            | FaultRecord::Scene { at, .. }
+            | FaultRecord::Clock { at, .. } => at,
+        }
+    }
+
+    /// The fault layer: `wire`, `transport`, `scene` or `clock`.
+    pub fn layer(&self) -> &'static str {
+        match self {
+            FaultRecord::Wire { .. } => "wire",
+            FaultRecord::Transport { .. } => "transport",
+            FaultRecord::Scene { .. } => "scene",
+            FaultRecord::Clock { .. } => "clock",
+        }
+    }
+
+    /// The node the event names, when it names one.
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            FaultRecord::Wire { node, .. }
+            | FaultRecord::Transport { node, .. }
+            | FaultRecord::Clock { node, .. } => Some(node),
+            FaultRecord::Scene { .. } => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +304,34 @@ mod tests {
         let sr = SceneRecord::new(EmuTime::from_secs(1), SceneOp::RemoveNode { id: NodeId(7) });
         let bytes = poem_proto::to_bytes(&sr).unwrap();
         assert_eq!(poem_proto::from_bytes::<SceneRecord>(&bytes).unwrap(), sr);
+    }
+
+    #[test]
+    fn fault_records_roundtrip_and_classify() {
+        let recs = vec![
+            FaultRecord::Wire {
+                at: EmuTime::from_millis(5),
+                node: NodeId(1),
+                action: "wire_corrupt".into(),
+                bytes: 64,
+            },
+            FaultRecord::Transport {
+                at: EmuTime::from_millis(6),
+                node: NodeId(2),
+                action: "stall".into(),
+            },
+            FaultRecord::Scene { at: EmuTime::from_millis(7), action: "jam ch3".into() },
+            FaultRecord::Clock { at: EmuTime::from_millis(8), node: NodeId(3), offset_ns: -500 },
+        ];
+        let layers: Vec<&str> = recs.iter().map(|r| r.layer()).collect();
+        assert_eq!(layers, ["wire", "transport", "scene", "clock"]);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.at(), EmuTime::from_millis(5 + i as u64));
+            let bytes = poem_proto::to_bytes(r).unwrap();
+            assert_eq!(&poem_proto::from_bytes::<FaultRecord>(&bytes).unwrap(), r);
+        }
+        assert_eq!(recs[0].node(), Some(NodeId(1)));
+        assert_eq!(recs[2].node(), None);
     }
 
     #[test]

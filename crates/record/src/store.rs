@@ -9,7 +9,7 @@
 //! magic, the count, and every frame; a truncated or corrupt file is a
 //! hard error, never a silently shorter log.
 
-use crate::records::{MetricsRecord, SceneRecord, TrafficRecord};
+use crate::records::{FaultRecord, MetricsRecord, SceneRecord, TrafficRecord};
 use parking_lot::Mutex;
 use poem_obs::{Counter, Registry};
 use poem_proto::{from_bytes, to_bytes};
@@ -140,8 +140,10 @@ pub struct Recorder {
     traffic: Mutex<LogStore<TrafficRecord>>,
     scene: Mutex<LogStore<SceneRecord>>,
     metrics: Mutex<LogStore<MetricsRecord>>,
+    faults: Mutex<LogStore<FaultRecord>>,
     traffic_buffered: Arc<Counter>,
     scene_buffered: Arc<Counter>,
+    fault_buffered: Arc<Counter>,
     records_written: Arc<Counter>,
 }
 
@@ -168,6 +170,12 @@ impl Recorder {
         self.metrics.lock().append(rec);
     }
 
+    /// Appends a fault-injection record.
+    pub fn record_fault(&self, rec: FaultRecord) {
+        self.faults.lock().append(rec);
+        self.fault_buffered.inc();
+    }
+
     /// Snapshot of the traffic log.
     pub fn traffic(&self) -> Vec<TrafficRecord> {
         self.traffic.lock().items().to_vec()
@@ -181,6 +189,11 @@ impl Recorder {
     /// Snapshot of the metrics log.
     pub fn metrics(&self) -> Vec<MetricsRecord> {
         self.metrics.lock().items().to_vec()
+    }
+
+    /// Snapshot of the fault log.
+    pub fn faults(&self) -> Vec<FaultRecord> {
+        self.faults.lock().items().to_vec()
     }
 
     /// Current record counts `(traffic, scene)`.
@@ -200,26 +213,32 @@ impl Recorder {
             Arc::clone(&self.scene_buffered),
         );
         registry.register_counter(
+            "poem_recorder_fault_records_total",
+            Arc::clone(&self.fault_buffered),
+        );
+        registry.register_counter(
             "poem_recorder_records_written_total",
             Arc::clone(&self.records_written),
         );
     }
 
-    /// Saves all logs: `<stem>.traffic.poemlog`, `<stem>.scene.poemlog`
-    /// and `<stem>.metrics.poemlog`.
+    /// Saves all logs: `<stem>.traffic.poemlog`, `<stem>.scene.poemlog`,
+    /// `<stem>.metrics.poemlog` and `<stem>.faults.poemlog`.
     pub fn save(&self, stem: impl AsRef<Path>) -> io::Result<()> {
         let stem = stem.as_ref();
-        let (traffic, scene, metrics) =
-            (self.traffic.lock(), self.scene.lock(), self.metrics.lock());
+        let (traffic, scene, metrics, faults) =
+            (self.traffic.lock(), self.scene.lock(), self.metrics.lock(), self.faults.lock());
         traffic.save(stem.with_extension("traffic.poemlog"))?;
         scene.save(stem.with_extension("scene.poemlog"))?;
         metrics.save(stem.with_extension("metrics.poemlog"))?;
-        self.records_written.add((traffic.len() + scene.len() + metrics.len()) as u64);
+        faults.save(stem.with_extension("faults.poemlog"))?;
+        self.records_written
+            .add((traffic.len() + scene.len() + metrics.len() + faults.len()) as u64);
         Ok(())
     }
 
-    /// Loads logs saved by [`Recorder::save`]. A missing metrics file is
-    /// tolerated (logs written before the observability layer existed).
+    /// Loads logs saved by [`Recorder::save`]. Missing metrics or fault
+    /// files are tolerated (logs written before those layers existed).
     pub fn load(stem: impl AsRef<Path>) -> io::Result<Self> {
         let stem = stem.as_ref();
         let traffic = LogStore::load(stem.with_extension("traffic.poemlog"))?;
@@ -229,10 +248,16 @@ impl Recorder {
             Err(e) if e.kind() == io::ErrorKind::NotFound => LogStore::new(),
             Err(e) => return Err(e),
         };
+        let faults = match LogStore::load(stem.with_extension("faults.poemlog")) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => LogStore::new(),
+            Err(e) => return Err(e),
+        };
         Ok(Recorder {
             traffic: Mutex::new(traffic),
             scene: Mutex::new(scene),
             metrics: Mutex::new(metrics),
+            faults: Mutex::new(faults),
             ..Recorder::default()
         })
     }
@@ -371,6 +396,29 @@ mod tests {
         std::fs::remove_file(stem.with_extension("metrics.poemlog")).unwrap();
         let legacy = Recorder::load(&stem).unwrap();
         assert!(legacy.metrics().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recorder_fault_log_roundtrips_and_missing_file_tolerated() {
+        let dir = std::env::temp_dir().join(format!("poemfault-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = Recorder::new();
+        let registry = poem_obs::Registry::new();
+        rec.register_metrics(&registry);
+        rec.record_fault(crate::records::FaultRecord::Scene {
+            at: EmuTime::from_secs(3),
+            action: "jam ch1".into(),
+        });
+        assert_eq!(registry.snapshot().counter("poem_recorder_fault_records_total"), Some(1));
+        let stem = dir.join("run-faults");
+        rec.save(&stem).unwrap();
+        let loaded = Recorder::load(&stem).unwrap();
+        assert_eq!(loaded.faults(), rec.faults());
+        // Pre-chaos logs have no faults file: load still succeeds.
+        std::fs::remove_file(stem.with_extension("faults.poemlog")).unwrap();
+        let legacy = Recorder::load(&stem).unwrap();
+        assert!(legacy.faults().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

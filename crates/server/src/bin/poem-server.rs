@@ -103,9 +103,10 @@ fn main() {
     };
     println!("poem-server listening on {}", server.addr());
     println!(
-        "scene: {} nodes, {} deferred scenario ops",
+        "scene: {} nodes, {} deferred scenario ops, {} scheduled faults",
         server.with_scene(|s| s.len()),
-        deferred.len()
+        deferred.len(),
+        script.fault_count()
     );
     println!("{}", server.with_scene(|s| poem_server::viz::render_scene(s, 56, 12)));
 
@@ -130,6 +131,19 @@ fn main() {
         })
     };
 
+    // Chaos driver: execute `fault …` lines at their wall-clock offsets.
+    let fault_driver = if script.fault_count() > 0 {
+        match server.spawn_fault_driver(script.faults(), None) {
+            Ok(h) => Some(h),
+            Err(e) => {
+                eprintln!("cannot start fault driver: {e}");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
     // Run for the requested duration (default: script end + 5 s).
     let run_secs = args.duration.unwrap_or(script.end().as_secs_f64() + 5.0);
     println!("running for {run_secs:.1} s of wall time ...");
@@ -139,13 +153,22 @@ fn main() {
     let recorder = server.recorder();
     let (traffic, ops) = recorder.counts();
     println!("recorded {traffic} traffic events, {ops} scene ops");
+    let faults = recorder.faults();
+    if !faults.is_empty() {
+        println!("\n=== faults ===\n{}", poem_server::viz::render_faults(&faults));
+    }
     println!("\n=== metrics ===\n{}", poem_server::viz::render_metrics(&server.metrics()));
     let stem = args.script.with_extension("");
     match recorder.save(&stem) {
         Ok(()) => {
-            println!("logs saved to {}.{{traffic,scene,metrics}}.poemlog", stem.display())
+            println!("logs saved to {}.{{traffic,scene,metrics,faults}}.poemlog", stem.display())
         }
         Err(e) => eprintln!("could not save logs: {e}"),
     }
+    // Shutdown flips `running`, so a fault driver with restores beyond the
+    // run duration exits instead of pinning the process.
     server.shutdown();
+    if let Some(h) = fault_driver {
+        let _ = h.join();
+    }
 }

@@ -18,6 +18,11 @@
 //!   deployed mode.
 //! * [`viz`] — text rendering of scenes and neighbor tables (the GUI
 //!   replacement).
+//!
+//! Fault injection (`poem-chaos`) plugs into both frontends: `fault …`
+//! script lines become a [`poem_chaos::FaultPlan`] executed by
+//! [`sim::SimNet::install_faults`] under virtual time and by
+//! [`server::ServerHandle::spawn_fault_driver`] under wall-clock time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

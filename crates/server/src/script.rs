@@ -30,15 +30,29 @@
 //! * `bandwidth <node> max <bps> min <bps>`
 //! * `arena <width> <height>`
 //!
+//! Fault-injection commands (`poem-chaos`) schedule entries of the
+//! script's [`FaultPlan`] rather than scene ops:
+//!
+//! * `fault corrupt|truncate|duplicate|reorder <node> <prob>`
+//! * `fault disconnect <node>`
+//! * `fault stall <node> <secs>`
+//! * `fault slowreader <node> <frames> <secs>`
+//! * `fault flap <node> radio<k> <factor> <secs>`
+//! * `fault crash <node> [restart <secs>]`
+//! * `fault jam <channel> <secs>`
+//! * `fault skew <node> <secs>` (may be negative)
+//! * `fault jitter <node> <secs>`
+//!
 //! Node names are `VMN<n>` or a bare integer; channels are `ch<n>` or a
 //! bare integer. Parsing is strict: any malformed line is an error with
 //! its line number.
 
+use poem_chaos::{FaultKind, FaultPlan};
 use poem_core::linkmodel::LinkParams;
 use poem_core::mobility::{Arena, MobilityModel};
 use poem_core::radio::{Radio, RadioConfig};
 use poem_core::scene::SceneOp;
-use poem_core::{ChannelId, EmuTime, NodeId, RadioId};
+use poem_core::{ChannelId, EmuDuration, EmuTime, NodeId, RadioId};
 use std::fmt;
 
 /// One parsed script entry.
@@ -50,10 +64,18 @@ pub struct ScriptEntry {
     pub op: SceneOp,
 }
 
-/// A parsed scenario script, time-ordered.
+/// A parsed scenario script, time-ordered. Scene entries and the fault
+/// plan are kept separate: ops drive the scene, faults drive `poem-chaos`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Script {
     entries: Vec<ScriptEntry>,
+    faults: FaultPlan,
+}
+
+/// What one script line parsed into.
+enum Parsed {
+    Scene(ScriptEntry),
+    Fault(EmuTime, FaultKind),
 }
 
 /// A parse failure, with its 1-based line number.
@@ -125,19 +147,25 @@ impl Script {
     /// ```
     pub fn parse(text: &str) -> Result<Script, ParseError> {
         let mut entries = Vec::new();
+        let mut faults = FaultPlan::new();
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
-            entries.push(Self::parse_line(line, line_no)?);
+            match Self::parse_line(line, line_no)? {
+                Parsed::Scene(entry) => entries.push(entry),
+                Parsed::Fault(at, kind) => {
+                    faults.push(at, kind);
+                }
+            }
         }
         entries.sort_by_key(|e| e.at);
-        Ok(Script { entries })
+        Ok(Script { entries, faults })
     }
 
-    fn parse_line(line: &str, n: usize) -> Result<ScriptEntry, ParseError> {
+    fn parse_line(line: &str, n: usize) -> Result<Parsed, ParseError> {
         let toks: Vec<&str> = line.split_whitespace().collect();
         if toks.len() < 3 || toks[0] != "at" {
             return Err(err(n, "expected `at <seconds> <command> ...`"));
@@ -148,6 +176,9 @@ impl Script {
         }
         let at = EmuTime::from_secs_f64(secs);
         let args = &toks[3..];
+        if toks[2] == "fault" {
+            return Ok(Parsed::Fault(at, Self::parse_fault(args, n)?));
+        }
         let op = match toks[2] {
             "add" => Self::parse_add(args, n)?,
             "remove" => {
@@ -198,7 +229,86 @@ impl Script {
             }
             other => return Err(err(n, format!("unknown command `{other}`"))),
         };
-        Ok(ScriptEntry { at, op })
+        Ok(Parsed::Scene(ScriptEntry { at, op }))
+    }
+
+    fn parse_fault(args: &[&str], n: usize) -> Result<FaultKind, ParseError> {
+        let usage = "usage: fault corrupt|truncate|duplicate|reorder|disconnect|stall|slowreader|flap|crash|jam|skew|jitter ...";
+        let parse_prob = |tok: &str| -> Result<f64, ParseError> {
+            let p = parse_f64(tok, n, "probability")?;
+            if (0.0..=1.0).contains(&p) {
+                Ok(p)
+            } else {
+                Err(err(n, "probability must be within [0, 1]"))
+            }
+        };
+        let parse_secs = |tok: &str, what: &str| -> Result<EmuDuration, ParseError> {
+            let secs = parse_f64(tok, n, what)?;
+            if secs < 0.0 {
+                return Err(err(n, format!("{what} must be ≥ 0")));
+            }
+            Ok(EmuDuration::from_nanos((secs * 1e9) as i64))
+        };
+        match args {
+            ["corrupt", node, prob] => {
+                Ok(FaultKind::WireCorrupt { node: parse_node(node, n)?, prob: parse_prob(prob)? })
+            }
+            ["truncate", node, prob] => {
+                Ok(FaultKind::WireTruncate { node: parse_node(node, n)?, prob: parse_prob(prob)? })
+            }
+            ["duplicate", node, prob] => {
+                Ok(FaultKind::WireDuplicate { node: parse_node(node, n)?, prob: parse_prob(prob)? })
+            }
+            ["reorder", node, prob] => {
+                Ok(FaultKind::WireReorder { node: parse_node(node, n)?, prob: parse_prob(prob)? })
+            }
+            ["disconnect", node] => Ok(FaultKind::Disconnect { node: parse_node(node, n)? }),
+            ["stall", node, secs] => Ok(FaultKind::Stall {
+                node: parse_node(node, n)?,
+                duration: parse_secs(secs, "duration")?,
+            }),
+            ["slowreader", node, frames, secs] => {
+                let buffer: u32 = frames
+                    .parse()
+                    .map_err(|_| err(n, format!("bad frame count `{frames}` (want an integer)")))?;
+                Ok(FaultKind::SlowReader {
+                    node: parse_node(node, n)?,
+                    buffer,
+                    duration: parse_secs(secs, "duration")?,
+                })
+            }
+            ["flap", node, slot, factor, secs] => Ok(FaultKind::LinkFlap {
+                node: parse_node(node, n)?,
+                radio: parse_radio_slot(slot, n)?,
+                factor: parse_f64(factor, n, "range factor")?,
+                duration: parse_secs(secs, "duration")?,
+            }),
+            ["crash", node] => {
+                Ok(FaultKind::Crash { node: parse_node(node, n)?, restart_after: None })
+            }
+            ["crash", node, "restart", secs] => Ok(FaultKind::Crash {
+                node: parse_node(node, n)?,
+                restart_after: Some(parse_secs(secs, "restart delay")?),
+            }),
+            ["jam", ch, secs] => Ok(FaultKind::Jam {
+                channel: parse_channel(ch, n)?,
+                duration: parse_secs(secs, "duration")?,
+            }),
+            ["skew", node, secs] => {
+                // Skew is an offset, not a duration: negative values are
+                // meaningful (a clock running behind).
+                let offset_secs = parse_f64(secs, n, "skew")?;
+                Ok(FaultKind::ClockSkew {
+                    node: parse_node(node, n)?,
+                    offset: EmuDuration::from_nanos((offset_secs * 1e9) as i64),
+                })
+            }
+            ["jitter", node, secs] => Ok(FaultKind::ClockJitter {
+                node: parse_node(node, n)?,
+                std_dev: parse_secs(secs, "jitter std-dev")?,
+            }),
+            _ => Err(err(n, usage)),
+        }
     }
 
     fn parse_add(args: &[&str], n: usize) -> Result<SceneOp, ParseError> {
@@ -294,23 +404,36 @@ impl Script {
         &self.entries
     }
 
-    /// Entry count.
+    /// The fault plan parsed from `fault …` lines (empty when none).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Scene-entry count (`fault` lines are counted by [`Self::fault_count`]).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// True with no entries.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+    /// Scheduled fault count.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
     }
 
-    /// The last entry's time (useful for picking a run end).
+    /// True with no entries and no faults.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.faults.is_empty()
+    }
+
+    /// The last scheduled time — scene op or fault, whichever is later
+    /// (useful for picking a run end).
     pub fn end(&self) -> EmuTime {
-        self.entries.last().map(|e| e.at).unwrap_or(EmuTime::ZERO)
+        let scene_end = self.entries.last().map(|e| e.at).unwrap_or(EmuTime::ZERO);
+        scene_end.max(self.faults.end())
     }
 
     /// Installs every entry into a [`crate::sim::SimNet`] as scheduled
-    /// ops (entries at t = 0 apply immediately).
+    /// ops (entries at t = 0 apply immediately), then installs the fault
+    /// plan into the net's chaos engine.
     pub fn install(&self, net: &mut crate::sim::SimNet) {
         for e in &self.entries {
             if e.at <= net.now() {
@@ -319,6 +442,7 @@ impl Script {
                 net.schedule_op(e.at, e.op.clone());
             }
         }
+        net.install_faults(&self.faults);
     }
 }
 
@@ -477,6 +601,109 @@ mod tests {
         net.run_until(EmuTime::from_secs(5));
         assert_eq!(net.scene().len(), 1);
         assert!(net.scene().node(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn parses_fault_commands_into_a_plan() {
+        let s = Script::parse(
+            "at 0 add VMN1 0 0 radio ch1 200\n\
+             at 1 fault corrupt VMN1 0.25\n\
+             at 2 fault stall VMN2 1.5\n\
+             at 2.5 fault slowreader VMN2 4 2\n\
+             at 3 fault flap VMN1 radio0 0.5 2\n\
+             at 4 fault crash VMN3 restart 3\n\
+             at 5 fault jam ch1 2\n\
+             at 6 fault skew VMN1 -0.5\n\
+             at 7 fault jitter VMN2 0.01\n\
+             at 8 fault disconnect VMN3",
+        )
+        .unwrap();
+        // `fault` lines do not count as scene entries.
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.fault_count(), 9);
+        assert_eq!(s.end(), EmuTime::from_secs(8));
+        let specs = s.faults().specs();
+        assert!(matches!(
+            specs[0].kind,
+            poem_chaos::FaultKind::WireCorrupt { node: NodeId(1), prob } if prob == 0.25
+        ));
+        assert!(matches!(
+            specs[1].kind,
+            poem_chaos::FaultKind::Stall { node: NodeId(2), duration }
+                if duration == EmuDuration::from_millis(1_500)
+        ));
+        assert!(matches!(specs[2].kind, poem_chaos::FaultKind::SlowReader { buffer: 4, .. }));
+        assert!(matches!(
+            specs[4].kind,
+            poem_chaos::FaultKind::Crash { node: NodeId(3), restart_after: Some(d) }
+                if d == EmuDuration::from_secs(3)
+        ));
+        assert!(matches!(
+            specs[6].kind,
+            poem_chaos::FaultKind::ClockSkew { offset, .. }
+                if offset == EmuDuration::from_millis(-500)
+        ));
+    }
+
+    #[test]
+    fn fault_errors_carry_line_numbers() {
+        let cases = [
+            ("at 1 fault", 1),                     // missing subcommand
+            ("at 1 fault corrupt VMN1 1.5", 1),    // prob out of range
+            ("at 1 fault corrupt VMN1", 1),        // missing prob
+            ("\nat 2 fault stall VMN1 -3", 2),     // negative duration
+            ("at 1 fault slowreader VMN1 x 2", 1), // bad frame count
+            ("at 1 fault crash VMN1 reboot 3", 1), // bad keyword
+            ("at 1 fault meltdown VMN1", 1),       // unknown fault
+        ];
+        for (text, line) in cases {
+            let e = Script::parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text}: {e}");
+        }
+    }
+
+    #[test]
+    fn faulty_script_drives_the_harness() {
+        use bytes::Bytes;
+        use poem_client::{ClientApp, Nic};
+        use poem_core::packet::Destination;
+
+        /// One broadcast beacon per second.
+        struct Chirp;
+        impl ClientApp for Chirp {
+            fn on_start(&mut self, nic: &mut dyn Nic) -> Option<poem_core::EmuDuration> {
+                nic.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"hi"));
+                Some(poem_core::EmuDuration::from_secs(1))
+            }
+            fn on_packet(&mut self, _nic: &mut dyn Nic, _pkt: poem_core::EmuPacket) {}
+            fn on_tick(&mut self, nic: &mut dyn Nic) -> Option<poem_core::EmuDuration> {
+                nic.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"hi"));
+                Some(poem_core::EmuDuration::from_secs(1))
+            }
+        }
+
+        let mut net = crate::sim::SimNet::new(crate::sim::SimConfig::default());
+        for (id, x) in [(1u32, 0.0), (2u32, 50.0)] {
+            net.add_node(
+                NodeId(id),
+                Point::new(x, 0.0),
+                RadioConfig::single(ChannelId(1), 100.0),
+                MobilityModel::Stationary,
+                LinkParams::ideal(8e6),
+                Box::new(Chirp),
+            )
+            .unwrap();
+        }
+        let s = Script::parse("at 1 fault disconnect VMN2").unwrap();
+        assert_eq!(s.fault_count(), 1);
+        s.install(&mut net);
+        net.run_until(EmuTime::from_secs(4));
+        // The disconnect removed VMN2's client but kept its scene node.
+        assert_eq!(net.client_count(), 1);
+        assert!(net.scene().node(NodeId(2)).is_some());
+        let traffic = net.recorder().traffic();
+        let counts = poem_record::TrafficQuery::new(&traffic).copy_counts();
+        assert!(counts.disconnected > 0, "{counts:?}");
     }
 
     #[test]

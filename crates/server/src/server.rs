@@ -19,13 +19,15 @@
 
 use crate::engine::{Delivery, Pipeline};
 use parking_lot::{Condvar, Mutex};
+use poem_chaos::engine::{crash_legs, flap_legs, injection_record, jam_legs};
+use poem_chaos::{ChaosMetrics, FaultKind, FaultPlan, WireFaultHub};
 use poem_core::clock::Clock;
 use poem_core::scene::{Scene, SceneError, SceneOp};
 use poem_core::{EmuDuration, EmuRng, EmuTime, ForwardSchedule, NodeId};
 use poem_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use poem_proto::messages::{ClientMsg, ServerMsg, PROTOCOL_VERSION};
 use poem_proto::{MsgReader, MsgWriter};
-use poem_record::{MetricsRecord, Recorder, TrafficRecord};
+use poem_record::{FaultRecord, MetricsRecord, Recorder, TrafficRecord};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -46,6 +48,14 @@ pub struct ServerConfig {
     /// Wall-clock interval at which a [`MetricsRecord`] snapshot is
     /// appended to the record log.
     pub metrics_interval: Duration,
+    /// Per-client socket read timeout. A blocked `recv` wakes at this
+    /// interval to re-check liveness (shutdown, eviction); `None` blocks
+    /// forever, restoring the pre-hardening behavior.
+    pub read_timeout: Option<Duration>,
+    /// Per-client socket write timeout. Bounds how long a delivery send
+    /// may block on a consumer that stopped reading; on expiry the client
+    /// is evicted instead of wedging the scanning thread.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +65,8 @@ impl Default for ServerConfig {
             seed: 0,
             mobility_step: Duration::from_millis(100),
             metrics_interval: Duration::from_secs(1),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(2)),
         }
     }
 }
@@ -101,6 +113,16 @@ impl ServerMetrics {
     }
 }
 
+/// A transport fault in force against one client: deliveries are held (up
+/// to `capacity`) or dropped until `until`.
+struct StallEntry {
+    until: EmuTime,
+    /// `None` = plain stall (hold everything); `Some(n)` = slow reader
+    /// with an `n`-delivery buffer, overflow is dropped.
+    capacity: Option<usize>,
+    held: Vec<Delivery>,
+}
+
 struct Shared {
     pipeline: Mutex<Pipeline>,
     recorder: Arc<Recorder>,
@@ -114,6 +136,10 @@ struct Shared {
     /// Per-client receiver threads, joined on shutdown (they used to be
     /// detached, leaking a thread per connection on long-running servers).
     receivers: Mutex<Vec<JoinHandle<()>>>,
+    /// Active transport faults (stall / slow-reader), keyed by victim.
+    stalls: Mutex<HashMap<NodeId, StallEntry>>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
 }
 
 /// A running emulation server.
@@ -151,6 +177,9 @@ impl ServerHandle {
             registry,
             metrics,
             receivers: Mutex::new(Vec::new()),
+            stalls: Mutex::new(HashMap::new()),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
         });
 
         let mut threads = Vec::new();
@@ -222,13 +251,44 @@ impl ServerHandle {
         v
     }
 
+    /// Forcibly drops `node`'s connection (the transport-layer
+    /// `Disconnect` fault). Returns `false` when the node was not
+    /// connected. The scene node stays; subsequent copies towards it
+    /// become `Disconnected` drops until the client reconnects.
+    pub fn disconnect(&self, node: NodeId) -> bool {
+        self.shared.evict(node)
+    }
+
+    /// Spawns a thread that executes `plan` against wall-clock time:
+    /// each spec fires once the emulation clock reaches its injection
+    /// time, including the restore legs of timed faults (flap, jam,
+    /// crash-with-restart, stall release). Wire faults are routed through
+    /// `wires` (streams registered there keep mangling until
+    /// reconfigured); clock faults are recorded and counted, the actual
+    /// skew lives client-side in a `ChaosClock`. The thread exits when
+    /// the plan (restores included) is exhausted or the server shuts
+    /// down.
+    pub fn spawn_fault_driver(
+        &self,
+        plan: &FaultPlan,
+        wires: Option<Arc<WireFaultHub>>,
+    ) -> io::Result<JoinHandle<()>> {
+        let shared = Arc::clone(&self.shared);
+        let plan = plan.clone();
+        spawn_named("poem-chaos", move || fault_driver(shared, plan, wires))
+    }
+
     /// Announces shutdown to every client and stops all threads,
     /// including the per-client receiver threads.
     pub fn shutdown(&self) {
         if !self.shared.running.swap(false, Ordering::AcqRel) {
             return;
         }
-        for (_, entry) in self.shared.clients.lock().drain() {
+        // Drain under the lock, notify outside it: sending Shutdown takes
+        // each entry's writer lock, and holding `clients` across that would
+        // invert the session threads' writer → clients order.
+        let drained: Vec<_> = self.shared.clients.lock().drain().collect();
+        for (_, entry) in drained {
             let _ = entry.writer.lock().send(&ServerMsg::Shutdown);
             // Unblock the session's blocking read so its receiver thread
             // can be joined even if the client never closes its end.
@@ -295,8 +355,18 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 /// Registration + receive loop for one client connection (§3.2 steps 1–4).
+/// Sends one message under the writer lock; the guard drops before this
+/// returns, so callers never hold it across another lock acquisition.
+fn send_locked(writer: &SharedWriter, msg: &ServerMsg) -> io::Result<()> {
+    writer.lock().send(msg)
+}
+
 fn client_session(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    // Socket options live on the underlying socket, so setting them here
+    // covers every clone (reader, shared writer, shutdown handle).
+    stream.set_read_timeout(shared.read_timeout)?;
+    stream.set_write_timeout(shared.write_timeout)?;
     let stream_for_shutdown = stream.try_clone()?;
     let mut reader = MsgReader::new(stream.try_clone()?);
     let writer: SharedWriter = Arc::new(Mutex::new(MsgWriter::new(stream)));
@@ -317,11 +387,6 @@ fn client_session(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                 writer.lock().send(&ServerMsg::Refused { reason })?;
                 return Ok(());
             }
-            writer.lock().send(&ServerMsg::Welcome {
-                version: PROTOCOL_VERSION,
-                node,
-                server_time: shared.clock.now(),
-            })?;
             let entry = ClientEntry {
                 writer: Arc::clone(&writer),
                 stream: stream_for_shutdown,
@@ -329,8 +394,30 @@ fn client_session(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                     .registry
                     .counter(&format!("poem_client_deliveries_total{{node=\"{}\"}}", node.0)),
             };
+            // Register before Welcome: the moment the client sees the
+            // handshake complete, the server must already know it.
             shared.clients.lock().insert(node, entry);
             shared.metrics.clients_connected.add(1);
+            // `send_locked` drops the writer guard before returning, so the
+            // rollback path below never holds writer → clients (the reverse
+            // of shutdown's clients → writer order).
+            let welcomed = send_locked(
+                &writer,
+                &ServerMsg::Welcome {
+                    version: PROTOCOL_VERSION,
+                    node,
+                    server_time: shared.clock.now(),
+                },
+            );
+            if let Err(e) = welcomed {
+                let mut clients = shared.clients.lock();
+                if clients.get(&node).is_some_and(|c| Arc::ptr_eq(&c.writer, &writer)) {
+                    clients.remove(&node);
+                    drop(clients);
+                    shared.metrics.clients_connected.sub(1);
+                }
+                return Err(e);
+            }
             node
         }
         other => {
@@ -372,12 +459,32 @@ fn client_session(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
             }
             Ok(ClientMsg::Bye) => break Ok(()),
             Ok(ClientMsg::Hello { .. }) => { /* duplicate Hello: ignore */ }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                // Read-timeout tick on an idle client: keep serving while
+                // the server runs and the node is still registered (an
+                // eviction shuts the socket down, but the wake-up makes
+                // the exit deterministic either way).
+                if shared.running.load(Ordering::Acquire)
+                    && shared.clients.lock().contains_key(&node)
+                {
+                    continue;
+                }
+                break Ok(());
+            }
             Err(e) => break Err(e),
         }
     };
-    if shared.clients.lock().remove(&node).is_some() {
-        shared.metrics.clients_connected.sub(1);
-        shared.metrics.disconnects.inc();
+    {
+        // Remove only *this* session's entry: after an eviction the node
+        // may already have re-registered, and unconditionally removing by
+        // id would tear the fresh connection's bookkeeping down.
+        let mut clients = shared.clients.lock();
+        if clients.get(&node).is_some_and(|e| Arc::ptr_eq(&e.writer, &writer)) {
+            clients.remove(&node);
+            drop(clients);
+            shared.metrics.clients_connected.sub(1);
+            shared.metrics.disconnects.inc();
+        }
     }
     result
 }
@@ -413,6 +520,26 @@ fn fire(shared: &Shared, d: Delivery, now: EmuTime) {
     // the firing lag (how far behind its deadline the scan thread ran the
     // send) is non-negative.
     shared.metrics.scan_lag_ns.observe((now - d.fire_at).as_nanos() as u64);
+    // Transport faults intercept before the socket: a stalled client's
+    // copies are parked (or, past its buffer, dropped) without blocking
+    // the scanning thread.
+    {
+        let mut stalls = shared.stalls.lock();
+        if let Some(st) = stalls.get_mut(&d.to) {
+            if now < st.until {
+                match st.capacity {
+                    Some(cap) if st.held.len() >= cap => {
+                        drop(stalls);
+                        // Slow-reader overflow: the copy is lost exactly
+                        // as if the client were gone.
+                        shared.record_disconnected(&d, now);
+                    }
+                    _ => st.held.push(d),
+                }
+                return;
+            }
+        }
+    }
     let target = {
         let clients = shared.clients.lock();
         clients.get(&d.to).map(|e| (Arc::clone(&e.writer), Arc::clone(&e.delivered)))
@@ -430,6 +557,10 @@ fn fire(shared: &Shared, d: Delivery, now: EmuTime) {
                 });
                 return;
             }
+            // The bounded write failed (slow consumer or dead socket):
+            // evict so one wedged client can't absorb the scan thread's
+            // time budget again and again.
+            shared.evict(d.to);
             shared.record_disconnected(&d, now);
         }
         None => shared.record_disconnected(&d, now),
@@ -445,6 +576,19 @@ impl Shared {
             at: now,
             reason: poem_record::DropReason::Disconnected,
         });
+    }
+
+    /// Removes `node`'s connection entry and shuts its socket down,
+    /// waking the session's receiver thread. Returns `false` when the
+    /// node was not connected.
+    fn evict(&self, node: NodeId) -> bool {
+        let Some(entry) = self.clients.lock().remove(&node) else {
+            return false;
+        };
+        let _ = entry.stream.shutdown(std::net::Shutdown::Both);
+        self.metrics.clients_connected.sub(1);
+        self.metrics.disconnects.inc();
+        true
     }
 }
 
@@ -476,6 +620,201 @@ fn metrics_loop(shared: Arc<Shared>, interval: Duration) {
             counters: snap.counters,
             gauges: snap.gauges,
         });
+    }
+}
+
+/// One pending action on the fault driver's timeline: the injection
+/// itself, a scheduled restore leg, a stall release, or a bookkeeping
+/// expiry (gauge + record).
+enum DriverStep {
+    Inject(FaultKind),
+    Op(SceneOp),
+    Release(NodeId),
+    Expire(String),
+}
+
+/// Executes a [`FaultPlan`] against wall-clock time (the real-time
+/// counterpart of `SimNet::install_faults`).
+fn fault_driver(shared: Arc<Shared>, plan: FaultPlan, wires: Option<Arc<WireFaultHub>>) {
+    let metrics = ChaosMetrics::register(&shared.registry);
+    let mut timeline: ForwardSchedule<DriverStep> = ForwardSchedule::new();
+    for spec in plan.specs() {
+        timeline.schedule(spec.at, DriverStep::Inject(spec.kind.clone()));
+    }
+    while shared.running.load(Ordering::Acquire) && !timeline.is_empty() {
+        let now = shared.clock.now();
+        if let Some((_, step)) = timeline.pop_due(now) {
+            drive_step(&shared, &metrics, &mut timeline, step, now, wires.as_deref());
+            continue;
+        }
+        let wait = timeline
+            .next_due()
+            .map(|due| (due - now).to_std())
+            .unwrap_or(Duration::from_millis(20));
+        std::thread::sleep(wait.clamp(Duration::from_millis(1), Duration::from_millis(20)));
+    }
+}
+
+fn drive_step(
+    shared: &Arc<Shared>,
+    metrics: &ChaosMetrics,
+    timeline: &mut ForwardSchedule<DriverStep>,
+    step: DriverStep,
+    now: EmuTime,
+    wires: Option<&WireFaultHub>,
+) {
+    match step {
+        DriverStep::Inject(kind) => {
+            if let Some(rec) = injection_record(&kind, now) {
+                shared.recorder.record_fault(rec);
+            }
+            // Wire kinds count per occurrence (inside the stream's
+            // `WireFaults`); the rest count here, at injection.
+            if kind.layer() != "wire" {
+                metrics.injected(kind.name());
+            }
+            inject(shared, metrics, timeline, kind, now, wires);
+        }
+        DriverStep::Op(op) => {
+            let t = shared.clock.now();
+            let _ = shared.pipeline.lock().apply_op(t, op);
+        }
+        DriverStep::Release(node) => {
+            let entry = {
+                let mut stalls = shared.stalls.lock();
+                // An extension superseded this release; a later one is on
+                // the timeline.
+                match stalls.get(&node) {
+                    Some(st) if st.until > now => None,
+                    _ => stalls.remove(&node),
+                }
+            };
+            if let Some(st) = entry {
+                metrics.deactivate();
+                shared.recorder.record_fault(FaultRecord::Transport {
+                    at: now,
+                    node,
+                    action: "release".into(),
+                });
+                if !st.held.is_empty() {
+                    let mut schedule = shared.schedule.lock();
+                    for d in st.held {
+                        schedule.schedule(now, d);
+                    }
+                    shared.schedule_cv.notify_all();
+                }
+            }
+        }
+        DriverStep::Expire(action) => {
+            metrics.deactivate();
+            shared.recorder.record_fault(FaultRecord::Scene { at: now, action });
+        }
+    }
+}
+
+fn inject(
+    shared: &Arc<Shared>,
+    metrics: &ChaosMetrics,
+    timeline: &mut ForwardSchedule<DriverStep>,
+    kind: FaultKind,
+    now: EmuTime,
+    wires: Option<&WireFaultHub>,
+) {
+    match kind {
+        FaultKind::WireCorrupt { .. }
+        | FaultKind::WireTruncate { .. }
+        | FaultKind::WireDuplicate { .. }
+        | FaultKind::WireReorder { .. } => {
+            if let Some(hub) = wires {
+                hub.configure(&kind);
+            }
+        }
+        FaultKind::Disconnect { node } => {
+            shared.evict(node);
+        }
+        FaultKind::Stall { node, duration } => {
+            begin_stall(shared, metrics, timeline, node, now + duration, None);
+        }
+        FaultKind::SlowReader { node, buffer, duration } => {
+            begin_stall(shared, metrics, timeline, node, now + duration, Some(buffer as usize));
+        }
+        FaultKind::LinkFlap { node, radio, factor, duration } => {
+            let legs =
+                flap_legs(shared.pipeline.lock().scene(), now, node, radio, factor, duration);
+            if let Some(legs) = legs {
+                metrics.activate();
+                apply_legs(shared, timeline, legs, now);
+                timeline.schedule(
+                    now + duration,
+                    DriverStep::Expire(format!("link_flap {node} restore")),
+                );
+            }
+        }
+        FaultKind::Crash { node, restart_after } => {
+            let legs = crash_legs(shared.pipeline.lock().scene(), now, node, restart_after);
+            if let Some((remove, restore)) = legs {
+                // A crashed VMN loses its process *and* its radios.
+                shared.evict(node);
+                shared.pipeline.lock().apply_op(now, remove).ok();
+                if let Some((t, add)) = restore {
+                    metrics.activate();
+                    timeline.schedule(t, DriverStep::Op(add));
+                    timeline.schedule(t, DriverStep::Expire(format!("restore {node}")));
+                }
+            }
+        }
+        FaultKind::Jam { channel, duration } => {
+            let legs = jam_legs(shared.pipeline.lock().scene(), now, channel, duration);
+            if !legs.is_empty() {
+                metrics.activate();
+                apply_legs(shared, timeline, legs, now);
+                timeline.schedule(
+                    now + duration,
+                    DriverStep::Expire(format!("jam ch{} restore", channel.0)),
+                );
+            }
+        }
+        // The real skew/jitter lives client-side in a `ChaosClock`;
+        // server-side the injection is recorded and counted above.
+        FaultKind::ClockSkew { .. } | FaultKind::ClockJitter { .. } => {}
+    }
+}
+
+fn begin_stall(
+    shared: &Arc<Shared>,
+    metrics: &ChaosMetrics,
+    timeline: &mut ForwardSchedule<DriverStep>,
+    node: NodeId,
+    until: EmuTime,
+    capacity: Option<usize>,
+) {
+    let fresh = {
+        let mut stalls = shared.stalls.lock();
+        let fresh = !stalls.contains_key(&node);
+        let st =
+            stalls.entry(node).or_insert_with(|| StallEntry { until, capacity, held: Vec::new() });
+        st.until = st.until.max(until);
+        st.capacity = capacity;
+        fresh
+    };
+    if fresh {
+        metrics.activate();
+    }
+    timeline.schedule(until, DriverStep::Release(node));
+}
+
+fn apply_legs(
+    shared: &Arc<Shared>,
+    timeline: &mut ForwardSchedule<DriverStep>,
+    legs: Vec<(EmuTime, SceneOp)>,
+    now: EmuTime,
+) {
+    for (at, op) in legs {
+        if at <= now {
+            let _ = shared.pipeline.lock().apply_op(now, op);
+        } else {
+            timeline.schedule(at, DriverStep::Op(op));
+        }
     }
 }
 
@@ -669,6 +1008,147 @@ mod tests {
         assert!(last.counter("poem_ingest_packets_total").unwrap_or(0) >= 1);
 
         drop((c1, c2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn fault_driver_runs_a_scripted_plan_over_tcp() {
+        let server = start_server();
+        let c1 = connect(&server, 1);
+        let _c2 = connect(&server, 2);
+        let script = crate::script::Script::parse(
+            "at 0.1 fault disconnect VMN2\n\
+             at 0.1 fault skew VMN1 0.25",
+        )
+        .unwrap();
+        let driver = server.spawn_fault_driver(script.faults(), None).unwrap();
+        driver.join().unwrap();
+        // The plan ran to completion: node 2 was kicked, node 1 kept.
+        assert_eq!(server.connected(), vec![NodeId(1)]);
+        let faults = server.recorder().faults();
+        assert!(
+            faults.iter().any(|f| matches!(
+                f,
+                FaultRecord::Transport { node: NodeId(2), action, .. } if action == "disconnect"
+            )),
+            "{faults:?}"
+        );
+        assert!(faults.iter().any(|f| matches!(f, FaultRecord::Clock { node: NodeId(1), .. })));
+        let snap = server.metrics();
+        assert_eq!(snap.counter("poem_faults_injected_total{kind=\"disconnect\"}"), Some(1));
+        drop(c1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_hears_nothing_until_release() {
+        let server = start_server();
+        let c1 = connect(&server, 1);
+        let c2 = connect(&server, 2);
+        let mut plan = FaultPlan::new();
+        plan.push(
+            EmuTime::ZERO,
+            FaultKind::Stall { node: NodeId(2), duration: EmuDuration::from_millis(700) },
+        );
+        let driver = server.spawn_fault_driver(&plan, None).unwrap();
+        // Give the driver a beat to install the stall, then send into it.
+        std::thread::sleep(Duration::from_millis(100));
+        c1.send(ChannelId(1), Destination::Unicast(NodeId(2)), Bytes::from_static(b"held"))
+            .unwrap()
+            .unwrap();
+        assert!(
+            c2.recv_timeout(Duration::from_millis(250)).is_err(),
+            "delivery leaked through the stall"
+        );
+        // After release the parked copy goes out.
+        let (pkt, _) = c2.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&pkt.payload[..], b"held");
+        driver.join().unwrap();
+        let faults = server.recorder().faults();
+        assert!(
+            faults.iter().any(|f| matches!(
+                f,
+                FaultRecord::Transport { node: NodeId(2), action, .. } if action == "release"
+            )),
+            "{faults:?}"
+        );
+        drop((c1, c2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_consumer_is_evicted_on_write_timeout() {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let config = ServerConfig {
+            write_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        };
+        let server = ServerHandle::start(test_scene(), clock, config).unwrap();
+        let c1 = connect(&server, 1);
+        // A hand-rolled node-2 client that registers and then never reads:
+        // its socket buffers fill and the bounded delivery write times out.
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut w = MsgWriter::new(stream.try_clone().unwrap());
+        let mut r = MsgReader::new(stream.try_clone().unwrap());
+        w.send(&ClientMsg::hello(NodeId(2))).unwrap();
+        assert!(matches!(r.recv::<ServerMsg>().unwrap(), ServerMsg::Welcome { .. }));
+
+        let payload = Bytes::from(vec![0u8; 64 * 1024]);
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        loop {
+            c1.send(ChannelId(1), Destination::Unicast(NodeId(2)), payload.clone())
+                .unwrap()
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+            if server.connected() == vec![NodeId(1)] {
+                break; // evicted
+            }
+            assert!(std::time::Instant::now() < deadline, "slow consumer never evicted");
+        }
+        assert!(server.metrics().counter("poem_client_disconnects_total").unwrap_or(0) >= 1);
+        drop((c1, stream));
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnected_client_reconnects_with_backoff() {
+        let server = start_server();
+        let c2 = connect(&server, 2);
+        assert!(server.disconnect(NodeId(2)));
+        assert!(!server.disconnect(NodeId(2)), "second disconnect finds nothing");
+        // The eviction freed the identity synchronously, so the retrying
+        // reconnect succeeds (and resets its backoff budget).
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let mut backoff = poem_client::Backoff::standard(EmuRng::seed(9));
+        let c2b = EmuClient::connect_tcp_with_retry(
+            server.addr(),
+            NodeId(2),
+            RadioConfig::single(ChannelId(1), 100.0),
+            clock,
+            &mut backoff,
+        )
+        .unwrap();
+        assert_eq!(backoff.attempt(), 0);
+        assert!(server.connected().contains(&NodeId(2)));
+        // Against a dead port the same path exhausts its budget with Io.
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let mut tiny = poem_client::Backoff::new(
+            EmuDuration::from_millis(1),
+            EmuDuration::from_millis(4),
+            2,
+            EmuRng::seed(10),
+        );
+        let err = EmuClient::connect_tcp_with_retry(
+            "127.0.0.1:1",
+            NodeId(2),
+            RadioConfig::none(),
+            clock,
+            &mut tiny,
+        )
+        .unwrap_err();
+        assert!(matches!(err, poem_client::ClientError::Io(_)), "{err}");
+        assert_eq!(tiny.attempt(), 2);
+        drop((c2, c2b));
         server.shutdown();
     }
 

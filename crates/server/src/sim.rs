@@ -10,14 +10,16 @@
 //! time).
 
 use crate::engine::{Delivery, Pipeline};
+use bytes::Bytes;
+use poem_chaos::{ChaosMetrics, FaultKind, FaultPlan};
 use poem_client::nic::QueueNic;
 use poem_client::ClientApp;
 use poem_core::linkmodel::LinkParams;
 use poem_core::mobility::MobilityModel;
 use poem_core::radio::RadioConfig;
 use poem_core::scene::{Scene, SceneError, SceneOp};
-use poem_core::{EmuDuration, EmuRng, EmuTime, ForwardSchedule, NodeId, Point};
-use poem_record::Recorder;
+use poem_core::{EmuDuration, EmuPacket, EmuRng, EmuTime, ForwardSchedule, NodeId, Point};
+use poem_record::{FaultRecord, Recorder};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -51,11 +53,170 @@ enum SimEvent {
     Mobility,
     /// A scripted scene operation.
     Op(SceneOp),
+    /// A scheduled fault injection from an installed [`FaultPlan`].
+    Fault(FaultKind),
+    /// A stall/slow-reader expiry: flush the node's held deliveries.
+    ChaosRelease(NodeId),
+    /// A crash restart: re-add the parked node and its client.
+    ChaosRevive(NodeId),
+    /// A timed scene fault (flap/jam) ran out; the restore `Op` legs are
+    /// scheduled separately — this event only closes the books.
+    ChaosExpire(String),
 }
 
 struct SimNode {
     nic: QueueNic,
     app: Box<dyn ClientApp>,
+}
+
+/// Per-sender wire-fault probabilities (sim-level analogue of
+/// `poem_chaos::WireFaults`, applied at the packet rather than byte layer
+/// so virtual time stays exact).
+#[derive(Debug, Clone, Copy, Default)]
+struct WireProbs {
+    corrupt: f64,
+    truncate: f64,
+    duplicate: f64,
+    reorder: f64,
+}
+
+struct StallState {
+    until: EmuTime,
+    /// `None` = unbounded stall buffer; `Some(n)` = slow reader holding at
+    /// most `n` frames, overflow dropped as disconnected copies.
+    capacity: Option<u32>,
+    held: Vec<Delivery>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ClockFault {
+    skew: EmuDuration,
+    jitter_std: EmuDuration,
+}
+
+/// What the transport-fault layer decided about a due delivery.
+enum Intercept {
+    Pass(Delivery),
+    Held,
+    Dropped(Delivery),
+}
+
+/// The sim harness's fault-injection state. Lives behind an `Option` so a
+/// chaos-free run is bit-for-bit the run it always was: the chaos RNG is a
+/// separate stream (`poem_chaos::chaos_rng`), and nothing here is even
+/// allocated until a fault is installed.
+struct SimChaos {
+    rng: EmuRng,
+    metrics: ChaosMetrics,
+    recorder: Arc<Recorder>,
+    wire: BTreeMap<NodeId, WireProbs>,
+    stalls: BTreeMap<NodeId, StallState>,
+    clocks: BTreeMap<NodeId, ClockFault>,
+    parked: BTreeMap<NodeId, (SimNode, SceneOp)>,
+}
+
+impl SimChaos {
+    fn note_wire(&mut self, at: EmuTime, node: NodeId, action: &str, pkt: &EmuPacket) {
+        self.metrics.injected(action);
+        self.recorder.record_fault(FaultRecord::Wire {
+            at,
+            node,
+            action: action.to_string(),
+            bytes: pkt.wire_size() as u32,
+        });
+    }
+
+    /// Runs one outbound packet through the sender's wire and clock
+    /// faults. Fixed draw order (clock → corrupt → truncate → duplicate →
+    /// reorder) keeps runs reproducible; faults with probability 0 draw
+    /// nothing at all. Returns the copies to ingest plus an extra delivery
+    /// delay when the frame was reordered.
+    fn transform(&mut self, mut pkt: EmuPacket, now: EmuTime) -> (Vec<EmuPacket>, EmuDuration) {
+        let node = pkt.src;
+        if let Some(cf) = self.clocks.get(&node).copied() {
+            let mut stamp = pkt.sent_at + cf.skew;
+            let std_ns = cf.jitter_std.as_nanos();
+            if std_ns > 0 {
+                let j = self.rng.gaussian(0.0, std_ns as f64).abs();
+                stamp += EmuDuration::from_nanos(j as i64);
+            }
+            pkt.sent_at = stamp;
+        }
+        let Some(probs) = self.wire.get(&node).copied() else {
+            return (vec![pkt], EmuDuration::ZERO);
+        };
+        if self.rng.chance(probs.corrupt) && !pkt.payload.is_empty() {
+            let i = self.rng.index(pkt.payload.len());
+            let mask = self.rng.range_u64(1, 256) as u8;
+            let mut body = pkt.payload.to_vec();
+            body[i] ^= mask;
+            pkt.payload = Bytes::from(body);
+            self.note_wire(now, node, "wire_corrupt", &pkt);
+        }
+        if self.rng.chance(probs.truncate) && !pkt.payload.is_empty() {
+            let keep = self.rng.index(pkt.payload.len());
+            let mut body = pkt.payload.to_vec();
+            body.truncate(keep);
+            pkt.payload = Bytes::from(body);
+            self.note_wire(now, node, "wire_truncate", &pkt);
+        }
+        let copies = if self.rng.chance(probs.duplicate) {
+            self.note_wire(now, node, "wire_duplicate", &pkt);
+            vec![pkt.clone(), pkt]
+        } else {
+            vec![pkt]
+        };
+        let delay = if self.rng.chance(probs.reorder) {
+            self.note_wire(now, node, "wire_reorder", &copies[0]);
+            EmuDuration::from_nanos(self.rng.range_u64(1_000_000, 50_000_001) as i64)
+        } else {
+            EmuDuration::ZERO
+        };
+        (copies, delay)
+    }
+
+    fn intercept(&mut self, d: Delivery, now: EmuTime) -> Intercept {
+        let Some(st) = self.stalls.get_mut(&d.to) else { return Intercept::Pass(d) };
+        if now >= st.until {
+            return Intercept::Pass(d);
+        }
+        match st.capacity {
+            Some(cap) if st.held.len() >= cap as usize => Intercept::Dropped(d),
+            _ => {
+                st.held.push(d);
+                Intercept::Held
+            }
+        }
+    }
+
+    /// Ends a stall. `None` when a newer stall superseded the expiry that
+    /// scheduled this release (its own release is still pending).
+    fn release(&mut self, node: NodeId, now: EmuTime) -> Option<Vec<Delivery>> {
+        if self.stalls.get(&node).is_none_or(|st| st.until > now) {
+            return None;
+        }
+        let st = self.stalls.remove(&node)?;
+        self.metrics.deactivate();
+        self.recorder.record_fault(FaultRecord::Transport {
+            at: now,
+            node,
+            action: "release".to_string(),
+        });
+        Some(st.held)
+    }
+
+    fn unpark(&mut self, node: NodeId, now: EmuTime) -> Option<(SimNode, SceneOp)> {
+        let entry = self.parked.remove(&node)?;
+        self.metrics.deactivate();
+        self.recorder
+            .record_fault(FaultRecord::Scene { at: now, action: format!("restore {node}") });
+        Some(entry)
+    }
+
+    fn expire(&mut self, action: String, now: EmuTime) {
+        self.metrics.deactivate();
+        self.recorder.record_fault(FaultRecord::Scene { at: now, action });
+    }
 }
 
 /// The single-process deterministic emulation.
@@ -64,8 +225,10 @@ pub struct SimNet {
     schedule: ForwardSchedule<SimEvent>,
     nodes: BTreeMap<NodeId, SimNode>,
     now: EmuTime,
+    seed: u64,
     mobility_step: EmuDuration,
     mobility_armed: bool,
+    chaos: Option<Box<SimChaos>>,
 }
 
 impl SimNet {
@@ -82,8 +245,10 @@ impl SimNet {
             schedule: ForwardSchedule::new(),
             nodes: BTreeMap::new(),
             now: EmuTime::ZERO,
+            seed: config.seed,
             mobility_step: config.mobility_step,
             mobility_armed: false,
+            chaos: None,
         }
     }
 
@@ -168,6 +333,170 @@ impl SimNet {
         self.schedule.schedule(at, SimEvent::Op(op));
     }
 
+    fn ensure_chaos(&mut self) {
+        if self.chaos.is_none() {
+            self.chaos = Some(Box::new(SimChaos {
+                rng: poem_chaos::chaos_rng(self.seed),
+                metrics: ChaosMetrics::register(self.pipeline.metrics_registry()),
+                recorder: Arc::clone(self.pipeline.recorder()),
+                wire: BTreeMap::new(),
+                stalls: BTreeMap::new(),
+                clocks: BTreeMap::new(),
+                parked: BTreeMap::new(),
+            }));
+        }
+    }
+
+    /// Installs a fault plan: past-due faults apply immediately, the rest
+    /// are scheduled at their injection times.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        self.ensure_chaos();
+        for spec in plan.specs() {
+            if spec.at <= self.now {
+                self.apply_fault(spec.kind.clone());
+            } else {
+                self.schedule.schedule(spec.at, SimEvent::Fault(spec.kind.clone()));
+            }
+        }
+    }
+
+    /// Injects one fault right now.
+    pub fn apply_fault(&mut self, kind: FaultKind) {
+        self.ensure_chaos();
+        let now = self.now;
+        let Some(metrics) = self.chaos.as_ref().map(|c| c.metrics.clone()) else { return };
+        if let Some(rec) = poem_chaos::engine::injection_record(&kind, now) {
+            self.recorder().record_fault(rec);
+        }
+        // Wire kinds count per occurrence (in `SimChaos::transform`); the
+        // rest count here, at injection.
+        if kind.layer() != "wire" {
+            metrics.injected(kind.name());
+        }
+        match kind {
+            FaultKind::WireCorrupt { node, prob } => {
+                if let Some(chaos) = self.chaos.as_mut() {
+                    chaos.wire.entry(node).or_default().corrupt = prob;
+                }
+            }
+            FaultKind::WireTruncate { node, prob } => {
+                if let Some(chaos) = self.chaos.as_mut() {
+                    chaos.wire.entry(node).or_default().truncate = prob;
+                }
+            }
+            FaultKind::WireDuplicate { node, prob } => {
+                if let Some(chaos) = self.chaos.as_mut() {
+                    chaos.wire.entry(node).or_default().duplicate = prob;
+                }
+            }
+            FaultKind::WireReorder { node, prob } => {
+                if let Some(chaos) = self.chaos.as_mut() {
+                    chaos.wire.entry(node).or_default().reorder = prob;
+                }
+            }
+            FaultKind::Disconnect { node } => {
+                // The VMN stays in the scene; copies addressed to it now
+                // resolve as disconnected drops, as on the TCP frontend.
+                self.nodes.remove(&node);
+            }
+            FaultKind::Stall { node, duration } => {
+                self.begin_stall(node, now + duration, None, &metrics);
+            }
+            FaultKind::SlowReader { node, buffer, duration } => {
+                self.begin_stall(node, now + duration, Some(buffer), &metrics);
+            }
+            FaultKind::LinkFlap { node, radio, factor, duration } => {
+                let legs = poem_chaos::flap_legs(
+                    self.pipeline.scene(),
+                    now,
+                    node,
+                    radio,
+                    factor,
+                    duration,
+                );
+                if let Some(legs) = legs {
+                    self.apply_legs(legs);
+                    metrics.activate();
+                    self.schedule.schedule(
+                        now + duration,
+                        SimEvent::ChaosExpire(format!("link_flap {node} restore")),
+                    );
+                }
+            }
+            FaultKind::Crash { node, restart_after } => {
+                let legs = poem_chaos::crash_legs(self.pipeline.scene(), now, node, restart_after);
+                if let Some((remove, restore)) = legs {
+                    let parked_node = self.nodes.remove(&node);
+                    if self.pipeline.apply_op(now, remove).is_ok() {
+                        if let (Some(sim_node), Some((at, add))) = (parked_node, restore) {
+                            if let Some(chaos) = self.chaos.as_mut() {
+                                chaos.parked.insert(node, (sim_node, add));
+                            }
+                            metrics.activate();
+                            self.schedule.schedule(at, SimEvent::ChaosRevive(node));
+                        }
+                    }
+                }
+            }
+            FaultKind::Jam { channel, duration } => {
+                let legs = poem_chaos::jam_legs(self.pipeline.scene(), now, channel, duration);
+                if !legs.is_empty() {
+                    self.apply_legs(legs);
+                    metrics.activate();
+                    self.schedule.schedule(
+                        now + duration,
+                        SimEvent::ChaosExpire(format!("jam ch{} restore", channel.0)),
+                    );
+                }
+            }
+            FaultKind::ClockSkew { node, offset } => {
+                if let Some(chaos) = self.chaos.as_mut() {
+                    chaos.clocks.entry(node).or_default().skew = offset;
+                }
+            }
+            FaultKind::ClockJitter { node, std_dev } => {
+                if let Some(chaos) = self.chaos.as_mut() {
+                    chaos.clocks.entry(node).or_default().jitter_std = std_dev;
+                }
+            }
+        }
+    }
+
+    fn begin_stall(
+        &mut self,
+        node: NodeId,
+        until: EmuTime,
+        capacity: Option<u32>,
+        metrics: &ChaosMetrics,
+    ) {
+        if let Some(chaos) = self.chaos.as_mut() {
+            let fresh = chaos
+                .stalls
+                .insert(node, StallState { until, capacity, held: Vec::new() })
+                .is_none();
+            if fresh {
+                metrics.activate();
+            }
+            self.schedule.schedule(until, SimEvent::ChaosRelease(node));
+        }
+    }
+
+    /// Applies due legs now and schedules the rest.
+    fn apply_legs(&mut self, legs: Vec<(EmuTime, SceneOp)>) {
+        for (at, op) in legs {
+            if at <= self.now {
+                if self.pipeline.apply_op(self.now, op.clone()).is_ok() {
+                    self.after_op(&op);
+                }
+            } else {
+                self.schedule.schedule(at, SimEvent::Op(op));
+            }
+        }
+    }
+
     /// Keeps local NIC state consistent after an op.
     fn after_op(&mut self, op: &SceneOp) {
         match op {
@@ -192,10 +521,16 @@ impl SimNet {
         let Some(node) = self.nodes.get_mut(&id) else { return };
         let outbound = node.nic.drain_outbound();
         for pkt in outbound {
-            // In-process transport: the server "receives" instantly.
-            for d in self.pipeline.ingest(&pkt, self.now) {
-                let at = d.fire_at.max(self.now);
-                self.schedule.schedule(at, SimEvent::Deliver(d));
+            let (copies, extra_delay) = match self.chaos.as_mut() {
+                Some(chaos) => chaos.transform(pkt, self.now),
+                None => (vec![pkt], EmuDuration::ZERO),
+            };
+            for pkt in copies {
+                // In-process transport: the server "receives" instantly.
+                for d in self.pipeline.ingest(&pkt, self.now) {
+                    let at = d.fire_at.max(self.now) + extra_delay;
+                    self.schedule.schedule(at, SimEvent::Deliver(d));
+                }
             }
         }
     }
@@ -232,6 +567,19 @@ impl SimNet {
                         self.after_op(&op);
                     }
                 }
+                SimEvent::Fault(kind) => self.apply_fault(kind),
+                SimEvent::ChaosRelease(node) => {
+                    let held = self.chaos.as_mut().and_then(|c| c.release(node, self.now));
+                    for d in held.into_iter().flatten() {
+                        self.fire_delivery(d);
+                    }
+                }
+                SimEvent::ChaosRevive(node) => self.revive(node),
+                SimEvent::ChaosExpire(action) => {
+                    if let Some(chaos) = self.chaos.as_mut() {
+                        chaos.expire(action, self.now);
+                    }
+                }
             }
         }
         self.now = self.now.max(t_end);
@@ -243,6 +591,19 @@ impl SimNet {
     /// Steps 5–6: hands a due delivery to its client and lets the protocol
     /// react.
     fn fire_delivery(&mut self, d: Delivery) {
+        let d = match self.chaos.as_mut() {
+            Some(chaos) => match chaos.intercept(d, self.now) {
+                Intercept::Pass(d) => d,
+                Intercept::Held => return,
+                Intercept::Dropped(d) => {
+                    // Slow-reader overflow: the copy is lost exactly as if
+                    // the client were gone, keeping drop accounting whole.
+                    self.pipeline.record_undeliverable(&d, self.now);
+                    return;
+                }
+            },
+            None => d,
+        };
         match self.nodes.get_mut(&d.to) {
             Some(node) => {
                 self.pipeline.record_forward(&d, self.now);
@@ -252,6 +613,26 @@ impl SimNet {
             }
             None => self.pipeline.record_undeliverable(&d, self.now),
         }
+    }
+
+    /// Restarts a crashed node: re-applies its captured `AddNode`, reboots
+    /// the parked client app, and pumps whatever it sends on start.
+    fn revive(&mut self, id: NodeId) {
+        let Some((mut node, add)) = self.chaos.as_mut().and_then(|c| c.unpark(id, self.now)) else {
+            return;
+        };
+        if self.pipeline.apply_op(self.now, add).is_err() {
+            return;
+        }
+        if let Some(radios) = self.pipeline.scene().node(id).map(|v| v.radios.clone()) {
+            node.nic.set_radios(radios);
+        }
+        node.nic.set_now(self.now);
+        if let Some(delay) = node.app.on_start(&mut node.nic) {
+            self.schedule.schedule(self.now + delay, SimEvent::Tick(id));
+        }
+        self.nodes.insert(id, node);
+        self.pump(id);
     }
 }
 
@@ -425,6 +806,215 @@ mod tests {
         // deliveries (t=5 s + 33 µs) fall beyond the run end → 9.
         assert_eq!(ingress, 12);
         assert_eq!(forwards, 9);
+    }
+
+    #[test]
+    fn zero_probability_plan_is_a_behavioral_noop() {
+        let run = |with_plan: bool| {
+            let (mut net, _h1, heard2) = beacon_pair();
+            if with_plan {
+                let mut plan = FaultPlan::new();
+                plan.push(EmuTime::ZERO, FaultKind::WireCorrupt { node: NodeId(1), prob: 0.0 });
+                plan.push(EmuTime::ZERO, FaultKind::WireReorder { node: NodeId(2), prob: 0.0 });
+                net.install_faults(&plan);
+            }
+            net.run_until(EmuTime::from_secs(10));
+            let out = (heard2.lock().clone(), net.recorder().traffic(), net.recorder().scene());
+            out
+        };
+        // Zero-probability faults draw nothing from the (separate) chaos
+        // stream and never perturb the pipeline stream: identical logs.
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn duplicate_fault_doubles_deliveries() {
+        let (mut net, _h1, heard2) = beacon_pair();
+        let mut plan = FaultPlan::new();
+        plan.push(EmuTime::ZERO, FaultKind::WireDuplicate { node: NodeId(1), prob: 1.0 });
+        net.install_faults(&plan);
+        net.run_until(EmuTime::from_secs(5));
+        // Beacons from node 1 at 1..4 s (the start beacon found no
+        // neighbor; the 5 s one lands past the run end) arrive twice each.
+        let h2 = heard2.lock();
+        let from1 = h2.iter().filter(|&&(src, _)| src == NodeId(1)).count();
+        assert_eq!(from1, 8, "{h2:?}");
+        let wire = poem_record::FaultQuery::new(&net.recorder().faults()).counts().wire;
+        assert!(wire >= 5, "{wire}");
+    }
+
+    #[test]
+    fn stall_holds_then_flushes_deliveries() {
+        let (mut net, _h1, heard2) = beacon_pair();
+        let mut plan = FaultPlan::new();
+        plan.push(
+            EmuTime::from_millis(1_500),
+            FaultKind::Stall { node: NodeId(2), duration: EmuDuration::from_secs(3) },
+        );
+        net.install_faults(&plan);
+        net.run_until(EmuTime::from_secs(8));
+        let h2 = heard2.lock();
+        // Nothing lands in (1.5 s, 4.5 s); the held beacons flush at 4.5 s.
+        assert!(
+            h2.iter()
+                .all(|&(_, at)| at <= EmuTime::from_millis(1_500)
+                    || at >= EmuTime::from_millis(4_500))
+        );
+        let flushed = h2.iter().filter(|&&(_, at)| at == EmuTime::from_millis(4_500)).count();
+        assert_eq!(flushed, 3, "{h2:?}");
+        // 7 beacons heard in total (1..7 s): none were lost, only delayed.
+        assert_eq!(h2.len(), 7, "{h2:?}");
+    }
+
+    #[test]
+    fn slow_reader_overflow_drops_are_accounted() {
+        let (mut net, _h1, heard2) = beacon_pair();
+        let mut plan = FaultPlan::new();
+        plan.push(
+            EmuTime::from_millis(1_500),
+            FaultKind::SlowReader {
+                node: NodeId(2),
+                buffer: 1,
+                duration: EmuDuration::from_secs(3),
+            },
+        );
+        net.install_faults(&plan);
+        net.run_until(EmuTime::from_secs(8));
+        // Beacons at 2,3,4 s hit the stall; one is held, two overflow.
+        let counts =
+            poem_record::TrafficQuery::new(&net.recorder().traffic()).to(NodeId(2)).copy_counts();
+        assert_eq!(counts.disconnected, 2, "{counts:?}");
+        assert_eq!(heard2.lock().len(), 5);
+    }
+
+    #[test]
+    fn disconnect_turns_copies_into_disconnected_drops() {
+        let (mut net, _h1, heard2) = beacon_pair();
+        let mut plan = FaultPlan::new();
+        plan.push(EmuTime::from_millis(2_500), FaultKind::Disconnect { node: NodeId(2) });
+        net.install_faults(&plan);
+        net.run_until(EmuTime::from_secs(6));
+        assert_eq!(net.client_count(), 1);
+        // The VMN is still in the scene, so copies route but can't deliver.
+        assert!(net.scene().node(NodeId(2)).is_some());
+        let counts =
+            poem_record::TrafficQuery::new(&net.recorder().traffic()).to(NodeId(2)).copy_counts();
+        assert!(counts.disconnected >= 3, "{counts:?}");
+        assert!(heard2.lock().iter().all(|&(_, at)| at < EmuTime::from_millis(2_500)));
+    }
+
+    #[test]
+    fn crash_with_restart_revives_node_and_app() {
+        let (mut net, _h1, heard2) = beacon_pair();
+        let mut plan = FaultPlan::new();
+        plan.push(
+            EmuTime::from_millis(2_500),
+            FaultKind::Crash { node: NodeId(2), restart_after: Some(EmuDuration::from_secs(3)) },
+        );
+        net.install_faults(&plan);
+        net.run_until(EmuTime::from_secs(9));
+        assert_eq!(net.client_count(), 2);
+        assert!(net.scene().node(NodeId(2)).is_some());
+        let h2 = heard2.lock();
+        // Crashed from 2.5 s to 5.5 s; hears again after reviving.
+        assert!(h2.iter().any(|&(_, at)| at > EmuTime::from_millis(5_500)), "{h2:?}");
+        assert!(h2
+            .iter()
+            .all(|&(_, at)| at < EmuTime::from_millis(2_500) || at > EmuTime::from_millis(5_500)));
+        let faults = net.recorder().faults();
+        assert!(faults.iter().any(
+            |f| matches!(f, poem_record::FaultRecord::Scene { action, .. } if action.starts_with("restore"))
+        ));
+    }
+
+    #[test]
+    fn jam_silences_the_channel_then_restores() {
+        let (mut net, _h1, heard2) = beacon_pair();
+        let mut plan = FaultPlan::new();
+        plan.push(
+            EmuTime::from_millis(1_500),
+            FaultKind::Jam {
+                channel: poem_core::ChannelId(1),
+                duration: EmuDuration::from_secs(3),
+            },
+        );
+        net.install_faults(&plan);
+        net.run_until(EmuTime::from_secs(8));
+        let h2 = heard2.lock();
+        // Radios dark in (1.5 s, 4.5 s): jammed broadcasts find no
+        // neighbors at all, so the window is silent (no copies, not even
+        // drops), and beacons resume once the restore legs fire.
+        assert!(h2
+            .iter()
+            .all(|&(_, at)| at < EmuTime::from_millis(1_500) || at > EmuTime::from_millis(4_500)));
+        assert!(h2.iter().any(|&(_, at)| at > EmuTime::from_millis(4_500)), "{h2:?}");
+        let counts = poem_record::TrafficQuery::new(&net.recorder().traffic()).copy_counts();
+        // Baseline at 8 s is 15 forwards; the 6 jammed beacons (3 per
+        // node) never became copies.
+        assert_eq!(counts.forwarded, 9, "{counts:?}");
+        let faults = net.recorder().faults();
+        assert!(faults.iter().any(
+            |f| matches!(f, poem_record::FaultRecord::Scene { action, .. } if action.contains("restore"))
+        ));
+    }
+
+    #[test]
+    fn clock_skew_shifts_client_stamps() {
+        let (mut net, _h1, _h2) = beacon_pair();
+        let mut plan = FaultPlan::new();
+        plan.push(
+            EmuTime::from_millis(500),
+            FaultKind::ClockSkew { node: NodeId(1), offset: EmuDuration::from_secs(2) },
+        );
+        net.install_faults(&plan);
+        net.run_until(EmuTime::from_secs(4));
+        let skews: Vec<_> = net
+            .recorder()
+            .traffic()
+            .iter()
+            .filter_map(|r| match *r {
+                TrafficRecord::Ingress { src, sent_at, received_at, .. } if src == NodeId(1) => {
+                    Some(sent_at - received_at)
+                }
+                _ => None,
+            })
+            .collect();
+        // Beacons after the injection carry stamps 2 s ahead of server time.
+        assert!(skews.iter().skip(1).all(|&d| d == EmuDuration::from_secs(2)), "{skews:?}");
+        assert_eq!(skews[0], EmuDuration::ZERO);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = SimNet::new(SimConfig { seed, ..SimConfig::default() });
+            let heard = Arc::new(Mutex::new(Vec::new()));
+            for (id, x) in [(1u32, 0.0), (2u32, 50.0)] {
+                net.add_node(
+                    NodeId(id),
+                    Point::new(x, 0.0),
+                    RadioConfig::single(ChannelId(1), 100.0),
+                    MobilityModel::Stationary,
+                    LinkParams::ideal(8e6),
+                    Box::new(Beacon { channel: ChannelId(1), heard: Arc::clone(&heard) }),
+                )
+                .unwrap();
+            }
+            let mut plan = FaultPlan::new();
+            plan.push(EmuTime::ZERO, FaultKind::WireCorrupt { node: NodeId(1), prob: 0.4 });
+            plan.push(EmuTime::ZERO, FaultKind::WireReorder { node: NodeId(2), prob: 0.4 });
+            plan.push(
+                EmuTime::from_secs(3),
+                FaultKind::ClockJitter { node: NodeId(2), std_dev: EmuDuration::from_millis(2) },
+            );
+            net.install_faults(&plan);
+            net.run_until(EmuTime::from_secs(10));
+            let out = (net.recorder().traffic(), net.recorder().faults(), heard.lock().clone());
+            out
+        };
+        assert_eq!(run(11), run(11));
+        // And the chaos stream actually depends on the seed.
+        assert_ne!(run(11).1, run(12).1);
     }
 
     #[test]

@@ -194,6 +194,82 @@ pub fn render_run_summary(scene_log: &[poem_record::SceneRecord]) -> String {
     out
 }
 
+/// Renders a fault-injection log as a per-layer summary plus a time-ordered
+/// event list — the chaos panel of the GUI replacement.
+pub fn render_faults(faults: &[poem_record::FaultRecord]) -> String {
+    if faults.is_empty() {
+        return "(no faults injected)\n".into();
+    }
+    let counts = poem_record::FaultQuery::new(faults).counts();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "faults: {} total (wire {}, transport {}, scene {}, clock {})",
+        counts.total(),
+        counts.wire,
+        counts.transport,
+        counts.scene,
+        counts.clock,
+    );
+    for f in faults {
+        let secs = f.at().as_nanos() as f64 / 1e9;
+        let line = match f {
+            poem_record::FaultRecord::Wire { node, action, bytes, .. } => {
+                format!("[{secs:9.3}s] wire      {node} {action} ({bytes} B)")
+            }
+            poem_record::FaultRecord::Transport { node, action, .. } => {
+                format!("[{secs:9.3}s] transport {node} {action}")
+            }
+            poem_record::FaultRecord::Scene { action, .. } => {
+                format!("[{secs:9.3}s] scene     {action}")
+            }
+            poem_record::FaultRecord::Clock { node, offset_ns, .. } => {
+                format!("[{secs:9.3}s] clock     {node} offset {offset_ns} ns")
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use poem_core::{EmuTime, NodeId};
+    use poem_record::FaultRecord;
+
+    #[test]
+    fn fault_panel_summarizes_and_lists() {
+        let log = vec![
+            FaultRecord::Wire {
+                at: EmuTime::from_millis(1500),
+                node: NodeId(1),
+                action: "wire_corrupt".into(),
+                bytes: 1,
+            },
+            FaultRecord::Transport {
+                at: EmuTime::from_secs(2),
+                node: NodeId(2),
+                action: "stall".into(),
+            },
+            FaultRecord::Scene { at: EmuTime::from_secs(3), action: "jam ch1".into() },
+            FaultRecord::Clock { at: EmuTime::from_secs(4), node: NodeId(1), offset_ns: -250 },
+        ];
+        let txt = render_faults(&log);
+        assert!(txt.contains("4 total (wire 1, transport 1, scene 1, clock 1)"), "{txt}");
+        assert!(txt.contains("wire_corrupt"), "{txt}");
+        assert!(txt.contains("jam ch1"), "{txt}");
+        assert!(txt.contains("offset -250 ns"), "{txt}");
+        assert!(txt.contains("[    1.500s]"), "{txt}");
+    }
+
+    #[test]
+    fn empty_fault_log_renders_placeholder() {
+        assert_eq!(render_faults(&[]), "(no faults injected)\n");
+    }
+}
+
 /// Renders a [`poem_obs::MetricsSnapshot`] as a human-readable table —
 /// the "health panel" of the GUI replacement. Counters and gauges get one
 /// aligned row each; histograms show count, mean and p99.

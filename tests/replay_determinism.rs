@@ -13,6 +13,7 @@ use poem_core::{EmuTime, NodeId};
 use poem_routing::{Router, RouterConfig};
 use poem_server::script::Script;
 use poem_server::sim::{SimConfig, SimNet};
+use proptest::prelude::*;
 
 const SCENARIO: &str = r"
     at 0   add VMN1 0 0     radio ch1 220
@@ -75,4 +76,92 @@ fn different_seed_changes_the_run_but_stays_self_consistent() {
     let (traffic_a, _) = run_once(7);
     let (traffic_b, _) = run_once(7);
     assert_eq!(traffic_a, traffic_b);
+}
+
+/// The same scenario, with a fault plan layered over every chaos layer:
+/// wire mangling, transport stalls/evictions, scene flap/jam/crash, and
+/// clock skew/jitter. Fault decisions draw from a dedicated RNG stream
+/// forked from the seed, so they must reproduce exactly like the rest of
+/// the pipeline.
+const CHAOS_SCENARIO: &str = r"
+    at 0   add VMN1 0 0     radio ch1 220
+    at 0   add VMN2 150 0   radio ch1 220 radio ch2 220
+    at 0   add VMN3 300 0   radio ch2 220
+    at 0   add VMN4 150 150 radio ch1 220
+    at 0   add VMN5 0 150   radio ch1 220
+
+    at 4   mobility VMN4 linear 180 12
+    at 6   range VMN1 radio0 120
+    at 10  retune VMN3 radio0 ch1
+    at 18  move VMN4 80 40
+
+    at 1   fault corrupt VMN2 0.2
+    at 1   fault duplicate VMN1 0.15
+    at 2   fault truncate VMN3 0.1
+    at 2   fault reorder VMN4 0.25
+    at 3   fault stall VMN2 2
+    at 5   fault flap VMN1 radio0 0.4 3
+    at 6   fault jam ch2 2
+    at 7   fault skew VMN3 0.5
+    at 7   fault jitter VMN4 0.02
+    at 9   fault slowreader VMN1 4 2
+    at 11  fault crash VMN5 restart 4
+    at 20  fault disconnect VMN3
+";
+
+/// Runs the chaos scenario and returns the serialized traffic, scene and
+/// fault logs.
+fn run_chaos_once(seed: u64) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let script = Script::parse(CHAOS_SCENARIO).expect("valid chaos scenario");
+    let mut net = SimNet::new(SimConfig { seed, ..SimConfig::default() });
+    let mut senders = Vec::new();
+    for entry in script.entries() {
+        if let SceneOp::AddNode { id, pos, radios, mobility, link } = &entry.op {
+            let router = Router::new(RouterConfig::hybrid());
+            senders.push((*id, router.handles()));
+            net.add_node(*id, *pos, radios.clone(), *mobility, *link, Box::new(router))
+                .expect("valid node");
+        } else {
+            net.schedule_op(entry.at, entry.op.clone());
+        }
+    }
+    net.install_faults(script.faults());
+    for (i, (_, h)) in senders.iter().enumerate() {
+        let dst = NodeId(1 + ((i as u32 + 1) % 5));
+        for k in 0..4u32 {
+            h.tx.lock().push_back((dst, format!("pkt-{i}-{k}").into_bytes()));
+        }
+    }
+    net.run_until(EmuTime::from_secs(30));
+    let recorder = net.recorder();
+    let traffic = poem_proto::to_bytes(&recorder.traffic()).expect("serialize traffic log");
+    let scene = poem_proto::to_bytes(&recorder.scene()).expect("serialize scene log");
+    let faults = poem_proto::to_bytes(&recorder.faults()).expect("serialize fault log");
+    (traffic, scene, faults)
+}
+
+#[test]
+fn chaos_plan_reproduces_byte_identical_logs() {
+    let (traffic_a, scene_a, faults_a) = run_chaos_once(42);
+    let (traffic_b, scene_b, faults_b) = run_chaos_once(42);
+    assert!(!faults_a.is_empty(), "chaos scenario produced no fault records");
+    assert!(!traffic_a.is_empty(), "chaos scenario produced no traffic records");
+    assert_eq!(traffic_a, traffic_b, "traffic logs diverged under fault injection");
+    assert_eq!(scene_a, scene_b, "scene logs diverged under fault injection");
+    assert_eq!(faults_a, faults_b, "fault logs diverged under fault injection");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property form of the contract: for ANY seed, the same script + fault
+    /// plan reproduces all three logs byte for byte.
+    #[test]
+    fn chaos_logs_reproduce_for_any_seed(seed in 0u64..10_000) {
+        let (traffic_a, scene_a, faults_a) = run_chaos_once(seed);
+        let (traffic_b, scene_b, faults_b) = run_chaos_once(seed);
+        prop_assert_eq!(traffic_a, traffic_b);
+        prop_assert_eq!(scene_a, scene_b);
+        prop_assert_eq!(faults_a, faults_b);
+    }
 }

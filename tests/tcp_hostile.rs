@@ -236,3 +236,56 @@ fn spoofed_source_packets_are_dropped() {
     drop(c2);
     server.shutdown();
 }
+
+#[test]
+fn chaos_mangled_wire_never_takes_the_server_down() {
+    // The poem-chaos wire layer as a hostile-client generator: a registered
+    // session pushes Data frames through a ChaosWriter configured to
+    // corrupt, truncate and duplicate aggressively. Whatever reaches the
+    // server — flipped codec bytes, short frames, doubled frames, mangled
+    // length prefixes — the receive thread must shed the session at worst,
+    // and keep serving healthy clients.
+    use poem_chaos::{ChaosWriter, FaultKind, WireFaults};
+
+    let server = start();
+    {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let mut w = poem_proto::MsgWriter::new(s.try_clone().unwrap());
+        let mut r = poem_proto::MsgReader::new(s.try_clone().unwrap());
+        w.send(&poem_proto::messages::ClientMsg::hello(NodeId(1))).unwrap();
+        let _welcome: poem_proto::messages::ServerMsg = r.recv().unwrap();
+
+        // Mangle only from here on, so the handshake above stays clean.
+        let faults = WireFaults::new(poem_core::EmuRng::seed(0xC0FFEE));
+        faults.configure(&FaultKind::WireCorrupt { node: NodeId(1), prob: 0.8 });
+        faults.configure(&FaultKind::WireTruncate { node: NodeId(1), prob: 0.5 });
+        faults.configure(&FaultKind::WireDuplicate { node: NodeId(1), prob: 0.5 });
+        let mut mangled =
+            poem_proto::MsgWriter::new(ChaosWriter::new(s.try_clone().unwrap(), faults.clone()));
+        for i in 0..64u32 {
+            let pkt = poem_core::EmuPacket::new(
+                poem_core::PacketId(i as u64),
+                NodeId(1),
+                Destination::Broadcast,
+                ChannelId(1),
+                poem_core::RadioId(0),
+                EmuTime::from_millis(u64::from(i)),
+                Bytes::from(format!("mangle-me-{i}")),
+            );
+            // The server may kill the session mid-loop; write errors are
+            // the expected outcome, not a failure.
+            if mangled.send(&poem_proto::messages::ClientMsg::Data(pkt)).is_err() {
+                break;
+            }
+        }
+        let counts = faults.counts();
+        assert!(
+            counts.corrupt + counts.truncate + counts.duplicate > 0,
+            "wire faults never fired: {counts:?}"
+        );
+        s.flush().ok();
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    assert_server_still_serves(&server);
+    server.shutdown();
+}
