@@ -1,0 +1,127 @@
+//! Criterion bench: the allocation-free ingest hot path (E15).
+//!
+//! Compares `Scene::route` (fresh vector per call) against
+//! `Scene::route_into` (reused buffer), and measures steady-state
+//! `Pipeline::ingest` — whose routing leg is now allocation-free — plus
+//! the grid-on vs. grid-off cost of a neighbor-table relink.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use poem_core::linkmodel::LinkParams;
+use poem_core::mobility::MobilityModel;
+use poem_core::neighbor::{ChannelIndexedTables, NeighborTables};
+use poem_core::packet::Destination;
+use poem_core::radio::RadioConfig;
+use poem_core::scene::{Scene, SceneOp};
+use poem_core::{ChannelId, EmuPacket, EmuRng, EmuTime, NodeId, PacketId, Point, RadioId};
+use poem_record::Recorder;
+use poem_server::Pipeline;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn grid_scene(n: usize) -> Scene {
+    let mut scene = Scene::new();
+    let side = (n as f64).sqrt().ceil() as usize;
+    for i in 0..n {
+        scene
+            .apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(i as u32),
+                    pos: Point::new((i % side) as f64 * 80.0, (i / side) as f64 * 80.0),
+                    radios: RadioConfig::single(ChannelId(1), 170.0),
+                    mobility: MobilityModel::Stationary,
+                    link: LinkParams::table3(),
+                },
+            )
+            .expect("grid scene valid");
+    }
+    scene
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route");
+    let scene = grid_scene(400);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("route_alloc", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 400;
+            black_box(scene.route(NodeId(i), ChannelId(1), Destination::Broadcast).len())
+        });
+    });
+    group.bench_function("route_into_reused", |b| {
+        let mut buf = Vec::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 400;
+            scene.route_into(NodeId(i), ChannelId(1), Destination::Broadcast, &mut buf);
+            black_box(buf.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_steady_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_ingest");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("broadcast_400", |b| {
+        let mut p = Pipeline::new(grid_scene(400), Arc::new(Recorder::new()), EmuRng::seed(1));
+        let mut i = 0u64;
+        b.iter(|| {
+            let src = NodeId((i % 400) as u32);
+            let pkt = EmuPacket::new(
+                PacketId(i),
+                src,
+                Destination::Broadcast,
+                ChannelId(1),
+                RadioId(0),
+                EmuTime::from_nanos(i * 1000),
+                bytes::Bytes::from_static(&[0u8; 972]),
+            );
+            i += 1;
+            black_box(p.ingest(&pkt, EmuTime::from_nanos(i * 1000)).len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_relink(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_relink");
+    for grid in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if grid { "grid" } else { "scan" }),
+            &grid,
+            |b, &grid| {
+                let mut t = if grid {
+                    ChannelIndexedTables::new()
+                } else {
+                    ChannelIndexedTables::without_grid()
+                };
+                let mut rng = EmuRng::seed(7);
+                for i in 0..500u32 {
+                    let pos = Point::new(rng.range_f64(0.0, 2000.0), rng.range_f64(0.0, 2000.0));
+                    t.insert_node(NodeId(i), pos, RadioConfig::single(ChannelId(1), 150.0));
+                }
+                let mut mv = EmuRng::seed(8);
+                b.iter(|| {
+                    let id = NodeId(mv.index(500) as u32);
+                    let pos = Point::new(mv.range_f64(0.0, 2000.0), mv.range_f64(0.0, 2000.0));
+                    t.update_position(id, pos);
+                    black_box(t.work())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_route, bench_steady_ingest, bench_relink);
+criterion_main!(benches);

@@ -53,7 +53,10 @@ pub fn run_one(
 ) -> Fig6Row {
     assert!(radios_per_node <= channels, "cannot tune more radios than channels");
     let mut rng = EmuRng::seed(seed);
-    let mut indexed = ChannelIndexedTables::new();
+    // Grid off: E7 isolates the *channel-indexing* claim (update cost vs.
+    // channel universe). The spatial grid's win is measured separately by
+    // E15 — with it on, the one-channel case would no longer be a wash.
+    let mut indexed = ChannelIndexedTables::without_grid();
     let mut unified = UnifiedTable::new();
 
     let arena = 1000.0;

@@ -8,6 +8,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig5;
 pub mod fig6;
+pub mod hotpath;
 pub mod mac;
 pub mod overhead;
 pub mod table2;

@@ -19,7 +19,14 @@
 //!   A change to node `A` touches only the channels in `CS(A)`; "any change
 //!   of node a won't cause the update between it and the nodes in the
 //!   neighbor table indexed by channel 1 since its radio is on channel 2"
-//!   (Fig. 6).
+//!   (Fig. 6). On top of the channel partition, each per-channel table
+//!   carries a uniform spatial grid (cell edge ≥ the largest radio range
+//!   ever seen on the channel) so a relink only examines the 3×3 cell
+//!   neighborhoods around the node's old and new positions instead of
+//!   every channel member — see DESIGN.md "Hot-path performance". The
+//!   grid can be disabled ([`ChannelIndexedTables::without_grid`]) to
+//!   recover the paper's plain full-channel scan, which experiment E7
+//!   uses so its numbers isolate the channel-indexing claim.
 //! * [`UnifiedTable`] — the contrasted scheme: "one unique neighbor table
 //!   with multiple channel-ID marked units". Being one interleaved
 //!   structure, an update to `A` must re-scan `A`'s units against every
@@ -111,25 +118,162 @@ pub fn brute_force(
     out
 }
 
+/// The smallest admissible grid cell edge — guards the bucket-key division
+/// against zero radio ranges.
+const MIN_GRID_CELL: f64 = 1.0;
+
+/// The cell edge a channel needs to admit a radio of `range`.
+fn cell_for(range: f64) -> f64 {
+    range.max(MIN_GRID_CELL)
+}
+
+/// A uniform spatial grid over one channel's members.
+///
+/// Invariants: `cell` is at least as large as every member's current range
+/// on the channel (it only grows; a growth rebuilds every bucket), and each
+/// member sits in the bucket keyed by its position at last link time —
+/// which relinking keeps equal to its current position. Because
+/// `D(A,B) ≤ R(·) ≤ cell` for every link, both endpoints of any link are
+/// always within one cell index of each other, so a 3×3 cell neighborhood
+/// is a superset of every node that can gain or lose a link when the
+/// center node changes.
+#[derive(Debug, Default, Clone)]
+struct GridIndex {
+    /// Cell edge length. `0.0` until the first member links.
+    cell: f64,
+    /// Members bucketed by `floor(pos / cell)`, each bucket ascending.
+    buckets: BTreeMap<(i64, i64), Vec<NodeId>>,
+    /// Member → position it was last linked at (its bucket key source).
+    placed: BTreeMap<NodeId, Point>,
+}
+
+impl GridIndex {
+    /// Bucket key of a position under the current cell size.
+    fn key(&self, p: Point) -> (i64, i64) {
+        ((p.x / self.cell).floor() as i64, (p.y / self.cell).floor() as i64)
+    }
+
+    /// Grows the cell edge to `cell` and re-buckets every member.
+    fn rebuild(&mut self, cell: f64) {
+        self.cell = cell;
+        self.buckets.clear();
+        // `placed` iterates ascending by id, so each bucket stays sorted.
+        let members: Vec<(NodeId, Point)> = self.placed.iter().map(|(&id, &p)| (id, p)).collect();
+        for (id, p) in members {
+            let k = self.key(p);
+            self.buckets.entry(k).or_default().push(id);
+        }
+    }
+
+    /// Appends every member in the 3×3 cell neighborhood around `center`
+    /// to `out`, skipping `skip`. Buckets are sorted but the concatenation
+    /// across cells is not — callers sort.
+    fn gather(&self, center: (i64, i64), skip: NodeId, out: &mut Vec<NodeId>) {
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                let k = (center.0.saturating_add(dx), center.1.saturating_add(dy));
+                if let Some(bucket) = self.buckets.get(&k) {
+                    out.extend(bucket.iter().copied().filter(|&b| b != skip));
+                }
+            }
+        }
+    }
+
+    /// Re-homes `id` from its previous bucket (if any) to the bucket for
+    /// `pos` and records `pos` as its linked position.
+    fn place(&mut self, id: NodeId, pos: Point) {
+        let new_key = self.key(pos);
+        if let Some(old_pos) = self.placed.insert(id, pos) {
+            let old_key = self.key(old_pos);
+            if old_key == new_key {
+                return;
+            }
+            self.remove_from_bucket(id, old_key);
+        }
+        let bucket = self.buckets.entry(new_key).or_default();
+        if let Err(i) = bucket.binary_search(&id) {
+            bucket.insert(i, id);
+        }
+    }
+
+    /// Drops `id` from the bucket at `key`, pruning empty buckets.
+    fn remove_from_bucket(&mut self, id: NodeId, key: (i64, i64)) {
+        if let Some(bucket) = self.buckets.get_mut(&key) {
+            if let Ok(i) = bucket.binary_search(&id) {
+                bucket.remove(i);
+            }
+            if bucket.is_empty() {
+                self.buckets.remove(&key);
+            }
+        }
+    }
+}
+
 /// One per-channel table: `NT(·, k)` for every member of `NS(k)`.
+///
+/// Rows are flat sorted vectors (cache-friendly iteration on the per-packet
+/// route path); the grid accelerates relinks when the owning structure has
+/// it enabled.
 #[derive(Debug, Default, Clone)]
 struct ChannelTable {
-    /// Row per member: the member's out-neighbors on this channel.
-    rows: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// Row per member: the member's out-neighbors on this channel,
+    /// ascending.
+    rows: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Spatial index over the members (unused in scan mode).
+    grid: GridIndex,
 }
 
 /// The paper's channel-ID indexed scheme: a separate table per channel.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ChannelIndexedTables {
     nodes: BTreeMap<NodeId, NodeSnapshot>,
     tables: BTreeMap<ChannelId, ChannelTable>,
+    /// When set (the default), relinks consult the per-channel spatial
+    /// grid instead of scanning every channel member.
+    use_grid: bool,
     work: u64,
+    /// Reusable candidate buffer — relinks allocate nothing in steady
+    /// state.
+    scratch: Vec<NodeId>,
+}
+
+impl Default for ChannelIndexedTables {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ChannelIndexedTables {
-    /// An empty structure.
+    /// An empty structure with the spatial grid enabled.
     pub fn new() -> Self {
-        Self::default()
+        ChannelIndexedTables {
+            nodes: BTreeMap::new(),
+            tables: BTreeMap::new(),
+            use_grid: true,
+            work: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// An empty structure that relinks by scanning every channel member —
+    /// the paper's original update procedure. Experiment E7 uses this so
+    /// its work counts isolate the channel-indexing claim from the grid.
+    pub fn without_grid() -> Self {
+        ChannelIndexedTables { use_grid: false, ..Self::new() }
+    }
+
+    /// Whether relinks use the spatial grid.
+    pub fn grid_enabled(&self) -> bool {
+        self.use_grid
+    }
+
+    /// The grid cell edge currently in force on `channel`, when the grid
+    /// is enabled and the channel has members.
+    pub fn grid_cell(&self, channel: ChannelId) -> Option<f64> {
+        if !self.use_grid {
+            return None;
+        }
+        self.tables.get(&channel).map(|t| t.grid.cell).filter(|&c| c > 0.0)
     }
 
     /// The node set `NS(k)` indexed by channel `k`, ascending.
@@ -149,40 +293,101 @@ impl ChannelIndexedTables {
     }
 
     /// Re-derives node `a`'s row and column inside channel `ch` only.
+    ///
+    /// Grid mode examines the 3×3 cell neighborhoods around `a`'s old and
+    /// new positions — a superset of every possible link change, because
+    /// the cell edge dominates every member's range (see [`GridIndex`]).
+    /// Scan mode examines every channel member. Either way the work meter
+    /// counts one unit per candidate distance evaluation.
     fn relink_in_channel(&mut self, a: NodeId, ch: ChannelId) {
-        let Some(sa) = self.nodes.get(&a).cloned() else { return };
+        let Some(sa) = self.nodes.get(&a) else { return };
         let Some(ra) = sa.radios.range_on(ch) else { return };
+        let pa = sa.pos;
         let table = self.tables.entry(ch).or_default();
-        let mut row = BTreeSet::new();
-        let members: Vec<NodeId> = table.rows.keys().copied().filter(|&b| b != a).collect();
-        for b in members {
+        let mut cands = std::mem::take(&mut self.scratch);
+        cands.clear();
+        if self.use_grid {
+            if table.grid.cell < cell_for(ra) {
+                table.grid.rebuild(cell_for(ra));
+            }
+            let new_key = table.grid.key(pa);
+            table.grid.gather(new_key, a, &mut cands);
+            if let Some(&old_pos) = table.grid.placed.get(&a) {
+                let old_key = table.grid.key(old_pos);
+                if old_key != new_key {
+                    table.grid.gather(old_key, a, &mut cands);
+                }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            table.grid.place(a, pa);
+        } else {
+            // Keys iterate ascending, so `cands` (and thus the rebuilt
+            // row) is already sorted.
+            cands.extend(table.rows.keys().copied().filter(|&b| b != a));
+        }
+        // Reuse the allocation of a's previous row when one exists.
+        let mut row = table.rows.remove(&a).unwrap_or_default();
+        row.clear();
+        for &b in &cands {
             let sb = &self.nodes[&b];
             self.work += 1;
-            let d = sa.pos.distance(sb.pos);
+            let d = pa.distance(sb.pos);
             if d <= ra {
-                row.insert(b);
+                row.push(b);
             }
             let rb = sb.radios.range_on(ch).unwrap_or(0.0);
             let brow = table.rows.get_mut(&b).expect("member row exists");
-            if d <= rb {
-                brow.insert(a);
-            } else {
-                brow.remove(&a);
+            match brow.binary_search(&a) {
+                Ok(i) => {
+                    if d > rb {
+                        brow.remove(i);
+                    }
+                }
+                Err(i) => {
+                    if d <= rb {
+                        brow.insert(i, a);
+                    }
+                }
             }
         }
         table.rows.insert(a, row);
+        self.scratch = cands;
     }
 
     /// Removes node `a` from channel `ch`'s table.
+    ///
+    /// Grid mode only visits the 3×3 neighborhood around `a`'s linked
+    /// position — every row that can contain `a` (a link bounds the
+    /// distance by a range, which the cell edge dominates) lives there.
     fn unlink_from_channel(&mut self, a: NodeId, ch: ChannelId) {
-        if let Some(table) = self.tables.get_mut(&ch) {
-            table.rows.remove(&a);
-            for row in table.rows.values_mut() {
-                row.remove(&a);
+        let Some(table) = self.tables.get_mut(&ch) else { return };
+        table.rows.remove(&a);
+        if self.use_grid {
+            if let Some(old_pos) = table.grid.placed.remove(&a) {
+                let key = table.grid.key(old_pos);
+                table.grid.remove_from_bucket(a, key);
+                let mut cands = std::mem::take(&mut self.scratch);
+                cands.clear();
+                table.grid.gather(key, a, &mut cands);
+                for &b in &cands {
+                    if let Some(brow) = table.rows.get_mut(&b) {
+                        if let Ok(i) = brow.binary_search(&a) {
+                            brow.remove(i);
+                        }
+                    }
+                }
+                self.scratch = cands;
             }
-            if table.rows.is_empty() {
-                self.tables.remove(&ch);
+        } else {
+            for brow in table.rows.values_mut() {
+                if let Ok(i) = brow.binary_search(&a) {
+                    brow.remove(i);
+                }
             }
+        }
+        if table.rows.is_empty() {
+            self.tables.remove(&ch);
         }
     }
 }
@@ -237,7 +442,7 @@ impl NeighborTables for ChannelIndexedTables {
     fn neighbors_into(&self, id: NodeId, channel: ChannelId, out: &mut Vec<NodeId>) {
         if let Some(t) = self.tables.get(&channel) {
             if let Some(row) = t.rows.get(&id) {
-                out.extend(row.iter().copied());
+                out.extend_from_slice(row);
             }
         }
     }
@@ -271,8 +476,10 @@ impl NeighborTables for ChannelIndexedTables {
 pub struct UnifiedTable {
     nodes: BTreeMap<NodeId, NodeSnapshot>,
     rows: BTreeMap<(NodeId, ChannelId), BTreeSet<NodeId>>,
-    /// Every channel id ever seen, the "channel universe" a full rescan
-    /// must consider.
+    /// Every channel id with at least one tuned radio among the current
+    /// nodes — the "channel universe" a full rescan must consider. Kept
+    /// tight by [`UnifiedTable::shrink_universe`] so long-lived scenes
+    /// don't pay forever for channels that have left the emulation.
     universe: BTreeSet<ChannelId>,
     work: u64,
 }
@@ -281,6 +488,19 @@ impl UnifiedTable {
     /// An empty structure.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Recomputes the channel universe from the surviving nodes and drops
+    /// rows on dead channels. Without this, removals would leave stale
+    /// empty rows behind and every later rescan would keep paying for
+    /// channels nobody is tuned to, silently inflating the E7 work metric.
+    fn shrink_universe(&mut self) {
+        let mut live: BTreeSet<ChannelId> = BTreeSet::new();
+        for s in self.nodes.values() {
+            live.extend(s.radios.channels());
+        }
+        self.rows.retain(|&(_, ch), _| live.contains(&ch));
+        self.universe = live;
     }
 
     /// Re-derives every unit involving node `a`, scanning the full node set
@@ -329,11 +549,14 @@ impl NeighborTables for UnifiedTable {
     }
 
     fn remove_node(&mut self, id: NodeId) {
-        self.nodes.remove(&id);
+        if self.nodes.remove(&id).is_none() {
+            return;
+        }
         self.rows.retain(|&(n, _), _| n != id);
         for row in self.rows.values_mut() {
             row.remove(&id);
         }
+        self.shrink_universe();
     }
 
     fn update_position(&mut self, id: NodeId, pos: Point) {
@@ -345,8 +568,9 @@ impl NeighborTables for UnifiedTable {
 
     fn update_radios(&mut self, id: NodeId, radios: RadioConfig) {
         if let Some(s) = self.nodes.get_mut(&id) {
-            self.universe.extend(radios.channels());
             s.radios = radios;
+            // Channels the last holder just left die; new ones join.
+            self.shrink_universe();
             self.rescan_node(id);
         }
     }
@@ -549,6 +773,169 @@ mod tests {
                 assert_eq!(ci.neighbors(id, ch), un.neighbors(id, ch), "{id} {ch}");
             }
         }
+    }
+
+    #[test]
+    fn grid_and_scan_rows_agree_byte_for_byte_after_random_ops() {
+        // The grid is a pure acceleration: the same op stream through a
+        // grid-backed and a scanning structure must produce identical row
+        // contents at every step, and both must match brute force.
+        let mut rng = EmuRng::seed(4096);
+        let mut grid = ChannelIndexedTables::new();
+        let mut scan = ChannelIndexedTables::without_grid();
+        assert!(grid.grid_enabled());
+        assert!(!scan.grid_enabled());
+        let channels = [ChannelId(1), ChannelId(2), ChannelId(3)];
+        for step in 0..400 {
+            let id = NodeId(rng.range_u64(0, 12) as u32);
+            match rng.index(4) {
+                0 => {
+                    let pos = Point::new(rng.range_f64(0.0, 300.0), rng.range_f64(0.0, 300.0));
+                    let radios =
+                        RadioConfig::single(channels[rng.index(3)], rng.range_f64(20.0, 250.0));
+                    grid.insert_node(id, pos, radios.clone());
+                    scan.insert_node(id, pos, radios);
+                }
+                1 => {
+                    grid.remove_node(id);
+                    scan.remove_node(id);
+                }
+                2 => {
+                    let pos = Point::new(rng.range_f64(0.0, 300.0), rng.range_f64(0.0, 300.0));
+                    grid.update_position(id, pos);
+                    scan.update_position(id, pos);
+                }
+                _ => {
+                    let radios =
+                        RadioConfig::single(channels[rng.index(3)], rng.range_f64(20.0, 250.0));
+                    grid.update_radios(id, radios.clone());
+                    scan.update_radios(id, radios);
+                }
+            }
+            if step % 29 == 0 {
+                check_against_brute_force(&grid).unwrap_or_else(|e| panic!("step {step}: {e}"));
+            }
+            for nid in grid.node_ids() {
+                for &ch in &channels {
+                    assert_eq!(
+                        grid.neighbors(nid, ch),
+                        scan.neighbors(nid, ch),
+                        "step {step}: {nid} {ch}"
+                    );
+                }
+            }
+        }
+        check_against_brute_force(&grid).unwrap();
+    }
+
+    #[test]
+    fn grid_handles_exact_cell_and_range_boundaries() {
+        // Range 100 → cell 100: these nodes sit exactly on cell corners
+        // and exactly one range apart (both comparisons are inclusive).
+        let mut t = ChannelIndexedTables::new();
+        let ch = ChannelId(1);
+        t.insert_node(NodeId(1), Point::new(100.0, 100.0), RadioConfig::single(ch, 100.0));
+        t.insert_node(NodeId(2), Point::new(200.0, 100.0), RadioConfig::single(ch, 100.0));
+        t.insert_node(NodeId(3), Point::new(0.0, 100.0), RadioConfig::single(ch, 100.0));
+        assert_eq!(t.grid_cell(ch), Some(100.0));
+        assert_eq!(t.neighbors(NodeId(1), ch), vec![NodeId(2), NodeId(3)]);
+        check_against_brute_force(&t).unwrap();
+        // Move onto a shared cell corner, exactly one range from node 2.
+        t.update_position(NodeId(3), Point::new(200.0, 200.0));
+        assert_eq!(t.neighbors(NodeId(3), ch), vec![NodeId(2)]);
+        check_against_brute_force(&t).unwrap();
+    }
+
+    #[test]
+    fn grid_cell_grows_for_longer_ranges() {
+        // A late-arriving long-range radio forces the channel's cell edge
+        // up (and a re-bucketing); links across many original cells work.
+        let mut t = ChannelIndexedTables::new();
+        let ch = ChannelId(1);
+        for i in 0..10u32 {
+            t.insert_node(
+                NodeId(i),
+                Point::new(i as f64 * 40.0, 0.0),
+                RadioConfig::single(ch, 50.0),
+            );
+        }
+        assert_eq!(t.grid_cell(ch), Some(50.0));
+        t.insert_node(NodeId(99), Point::new(0.0, 300.0), RadioConfig::single(ch, 500.0));
+        assert_eq!(t.grid_cell(ch), Some(500.0));
+        // 99 hears all ten short-range nodes; none of them hears it back.
+        assert_eq!(t.neighbors(NodeId(99), ch).len(), 10);
+        check_against_brute_force(&t).unwrap();
+        // Moves after the growth stay correct.
+        t.update_position(NodeId(0), Point::new(30.0, 280.0));
+        check_against_brute_force(&t).unwrap();
+    }
+
+    #[test]
+    fn grid_reduces_update_work_at_least_five_fold() {
+        // 300 nodes, range 150 over a 2000×2000 field: the 3×3 grid
+        // neighborhood holds a small fraction of the channel.
+        let build = |grid: bool| {
+            let mut t = if grid {
+                ChannelIndexedTables::new()
+            } else {
+                ChannelIndexedTables::without_grid()
+            };
+            let mut rng = EmuRng::seed(11);
+            for i in 0..300u32 {
+                let pos = Point::new(rng.range_f64(0.0, 2000.0), rng.range_f64(0.0, 2000.0));
+                t.insert_node(NodeId(i), pos, RadioConfig::single(ChannelId(1), 150.0));
+            }
+            t
+        };
+        let mut g = build(true);
+        let mut s = build(false);
+        g.reset_work();
+        s.reset_work();
+        let mut rng = EmuRng::seed(12);
+        for _ in 0..100 {
+            let id = NodeId(rng.index(300) as u32);
+            let pos = Point::new(rng.range_f64(0.0, 2000.0), rng.range_f64(0.0, 2000.0));
+            g.update_position(id, pos);
+            s.update_position(id, pos);
+        }
+        // Scan mode preserves the paper's exact work accounting: every
+        // move checks all other channel members.
+        assert_eq!(s.work(), 100 * 299);
+        assert!(g.work() * 5 <= s.work(), "grid {} vs scan {}", g.work(), s.work());
+        check_against_brute_force(&g).unwrap();
+    }
+
+    #[test]
+    fn unified_removal_restores_pre_insert_work_cost() {
+        // Inserting and removing a node on an otherwise unused channel
+        // must not permanently widen the channel universe (it used to:
+        // every later rescan kept paying for the dead channel).
+        let mut t = UnifiedTable::new();
+        t.insert_node(NodeId(1), Point::new(0.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        t.insert_node(NodeId(2), Point::new(50.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        t.reset_work();
+        t.update_position(NodeId(1), Point::new(1.0, 0.0));
+        let baseline = t.work();
+        assert_eq!(baseline, 1, "1 other node × 1 live channel");
+        t.insert_node(NodeId(3), Point::new(500.0, 0.0), RadioConfig::single(ChannelId(9), 100.0));
+        t.remove_node(NodeId(3));
+        t.reset_work();
+        t.update_position(NodeId(1), Point::new(2.0, 0.0));
+        assert_eq!(t.work(), baseline, "dead channel 9 still in the universe");
+        check_against_brute_force(&t).unwrap();
+    }
+
+    #[test]
+    fn unified_retune_away_shrinks_universe() {
+        // The same staleness can arrive via a retune instead of a removal.
+        let mut t = UnifiedTable::new();
+        t.insert_node(NodeId(1), Point::new(0.0, 0.0), RadioConfig::single(ChannelId(1), 100.0));
+        t.insert_node(NodeId(2), Point::new(50.0, 0.0), RadioConfig::single(ChannelId(7), 100.0));
+        t.update_radios(NodeId(2), RadioConfig::single(ChannelId(1), 100.0));
+        t.reset_work();
+        t.update_position(NodeId(1), Point::new(1.0, 0.0));
+        assert_eq!(t.work(), 1, "channel 7 left with its last radio");
+        check_against_brute_force(&t).unwrap();
     }
 
     #[test]

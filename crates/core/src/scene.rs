@@ -364,16 +364,28 @@ impl Scene {
     /// `src` on `channel` must be considered for. Unicast narrows the
     /// neighbor set to the target; broadcast takes the whole `NT(src, ch)`.
     pub fn route(&self, src: NodeId, channel: ChannelId, dst: Destination) -> Vec<NodeId> {
-        let mut nbrs = Vec::new();
-        self.tables.neighbors_into(src, channel, &mut nbrs);
-        match dst {
-            Destination::Broadcast => nbrs,
-            Destination::Unicast(d) => {
-                if nbrs.contains(&d) {
-                    vec![d]
-                } else {
-                    Vec::new()
-                }
+        let mut out = Vec::new();
+        self.route_into(src, channel, dst, &mut out);
+        out
+    }
+
+    /// [`Scene::route`] into a caller-provided buffer (cleared first) —
+    /// the hot-path form: a reused buffer makes routing allocation-free
+    /// in steady state.
+    pub fn route_into(
+        &self,
+        src: NodeId,
+        channel: ChannelId,
+        dst: Destination,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        self.tables.neighbors_into(src, channel, out);
+        if let Destination::Unicast(d) = dst {
+            let hit = out.binary_search(&d).is_ok();
+            out.clear();
+            if hit {
+                out.push(d);
             }
         }
     }

@@ -17,6 +17,16 @@
 use crate::report::Finding;
 use crate::source::{ident_at, is_ident, is_punct, matching, SourceFile, Token};
 
+/// Declared pairwise lock orders: `(first, second)` means `first` must be
+/// acquired before `second` whenever both are held. Unlike the
+/// reverse-edge check (which needs the bad ordering to exist in *two*
+/// places), a declared pair flags a single inversion — the documented
+/// invariant itself is the second witness.
+///
+/// * `("scene", "shard_slot")` — the cluster's scene RwLock before any
+///   shard mutex (see the `crates/server/src/cluster.rs` module header).
+const DECLARED_ORDER: &[(&str, &str)] = &[("scene", "shard_slot")];
+
 /// See module docs.
 pub struct LockOrder;
 
@@ -73,6 +83,25 @@ impl super::Rule for LockOrder {
                     e.acquired, e.held, e.func, rev.path, rev.line, rev.func
                 ),
             });
+        }
+        // Report every inversion of a declared pair — a single occurrence
+        // suffices.
+        for e in &edges {
+            if DECLARED_ORDER
+                .iter()
+                .any(|(first, second)| e.held == *second && e.acquired == *first)
+            {
+                out.push(Finding {
+                    rule: "lock_order",
+                    path: e.path.clone(),
+                    line: e.line,
+                    msg: format!(
+                        "declared lock order violated in `{}`: `{}` must be acquired before \
+                         `{}`, but it is acquired while `{}` is held",
+                        e.func, e.acquired, e.held, e.held
+                    ),
+                });
+            }
         }
     }
 }

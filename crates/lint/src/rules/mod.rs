@@ -47,6 +47,7 @@ pub(crate) fn determinism_scope(rel: &str) -> bool {
             "crates/server/src/sim.rs"
                 | "crates/server/src/engine.rs"
                 | "crates/server/src/script.rs"
+                | "crates/server/src/cluster.rs"
         )
 }
 

@@ -1,0 +1,6 @@
+pub fn drain(s: &super::Cluster) {
+    let shard_slot = s.shard_slot.lock();
+    let scene = s.scene.read();
+    drop(scene);
+    drop(shard_slot);
+}

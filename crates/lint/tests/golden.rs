@@ -32,6 +32,7 @@ fn violations_fixture_hits_every_rule_and_exits_nonzero() {
             ("exhaustiveness", "crates/record/src/records.rs", 11),
             ("lock_order", "crates/server/src/a.rs", 3),
             ("lock_order", "crates/server/src/b.rs", 3),
+            ("lock_order", "crates/server/src/pool.rs", 3),
         ]
     );
     // The reintroduced codec unwrap / neighbor HashMap iteration make the
@@ -52,6 +53,8 @@ fn violations_fixture_messages_name_the_problem() {
     assert!(msgs.iter().any(|m| m.contains("ClientMsg::Bye")));
     assert!(msgs.iter().any(|m| m.contains("FaultRecord::Clock")));
     assert!(msgs.iter().any(|m| m.contains("opposite order")));
+    // The declared scene-before-shard pair flags a lone inversion.
+    assert!(msgs.iter().any(|m| m.contains("`scene` must be acquired before `shard_slot`")));
     assert!(msgs.iter().any(|m| m.contains("SAFETY")));
 }
 

@@ -11,17 +11,32 @@
 //! an independent RNG (forked from the cluster seed), so runs are
 //! deterministic *per shard assignment*.
 //!
+//! Batches are executed by a pool of long-lived per-shard worker threads
+//! fed over channels — spawning threads per batch costs more than small
+//! batches take to process. The pool preserves the sequential contract:
+//! shard `i`'s packets are processed in batch order against shard `i`'s
+//! RNG, so results are bit-identical to the scoped-spawn baseline
+//! ([`ClusterPipeline::ingest_batch_sharded_spawning`], kept for E15).
+//!
+//! # Lock order
+//!
+//! **`scene` before any shard lock.** Every path that needs both takes
+//! the scene lock (read or write) first and a shard's mutex second,
+//! matching [`ClusterPipeline::apply_op`]'s scene-first writes. The pair
+//! is declared in poem-lint's `lock_order` rule, so an inversion fails CI.
+//!
 //! The cluster path implements the paper's baseline models; the optional
 //! MAC collision domain is inherently a global serialization point and is
 //! deliberately not offered here (see DESIGN.md).
 
 use crate::engine::Delivery;
+use crossbeam::channel::{self, Receiver, Sender};
 use crossbeam::thread;
 use parking_lot::{Mutex, RwLock};
 use poem_core::linkmodel::ForwardDecision;
 use poem_core::packet::Destination;
 use poem_core::scene::{Scene, SceneError, SceneOp};
-use poem_core::{EmuPacket, EmuRng, EmuTime, NodeId};
+use poem_core::{EmuPacket, EmuRng, EmuTime, NodeId, Point};
 use poem_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use poem_record::{DropReason, Recorder, SceneRecord, TrafficRecord};
 use std::sync::Arc;
@@ -52,12 +67,124 @@ struct Shard {
     /// Packets this shard has ingested
     /// (`poem_shard_ingest_total{shard="i"}`).
     ingested: Arc<Counter>,
+    /// Reused routing buffer: steady-state shard ingest allocates nothing
+    /// beyond the delivery vector.
+    scratch: Vec<NodeId>,
+}
+
+/// One unit of batch work for a shard worker: the shard's slice of the
+/// batch, processed in order against the shard's RNG.
+struct Job {
+    pkts: Vec<EmuPacket>,
+    received_at: EmuTime,
+    reply: Sender<(usize, Vec<Delivery>)>,
+}
+
+/// Long-lived per-shard worker threads fed over channels. Dropping the
+/// pool disconnects every job lane, which the workers observe as shutdown.
+struct WorkerPool {
+    /// One job lane per shard; index = shard index.
+    jobs: Vec<Sender<Job>>,
+    handles: Mutex<Vec<Option<std::thread::JoinHandle<()>>>>,
+}
+
+impl WorkerPool {
+    fn start(scene: Arc<RwLock<Scene>>, shards: Arc<Vec<Mutex<Shard>>>) -> WorkerPool {
+        let n = shards.len();
+        let mut jobs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for idx in 0..n {
+            let (tx, rx) = channel::unbounded::<Job>();
+            let scene = Arc::clone(&scene);
+            let shards = Arc::clone(&shards);
+            handles.push(Some(std::thread::spawn(move || shard_worker(idx, &scene, &shards, &rx))));
+            jobs.push(tx);
+        }
+        WorkerPool { jobs, handles: Mutex::new(handles) }
+    }
+
+    /// A job lane disconnected mid-batch: a worker died. Join whatever
+    /// finished and re-raise the worker's panic payload on the caller
+    /// rather than failing with a misleading channel error.
+    fn propagate_failure(&self) -> ! {
+        let mut handles = self.handles.lock();
+        for slot in handles.iter_mut() {
+            if slot.as_ref().is_some_and(std::thread::JoinHandle::is_finished) {
+                if let Some(h) = slot.take() {
+                    if let Err(payload) = h.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        // Unreachable while the pool owns the senders: a lane only
+        // disconnects when its worker exits, and workers only exit by
+        // panicking or by pool shutdown.
+        std::panic::resume_unwind(Box::new(String::from(
+            "shard worker lane disconnected without a panic",
+        )))
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect every lane; each worker's recv() then errors and its
+        // loop exits.
+        self.jobs.clear();
+        let mut handles = self.handles.lock();
+        for slot in handles.iter_mut() {
+            if let Some(h) = slot.take() {
+                // A panicked worker already surfaced through the batch
+                // path; don't double-panic during unwind.
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Body of one pooled worker: drain jobs for shard `idx` until the lane
+/// disconnects. Per job, locks follow the module's declared order (scene
+/// before shard) and the shard's packets run sequentially in batch order —
+/// the determinism contract `batch_is_deterministic_for_fixed_shards`
+/// asserts.
+fn shard_worker(
+    idx: usize,
+    scene_lock: &RwLock<Scene>,
+    shards: &[Mutex<Shard>],
+    rx: &Receiver<Job>,
+) {
+    while let Ok(job) = rx.recv() {
+        let scene = scene_lock.read();
+        let shard_slot = &shards[idx];
+        let mut shard = shard_slot.lock();
+        shard.ingested.add(job.pkts.len() as u64);
+        let recorder = Arc::clone(&shard.recorder);
+        let mut targets = std::mem::take(&mut shard.scratch);
+        let mut out = Vec::new();
+        for pkt in &job.pkts {
+            ingest_on(
+                &scene,
+                &recorder,
+                &mut shard.rng,
+                pkt,
+                job.received_at,
+                &mut targets,
+                &mut out,
+            );
+        }
+        shard.scratch = targets;
+        drop(shard);
+        drop(scene);
+        // The batch caller may itself be gone (propagating another
+        // shard's failure); a dead reply lane is not this worker's error.
+        let _ = job.reply.send((idx, out));
+    }
 }
 
 /// A sharded emulation pipeline.
 pub struct ClusterPipeline {
-    scene: RwLock<Scene>,
-    shards: Vec<Mutex<Shard>>,
+    scene: Arc<RwLock<Scene>>,
+    shards: Arc<Vec<Mutex<Shard>>>,
     /// Scene-op log (single writer, so unsharded).
     recorder: Arc<Recorder>,
     mobility_rng: Mutex<EmuRng>,
@@ -67,10 +194,12 @@ pub struct ClusterPipeline {
     /// Shard imbalance of the most recent batch: `100·(max−mean)/mean`
     /// over the per-shard partition sizes (0 = perfectly balanced).
     imbalance_pct: Arc<Gauge>,
+    pool: WorkerPool,
 }
 
 impl ClusterPipeline {
-    /// Builds a cluster over an initial scene.
+    /// Builds a cluster over an initial scene and starts its shard
+    /// workers.
     pub fn new(scene: Scene, recorder: Arc<Recorder>, config: ClusterConfig) -> Self {
         // Constructor precondition on operator-supplied config, checked once
         // at startup — not reachable from client traffic.
@@ -78,24 +207,30 @@ impl ClusterPipeline {
         assert!(config.shards >= 1, "a cluster needs at least one shard");
         let registry = Arc::new(Registry::new());
         let mut root = EmuRng::seed(config.seed);
-        let shards = (0..config.shards)
-            .map(|i| {
-                Mutex::new(Shard {
-                    rng: root.fork(),
-                    recorder: Arc::new(Recorder::new()),
-                    ingested: registry
-                        .counter(&format!("poem_shard_ingest_total{{shard=\"{i}\"}}")),
+        let shards: Arc<Vec<Mutex<Shard>>> = Arc::new(
+            (0..config.shards)
+                .map(|i| {
+                    Mutex::new(Shard {
+                        rng: root.fork(),
+                        recorder: Arc::new(Recorder::new()),
+                        ingested: registry
+                            .counter(&format!("poem_shard_ingest_total{{shard=\"{i}\"}}")),
+                        scratch: Vec::new(),
+                    })
                 })
-            })
-            .collect();
+                .collect(),
+        );
+        let scene = Arc::new(RwLock::new(scene));
+        let pool = WorkerPool::start(Arc::clone(&scene), Arc::clone(&shards));
         ClusterPipeline {
-            scene: RwLock::new(scene),
+            scene,
             shards,
             recorder,
             mobility_rng: Mutex::new(root.fork()),
             batch_size: registry.histogram("poem_batch_size_packets", BATCH_SIZE_BOUNDS),
             imbalance_pct: registry.gauge("poem_shard_imbalance_pct"),
             registry,
+            pool,
         }
     }
 
@@ -128,7 +263,7 @@ impl ClusterPipeline {
     /// All shards' traffic records merged into one time-ordered log.
     pub fn traffic_merged(&self) -> Vec<TrafficRecord> {
         let mut all: Vec<TrafficRecord> = Vec::new();
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             all.extend(shard.lock().recorder.traffic());
         }
         all.sort_by_key(|r| r.at());
@@ -148,20 +283,41 @@ impl ClusterPipeline {
         Ok(())
     }
 
-    /// Integrates mobility up to `to` (serialized writer).
+    /// Integrates mobility up to `to` (serialized writer) and records the
+    /// resulting positions of mobile nodes as `MoveNode` ops — the same
+    /// contract as [`crate::engine::Pipeline::advance_mobility`], so
+    /// cluster runs replay exactly without re-randomization.
     pub fn advance_mobility(&self, to: EmuTime) {
         let mut rng = self.mobility_rng.lock();
-        self.scene.write().advance_mobility(to, &mut rng);
+        let mut scene = self.scene.write();
+        if to <= scene.mobility_horizon() {
+            return;
+        }
+        scene.advance_mobility(to, &mut rng);
+        let moved: Vec<(NodeId, Point)> =
+            scene.nodes().filter(|v| v.mobility.is_mobile()).map(|v| (v.id, v.pos)).collect();
+        drop(scene);
+        drop(rng);
+        for (id, pos) in moved {
+            self.recorder.record_scene(SceneRecord::new(to, SceneOp::MoveNode { id, pos }));
+        }
     }
 
     /// Ingests one packet on its owning shard (steps 2–3).
+    ///
+    /// Lock order: scene read-lock first, then the shard mutex (see the
+    /// module header).
     pub fn ingest(&self, pkt: &EmuPacket, received_at: EmuTime) -> Vec<Delivery> {
-        let shard = &self.shards[self.shard_of(pkt.src)];
-        let mut shard = shard.lock();
         let scene = self.scene.read();
+        let shard_slot = &self.shards[self.shard_of(pkt.src)];
+        let mut shard = shard_slot.lock();
         let recorder = Arc::clone(&shard.recorder);
         shard.ingested.inc();
-        ingest_on(&scene, &recorder, &mut shard.rng, pkt, received_at)
+        let mut targets = std::mem::take(&mut shard.scratch);
+        let mut out = Vec::new();
+        ingest_on(&scene, &recorder, &mut shard.rng, pkt, received_at, &mut targets, &mut out);
+        shard.scratch = targets;
+        out
     }
 
     /// Ingests a batch in parallel: packets are partitioned by their
@@ -176,41 +332,70 @@ impl ClusterPipeline {
     /// Like [`ClusterPipeline::ingest_batch`] but returns one delivery
     /// vector per shard, skipping the serial merge — the fast path when
     /// the consumer (e.g. per-shard scanning threads) can work sharded.
+    /// Executes on the persistent worker pool.
     pub fn ingest_batch_sharded(
         &self,
         batch: &[EmuPacket],
         received_at: EmuTime,
     ) -> Vec<Vec<Delivery>> {
         let n = self.shards.len();
-        let mut partitions: Vec<Vec<&EmuPacket>> = vec![Vec::new(); n];
-        for pkt in batch {
-            partitions[self.shard_of(pkt.src)].push(pkt);
+        let partitions = self.partition(batch);
+        let (reply_tx, reply_rx) = channel::unbounded();
+        for (idx, pkts) in partitions.into_iter().enumerate() {
+            let job = Job { pkts, received_at, reply: reply_tx.clone() };
+            if self.pool.jobs[idx].send(job).is_err() {
+                self.pool.propagate_failure();
+            }
         }
-        self.batch_size.observe(batch.len() as u64);
-        self.imbalance_pct.set(imbalance_pct(&partitions));
-        let mut results: Vec<Vec<Delivery>> = Vec::with_capacity(n);
+        drop(reply_tx);
+        let mut results: Vec<Vec<Delivery>> = (0..n).map(|_| Vec::new()).collect();
+        for _ in 0..n {
+            match reply_rx.recv() {
+                Ok((idx, out)) => results[idx] = out,
+                Err(_) => self.pool.propagate_failure(),
+            }
+        }
+        results
+    }
+
+    /// The pre-pool batch path: spawns one scoped thread per shard per
+    /// batch. Semantically identical to
+    /// [`ClusterPipeline::ingest_batch_sharded`]; kept as the baseline
+    /// experiment E15 measures the worker pool against.
+    pub fn ingest_batch_sharded_spawning(
+        &self,
+        batch: &[EmuPacket],
+        received_at: EmuTime,
+    ) -> Vec<Vec<Delivery>> {
+        let partitions = self.partition(batch);
+        let mut results: Vec<Vec<Delivery>> = Vec::with_capacity(self.shards.len());
         let scope_result = thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .iter()
                 .enumerate()
                 .map(|(i, part)| {
-                    let shard = &self.shards[i];
-                    let scene = &self.scene;
+                    let scene_lock = &self.scene;
+                    let shards = &self.shards;
                     scope.spawn(move |_| {
-                        let mut shard = shard.lock();
-                        let scene = scene.read();
-                        let recorder = Arc::clone(&shard.recorder);
+                        let scene = scene_lock.read();
+                        let shard_slot = &shards[i];
+                        let mut shard = shard_slot.lock();
                         shard.ingested.add(part.len() as u64);
+                        let recorder = Arc::clone(&shard.recorder);
+                        let mut targets = std::mem::take(&mut shard.scratch);
                         let mut out = Vec::new();
                         for pkt in part {
-                            out.extend(ingest_on(
+                            ingest_on(
                                 &scene,
                                 &recorder,
                                 &mut shard.rng,
                                 pkt,
                                 received_at,
-                            ));
+                                &mut targets,
+                                &mut out,
+                            );
                         }
+                        shard.scratch = targets;
                         out
                     })
                 })
@@ -229,6 +414,19 @@ impl ClusterPipeline {
         }
         results
     }
+
+    /// Splits a batch into per-shard slices (owned: payloads are
+    /// refcounted, so the clones are cheap) and refreshes the batch
+    /// metrics.
+    fn partition(&self, batch: &[EmuPacket]) -> Vec<Vec<EmuPacket>> {
+        let mut partitions: Vec<Vec<EmuPacket>> = vec![Vec::new(); self.shards.len()];
+        for pkt in batch {
+            partitions[self.shard_of(pkt.src)].push(pkt.clone());
+        }
+        self.batch_size.observe(batch.len() as u64);
+        self.imbalance_pct.set(imbalance_pct(&partitions));
+        partitions
+    }
 }
 
 impl std::fmt::Debug for ClusterPipeline {
@@ -242,7 +440,7 @@ impl std::fmt::Debug for ClusterPipeline {
 
 /// Shard imbalance of one batch partitioning: `100·(max−mean)/mean` over
 /// the per-shard sizes, 0 for an empty batch.
-fn imbalance_pct(partitions: &[Vec<&EmuPacket>]) -> i64 {
+fn imbalance_pct(partitions: &[Vec<EmuPacket>]) -> i64 {
     let total: usize = partitions.iter().map(Vec::len).sum();
     if total == 0 || partitions.is_empty() {
         return 0;
@@ -255,16 +453,20 @@ fn imbalance_pct(partitions: &[Vec<&EmuPacket>]) -> i64 {
 /// The shared per-packet decision logic (identical semantics to
 /// [`crate::engine::Pipeline::ingest`] with the baseline models). Drops
 /// are stamped with the client's `sent_at` — the same base the forward
-/// times use — not the server receipt time.
+/// times use — not the server receipt time. Deliveries are appended to
+/// `out`; `targets` is a reused routing buffer, so the steady-state path
+/// performs no heap allocation of its own.
 fn ingest_on(
     scene: &Scene,
     recorder: &Recorder,
     rng: &mut EmuRng,
     pkt: &EmuPacket,
     received_at: EmuTime,
-) -> Vec<Delivery> {
+    targets: &mut Vec<NodeId>,
+    out: &mut Vec<Delivery>,
+) {
     recorder.record_traffic(TrafficRecord::ingress(pkt, received_at));
-    let targets = scene.route(pkt.src, pkt.channel, pkt.dst);
+    scene.route_into(pkt.src, pkt.channel, pkt.dst, targets);
     if targets.is_empty() {
         if let Destination::Unicast(d) = pkt.dst {
             recorder.record_traffic(TrafficRecord::Drop {
@@ -274,10 +476,10 @@ fn ingest_on(
                 reason: DropReason::NoRoute,
             });
         }
-        return Vec::new();
+        return;
     }
-    let mut out = Vec::with_capacity(targets.len());
-    for to in targets {
+    out.reserve(targets.len());
+    for &to in targets.iter() {
         match scene.decide(pkt.src, to, pkt.channel, pkt.wire_size(), rng) {
             Some(ForwardDecision::ForwardAfter(d)) => {
                 out.push(Delivery { to, fire_at: pkt.sent_at + d, packet: pkt.clone() });
@@ -300,7 +502,6 @@ fn ingest_on(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -415,6 +616,42 @@ mod tests {
     }
 
     #[test]
+    fn pool_and_spawning_batch_paths_agree() {
+        // The worker pool must be bit-identical to the per-batch spawn
+        // baseline: same partitioning, same per-shard order, same RNG
+        // draws.
+        let mk = || {
+            ClusterPipeline::new(
+                grid_scene(25),
+                Arc::new(Recorder::new()),
+                ClusterConfig { shards: 4, seed: 7 },
+            )
+        };
+        let batch: Vec<EmuPacket> = (0..150).map(|i| pkt(i, (i % 25) as u32)).collect();
+        let pooled = mk().ingest_batch_sharded(&batch, EmuTime::ZERO);
+        let spawned = mk().ingest_batch_sharded_spawning(&batch, EmuTime::ZERO);
+        assert_eq!(pooled, spawned);
+    }
+
+    #[test]
+    fn worker_pool_survives_many_batches_and_shuts_down_cleanly() {
+        let cluster = ClusterPipeline::new(
+            grid_scene(9),
+            Arc::new(Recorder::new()),
+            ClusterConfig { shards: 3, seed: 1 },
+        );
+        let mut total = 0usize;
+        for round in 0..20u64 {
+            let batch: Vec<EmuPacket> =
+                (0..30).map(|i| pkt(round * 30 + i, ((round * 30 + i) % 9) as u32)).collect();
+            total += cluster.ingest_batch(&batch, EmuTime::ZERO).len();
+        }
+        assert!(total > 0);
+        // Dropping the cluster joins its workers (hangs here = leak).
+        drop(cluster);
+    }
+
+    #[test]
     fn scene_ops_remain_centralized_and_visible_to_all_shards() {
         let cluster = ClusterPipeline::new(
             grid_scene(4),
@@ -450,6 +687,43 @@ mod tests {
         cluster.advance_mobility(EmuTime::from_secs(3));
         let pos = cluster.with_scene(|s| s.node(NodeId(99)).unwrap().pos);
         assert!((pos.x - 30.0).abs() < 1e-6, "{pos}");
+    }
+
+    #[test]
+    fn cluster_mobility_records_positions_for_replay() {
+        // Mirrors `mobility_advance_records_positions_for_replay` on the
+        // single pipeline: cluster runs must replay exactly too.
+        let rec = Arc::new(Recorder::new());
+        let cluster =
+            ClusterPipeline::new(Scene::new(), Arc::clone(&rec), ClusterConfig::default());
+        cluster
+            .apply_op(
+                EmuTime::ZERO,
+                SceneOp::AddNode {
+                    id: NodeId(1),
+                    pos: Point::ORIGIN,
+                    radios: RadioConfig::single(ChannelId(1), 100.0),
+                    mobility: MobilityModel::Linear { direction_deg: 0.0, speed: 10.0 },
+                    link: LinkParams::default(),
+                },
+            )
+            .unwrap();
+        cluster.advance_mobility(EmuTime::from_secs(1));
+        cluster.advance_mobility(EmuTime::from_secs(2));
+        // A repeated horizon is a no-op and must not re-record.
+        cluster.advance_mobility(EmuTime::from_secs(2));
+        let ops = rec.scene();
+        assert_eq!(ops.len(), 3, "AddNode + one MoveNode per advance");
+        match &ops[2].op {
+            SceneOp::MoveNode { id, pos } => {
+                assert_eq!(*id, NodeId(1));
+                assert!((pos.x - 20.0).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+        let engine = poem_record::ReplayEngine::new(ops);
+        let replayed = engine.scene_at(EmuTime::from_secs(2)).unwrap();
+        assert!((replayed.node(NodeId(1)).unwrap().pos.x - 20.0).abs() < 1e-9);
     }
 
     #[test]

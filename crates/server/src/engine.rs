@@ -94,6 +94,9 @@ pub struct Pipeline {
     registry: Arc<Registry>,
     metrics: PipelineMetrics,
     latency_sample_tick: u32,
+    /// Reused routing buffer: steady-state ingest allocates nothing
+    /// beyond the delivery vector it returns.
+    route_scratch: Vec<NodeId>,
 }
 
 impl Pipeline {
@@ -132,6 +135,7 @@ impl Pipeline {
             registry,
             metrics,
             latency_sample_tick: 0,
+            route_scratch: Vec::new(),
         }
     }
 
@@ -244,7 +248,8 @@ impl Pipeline {
             .then(std::time::Instant::now);
         self.metrics.ingest_packets.inc();
         self.recorder.record_traffic(TrafficRecord::ingress(pkt, received_at));
-        let targets = self.scene.route(pkt.src, pkt.channel, pkt.dst);
+        let mut targets = std::mem::take(&mut self.route_scratch);
+        self.scene.route_into(pkt.src, pkt.channel, pkt.dst, &mut targets);
         // Sender-side MAC/energy bookkeeping: the transmission occupies
         // the medium around the sender for its airtime.
         let tx = self.sender_transmission(pkt);
@@ -276,10 +281,11 @@ impl Pipeline {
             if let Some(t0) = timer {
                 self.metrics.ingest_latency_ns.observe(t0.elapsed().as_nanos() as u64);
             }
+            self.route_scratch = targets;
             return Vec::new();
         }
         let mut out = Vec::with_capacity(targets.len());
-        for to in targets {
+        for &to in &targets {
             match self.scene.decide(pkt.src, to, pkt.channel, pkt.wire_size(), &mut self.rng) {
                 Some(ForwardDecision::ForwardAfter(d)) => {
                     // MAC collision test at the receiver.
@@ -334,6 +340,7 @@ impl Pipeline {
         if let Some(t0) = timer {
             self.metrics.ingest_latency_ns.observe(t0.elapsed().as_nanos() as u64);
         }
+        self.route_scratch = targets;
         out
     }
 

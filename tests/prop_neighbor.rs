@@ -53,6 +53,33 @@ fn apply<T: NeighborTables>(t: &mut T, op: &Op) {
     }
 }
 
+/// Coordinates biased onto the 50-unit lattice so nodes frequently sit
+/// *exactly* on grid-cell corners and exactly one range apart (the exact
+/// ranges below are all multiples of 50) — the boundary cases where an
+/// off-by-one in the 3×3 cell gather or the inclusive distance compare
+/// would show.
+fn lattice_coord() -> impl Strategy<Value = f64> {
+    prop_oneof![(0u8..9).prop_map(|k| k as f64 * 50.0), 0.0f64..400.0]
+}
+
+/// 1–2 radios over ≥3 channels with exact lattice-aligned ranges.
+fn exact_radio_strategy() -> impl Strategy<Value = Vec<(u8, f64)>> {
+    prop::collection::vec(
+        (0u8..4, prop_oneof![Just(50.0f64), Just(100.0f64), Just(150.0f64)]),
+        1..3,
+    )
+}
+
+fn boundary_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..10, lattice_coord(), lattice_coord(), exact_radio_strategy())
+            .prop_map(|(id, x, y, radios)| Op::Insert { id, x, y, radios }),
+        (0u8..10).prop_map(|id| Op::Remove { id }),
+        (0u8..10, lattice_coord(), lattice_coord()).prop_map(|(id, x, y)| Op::Move { id, x, y }),
+        (0u8..10, exact_radio_strategy()).prop_map(|(id, radios)| Op::Retune { id, radios }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -131,5 +158,34 @@ proptest! {
         }
         let max_checks = (ch0_nodes - 1) * moves;
         prop_assert!(t.work() as usize <= max_checks, "{} > {max_checks}", t.work());
+    }
+
+    #[test]
+    fn grid_matches_scan_byte_for_byte_on_boundary_heavy_ops(
+        ops in prop::collection::vec(boundary_op_strategy(), 1..60)
+    ) {
+        // The spatial grid is a pure acceleration: after every single op
+        // of a boundary-heavy random sequence (nodes exactly on cell
+        // corners, distances exactly equal to ranges, retunes that grow
+        // the cell), the grid-backed rows must equal the scanning rows
+        // exactly, and the final state must match brute force.
+        let mut grid = ChannelIndexedTables::new();
+        let mut scan = ChannelIndexedTables::without_grid();
+        for (step, op) in ops.iter().enumerate() {
+            apply(&mut grid, op);
+            apply(&mut scan, op);
+            for id in grid.node_ids() {
+                for ch in 0u16..4 {
+                    prop_assert_eq!(
+                        grid.neighbors(id, ChannelId(ch)),
+                        scan.neighbors(id, ChannelId(ch)),
+                        "step {} ({:?}): node {} channel {}", step, op, id, ch
+                    );
+                }
+            }
+            prop_assert_eq!(grid.node_ids(), scan.node_ids(), "membership diverged");
+        }
+        prop_assert!(check_against_brute_force(&grid).is_ok(),
+            "{:?}", check_against_brute_force(&grid));
     }
 }
