@@ -11,4 +11,5 @@ pub mod fig6;
 pub mod hotpath;
 pub mod mac;
 pub mod overhead;
+pub mod rt_fidelity;
 pub mod table2;

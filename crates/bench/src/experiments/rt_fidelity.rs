@@ -1,0 +1,493 @@
+//! Extension experiment E16 — real-time fidelity: virtual-vs-real
+//! timestamp divergence and the scan loop's sleep-policy comparison.
+//!
+//! The paper's headline claim is *real-time* emulation (§3.2 steps 5–6,
+//! Fig. 2), so the emulator's timing error must be a measured result, not
+//! an assumption. E16 runs the **same seeded scenario** under both
+//! frontends:
+//!
+//! * **virtual** — [`SimNet`]'s discrete-event loop, where every forward
+//!   fires at exactly its modeled time; this is the ground truth;
+//! * **real** — [`ServerHandle`] over TCP with [`WallClock`], synced
+//!   clients, and paced sender threads.
+//!
+//! For every delivered copy, matched across the runs by `(packet id,
+//! receiver)` (both frontends derive packet ids as `(node << 40) | seq`),
+//! the per-copy latency is `forward_at − sent_at`; the **divergence** is
+//! the real-mode latency minus the virtual-mode latency — everything the
+//! OS, the sockets, the scheduler and residual clock-sync error add on
+//! top of the model. The report carries the divergence distribution per
+//! client count (Fig. 2 methodology: error vs load) plus a
+//! naive-vs-hybrid [`SleepPolicy`] comparison of the server's firing-lag
+//! and wake-up-error histograms on the lightest scenario, where lag is
+//! wake-up-bound — the regime the policy actually controls.
+//!
+//! Divergence and lag numbers are wall-clock: run with `--release` and
+//! treat distributions, not single samples, as the result. Unit tests and
+//! the CI `bench-smoke` job check the schema and the virtual side's
+//! determinism, never wall-clock thresholds.
+
+use bytes::Bytes;
+use poem_client::{ClientApp, EmuClient, Nic};
+use poem_core::clock::{Clock, WallClock};
+use poem_core::linkmodel::LinkParams;
+use poem_core::mobility::MobilityModel;
+use poem_core::packet::Destination;
+use poem_core::radio::RadioConfig;
+use poem_core::scene::{Scene, SceneOp};
+use poem_core::sleep::SleepPolicy;
+use poem_core::{ChannelId, EmuDuration, EmuPacket, EmuTime, NodeId, Point};
+use poem_record::{Recorder, TrafficRecord};
+use poem_server::{ServerConfig, ServerHandle, SimConfig, SimNet};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Workload sizing for one E16 run.
+#[derive(Debug, Clone)]
+pub struct RtFidelityConfig {
+    /// Client counts to sweep (one divergence row each).
+    pub clients: Vec<usize>,
+    /// Packets each client sends.
+    pub packets: usize,
+    /// Pacing interval between a client's sends.
+    pub interval: EmuDuration,
+    /// Payload bytes per packet.
+    pub payload: usize,
+    /// Seed for the pipeline's stochastic decisions (both frontends).
+    pub seed: u64,
+}
+
+impl RtFidelityConfig {
+    /// The full sweep: 2/4/8 clients, 100 packets each at 10 ms pacing.
+    pub fn full() -> Self {
+        RtFidelityConfig {
+            clients: vec![2, 4, 8],
+            packets: 100,
+            interval: EmuDuration::from_millis(10),
+            payload: 200,
+            seed: 16,
+        }
+    }
+
+    /// A seconds-scale configuration for CI smoke runs and tests.
+    pub fn smoke() -> Self {
+        RtFidelityConfig {
+            clients: vec![2],
+            packets: 10,
+            interval: EmuDuration::from_millis(10),
+            payload: 200,
+            seed: 16,
+        }
+    }
+}
+
+/// Divergence distribution for one client count.
+#[derive(Debug, Clone, Copy)]
+pub struct DivergenceRow {
+    /// Clients in the scenario.
+    pub clients: usize,
+    /// Delivery copies matched across the two runs.
+    pub copies: usize,
+    /// Mean real−virtual latency difference, seconds.
+    pub mean_s: f64,
+    /// Median difference, seconds.
+    pub p50_s: f64,
+    /// 99th-percentile difference, seconds.
+    pub p99_s: f64,
+    /// Worst difference, seconds.
+    pub max_s: f64,
+}
+
+/// Scan-thread timing stats harvested from one real-mode run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LagStats {
+    /// `poem_scan_lag_ns` p50 (bucket upper bound).
+    pub scan_p50_ns: u64,
+    /// `poem_scan_lag_ns` p99 (bucket upper bound).
+    pub scan_p99_ns: u64,
+    /// `poem_wake_error_ns` p99 (bucket upper bound).
+    pub wake_p99_ns: u64,
+    /// Total `poem_deadline_miss_total` across severities.
+    pub misses: u64,
+}
+
+/// One E16 run's results (serialized as `BENCH_rt_fidelity.json`).
+#[derive(Debug, Clone)]
+pub struct RtFidelityReport {
+    /// Pacing interval, seconds.
+    pub interval_s: f64,
+    /// Packets per client.
+    pub packets_per_client: usize,
+    /// Divergence distribution per client count (hybrid policy).
+    pub rows: Vec<DivergenceRow>,
+    /// Scan stats of the naive-policy run (largest client count).
+    pub naive: LagStats,
+    /// Scan stats of the hybrid-policy run (largest client count).
+    pub hybrid: LagStats,
+}
+
+/// A deterministic paced broadcaster hosted by the virtual frontend: one
+/// `payload`-byte broadcast per `interval`, `packets` times, starting one
+/// interval after the node comes up — the same schedule the real-mode
+/// sender threads follow in wall time.
+struct PacedSender {
+    channel: ChannelId,
+    interval: EmuDuration,
+    remaining: usize,
+    payload: usize,
+}
+
+impl ClientApp for PacedSender {
+    fn on_start(&mut self, _nic: &mut dyn Nic) -> Option<EmuDuration> {
+        Some(self.interval)
+    }
+
+    fn on_packet(&mut self, _nic: &mut dyn Nic, _pkt: EmuPacket) {}
+
+    fn on_tick(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        nic.send(self.channel, Destination::Broadcast, Bytes::from(vec![0u8; self.payload]));
+        if self.remaining > 0 {
+            Some(self.interval)
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-copy latency (`forward_at − sent_at`, ns) keyed by
+/// `(packet id, receiver)` — the key both frontends agree on.
+fn latencies(recorder: &Recorder) -> BTreeMap<(u64, u32), i64> {
+    let traffic = recorder.traffic();
+    let mut sent: BTreeMap<u64, EmuTime> = BTreeMap::new();
+    for r in &traffic {
+        if let TrafficRecord::Ingress { id, sent_at, .. } = r {
+            sent.insert(id.0, *sent_at);
+        }
+    }
+    let mut out = BTreeMap::new();
+    for r in &traffic {
+        if let TrafficRecord::Forward { id, to, at } = r {
+            if let Some(s) = sent.get(&id.0) {
+                out.insert((id.0, to.0), at.since(*s).as_nanos());
+            }
+        }
+    }
+    out
+}
+
+/// The shared scenario: `n` stationary nodes in a line, all mutually in
+/// range on channel 1, ideal 8 Mb/s links (no loss draws, so both
+/// frontends make identical forwarding decisions).
+fn line_scene(n: usize) -> Scene {
+    let mut s = Scene::new();
+    for i in 0..n {
+        s.apply(
+            EmuTime::ZERO,
+            &SceneOp::AddNode {
+                id: NodeId(i as u32 + 1),
+                pos: Point::new(i as f64 * 10.0, 0.0),
+                radios: RadioConfig::single(ChannelId(1), 1_000.0),
+                mobility: MobilityModel::Stationary,
+                link: LinkParams::ideal(8e6),
+            },
+        )
+        .expect("line scene valid");
+    }
+    s
+}
+
+/// Ground truth: the scenario under the discrete-event frontend.
+pub fn run_virtual(n: usize, cfg: &RtFidelityConfig) -> BTreeMap<(u64, u32), i64> {
+    let mut sim = SimNet::new(SimConfig { seed: cfg.seed, ..SimConfig::default() });
+    for i in 0..n {
+        sim.add_node(
+            NodeId(i as u32 + 1),
+            Point::new(i as f64 * 10.0, 0.0),
+            RadioConfig::single(ChannelId(1), 1_000.0),
+            MobilityModel::Stationary,
+            LinkParams::ideal(8e6),
+            Box::new(PacedSender {
+                channel: ChannelId(1),
+                interval: cfg.interval,
+                remaining: cfg.packets,
+                payload: cfg.payload,
+            }),
+        )
+        .expect("sim node added");
+    }
+    let horizon =
+        EmuTime::ZERO + cfg.interval * (cfg.packets as i64 + 2) + EmuDuration::from_secs(1);
+    sim.run_until(horizon);
+    latencies(&sim.recorder())
+}
+
+/// The scenario under the TCP frontend with the given sleep policy:
+/// synced `EmuClient`s, one paced sender thread per client.
+pub fn run_real(
+    n: usize,
+    cfg: &RtFidelityConfig,
+    policy: SleepPolicy,
+) -> (BTreeMap<(u64, u32), i64>, LagStats) {
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let config = ServerConfig { seed: cfg.seed, sleep_policy: policy, ..ServerConfig::default() };
+    let server = ServerHandle::start(line_scene(n), clock, config).expect("server starts");
+
+    let clients: Vec<EmuClient> = (0..n)
+        .map(|i| {
+            let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+            let c = EmuClient::connect_tcp(
+                server.addr(),
+                NodeId(i as u32 + 1),
+                RadioConfig::single(ChannelId(1), 1_000.0),
+                clock,
+            )
+            .expect("client connects");
+            c.sync_clock(3).expect("clock sync");
+            c
+        })
+        .collect();
+
+    let interval = cfg.interval.to_std();
+    std::thread::scope(|scope| {
+        for c in &clients {
+            scope.spawn(move || {
+                for _ in 0..cfg.packets {
+                    std::thread::sleep(interval);
+                    let _ = c.send(
+                        ChannelId(1),
+                        Destination::Broadcast,
+                        Bytes::from(vec![0u8; cfg.payload]),
+                    );
+                }
+            });
+        }
+    });
+    // Let the tail of the schedule fire before harvesting.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let snap = server.metrics();
+    let scan = snap.histogram("poem_scan_lag_ns");
+    let wake = snap.histogram("poem_wake_error_ns");
+    let stats = LagStats {
+        scan_p50_ns: scan.and_then(|h| h.quantile(0.5)).unwrap_or(0),
+        scan_p99_ns: scan.and_then(|h| h.quantile(0.99)).unwrap_or(0),
+        wake_p99_ns: wake.and_then(|h| h.quantile(0.99)).unwrap_or(0),
+        misses: snap.counter_family("poem_deadline_miss_total"),
+    };
+    let lat = latencies(&server.recorder());
+    for c in clients {
+        let _ = c.close();
+    }
+    server.shutdown();
+    (lat, stats)
+}
+
+/// Distribution of real−virtual latency differences over matched copies.
+fn divergence_row(
+    n: usize,
+    virt: &BTreeMap<(u64, u32), i64>,
+    real: &BTreeMap<(u64, u32), i64>,
+) -> DivergenceRow {
+    let mut diffs: Vec<i64> = real.iter().filter_map(|(k, r)| virt.get(k).map(|v| r - v)).collect();
+    diffs.sort_unstable();
+    let copies = diffs.len();
+    let sec = |ns: i64| ns as f64 / 1e9;
+    if copies == 0 {
+        return DivergenceRow {
+            clients: n,
+            copies,
+            mean_s: 0.0,
+            p50_s: 0.0,
+            p99_s: 0.0,
+            max_s: 0.0,
+        };
+    }
+    let q = |p: f64| diffs[(((copies - 1) as f64) * p).round() as usize];
+    DivergenceRow {
+        clients: n,
+        copies,
+        mean_s: sec(diffs.iter().sum::<i64>() / copies as i64),
+        p50_s: sec(q(0.5)),
+        p99_s: sec(q(0.99)),
+        max_s: sec(*diffs.last().expect("non-empty")),
+    }
+}
+
+/// Runs the full E16 sweep: one hybrid-policy divergence row per client
+/// count, then a naive-policy rerun of the *lightest* scenario for the
+/// policy comparison. The A/B runs at the lightest load deliberately:
+/// there the gap to each deadline is long and firing lag is dominated by
+/// how the scan thread wakes — the thing the policy controls. Under
+/// saturation (8 clients on a 1-core container) lag is service-time
+/// bound and every policy measures the same queueing delay.
+pub fn run(cfg: &RtFidelityConfig) -> RtFidelityReport {
+    let mut rows = Vec::new();
+    let mut hybrid = LagStats::default();
+    for (i, &n) in cfg.clients.iter().enumerate() {
+        let virt = run_virtual(n, cfg);
+        let (real, stats) = run_real(n, cfg, SleepPolicy::Hybrid);
+        rows.push(divergence_row(n, &virt, &real));
+        if i == 0 {
+            hybrid = stats;
+        }
+    }
+    let lightest = cfg.clients.first().copied().unwrap_or(2);
+    let (_, naive) = run_real(lightest, cfg, SleepPolicy::Naive);
+    RtFidelityReport {
+        interval_s: cfg.interval.as_secs_f64(),
+        packets_per_client: cfg.packets,
+        rows,
+        naive,
+        hybrid,
+    }
+}
+
+/// Scalar fields `BENCH_rt_fidelity.json` must carry, in emission order.
+const SCHEMA_FIELDS: &[&str] = &[
+    "interval_s",
+    "packets_per_client",
+    "naive_scan_p50_ns",
+    "naive_scan_p99_ns",
+    "naive_wake_p99_ns",
+    "naive_misses",
+    "hybrid_scan_p50_ns",
+    "hybrid_scan_p99_ns",
+    "hybrid_wake_p99_ns",
+    "hybrid_misses",
+];
+
+/// Per-row fields each `rows[]` object must carry.
+const ROW_FIELDS: &[&str] =
+    &["clients", "copies", "div_mean_s", "div_p50_s", "div_p99_s", "div_max_s"];
+
+/// Serializes a report as the `BENCH_rt_fidelity.json` document.
+pub fn render_json(r: &RtFidelityReport) -> String {
+    let mut s = String::from("{\n  \"experiment\": \"E16\",\n");
+    s.push_str(&format!("  \"interval_s\": {:.4},\n", r.interval_s));
+    s.push_str(&format!("  \"packets_per_client\": {},\n", r.packets_per_client));
+    s.push_str("  \"rows\": [\n");
+    for (i, row) in r.rows.iter().enumerate() {
+        let sep = if i + 1 == r.rows.len() { "\n" } else { ",\n" };
+        s.push_str(&format!(
+            "    {{\"clients\": {}, \"copies\": {}, \"div_mean_s\": {:.6}, \
+             \"div_p50_s\": {:.6}, \"div_p99_s\": {:.6}, \"div_max_s\": {:.6}}}{sep}",
+            row.clients, row.copies, row.mean_s, row.p50_s, row.p99_s, row.max_s
+        ));
+    }
+    s.push_str("  ],\n");
+    let scalars: &[(&str, f64)] = &[
+        ("naive_scan_p50_ns", r.naive.scan_p50_ns as f64),
+        ("naive_scan_p99_ns", r.naive.scan_p99_ns as f64),
+        ("naive_wake_p99_ns", r.naive.wake_p99_ns as f64),
+        ("naive_misses", r.naive.misses as f64),
+        ("hybrid_scan_p50_ns", r.hybrid.scan_p50_ns as f64),
+        ("hybrid_scan_p99_ns", r.hybrid.scan_p99_ns as f64),
+        ("hybrid_wake_p99_ns", r.hybrid.wake_p99_ns as f64),
+        ("hybrid_misses", r.hybrid.misses as f64),
+    ];
+    for (i, (k, v)) in scalars.iter().enumerate() {
+        let sep = if i + 1 == scalars.len() { "\n" } else { ",\n" };
+        s.push_str(&format!("  \"{k}\": {v:.0}{sep}"));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Extracts the numeric value following `"key":`, if present and finite.
+fn field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
+/// Schema check for a `BENCH_rt_fidelity.json` document: the experiment
+/// tag, every scalar field, and at least one complete divergence row must
+/// be present and numeric. Deliberately does **not** gate on wall-clock
+/// numbers — CI machines are noisy; the hybrid-beats-naive criterion is
+/// reviewed on the committed artifact.
+pub fn validate(json: &str) -> Result<(), String> {
+    if !json.contains("\"experiment\": \"E16\"") {
+        return Err("missing experiment tag \"E16\"".into());
+    }
+    for key in SCHEMA_FIELDS {
+        if field(json, key).is_none() {
+            return Err(format!("missing or non-numeric field \"{key}\""));
+        }
+    }
+    for key in ROW_FIELDS {
+        if field(json, key).is_none() {
+            return Err(format!("missing or non-numeric row field \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_run_is_deterministic() {
+        let cfg = RtFidelityConfig::smoke();
+        let a = run_virtual(2, &cfg);
+        let b = run_virtual(2, &cfg);
+        assert_eq!(a, b);
+        // 2 clients × 10 packets × 1 receiver each (broadcast) = 20 copies.
+        assert_eq!(a.len(), 2 * cfg.packets);
+        // Ideal 8 Mb/s link: every latency is the positive transmission
+        // delay the model computed.
+        assert!(a.values().all(|&ns| ns > 0));
+    }
+
+    #[test]
+    fn smoke_run_emits_a_valid_document() {
+        let report = run(&RtFidelityConfig::smoke());
+        assert_eq!(report.rows.len(), 1);
+        assert!(report.rows[0].copies > 0, "no copies matched across frontends");
+        let json = render_json(&report);
+        validate(&json).expect("smoke document validates");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"experiment\": \"E16\"}").is_err());
+        let report = RtFidelityReport {
+            interval_s: 0.01,
+            packets_per_client: 4,
+            rows: vec![DivergenceRow {
+                clients: 2,
+                copies: 8,
+                mean_s: 0.001,
+                p50_s: 0.001,
+                p99_s: 0.002,
+                max_s: 0.003,
+            }],
+            naive: LagStats {
+                scan_p50_ns: 50_000,
+                scan_p99_ns: 500_000,
+                wake_p99_ns: 64_000,
+                misses: 3,
+            },
+            hybrid: LagStats {
+                scan_p50_ns: 1_000,
+                scan_p99_ns: 20_000,
+                wake_p99_ns: 64_000,
+                misses: 0,
+            },
+        };
+        let good = render_json(&report);
+        validate(&good).expect("good document");
+        assert!(validate(&good.replace("\"div_p99_s\"", "\"div_p99\"")).is_err());
+        assert!(validate(&good.replace("\"hybrid_scan_p99_ns\"", "\"x\"")).is_err());
+    }
+}

@@ -101,7 +101,9 @@ impl Clock for VirtualClock {
 pub struct WallClock {
     base: Instant,
     /// Signed nanosecond offset added to the elapsed monotonic time.
-    offset: Mutex<i64>,
+    /// Shared between clocks created with [`WallClock::sharing_base`]: a
+    /// sync `adjust` on any of them moves the whole workstation.
+    offset: Arc<Mutex<i64>>,
 }
 
 impl WallClock {
@@ -110,13 +112,22 @@ impl WallClock {
         // WallClock IS the real-time boundary of the emulator; everything
         // replay-deterministic runs against SimClock instead.
         // poem-lint: allow(determinism): this type is the wall-clock abstraction
-        WallClock { base: Instant::now(), offset: Mutex::new(0) }
+        WallClock { base: Instant::now(), offset: Arc::new(Mutex::new(0)) }
     }
 
-    /// A wall clock sharing another's monotonic base but with its own
-    /// offset — models several clients on one workstation (§3.1).
+    /// A wall clock sharing another's monotonic base *and* offset —
+    /// models several clients on one workstation (§3.1): a later sync
+    /// `adjust` on either clock keeps propagating to the other.
     pub fn sharing_base(&self) -> Self {
-        WallClock { base: self.base, offset: Mutex::new(*self.offset.lock()) }
+        WallClock { base: self.base, offset: Arc::clone(&self.offset) }
+    }
+
+    /// A wall clock sharing another's monotonic base but with an
+    /// independent offset seeded from the current one. Use this to model
+    /// hosts whose clocks start aligned and then drift apart under
+    /// separate synchronization.
+    pub fn snapshot_base(&self) -> Self {
+        WallClock { base: self.base, offset: Arc::new(Mutex::new(*self.offset.lock())) }
     }
 }
 
@@ -396,5 +407,32 @@ mod tests {
         let da = a.now().as_secs_f64();
         let db = b.now().as_secs_f64();
         assert!((da - db).abs() < 0.05, "{da} vs {db}");
+    }
+
+    #[test]
+    fn wall_clock_sharing_base_propagates_later_adjust() {
+        // Regression: `sharing_base` used to snapshot the offset, so a
+        // sync round on the parent after the child was created silently
+        // diverged the two clocks "on one workstation".
+        let parent = WallClock::new();
+        let child = parent.sharing_base();
+        parent.adjust(EmuDuration::from_secs(100));
+        let dp = parent.now().as_secs_f64();
+        let dc = child.now().as_secs_f64();
+        assert!((dp - dc).abs() < 0.05, "{dp} vs {dc}");
+        // And the other direction: the child adjusting moves the parent.
+        child.adjust(EmuDuration::from_secs(100));
+        assert!(parent.now().as_secs_f64() >= 200.0);
+    }
+
+    #[test]
+    fn wall_clock_snapshot_base_is_independent() {
+        let parent = WallClock::new();
+        parent.adjust(EmuDuration::from_secs(50));
+        let child = parent.snapshot_base();
+        parent.adjust(EmuDuration::from_secs(100));
+        let dp = parent.now().as_secs_f64();
+        let dc = child.now().as_secs_f64();
+        assert!((dp - dc - 100.0).abs() < 0.05, "{dp} vs {dc}");
     }
 }

@@ -20,6 +20,8 @@
 //!   the GUI's scene-operation vocabulary, and per-packet forwarding
 //!   decisions.
 //! * [`schedule`] — the server's forward schedule (§3.2 steps 4–6).
+//! * [`sleep`] — real-time scan-loop sleep policies (naive / hybrid /
+//!   spin) and the online guard-band calibrator behind the hybrid one.
 //! * [`packet`] — emulated packets as exchanged between clients.
 //! * [`stats`] — windowed loss/throughput/delay statistics used by the
 //!   evaluation.
@@ -76,6 +78,7 @@ pub mod radio;
 pub mod rng;
 pub mod scene;
 pub mod schedule;
+pub mod sleep;
 pub mod stats;
 pub mod time;
 
@@ -92,4 +95,5 @@ pub use radio::Radio;
 pub use rng::EmuRng;
 pub use scene::{Scene, SceneOp, Vmn};
 pub use schedule::ForwardSchedule;
+pub use sleep::{GuardBand, SleepPolicy};
 pub use time::{EmuDuration, EmuTime};

@@ -1,0 +1,178 @@
+//! Real-time scan-loop sleep policies and guard-band calibration.
+//!
+//! The §3.2 scanning thread must wake *at* each forward deadline, but an
+//! OS sleep primitive only promises to wake *no earlier than* requested —
+//! the actual wake-up error is the scheduler's timer slack plus run-queue
+//! latency, typically tens of microseconds and spiky under load. The
+//! real-time-scheduler literature (INET's RT scheduler, arXiv:1509.03105)
+//! resolves this with a hybrid: sleep coarsely to `deadline − guard`,
+//! then spin the last `guard` nanoseconds, where `guard` is calibrated
+//! online from the wake-up error the host actually exhibits.
+//!
+//! This module holds the policy taxonomy ([`SleepPolicy`]) and the online
+//! calibrator ([`GuardBand`]); the policies are *executed* by the server's
+//! scan loop, which owns the condvar and the clock. Everything here is
+//! pure arithmetic so both frontends and the tests can exercise it
+//! deterministically.
+
+use serde::{Deserialize, Serialize};
+
+/// How the scanning thread waits for the next forward deadline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SleepPolicy {
+    /// Plain condvar sleep with a fixed 50 µs floor and 50 ms cap — the
+    /// pre-calibration behaviour, kept as the comparison baseline for E16.
+    Naive,
+    /// Coarse condvar sleep down to the calibrated guard band, then
+    /// spin/yield to the deadline (the default).
+    #[default]
+    Hybrid,
+    /// Spin/yield all the way to the deadline; lowest latency, one core
+    /// pinned. Condvar-sleeps only while the schedule is empty.
+    Spin,
+}
+
+impl SleepPolicy {
+    /// Stable lowercase name, used in CLI flags and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            SleepPolicy::Naive => "naive",
+            SleepPolicy::Hybrid => "hybrid",
+            SleepPolicy::Spin => "spin",
+        }
+    }
+}
+
+impl std::fmt::Display for SleepPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SleepPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(SleepPolicy::Naive),
+            "hybrid" => Ok(SleepPolicy::Hybrid),
+            "spin" => Ok(SleepPolicy::Spin),
+            other => Err(format!("unknown sleep policy `{other}` (naive|hybrid|spin)")),
+        }
+    }
+}
+
+/// Online guard-band calibrator.
+///
+/// Tracks the smoothed wake-up error and its mean deviation with the
+/// classic RTO-style EWMA (gains 1/8 and 1/4) and derives the guard band
+/// as `srt + 4·var`, clamped to `[min, max]`. A host with tight timers
+/// converges to a narrow band (little spinning); a noisy host widens the
+/// band so the spin phase still absorbs the oversleep.
+#[derive(Debug, Clone)]
+pub struct GuardBand {
+    srt_ns: u64,
+    var_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    samples: u64,
+}
+
+impl GuardBand {
+    /// A calibrator starting at `initial_ns`, clamped to `[min_ns, max_ns]`.
+    pub fn new(initial_ns: u64, min_ns: u64, max_ns: u64) -> Self {
+        GuardBand {
+            srt_ns: initial_ns.clamp(min_ns, max_ns),
+            var_ns: initial_ns / 4,
+            min_ns,
+            max_ns: max_ns.max(min_ns),
+            samples: 0,
+        }
+    }
+
+    /// The server default: start at 200 µs, never narrower than 20 µs
+    /// (below timer resolution the spin phase buys nothing) and never
+    /// wider than 2 ms (bounds worst-case spin per event).
+    pub fn standard() -> Self {
+        GuardBand::new(200_000, 20_000, 2_000_000)
+    }
+
+    /// Feeds one observed wake-up error (nanoseconds the OS woke us past
+    /// the requested instant).
+    pub fn observe(&mut self, wake_error_ns: u64) {
+        if self.samples == 0 {
+            self.srt_ns = wake_error_ns;
+            self.var_ns = wake_error_ns / 2;
+        } else {
+            let err = wake_error_ns as i64 - self.srt_ns as i64;
+            self.var_ns = (self.var_ns as i64 + (err.abs() - self.var_ns as i64) / 4).max(0) as u64;
+            self.srt_ns = (self.srt_ns as i64 + err / 8).max(0) as u64;
+        }
+        self.samples += 1;
+    }
+
+    /// The current guard band in nanoseconds: `srt + 4·var`, clamped.
+    pub fn current_ns(&self) -> u64 {
+        self.srt_ns.saturating_add(self.var_ns.saturating_mul(4)).clamp(self.min_ns, self.max_ns)
+    }
+
+    /// Number of wake-up errors observed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl Default for GuardBand {
+    fn default() -> Self {
+        GuardBand::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [SleepPolicy::Naive, SleepPolicy::Hybrid, SleepPolicy::Spin] {
+            assert_eq!(p.name().parse::<SleepPolicy>().unwrap(), p);
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert!("busywait".parse::<SleepPolicy>().is_err());
+        assert_eq!(SleepPolicy::default(), SleepPolicy::Hybrid);
+    }
+
+    #[test]
+    fn guard_band_first_sample_seeds_estimate() {
+        let mut g = GuardBand::new(500_000, 1_000, 10_000_000);
+        assert_eq!(g.current_ns(), 500_000 + 4 * 125_000);
+        g.observe(80_000);
+        // srt = 80 µs, var = 40 µs → guard = 240 µs.
+        assert_eq!(g.current_ns(), 240_000);
+        assert_eq!(g.samples(), 1);
+    }
+
+    #[test]
+    fn guard_band_converges_toward_stable_error() {
+        let mut g = GuardBand::new(1_000_000, 1_000, 10_000_000);
+        for _ in 0..200 {
+            g.observe(50_000);
+        }
+        // Constant 50 µs error: srt → 50 µs, var → 0, guard → 50 µs-ish.
+        let guard = g.current_ns();
+        assert!((50_000..150_000).contains(&guard), "guard = {guard}");
+    }
+
+    #[test]
+    fn guard_band_widens_under_jitter_and_respects_clamp() {
+        let mut g = GuardBand::new(10_000, 20_000, 300_000);
+        // Alternate tight and terrible wake-ups; the band must stay within
+        // the configured clamp despite the 5 ms outliers.
+        for i in 0..100 {
+            g.observe(if i % 2 == 0 { 5_000 } else { 5_000_000 });
+        }
+        assert_eq!(g.current_ns(), 300_000);
+        let tight = GuardBand::new(1, 20_000, 300_000);
+        assert_eq!(tight.current_ns(), 20_000);
+    }
+}

@@ -25,6 +25,7 @@ const CHECKS: &[(&str, &str, &[&str])] = &[
         "FaultKind",
         &["crates/server/src/script.rs", "crates/server/src/sim.rs"],
     ),
+    ("crates/core/src/sleep.rs", "SleepPolicy", &["crates/server/src/server.rs"]),
 ];
 
 impl super::Rule for Exhaustiveness {

@@ -1,0 +1,6 @@
+#[derive(Serialize, Deserialize)]
+pub enum SleepPolicy {
+    Naive,
+    Hybrid,
+    Spin,
+}

@@ -5,3 +5,11 @@ pub fn dispatch(msg: crate::ClientMsg) {
         _ => {}
     }
 }
+
+pub fn wait(policy: crate::SleepPolicy) {
+    match policy {
+        SleepPolicy::Naive => {}
+        SleepPolicy::Hybrid => {}
+        _ => {}
+    }
+}

@@ -26,6 +26,7 @@ fn violations_fixture_hits_every_rule_and_exits_nonzero() {
             ("unsafe_doc", "crates/core/src/cell.rs", 2),
             ("determinism", "crates/core/src/clock.rs", 4),
             ("determinism", "crates/core/src/neighbor.rs", 10),
+            ("exhaustiveness", "crates/core/src/sleep.rs", 5),
             ("panic_safety", "crates/proto/src/codec.rs", 2),
             ("panic_safety", "crates/proto/src/codec.rs", 2),
             ("exhaustiveness", "crates/proto/src/messages.rs", 5),
@@ -52,6 +53,7 @@ fn violations_fixture_messages_name_the_problem() {
     assert!(msgs.iter().any(|m| m.contains("nondeterministic order")));
     assert!(msgs.iter().any(|m| m.contains("ClientMsg::Bye")));
     assert!(msgs.iter().any(|m| m.contains("FaultRecord::Clock")));
+    assert!(msgs.iter().any(|m| m.contains("SleepPolicy::Spin")));
     assert!(msgs.iter().any(|m| m.contains("opposite order")));
     // The declared scene-before-shard pair flags a lone inversion.
     assert!(msgs.iter().any(|m| m.contains("`scene` must be acquired before `shard_slot`")));

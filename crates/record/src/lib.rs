@@ -23,7 +23,9 @@ pub mod scenestats;
 pub mod store;
 
 pub use query::{CopyCounts, FaultCounts, FaultQuery, TrafficQuery};
-pub use records::{DropReason, FaultRecord, MetricsRecord, SceneRecord, TrafficRecord};
+pub use records::{
+    DropReason, FaultRecord, HistogramRow, MetricsRecord, SceneRecord, TrafficRecord,
+};
 pub use replay::ReplayEngine;
 pub use scenestats::{OpHistogram, SceneStats};
 pub use store::{LogStore, Recorder};

@@ -114,6 +114,10 @@ pub struct MetricsRecord {
     pub counters: Vec<(String, u64)>,
     /// Gauge values by metric name.
     pub gauges: Vec<(String, i64)>,
+    /// Histogram distributions by metric name (scan lag, wake-up error,
+    /// event lag, …), so replay can reconstruct latency quantiles per
+    /// snapshot interval, not just end-of-run.
+    pub histograms: Vec<(String, HistogramRow)>,
 }
 
 impl MetricsRecord {
@@ -125,6 +129,56 @@ impl MetricsRecord {
     /// Looks a gauge up by its exact metric name.
     pub fn gauge(&self, name: &str) -> Option<i64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks a histogram up by its exact metric name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramRow> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+/// A serializable histogram distribution, mirroring
+/// [`poem_obs::HistogramSnapshot`] field for field so a logged row can be
+/// queried with the same quantile arithmetic the live registry uses.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramRow {
+    /// Inclusive upper bucket bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; one more entry than `bounds` (overflow).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl From<&poem_obs::HistogramSnapshot> for HistogramRow {
+    fn from(h: &poem_obs::HistogramSnapshot) -> Self {
+        HistogramRow {
+            bounds: h.bounds.clone(),
+            buckets: h.buckets.clone(),
+            count: h.count,
+            sum: h.sum,
+        }
+    }
+}
+
+impl HistogramRow {
+    /// The live snapshot view of this row, giving access to
+    /// [`poem_obs::HistogramSnapshot::quantile`] and `mean`.
+    pub fn as_snapshot(&self) -> poem_obs::HistogramSnapshot {
+        poem_obs::HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.clone(),
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`None` when empty) — delegates to the obs-side arithmetic.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.as_snapshot().quantile(q)
     }
 }
 
@@ -308,7 +362,7 @@ mod tests {
 
     #[test]
     fn fault_records_roundtrip_and_classify() {
-        let recs = vec![
+        let recs = [
             FaultRecord::Wire {
                 at: EmuTime::from_millis(5),
                 node: NodeId(1),
@@ -343,11 +397,26 @@ mod tests {
                 ("poem_drops_total{reason=\"loss\"}".into(), 7),
             ],
             gauges: vec![("poem_schedule_depth".into(), -1)],
+            histograms: vec![(
+                "poem_scan_lag_ns".into(),
+                HistogramRow {
+                    bounds: vec![1_000, 1_000_000],
+                    buckets: vec![3, 1, 0],
+                    count: 4,
+                    sum: 5_000,
+                },
+            )],
         };
         let bytes = poem_proto::to_bytes(&mr).unwrap();
         assert_eq!(poem_proto::from_bytes::<MetricsRecord>(&bytes).unwrap(), mr);
         assert_eq!(mr.counter("poem_ingest_packets_total"), Some(120));
         assert_eq!(mr.counter("nope"), None);
         assert_eq!(mr.gauge("poem_schedule_depth"), Some(-1));
+        let h = mr.histogram("poem_scan_lag_ns").unwrap();
+        assert_eq!(h.count, 4);
+        // 3 of 4 samples in the ≤ 1 µs bucket → the median lands there.
+        assert_eq!(h.quantile(0.5), Some(1_000));
+        assert_eq!(h.quantile(1.0), Some(1_000_000));
+        assert!(mr.histogram("nope").is_none());
     }
 }

@@ -387,6 +387,15 @@ mod tests {
             at: EmuTime::from_secs(2),
             counters: vec![("poem_ingest_packets_total".into(), 4)],
             gauges: vec![],
+            histograms: vec![(
+                "poem_scan_lag_ns".into(),
+                crate::records::HistogramRow {
+                    bounds: vec![1_000],
+                    buckets: vec![1, 0],
+                    count: 1,
+                    sum: 10,
+                },
+            )],
         });
         let stem = dir.join("run-metrics");
         rec.save(&stem).unwrap();

@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! poem-server <scenario.poem> [--listen 127.0.0.1:0] [--seed N] [--duration SECS]
+//!             [--sleep-policy naive|hybrid|spin]
 //! ```
 //!
 //! Loads a scenario script (see `poem_server::script` for the format),
@@ -14,6 +15,7 @@
 
 use poem_core::clock::{Clock, WallClock};
 use poem_core::scene::Scene;
+use poem_core::sleep::SleepPolicy;
 use poem_core::EmuTime;
 use poem_server::script::Script;
 use poem_server::{ServerConfig, ServerHandle};
@@ -26,14 +28,22 @@ struct Args {
     listen: String,
     seed: u64,
     duration: Option<f64>,
+    sleep_policy: SleepPolicy,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let script = PathBuf::from(args.next().ok_or(
-        "usage: poem-server <scenario.poem> [--listen ADDR] [--seed N] [--duration SECS]",
+        "usage: poem-server <scenario.poem> [--listen ADDR] [--seed N] [--duration SECS] \
+         [--sleep-policy naive|hybrid|spin]",
     )?);
-    let mut out = Args { script, listen: "127.0.0.1:0".into(), seed: 0, duration: None };
+    let mut out = Args {
+        script,
+        listen: "127.0.0.1:0".into(),
+        seed: 0,
+        duration: None,
+        sleep_policy: SleepPolicy::default(),
+    };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
@@ -42,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
             "--duration" => {
                 out.duration = Some(value()?.parse().map_err(|e| format!("bad duration: {e}"))?)
             }
+            "--sleep-policy" => out.sleep_policy = value()?.parse()?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -92,6 +103,7 @@ fn main() {
             std::process::exit(2);
         }),
         seed: args.seed,
+        sleep_policy: args.sleep_policy,
         ..ServerConfig::default()
     };
     let server = match ServerHandle::start(scene, Arc::clone(&clock), config) {

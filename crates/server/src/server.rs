@@ -23,10 +23,12 @@ use poem_chaos::engine::{crash_legs, flap_legs, injection_record, jam_legs};
 use poem_chaos::{ChaosMetrics, FaultKind, FaultPlan, WireFaultHub};
 use poem_core::clock::Clock;
 use poem_core::scene::{Scene, SceneError, SceneOp};
+use poem_core::sleep::{GuardBand, SleepPolicy};
 use poem_core::{EmuDuration, EmuRng, EmuTime, ForwardSchedule, NodeId};
 use poem_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use poem_proto::messages::{ClientMsg, ServerMsg, PROTOCOL_VERSION};
 use poem_proto::{MsgReader, MsgWriter};
+use poem_record::HistogramRow;
 use poem_record::{FaultRecord, MetricsRecord, Recorder, TrafficRecord};
 use std::collections::HashMap;
 use std::io;
@@ -56,6 +58,17 @@ pub struct ServerConfig {
     /// may block on a consumer that stopped reading; on expiry the client
     /// is evicted instead of wedging the scanning thread.
     pub write_timeout: Option<Duration>,
+    /// How the scanning thread waits out the gap to the next forward
+    /// deadline. [`SleepPolicy::Hybrid`] (the default) condvar-sleeps
+    /// down to a calibrated guard band and spins the remainder; `Naive`
+    /// restores the fixed-floor pre-calibration wait; `Spin` busy-waits
+    /// whole gaps.
+    pub sleep_policy: SleepPolicy,
+    /// Scan-lag threshold past which the loop degrades gracefully: every
+    /// due delivery is batch-drained per pass (widening the effective
+    /// scan interval) instead of per-entry precision firing, and the
+    /// `poem_scan_overload` gauge is raised until the loop catches up.
+    pub overload_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +80,8 @@ impl Default for ServerConfig {
             metrics_interval: Duration::from_secs(1),
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(2)),
+            sleep_policy: SleepPolicy::default(),
+            overload_threshold: Duration::from_millis(5),
         }
     }
 }
@@ -84,15 +99,46 @@ struct ClientEntry {
     delivered: Arc<Counter>,
 }
 
-/// Bucket bounds (ns) for scan-loop firing lag (`fired_at − fire_at`):
-/// 1 µs … 1 s.
-const SCAN_LAG_BOUNDS: &[u64] =
-    &[1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000];
+/// Bucket bounds (ns) for scan-loop firing lag (`fired_at − fire_at`) and
+/// for event lag (`popped_at − due`): 1 µs … 1 s, dense at the low end so
+/// the naive/hybrid policy gap stays visible in the quantiles.
+const SCAN_LAG_BOUNDS: &[u64] = &[
+    1_000,
+    5_000,
+    20_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    20_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Bucket bounds (ns) for condvar wake-up error (how far past the
+/// requested instant the OS actually woke the scan thread): 1 µs … 16 ms.
+const WAKE_ERROR_BOUNDS: &[u64] =
+    &[1_000, 4_000, 16_000, 64_000, 256_000, 1_000_000, 4_000_000, 16_000_000];
+
+/// Deadline-miss severity buckets (firing lag past `fire_at`): within
+/// 100 µs counts as on time, then minor ≤ 1 ms, major ≤ 10 ms, severe
+/// beyond that.
+const MISS_ON_TIME_NS: u64 = 100_000;
+const MISS_MINOR_NS: u64 = 1_000_000;
+const MISS_MAJOR_NS: u64 = 10_000_000;
 
 /// The server threads' handles into the shared registry.
 struct ServerMetrics {
     schedule_depth: Arc<Gauge>,
     scan_lag_ns: Arc<Histogram>,
+    event_lag_ns: Arc<Histogram>,
+    wake_error_ns: Arc<Histogram>,
+    overload: Arc<Gauge>,
+    batch_drains: Arc<Counter>,
+    miss_minor: Arc<Counter>,
+    miss_major: Arc<Counter>,
+    miss_severe: Arc<Counter>,
     clients_connected: Arc<Gauge>,
     disconnects: Arc<Counter>,
     deliveries_sent: Arc<Counter>,
@@ -104,11 +150,32 @@ impl ServerMetrics {
         ServerMetrics {
             schedule_depth: registry.gauge("poem_schedule_depth"),
             scan_lag_ns: registry.histogram("poem_scan_lag_ns", SCAN_LAG_BOUNDS),
+            event_lag_ns: registry.histogram("poem_event_lag_ns", SCAN_LAG_BOUNDS),
+            wake_error_ns: registry.histogram("poem_wake_error_ns", WAKE_ERROR_BOUNDS),
+            overload: registry.gauge("poem_scan_overload"),
+            batch_drains: registry.counter("poem_scan_batch_drains_total"),
+            miss_minor: registry.counter("poem_deadline_miss_total{severity=\"minor\"}"),
+            miss_major: registry.counter("poem_deadline_miss_total{severity=\"major\"}"),
+            miss_severe: registry.counter("poem_deadline_miss_total{severity=\"severe\"}"),
             clients_connected: registry.gauge("poem_clients_connected"),
             disconnects: registry.counter("poem_client_disconnects_total"),
             deliveries_sent: registry.counter("poem_deliveries_sent_total"),
             // Same instrument the pipeline registered — shared handle.
             drops_disconnected: registry.counter("poem_drops_total{reason=\"disconnected\"}"),
+        }
+    }
+
+    /// Severity-bucketed deadline accounting for one firing lag.
+    fn note_lag(&self, lag_ns: u64) {
+        self.scan_lag_ns.observe(lag_ns);
+        if lag_ns > MISS_ON_TIME_NS {
+            if lag_ns <= MISS_MINOR_NS {
+                self.miss_minor.inc();
+            } else if lag_ns <= MISS_MAJOR_NS {
+                self.miss_major.inc();
+            } else {
+                self.miss_severe.inc();
+            }
         }
     }
 }
@@ -140,6 +207,11 @@ struct Shared {
     stalls: Mutex<HashMap<NodeId, StallEntry>>,
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
+    /// Paired mutex/condvar the periodic threads (mobility, metrics)
+    /// sleep on; `shutdown()` notifies it so a long step interval never
+    /// stalls the join and no step runs after `running` flips.
+    shutdown_mx: Mutex<()>,
+    shutdown_cv: Condvar,
 }
 
 /// A running emulation server.
@@ -180,6 +252,8 @@ impl ServerHandle {
             stalls: Mutex::new(HashMap::new()),
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
+            shutdown_mx: Mutex::new(()),
+            shutdown_cv: Condvar::new(),
         });
 
         let mut threads = Vec::new();
@@ -189,7 +263,9 @@ impl ServerHandle {
         })?);
         threads.push(spawn_named("poem-scan", {
             let shared = Arc::clone(&shared);
-            move || scan_loop(shared)
+            let policy = config.sleep_policy;
+            let overload = EmuDuration::from_nanos(config.overload_threshold.as_nanos() as i64);
+            move || scan_loop(shared, policy, overload)
         })?);
         threads.push(spawn_named("poem-mobility", {
             let shared = Arc::clone(&shared);
@@ -296,6 +372,13 @@ impl ServerHandle {
         }
         self.shared.metrics.clients_connected.set(0);
         self.shared.schedule_cv.notify_all();
+        // Wake the periodic threads mid-interval. The lock round-trip
+        // orders the notify after any in-flight `running` check, so a
+        // sleeper can't slip into its wait and miss the wake-up.
+        {
+            let _guard = self.shared.shutdown_mx.lock();
+            self.shared.shutdown_cv.notify_all();
+        }
         // Unblock the accept thread with a dummy connection. A bounded
         // connect: if the listener already died (e.g. the OS tore it down
         // first), shutdown must not hang on the wake-up it no longer needs.
@@ -489,44 +572,153 @@ fn client_session(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     result
 }
 
+/// Longest single condvar wait: bounds how stale the loop's view of
+/// `running` and of the schedule head can get.
+const MAX_WAIT: Duration = Duration::from_millis(50);
+
+/// Longest single spin stretch: a spinning scan thread re-checks the
+/// schedule head at least this often, so a newly scheduled *earlier*
+/// deadline is never ignored for longer than this.
+const MAX_SPIN: EmuDuration = EmuDuration::from_nanos(5_000_000);
+
 /// The scanning thread (§3.2 steps 5–6).
-fn scan_loop(shared: Arc<Shared>) {
+///
+/// Firing precision comes from how the gap to the next deadline is waited
+/// out, selected by [`SleepPolicy`]:
+///
+/// * **Naive** — one condvar wait floored at 50 µs; the OS wake-up error
+///   lands directly in the firing lag. Kept as the E16 baseline.
+/// * **Hybrid** — condvar-sleep down to `deadline − guard`, then spin the
+///   rest; `guard` is recalibrated online by a [`GuardBand`] fed with the
+///   wake-up error of every timed-out wait, so the spin phase is exactly
+///   as wide as this host's timers are sloppy.
+/// * **Spin** — busy-wait whole gaps (one core pinned), condvar-sleeping
+///   only while the schedule is empty.
+///
+/// Load adaptation: when the head of the schedule has fallen further
+/// behind than the overload threshold, precision is pointless — the loop
+/// batch-drains everything due in one pass (`poem_scan_batch_drains_total`)
+/// and raises `poem_scan_overload` until it catches up, degrading
+/// throughput-first instead of falling behind silently.
+fn scan_loop(shared: Arc<Shared>, policy: SleepPolicy, overload_threshold: EmuDuration) {
+    let mut guard = GuardBand::standard();
     let mut schedule = shared.schedule.lock();
     while shared.running.load(Ordering::Acquire) {
         let now = shared.clock.now();
-        if let Some((_, d)) = schedule.pop_due(now) {
+        if let Some(due) = schedule.next_due() {
+            if due <= now && now.since(due) >= overload_threshold {
+                let batch = schedule.drain_due(now);
+                shared.metrics.schedule_depth.set(schedule.len() as i64);
+                shared.metrics.overload.set(1);
+                shared.metrics.batch_drains.inc();
+                drop(schedule);
+                for (batch_due, d) in batch {
+                    let t = shared.clock.now();
+                    shared
+                        .metrics
+                        .event_lag_ns
+                        .observe(t.since(batch_due).as_nanos().max(0) as u64);
+                    fire(&shared, d, t);
+                }
+                schedule = shared.schedule.lock();
+                continue;
+            }
+        }
+        if let Some((due, d)) = schedule.pop_due(now) {
             shared.metrics.schedule_depth.set(schedule.len() as i64);
+            shared.metrics.event_lag_ns.observe(now.since(due).as_nanos().max(0) as u64);
             // Send outside the schedule lock so receivers keep scheduling.
             drop(schedule);
             fire(&shared, d, now);
             schedule = shared.schedule.lock();
             continue;
         }
-        match schedule.next_due() {
-            Some(due) => {
+        shared.metrics.overload.set(0);
+        match (policy, schedule.next_due()) {
+            (SleepPolicy::Naive, Some(due)) => {
                 let wait = (due - now).to_std().max(Duration::from_micros(50));
-                shared.schedule_cv.wait_for(&mut schedule, wait.min(Duration::from_millis(50)));
+                timed_wait(&shared, &mut schedule, wait.min(MAX_WAIT), &mut guard);
             }
-            None => {
-                shared.schedule_cv.wait_for(&mut schedule, Duration::from_millis(50));
+            (SleepPolicy::Hybrid, Some(due)) => {
+                let gap_ns = due.since(now).as_nanos().max(0) as u64;
+                let guard_ns = guard.current_ns();
+                if gap_ns > guard_ns {
+                    // Coarse phase: sleep to the guard-band edge.
+                    let wait = Duration::from_nanos(gap_ns - guard_ns).min(MAX_WAIT);
+                    timed_wait(&shared, &mut schedule, wait, &mut guard);
+                } else {
+                    // Precision phase: spin out the last guard-band span.
+                    drop(schedule);
+                    spin_until(&shared, due);
+                    schedule = shared.schedule.lock();
+                }
             }
+            (SleepPolicy::Spin, Some(due)) => {
+                drop(schedule);
+                spin_until(&shared, due);
+                schedule = shared.schedule.lock();
+            }
+            // Empty schedule: block until a receiver schedules something
+            // (the timeout is only a liveness backstop). The timed-out
+            // wake still calibrates the guard band, so sparse traffic
+            // keeps the estimate fresh.
+            (_, None) => timed_wait(&shared, &mut schedule, MAX_WAIT, &mut guard),
         }
     }
 }
 
-/// Step 6: the send itself, plus step-7 recording.
+/// One condvar wait on the schedule, measuring the wake-up error (how far
+/// past the requested instant the OS actually delivered the timeout) into
+/// the histogram and the guard-band calibrator. Notified (non-timeout)
+/// wakes carry no timer-error signal and are skipped.
+fn timed_wait(
+    shared: &Shared,
+    schedule: &mut parking_lot::MutexGuard<'_, ForwardSchedule<Delivery>>,
+    wait: Duration,
+    guard: &mut GuardBand,
+) {
+    let start = shared.clock.now();
+    let result = shared.schedule_cv.wait_for(schedule, wait);
+    if result.timed_out() {
+        let target = start + EmuDuration::from_nanos(wait.as_nanos() as i64);
+        let err_ns = shared.clock.now().since(target).as_nanos().max(0) as u64;
+        shared.metrics.wake_error_ns.observe(err_ns);
+        guard.observe(err_ns);
+    }
+}
+
+/// Busy-waits (yielding periodically) until `due`, shutdown, or the
+/// [`MAX_SPIN`] re-check bound, whichever comes first. Runs *without* the
+/// schedule lock so receiver threads keep scheduling while we spin.
+fn spin_until(shared: &Shared, due: EmuTime) {
+    let cap = shared.clock.now() + MAX_SPIN;
+    let deadline = if due <= cap { due } else { cap };
+    let mut spins = 0u32;
+    while shared.clock.now() < deadline {
+        if !shared.running.load(Ordering::Acquire) {
+            return;
+        }
+        spins = spins.wrapping_add(1);
+        if spins.is_multiple_of(64) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Step 6: the send itself, plus step-7 recording. Transport faults
+/// intercept before the socket: a stalled client's copies are parked (or,
+/// past its buffer, dropped) without blocking the scanning thread. A
+/// stall whose deadline has already passed is released right here, on the
+/// first post-expiry fire — held deliveries flush first, in their
+/// original fire order — so a tardy (or dead) fault-driver `Release` step
+/// can no longer let later packets overtake parked ones.
 fn fire(shared: &Shared, d: Delivery, now: EmuTime) {
-    // `pop_due(now)` only hands out entries whose deadline has passed, so
-    // the firing lag (how far behind its deadline the scan thread ran the
-    // send) is non-negative.
-    shared.metrics.scan_lag_ns.observe((now - d.fire_at).as_nanos() as u64);
-    // Transport faults intercept before the socket: a stalled client's
-    // copies are parked (or, past its buffer, dropped) without blocking
-    // the scanning thread.
-    {
+    let flushed = {
         let mut stalls = shared.stalls.lock();
-        if let Some(st) = stalls.get_mut(&d.to) {
-            if now < st.until {
+        match stalls.get_mut(&d.to) {
+            Some(st) if now < st.until => {
                 match st.capacity {
                     Some(cap) if st.held.len() >= cap => {
                         drop(stalls);
@@ -538,8 +730,33 @@ fn fire(shared: &Shared, d: Delivery, now: EmuTime) {
                 }
                 return;
             }
+            Some(_) => stalls.remove(&d.to).map(|st| st.held),
+            None => None,
+        }
+    };
+    if let Some(held) = flushed {
+        // Whoever removes the entry owns the release bookkeeping; the
+        // driver's own `Release` then finds nothing and does nothing.
+        ChaosMetrics::register(&shared.registry).deactivate();
+        shared.recorder.record_fault(FaultRecord::Transport {
+            at: now,
+            node: d.to,
+            action: "release".into(),
+        });
+        for h in held {
+            deliver(shared, h, now);
         }
     }
+    deliver(shared, d, now);
+}
+
+/// The socket send for one delivery, with deadline accounting: the firing
+/// lag (`sent_at − fire_at`) feeds `poem_scan_lag_ns` and, past the
+/// 100 µs on-time budget, the severity-bucketed `poem_deadline_miss_total`
+/// counters. Deliveries released from a stall count here too — they *are*
+/// late, usually severely; that is what the fault injected.
+fn deliver(shared: &Shared, d: Delivery, now: EmuTime) {
+    shared.metrics.note_lag(now.since(d.fire_at).as_nanos().max(0) as u64);
     let target = {
         let clients = shared.clients.lock();
         clients.get(&d.to).map(|e| (Arc::clone(&e.writer), Arc::clone(&e.delivered)))
@@ -578,6 +795,19 @@ impl Shared {
         });
     }
 
+    /// Sleeps for `d` or until shutdown wakes the periodic threads,
+    /// whichever comes first. Returns `true` while the server is still
+    /// running, so `while shared.interruptible_sleep(step) { … }` never
+    /// runs a step after `running` flips.
+    fn interruptible_sleep(&self, d: Duration) -> bool {
+        let mut guard = self.shutdown_mx.lock();
+        if !self.running.load(Ordering::Acquire) {
+            return false;
+        }
+        self.shutdown_cv.wait_for(&mut guard, d);
+        self.running.load(Ordering::Acquire)
+    }
+
     /// Removes `node`'s connection entry and shuts its socket down,
     /// waking the session's receiver thread. Returns `false` when the
     /// node was not connected.
@@ -593,8 +823,10 @@ impl Shared {
 }
 
 fn mobility_loop(shared: Arc<Shared>, step: Duration) {
-    while shared.running.load(Ordering::Acquire) {
-        std::thread::sleep(step);
+    // Shutdown-aware sleep: a plain `thread::sleep(step)` here used to
+    // stall shutdown join for up to a step *and* integrate mobility once
+    // more after `running` flipped.
+    while shared.interruptible_sleep(step) {
         let now = shared.clock.now();
         let mut pipeline = shared.pipeline.lock();
         let had_mobile = pipeline.scene().nodes().any(|v| v.mobility.is_mobile());
@@ -605,20 +837,22 @@ fn mobility_loop(shared: Arc<Shared>, step: Duration) {
 }
 
 /// Step-7 companion: periodically appends a [`MetricsRecord`] snapshot of
-/// every counter and gauge to the record log, so post-emulation replay can
-/// plot pipeline health over the run.
+/// every counter, gauge and histogram to the record log, so
+/// post-emulation replay can plot pipeline health — deadline misses and
+/// lag distributions included — over the run.
 fn metrics_loop(shared: Arc<Shared>, interval: Duration) {
-    while shared.running.load(Ordering::Acquire) {
-        std::thread::sleep(interval);
-        if !shared.running.load(Ordering::Acquire) {
-            break;
-        }
+    while shared.interruptible_sleep(interval) {
         shared.metrics.schedule_depth.set(shared.schedule.lock().len() as i64);
         let snap = shared.registry.snapshot();
         shared.recorder.record_metrics(MetricsRecord {
             at: shared.clock.now(),
             counters: snap.counters,
             gauges: snap.gauges,
+            histograms: snap
+                .histograms
+                .into_iter()
+                .map(|(name, h)| (name, HistogramRow::from(&h)))
+                .collect(),
         });
     }
 }
@@ -1150,6 +1384,167 @@ mod tests {
         assert_eq!(tiny.attempt(), 2);
         drop((c2, c2b));
         server.shutdown();
+    }
+
+    #[test]
+    fn expired_stall_flushes_held_in_order_before_later_packets() {
+        let server = start_server();
+        let c1 = connect(&server, 1);
+        let c2 = connect(&server, 2);
+        // Install the transport stall directly, with no fault driver: its
+        // Release leg will never run, which is exactly the regression —
+        // the held copies used to stay parked forever and later packets
+        // overtook them.
+        let until = server.clock().now() + EmuDuration::from_millis(300);
+        server
+            .shared
+            .stalls
+            .lock()
+            .insert(NodeId(2), StallEntry { until, capacity: None, held: Vec::new() });
+        for payload in [&b"one"[..], b"two", b"three"] {
+            c1.send(ChannelId(1), Destination::Unicast(NodeId(2)), Bytes::copy_from_slice(payload))
+                .unwrap()
+                .unwrap();
+            // Distinct fire_at stamps, so order through the park path is
+            // meaningful.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(c2.recv_timeout(Duration::from_millis(100)).is_err(), "stall leaked a delivery");
+        // Let the stall expire, then send one more packet: it must flush
+        // the parked copies ahead of itself instead of overtaking them.
+        std::thread::sleep(Duration::from_millis(300));
+        c1.send(ChannelId(1), Destination::Unicast(NodeId(2)), Bytes::from_static(b"four"))
+            .unwrap()
+            .unwrap();
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            let (pkt, _) = c2.recv_timeout(Duration::from_secs(5)).unwrap();
+            got.push(pkt.payload.clone());
+        }
+        let want = [&b"one"[..], b"two", b"three", b"four"].map(Bytes::from_static);
+        assert_eq!(got, want);
+        assert!(server.shared.stalls.lock().is_empty(), "expired entry must be dropped");
+        // The inline release is recorded like a driver-run one.
+        let faults = server.recorder().faults();
+        assert!(
+            faults.iter().any(|f| matches!(
+                f,
+                FaultRecord::Transport { node: NodeId(2), action, .. } if action == "release"
+            )),
+            "{faults:?}"
+        );
+        // Deadline accounting saw the deliberately late deadlines: the
+        // three parked copies fired ≥ 300 ms past fire_at → severe misses.
+        let snap = server.metrics();
+        assert!(
+            snap.counter("poem_deadline_miss_total{severity=\"severe\"}").unwrap_or(0) >= 3,
+            "{snap:?}"
+        );
+        // And the idle condvar timeouts along the way calibrated the
+        // wake-up-error histogram.
+        assert!(snap.histogram("poem_wake_error_ns").map(|h| h.count).unwrap_or(0) >= 1);
+        drop((c1, c2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn rapid_deliveries_preserve_order_under_hybrid_scan() {
+        // Same source, same size → nondecreasing fire_at; equal deadlines
+        // must come out FIFO through pop and batch-drain alike.
+        let server = start_server();
+        let c1 = connect(&server, 1);
+        let c2 = connect(&server, 2);
+        for i in 0..20u8 {
+            c1.send(ChannelId(1), Destination::Unicast(NodeId(2)), Bytes::from(vec![i]))
+                .unwrap()
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            let (pkt, _) = c2.recv_timeout(Duration::from_secs(5)).unwrap();
+            got.push(pkt.payload[0]);
+        }
+        assert_eq!(got, (0..20).collect::<Vec<u8>>());
+        drop((c1, c2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn all_sleep_policies_deliver_traffic() {
+        for policy in [SleepPolicy::Naive, SleepPolicy::Hybrid, SleepPolicy::Spin] {
+            let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+            let config = ServerConfig { sleep_policy: policy, ..ServerConfig::default() };
+            let server = ServerHandle::start(test_scene(), clock, config).unwrap();
+            let c1 = connect(&server, 1);
+            let c2 = connect(&server, 2);
+            c1.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"p"))
+                .unwrap()
+                .unwrap();
+            let (pkt, _) = c2.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(&pkt.payload[..], b"p", "policy {policy}");
+            drop((c1, c2));
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn overloaded_schedule_batch_drains() {
+        let server = start_server();
+        let c1 = connect(&server, 1);
+        let c2 = connect(&server, 2);
+        // Wedge the schedule: the receiver thread ingests (stamping
+        // fire_at) and then blocks scheduling until we let go, so the
+        // head of the schedule is far past the overload threshold the
+        // moment it becomes visible.
+        {
+            let _wedge = server.shared.schedule.lock();
+            c1.send(ChannelId(1), Destination::Unicast(NodeId(2)), Bytes::from_static(b"late"))
+                .unwrap()
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(60));
+        }
+        let (pkt, _) = c2.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&pkt.payload[..], b"late");
+        let snap = server.metrics();
+        assert!(snap.counter("poem_scan_batch_drains_total").unwrap_or(0) >= 1, "{snap:?}");
+        // 60 ms behind its deadline → counted as a severe miss.
+        assert!(snap.counter("poem_deadline_miss_total{severity=\"severe\"}").unwrap_or(0) >= 1);
+        drop((c1, c2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_interrupts_long_periodic_sleeps() {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let config = ServerConfig {
+            mobility_step: Duration::from_secs(30),
+            metrics_interval: Duration::from_secs(30),
+            ..ServerConfig::default()
+        };
+        let mut scene = test_scene();
+        scene
+            .apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(4),
+                    pos: Point::new(500.0, 0.0),
+                    radios: RadioConfig::single(ChannelId(1), 50.0),
+                    mobility: MobilityModel::Linear { direction_deg: 0.0, speed: 100.0 },
+                    link: LinkParams::ideal(8e6),
+                },
+            )
+            .unwrap();
+        let server = ServerHandle::start(scene, clock, config).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let begun = std::time::Instant::now();
+        server.shutdown();
+        // The periodic threads used to sleep out their full intervals
+        // (30 s here) before noticing `running` had flipped.
+        assert!(begun.elapsed() < Duration::from_secs(5), "shutdown took {:?}", begun.elapsed());
+        // And the interrupted mobility sleep must NOT integrate one last
+        // step after shutdown.
+        let pos = server.with_scene(|s| s.node(NodeId(4)).unwrap().pos);
+        assert_eq!((pos.x, pos.y), (500.0, 0.0));
     }
 
     #[test]

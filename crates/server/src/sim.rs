@@ -973,7 +973,7 @@ mod tests {
             .traffic()
             .iter()
             .filter_map(|r| match *r {
-                TrafficRecord::Ingress { src, sent_at, received_at, .. } if src == NodeId(1) => {
+                TrafficRecord::Ingress { src: NodeId(1), sent_at, received_at, .. } => {
                     Some(sent_at - received_at)
                 }
                 _ => None,
