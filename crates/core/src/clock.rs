@@ -111,7 +111,7 @@ impl WallClock {
     pub fn new() -> Self {
         // WallClock IS the real-time boundary of the emulator; everything
         // replay-deterministic runs against SimClock instead.
-        // poem-lint: allow(determinism): this type is the wall-clock abstraction
+        // poem-lint: allow(determinism_taint): this type is the wall-clock abstraction
         WallClock { base: Instant::now(), offset: Arc::new(Mutex::new(0)) }
     }
 

@@ -30,6 +30,13 @@ pub enum SleepPolicy {
     /// Spin/yield all the way to the deadline; lowest latency, one core
     /// pinned. Condvar-sleeps only while the schedule is empty.
     Spin,
+    /// Hybrid while the loop keeps up; once the overload duty cycle over a
+    /// sliding window crosses the engage threshold, fall back to
+    /// batch-drain with coarse (naive) waits until the duty cycle decays
+    /// below the disengage threshold ([`DutyCycle`] hysteresis). Trades
+    /// wake precision for throughput exactly when precision is already
+    /// lost to overload.
+    Auto,
 }
 
 impl SleepPolicy {
@@ -39,6 +46,7 @@ impl SleepPolicy {
             SleepPolicy::Naive => "naive",
             SleepPolicy::Hybrid => "hybrid",
             SleepPolicy::Spin => "spin",
+            SleepPolicy::Auto => "auto",
         }
     }
 }
@@ -57,7 +65,8 @@ impl std::str::FromStr for SleepPolicy {
             "naive" => Ok(SleepPolicy::Naive),
             "hybrid" => Ok(SleepPolicy::Hybrid),
             "spin" => Ok(SleepPolicy::Spin),
-            other => Err(format!("unknown sleep policy `{other}` (naive|hybrid|spin)")),
+            "auto" => Ok(SleepPolicy::Auto),
+            other => Err(format!("unknown sleep policy `{other}` (naive|hybrid|spin|auto)")),
         }
     }
 }
@@ -128,18 +137,148 @@ impl Default for GuardBand {
     }
 }
 
+/// Overload duty-cycle tracker with hysteresis, driving
+/// [`SleepPolicy::Auto`].
+///
+/// Each scan pass reports whether it found itself overloaded (lag past
+/// the overload threshold). The tracker keeps the last `window` booleans
+/// in a ring and exposes one engaged/disengaged bit: engaged when the
+/// overloaded fraction rises to `engage` (default ½), released only when
+/// it decays below `disengage` (default ¼). The gap between the two
+/// thresholds prevents mode flapping when the duty cycle hovers near the
+/// boundary — the expensive part of a mode switch is the precision loss,
+/// so switching must be rarer than the noise.
+#[derive(Debug, Clone)]
+pub struct DutyCycle {
+    ring: Vec<bool>,
+    next: usize,
+    filled: usize,
+    overloaded: usize,
+    engage_pct: u32,
+    disengage_pct: u32,
+    engaged: bool,
+}
+
+impl DutyCycle {
+    /// A tracker over the last `window` passes with the given percentage
+    /// thresholds. `window` is clamped to at least 1, and `disengage_pct`
+    /// to below `engage_pct`.
+    pub fn new(window: usize, engage_pct: u32, disengage_pct: u32) -> Self {
+        let window = window.max(1);
+        DutyCycle {
+            ring: vec![false; window],
+            next: 0,
+            filled: 0,
+            overloaded: 0,
+            engage_pct: engage_pct.max(1),
+            disengage_pct: disengage_pct.min(engage_pct.saturating_sub(1)),
+            engaged: false,
+        }
+    }
+
+    /// The server default: a 64-pass window, engage at 50 %, release
+    /// below 25 %.
+    pub fn standard() -> Self {
+        DutyCycle::new(64, 50, 25)
+    }
+
+    /// Record one scan pass; returns the (possibly updated) engaged bit.
+    pub fn observe(&mut self, overloaded: bool) -> bool {
+        if self.filled == self.ring.len() {
+            if self.ring[self.next] {
+                self.overloaded -= 1;
+            }
+        } else {
+            self.filled += 1;
+        }
+        self.ring[self.next] = overloaded;
+        if overloaded {
+            self.overloaded += 1;
+        }
+        self.next = (self.next + 1) % self.ring.len();
+
+        let pct = self.duty_pct();
+        if self.engaged {
+            if pct < self.disengage_pct {
+                self.engaged = false;
+            }
+        } else if pct >= self.engage_pct {
+            self.engaged = true;
+        }
+        self.engaged
+    }
+
+    /// Whether batch-drain mode is currently engaged.
+    pub fn engaged(&self) -> bool {
+        self.engaged
+    }
+
+    /// Overloaded fraction of the observed window, in percent.
+    pub fn duty_pct(&self) -> u32 {
+        (self.overloaded * 100).checked_div(self.filled).unwrap_or(0) as u32
+    }
+}
+
+impl Default for DutyCycle {
+    fn default() -> Self {
+        DutyCycle::standard()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn policy_names_round_trip() {
-        for p in [SleepPolicy::Naive, SleepPolicy::Hybrid, SleepPolicy::Spin] {
+        for p in [SleepPolicy::Naive, SleepPolicy::Hybrid, SleepPolicy::Spin, SleepPolicy::Auto] {
             assert_eq!(p.name().parse::<SleepPolicy>().unwrap(), p);
             assert_eq!(p.to_string(), p.name());
         }
         assert!("busywait".parse::<SleepPolicy>().is_err());
         assert_eq!(SleepPolicy::default(), SleepPolicy::Hybrid);
+    }
+
+    #[test]
+    fn duty_cycle_engages_at_half_and_releases_below_quarter() {
+        let mut d = DutyCycle::new(8, 50, 25);
+        // 3/8 overloaded: still under the engage threshold.
+        for _ in 0..5 {
+            assert!(!d.observe(false));
+        }
+        for _ in 0..3 {
+            assert!(!d.observe(true));
+        }
+        // A 4th overload in the window tips the duty cycle to 50 %.
+        assert!(d.observe(true));
+        assert_eq!(d.duty_pct(), 50);
+        // Hysteresis: a calm pass holds the window at 50 % — engaged.
+        assert!(d.observe(false));
+        // …only decaying below 25 % releases. Feed calm passes until all
+        // but one overloaded entry age out of the ring (1/8 = 12 %).
+        for _ in 0..6 {
+            d.observe(false);
+        }
+        assert!(!d.engaged());
+        assert_eq!(d.duty_pct(), 12);
+    }
+
+    #[test]
+    fn duty_cycle_does_not_flap_at_the_boundary() {
+        let mut d = DutyCycle::new(4, 50, 25);
+        // Alternating passes hold the duty cycle at exactly 50 %: once
+        // engaged it must stay engaged (50 % ≥ 25 %), not toggle per pass.
+        let mut transitions = 0;
+        let mut last = d.observe(true);
+        for i in 0..64 {
+            let now = d.observe(i % 2 == 0);
+            if now != last {
+                transitions += 1;
+            }
+            last = now;
+        }
+        assert!(last, "alternating load at 50% must keep batch mode engaged");
+        assert!(transitions <= 1, "mode flapped {transitions} times");
     }
 
     #[test]

@@ -25,8 +25,10 @@ pub enum TokenKind {
     Ident(String),
     /// Single punctuation character (`::` arrives as two `:` tokens).
     Punct(char),
-    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
-    Str,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), carrying its
+    /// body text (delimiters stripped, escapes left as written) so rules
+    /// such as `metrics_drift` can inspect registered names.
+    Str(String),
     /// Character or byte literal.
     Char,
     /// Numeric literal.
@@ -88,8 +90,8 @@ impl Lexer {
                     comments.push(Comment { line, text });
                 }
                 '"' => {
-                    self.string_literal();
-                    tokens.push(Token { kind: TokenKind::Str, line });
+                    let text = self.string_literal();
+                    tokens.push(Token { kind: TokenKind::Str(text), line });
                 }
                 '\'' => {
                     let kind = self.char_or_lifetime();
@@ -101,8 +103,8 @@ impl Lexer {
                 }
                 _ if c.is_alphabetic() || c == '_' => {
                     let ident = self.ident();
-                    if self.raw_or_byte_string(&ident) {
-                        tokens.push(Token { kind: TokenKind::Str, line });
+                    if let Some(text) = self.raw_or_byte_string(&ident) {
+                        tokens.push(Token { kind: TokenKind::Str(text), line });
                     } else {
                         tokens.push(Token { kind: TokenKind::Ident(ident), line });
                     }
@@ -157,17 +159,22 @@ impl Lexer {
         text
     }
 
-    fn string_literal(&mut self) {
+    fn string_literal(&mut self) -> String {
         self.bump(); // opening quote
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump();
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
                 }
                 '"' => break,
-                _ => {}
+                _ => text.push(c),
             }
         }
+        text
     }
 
     /// Distinguish `'a'` / `'\n'` (char literals) from `'a` / `'_` (lifetimes).
@@ -243,17 +250,12 @@ impl Lexer {
     }
 
     /// If `ident` was a raw/byte string prefix (`r`, `b`, `br`, `rb`) and a
-    /// string follows, consume the string body and return true.
-    fn raw_or_byte_string(&mut self, ident: &str) -> bool {
+    /// string follows, consume the string body and return its text.
+    fn raw_or_byte_string(&mut self, ident: &str) -> Option<String> {
         let raw = matches!(ident, "r" | "br" | "rb");
         let plain_byte = ident == "b";
         if (raw || plain_byte) && self.peek(0) == Some('"') {
-            if raw {
-                self.raw_string_body(0);
-            } else {
-                self.string_literal();
-            }
-            return true;
+            return Some(if raw { self.raw_string_body(0) } else { self.string_literal() });
         }
         if raw && self.peek(0) == Some('#') {
             let mut hashes = 0usize;
@@ -264,15 +266,15 @@ impl Lexer {
                 for _ in 0..hashes {
                     self.bump();
                 }
-                self.raw_string_body(hashes);
-                return true;
+                return Some(self.raw_string_body(hashes));
             }
         }
-        false
+        None
     }
 
-    fn raw_string_body(&mut self, hashes: usize) {
+    fn raw_string_body(&mut self, hashes: usize) -> String {
         self.bump(); // opening quote
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             if c == '"' {
                 let mut ok = true;
@@ -289,7 +291,9 @@ impl Lexer {
                     break;
                 }
             }
+            text.push(c);
         }
+        text
     }
 }
 
@@ -324,6 +328,22 @@ mod tests {
         assert_eq!(idents(r#"let s = "unwrap() inside";"#), vec!["let", "s"]);
         assert_eq!(idents(r##"let s = r#"a "quoted" unwrap()"#;"##), vec!["let", "s"]);
         assert_eq!(idents(r#"let b = b"bytes unwrap";"#), vec!["let", "b"]);
+    }
+
+    #[test]
+    fn strings_carry_their_text() {
+        let text = |src: &str| {
+            let (toks, _) = lex(src);
+            toks.into_iter()
+                .find_map(|t| match t.kind {
+                    TokenKind::Str(s) => Some(s),
+                    _ => None,
+                })
+                .expect("string token")
+        };
+        assert_eq!(text(r#"r.counter("poem_drops_total");"#), "poem_drops_total");
+        assert_eq!(text(r##"let s = r#"raw "body""#;"##), r#"raw "body""#);
+        assert_eq!(text(r#"let s = "esc \" kept";"#), r#"esc \" kept"#);
     }
 
     #[test]

@@ -5,59 +5,91 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+use poem_lint::rules::Phase;
 
 const USAGE: &str = "\
-poem-lint: static analysis for PoEm's determinism / panic-safety / protocol invariants
+poem-lint: static analysis for PoEm's determinism / panic-safety / concurrency invariants
 
 USAGE:
     cargo run -p poem-lint -- [OPTIONS]
 
 OPTIONS:
-    --deny-all      exit 1 when any finding survives suppression (CI mode)
-    --json          emit the machine-readable report instead of text
-    --root <PATH>   workspace root to lint (default: autodetected)
-    --help          print this help
+    --deny-all             exit 1 when any finding survives suppression (CI mode)
+    --json                 emit the machine-readable report instead of text
+    --json-out <PATH>      also write the JSON report to a file (CI artifact)
+    --rules <TIER>         which tier to run: token | semantic | all (default: all)
+    --time-budget-ms <N>   exit 3 when the lint run exceeds N milliseconds
+    --root <PATH>          workspace root to lint (default: autodetected)
+    --help                 print this help
 
 Suppressions: `// poem-lint: allow(<rule>): <justification>` on or above the
 flagged line; `// poem-lint: allow-file(<rule>): <justification>` anywhere in
-a file. Rules: determinism, panic_safety, exhaustiveness, lock_order,
-unsafe_doc.
+a file. Token rules: determinism, panic_safety, exhaustiveness, unsafe_doc.
+Semantic rules: lock_graph, blocking_under_lock, determinism_taint,
+metrics_drift. Full runs also self-check annotations (stale_suppression).
 ";
 
 fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut phase = Phase::All;
+    let mut budget_ms: Option<u64> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--deny-all" => deny = true,
             "--json" => json = true,
+            "--json-out" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage_error("--json-out requires a path"),
+            },
+            "--rules" => match args.next().as_deref() {
+                Some("token") => phase = Phase::Token,
+                Some("semantic") => phase = Phase::Semantic,
+                Some("all") => phase = Phase::All,
+                _ => return usage_error("--rules requires one of: token, semantic, all"),
+            },
+            "--time-budget-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => budget_ms = Some(n),
+                None => return usage_error("--time-budget-ms requires a number"),
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("error: --root requires a path\n\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+                None => return usage_error("--root requires a path"),
             },
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("error: unknown option `{other}`\n\n{USAGE}");
-                return ExitCode::from(2);
-            }
+            other => return usage_error(&format!("unknown option `{other}`")),
         }
     }
 
     let root = root.unwrap_or_else(detect_root);
-    match poem_lint::run(&root) {
+    let started = Instant::now();
+    match poem_lint::run_phase(&root, phase) {
         Ok(report) => {
+            let elapsed_ms = started.elapsed().as_millis() as u64;
             if json {
                 print!("{}", report.render_json());
             } else {
                 print!("{}", report.render_human());
+            }
+            if let Some(path) = json_out {
+                if let Err(e) = std::fs::write(&path, report.render_json()) {
+                    eprintln!("error: failed to write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            if let Some(budget) = budget_ms {
+                if elapsed_ms > budget {
+                    eprintln!("error: lint took {elapsed_ms}ms, over the {budget}ms budget");
+                    return ExitCode::from(3);
+                }
             }
             ExitCode::from(poem_lint::exit_code(&report, deny) as u8)
         }
@@ -66,6 +98,11 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
 }
 
 /// Prefer the current directory when it looks like the workspace root,

@@ -11,6 +11,16 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation.
     pub msg: String,
+    /// Witness path: one step per line, e.g. each edge of a lock-order
+    /// cycle or each hop of a taint flow. Empty for single-site findings.
+    pub witness: Vec<String>,
+}
+
+impl Finding {
+    /// A single-site finding with no witness path.
+    pub fn new(rule: &'static str, path: &str, line: u32, msg: String) -> Finding {
+        Finding { rule, path: path.to_string(), line, msg, witness: Vec::new() }
+    }
 }
 
 /// The outcome of a lint run.
@@ -30,6 +40,9 @@ impl Report {
         let mut out = String::new();
         for f in &self.findings {
             out.push_str(&format!("{}:{}: [{}] {}\n", f.path, f.line, f.rule, f.msg));
+            for w in &f.witness {
+                out.push_str(&format!("    witness: {w}\n"));
+            }
         }
         out.push_str(&format!(
             "poem-lint: {} finding(s), {} suppressed, {} file(s) scanned\n",
@@ -47,8 +60,15 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
+            let witness = f
+                .witness
+                .iter()
+                .map(|w| format!("\"{}\"", json_escape(w)))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
-                "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+                 \"witness\": [{witness}]}}",
                 json_escape(f.rule),
                 json_escape(&f.path),
                 f.line,
@@ -93,6 +113,7 @@ mod tests {
                 path: "crates/x/src/a.rs".into(),
                 line: 3,
                 msg: "iterates a \"HashMap\"".into(),
+                witness: vec!["a -> b at x.rs:3".into()],
             }],
             suppressed: 1,
             files_scanned: 2,
@@ -100,6 +121,9 @@ mod tests {
         let j = r.render_json();
         assert!(j.contains("\\\"HashMap\\\""));
         assert!(j.contains("\"suppressed\": 1"));
+        assert!(j.contains("\"witness\": [\"a -> b at x.rs:3\"]"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let h = r.render_human();
+        assert!(h.contains("    witness: a -> b at x.rs:3"));
     }
 }

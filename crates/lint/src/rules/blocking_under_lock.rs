@@ -1,0 +1,339 @@
+//! `blocking_under_lock` — flag blocking operations performed while a lock
+//! guard is live.
+//!
+//! Blocking operations: condvar waits (receiver is a known `Condvar`
+//! field), channel `recv`/`recv_timeout`, `thread::sleep` / `yield_now` /
+//! `spin_loop` / `park` path calls, `.join()`, and socket/stream I/O
+//! (`read_exact`, `read_to_end`, `write_all`, `send_msg`, `send`,
+//! `accept`, `connect`). A call to a workspace fn whose body performs any
+//! of these is itself treated as blocking at the call site (one level of
+//! propagation).
+//!
+//! Exemptions keep the intentional patterns quiet:
+//!   * the guard *is* the receiver chain of the blocking call —
+//!     `w.lock().send(&msg)` serializes the socket *by design*;
+//!   * the guard is passed to the call by name — `cv.wait_for(&mut
+//!     schedule, d)` atomically releases it, and a callee receiving the
+//!     guard can drop it itself;
+//!   * `.send(..)` on receivers named `tx` / `*_tx` — unbounded channel
+//!     senders never block (codebase naming convention).
+//!
+//! Findings inside fns reachable from `scan_loop` or `ingest` within two
+//! call hops get a `[hot-path]` severity prefix: blocking there stalls the
+//! real-time scan deadline itself (DESIGN.md §real-time scheduler).
+
+use std::collections::BTreeMap;
+
+use crate::report::Finding;
+use crate::sema::guards::{statement_end, Acq};
+use crate::sema::symbols::FnId;
+use crate::source::{ident_at, is_punct, matching, Token};
+
+use super::Ctx;
+
+/// See module docs.
+pub struct BlockingUnderLock;
+
+/// Methods that block regardless of receiver.
+const BLOCKING_METHODS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "join",
+    "read_exact",
+    "read_to_end",
+    "write_all",
+    "send_msg",
+    "send",
+    "accept",
+    "connect",
+];
+
+/// Condvar wait methods (blocking only when the receiver is a condvar).
+const WAIT_METHODS: &[&str] = &["wait", "wait_for", "wait_while", "wait_until", "wait_timeout"];
+
+/// Free/path functions that block (`thread::sleep(..)` etc. — must be
+/// preceded by `::`).
+const BLOCKING_PATH_FNS: &[&str] = &["sleep", "yield_now", "spin_loop", "park", "park_timeout"];
+
+/// A blocking operation found at a token.
+struct BlockOp {
+    /// Token index of the operation name.
+    tok: usize,
+    line: u32,
+    /// Description for the report, e.g. "condvar wait `wait_for`".
+    desc: String,
+    /// Index of the `(` opening the argument list.
+    open_paren: usize,
+    /// True for `recv.method(..)` forms (receiver-chain exemption applies).
+    is_method: bool,
+}
+
+impl super::Rule for BlockingUnderLock {
+    fn name(&self) -> &'static str {
+        "blocking_under_lock"
+    }
+
+    fn check(&self, cx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        let hot = cx.sema.graph.reachable_from_names(&cx.sema.symbols, &["scan_loop", "ingest"], 2);
+        let blocking_fns = blocking_fn_map(cx);
+
+        for (fi, f) in cx.files.iter().enumerate() {
+            if !super::concurrency_scope(&f.rel_path) {
+                continue;
+            }
+            let Some(sema) = cx.sema.semas.get(fi) else { continue };
+            for (gi, fd) in sema.fns.iter().enumerate() {
+                let Some(body) = fd.body.clone() else { continue };
+                let Some(guards) = cx.sema.fn_guards((fi, gi)) else { continue };
+                if guards.acqs.is_empty() {
+                    continue;
+                }
+                let t = &f.tokens;
+                let severity = if hot.contains(&(fi, gi)) { "[hot-path] " } else { "" };
+
+                for i in body.clone() {
+                    if f.in_test_region(t[i].line) {
+                        continue;
+                    }
+                    // Direct blocking operations.
+                    if let Some(op) = blocking_op_at(t, i, cx) {
+                        for g in guards.live_at(i) {
+                            if exempt(t, &op, g) {
+                                continue;
+                            }
+                            out.push(Finding {
+                                rule: "blocking_under_lock",
+                                path: f.rel_path.clone(),
+                                line: op.line,
+                                msg: format!(
+                                    "{severity}`{}` performs {} while holding lock `{}` \
+                                     (acquired line {})",
+                                    fd.name, op.desc, g.resource, g.line
+                                ),
+                                witness: vec![format!(
+                                    "`{}` acquired at {}:{}, still live at {} on line {}",
+                                    g.resource, f.rel_path, g.line, op.desc, op.line
+                                )],
+                            });
+                        }
+                    }
+                }
+
+                // One-level propagation: calling a fn that blocks, while a
+                // guard is live, blocks here too — unless the guard is
+                // handed to the callee.
+                for site in cx.sema.graph.sites((fi, gi)) {
+                    if f.in_test_region(site.line) {
+                        continue;
+                    }
+                    let Some((callee, op_desc, op_line)) = site
+                        .targets
+                        .iter()
+                        .find_map(|tgt| blocking_fns.get(tgt).map(|d| (*tgt, &d.0, d.1)))
+                    else {
+                        continue;
+                    };
+                    let Some(open) = (site.tok + 1 < t.len())
+                        .then_some(site.tok + 1)
+                        .filter(|&p| is_punct(t, p, '('))
+                    else {
+                        continue;
+                    };
+                    for g in guards.live_at(site.tok) {
+                        if arg_names_guard(t, open, g) || receiver_chain_has(t, site.tok, g) {
+                            continue;
+                        }
+                        let callee_path = cx
+                            .files
+                            .get(callee.0)
+                            .map(|cf| cf.rel_path.clone())
+                            .unwrap_or_default();
+                        out.push(Finding {
+                            rule: "blocking_under_lock",
+                            path: f.rel_path.clone(),
+                            line: site.line,
+                            msg: format!(
+                                "{severity}`{}` calls `{}` (which performs {}) while holding \
+                                 lock `{}` (acquired line {})",
+                                fd.name, site.name, op_desc, g.resource, g.line
+                            ),
+                            witness: vec![
+                                format!(
+                                    "`{}` acquired at {}:{}, live at the call on line {}",
+                                    g.resource, f.rel_path, g.line, site.line
+                                ),
+                                format!(
+                                    "`{}` performs {} at {}:{}",
+                                    site.name, op_desc, callee_path, op_line
+                                ),
+                            ],
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// First blocking operation of each workspace fn, for call-site
+/// propagation.
+fn blocking_fn_map(cx: &Ctx<'_>) -> BTreeMap<FnId, (String, u32)> {
+    let mut map = BTreeMap::new();
+    for (fi, f) in cx.files.iter().enumerate() {
+        if !super::concurrency_scope(&f.rel_path) {
+            continue;
+        }
+        let Some(sema) = cx.sema.semas.get(fi) else { continue };
+        for (gi, fd) in sema.fns.iter().enumerate() {
+            let Some(body) = fd.body.clone() else { continue };
+            for i in body {
+                if f.in_test_region(f.tokens[i].line) {
+                    continue;
+                }
+                if let Some(op) = blocking_op_at(&f.tokens, i, cx) {
+                    map.insert((fi, gi), (op.desc, op.line));
+                    break;
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Detect a blocking operation whose name sits at token `i`.
+fn blocking_op_at(t: &[Token], i: usize, cx: &Ctx<'_>) -> Option<BlockOp> {
+    let name = ident_at(t, i)?;
+    if !is_punct(t, i + 1, '(') {
+        return None;
+    }
+    let line = t[i].line;
+    // Path call: `thread::sleep(..)` — `::` lexes as two `:` tokens.
+    if BLOCKING_PATH_FNS.contains(&name)
+        && is_punct(t, i.wrapping_sub(1), ':')
+        && is_punct(t, i.wrapping_sub(2), ':')
+    {
+        return Some(BlockOp {
+            tok: i,
+            line,
+            desc: format!("a `{name}` call"),
+            open_paren: i + 1,
+            is_method: false,
+        });
+    }
+    if !is_punct(t, i.wrapping_sub(1), '.') {
+        return None;
+    }
+    let recv = ident_at(t, i.wrapping_sub(2));
+    if WAIT_METHODS.contains(&name) {
+        // Only condvar receivers: `guard.wait()` on other types is not a
+        // blocking primitive we know about.
+        if recv.is_some_and(|r| cx.sema.symbols.condvar_names.contains(r)) {
+            return Some(BlockOp {
+                tok: i,
+                line,
+                desc: format!("condvar wait `{name}`"),
+                open_paren: i + 1,
+                is_method: true,
+            });
+        }
+        return None;
+    }
+    if BLOCKING_METHODS.contains(&name) {
+        if name == "join" && !is_punct(t, i + 2, ')') {
+            // `.join(", ")` on slices is string joining, not thread join.
+            return None;
+        }
+        if name == "send" {
+            if let Some(r) = recv {
+                if r == "tx" || r.ends_with("_tx") {
+                    return None;
+                }
+            }
+        }
+        return Some(BlockOp {
+            tok: i,
+            line,
+            desc: format!("blocking `{name}` call"),
+            open_paren: i + 1,
+            is_method: true,
+        });
+    }
+    None
+}
+
+/// True when guard `g` is exempt for this op: it is the op's own receiver
+/// chain, or it is named in the op's arguments.
+fn exempt(t: &[Token], op: &BlockOp, g: &Acq) -> bool {
+    if op.is_method && receiver_chain_has(t, op.tok, g) {
+        return true;
+    }
+    arg_names_guard(t, op.open_paren, g)
+}
+
+/// Walk the receiver chain of the method call at `method_tok` backwards;
+/// true when it passes through the guard — its acquisition token
+/// (`w.lock().send(..)` temporaries) or its binding name
+/// (`writer.send_msg(..)` on a bound guard): the lock serializes the
+/// blocking resource *by design* there.
+fn receiver_chain_has(t: &[Token], method_tok: usize, g: &Acq) -> bool {
+    let mut j = method_tok;
+    loop {
+        if !is_punct(t, j.wrapping_sub(1), '.') {
+            return false;
+        }
+        let prev = j.wrapping_sub(2);
+        if prev == g.tok {
+            return true;
+        }
+        if let Some(id) = ident_at(t, prev) {
+            if g.binding.as_deref() == Some(id) {
+                return true;
+            }
+            j = prev;
+        } else if is_punct(t, prev, ')') {
+            // `…lock().send(` — hop over the call's arg list to its name.
+            let Some(open) = matching_back(t, prev) else { return false };
+            let name_tok = open.wrapping_sub(1);
+            if name_tok == g.tok {
+                return true;
+            }
+            if ident_at(t, name_tok).is_none() {
+                return false;
+            }
+            j = name_tok;
+        } else {
+            return false;
+        }
+        if j == 0 {
+            return false;
+        }
+    }
+}
+
+/// True when the argument list opening at `open` mentions `g`'s binding by
+/// name (the guard is handed to the call).
+fn arg_names_guard(t: &[Token], open: usize, g: &Acq) -> bool {
+    let Some(binding) = &g.binding else { return false };
+    let Some(close) = matching(t, open, '(', ')') else {
+        // Unterminated call: scan to the statement end instead.
+        let end = statement_end(t, open, t.len());
+        return (open + 1..end).any(|k| ident_at(t, k) == Some(binding.as_str()));
+    };
+    (open + 1..close).any(|k| ident_at(t, k) == Some(binding.as_str()))
+}
+
+/// Index of the `(` matching the `)` at `close_idx`.
+fn matching_back(t: &[Token], close_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in (0..=close_idx).rev() {
+        if is_punct(t, j, ')') {
+            depth += 1;
+        } else if is_punct(t, j, '(') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}

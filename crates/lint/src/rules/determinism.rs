@@ -1,22 +1,21 @@
-//! `determinism` — forbid wall-clock reads, OS randomness, and hash-order
-//! iteration in replay-deterministic code.
+//! `determinism` — forbid hash-order iteration in replay-deterministic
+//! code.
 //!
 //! PoEm's replay claim (PAPER.md §3) requires that a recorded run and its
-//! replay make byte-identical decisions. `Instant::now`/`SystemTime::now`
-//! leak host time into the pipeline, `thread_rng`-style OS entropy breaks
-//! seeded reproducibility, and iterating a `HashMap`/`HashSet` visits
-//! entries in a per-process randomized order that can leak into schedules
-//! and wire frames.
+//! replay make byte-identical decisions. Iterating a `HashMap`/`HashSet`
+//! visits entries in a per-process randomized order that can leak into
+//! schedules and wire frames. (Wall-clock and OS-entropy *values* are
+//! tracked by the flow-aware `determinism_taint` rule in the semantic
+//! tier; this token rule keeps the cheap structural check in the fast CI
+//! job.)
 
 use crate::report::Finding;
 use crate::source::{ident_at, is_ident, is_punct, SourceFile};
 
+use super::Ctx;
+
 /// See module docs.
 pub struct Determinism;
-
-const BANNED_CALLS: &[(&str, &str)] = &[("Instant", "now"), ("SystemTime", "now")];
-
-const BANNED_IDENTS: &[&str] = &["thread_rng", "from_entropy", "RandomState", "getrandom"];
 
 const ITER_METHODS: &[&str] = &[
     "iter",
@@ -36,53 +35,12 @@ impl super::Rule for Determinism {
         "determinism"
     }
 
-    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
-        for f in files {
+    fn check(&self, cx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        for f in cx.files {
             if !super::determinism_scope(&f.rel_path) {
                 continue;
             }
-            banned_calls(f, out);
             hash_iteration(f, out);
-        }
-    }
-}
-
-fn banned_calls(f: &SourceFile, out: &mut Vec<Finding>) {
-    let t = &f.tokens;
-    for i in 0..t.len() {
-        let line = t[i].line;
-        if f.in_test_region(line) {
-            continue;
-        }
-        for (ty, method) in BANNED_CALLS {
-            if is_ident(t, i, ty)
-                && is_punct(t, i + 1, ':')
-                && is_punct(t, i + 2, ':')
-                && is_ident(t, i + 3, method)
-            {
-                out.push(Finding {
-                    rule: "determinism",
-                    path: f.rel_path.clone(),
-                    line,
-                    msg: format!(
-                        "wall-clock read `{ty}::{method}` in replay-deterministic code; \
-                         route time through the Clock abstraction instead"
-                    ),
-                });
-            }
-        }
-        for name in BANNED_IDENTS {
-            if is_ident(t, i, name) {
-                out.push(Finding {
-                    rule: "determinism",
-                    path: f.rel_path.clone(),
-                    line,
-                    msg: format!(
-                        "`{name}` pulls OS entropy into replay-deterministic code; \
-                         use a seeded RNG plumbed from the scenario config"
-                    ),
-                });
-            }
         }
     }
 }
@@ -154,15 +112,15 @@ fn hash_iteration(f: &SourceFile, out: &mut Vec<Finding>) {
                 && is_punct(t, i + 3, '(')
             {
                 let method = ident_at(t, i + 2).unwrap_or_default();
-                out.push(Finding {
-                    rule: "determinism",
-                    path: f.rel_path.clone(),
+                out.push(Finding::new(
+                    "determinism",
+                    &f.rel_path,
                     line,
-                    msg: format!(
+                    format!(
                         "`.{method}()` on `HashMap`/`HashSet`-typed binding `{name}` visits \
                          entries in nondeterministic order; use BTreeMap/BTreeSet or sort first"
                     ),
-                });
+                ));
             }
         }
         // `for x in <header mentioning a hash binding> {`
@@ -182,15 +140,15 @@ fn hash_iteration(f: &SourceFile, out: &mut Vec<Finding>) {
                         && !is_punct(t, k + 1, '.')
                         && !is_punct(t, k + 1, '[')
                     {
-                        out.push(Finding {
-                            rule: "determinism",
-                            path: f.rel_path.clone(),
-                            line: t[k].line,
-                            msg: format!(
+                        out.push(Finding::new(
+                            "determinism",
+                            &f.rel_path,
+                            t[k].line,
+                            format!(
                                 "`for` loop over `HashMap`/`HashSet`-typed binding `{name}` has \
                                  nondeterministic order; use BTreeMap/BTreeSet or sort first"
                             ),
-                        });
+                        ));
                     }
                 }
                 k += 1;

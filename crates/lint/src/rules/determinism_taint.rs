@@ -1,0 +1,278 @@
+//! `determinism_taint` — track wall-clock and OS-entropy values through
+//! local assignments into recorded state.
+//!
+//! Two complementary checks:
+//!
+//! 1. **Direct sources in replay-deterministic code** (the old
+//!    `determinism` blocklist, now owned by this rule): any
+//!    `Instant::now`/`SystemTime::now` read or OS-entropy ident inside
+//!    [`super::determinism_scope`] is flagged at the source.
+//! 2. **Taint flow into records, everywhere**: within each function, a
+//!    `let x = …` (or reassignment) whose right-hand side mentions a
+//!    source — or an already-tainted local — taints `x`. A tainted value
+//!    (or a direct source) appearing inside a record-type constructor
+//!    (`TrafficRecord { .. }`, `SceneRecord::new(..)`; the type set comes
+//!    from the `crates/record` symbol table) or in the arguments of a
+//!    `.record_traffic/.record_scene/.record_fault/.record_metrics(..)`
+//!    call is a finding in *any* crate: host time serialized into a
+//!    `.poemlog` diverges on replay even when the crate itself is not in
+//!    the deterministic core. The witness lists the source → assignment →
+//!    sink hops.
+
+use std::collections::BTreeMap;
+
+use crate::report::Finding;
+use crate::sema::guards::statement_end;
+use crate::source::{ident_at, is_ident, is_punct, matching, SourceFile, Token};
+
+use super::Ctx;
+
+/// See module docs.
+pub struct DeterminismTaint;
+
+const BANNED_CALLS: &[(&str, &str)] = &[("Instant", "now"), ("SystemTime", "now")];
+
+const BANNED_IDENTS: &[&str] = &["thread_rng", "from_entropy", "RandomState", "getrandom"];
+
+/// Recorder entry points whose arguments end up serialized in `.poemlog`.
+const RECORD_SINK_METHODS: &[&str] =
+    &["record_traffic", "record_scene", "record_fault", "record_metrics"];
+
+impl super::Rule for DeterminismTaint {
+    fn name(&self) -> &'static str {
+        "determinism_taint"
+    }
+
+    fn check(&self, cx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        for (fi, f) in cx.files.iter().enumerate() {
+            if !super::concurrency_scope(&f.rel_path) || f.rel_path.starts_with("crates/lint/") {
+                continue;
+            }
+            direct_sources(f, out);
+            let Some(sema) = cx.sema.semas.get(fi) else { continue };
+            for fd in &sema.fns {
+                let Some(body) = fd.body.clone() else { continue };
+                taint_flow(f, cx, body, out);
+            }
+        }
+    }
+}
+
+/// Check 1: sources appearing anywhere in replay-deterministic code.
+fn direct_sources(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !super::determinism_scope(&f.rel_path) {
+        return;
+    }
+    let t = &f.tokens;
+    for i in 0..t.len() {
+        let line = t[i].line;
+        if f.in_test_region(line) {
+            continue;
+        }
+        if let Some(desc) = source_at(t, i) {
+            let msg = if desc.contains("::") {
+                format!(
+                    "wall-clock read `{desc}` in replay-deterministic code; \
+                     route time through the Clock abstraction instead"
+                )
+            } else {
+                format!(
+                    "`{desc}` pulls OS entropy into replay-deterministic code; \
+                     use a seeded RNG plumbed from the scenario config"
+                )
+            };
+            out.push(Finding::new("determinism_taint", &f.rel_path, line, msg));
+        }
+    }
+}
+
+/// Check 2: intraprocedural taint from sources into record sinks.
+fn taint_flow(f: &SourceFile, cx: &Ctx<'_>, body: std::ops::Range<usize>, out: &mut Vec<Finding>) {
+    let t = &f.tokens;
+    // Tainted local → witness hops so far.
+    let mut tainted: BTreeMap<String, Vec<String>> = BTreeMap::new();
+
+    let mut i = body.start;
+    while i < body.end {
+        let line = t[i].line;
+        if f.in_test_region(line) {
+            i += 1;
+            continue;
+        }
+
+        // Assignments: `let [mut] x = rhs;` or statement-leading `x = rhs;`.
+        if let Some((name, rhs_start)) = assignment_at(t, i, &body) {
+            let end = statement_end(t, rhs_start, body.end);
+            if let Some(hops) = span_taint(t, rhs_start..end, &tainted, f) {
+                let mut chain = hops;
+                chain.push(format!(
+                    "`{}` assigned from the tainted value at {}:{}",
+                    name, f.rel_path, line
+                ));
+                tainted.insert(name.to_string(), chain);
+            } else {
+                // A clean reassignment launders the local.
+                tainted.remove(name);
+            }
+            i = rhs_start;
+            continue;
+        }
+
+        // Sink: record-type constructor.
+        if let Some((ty, span)) = record_ctor_at(t, i, cx) {
+            if let Some(mut hops) = span_taint(t, span.clone(), &tainted, f) {
+                hops.push(format!("flows into `{}` constructor at {}:{}", ty, f.rel_path, line));
+                out.push(Finding {
+                    rule: "determinism_taint",
+                    path: f.rel_path.clone(),
+                    line,
+                    msg: format!(
+                        "nondeterministic value reaches record constructor `{ty}`; \
+                         recorded state must replay byte-identically"
+                    ),
+                    witness: hops,
+                });
+            }
+            i = span.end;
+            continue;
+        }
+
+        // Sink: recorder method call arguments.
+        if let Some(name) = ident_at(t, i) {
+            if RECORD_SINK_METHODS.contains(&name)
+                && is_punct(t, i.wrapping_sub(1), '.')
+                && is_punct(t, i + 1, '(')
+            {
+                let close = matching(t, i + 1, '(', ')').unwrap_or(body.end);
+                if let Some(mut hops) = span_taint(t, i + 2..close, &tainted, f) {
+                    hops.push(format!("flows into `.{}(..)` at {}:{}", name, f.rel_path, line));
+                    out.push(Finding {
+                        rule: "determinism_taint",
+                        path: f.rel_path.clone(),
+                        line,
+                        msg: format!(
+                            "nondeterministic value passed to recorder sink `.{name}(..)`; \
+                             recorded state must replay byte-identically"
+                        ),
+                        witness: hops,
+                    });
+                }
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// A source pattern whose *head* token is at `i`: returns its description.
+fn source_at(t: &[Token], i: usize) -> Option<String> {
+    if let Some(name) = ident_at(t, i) {
+        if BANNED_IDENTS.contains(&name) {
+            return Some(name.to_string());
+        }
+    }
+    for (ty, method) in BANNED_CALLS {
+        if is_ident(t, i, ty)
+            && is_punct(t, i + 1, ':')
+            && is_punct(t, i + 2, ':')
+            && is_ident(t, i + 3, method)
+        {
+            return Some(format!("{ty}::{method}"));
+        }
+    }
+    None
+}
+
+/// If `span` mentions a source or a tainted local, return the witness hops
+/// explaining why (source hop synthesized, tainted hop copied).
+fn span_taint(
+    t: &[Token],
+    span: std::ops::Range<usize>,
+    tainted: &BTreeMap<String, Vec<String>>,
+    f: &SourceFile,
+) -> Option<Vec<String>> {
+    for k in span {
+        if let Some(desc) = source_at(t, k) {
+            return Some(vec![format!(
+                "nondeterministic source `{}` at {}:{}",
+                desc, f.rel_path, t[k].line
+            )]);
+        }
+        if let Some(name) = ident_at(t, k) {
+            // Field accesses (`x.elapsed`) still count: the head is tainted.
+            if let Some(hops) = tainted.get(name) {
+                return Some(hops.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Detect an assignment whose target ident is a plain local: returns
+/// `(name, index of the first rhs token)`.
+fn assignment_at<'a>(
+    t: &'a [Token],
+    i: usize,
+    body: &std::ops::Range<usize>,
+) -> Option<(&'a str, usize)> {
+    if is_ident(t, i, "let") {
+        let mut j = i + 1;
+        if is_ident(t, j, "mut") {
+            j += 1;
+        }
+        let name = ident_at(t, j)?;
+        // Skip an optional `: Type` annotation to the `=` of this statement.
+        let end = statement_end(t, j, body.end);
+        let eq = (j + 1..end).find(|&k| {
+            is_punct(t, k, '=') && !is_punct(t, k + 1, '=') && !is_punct(t, k.wrapping_sub(1), '=')
+        })?;
+        return Some((name, eq + 1));
+    }
+    // Statement-leading `x = rhs;` (previous token opens/ends a statement).
+    let name = ident_at(t, i)?;
+    if !is_punct(t, i + 1, '=') || is_punct(t, i + 2, '=') {
+        return None;
+    }
+    let prev = i.wrapping_sub(1);
+    let starts_statement = i == body.start
+        || is_punct(t, prev, ';')
+        || is_punct(t, prev, '{')
+        || is_punct(t, prev, '}');
+    starts_statement.then_some((name, i + 2))
+}
+
+/// Detect a record-type construction at `i`: `RecordType { … }` or
+/// `RecordType::new( … )`. Returns the type name and the token span of its
+/// field/argument list.
+fn record_ctor_at<'a>(
+    t: &'a [Token],
+    i: usize,
+    cx: &Ctx<'_>,
+) -> Option<(&'a str, std::ops::Range<usize>)> {
+    let name = ident_at(t, i)?;
+    if !cx.sema.symbols.record_types.contains(name) {
+        return None;
+    }
+    // Skip type positions: `: RecordType`, `-> RecordType`, `impl RecordType`.
+    if is_punct(t, i.wrapping_sub(1), ':')
+        || is_punct(t, i.wrapping_sub(1), '>')
+        || is_ident(t, i.wrapping_sub(1), "impl")
+        || is_ident(t, i.wrapping_sub(1), "struct")
+    {
+        return None;
+    }
+    if is_punct(t, i + 1, '{') {
+        let close = matching(t, i + 1, '{', '}')?;
+        return Some((name, i + 2..close));
+    }
+    if is_punct(t, i + 1, ':')
+        && is_punct(t, i + 2, ':')
+        && ident_at(t, i + 3).is_some()
+        && is_punct(t, i + 4, '(')
+    {
+        let close = matching(t, i + 4, '(', ')')?;
+        return Some((name, i + 5..close));
+    }
+    None
+}

@@ -11,6 +11,8 @@
 use crate::report::Finding;
 use crate::source::{ident_at, is_ident, is_punct, matching, SourceFile, TokenKind};
 
+use super::Ctx;
+
 /// See module docs.
 pub struct Exhaustiveness;
 
@@ -33,44 +35,45 @@ impl super::Rule for Exhaustiveness {
         "exhaustiveness"
     }
 
-    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
+    fn check(&self, cx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        let files = cx.files;
         for (enum_file, enum_name, dispatch_files) in CHECKS {
             let Some(ef) = files.iter().find(|f| f.rel_path == *enum_file) else { continue };
             let Some(e) = extract_enum(ef, enum_name) else {
-                out.push(Finding {
-                    rule: "exhaustiveness",
-                    path: (*enum_file).to_string(),
-                    line: 1,
-                    msg: format!("protocol enum `{enum_name}` not found"),
-                });
+                out.push(Finding::new(
+                    "exhaustiveness",
+                    enum_file,
+                    1,
+                    format!("protocol enum `{enum_name}` not found"),
+                ));
                 continue;
             };
             for derive in ["Serialize", "Deserialize"] {
                 if !e.derives.iter().any(|d| d == derive) {
-                    out.push(Finding {
-                        rule: "exhaustiveness",
-                        path: ef.rel_path.clone(),
-                        line: e.line,
-                        msg: format!(
+                    out.push(Finding::new(
+                        "exhaustiveness",
+                        &ef.rel_path,
+                        e.line,
+                        format!(
                             "`{enum_name}` lacks `#[derive({derive})]`; its variants cannot \
                              cross the wire"
                         ),
-                    });
+                    ));
                 }
             }
             for df_path in *dispatch_files {
                 let Some(df) = files.iter().find(|f| f.rel_path == *df_path) else { continue };
                 for (variant, line) in &e.variants {
                     if !has_dispatch_arm(df, enum_name, variant) {
-                        out.push(Finding {
-                            rule: "exhaustiveness",
-                            path: ef.rel_path.clone(),
-                            line: *line,
-                            msg: format!(
+                        out.push(Finding::new(
+                            "exhaustiveness",
+                            &ef.rel_path,
+                            *line,
+                            format!(
                                 "variant `{enum_name}::{variant}` has no dispatch arm in \
                                  `{df_path}`; a peer sending it would be silently mishandled"
                             ),
-                        });
+                        ));
                     }
                 }
             }

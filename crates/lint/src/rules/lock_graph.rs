@@ -1,0 +1,297 @@
+//! `lock_graph` — infer every lock-acquisition edge in the workspace,
+//! build the global lock-order graph, and report cycles as potential
+//! deadlocks.
+//!
+//! An edge `A → B` means some function acquires lock `B` while a guard of
+//! lock `A` is live (guard live-ranges come from [`crate::sema::guards`],
+//! so scopes, `drop()` and reassignment are honored). Acquisitions made by
+//! a *direct callee* are pulled into the caller's context (one level of
+//! inlining), so `fn outer { let g = a.lock(); inner(); }` with
+//! `fn inner { b.lock(); }` contributes `a → b`. Any cycle in the
+//! resulting graph is a potential deadlock; the finding carries every
+//! edge of the cycle as a witness path, so both (or all N) offending
+//! acquisition orders are visible in one report.
+//!
+//! A declared-order override file (`LOCK_ORDER.decl` at the lint root,
+//! lines of `first < second`) additionally flags any *single* inversion of
+//! a documented pair — the declaration itself is the second witness.
+//! Re-acquiring a lock already held in the same function is reported as a
+//! self-deadlock (parking_lot mutexes are not reentrant).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::report::Finding;
+use crate::sema::guards::Acq;
+
+use super::Ctx;
+
+/// See module docs.
+pub struct LockGraph;
+
+/// One observed `held → acquired` ordering with its provenance.
+#[derive(Debug, Clone)]
+struct Edge {
+    held: String,
+    acquired: String,
+    path: String,
+    line: u32,
+    func: String,
+    held_line: u32,
+    /// `Some(callee)` when the acquisition happens inside a direct callee.
+    via: Option<String>,
+}
+
+impl Edge {
+    fn describe(&self) -> String {
+        match &self.via {
+            Some(callee) => format!(
+                "`{}` → `{}`: `{}` ({}:{}) holds `{}` (acquired line {}) while calling \
+                 `{}`, which acquires `{}`",
+                self.held,
+                self.acquired,
+                self.func,
+                self.path,
+                self.line,
+                self.held,
+                self.held_line,
+                callee,
+                self.acquired
+            ),
+            None => format!(
+                "`{}` → `{}`: `{}` ({}:{}) acquires `{}` while holding `{}` (acquired line {})",
+                self.held,
+                self.acquired,
+                self.func,
+                self.path,
+                self.line,
+                self.acquired,
+                self.held,
+                self.held_line
+            ),
+        }
+    }
+}
+
+impl super::Rule for LockGraph {
+    fn name(&self) -> &'static str {
+        "lock_graph"
+    }
+
+    fn check(&self, cx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        let mut edges: Vec<Edge> = Vec::new();
+        for (fi, f) in cx.files.iter().enumerate() {
+            if !super::concurrency_scope(&f.rel_path) {
+                continue;
+            }
+            let Some(sema) = cx.sema.semas.get(fi) else { continue };
+            for (gi, fd) in sema.fns.iter().enumerate() {
+                let Some(guards) = cx.sema.fn_guards((fi, gi)) else { continue };
+                // Direct edges + same-fn re-acquisition.
+                for acq in &guards.acqs {
+                    if acq.method == "param" {
+                        continue;
+                    }
+                    for held in guards.live_at(acq.tok) {
+                        if held.resource == acq.resource {
+                            out.push(Finding::new(
+                                "lock_graph",
+                                &f.rel_path,
+                                acq.line,
+                                format!(
+                                    "`{}` re-acquires lock `{}` already held since line {} \
+                                     (non-reentrant mutex: self-deadlock)",
+                                    fd.name, acq.resource, held.line
+                                ),
+                            ));
+                        } else {
+                            edges.push(Edge {
+                                held: held.resource.clone(),
+                                acquired: acq.resource.clone(),
+                                path: f.rel_path.clone(),
+                                line: acq.line,
+                                func: fd.name.clone(),
+                                held_line: held.line,
+                                via: None,
+                            });
+                        }
+                    }
+                }
+                // One-level inlining: a callee's direct acquisitions happen
+                // under whatever the caller holds at the call site.
+                for site in cx.sema.graph.sites((fi, gi)) {
+                    if f.in_test_region(site.line) {
+                        continue;
+                    }
+                    let held: Vec<&Acq> = guards.live_at(site.tok).collect();
+                    if held.is_empty() {
+                        continue;
+                    }
+                    for tgt in &site.targets {
+                        let Some(tg) = cx.sema.fn_guards(*tgt) else { continue };
+                        // Callee must live in an in-scope file too.
+                        if !cx
+                            .files
+                            .get(tgt.0)
+                            .is_some_and(|cf| super::concurrency_scope(&cf.rel_path))
+                        {
+                            continue;
+                        }
+                        for acq in tg.resources() {
+                            for h in &held {
+                                // Same-name interprocedural pairs are skipped:
+                                // with name-level identity they are usually
+                                // different instances of the same field.
+                                if h.resource != acq.resource {
+                                    edges.push(Edge {
+                                        held: h.resource.clone(),
+                                        acquired: acq.resource.clone(),
+                                        path: f.rel_path.clone(),
+                                        line: site.line,
+                                        func: fd.name.clone(),
+                                        held_line: h.line,
+                                        via: Some(site.name.clone()),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        report_cycles(&edges, out);
+        report_declared(&edges, cx.lock_decl, out);
+    }
+}
+
+/// Collapse the edge list to one representative per ordered pair, then
+/// report every elementary cycle once (anchored at its lexicographically
+/// smallest lock).
+fn report_cycles(edges: &[Edge], out: &mut Vec<Finding>) {
+    let mut repr: BTreeMap<(String, String), &Edge> = BTreeMap::new();
+    for e in edges {
+        repr.entry((e.held.clone(), e.acquired.clone())).or_insert(e);
+    }
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (held, acquired) in repr.keys() {
+        adj.entry(held.as_str()).or_default().push(acquired.as_str());
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in &nodes {
+        // DFS over nodes >= start so each cycle is found only from its
+        // smallest member. Depth-capped: deadlock cycles are short.
+        let mut stack: Vec<&str> = vec![start];
+        dfs(start, start, &adj, &mut stack, &mut seen_cycles, 8);
+    }
+    for cycle in seen_cycles {
+        // Gather the witness edge of every hop.
+        let mut witness = Vec::new();
+        let mut first: Option<&Edge> = None;
+        for k in 0..cycle.len() {
+            let a = &cycle[k];
+            let b = &cycle[(k + 1) % cycle.len()];
+            if let Some(e) = repr.get(&(a.clone(), b.clone())) {
+                if first.is_none() {
+                    first = Some(e);
+                }
+                witness.push(e.describe());
+            }
+        }
+        let Some(first) = first else { continue };
+        let ring = cycle.iter().map(|n| format!("`{n}`")).collect::<Vec<_>>().join(" → ");
+        out.push(Finding {
+            rule: "lock_graph",
+            path: first.path.clone(),
+            line: first.line,
+            msg: format!(
+                "potential deadlock: lock-order cycle {ring} → `{}` across the workspace",
+                cycle[0]
+            ),
+            witness,
+        });
+    }
+}
+
+fn dfs<'a>(
+    start: &'a str,
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    stack: &mut Vec<&'a str>,
+    cycles: &mut BTreeSet<Vec<String>>,
+    depth: usize,
+) {
+    if depth == 0 {
+        return;
+    }
+    for &next in adj.get(node).map(Vec::as_slice).unwrap_or(&[]) {
+        if next == start {
+            cycles.insert(stack.iter().map(|s| s.to_string()).collect());
+            continue;
+        }
+        if next < start || stack.contains(&next) {
+            continue;
+        }
+        stack.push(next);
+        dfs(start, next, adj, stack, cycles, depth - 1);
+        stack.pop();
+    }
+}
+
+/// Flag single inversions of pairs declared in `LOCK_ORDER.decl`.
+fn report_declared(edges: &[Edge], decl: &[(String, String)], out: &mut Vec<Finding>) {
+    for e in edges {
+        if decl.iter().any(|(first, second)| e.held == *second && e.acquired == *first) {
+            out.push(Finding {
+                rule: "lock_graph",
+                path: e.path.clone(),
+                line: e.line,
+                msg: format!(
+                    "declared lock order violated in `{}`: `{}` must be acquired before `{}`, \
+                     but it is acquired while `{}` is held (LOCK_ORDER.decl)",
+                    e.func, e.acquired, e.held, e.held
+                ),
+                witness: vec![e.describe()],
+            });
+        }
+    }
+}
+
+/// Parse a `LOCK_ORDER.decl` body: one `first < second` pair per line,
+/// `#` comments and blank lines ignored.
+pub fn parse_decl(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(2, '<');
+        if let (Some(a), Some(b)) = (parts.next(), parts.next()) {
+            let (a, b) = (a.trim(), b.trim());
+            if !a.is_empty() && !b.is_empty() {
+                out.push((a.to_string(), b.to_string()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decl_parser_skips_comments_and_garbage() {
+        let decl = parse_decl(
+            "# lock order declarations\nscene < shard_slot\n\n  a<b  # trailing\nnot-a-pair\n",
+        );
+        assert_eq!(
+            decl,
+            vec![
+                ("scene".to_string(), "shard_slot".to_string()),
+                ("a".to_string(), "b".to_string())
+            ]
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! `metrics_drift` — keep the `poem_*` metric registry and DESIGN.md's
+//! metric table in lockstep.
+//!
+//! Code side: every `.counter*("poem_…")` / `.gauge*( … )` /
+//! `.histogram*( … )` registration in the workspace (the first string
+//! literal in the call's arguments names the metric; a `{label=…}` suffix
+//! is stripped to the base name). Doc side: every `poem_*` name on a
+//! table line (`| … |`) of DESIGN.md.
+//!
+//! Drift in either direction is a finding: a registered metric missing
+//! from the table means dashboards and experiment scripts cannot discover
+//! it; a documented metric that is never registered means the table lies.
+//! Removing a registered metric's row from DESIGN.md therefore fails the
+//! build in deny mode.
+
+use std::collections::BTreeMap;
+
+use crate::report::Finding;
+use crate::source::{ident_at, is_punct, str_at, SourceFile};
+
+use super::Ctx;
+
+/// See module docs.
+pub struct MetricsDrift;
+
+impl super::Rule for MetricsDrift {
+    fn name(&self) -> &'static str {
+        "metrics_drift"
+    }
+
+    fn check(&self, cx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        let Some(design) = cx.design_md else { return };
+
+        // Code side: metric name → first registration site.
+        let mut registered: BTreeMap<String, (String, u32)> = BTreeMap::new();
+        for f in cx.files {
+            if !super::metrics_scope(&f.rel_path) {
+                continue;
+            }
+            collect_registrations(f, &mut registered);
+        }
+
+        // Doc side: names anywhere (for direction 1) and on table lines
+        // (for direction 2, with their line numbers).
+        let mut documented: Vec<String> = Vec::new();
+        let mut table: BTreeMap<String, u32> = BTreeMap::new();
+        for (ln, line) in design.lines().enumerate() {
+            let names = metric_names(line);
+            if line.trim_start().starts_with('|') {
+                for n in &names {
+                    table.entry(n.clone()).or_insert(ln as u32 + 1);
+                }
+            }
+            documented.extend(names);
+        }
+
+        for (name, (path, line)) in &registered {
+            if !documented.iter().any(|d| d == name) {
+                out.push(Finding::new(
+                    "metrics_drift",
+                    path,
+                    *line,
+                    format!(
+                        "metric `{name}` is registered here but missing from DESIGN.md's \
+                         metric table"
+                    ),
+                ));
+            }
+        }
+        for (name, line) in &table {
+            if !registered.contains_key(name) {
+                out.push(Finding::new(
+                    "metrics_drift",
+                    "DESIGN.md",
+                    *line,
+                    format!(
+                        "metric `{name}` is documented in DESIGN.md's metric table but never \
+                         registered in code"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Record every `.counter*/.gauge*/.histogram*("poem_…")` call in `f`.
+fn collect_registrations(f: &SourceFile, out: &mut BTreeMap<String, (String, u32)>) {
+    let t = &f.tokens;
+    for i in 0..t.len() {
+        let line = t[i].line;
+        if f.in_test_region(line) {
+            continue;
+        }
+        let Some(method) = ident_at(t, i) else { continue };
+        // `counter(..)`, `register_counter(..)`, `counter_vec(..)` — any
+        // instrument-flavored accessor or registrar counts as a use.
+        if !(method.contains("counter") || method.contains("gauge") || method.contains("histogram"))
+        {
+            continue;
+        }
+        if !is_punct(t, i.wrapping_sub(1), '.') || !is_punct(t, i + 1, '(') {
+            continue;
+        }
+        // First string literal in the argument list names the metric.
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        while depth > 0 {
+            if is_punct(t, j, '(') {
+                depth += 1;
+            } else if is_punct(t, j, ')') {
+                depth -= 1;
+            } else if let Some(s) = str_at(t, j) {
+                for name in metric_names(s) {
+                    out.entry(name).or_insert_with(|| (f.rel_path.clone(), line));
+                }
+                break;
+            } else if j >= t.len() {
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Extract every `poem_*` base metric name from `text`. Label suffixes
+/// (`{reason="x"}`) are excluded by the `[a-z0-9_]` name alphabet; a
+/// preceding word character means it is part of a longer identifier, not a
+/// metric name.
+fn metric_names(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while let Some(pos) = text[start..].find("poem_") {
+        let at = start + pos;
+        let preceded_by_word =
+            at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let mut end = at;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        if !preceded_by_word && end > at + "poem_".len() {
+            out.push(text[at..end].to_string());
+        }
+        start = end.max(at + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_strip_labels_and_reject_embedded() {
+        assert_eq!(
+            metric_names("| `poem_drops_total{reason=\"disconnected\"}` | drops |"),
+            vec!["poem_drops_total".to_string()]
+        );
+        assert!(metric_names("my_poem_thing").is_empty());
+        assert!(metric_names("poem_ alone").is_empty());
+    }
+}

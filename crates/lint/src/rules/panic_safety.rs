@@ -6,7 +6,9 @@
 //! every other client's session) down with it.
 
 use crate::report::Finding;
-use crate::source::{ident_at, is_punct, SourceFile, TokenKindExt};
+use crate::source::{ident_at, is_punct, TokenKindExt};
+
+use super::Ctx;
 
 /// See module docs.
 pub struct PanicSafety;
@@ -18,8 +20,8 @@ impl super::Rule for PanicSafety {
         "panic_safety"
     }
 
-    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
-        for f in files {
+    fn check(&self, cx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        for f in cx.files {
             if !super::panic_scope(&f.rel_path) {
                 continue;
             }
@@ -35,38 +37,38 @@ impl super::Rule for PanicSafety {
                         && is_punct(t, i.wrapping_sub(1), '.')
                         && is_punct(t, i + 1, '(')
                     {
-                        out.push(Finding {
-                            rule: "panic_safety",
-                            path: f.rel_path.clone(),
+                        out.push(Finding::new(
+                            "panic_safety",
+                            &f.rel_path,
                             line,
-                            msg: format!(
+                            format!(
                                 "`.{id}()` on a hostile-input path can panic the emulator; \
                                  propagate a typed error instead"
                             ),
-                        });
+                        ));
                     }
                     if PANIC_MACROS.contains(&id) && is_punct(t, i + 1, '!') {
-                        out.push(Finding {
-                            rule: "panic_safety",
-                            path: f.rel_path.clone(),
+                        out.push(Finding::new(
+                            "panic_safety",
+                            &f.rel_path,
                             line,
-                            msg: format!(
+                            format!(
                                 "`{id}!` on a hostile-input path; return an error instead \
                                  of aborting the thread"
                             ),
-                        });
+                        ));
                     }
                 }
                 // Decode paths: `expr[..]` indexing panics on short input.
                 if strict_index && is_punct(t, i, '[') && i > 0 && t[i - 1].kind.ends_expression() {
-                    out.push(Finding {
-                        rule: "panic_safety",
-                        path: f.rel_path.clone(),
+                    out.push(Finding::new(
+                        "panic_safety",
+                        &f.rel_path,
                         line,
-                        msg: "slice indexing in a decode path panics on truncated input; \
-                              use `.get(..)` or a checked split"
+                        "slice indexing in a decode path panics on truncated input; \
+                         use `.get(..)` or a checked split"
                             .into(),
-                    });
+                    ));
                 }
             }
         }

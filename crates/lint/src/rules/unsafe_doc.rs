@@ -6,7 +6,9 @@
 //! the three lines above it (or on the same line).
 
 use crate::report::Finding;
-use crate::source::{is_ident, SourceFile};
+use crate::source::is_ident;
+
+use super::Ctx;
 
 /// See module docs.
 pub struct UnsafeDoc;
@@ -16,8 +18,8 @@ impl super::Rule for UnsafeDoc {
         "unsafe_doc"
     }
 
-    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
-        for f in files {
+    fn check(&self, cx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        for f in cx.files {
             let t = &f.tokens;
             for i in 0..t.len() {
                 if !is_ident(t, i, "unsafe") {
@@ -28,14 +30,14 @@ impl super::Rule for UnsafeDoc {
                     c.text.contains("SAFETY") && c.line <= line && line.saturating_sub(c.line) <= 3
                 });
                 if !documented {
-                    out.push(Finding {
-                        rule: "unsafe_doc",
-                        path: f.rel_path.clone(),
+                    out.push(Finding::new(
+                        "unsafe_doc",
+                        &f.rel_path,
                         line,
-                        msg: "`unsafe` without a `// SAFETY:` comment in the preceding \
-                              three lines"
+                        "`unsafe` without a `// SAFETY:` comment in the preceding \
+                         three lines"
                             .into(),
-                    });
+                    ));
                 }
             }
         }

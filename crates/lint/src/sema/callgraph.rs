@@ -1,0 +1,176 @@
+//! Per-function call graph, resolved across crates by bare name.
+//!
+//! `poem-lint` has no type information, so calls resolve to *every*
+//! workspace `fn` sharing the callee's name — conservative in the right
+//! direction for the concurrency rules (a lock acquired in any same-named
+//! fn is assumed reachable). The graph gives the rules one level of
+//! inlining: `lock_graph` pulls a direct callee's acquisitions into the
+//! caller's held-set, and `blocking_under_lock` treats a call to a
+//! blocking fn as blocking at the call site.
+
+use std::collections::BTreeSet;
+
+use super::parse::FileSema;
+use super::symbols::{FnId, Symbols};
+use crate::source::{ident_at, is_ident, is_punct, SourceFile};
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Bare callee name as written.
+    pub name: String,
+    /// Resolved definitions (empty for std/external calls).
+    pub targets: Vec<FnId>,
+    /// Token index of the callee name.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Call sites per function, indexed like `semas[file].fns[idx]`.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `calls[file][fn index]` → call sites in that fn's body.
+    pub calls: Vec<Vec<Vec<CallSite>>>,
+}
+
+/// Keywords that may directly precede a `(` without being calls.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "fn", "in", "as", "move", "let", "else",
+    "mut", "ref", "pub", "where", "impl", "dyn", "box", "unsafe", "async", "await",
+];
+
+/// Names that collide with guard primitives: `drop(g)` is `mem::drop`, not
+/// some `Drop` impl, and `.lock()/.read()/.write()` sites are acquisitions
+/// the guard analysis already models. Resolving them by bare name would
+/// wire callers to every unrelated `fn drop`/`fn write` in the workspace.
+const GUARD_PRIMITIVE_NAMES: &[&str] = &["drop", "lock", "read", "write"];
+
+impl CallGraph {
+    /// Build the graph for every fn body in the workspace.
+    pub fn build(files: &[SourceFile], semas: &[FileSema], symbols: &Symbols) -> CallGraph {
+        let mut calls = Vec::with_capacity(semas.len());
+        for (fi, sema) in semas.iter().enumerate() {
+            let t = files.get(fi).map(|f| f.tokens.as_slice()).unwrap_or(&[]);
+            let mut per_fn = Vec::with_capacity(sema.fns.len());
+            for f in &sema.fns {
+                let mut sites = Vec::new();
+                if let Some(body) = &f.body {
+                    for i in body.clone() {
+                        let Some(name) = ident_at(t, i) else { continue };
+                        if !is_punct(t, i + 1, '(') || NON_CALL_IDENTS.contains(&name) {
+                            continue;
+                        }
+                        // `name!(…)` macros never match: `!` sits between.
+                        // Skip definitions (`fn name(`).
+                        if is_ident(t, i.wrapping_sub(1), "fn") {
+                            continue;
+                        }
+                        let targets = if GUARD_PRIMITIVE_NAMES.contains(&name) {
+                            Vec::new()
+                        } else {
+                            symbols
+                                .fn_map
+                                .get(name)
+                                .map(|ids| {
+                                    ids.iter()
+                                        .filter(|(tf, tg)| (*tf, *tg) != (fi, per_fn.len()))
+                                        .copied()
+                                        .collect()
+                                })
+                                .unwrap_or_default()
+                        };
+                        sites.push(CallSite {
+                            name: name.to_string(),
+                            targets,
+                            tok: i,
+                            line: t[i].line,
+                        });
+                    }
+                }
+                per_fn.push(sites);
+            }
+            calls.push(per_fn);
+        }
+        CallGraph { calls }
+    }
+
+    /// Call sites of one fn (empty slice when out of range).
+    pub fn sites(&self, id: FnId) -> &[CallSite] {
+        self.calls.get(id.0).and_then(|per| per.get(id.1)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every fn reachable from any fn *named* in `roots`, following call
+    /// edges up to `depth` hops (the roots themselves included). Used for
+    /// the hot-path severity tier.
+    pub fn reachable_from_names(
+        &self,
+        symbols: &Symbols,
+        roots: &[&str],
+        depth: usize,
+    ) -> BTreeSet<FnId> {
+        let mut seen: BTreeSet<FnId> = roots
+            .iter()
+            .flat_map(|r| symbols.fn_map.get(*r).cloned().unwrap_or_default())
+            .collect();
+        let mut frontier: Vec<FnId> = seen.iter().copied().collect();
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for id in frontier {
+                for site in self.sites(id) {
+                    for tgt in &site.targets {
+                        if seen.insert(*tgt) {
+                            next.push(*tgt);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn build(files: &[(&str, &str)]) -> (Vec<SourceFile>, Vec<FileSema>, Symbols, CallGraph) {
+        let sources: Vec<SourceFile> =
+            files.iter().map(|(p, s)| SourceFile::parse(p.to_string(), s)).collect();
+        let semas: Vec<FileSema> = sources.iter().map(|f| FileSema::build(&f.tokens)).collect();
+        let symbols = Symbols::build(&sources, &semas);
+        let graph = CallGraph::build(&sources, &semas, &symbols);
+        (sources, semas, symbols, graph)
+    }
+
+    #[test]
+    fn calls_resolve_across_crates() {
+        let (_, semas, _, graph) = build(&[
+            ("crates/server/src/server.rs", "fn scan_loop() { fire(1); helper.run(); }"),
+            ("crates/server/src/engine.rs", "fn fire(x: u32) {}"),
+        ]);
+        assert_eq!(semas[0].fns[0].name, "scan_loop");
+        let sites = graph.sites((0, 0));
+        let fire = sites.iter().find(|s| s.name == "fire").expect("fire site");
+        assert_eq!(fire.targets, vec![(1, 0)]);
+        // `helper.run()` resolves to nothing but is still recorded.
+        assert!(sites.iter().any(|s| s.name == "run" && s.targets.is_empty()));
+    }
+
+    #[test]
+    fn hot_set_walks_the_graph() {
+        let (_, _, symbols, graph) = build(&[(
+            "crates/server/src/server.rs",
+            "fn scan_loop() { fire(); }\nfn fire() { deliver(); }\nfn deliver() { cold(); }\nfn cold() {}",
+        )]);
+        let hot = graph.reachable_from_names(&symbols, &["scan_loop"], 2);
+        let names: Vec<usize> = hot.iter().map(|(_, g)| *g).collect();
+        // scan_loop(0), fire(1), deliver(2) — not cold(3) at depth 2.
+        assert_eq!(names, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,65 @@
+//! The semantic layer: item/brace-tree parsing, the workspace symbol
+//! table, the cross-crate call graph, and guard live-range analysis.
+//!
+//! Built once per lint run and shared by every semantic rule:
+//!
+//! ```text
+//!  tokens ──► parse::FileSema (items + scope tree, per file)
+//!                 │
+//!                 ▼
+//!         symbols::Symbols (lock/condvar/guard/record names, fn index)
+//!                 │
+//!                 ▼
+//!         callgraph::CallGraph (per-fn call sites, one-level inlining)
+//!                 │
+//!                 ▼
+//!         guards::FnGuards (per-fn acquisitions with live ranges)
+//! ```
+
+pub mod callgraph;
+pub mod guards;
+pub mod parse;
+pub mod symbols;
+
+use crate::source::SourceFile;
+use callgraph::CallGraph;
+use guards::FnGuards;
+use parse::{FileSema, FnDef};
+use symbols::{FnId, Symbols};
+
+/// The fully-analyzed workspace handed to semantic rules.
+pub struct Workspace {
+    /// Per-file item structure, indexed like the `files` slice.
+    pub semas: Vec<FileSema>,
+    /// Workspace-wide name tables.
+    pub symbols: Symbols,
+    /// Cross-crate call graph.
+    pub graph: CallGraph,
+    /// Guard analysis per file, per fn (same indexing as `semas[_].fns`).
+    pub guards: Vec<Vec<FnGuards>>,
+}
+
+impl Workspace {
+    /// Run every analysis pass over `files`.
+    pub fn build(files: &[SourceFile]) -> Workspace {
+        let semas: Vec<FileSema> = files.iter().map(|f| FileSema::build(&f.tokens)).collect();
+        let symbols = Symbols::build(files, &semas);
+        let graph = CallGraph::build(files, &semas, &symbols);
+        let guards = files
+            .iter()
+            .zip(&semas)
+            .map(|(f, s)| s.fns.iter().map(|fd| FnGuards::analyze(f, s, &symbols, fd)).collect())
+            .collect();
+        Workspace { semas, symbols, graph, guards }
+    }
+
+    /// The definition of `id`, if in range.
+    pub fn fn_def(&self, id: FnId) -> Option<&FnDef> {
+        self.semas.get(id.0).and_then(|s| s.fns.get(id.1))
+    }
+
+    /// The guard analysis of `id` (empty when out of range).
+    pub fn fn_guards(&self, id: FnId) -> Option<&FnGuards> {
+        self.guards.get(id.0).and_then(|g| g.get(id.1))
+    }
+}

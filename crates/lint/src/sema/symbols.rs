@@ -1,0 +1,166 @@
+//! Workspace symbol table: which names denote locks, condvars, guards,
+//! record types and functions.
+//!
+//! The concurrency rules key acquisitions off *names with lock-typed
+//! declarations* rather than bare `.lock()` syntax, which is what keeps
+//! `reader.read()` (a socket) distinct from `scene.read()` (a `RwLock`).
+//! Names are collected workspace-wide from struct fields, statics and fn
+//! parameters whose declared type mentions `Mutex`/`RwLock` directly or
+//! through a `type` alias (one fixpoint pass resolves alias→alias chains).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::parse::FileSema;
+use crate::source::SourceFile;
+
+/// Identifies one `fn` globally: `(file index, index into that file's fns)`.
+pub type FnId = (usize, usize);
+
+/// The workspace-wide name tables the semantic rules consult.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// Names (fields, statics, params) declared with a lock type.
+    pub lock_names: BTreeSet<String>,
+    /// Names declared as `Condvar`.
+    pub condvar_names: BTreeSet<String>,
+    /// `type` aliases that expand to a lock-containing type.
+    pub lock_aliases: BTreeSet<String>,
+    /// Parameter names declared with an already-acquired guard type
+    /// (`MutexGuard` & co.) — live locks entering a function by value.
+    pub guard_param_fns: BTreeMap<FnId, Vec<String>>,
+    /// Struct/enum names defined in `crates/record` — the `.poemlog`
+    /// serialization surface the taint rule treats as sinks.
+    pub record_types: BTreeSet<String>,
+    /// Bare fn name → every definition carrying that name.
+    pub fn_map: BTreeMap<String, Vec<FnId>>,
+}
+
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock"];
+const GUARD_TYPES: &[&str] = &["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
+impl Symbols {
+    /// Build the table from every parsed file. `semas[i]` corresponds to
+    /// `files[i]`.
+    pub fn build(files: &[SourceFile], semas: &[FileSema]) -> Symbols {
+        let mut s = Symbols::default();
+
+        // Alias fixpoint: `type A = Arc<Mutex<..>>` then `type B = Vec<A>`.
+        loop {
+            let before = s.lock_aliases.len();
+            for sema in semas {
+                for a in &sema.aliases {
+                    if a.target_idents.iter().any(|t| s.is_lock_type(t)) {
+                        s.lock_aliases.insert(a.name.clone());
+                    }
+                }
+            }
+            if s.lock_aliases.len() == before {
+                break;
+            }
+        }
+
+        for (fi, sema) in semas.iter().enumerate() {
+            let is_record_crate =
+                files.get(fi).is_some_and(|f| f.rel_path.starts_with("crates/record/src/"));
+            for st in &sema.structs {
+                if is_record_crate {
+                    s.record_types.insert(st.name.clone());
+                }
+                for field in &st.fields {
+                    if field.type_idents.iter().any(|t| s.is_lock_type(t)) {
+                        s.lock_names.insert(field.name.clone());
+                    }
+                    if field.type_idents.iter().any(|t| t == "Condvar") {
+                        s.condvar_names.insert(field.name.clone());
+                    }
+                }
+            }
+            if is_record_crate {
+                for e in &sema.enums {
+                    s.record_types.insert(e.clone());
+                }
+            }
+            for stat in &sema.statics {
+                if stat.type_idents.iter().any(|t| s.is_lock_type(t)) {
+                    s.lock_names.insert(stat.name.clone());
+                }
+                if stat.type_idents.iter().any(|t| t == "Condvar") {
+                    s.condvar_names.insert(stat.name.clone());
+                }
+            }
+            for (gi, f) in sema.fns.iter().enumerate() {
+                s.fn_map.entry(f.name.clone()).or_default().push((fi, gi));
+                let mut guards = Vec::new();
+                for p in &f.params {
+                    if p.type_idents.iter().any(|t| s.is_lock_type(t)) {
+                        s.lock_names.insert(p.name.clone());
+                    }
+                    if p.type_idents.iter().any(|t| GUARD_TYPES.contains(&t.as_str())) {
+                        guards.push(p.name.clone());
+                    }
+                    if p.type_idents.iter().any(|t| t == "Condvar") {
+                        s.condvar_names.insert(p.name.clone());
+                    }
+                }
+                if !guards.is_empty() {
+                    s.guard_param_fns.insert((fi, gi), guards);
+                }
+            }
+        }
+        s
+    }
+
+    /// True when `ident` names a lock type, directly or via alias.
+    pub fn is_lock_type(&self, ident: &str) -> bool {
+        LOCK_TYPES.contains(&ident) || self.lock_aliases.contains(ident)
+    }
+
+    /// True when `name` is declared somewhere in the workspace with a
+    /// lock-containing type.
+    pub fn is_lock_name(&self, name: &str) -> bool {
+        self.lock_names.contains(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn build(files: &[(&str, &str)]) -> Symbols {
+        let sources: Vec<SourceFile> =
+            files.iter().map(|(p, s)| SourceFile::parse(p.to_string(), s)).collect();
+        let semas: Vec<FileSema> = sources.iter().map(|f| FileSema::build(&f.tokens)).collect();
+        Symbols::build(&sources, &semas)
+    }
+
+    #[test]
+    fn lock_names_resolve_through_aliases() {
+        let s = build(&[(
+            "crates/server/src/server.rs",
+            "type SharedWriter = Arc<Mutex<MsgWriter<TcpStream>>>;\n\
+             struct Shared { schedule: Mutex<S>, scene: RwLock<Scene>, cv: Condvar }\n\
+             fn send_locked(writer: &SharedWriter) {}\n\
+             fn timed_wait(schedule_guard: &mut MutexGuard<S>) {}",
+        )]);
+        assert!(s.is_lock_name("schedule"));
+        assert!(s.is_lock_name("scene"));
+        assert!(s.is_lock_name("writer"));
+        assert!(!s.is_lock_name("cv"));
+        assert!(s.condvar_names.contains("cv"));
+        assert!(s.lock_aliases.contains("SharedWriter"));
+        let guards: Vec<_> = s.guard_param_fns.values().flatten().collect();
+        assert_eq!(guards, vec!["schedule_guard"]);
+    }
+
+    #[test]
+    fn record_types_come_from_the_record_crate_only() {
+        let s = build(&[
+            ("crates/record/src/records.rs", "struct TrafficRecord; enum FaultRecord { X }"),
+            ("crates/core/src/scene.rs", "struct Scene;"),
+        ]);
+        assert!(s.record_types.contains("TrafficRecord"));
+        assert!(s.record_types.contains("FaultRecord"));
+        assert!(!s.record_types.contains("Scene"));
+    }
+}

@@ -4,6 +4,23 @@
 use crate::lexer::lex;
 pub use crate::lexer::{Comment, Token, TokenKind};
 
+/// One `poem-lint: allow(...)` / `allow-file(...)` annotation, kept
+/// individually addressable so the stale-suppression self-check can count
+/// how many findings each one actually silenced.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule slug the annotation names.
+    pub rule: String,
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+    /// First line the suppression covers.
+    pub from: u32,
+    /// Last line the suppression covers (`u32::MAX` for file-wide allows).
+    pub to: u32,
+    /// True for `allow-file(...)`.
+    pub file_wide: bool,
+}
+
 /// A lexed source file plus the metadata rules need.
 pub struct SourceFile {
     /// Path relative to the lint root, always `/`-separated.
@@ -17,12 +34,11 @@ pub struct SourceFile {
     /// Line ranges (inclusive) covered by `#[cfg(test)]` modules or
     /// `#[test]` functions.
     test_ranges: Vec<(u32, u32)>,
-    /// Rules suppressed for the entire file.
-    file_allows: Vec<String>,
-    /// `(rule, first line, last line)` triples; an annotation suppresses the
-    /// rule from its own line through the end of the statement that follows
-    /// (the next `;`), so multi-line expressions stay coverable.
-    line_allows: Vec<(String, u32, u32)>,
+    /// Every suppression annotation in the file. A line-scoped annotation
+    /// suppresses its rule from its own line through the end of the
+    /// statement that follows (the next `;`), so multi-line expressions
+    /// stay coverable.
+    pub allows: Vec<Allow>,
 }
 
 impl SourceFile {
@@ -39,30 +55,27 @@ impl SourceFile {
                 || p.contains("/examples/")
         };
         let test_ranges = find_test_ranges(&tokens);
-        let mut file_allows = Vec::new();
-        let mut line_allows = Vec::new();
+        let mut allows = Vec::new();
         for c in &comments {
             for (rule, file_wide) in parse_allows(&c.text) {
                 if file_wide {
-                    file_allows.push(rule);
+                    allows.push(Allow { rule, line: c.line, from: 0, to: u32::MAX, file_wide });
                 } else {
                     let to = tokens
                         .iter()
                         .find(|t| t.line >= c.line && t.kind == TokenKind::Punct(';'))
                         .map_or(c.line + 1, |t| t.line);
-                    line_allows.push((rule, c.line, to.max(c.line)));
+                    allows.push(Allow {
+                        rule,
+                        line: c.line,
+                        from: c.line,
+                        to: to.max(c.line),
+                        file_wide,
+                    });
                 }
             }
         }
-        SourceFile {
-            rel_path,
-            tokens,
-            comments,
-            is_test_file,
-            test_ranges,
-            file_allows,
-            line_allows,
-        }
+        SourceFile { rel_path, tokens, comments, is_test_file, test_ranges, allows }
     }
 
     /// True when `line` falls inside `#[cfg(test)]`/`#[test]` code or the
@@ -71,13 +84,15 @@ impl SourceFile {
         self.is_test_file || self.test_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
     }
 
+    /// Index of the first `poem-lint: allow(rule)` annotation covering
+    /// `line`, if any.
+    pub fn suppression(&self, rule: &str, line: u32) -> Option<usize> {
+        self.allows.iter().position(|a| a.rule == rule && (a.from..=a.to).contains(&line))
+    }
+
     /// True when a `poem-lint: allow(rule)` annotation covers `line`.
     pub fn suppressed(&self, rule: &str, line: u32) -> bool {
-        self.file_allows.iter().any(|r| r == rule)
-            || self
-                .line_allows
-                .iter()
-                .any(|(r, from, to)| r == rule && (*from..=*to).contains(&line))
+        self.suppression(rule, line).is_some()
     }
 }
 
@@ -223,7 +238,7 @@ impl TokenKindExt for TokenKind {
                 )
             }
             TokenKind::Punct(c) => matches!(c, ')' | ']'),
-            TokenKind::Str | TokenKind::Num | TokenKind::Char => true,
+            TokenKind::Str(_) | TokenKind::Num | TokenKind::Char => true,
             TokenKind::Lifetime => false,
         }
     }
@@ -233,6 +248,14 @@ impl TokenKindExt for TokenKind {
 pub fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
     match tokens.get(i).map(|t| &t.kind) {
         Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// The string-literal text at `tokens[i]`, if any.
+pub fn str_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Str(s)) => Some(s.as_str()),
         _ => None,
     }
 }

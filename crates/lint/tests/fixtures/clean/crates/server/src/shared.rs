@@ -1,0 +1,6 @@
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub clients: Mutex<Vec<u32>>,
+    pub writer: Mutex<u32>,
+}

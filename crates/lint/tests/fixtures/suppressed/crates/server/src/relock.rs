@@ -1,0 +1,7 @@
+pub fn relock(s: &super::Shared) {
+    let first = s.state.lock();
+    // poem-lint: allow(lock_graph): reentrant test double, fixture only
+    let second = s.state.lock();
+    drop(second);
+    drop(first);
+}

@@ -1,0 +1,5 @@
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub state: Mutex<u32>,
+}

@@ -1,0 +1,6 @@
+pub fn resync(s: &poem_server::Shared) {
+    let schedule = s.schedule.lock();
+    let clients = s.clients.lock();
+    drop(clients);
+    drop(schedule);
+}

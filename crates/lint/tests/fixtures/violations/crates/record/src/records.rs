@@ -10,3 +10,8 @@ pub enum FaultRecord {
     Scene { at: u64 },
     Clock { at: u64 },
 }
+
+#[derive(Serialize, Deserialize)]
+pub struct SceneRecord {
+    pub at: u64,
+}

@@ -1,6 +1,6 @@
-pub fn shutdown(s: &super::Shared) {
+pub fn flush(s: &super::Shared) {
     let writer = s.writer.lock();
-    let clients = s.clients.lock();
-    drop(clients);
+    let schedule = s.schedule.lock();
+    drop(schedule);
     drop(writer);
 }

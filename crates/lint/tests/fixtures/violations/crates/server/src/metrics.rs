@@ -1,0 +1,4 @@
+pub fn register(reg: &Registry) {
+    reg.counter("poem_fixture_events_total").inc();
+    reg.counter("poem_fixture_orphan_total").inc();
+}

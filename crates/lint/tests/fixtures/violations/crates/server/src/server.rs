@@ -13,3 +13,13 @@ pub fn wait(policy: crate::SleepPolicy) {
         _ => {}
     }
 }
+
+pub fn scan_loop(s: &crate::Shared) {
+    let schedule = s.schedule.lock();
+    std::thread::sleep(step());
+    drop(schedule);
+}
+
+fn step() -> core::time::Duration {
+    core::time::Duration::from_millis(1)
+}

@@ -1,0 +1,18 @@
+use std::sync::{Condvar, Mutex, RwLock};
+
+pub struct Shared {
+    pub clients: Mutex<Vec<u32>>,
+    pub writer: Mutex<u32>,
+    pub schedule: Mutex<u32>,
+}
+
+pub struct Cluster {
+    pub scene: RwLock<u32>,
+    pub shard_slot: Mutex<u32>,
+}
+
+pub struct Pump {
+    pub jobs: Mutex<Vec<u32>>,
+    pub state: Mutex<u32>,
+    pub ready: Condvar,
+}

@@ -1,0 +1,10 @@
+pub fn snapshot(rec: &Recorder) {
+    let started = std::time::Instant::now();
+    let stamp = started;
+    rec.record_traffic(stamp);
+}
+
+pub fn capture() -> SceneRecord {
+    let at = std::time::SystemTime::now();
+    SceneRecord { at }
+}

@@ -1,0 +1,16 @@
+pub fn pump(p: &super::Pump) {
+    let state = p.state.lock();
+    let mut jobs = p.jobs.lock();
+    while jobs.is_empty() {
+        jobs = p.ready.wait(jobs);
+    }
+    drop(jobs);
+    drop(state);
+}
+
+pub fn relock(p: &super::Pump) {
+    let first = p.state.lock();
+    let second = p.state.lock();
+    drop(second);
+    drop(first);
+}

@@ -1,0 +1,209 @@
+//! Property tests for the lexer → item parser → semantic pipeline.
+//!
+//! The linter runs over every source file in the workspace, including
+//! half-written ones during development, so the semantic layer must be
+//! total: no token soup may panic it, every scope it reports must be
+//! well-formed, and every span it hands to the rules must stay inside the
+//! token stream. These tests drive the whole [`poem_lint::sema::Workspace`]
+//! pipeline (parse → symbols → call graph → guards) over generated input.
+
+use poem_lint::sema::Workspace;
+use poem_lint::source::SourceFile;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Fragment vocabulary for token soup: idents, keywords, operators, and —
+/// deliberately — unbalanced brackets, stray quotes and attribute shards.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "impl",
+    "let",
+    "mut",
+    "pub",
+    "type",
+    "static",
+    "match",
+    "if",
+    "while",
+    "loop",
+    "move",
+    "unsafe",
+    "lock",
+    "read",
+    "write",
+    "drop",
+    "wait",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "MutexGuard",
+    "self",
+    "super",
+    "crate",
+    "x",
+    "y",
+    "scan_loop",
+    "schedule",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "<",
+    ">",
+    ";",
+    ",",
+    ".",
+    ":",
+    "::",
+    "=",
+    "=>",
+    "->",
+    "&",
+    "&mut",
+    "#",
+    "#[cfg(test)]",
+    "#[test]",
+    "'a",
+    "'\\n'",
+    "0",
+    "42",
+    "1e9",
+    "\"str\"",
+    "\"poem_x_total\"",
+    "\"unterminated",
+    "//",
+    "// poem-lint: allow(lock_graph): x",
+    "/*",
+    "*/",
+    "b\"bytes\"",
+    "r#\"raw\"#",
+    "!",
+    "?",
+    "|",
+    "||",
+    "_",
+];
+
+/// A strategy yielding random whitespace-joined fragment soup.
+fn soup() -> impl Strategy<Value = String> {
+    vec(any::<u8>(), 0..120).prop_map(|bytes| {
+        bytes.iter().map(|b| FRAGMENTS[*b as usize % FRAGMENTS.len()]).collect::<Vec<_>>().join(" ")
+    })
+}
+
+/// Well-formed item templates, so the structural properties also see
+/// realistic shapes (not only garbage).
+fn item(idx: u8, name_idx: u8) -> String {
+    let name = ["alpha", "beta", "gamma", "delta"][name_idx as usize % 4];
+    match idx % 5 {
+        0 => format!(
+            "pub fn {name}(s: &Shared) {{ let g = s.table.lock(); drop(g); helper({name}); }}"
+        ),
+        1 => format!("pub struct S{name} {{ pub table: Mutex<Vec<u32>>, pub cv: Condvar }}"),
+        2 => format!("type A{name} = Arc<Mutex<u32>>;"),
+        3 => format!("static S_{name}: Mutex<u32> = Mutex::new(0);"),
+        _ => format!("impl S{name} {{ fn {name}(&self) -> u32 {{ if x {{ 1 }} else {{ 2 }} }} }}"),
+    }
+}
+
+/// Run the full pipeline over one source text and return the workspace.
+fn analyze(src: &str) -> (SourceFile, Workspace) {
+    let file = SourceFile::parse("crates/server/src/gen.rs".to_string(), src);
+    let ws = Workspace::build(std::slice::from_ref(&file));
+    // Rebuild for the return: Workspace borrows nothing, file is separate.
+    let file2 = SourceFile::parse("crates/server/src/gen.rs".to_string(), src);
+    (file2, ws)
+}
+
+/// Shared structural invariants over any parse result.
+fn check_invariants(src: &str) {
+    let (file, ws) = analyze(src);
+    let n = file.tokens.len();
+    let sema = &ws.semas[0];
+
+    // Scope tree: root exists, every scope is well-nested within bounds
+    // and within its parent.
+    assert!(!sema.scopes.scopes.is_empty(), "missing root scope");
+    for (i, s) in sema.scopes.scopes.iter().enumerate() {
+        assert!(s.open <= s.close, "scope {i} inverted: {}..{}", s.open, s.close);
+        assert!(s.close <= n, "scope {i} escapes the token stream");
+        assert!(s.parent <= i, "scope {i} has a later parent {}", s.parent);
+        if i > 0 {
+            let p = &sema.scopes.scopes[s.parent];
+            assert!(p.open <= s.open && s.close <= p.close, "scope {i} escapes its parent");
+        }
+    }
+    // innermost() always returns a scope containing (or equal to) the query.
+    for i in [0usize, n / 2, n.saturating_sub(1)] {
+        let id = sema.scopes.innermost(i);
+        assert!(id < sema.scopes.scopes.len());
+    }
+
+    // Items: every fn span (and every guard live-range derived from it)
+    // stays inside the token stream.
+    for (gi, fd) in sema.fns.iter().enumerate() {
+        if let Some(body) = &fd.body {
+            assert!(body.start <= body.end && body.end <= n, "fn `{}` body escapes", fd.name);
+        }
+        let guards = ws.fn_guards((0, gi)).expect("guards built per fn");
+        for acq in &guards.acqs {
+            assert!(acq.live.start <= acq.live.end, "guard `{}` inverted", acq.resource);
+            assert!(acq.live.end <= n, "guard `{}` escapes the stream", acq.resource);
+            assert!(acq.tok <= n, "guard `{}` anchored out of range", acq.resource);
+        }
+        for site in ws.graph.sites((0, gi)) {
+            assert!(site.tok < n, "call site `{}` out of range", site.name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary fragment soup — unbalanced brackets, stray quotes,
+    /// half-open comments — must never panic any pipeline stage, and
+    /// whatever structure is recovered must satisfy the span invariants.
+    fn parser_never_panics_on_token_soup(src in soup()) {
+        check_invariants(&src);
+    }
+
+    /// Concatenations of well-formed items parse into the expected item
+    /// counts with bodies present.
+    fn structured_items_parse_completely(items in vec(any::<(u8, u8)>(), 0..12)) {
+        let src = items
+            .iter()
+            .map(|(k, n)| item(*k, *n))
+            .collect::<Vec<_>>()
+            .join("\n");
+        check_invariants(&src);
+        let (_, ws) = analyze(&src);
+        let sema = &ws.semas[0];
+        let want_fns = items.iter().filter(|(k, _)| matches!(k % 5, 0 | 4)).count();
+        let want_structs = items.iter().filter(|(k, _)| k % 5 == 1).count();
+        let want_aliases = items.iter().filter(|(k, _)| k % 5 == 2).count();
+        prop_assert_eq!(sema.fns.len(), want_fns);
+        prop_assert_eq!(sema.structs.len(), want_structs);
+        prop_assert_eq!(sema.aliases.len(), want_aliases);
+        for fd in &sema.fns {
+            prop_assert!(fd.body.is_some(), "template fn `{}` lost its body", fd.name);
+        }
+        // Every template struct declares a Mutex field named `table`, so
+        // the symbol table must classify `table` as a lock whenever any
+        // struct template was drawn.
+        if want_structs > 0 {
+            prop_assert!(ws.symbols.is_lock_name("table"));
+            prop_assert!(ws.symbols.condvar_names.contains("cv"));
+        }
+    }
+
+    /// Doubling the soup (self-concatenation) must still uphold every
+    /// invariant — scope recovery cannot depend on a clean prefix.
+    fn parser_survives_self_concatenation(src in soup()) {
+        let doubled = format!("{src}\n{src}");
+        check_invariants(&doubled);
+    }
+}

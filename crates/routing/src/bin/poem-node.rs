@@ -131,10 +131,10 @@ fn main() {
 
     // This binary is the live CLI front-end running against a real server
     // in real time — it is never part of a recorded/replayed pipeline.
-    // poem-lint: allow(determinism): interactive CLI runs on wall-clock time
+    // poem-lint: allow(determinism_taint): interactive CLI runs on wall-clock time
     let deadline = std::time::Instant::now() + Duration::from_secs_f64(args.duration);
     let mut last_report = 0usize;
-    // poem-lint: allow(determinism): interactive CLI runs on wall-clock time
+    // poem-lint: allow(determinism_taint): interactive CLI runs on wall-clock time
     while std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(500));
         let received = handles.received.lock().len();

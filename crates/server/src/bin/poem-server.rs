@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! poem-server <scenario.poem> [--listen 127.0.0.1:0] [--seed N] [--duration SECS]
-//!             [--sleep-policy naive|hybrid|spin]
+//!             [--sleep-policy naive|hybrid|spin|auto]
 //! ```
 //!
 //! Loads a scenario script (see `poem_server::script` for the format),
@@ -35,7 +35,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let script = PathBuf::from(args.next().ok_or(
         "usage: poem-server <scenario.poem> [--listen ADDR] [--seed N] [--duration SECS] \
-         [--sleep-policy naive|hybrid|spin]",
+         [--sleep-policy naive|hybrid|spin|auto]",
     )?);
     let mut out = Args {
         script,

@@ -107,14 +107,20 @@ impl WorkerPool {
     /// finished and re-raise the worker's panic payload on the caller
     /// rather than failing with a misleading channel error.
     fn propagate_failure(&self) -> ! {
-        let mut handles = self.handles.lock();
-        for slot in handles.iter_mut() {
-            if slot.as_ref().is_some_and(std::thread::JoinHandle::is_finished) {
-                if let Some(h) = slot.take() {
-                    if let Err(payload) = h.join() {
-                        std::panic::resume_unwind(payload);
-                    }
-                }
+        // Take the finished handles out under the lock, then join with the
+        // lock released: join() can block arbitrarily long, and a worker's
+        // panic handler must still be able to reach the pool.
+        let finished: Vec<_> = {
+            let mut handles = self.handles.lock();
+            handles
+                .iter_mut()
+                .filter(|s| s.as_ref().is_some_and(std::thread::JoinHandle::is_finished))
+                .filter_map(Option::take)
+                .collect()
+        };
+        for h in finished {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
             }
         }
         // Unreachable while the pool owns the senders: a lane only
@@ -131,13 +137,17 @@ impl Drop for WorkerPool {
         // Disconnect every lane; each worker's recv() then errors and its
         // loop exits.
         self.jobs.clear();
-        let mut handles = self.handles.lock();
-        for slot in handles.iter_mut() {
-            if let Some(h) = slot.take() {
-                // A panicked worker already surfaced through the batch
-                // path; don't double-panic during unwind.
-                let _ = h.join();
-            }
+        // Drain under the lock, join outside it: joining with the pool
+        // mutex held would stall anyone probing the pool while the last
+        // workers wind down.
+        let taken: Vec<_> = {
+            let mut handles = self.handles.lock();
+            handles.iter_mut().filter_map(Option::take).collect()
+        };
+        for h in taken {
+            // A panicked worker already surfaced through the batch
+            // path; don't double-panic during unwind.
+            let _ = h.join();
         }
     }
 }

@@ -241,7 +241,7 @@ impl Pipeline {
         self.latency_sample_tick = self.latency_sample_tick.wrapping_add(1);
         // The sampled wall-clock duration feeds a latency histogram and
         // never influences a pipeline decision, so replay is unaffected.
-        // poem-lint: allow(determinism): observability-only latency sample
+        // poem-lint: allow(determinism_taint): observability-only latency sample
         let timer = self
             .latency_sample_tick
             .is_multiple_of(LATENCY_SAMPLE_EVERY)
