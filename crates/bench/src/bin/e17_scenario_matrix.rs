@@ -1,0 +1,105 @@
+//! Extension experiment E17: the scenario matrix — every committed
+//! scenario (`scenarios/*.poem` + `*.profile`) run under the virtual
+//! frontend with paced broadcast traffic, reporting delivery ratio and
+//! latency distribution per scenario. Fully seeded and virtual-time, so
+//! the emitted `BENCH_scenarios.json` is deterministic.
+//!
+//! Usage:
+//!   e17_scenario_matrix [--smoke] [--out PATH]   run and write the artifact
+//!   e17_scenario_matrix --check PATH             validate an existing artifact
+//!                                                (exit 1 if missing/malformed)
+
+use poem_bench::scenario_matrix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_scenarios.json");
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().cloned().unwrap_or(out),
+            "--check" => check = it.next().cloned(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check {
+        let doc = match std::fs::read_to_string(&path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("E17 check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = scenario_matrix::validate(&doc) {
+            eprintln!("E17 check: {path} is malformed: {e}");
+            std::process::exit(1);
+        }
+        println!("E17 check: {path} OK");
+        return;
+    }
+
+    let cfg = if smoke {
+        scenario_matrix::ScenarioMatrixConfig::smoke()
+    } else {
+        scenario_matrix::ScenarioMatrixConfig::full()
+    };
+    let mode = if smoke { "smoke" } else { "full" };
+    println!(
+        "E17 — scenario matrix ({mode}: {} scenarios, {} packets/node at {:.0} ms)\n",
+        scenario_matrix::SCENARIOS.len(),
+        cfg.packets,
+        cfg.interval.as_secs_f64() * 1e3
+    );
+    let report = match scenario_matrix::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("E17: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:>16} {:>6} {:>7} {:>7} {:>8} {:>9} {:>10} {:>10} {:>10} {:>9}",
+        "scenario",
+        "nodes",
+        "sent",
+        "copies",
+        "dropped",
+        "delivery",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "profiled"
+    );
+    for row in &report.rows {
+        println!(
+            "{:>16} {:>6} {:>7} {:>7} {:>8} {:>9.3} {:>10.3} {:>10.3} {:>10.3} {:>9}",
+            row.name,
+            row.nodes,
+            row.sent,
+            row.copies,
+            row.dropped,
+            row.delivery_ratio,
+            row.lat_p50_s * 1e3,
+            row.lat_p95_s * 1e3,
+            row.lat_p99_s * 1e3,
+            row.profile_decides
+        );
+    }
+
+    let json = scenario_matrix::render_json(&report);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("E17: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out}");
+    println!("Delivery ratio = forwarded copies / decided copies; latency percentiles");
+    println!("are over delivered copies. \"profiled\" counts empirical-snapshot decisions.");
+}

@@ -12,4 +12,5 @@ pub mod hotpath;
 pub mod mac;
 pub mod overhead;
 pub mod rt_fidelity;
+pub mod scenario_matrix;
 pub mod table2;

@@ -1,0 +1,401 @@
+//! Extension experiment E17 — the scenario matrix: every committed
+//! scenario of the library (`scenarios/*.poem` + `*.profile`) run under
+//! the virtual-time frontend with paced broadcast traffic on every node.
+//!
+//! The paper's future-work item is "fine-granularity performance
+//! evaluations driven by scenario scripts"; E17 is that harness over the
+//! empirical link models of `poem-profiles`. Per scenario it reports the
+//! delivery ratio (forwarded copies over decided copies) and the
+//! latency distribution of delivered copies — the curves a protocol
+//! author compares variants against. Everything is virtual-time and
+//! seeded, so the whole matrix is deterministic: CI re-runs produce the
+//! same `BENCH_scenarios.json` byte for byte.
+
+use bytes::Bytes;
+use poem_client::{ClientApp, Nic};
+use poem_core::packet::Destination;
+use poem_core::{ChannelId, EmuDuration, EmuPacket, EmuTime, NodeId};
+use poem_profiles::ProfileLibrary;
+use poem_record::TrafficRecord;
+use poem_server::script::Script;
+use poem_server::{SimConfig, SimNet};
+
+/// The committed scenario library: `(name, script text, profile text)`.
+/// Adding a scenario file under `scenarios/` and a row here is all it
+/// takes to grow the matrix.
+pub const SCENARIOS: &[(&str, &str, &str)] = &[
+    (
+        "urban_canyon",
+        include_str!("../../../../scenarios/urban_canyon.poem"),
+        include_str!("../../../../scenarios/urban_canyon.profile"),
+    ),
+    (
+        "vehicle_convoy",
+        include_str!("../../../../scenarios/vehicle_convoy.poem"),
+        include_str!("../../../../scenarios/vehicle_convoy.profile"),
+    ),
+    (
+        "disaster_relief",
+        include_str!("../../../../scenarios/disaster_relief.poem"),
+        include_str!("../../../../scenarios/disaster_relief.profile"),
+    ),
+    (
+        "drone_mesh_leo",
+        include_str!("../../../../scenarios/drone_mesh_leo.poem"),
+        include_str!("../../../../scenarios/drone_mesh_leo.profile"),
+    ),
+];
+
+/// Workload sizing for one E17 run.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrixConfig {
+    /// Packets each node broadcasts.
+    pub packets: usize,
+    /// Pacing interval between a node's sends.
+    pub interval: EmuDuration,
+    /// Payload bytes per packet.
+    pub payload: usize,
+    /// Scenario seed (pipeline RNG and, via `PROFILE_STREAM`, the
+    /// profile regime chains).
+    pub seed: u64,
+}
+
+impl ScenarioMatrixConfig {
+    /// The full matrix: 120 packets per node at 250 ms pacing — spans
+    /// every scripted event of every committed scenario.
+    pub fn full() -> Self {
+        ScenarioMatrixConfig {
+            packets: 120,
+            interval: EmuDuration::from_millis(250),
+            payload: 200,
+            seed: 17,
+        }
+    }
+
+    /// A fast configuration for CI smoke runs and tests.
+    pub fn smoke() -> Self {
+        ScenarioMatrixConfig {
+            packets: 12,
+            interval: EmuDuration::from_millis(250),
+            payload: 200,
+            seed: 17,
+        }
+    }
+}
+
+/// Per-scenario results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Scenario name.
+    pub name: String,
+    /// Nodes that hosted a sender.
+    pub nodes: usize,
+    /// Packets ingested by the pipeline.
+    pub sent: usize,
+    /// Copies forwarded (delivered).
+    pub copies: usize,
+    /// Copies dropped (loss, collision, no-route, disconnect).
+    pub dropped: usize,
+    /// `copies / (copies + dropped)`.
+    pub delivery_ratio: f64,
+    /// Median delivered-copy latency, seconds.
+    pub lat_p50_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub lat_p95_s: f64,
+    /// 99th-percentile latency, seconds.
+    pub lat_p99_s: f64,
+    /// Link decisions served by an empirical profile snapshot.
+    pub profile_decides: u64,
+}
+
+/// One E17 run's results (serialized as `BENCH_scenarios.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMatrixReport {
+    /// Packets per node.
+    pub packets_per_node: usize,
+    /// Pacing interval, seconds.
+    pub interval_s: f64,
+    /// One row per committed scenario.
+    pub rows: Vec<ScenarioRow>,
+}
+
+/// A paced broadcaster: one `payload`-byte broadcast per `interval`,
+/// `packets` times, starting one interval in.
+struct PacedSender {
+    channel: ChannelId,
+    interval: EmuDuration,
+    remaining: usize,
+    payload: usize,
+}
+
+impl ClientApp for PacedSender {
+    fn on_start(&mut self, _nic: &mut dyn Nic) -> Option<EmuDuration> {
+        Some(self.interval)
+    }
+
+    fn on_packet(&mut self, _nic: &mut dyn Nic, _pkt: EmuPacket) {}
+
+    fn on_tick(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        nic.send(self.channel, Destination::Broadcast, Bytes::from(vec![0u8; self.payload]));
+        if self.remaining > 0 {
+            Some(self.interval)
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs one scenario end to end and summarizes its record log. Errors
+/// are strings so a broken committed scenario fails the harness with a
+/// message instead of a panic.
+pub fn run_scenario(
+    name: &str,
+    script_text: &str,
+    profile_text: &str,
+    cfg: &ScenarioMatrixConfig,
+) -> Result<ScenarioRow, String> {
+    let lib =
+        ProfileLibrary::parse(profile_text).map_err(|e| format!("{name}: profile file: {e}"))?;
+    let script = Script::parse(script_text).map_err(|e| format!("{name}: script: {e}"))?;
+    let mut sim = SimNet::new(SimConfig { seed: cfg.seed, ..SimConfig::default() });
+    script
+        .install_with_profiles(&mut sim, &lib)
+        .map_err(|e| format!("{name}: profile binding: {e}"))?;
+
+    // Every node present after t = 0 hosts a paced broadcaster on its
+    // first radio's channel.
+    let roster: Vec<(NodeId, ChannelId)> = sim
+        .scene()
+        .nodes()
+        .filter_map(|v| v.radios.channels().into_iter().next().map(|ch| (v.id, ch)))
+        .collect();
+    for &(id, channel) in &roster {
+        sim.attach_app(
+            id,
+            Box::new(PacedSender {
+                channel,
+                interval: cfg.interval,
+                remaining: cfg.packets,
+                payload: cfg.payload,
+            }),
+        )
+        .map_err(|e| format!("{name}: attach to {id}: {e}"))?;
+    }
+
+    let traffic_end = cfg.interval * (cfg.packets as i64 + 2);
+    let horizon = script.end().max(EmuTime::ZERO + traffic_end) + EmuDuration::from_secs(1);
+    sim.run_until(horizon);
+
+    let traffic = sim.recorder().traffic();
+    let mut sent = 0usize;
+    let mut copies = 0usize;
+    let mut dropped = 0usize;
+    let mut lat_ns: Vec<i64> = Vec::new();
+    let mut sent_at = std::collections::BTreeMap::new();
+    for r in &traffic {
+        match r {
+            TrafficRecord::Ingress { id, sent_at: s, .. } => {
+                sent += 1;
+                sent_at.insert(id.0, *s);
+            }
+            TrafficRecord::Forward { id, at, .. } => {
+                copies += 1;
+                if let Some(s) = sent_at.get(&id.0) {
+                    lat_ns.push(at.since(*s).as_nanos());
+                }
+            }
+            TrafficRecord::Drop { .. } => dropped += 1,
+        }
+    }
+    lat_ns.sort_unstable();
+    let q = |p: f64| -> f64 {
+        if lat_ns.is_empty() {
+            return 0.0;
+        }
+        let idx = (((lat_ns.len() - 1) as f64) * p).round() as usize;
+        lat_ns[idx] as f64 / 1e9
+    };
+    let decided = copies + dropped;
+    let snap = sim.metrics();
+    Ok(ScenarioRow {
+        name: name.to_string(),
+        nodes: roster.len(),
+        sent,
+        copies,
+        dropped,
+        delivery_ratio: if decided == 0 { 0.0 } else { copies as f64 / decided as f64 },
+        lat_p50_s: q(0.5),
+        lat_p95_s: q(0.95),
+        lat_p99_s: q(0.99),
+        profile_decides: snap.counter("poem_profile_decides_total").unwrap_or(0),
+    })
+}
+
+/// Runs the whole committed matrix.
+pub fn run(cfg: &ScenarioMatrixConfig) -> Result<ScenarioMatrixReport, String> {
+    let rows = SCENARIOS
+        .iter()
+        .map(|(name, script, profiles)| run_scenario(name, script, profiles, cfg))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ScenarioMatrixReport {
+        packets_per_node: cfg.packets,
+        interval_s: cfg.interval.as_secs_f64(),
+        rows,
+    })
+}
+
+/// Scalar fields `BENCH_scenarios.json` must carry.
+const SCHEMA_FIELDS: &[&str] = &["packets_per_node", "interval_s"];
+
+/// Per-row fields each `rows[]` object must carry.
+const ROW_FIELDS: &[&str] = &[
+    "nodes",
+    "sent",
+    "copies",
+    "dropped",
+    "delivery_ratio",
+    "lat_p50_s",
+    "lat_p95_s",
+    "lat_p99_s",
+    "profile_decides",
+];
+
+/// Serializes a report as the `BENCH_scenarios.json` document.
+pub fn render_json(r: &ScenarioMatrixReport) -> String {
+    let mut s = String::from("{\n  \"experiment\": \"E17\",\n");
+    s.push_str(&format!("  \"packets_per_node\": {},\n", r.packets_per_node));
+    s.push_str(&format!("  \"interval_s\": {:.4},\n", r.interval_s));
+    s.push_str("  \"rows\": [\n");
+    for (i, row) in r.rows.iter().enumerate() {
+        let sep = if i + 1 == r.rows.len() { "\n" } else { ",\n" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"sent\": {}, \"copies\": {}, \
+             \"dropped\": {}, \"delivery_ratio\": {:.4}, \"lat_p50_s\": {:.6}, \
+             \"lat_p95_s\": {:.6}, \"lat_p99_s\": {:.6}, \"profile_decides\": {}}}{sep}",
+            row.name,
+            row.nodes,
+            row.sent,
+            row.copies,
+            row.dropped,
+            row.delivery_ratio,
+            row.lat_p50_s,
+            row.lat_p95_s,
+            row.lat_p99_s,
+            row.profile_decides
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts the numeric value following `"key":`, if present and finite.
+fn field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
+/// Schema check for a `BENCH_scenarios.json` document: the experiment
+/// tag, every scalar field, a row per committed scenario (matched by
+/// name), and numeric row fields. Deliberately does **not** gate on the
+/// measured curves — those are reviewed on the committed artifact.
+pub fn validate(json: &str) -> Result<(), String> {
+    if !json.contains("\"experiment\": \"E17\"") {
+        return Err("missing experiment tag \"E17\"".into());
+    }
+    for key in SCHEMA_FIELDS {
+        if field(json, key).is_none() {
+            return Err(format!("missing or non-numeric field \"{key}\""));
+        }
+    }
+    for (name, _, _) in SCENARIOS {
+        if !json.contains(&format!("\"name\": \"{name}\"")) {
+            return Err(format!("missing row for scenario \"{name}\""));
+        }
+    }
+    for key in ROW_FIELDS {
+        if field(json, key).is_none() {
+            return Err(format!("missing or non-numeric row field \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_committed_scenario_runs_and_uses_its_profiles() {
+        let cfg = ScenarioMatrixConfig::smoke();
+        let report = run(&cfg).expect("matrix runs");
+        assert_eq!(report.rows.len(), SCENARIOS.len());
+        for row in &report.rows {
+            assert!(row.sent > 0, "{}: no traffic ingested", row.name);
+            assert!(row.copies > 0, "{}: nothing delivered", row.name);
+            assert!(row.profile_decides > 0, "{}: empirical profiles never consulted", row.name);
+            assert!(
+                (0.0..=1.0).contains(&row.delivery_ratio),
+                "{}: ratio {}",
+                row.name,
+                row.delivery_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_is_deterministic_per_seed() {
+        let cfg = ScenarioMatrixConfig::smoke();
+        let a = run(&cfg).expect("run a");
+        let b = run(&cfg).expect("run b");
+        assert_eq!(a, b);
+        assert_eq!(render_json(&a), render_json(&b));
+        // And the seed matters: profile regimes and loss draws shift.
+        let other = run(&ScenarioMatrixConfig { seed: 18, ..cfg }).expect("run c");
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn smoke_run_emits_a_valid_document() {
+        let report = run(&ScenarioMatrixConfig::smoke()).expect("matrix runs");
+        let json = render_json(&report);
+        validate(&json).expect("smoke document validates");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"experiment\": \"E17\"}").is_err());
+        let report = ScenarioMatrixReport {
+            packets_per_node: 4,
+            interval_s: 0.25,
+            rows: SCENARIOS
+                .iter()
+                .map(|(name, _, _)| ScenarioRow {
+                    name: name.to_string(),
+                    nodes: 5,
+                    sent: 20,
+                    copies: 60,
+                    dropped: 12,
+                    delivery_ratio: 60.0 / 72.0,
+                    lat_p50_s: 0.004,
+                    lat_p95_s: 0.02,
+                    lat_p99_s: 0.05,
+                    profile_decides: 70,
+                })
+                .collect(),
+        };
+        let good = render_json(&report);
+        validate(&good).expect("good document");
+        assert!(validate(&good.replace("\"delivery_ratio\"", "\"ratio\"")).is_err());
+        assert!(validate(&good.replace("urban_canyon", "urban_canyons")).is_err());
+    }
+}

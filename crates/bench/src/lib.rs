@@ -17,5 +17,5 @@ pub mod scenes;
 
 pub use experiments::{
     cluster, energy, fault_sweep, fig10, fig2, fig3, fig5, fig6, hotpath, mac, overhead,
-    rt_fidelity, table2,
+    rt_fidelity, scenario_matrix, table2,
 };

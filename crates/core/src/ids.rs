@@ -78,6 +78,35 @@ impl fmt::Display for RadioId {
     }
 }
 
+/// Identifier of an empirical link profile in a scenario's profile library.
+///
+/// Profiles are declared by name in committed profile files; the library
+/// interns each name to a dense index so scene state stays `Copy` and the
+/// `.poemlog` serialization never embeds strings. `ProfileId(3)` is only
+/// meaningful relative to the library the scenario loaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProfileId(pub u32);
+
+impl ProfileId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProfileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profile#{}", self.0)
+    }
+}
+
+impl From<u32> for ProfileId {
+    fn from(v: u32) -> Self {
+        ProfileId(v)
+    }
+}
+
 /// Globally unique identifier of an emulated packet.
 ///
 /// Assigned by the originating client; used by the recorder to correlate the
@@ -133,5 +162,7 @@ mod tests {
         assert_eq!(ChannelId::from(3u16).index(), 3);
         assert_eq!(RadioId(1).index(), 1);
         assert_eq!(PacketId(9).raw(), 9);
+        assert_eq!(ProfileId::from(5u32).index(), 5);
+        assert_eq!(ProfileId(5).to_string(), "profile#5");
     }
 }

@@ -85,8 +85,8 @@ pub mod time;
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use energy::{EnergyBook, PowerProfile};
 pub use geom::Point;
-pub use ids::{ChannelId, NodeId, PacketId, RadioId};
-pub use linkmodel::{BandwidthModel, DelayModel, LinkModel, LossModel};
+pub use ids::{ChannelId, NodeId, PacketId, ProfileId, RadioId};
+pub use linkmodel::{BandwidthModel, DelayModel, LinkModel, LinkSnapshot, LossModel};
 pub use mac::{CollisionDomain, MacModel};
 pub use mobility::{FieldSpec, MobilityModel, MobilityState};
 pub use neighbor::{ChannelIndexedTables, NeighborTables, UnifiedTable};

@@ -16,6 +16,7 @@
 //! The server forwards a packet at
 //! `t_forward = t_receipt + packet_size/bandwidth + delay` (§3.2 step 3).
 
+use crate::ids::ProfileId;
 use crate::rng::EmuRng;
 use crate::time::EmuDuration;
 use serde::{Deserialize, Serialize};
@@ -231,6 +232,44 @@ impl Default for LinkModel {
     }
 }
 
+/// A link's quality at one instant, as produced by an empirical profile
+/// backend (windowed trace row or Markov regime state).
+///
+/// Unlike [`LinkModel`], a snapshot is distance-free: the profile already
+/// encodes the environment (urban canyon shadowing, convoy underpass, LEO
+/// handover outage), so the emulator only gates on reachability (neighbor
+/// table + tuned radio) and then applies the snapshot's constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSnapshot {
+    /// Packet-loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Link rate, bits/second.
+    pub bps: f64,
+    /// One-way propagation delay.
+    pub delay: EmuDuration,
+}
+
+impl LinkSnapshot {
+    /// The forward span for `bytes`: `size/bps + delay`, saturating when
+    /// the snapshot reports a dead link (`bps ≤ 0`).
+    pub fn forward_delay(&self, bytes: usize) -> EmuDuration {
+        if self.bps <= 0.0 {
+            return EmuDuration::from_secs(i64::MAX / 2_000_000_000);
+        }
+        EmuDuration::from_secs_f64((bytes as f64 * 8.0) / self.bps) + self.delay
+    }
+
+    /// Step-3 decision under this snapshot: Bernoulli loss draw, then the
+    /// forward span for survivors.
+    pub fn decide(&self, bytes: usize, rng: &mut EmuRng) -> ForwardDecision {
+        if rng.chance(self.loss.clamp(0.0, 1.0)) {
+            ForwardDecision::Drop
+        } else {
+            ForwardDecision::ForwardAfter(self.forward_delay(bytes))
+        }
+    }
+}
+
 /// Range-free link parameters as configured on the GUI (§4.3.3 lists
 /// `P1, P0, D0, R, M, m` as the configurable set).
 ///
@@ -253,6 +292,12 @@ pub struct LinkParams {
     pub min_bps: f64,
     /// Propagation-delay component.
     pub delay: DelayModel,
+    /// When set, an empirical profile overrides the analytic models for
+    /// this node's transmissions: the pipeline asks its profile book for a
+    /// [`LinkSnapshot`] at the transmission instant instead of calling
+    /// [`LinkParams::with_range`]. `None` (the default everywhere) keeps
+    /// the paper's distance-driven models.
+    pub profile: Option<ProfileId>,
 }
 
 impl LinkParams {
@@ -265,6 +310,7 @@ impl LinkParams {
             max_bps: bps,
             min_bps: bps,
             delay: DelayModel::none(),
+            profile: None,
         }
     }
 
@@ -277,6 +323,7 @@ impl LinkParams {
             max_bps: 11.0e6,
             min_bps: 11.0e6,
             delay: DelayModel::none(),
+            profile: None,
         }
     }
 
@@ -443,6 +490,54 @@ mod tests {
         let b = BandwidthModel { max_bps: 0.0, min_bps: 0.0, range: 100.0 };
         let t = b.transmission_time(100, 10.0);
         assert!(t.as_nanos() > 0); // saturated, not panicked
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_forward_delay_is_size_over_rate_plus_delay() {
+        let s = LinkSnapshot {
+            loss: 0.0,
+            bps: 8e6, // 1 byte/µs
+            delay: EmuDuration::from_millis(2),
+        };
+        assert_eq!(
+            s.forward_delay(1000),
+            EmuDuration::from_micros(1000) + EmuDuration::from_millis(2)
+        );
+    }
+
+    #[test]
+    fn dead_snapshot_saturates_instead_of_dividing_by_zero() {
+        let s = LinkSnapshot { loss: 0.0, bps: 0.0, delay: EmuDuration::ZERO };
+        assert!(s.forward_delay(100).as_nanos() > 0);
+    }
+
+    #[test]
+    fn snapshot_loss_is_clamped_and_certain_at_one() {
+        let mut rng = EmuRng::seed(4);
+        let s = LinkSnapshot { loss: 7.5, bps: 1e6, delay: EmuDuration::ZERO };
+        for _ in 0..50 {
+            assert_eq!(s.decide(100, &mut rng), ForwardDecision::Drop);
+        }
+        let clean = LinkSnapshot { loss: -1.0, bps: 1e6, delay: EmuDuration::ZERO };
+        for _ in 0..50 {
+            assert!(matches!(clean.decide(100, &mut rng), ForwardDecision::ForwardAfter(_)));
+        }
+    }
+
+    #[test]
+    fn snapshot_empirical_drop_rate_matches_loss() {
+        let s = LinkSnapshot { loss: 0.3, bps: 1e6, delay: EmuDuration::ZERO };
+        let mut rng = EmuRng::seed(5);
+        let n = 40_000;
+        let drops =
+            (0..n).filter(|_| matches!(s.decide(10, &mut rng), ForwardDecision::Drop)).count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
     }
 }
 

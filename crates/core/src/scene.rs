@@ -18,7 +18,7 @@
 //! model.
 
 use crate::geom::Point;
-use crate::ids::{ChannelId, NodeId, RadioId};
+use crate::ids::{ChannelId, NodeId, ProfileId, RadioId};
 use crate::linkmodel::{ForwardDecision, LinkParams};
 use crate::mobility::{Arena, MobilityModel, MobilityState};
 use crate::neighbor::{ChannelIndexedTables, NeighborTables};
@@ -129,6 +129,15 @@ pub enum SceneOp {
         /// New parameters.
         params: LinkParams,
     },
+    /// Binds a node's transmissions to an empirical link profile (or back
+    /// to the analytic models with `None`). The id refers into the
+    /// scenario's profile library.
+    SetLinkProfile {
+        /// Target node.
+        id: NodeId,
+        /// Profile to drive this node's links, or `None` for analytic.
+        profile: Option<ProfileId>,
+    },
     /// Installs or clears the arena bounds.
     SetArena {
         /// New arena, or `None` for an unbounded plane.
@@ -151,6 +160,12 @@ impl fmt::Display for SceneOp {
             SceneOp::SetRadios { id, .. } => write!(f, "reconfigure radios of {id}"),
             SceneOp::SetMobility { id, .. } => write!(f, "set mobility of {id}"),
             SceneOp::SetLinkParams { id, .. } => write!(f, "set link params of {id}"),
+            SceneOp::SetLinkProfile { id, profile: Some(p) } => {
+                write!(f, "bind {id} to {p}")
+            }
+            SceneOp::SetLinkProfile { id, profile: None } => {
+                write!(f, "unbind link profile of {id}")
+            }
             SceneOp::SetArena { .. } => write!(f, "set arena"),
         }
     }
@@ -303,6 +318,11 @@ impl Scene {
                 v.link = *params;
                 Ok(())
             }
+            SceneOp::SetLinkProfile { id, profile } => {
+                let v = self.nodes.get_mut(id).ok_or(SceneError::UnknownNode(*id))?;
+                v.link.profile = *profile;
+                Ok(())
+            }
             SceneOp::SetArena { arena } => {
                 self.arena = *arena;
                 Ok(())
@@ -406,6 +426,23 @@ impl Scene {
         let range = s.radios.range_on(channel)?;
         let r = s.pos.distance(d.pos);
         Some(s.link.with_range(range).decide(bytes, r, rng))
+    }
+
+    /// The profile bound to `src`'s transmissions, if any.
+    pub fn link_profile(&self, src: NodeId) -> Option<ProfileId> {
+        self.nodes.get(&src).and_then(|v| v.link.profile)
+    }
+
+    /// Reachability gate for a profile-driven transmission: `Some(r)` when
+    /// both endpoints exist and the sender is tuned on `channel` — the same
+    /// preconditions [`Scene::decide`] enforces before consulting the
+    /// analytic models. The distance is returned for diagnostics; the
+    /// profile backends are time-indexed, not distance-indexed.
+    pub fn link_gate(&self, src: NodeId, dst: NodeId, channel: ChannelId) -> Option<f64> {
+        let s = self.nodes.get(&src)?;
+        let d = self.nodes.get(&dst)?;
+        s.radios.range_on(channel)?;
+        Some(s.pos.distance(d.pos))
     }
 
     /// Steps 2+3 for a whole packet: routes it and returns, per reachable
@@ -682,6 +719,37 @@ mod tests {
         let mut rng = EmuRng::seed(4);
         s.advance_mobility(EmuTime::from_secs(10), &mut rng);
         assert_eq!(s.node(NodeId(1)).unwrap().pos, Point::new(50.0, 25.0));
+    }
+
+    #[test]
+    fn link_profile_binding_round_trips_through_ops() {
+        let mut s = Scene::new();
+        add(&mut s, 1, 0.0, 0.0, 1, 100.0);
+        assert_eq!(s.link_profile(NodeId(1)), None);
+        s.apply(
+            EmuTime::ZERO,
+            &SceneOp::SetLinkProfile { id: NodeId(1), profile: Some(crate::ProfileId(2)) },
+        )
+        .unwrap();
+        assert_eq!(s.link_profile(NodeId(1)), Some(crate::ProfileId(2)));
+        s.apply(EmuTime::ZERO, &SceneOp::SetLinkProfile { id: NodeId(1), profile: None }).unwrap();
+        assert_eq!(s.link_profile(NodeId(1)), None);
+        assert_eq!(
+            s.apply(EmuTime::ZERO, &SceneOp::SetLinkProfile { id: NodeId(9), profile: None }),
+            Err(SceneError::UnknownNode(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn link_gate_mirrors_decide_preconditions() {
+        let mut s = Scene::new();
+        add(&mut s, 1, 0.0, 0.0, 1, 100.0);
+        add(&mut s, 2, 60.0, 0.0, 1, 100.0);
+        assert_eq!(s.link_gate(NodeId(1), NodeId(2), ChannelId(1)), Some(60.0));
+        // Same None cases as decide: missing node, untuned channel.
+        assert!(s.link_gate(NodeId(1), NodeId(9), ChannelId(1)).is_none());
+        assert!(s.link_gate(NodeId(9), NodeId(2), ChannelId(1)).is_none());
+        assert!(s.link_gate(NodeId(1), NodeId(2), ChannelId(7)).is_none());
     }
 
     #[test]

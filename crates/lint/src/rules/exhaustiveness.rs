@@ -28,6 +28,12 @@ const CHECKS: &[(&str, &str, &[&str])] = &[
         &["crates/server/src/script.rs", "crates/server/src/sim.rs"],
     ),
     ("crates/core/src/sleep.rs", "SleepPolicy", &["crates/server/src/server.rs"]),
+    (
+        "crates/core/src/scene.rs",
+        "SceneOp",
+        &["crates/core/src/scene.rs", "crates/record/src/scenestats.rs"],
+    ),
+    ("crates/profiles/src/model.rs", "LinkProfile", &["crates/profiles/src/model.rs"]),
 ];
 
 impl super::Rule for Exhaustiveness {

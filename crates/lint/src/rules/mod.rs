@@ -89,6 +89,7 @@ pub(crate) fn determinism_scope(rel: &str) -> bool {
         || rel.starts_with("crates/routing/src/")
         || rel.starts_with("crates/record/src/")
         || rel.starts_with("crates/chaos/src/")
+        || rel.starts_with("crates/profiles/src/")
         || matches!(
             rel,
             "crates/server/src/sim.rs"
@@ -108,6 +109,7 @@ pub(crate) fn panic_scope(rel: &str) -> bool {
                 | "crates/server/src/engine.rs"
                 | "crates/server/src/cluster.rs"
                 | "crates/server/src/sim.rs"
+                | "crates/profiles/src/parser.rs"
         )
 }
 

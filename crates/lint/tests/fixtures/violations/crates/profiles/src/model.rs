@@ -1,0 +1,12 @@
+#[derive(Serialize)]
+pub enum LinkProfile {
+    Trace(TraceProfile),
+    Markov(MarkovProfile),
+}
+
+pub fn kind(p: &LinkProfile) -> &'static str {
+    match p {
+        LinkProfile::Trace(_) => "trace",
+        _ => "markov",
+    }
+}

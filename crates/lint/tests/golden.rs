@@ -41,6 +41,8 @@ fn violations_fixture_hits_every_rule_and_exits_nonzero() {
             ("determinism_taint", "crates/core/src/clock.rs", 4),
             ("determinism", "crates/core/src/neighbor.rs", 10),
             ("exhaustiveness", "crates/core/src/sleep.rs", 5),
+            ("exhaustiveness", "crates/profiles/src/model.rs", 2),
+            ("exhaustiveness", "crates/profiles/src/model.rs", 4),
             ("panic_safety", "crates/proto/src/codec.rs", 2),
             ("panic_safety", "crates/proto/src/codec.rs", 2),
             ("exhaustiveness", "crates/proto/src/messages.rs", 5),

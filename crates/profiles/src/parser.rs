@@ -1,0 +1,522 @@
+//! The committed profile file format and its hand-rolled, panic-free
+//! parser.
+//!
+//! Profile files are line-oriented text, `#` comments and blank lines
+//! ignored. Each file declares one or more named profiles:
+//!
+//! ```text
+//! # A regime-switching chain: dwell in seconds, one `state` line per
+//! # regime with its link quality and outgoing transition row.
+//! profile canyon_nlos markov dwell 0.5
+//! state good     loss 0.02 bps 6e6   delay 0.004 -> good 0.85 degraded 0.13 outage 0.02
+//! state degraded loss 0.25 bps 1.5e6 delay 0.012 -> good 0.25 degraded 0.60 outage 0.15
+//! state outage   loss 0.95 bps 2e5   delay 0.050 -> good 0.10 degraded 0.45 outage 0.45
+//! end
+//!
+//! # A windowed trace, optionally looping with a fixed period.
+//! profile overpass trace loop 12
+//! at 0 loss 0.05 bps 4e6 delay 0.003
+//! at 4 loss 0.30 bps 9e5 delay 0.020
+//! at 8 loss 0.08 bps 3e6 delay 0.005
+//! end
+//! ```
+//!
+//! Every malformed input is a structured [`ProfileError`] carrying the
+//! 1-based source line — the parser never panics, whatever the bytes.
+
+use crate::model::{LinkProfile, MarkovProfile, MarkovState, TraceProfile, TraceRow};
+use crate::ProfileLibrary;
+use poem_core::{EmuDuration, LinkSnapshot};
+use std::fmt;
+
+/// Minimum Markov dwell: bounds cached regime steps per emulated second.
+pub const MIN_DWELL: EmuDuration = EmuDuration::from_millis(1);
+
+/// A profile-file syntax or validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profile line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ProfileError> {
+    Err(ProfileError { line, message: message.into() })
+}
+
+/// Parses one profile file into `(name, profile)` pairs in declaration
+/// order.
+pub fn parse_profiles(text: &str) -> Result<Vec<(String, LinkProfile)>, ProfileError> {
+    let mut out: Vec<(String, LinkProfile)> = Vec::new();
+    let mut block: Option<Block> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = match raw.find('#') {
+            Some(cut) => raw.get(..cut).unwrap_or(""),
+            None => raw,
+        }
+        .trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        match (block.take(), toks.as_slice()) {
+            (Some(b), ["profile", ..]) => {
+                return err(
+                    line,
+                    format!("`profile` inside unterminated block `{}` (missing `end`)", b.name()),
+                );
+            }
+            (None, ["profile", name, rest @ ..]) => {
+                check_name(line, name)?;
+                if out.iter().any(|(n, _)| n == name) {
+                    return err(line, format!("duplicate profile `{name}`"));
+                }
+                block = Some(open_block(line, name, rest)?);
+            }
+            (Some(b), ["end"]) => out.push(b.finish(line)?),
+            (None, ["end"]) => return err(line, "`end` without an open `profile` block"),
+            (Some(Block::Markov(mut b)), ["state", name, rest @ ..]) => {
+                check_name(line, name)?;
+                if b.states.iter().any(|s| s.name == *name) {
+                    return err(line, format!("duplicate state `{name}`"));
+                }
+                b.states.push(parse_state(line, name, rest)?);
+                block = Some(Block::Markov(b));
+            }
+            (Some(Block::Trace(mut b)), ["at", rest @ ..]) => {
+                let row = parse_row(line, rest)?;
+                if b.rows.last().is_some_and(|prev| prev.at >= row.at) {
+                    return err(line, "trace rows must have strictly increasing `at` times");
+                }
+                b.rows.push(row);
+                block = Some(Block::Trace(b));
+            }
+            (Some(Block::Markov(_)), ["at", ..]) => {
+                return err(line, "`at` row inside a markov block (expected `state`)");
+            }
+            (Some(Block::Trace(_)), ["state", ..]) => {
+                return err(line, "`state` inside a trace block (expected `at`)");
+            }
+            (None, [word, ..]) => {
+                return err(line, format!("unknown directive `{word}` (expected `profile`)"));
+            }
+            (Some(b), [word, ..]) => {
+                return err(
+                    line,
+                    format!("unknown directive `{word}` inside a {} block", b.kind()),
+                );
+            }
+            (b, []) => {
+                block = b;
+                continue;
+            }
+        }
+    }
+    if let Some(b) = block {
+        return err(text.lines().count().max(1), format!("unterminated profile `{}`", b.name()));
+    }
+    Ok(out)
+}
+
+impl ProfileLibrary {
+    /// Parses a profile file into a fresh library.
+    pub fn parse(text: &str) -> Result<Self, ProfileError> {
+        let mut lib = ProfileLibrary::new();
+        lib.merge_text(text)?;
+        Ok(lib)
+    }
+
+    /// Parses several profile files (e.g. one per scenario) into one
+    /// library; names must stay unique across all of them.
+    pub fn parse_many(texts: &[&str]) -> Result<Self, ProfileError> {
+        let mut lib = ProfileLibrary::new();
+        for text in texts {
+            lib.merge_text(text)?;
+        }
+        Ok(lib)
+    }
+
+    /// Parses `text` and adds its profiles to this library.
+    pub fn merge_text(&mut self, text: &str) -> Result<(), ProfileError> {
+        for (name, profile) in parse_profiles(text)? {
+            if self.insert(&name, profile).is_none() {
+                // The duplicate is across files, so point at line 1 of
+                // this one; in-file duplicates were caught with an exact
+                // line above.
+                return err(1, format!("profile `{name}` already defined by an earlier file"));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- blocks
+
+enum Block {
+    Trace(TraceBlock),
+    Markov(MarkovBlock),
+}
+
+struct TraceBlock {
+    name: String,
+    period: Option<EmuDuration>,
+    rows: Vec<TraceRow>,
+}
+
+struct MarkovBlock {
+    name: String,
+    dwell: EmuDuration,
+    states: Vec<RawState>,
+}
+
+struct RawState {
+    name: String,
+    line: usize,
+    link: LinkSnapshot,
+    next: Vec<(String, f64)>,
+}
+
+impl Block {
+    fn name(&self) -> &str {
+        match self {
+            Block::Trace(b) => &b.name,
+            Block::Markov(b) => &b.name,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Block::Trace(_) => "trace",
+            Block::Markov(_) => "markov",
+        }
+    }
+
+    fn finish(self, end_line: usize) -> Result<(String, LinkProfile), ProfileError> {
+        match self {
+            Block::Trace(b) => {
+                if b.rows.is_empty() {
+                    return err(end_line, format!("trace `{}` has no `at` rows", b.name));
+                }
+                if let (Some(p), Some(last)) = (b.period, b.rows.last()) {
+                    if p <= last.at {
+                        return err(
+                            end_line,
+                            format!(
+                                "trace `{}` loop period {}s must exceed its last row at {}s",
+                                b.name,
+                                p.as_secs_f64(),
+                                last.at.as_secs_f64()
+                            ),
+                        );
+                    }
+                }
+                Ok((b.name, LinkProfile::Trace(TraceProfile { rows: b.rows, period: b.period })))
+            }
+            Block::Markov(b) => {
+                if b.states.is_empty() {
+                    return err(end_line, format!("markov `{}` has no `state` rows", b.name));
+                }
+                let names: Vec<String> = b.states.iter().map(|s| s.name.clone()).collect();
+                let mut states = Vec::with_capacity(b.states.len());
+                for raw in &b.states {
+                    let mut next = vec![0.0; names.len()];
+                    for (target, p) in &raw.next {
+                        let Some(i) = names.iter().position(|n| n == target) else {
+                            return err(
+                                raw.line,
+                                format!(
+                                    "state `{}` transitions to unknown state `{target}`",
+                                    raw.name
+                                ),
+                            );
+                        };
+                        next[i] += *p;
+                    }
+                    let sum: f64 = next.iter().sum();
+                    if (sum - 1.0).abs() > 1e-6 {
+                        return err(
+                            raw.line,
+                            format!(
+                                "state `{}` transition probabilities sum to {sum}, expected 1",
+                                raw.name
+                            ),
+                        );
+                    }
+                    states.push(MarkovState { name: raw.name.clone(), link: raw.link, next });
+                }
+                Ok((b.name, LinkProfile::Markov(MarkovProfile { states, dwell: b.dwell })))
+            }
+        }
+    }
+}
+
+fn open_block(line: usize, name: &str, rest: &[&str]) -> Result<Block, ProfileError> {
+    match rest {
+        ["trace"] => {
+            Ok(Block::Trace(TraceBlock { name: name.to_string(), period: None, rows: Vec::new() }))
+        }
+        ["trace", "loop", p] => {
+            let period = parse_secs(line, "loop period", p)?;
+            if period <= EmuDuration::ZERO {
+                return err(line, "loop period must be positive");
+            }
+            Ok(Block::Trace(TraceBlock {
+                name: name.to_string(),
+                period: Some(period),
+                rows: Vec::new(),
+            }))
+        }
+        ["markov", "dwell", d] => {
+            let dwell = parse_secs(line, "dwell", d)?;
+            if dwell < MIN_DWELL {
+                return err(line, "dwell must be at least 0.001s");
+            }
+            Ok(Block::Markov(MarkovBlock { name: name.to_string(), dwell, states: Vec::new() }))
+        }
+        _ => err(
+            line,
+            "expected `profile <name> trace [loop <secs>]` or `profile <name> markov dwell <secs>`",
+        ),
+    }
+}
+
+fn parse_state(line: usize, name: &str, rest: &[&str]) -> Result<RawState, ProfileError> {
+    let (link, tail) = parse_link(line, rest)?;
+    let next = match tail {
+        ["->", pairs @ ..] if !pairs.is_empty() => parse_transitions(line, pairs)?,
+        _ => {
+            return err(
+                line,
+                "state needs a transition row: `-> <state> <prob> [<state> <prob> ...]`",
+            )
+        }
+    };
+    Ok(RawState { name: name.to_string(), line, link, next })
+}
+
+fn parse_row(line: usize, rest: &[&str]) -> Result<TraceRow, ProfileError> {
+    let [t, link_toks @ ..] = rest else {
+        return err(line, "expected `at <secs> loss <p> bps <bps> delay <secs>`");
+    };
+    let at = parse_secs(line, "window start", t)?;
+    if at < EmuDuration::ZERO {
+        return err(line, "window start must be ≥ 0");
+    }
+    let (link, tail) = parse_link(line, link_toks)?;
+    if !tail.is_empty() {
+        return err(line, format!("trailing tokens after trace row: `{}`", tail.join(" ")));
+    }
+    Ok(TraceRow { at, link })
+}
+
+/// Parses `loss <p> bps <bps> delay <secs>`, returning the snapshot and
+/// any remaining tokens.
+fn parse_link<'a>(
+    line: usize,
+    toks: &'a [&'a str],
+) -> Result<(LinkSnapshot, &'a [&'a str]), ProfileError> {
+    let ["loss", l, "bps", b, "delay", d, tail @ ..] = toks else {
+        return err(line, "expected `loss <p> bps <bps> delay <secs>`");
+    };
+    let loss = parse_f64(line, "loss", l)?;
+    if !(0.0..=1.0).contains(&loss) {
+        return err(line, "loss must be within [0, 1]");
+    }
+    let bps = parse_f64(line, "bps", b)?;
+    if bps < 0.0 {
+        return err(line, "bps must be ≥ 0");
+    }
+    let delay = parse_secs(line, "delay", d)?;
+    if delay < EmuDuration::ZERO {
+        return err(line, "delay must be ≥ 0");
+    }
+    Ok((LinkSnapshot { loss, bps, delay }, tail))
+}
+
+fn parse_transitions(line: usize, pairs: &[&str]) -> Result<Vec<(String, f64)>, ProfileError> {
+    if !pairs.len().is_multiple_of(2) {
+        return err(line, "transition row must be `<state> <prob>` pairs");
+    }
+    let mut out = Vec::with_capacity(pairs.len() / 2);
+    let mut it = pairs.iter();
+    while let (Some(target), Some(p)) = (it.next(), it.next()) {
+        let p = parse_f64(line, "transition probability", p)?;
+        if !(0.0..=1.0).contains(&p) {
+            return err(line, "transition probability must be within [0, 1]");
+        }
+        out.push((target.to_string(), p));
+    }
+    Ok(out)
+}
+
+fn parse_f64(line: usize, what: &str, s: &str) -> Result<f64, ProfileError> {
+    match s.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(v),
+        _ => err(line, format!("{what}: `{s}` is not a finite number")),
+    }
+}
+
+fn parse_secs(line: usize, what: &str, s: &str) -> Result<EmuDuration, ProfileError> {
+    Ok(EmuDuration::from_secs_f64(parse_f64(line, what, s)?))
+}
+
+fn check_name(line: usize, name: &str) -> Result<(), ProfileError> {
+    let ok =
+        !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if ok {
+        Ok(())
+    } else {
+        err(line, format!("invalid name `{name}` (use [A-Za-z0-9_-])"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinkProfile;
+
+    const GOOD: &str = "\
+# two backends in one file
+profile canyon markov dwell 0.5
+state good loss 0.02 bps 6e6 delay 0.004 -> good 0.85 bad 0.15
+state bad  loss 0.40 bps 5e5 delay 0.020 -> good 0.30 bad 0.70
+end
+
+profile overpass trace loop 12
+at 0 loss 0.05 bps 4e6 delay 0.003
+at 4 loss 0.30 bps 9e5 delay 0.020
+at 8 loss 0.08 bps 3e6 delay 0.005
+end
+";
+
+    #[test]
+    fn good_file_round_trips() {
+        let lib = ProfileLibrary::parse(GOOD).unwrap();
+        assert_eq!(lib.len(), 2);
+        let canyon = lib.get(lib.id_of("canyon").unwrap()).unwrap();
+        let LinkProfile::Markov(mk) = canyon else { panic!("not markov") };
+        assert_eq!(mk.states.len(), 2);
+        assert_eq!(mk.dwell, EmuDuration::from_millis(500));
+        assert!((mk.states[0].next[0] - 0.85).abs() < 1e-12);
+        let overpass = lib.get(lib.id_of("overpass").unwrap()).unwrap();
+        let LinkProfile::Trace(tr) = overpass else { panic!("not trace") };
+        assert_eq!(tr.rows.len(), 3);
+        assert_eq!(tr.period, Some(EmuDuration::from_secs(12)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("bogus\n", 1, "unknown directive `bogus`"),
+            ("end\n", 1, "`end` without"),
+            ("profile x trace\nend\n", 2, "no `at` rows"),
+            ("profile x markov dwell 0.5\nend\n", 2, "no `state` rows"),
+            ("profile x markov dwell 0\n", 1, "dwell must be at least"),
+            ("profile x trace loop 0\n", 1, "loop period must be positive"),
+            ("profile x trace loop nan\n", 1, "not a finite number"),
+            ("profile bad~name trace\n", 1, "invalid name"),
+            ("profile x trace\nat 0 loss 2 bps 1e6 delay 0\nend\n", 2, "loss must be within"),
+            ("profile x trace\nat 0 loss 0.1 bps -3 delay 0\nend\n", 2, "bps must be ≥ 0"),
+            ("profile x trace\nat 0 loss 0.1 bps 1e6 delay -1\nend\n", 2, "delay must be ≥ 0"),
+            ("profile x trace\nat -1 loss 0.1 bps 1e6 delay 0\nend\n", 2, "window start must be"),
+            ("profile x trace\nstate g loss 0 bps 1 delay 0 -> g 1\n", 2, "`state` inside a trace"),
+            ("profile x markov dwell 0.5\nat 0 loss 0 bps 1 delay 0\n", 2, "`at` row inside"),
+            (
+                "profile x markov dwell 0.5\nstate g loss 0 bps 1e6 delay 0\nend\n",
+                2,
+                "needs a transition row",
+            ),
+            (
+                "profile x markov dwell 0.5\nstate g loss 0 bps 1e6 delay 0 -> h 1\nend\n",
+                2,
+                "unknown state `h`",
+            ),
+            (
+                "profile x markov dwell 0.5\nstate g loss 0 bps 1e6 delay 0 -> g 0.5\nend\n",
+                2,
+                "sum to 0.5",
+            ),
+            (
+                "profile x markov dwell 0.5\nstate g loss 0 bps 1e6 delay 0 -> g 1\n\
+                 state g loss 0 bps 1e6 delay 0 -> g 1\n",
+                3,
+                "duplicate state `g`",
+            ),
+            ("profile x trace\nprofile y trace\n", 2, "unterminated block `x`"),
+            ("profile x trace\n", 1, "unterminated profile `x`"),
+            ("profile x trace\nat 0 loss 0.1 bps 1e6 delay 0 extra\nend\n", 2, "trailing tokens"),
+            (
+                "profile x trace\nat 0 loss 0 bps 1e6 delay 0\nend\nprofile x trace\n",
+                4,
+                "duplicate profile `x`",
+            ),
+        ];
+        for (text, line, needle) in cases {
+            let e = ProfileLibrary::parse(text).expect_err(text);
+            assert_eq!(e.line, *line, "wrong line for {text:?}: {e}");
+            assert!(e.message.contains(needle), "missing {needle:?} in {e} for {text:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_bytes_never_panic() {
+        let hostiles = [
+            "\0\0\0",
+            "profile \u{7f}ctl trace",
+            "profile x markov dwell 1e308\nstate g loss 0 bps 1 delay 0 -> g 1\nend",
+            "at at at at",
+            "profile x trace\nat 1e309 loss 0 bps 1 delay 0\nend",
+            "profile x trace loop -0.0\nend",
+            "# only a comment",
+            "",
+            "profile x markov dwell 0.5\nstate g loss 0 bps 1 delay 0 -> g 0.5 g 0.5\nend",
+            "state orphan loss 0 bps 1 delay 0 -> orphan 1",
+            "profile x trace\nat 5 loss 0.1 bps 1e6 delay 0\nat 1 loss 0.1 bps 1e6 delay 0\nend",
+        ];
+        for text in hostiles {
+            let _ = ProfileLibrary::parse(text);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let lib = ProfileLibrary::parse(
+            "\n# header\nprofile x trace # trailing comment\nat 0 loss 0 bps 1e6 delay 0\nend\n",
+        )
+        .unwrap();
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    fn split_transition_mass_accumulates() {
+        // The same target may appear twice; mass adds up.
+        let lib = ProfileLibrary::parse(
+            "profile x markov dwell 0.5\nstate g loss 0 bps 1e6 delay 0 -> g 0.5 g 0.5\nend\n",
+        )
+        .unwrap();
+        let LinkProfile::Markov(mk) = lib.get(lib.id_of("x").unwrap()).unwrap() else {
+            panic!("not markov")
+        };
+        assert!((mk.states[0].next[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_many_spans_files_and_rejects_cross_file_duplicates() {
+        let a = "profile one trace\nat 0 loss 0 bps 1e6 delay 0\nend\n";
+        let b = "profile two trace\nat 0 loss 0 bps 1e6 delay 0\nend\n";
+        let lib = ProfileLibrary::parse_many(&[a, b]).unwrap();
+        assert_eq!(lib.len(), 2);
+        let e = ProfileLibrary::parse_many(&[a, a]).expect_err("duplicate across files");
+        assert!(e.message.contains("already defined"));
+    }
+}

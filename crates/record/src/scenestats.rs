@@ -32,6 +32,8 @@ pub struct OpHistogram {
     pub mobility: u64,
     /// Link-parameter changes.
     pub link: u64,
+    /// Link-profile (re)bindings.
+    pub profile: u64,
     /// Arena changes.
     pub arena: u64,
 }
@@ -47,6 +49,7 @@ impl OpHistogram {
             + self.radios
             + self.mobility
             + self.link
+            + self.profile
             + self.arena
     }
 }
@@ -107,6 +110,7 @@ impl SceneStats {
                 SceneOp::SetRadios { .. } => ops.radios += 1,
                 SceneOp::SetMobility { .. } => ops.mobility += 1,
                 SceneOp::SetLinkParams { .. } => ops.link += 1,
+                SceneOp::SetLinkProfile { .. } => ops.profile += 1,
                 SceneOp::SetArena { .. } => ops.arena += 1,
             }
         }

@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! poem-server <scenario.poem> [--listen 127.0.0.1:0] [--seed N] [--duration SECS]
-//!             [--sleep-policy naive|hybrid|spin|auto]
+//!             [--sleep-policy naive|hybrid|spin|auto] [--profiles FILE]
 //! ```
 //!
 //! Loads a scenario script (see `poem_server::script` for the format),
@@ -10,6 +10,10 @@
 //! server, schedules the remaining ops at their wall-clock offsets, and
 //! on exit saves the recorded traffic and scene logs next to the script
 //! (`<script>.traffic.poemlog` / `<script>.scene.poemlog`).
+//!
+//! Scripts with `profile …` bindings need a profile library: pass
+//! `--profiles FILE` or commit the library next to the script as
+//! `<script>.profile` (the default lookup).
 
 #![forbid(unsafe_code)]
 
@@ -29,13 +33,14 @@ struct Args {
     seed: u64,
     duration: Option<f64>,
     sleep_policy: SleepPolicy,
+    profiles: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let script = PathBuf::from(args.next().ok_or(
         "usage: poem-server <scenario.poem> [--listen ADDR] [--seed N] [--duration SECS] \
-         [--sleep-policy naive|hybrid|spin|auto]",
+         [--sleep-policy naive|hybrid|spin|auto] [--profiles FILE]",
     )?);
     let mut out = Args {
         script,
@@ -43,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         duration: None,
         sleep_policy: SleepPolicy::default(),
+        profiles: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -53,10 +59,37 @@ fn parse_args() -> Result<Args, String> {
                 out.duration = Some(value()?.parse().map_err(|e| format!("bad duration: {e}"))?)
             }
             "--sleep-policy" => out.sleep_policy = value()?.parse()?,
+            "--profiles" => out.profiles = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(out)
+}
+
+/// Loads the profile library a `profile …`-bearing script needs —
+/// `--profiles FILE` when given, else the committed `<script>.profile`
+/// sibling — and resolves the script's symbolic bindings against it.
+fn load_profiles(
+    args: &Args,
+    script: &Script,
+) -> Result<Option<(poem_profiles::ProfileLibrary, Vec<poem_server::script::ScriptEntry>)>, String>
+{
+    let path = match &args.profiles {
+        Some(p) => p.clone(),
+        None if script.profile_count() > 0 => args.script.with_extension("profile"),
+        None => return Ok(None),
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "script binds {} profile(s) but cannot read {}: {e}",
+            script.profile_count(),
+            path.display()
+        )
+    })?;
+    let lib = poem_profiles::ProfileLibrary::parse(&text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let resolved = script.resolve_profiles(&lib).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(Some((lib, resolved)))
 }
 
 fn main() {
@@ -82,17 +115,29 @@ fn main() {
         }
     };
 
-    // t = 0 ops form the initial scene; later ops fire live.
+    let profiles = match load_profiles(&args, &script) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    // t = 0 ops form the initial scene; later ops fire live. Resolved
+    // profile bindings join the same timeline.
+    let resolved = profiles.as_ref().map(|(_, r)| r.as_slice()).unwrap_or(&[]);
+    let mut timeline: Vec<_> = script.entries().iter().chain(resolved).cloned().collect();
+    timeline.sort_by_key(|e| e.at);
     let mut scene = Scene::new();
     let mut deferred = Vec::new();
-    for entry in script.entries() {
+    for entry in timeline {
         if entry.at == EmuTime::ZERO {
             if let Err(e) = scene.apply(EmuTime::ZERO, &entry.op) {
                 eprintln!("initial op `{}` failed: {e}", entry.op);
                 std::process::exit(2);
             }
         } else {
-            deferred.push(entry.clone());
+            deferred.push(entry);
         }
     }
 
@@ -113,6 +158,14 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some((lib, _)) = &profiles {
+        server.install_profiles(lib.clone());
+        println!(
+            "profiles: {} ({} binding(s) on the timeline)",
+            lib.names().collect::<Vec<_>>().join(", "),
+            script.profile_count()
+        );
+    }
     println!("poem-server listening on {}", server.addr());
     println!(
         "scene: {} nodes, {} deferred scenario ops, {} scheduled faults",

@@ -15,6 +15,7 @@ use poem_core::packet::Destination;
 use poem_core::scene::{Scene, SceneError, SceneOp};
 use poem_core::{EmuDuration, EmuPacket, EmuRng, EmuTime, NodeId};
 use poem_obs::{Counter, Histogram, Registry};
+use poem_profiles::{ProfileBook, ProfileLibrary};
 use poem_record::{DropReason, Recorder, SceneRecord, TrafficRecord};
 use std::sync::Arc;
 
@@ -38,6 +39,7 @@ struct PipelineMetrics {
     drops_collision: Arc<Counter>,
     drops_disconnected: Arc<Counter>,
     csma_deferrals: Arc<Counter>,
+    profile_decides: Arc<Counter>,
     ingest_latency_ns: Arc<Histogram>,
 }
 
@@ -51,6 +53,7 @@ impl PipelineMetrics {
             drops_collision: registry.counter("poem_drops_total{reason=\"collision\"}"),
             drops_disconnected: registry.counter("poem_drops_total{reason=\"disconnected\"}"),
             csma_deferrals: registry.counter("poem_csma_deferrals_total"),
+            profile_decides: registry.counter("poem_profile_decides_total"),
             ingest_latency_ns: registry.histogram("poem_ingest_latency_ns", INGEST_LATENCY_BOUNDS),
         }
     }
@@ -93,6 +96,8 @@ pub struct Pipeline {
     csma_deferrals: u64,
     registry: Arc<Registry>,
     metrics: PipelineMetrics,
+    /// Empirical link profiles, when the scenario installed a library.
+    profiles: Option<ProfileBook>,
     latency_sample_tick: u32,
     /// Reused routing buffer: steady-state ingest allocates nothing
     /// beyond the delivery vector it returns.
@@ -134,6 +139,7 @@ impl Pipeline {
             csma_deferrals: 0,
             registry,
             metrics,
+            profiles: None,
             latency_sample_tick: 0,
             route_scratch: Vec::new(),
         }
@@ -198,6 +204,19 @@ impl Pipeline {
     /// The shared recorder.
     pub fn recorder(&self) -> &Arc<Recorder> {
         &self.recorder
+    }
+
+    /// Installs an empirical profile library. `seed` must be the scenario
+    /// seed; regime chains draw from `seed ^ PROFILE_STREAM` (mixed per
+    /// link), so profile randomness never perturbs the packet RNG stream
+    /// and replay under a fixed seed stays byte-identical.
+    pub fn install_profiles(&mut self, library: ProfileLibrary, seed: u64) {
+        self.profiles = Some(ProfileBook::new(library, seed));
+    }
+
+    /// The installed profile book, if any.
+    pub fn profile_book(&self) -> Option<&ProfileBook> {
+        self.profiles.as_ref()
     }
 
     /// Applies a scene operation at `at`, recording it on success — the
@@ -285,8 +304,32 @@ impl Pipeline {
             return Vec::new();
         }
         let mut out = Vec::with_capacity(targets.len());
+        // When the sender is bound to an empirical profile (and a library
+        // is installed), link quality comes from the profile's snapshot at
+        // the transmission instant instead of the analytic distance ramps.
+        // The loss Bernoulli still draws from the pipeline RNG — exactly
+        // one draw per reachable target, same as the analytic path — so a
+        // scenario replays byte-identically whichever backend decides.
+        let sender_profile = self.scene.link_profile(pkt.src);
         for &to in &targets {
-            match self.scene.decide(pkt.src, to, pkt.channel, pkt.wire_size(), &mut self.rng) {
+            let profiled = match (sender_profile, self.profiles.as_mut()) {
+                (Some(pid), Some(book)) => self
+                    .scene
+                    .link_gate(pkt.src, to, pkt.channel)
+                    .and_then(|_| book.snapshot(pid, pkt.src, to, base))
+                    .map(|snap| {
+                        self.metrics.profile_decides.inc();
+                        snap.decide(pkt.wire_size(), &mut self.rng)
+                    }),
+                // No profile bound (or no library / unknown id): fall back
+                // to the analytic models below.
+                _ => None,
+            };
+            let decision = match profiled {
+                Some(d) => Some(d),
+                None => self.scene.decide(pkt.src, to, pkt.channel, pkt.wire_size(), &mut self.rng),
+            };
+            match decision {
                 Some(ForwardDecision::ForwardAfter(d)) => {
                     // MAC collision test at the receiver.
                     if let Some(tx) = tx.as_ref() {
@@ -498,6 +541,103 @@ mod tests {
         let out = p.ingest(&pkt(1, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
         assert!(out.is_empty());
         assert!(matches!(rec.traffic()[1], TrafficRecord::Drop { reason: DropReason::Loss, .. }));
+    }
+
+    fn lib_one_trace(name: &str, loss: f64, bps: f64, delay_s: f64) -> ProfileLibrary {
+        ProfileLibrary::parse(&format!(
+            "profile {name} trace\nat 0 loss {loss} bps {bps} delay {delay_s}\nend\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_snapshot_overrides_the_analytic_models() {
+        // Analytic params say 100 % loss; the bound profile says 0 % at
+        // 8 Mbps + 2 ms. The profile must win for the bound sender.
+        let link = LinkParams { p0: 1.0, p1: 1.0, d0: 0.0, ..LinkParams::ideal(1e6) };
+        let mut scene = scene_two_nodes(link);
+        scene
+            .apply(
+                EmuTime::ZERO,
+                &SceneOp::SetLinkProfile { id: NodeId(1), profile: Some(poem_core::ProfileId(0)) },
+            )
+            .unwrap();
+        let mut p = Pipeline::new(scene, Arc::new(Recorder::new()), EmuRng::seed(1));
+        p.install_profiles(lib_one_trace("clean", 0.0, 8e6, 0.002), 1);
+        let sent = EmuTime::from_millis(100);
+        let out = p.ingest(&pkt(1, Destination::Broadcast, sent), sent);
+        assert_eq!(out.len(), 1);
+        // 1000 B at 8 Mbps = 1 ms serialization + 2 ms profile delay.
+        assert_eq!(out[0].fire_at, sent + EmuDuration::from_millis(3));
+        assert_eq!(p.metrics_registry().snapshot().counter("poem_profile_decides_total"), Some(1));
+    }
+
+    #[test]
+    fn profile_outage_drops_what_analytic_models_would_forward() {
+        let mut scene = scene_two_nodes(LinkParams::ideal(8e6));
+        scene
+            .apply(
+                EmuTime::ZERO,
+                &SceneOp::SetLinkProfile { id: NodeId(1), profile: Some(poem_core::ProfileId(0)) },
+            )
+            .unwrap();
+        let rec = Arc::new(Recorder::new());
+        let mut p = Pipeline::new(scene, Arc::clone(&rec), EmuRng::seed(1));
+        p.install_profiles(lib_one_trace("outage", 1.0, 8e6, 0.0), 1);
+        let out = p.ingest(&pkt(1, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
+        assert!(out.is_empty());
+        assert!(matches!(rec.traffic()[1], TrafficRecord::Drop { reason: DropReason::Loss, .. }));
+    }
+
+    #[test]
+    fn unbound_or_unknown_profile_falls_back_to_analytic_models() {
+        // A library is installed but the sender is not bound: analytic
+        // ideal link forwards at its own 1 ms serialization time.
+        let mut p = Pipeline::new(
+            scene_two_nodes(LinkParams::ideal(8e6)),
+            Arc::new(Recorder::new()),
+            EmuRng::seed(1),
+        );
+        p.install_profiles(lib_one_trace("outage", 1.0, 8e6, 0.0), 1);
+        let out = p.ingest(&pkt(1, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fire_at, EmuTime::from_millis(1));
+
+        // Bound to an id the library does not have: same fallback.
+        let mut scene = scene_two_nodes(LinkParams::ideal(8e6));
+        scene
+            .apply(
+                EmuTime::ZERO,
+                &SceneOp::SetLinkProfile { id: NodeId(1), profile: Some(poem_core::ProfileId(9)) },
+            )
+            .unwrap();
+        let mut p = Pipeline::new(scene, Arc::new(Recorder::new()), EmuRng::seed(1));
+        p.install_profiles(lib_one_trace("outage", 1.0, 8e6, 0.0), 1);
+        let out = p.ingest(&pkt(1, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
+        assert_eq!(out.len(), 1, "unknown profile id must fall back, not drop");
+        assert_eq!(p.metrics_registry().snapshot().counter("poem_profile_decides_total"), Some(0));
+    }
+
+    #[test]
+    fn profile_decides_preserve_reachability_gating() {
+        // The bound profile says the link is perfect, but the peer is out
+        // of radio range: the gate (reachability) still rules, exactly as
+        // for the analytic models, so binding a profile can never create
+        // links the scene does not have.
+        let mut scene = scene_two_nodes(LinkParams::ideal(8e6));
+        scene
+            .apply(EmuTime::ZERO, &SceneOp::MoveNode { id: NodeId(2), pos: Point::new(500.0, 0.0) })
+            .unwrap();
+        scene
+            .apply(
+                EmuTime::ZERO,
+                &SceneOp::SetLinkProfile { id: NodeId(1), profile: Some(poem_core::ProfileId(0)) },
+            )
+            .unwrap();
+        let mut p = Pipeline::new(scene, Arc::new(Recorder::new()), EmuRng::seed(1));
+        p.install_profiles(lib_one_trace("clean", 0.0, 8e6, 0.0), 1);
+        let out = p.ingest(&pkt(1, Destination::Broadcast, EmuTime::ZERO), EmuTime::ZERO);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -29,6 +29,11 @@
 //! * `loss <node> p0 <v> p1 <v> d0 <v>` — Table-3-style loss parameters
 //! * `bandwidth <node> max <bps> min <bps>`
 //! * `arena <width> <height>`
+//! * `profile <node> <name>` / `profile <node> none` — bind (or unbind)
+//!   an empirical link profile from the scenario's profile library
+//!   (`poem-profiles`) to the node's outgoing links. Names are resolved
+//!   by [`Script::resolve_profiles`]; an unknown name is a structured
+//!   error carrying the binding's line number.
 //!
 //! Fault-injection commands (`poem-chaos`) schedule entries of the
 //! script's [`FaultPlan`] rather than scene ops:
@@ -64,17 +69,34 @@ pub struct ScriptEntry {
     pub op: SceneOp,
 }
 
-/// A parsed scenario script, time-ordered. Scene entries and the fault
-/// plan are kept separate: ops drive the scene, faults drive `poem-chaos`.
+/// One `profile <node> <name|none>` line, kept symbolic until a
+/// [`poem_profiles::ProfileLibrary`] is available to resolve the name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileBinding {
+    /// When the binding fires.
+    pub at: EmuTime,
+    /// The node whose outgoing links switch backend.
+    pub node: NodeId,
+    /// The profile name, or `None` for `none` (back to analytic models).
+    pub name: Option<String>,
+    /// 1-based script line, for resolution errors.
+    pub line: usize,
+}
+
+/// A parsed scenario script, time-ordered. Scene entries, profile
+/// bindings, and the fault plan are kept separate: ops drive the scene,
+/// bindings resolve against a profile library, faults drive `poem-chaos`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Script {
     entries: Vec<ScriptEntry>,
+    bindings: Vec<ProfileBinding>,
     faults: FaultPlan,
 }
 
 /// What one script line parsed into.
 enum Parsed {
     Scene(ScriptEntry),
+    Profile(ProfileBinding),
     Fault(EmuTime, FaultKind),
 }
 
@@ -147,6 +169,7 @@ impl Script {
     /// ```
     pub fn parse(text: &str) -> Result<Script, ParseError> {
         let mut entries = Vec::new();
+        let mut bindings = Vec::new();
         let mut faults = FaultPlan::new();
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
@@ -156,13 +179,15 @@ impl Script {
             }
             match Self::parse_line(line, line_no)? {
                 Parsed::Scene(entry) => entries.push(entry),
+                Parsed::Profile(binding) => bindings.push(binding),
                 Parsed::Fault(at, kind) => {
                     faults.push(at, kind);
                 }
             }
         }
         entries.sort_by_key(|e| e.at);
-        Ok(Script { entries, faults })
+        bindings.sort_by_key(|b| b.at);
+        Ok(Script { entries, bindings, faults })
     }
 
     fn parse_line(line: &str, n: usize) -> Result<Parsed, ParseError> {
@@ -178,6 +203,27 @@ impl Script {
         let args = &toks[3..];
         if toks[2] == "fault" {
             return Ok(Parsed::Fault(at, Self::parse_fault(args, n)?));
+        }
+        if toks[2] == "profile" {
+            let [node, name] = args else {
+                return Err(err(n, "usage: profile <node> <name|none>"));
+            };
+            let node = parse_node(node, n)?;
+            let name = match *name {
+                "none" => None,
+                tok if !tok.is_empty()
+                    && tok.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') =>
+                {
+                    Some(tok.to_string())
+                }
+                tok => {
+                    return Err(err(
+                        n,
+                        format!("bad profile name `{tok}` (want [A-Za-z0-9_-]+ or `none`)"),
+                    ))
+                }
+            };
+            return Ok(Parsed::Profile(ProfileBinding { at, node, name, line: n }));
         }
         let op = match toks[2] {
             "add" => Self::parse_add(args, n)?,
@@ -409,6 +455,45 @@ impl Script {
         &self.faults
     }
 
+    /// The symbolic profile bindings parsed from `profile …` lines,
+    /// time-ordered (empty when none).
+    pub fn profile_bindings(&self) -> &[ProfileBinding] {
+        &self.bindings
+    }
+
+    /// Profile-binding count.
+    pub fn profile_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Resolves every `profile` binding against `lib` into scene ops,
+    /// time-ordered. An unknown profile name is a [`ParseError`] carrying
+    /// the offending binding's script line, so scenario authors get the
+    /// same structured diagnostics as for syntax errors.
+    pub fn resolve_profiles(
+        &self,
+        lib: &poem_profiles::ProfileLibrary,
+    ) -> Result<Vec<ScriptEntry>, ParseError> {
+        self.bindings
+            .iter()
+            .map(|b| {
+                let profile = match &b.name {
+                    None => None,
+                    Some(name) => Some(lib.id_of(name).ok_or_else(|| {
+                        err(
+                            b.line,
+                            format!(
+                                "unknown profile `{name}` (library has: {})",
+                                lib.names().collect::<Vec<_>>().join(", ")
+                            ),
+                        )
+                    })?),
+                };
+                Ok(ScriptEntry { at: b.at, op: SceneOp::SetLinkProfile { id: b.node, profile } })
+            })
+            .collect()
+    }
+
     /// Scene-entry count (`fault` lines are counted by [`Self::fault_count`]).
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -419,21 +504,25 @@ impl Script {
         self.faults.len()
     }
 
-    /// True with no entries and no faults.
+    /// True with no entries, no profile bindings, and no faults.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty() && self.faults.is_empty()
+        self.entries.is_empty() && self.bindings.is_empty() && self.faults.is_empty()
     }
 
-    /// The last scheduled time — scene op or fault, whichever is later
-    /// (useful for picking a run end).
+    /// The last scheduled time — scene op, profile binding, or fault,
+    /// whichever is later (useful for picking a run end).
     pub fn end(&self) -> EmuTime {
         let scene_end = self.entries.last().map(|e| e.at).unwrap_or(EmuTime::ZERO);
-        scene_end.max(self.faults.end())
+        let binding_end = self.bindings.last().map(|b| b.at).unwrap_or(EmuTime::ZERO);
+        scene_end.max(binding_end).max(self.faults.end())
     }
 
     /// Installs every entry into a [`crate::sim::SimNet`] as scheduled
     /// ops (entries at t = 0 apply immediately), then installs the fault
     /// plan into the net's chaos engine.
+    ///
+    /// `profile` bindings are *not* installed here — they need a library
+    /// to resolve against; use [`Self::install_with_profiles`].
     pub fn install(&self, net: &mut crate::sim::SimNet) {
         for e in &self.entries {
             if e.at <= net.now() {
@@ -443,6 +532,30 @@ impl Script {
             }
         }
         net.install_faults(&self.faults);
+    }
+
+    /// [`Self::install`] plus the empirical side: resolves the script's
+    /// `profile` bindings against `lib`, installs the library into the
+    /// net (seeded with the net's scenario seed), and schedules the
+    /// resulting [`SceneOp::SetLinkProfile`] ops alongside the scene
+    /// entries. Fails — touching nothing — when a binding names a
+    /// profile `lib` does not have.
+    pub fn install_with_profiles(
+        &self,
+        net: &mut crate::sim::SimNet,
+        lib: &poem_profiles::ProfileLibrary,
+    ) -> Result<(), ParseError> {
+        let resolved = self.resolve_profiles(lib)?;
+        net.install_profiles(lib.clone());
+        self.install(net);
+        for e in resolved {
+            if e.at <= net.now() {
+                let _ = net.apply_op(e.op.clone());
+            } else {
+                net.schedule_op(e.at, e.op.clone());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -704,6 +817,90 @@ mod tests {
         let traffic = net.recorder().traffic();
         let counts = poem_record::TrafficQuery::new(&traffic).copy_counts();
         assert!(counts.disconnected > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn parses_profile_bindings() {
+        let s = Script::parse(
+            "at 0 add VMN1 0 0 radio ch1 200\n\
+             at 0 profile VMN1 canyon_nlos\n\
+             at 5 profile VMN1 none",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.profile_count(), 2);
+        assert_eq!(s.end(), EmuTime::from_secs(5));
+        let b = &s.profile_bindings()[0];
+        assert_eq!(b.node, NodeId(1));
+        assert_eq!(b.name.as_deref(), Some("canyon_nlos"));
+        assert_eq!(b.line, 2);
+        assert_eq!(s.profile_bindings()[1].name, None);
+    }
+
+    #[test]
+    fn profile_errors_carry_line_numbers() {
+        let cases = [
+            ("at 1 profile", 1),                 // missing args
+            ("at 1 profile VMN1", 1),            // missing name
+            ("at 1 profile VMN1 a b", 1),        // trailing junk
+            ("at 1 profile bogus canyon", 1),    // bad node
+            ("\nat 1 profile VMN1 bad/name", 2), // bad name chars
+        ];
+        for (text, line) in cases {
+            let e = Script::parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text}: {e}");
+        }
+    }
+
+    #[test]
+    fn resolves_profiles_against_a_library() {
+        let lib = poem_profiles::ProfileLibrary::parse(
+            "profile canyon_nlos trace\nat 0 loss 0.1 bps 1e6 delay 0.001\nend\n",
+        )
+        .unwrap();
+        let s = Script::parse(
+            "at 0 profile VMN1 canyon_nlos\n\
+             at 3 profile VMN1 none",
+        )
+        .unwrap();
+        let ops = s.resolve_profiles(&lib).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert!(matches!(
+            ops[0].op,
+            SceneOp::SetLinkProfile { id: NodeId(1), profile: Some(p) } if p.index() == 0
+        ));
+        assert!(matches!(ops[1].op, SceneOp::SetLinkProfile { profile: None, .. }));
+
+        // Unknown names fail with the binding's line and the known set.
+        let bad = Script::parse("\nat 0 profile VMN1 nonesuch").unwrap();
+        let e = bad.resolve_profiles(&lib).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("nonesuch") && e.message.contains("canyon_nlos"), "{e}");
+    }
+
+    #[test]
+    fn profile_script_drives_the_harness() {
+        let lib = poem_profiles::ProfileLibrary::parse(
+            "profile clean trace\nat 0 loss 0 bps 8e6 delay 0.001\nend\n",
+        )
+        .unwrap();
+        let mut net = crate::sim::SimNet::new(crate::sim::SimConfig::default());
+        let s = Script::parse(
+            "at 0 add VMN1 0 0 radio ch1 100\n\
+             at 0 profile VMN1 clean\n\
+             at 2 profile VMN1 none",
+        )
+        .unwrap();
+        s.install_with_profiles(&mut net, &lib).unwrap();
+        assert_eq!(net.scene().link_profile(NodeId(1)), Some(poem_core::ProfileId(0)));
+        net.run_until(EmuTime::from_secs(3));
+        assert_eq!(net.scene().link_profile(NodeId(1)), None);
+
+        // A binding the library can't resolve installs nothing.
+        let mut net2 = crate::sim::SimNet::new(crate::sim::SimConfig::default());
+        let bad = Script::parse("at 0 profile VMN1 nonesuch").unwrap();
+        assert!(bad.install_with_profiles(&mut net2, &lib).is_err());
+        assert_eq!(net2.scene().len(), 0);
     }
 
     #[test]

@@ -194,6 +194,9 @@ struct StallEntry {
 
 struct Shared {
     pipeline: Mutex<Pipeline>,
+    /// The scenario seed (`ServerConfig::seed`), kept so late-installed
+    /// profile libraries fork their regime RNG from the same root.
+    seed: u64,
     recorder: Arc<Recorder>,
     clock: Arc<dyn Clock>,
     clients: Mutex<HashMap<NodeId, ClientEntry>>,
@@ -242,6 +245,7 @@ impl ServerHandle {
         let metrics = ServerMetrics::new(&registry);
         let shared = Arc::new(Shared {
             pipeline: Mutex::new(pipeline),
+            seed: config.seed,
             recorder,
             clock,
             clients: Mutex::new(HashMap::new()),
@@ -320,6 +324,13 @@ impl ServerHandle {
     /// Runs `f` with read access to the current scene.
     pub fn with_scene<R>(&self, f: impl FnOnce(&Scene) -> R) -> R {
         f(self.shared.pipeline.lock().scene())
+    }
+
+    /// Installs an empirical profile library, seeded with the server's
+    /// scenario seed so the real-time frontend realizes the same regime
+    /// sequences a virtual-time run of the scenario would.
+    pub fn install_profiles(&self, library: poem_profiles::ProfileLibrary) {
+        self.shared.pipeline.lock().install_profiles(library, self.shared.seed);
     }
 
     /// Currently connected VMNs.

@@ -319,6 +319,26 @@ impl SimNet {
         Ok(())
     }
 
+    /// Hosts `app` as the client of an *existing* scene node — the
+    /// virtual analogue of a TCP client connecting to a server-created
+    /// VMN. Lets scenario scripts build the scene (`add` lines) and the
+    /// harness attach traffic afterwards. Replaces any previous app on
+    /// the node.
+    pub fn attach_app(&mut self, id: NodeId, app: Box<dyn ClientApp>) -> Result<(), SceneError> {
+        let Some(v) = self.scene().node(id) else {
+            return Err(SceneError::UnknownNode(id));
+        };
+        let radios = v.radios.clone();
+        let mut node = SimNode { nic: QueueNic::new(id, radios), app };
+        node.nic.set_now(self.now);
+        if let Some(delay) = node.app.on_start(&mut node.nic) {
+            self.schedule.schedule(self.now + delay, SimEvent::Tick(id));
+        }
+        self.nodes.insert(id, node);
+        self.pump(id);
+        Ok(())
+    }
+
     /// Applies a scene op right now (the GUI's "real-time scene
     /// construction").
     pub fn apply_op(&mut self, op: SceneOp) -> Result<(), SceneError> {
@@ -331,6 +351,12 @@ impl SimNet {
     /// Schedules a scene op for a future virtual time (scenario script).
     pub fn schedule_op(&mut self, at: EmuTime, op: SceneOp) {
         self.schedule.schedule(at, SimEvent::Op(op));
+    }
+
+    /// Installs an empirical profile library, seeded with the scenario
+    /// seed so profile-driven regime draws replay deterministically.
+    pub fn install_profiles(&mut self, library: poem_profiles::ProfileLibrary) {
+        self.pipeline.install_profiles(library, self.seed);
     }
 
     fn ensure_chaos(&mut self) {

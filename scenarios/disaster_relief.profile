@@ -1,0 +1,14 @@
+# Disaster-relief swarm — ground teams picking through rubble. Links
+# are mostly degraded with rare clean spells; the base-camp uplink is
+# steadier but low-rate.
+
+profile rubble_field markov dwell 0.8
+state clean loss 0.08 bps 2e6 delay 0.008 -> clean 0.55 rough 0.40 buried 0.05
+state rough loss 0.35 bps 8e5 delay 0.025 -> clean 0.25 rough 0.60 buried 0.15
+state buried loss 0.90 bps 1e5 delay 0.070 -> clean 0.05 rough 0.45 buried 0.50
+end
+
+profile base_uplink markov dwell 2.0
+state steady loss 0.05 bps 1e6 delay 0.020 -> steady 0.92 congested 0.08
+state congested loss 0.30 bps 3e5 delay 0.060 -> steady 0.50 congested 0.50
+end

@@ -1,0 +1,17 @@
+# Drone mesh with a LEO-style backhaul — inter-drone links are clean
+# air-to-air with occasional attitude fades; the gateway's satellite
+# uplink follows a looping pass trace: high rate at culmination, a
+# deep dip at the periodic handover, then recovery on the next bird.
+
+profile air_mesh markov dwell 0.4
+state level loss 0.01 bps 8e6 delay 0.003 -> level 0.88 bank 0.12
+state bank loss 0.30 bps 2e6 delay 0.010 -> level 0.65 bank 0.35
+end
+
+profile leo_pass trace loop 12
+at 0 loss 0.04 bps 4e6 delay 0.025
+at 4 loss 0.02 bps 6e6 delay 0.020
+at 8 loss 0.10 bps 2e6 delay 0.035
+at 10 loss 0.85 bps 2e5 delay 0.120   # handover gap
+at 11 loss 0.06 bps 3e6 delay 0.030
+end

@@ -1,0 +1,14 @@
+# Urban canyon — street-level links flip between line-of-sight and
+# building-shadowed regimes; cross-street links spend long spells in
+# deep shadow with occasional outage.
+
+profile canyon_los markov dwell 0.5
+state clear loss 0.02 bps 6e6 delay 0.004 -> clear 0.90 shadow 0.10
+state shadow loss 0.25 bps 1.5e6 delay 0.012 -> clear 0.60 shadow 0.40
+end
+
+profile canyon_nlos markov dwell 0.5
+state good loss 0.10 bps 2e6 delay 0.010 -> good 0.70 degraded 0.25 outage 0.05
+state degraded loss 0.45 bps 6e5 delay 0.030 -> good 0.30 degraded 0.55 outage 0.15
+state outage loss 0.98 bps 1e5 delay 0.080 -> good 0.10 degraded 0.40 outage 0.50
+end

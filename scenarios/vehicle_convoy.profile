@@ -1,0 +1,16 @@
+# Highway convoy — inter-vehicle links breathe with spacing: tight
+# platoon, stretched gaps, and brief cuts when a truck merges between
+# members. The trail car tows a trailer that shadows its antenna on a
+# fixed duty cycle, modeled as a short looping trace.
+
+profile convoy_gap markov dwell 1.0
+state tight loss 0.03 bps 5e6 delay 0.005 -> tight 0.80 stretch 0.18 cut 0.02
+state stretch loss 0.20 bps 1.2e6 delay 0.015 -> tight 0.40 stretch 0.50 cut 0.10
+state cut loss 0.95 bps 2e5 delay 0.050 -> tight 0.15 stretch 0.55 cut 0.30
+end
+
+profile trailer_shadow trace loop 8
+at 0 loss 0.05 bps 3e6 delay 0.006
+at 5 loss 0.60 bps 5e5 delay 0.020
+at 7 loss 0.05 bps 3e6 delay 0.006
+end

@@ -1,0 +1,235 @@
+//! The committed scenario library (`scenarios/*.poem` + `*.profile`),
+//! end to end: every committed file parses cleanly (the CI fixture
+//! gate), every scenario runs under **both** frontends — the virtual
+//! discrete-event harness and the real-time TCP server — and chaos
+//! faults composed over profile-driven links keep the pipeline's
+//! per-copy accounting exact.
+
+use bytes::Bytes;
+use poem_bench::scenario_matrix::SCENARIOS;
+use poem_client::{ClientApp, EmuClient, Nic};
+use poem_core::clock::{Clock, WallClock};
+use poem_core::packet::Destination;
+use poem_core::scene::Scene;
+use poem_core::{ChannelId, EmuDuration, EmuPacket, EmuTime, NodeId};
+use poem_profiles::ProfileLibrary;
+use poem_record::{TrafficQuery, TrafficRecord};
+use poem_server::script::Script;
+use poem_server::sim::{SimConfig, SimNet};
+use poem_server::{ServerConfig, ServerHandle};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fixture gate: every committed `scenarios/` file parses cleanly — the
+/// `.profile`s individually and as one merged library (no cross-file
+/// name collisions), and every `.poem` script's `profile` bindings
+/// resolve against its own library. Reads the directory from disk so a
+/// newly committed scenario is gated even before it joins the E17
+/// matrix.
+#[test]
+fn committed_scenario_files_parse_cleanly() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    let mut profile_texts = Vec::new();
+    let mut scripts = 0usize;
+    let mut entries: Vec<_> =
+        std::fs::read_dir(&dir).expect("scenarios/ exists").map(|e| e.unwrap().path()).collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("scenario file readable");
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("profile") => {
+                ProfileLibrary::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                profile_texts.push(text);
+            }
+            Some("poem") => {
+                let script =
+                    Script::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                let lib_path = path.with_extension("profile");
+                let lib_text =
+                    std::fs::read_to_string(&lib_path).expect("matching .profile committed");
+                let lib = ProfileLibrary::parse(&lib_text).expect("profile parses");
+                script.resolve_profiles(&lib).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                assert!(script.profile_count() > 0, "{}: binds no profiles", path.display());
+                scripts += 1;
+            }
+            other => panic!("{}: unexpected extension {other:?}", path.display()),
+        }
+    }
+    assert!(scripts >= 4, "scenario library shrank to {scripts} scripts");
+    assert_eq!(scripts, SCENARIOS.len(), "E17 matrix out of sync with scenarios/");
+    // All committed profiles also merge into one library without
+    // cross-scenario name collisions.
+    let refs: Vec<&str> = profile_texts.iter().map(|s| s.as_str()).collect();
+    ProfileLibrary::parse_many(&refs).expect("committed profiles merge cleanly");
+}
+
+/// A finite-budget chatterbox: alternates broadcasts and unicasts so
+/// every drop path (loss, no-route, collision) stays reachable, then
+/// goes quiet so the accounting can settle.
+struct Chatter {
+    channel: ChannelId,
+    peer: NodeId,
+    remaining: u32,
+    seq: u32,
+}
+
+impl Chatter {
+    fn emit(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.seq += 1;
+        let dest = if self.seq.is_multiple_of(2) {
+            Destination::Unicast(self.peer)
+        } else {
+            Destination::Broadcast
+        };
+        nic.send(self.channel, dest, Bytes::from(format!("chat-{}", self.seq)));
+        Some(EmuDuration::from_millis(400))
+    }
+}
+
+impl ClientApp for Chatter {
+    fn on_start(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+        self.emit(nic)
+    }
+
+    fn on_packet(&mut self, _nic: &mut dyn Nic, _pkt: EmuPacket) {}
+
+    fn on_tick(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+        self.emit(nic)
+    }
+}
+
+/// Installs a committed scenario into a fresh SimNet and attaches a
+/// finite-budget chatterer to every scripted node.
+fn profiled_net(name: &str, seed: u64) -> SimNet {
+    let (_, script_text, profile_text) =
+        SCENARIOS.iter().find(|(n, _, _)| *n == name).expect("known scenario");
+    let lib = ProfileLibrary::parse(profile_text).expect("profile parses");
+    let script = Script::parse(script_text).expect("script parses");
+    let mut net = SimNet::new(SimConfig { seed, ..SimConfig::default() });
+    script.install_with_profiles(&mut net, &lib).expect("bindings resolve");
+    let roster: Vec<(NodeId, ChannelId)> = net
+        .scene()
+        .nodes()
+        .filter_map(|v| v.radios.channels().into_iter().next().map(|ch| (v.id, ch)))
+        .collect();
+    for (i, &(id, channel)) in roster.iter().enumerate() {
+        let peer = roster[(i + 1) % roster.len()].0;
+        net.attach_app(id, Box::new(Chatter { channel, peer, remaining: 24, seq: 0 }))
+            .expect("node exists");
+    }
+    net
+}
+
+/// Chaos over empirical links: the disaster-relief scenario carries
+/// committed `jam`/`flap` faults on top of Markov profile bindings. The
+/// pipeline's books must still balance copy for copy — the traffic log
+/// and the `poem-obs` counters in exact agreement — and the run must
+/// reproduce byte for byte.
+#[test]
+fn chaos_over_profiles_keeps_exact_accounting() {
+    let run = |seed: u64| {
+        let mut net = profiled_net("disaster_relief", seed);
+        assert!(net.scene().nodes().count() > 0);
+        // Chatterers go quiet by ~t = 10 s; the last committed fault
+        // window (jam at 18 s for 2 s) closes by 20 s.
+        net.run_until(EmuTime::from_secs(25));
+        let recorder = net.recorder();
+        let traffic = recorder.traffic();
+        let counts = TrafficQuery::new(&traffic).copy_counts();
+        let ingress =
+            traffic.iter().filter(|r| matches!(r, TrafficRecord::Ingress { .. })).count() as u64;
+        let snap = net.metrics();
+        (poem_proto::to_bytes(&traffic).expect("serialize"), counts, ingress, snap)
+    };
+    let (bytes_a, counts, ingress, snap) = run(1337);
+    assert!(counts.total() > 0, "scenario produced no packet copies");
+    assert!(
+        snap.counter("poem_profile_decides_total").unwrap_or(0) > 0,
+        "profiles never consulted"
+    );
+    assert!(
+        snap.counter_family("poem_faults_injected_total") > 0,
+        "committed jam/flap faults never injected"
+    );
+    assert_eq!(
+        Some(ingress),
+        snap.counter("poem_ingest_packets_total"),
+        "ingest counter disagrees with the traffic log"
+    );
+    assert_eq!(
+        counts.dropped(),
+        snap.counter_family("poem_drops_total"),
+        "drop counters disagree with the traffic log"
+    );
+    assert_eq!(
+        Some(counts.forwarded + counts.disconnected),
+        snap.counter("poem_ingest_deliveries_total"),
+        "scheduled deliveries ≠ forwarded + dropped-at-door"
+    );
+    let (bytes_b, ..) = run(1337);
+    assert_eq!(bytes_a, bytes_b, "chaos-over-profiles run is not reproducible");
+}
+
+/// Every committed scenario's full op timeline — including the resolved
+/// profile bindings — applies cleanly to the real-time TCP frontend, and
+/// traffic between live clients on a profile-bound scene consults the
+/// empirical models.
+#[test]
+fn scenarios_run_under_the_tcp_frontend() {
+    for (name, script_text, profile_text) in SCENARIOS {
+        let lib = ProfileLibrary::parse(profile_text).expect("profile parses");
+        let script = Script::parse(script_text).expect("script parses");
+        let resolved = script.resolve_profiles(&lib).expect("bindings resolve");
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let server = ServerHandle::start(Scene::new(), clock, ServerConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: server start: {e}"));
+        server.install_profiles(lib.clone());
+        // Replay the whole scripted timeline immediately — wall-clock
+        // runs must stay short, and op application is time-stamped by
+        // the server clock anyway.
+        for e in script.entries().iter().chain(resolved.iter()) {
+            server
+                .apply_op(e.op.clone())
+                .unwrap_or_else(|err| panic!("{name}: op `{}`: {err}", e.op));
+        }
+        assert!(server.with_scene(|s| s.len()) > 0, "{name}: empty scene");
+
+        if *name == "urban_canyon" {
+            // Live traffic over the profile-bound scene: two co-located
+            // clients exchange broadcasts; the profile hook must serve
+            // the link decisions.
+            let ids: Vec<NodeId> = server.with_scene(|s| s.nodes().map(|v| v.id).collect());
+            let clients: Vec<EmuClient> = ids
+                .iter()
+                .take(2)
+                .map(|&id| {
+                    let radios = server
+                        .with_scene(|s| s.node(id).map(|v| v.radios.clone()))
+                        .expect("node exists");
+                    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+                    let c = EmuClient::connect_tcp(server.addr(), id, radios, clock)
+                        .expect("client connects");
+                    c.sync_clock(3).expect("clock sync");
+                    c
+                })
+                .collect();
+            for c in &clients {
+                for _ in 0..5 {
+                    let _ = c.send(ChannelId(1), Destination::Broadcast, Bytes::from_static(b"hi"));
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(300));
+            let profiled = server.metrics().counter("poem_profile_decides_total").unwrap_or(0);
+            assert!(profiled > 0, "{name}: TCP frontend never consulted the profiles");
+            for c in clients {
+                let _ = c.close();
+            }
+        }
+        server.shutdown();
+    }
+}
