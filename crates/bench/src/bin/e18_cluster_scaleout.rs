@@ -1,0 +1,96 @@
+//! Extension experiment E18: distributed scale-out — the same broadcast
+//! workload run single-process and across 1..N `poem-shardd` worker
+//! processes, reporting wall-clock throughput per worker count. Packet
+//! decisions are placement-independent, so copies/drops are identical in
+//! every row; only the timing columns vary.
+//!
+//! Needs the `poem-shardd` binary next to this one (build with
+//! `cargo build --release -p poem-server --bin poem-shardd`), or point
+//! `POEM_SHARDD` at it.
+//!
+//! Usage:
+//!   e18_cluster_scaleout [--smoke] [--out PATH]   run and write the artifact
+//!   e18_cluster_scaleout --check PATH             validate an existing artifact
+//!                                                 (exit 1 if missing/malformed)
+
+use poem_bench::cluster_scaleout;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_cluster_scaleout.json");
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().cloned().unwrap_or(out),
+            "--check" => check = it.next().cloned(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check {
+        let doc = match std::fs::read_to_string(&path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("E18 check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = cluster_scaleout::validate(&doc) {
+            eprintln!("E18 check: {path} is malformed: {e}");
+            std::process::exit(1);
+        }
+        println!("E18 check: {path} OK");
+        return;
+    }
+
+    let cfg = if smoke {
+        cluster_scaleout::ScaleoutConfig::smoke()
+    } else {
+        cluster_scaleout::ScaleoutConfig::full()
+    };
+    let mode = if smoke { "smoke" } else { "full" };
+    println!(
+        "E18 — cluster scale-out ({mode}: {} nodes, {} packets/node, workers {:?})\n",
+        cfg.nodes, cfg.packets, cfg.workers
+    );
+    let report = match cluster_scaleout::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("E18: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:>8} {:>6} {:>8} {:>8} {:>8} {:>10} {:>12}",
+        "workers", "nodes", "packets", "copies", "dropped", "elapsed s", "pkts/s"
+    );
+    for row in &report.rows {
+        println!(
+            "{:>8} {:>6} {:>8} {:>8} {:>8} {:>10.4} {:>12.1}",
+            row.workers,
+            row.nodes,
+            row.packets,
+            row.copies,
+            row.dropped,
+            row.elapsed_s,
+            row.throughput_pps
+        );
+    }
+
+    let json = cluster_scaleout::render_json(&report);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("E18: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out}");
+    println!("Row 0 is the single-process baseline; worker rows pay the wire cost of");
+    println!("the coordinator round-trip, so small scenes scale *down* until the scene");
+    println!("is large enough for sharded decision work to beat the framing overhead.");
+}

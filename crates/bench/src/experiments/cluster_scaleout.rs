@@ -1,0 +1,337 @@
+//! Extension experiment E18 — distributed scale-out: the same scripted
+//! broadcast workload run single-process and across 1..N `poem-shardd`
+//! worker processes via the cluster coordinator, reporting wall-clock
+//! throughput per worker count.
+//!
+//! The paper's §7 future-work item is "expand the one server to a
+//! parallelized cluster to conquer the performance bottleneck"; E11
+//! measured the in-process sharded pipeline, E18 measures the
+//! multi-*process* coordinator of `poem-cluster` — spatial tiles, halo
+//! regions, barrier epochs and all. Packet decisions are a pure function
+//! of `(seed, packet id)`, so every worker count produces the identical
+//! delivery/drop totals (asserted by the workspace determinism tests);
+//! only `elapsed_s`/`throughput_pps` vary run to run. The committed
+//! `BENCH_cluster_scaleout.json` is therefore schema-validated by
+//! `--check`, not byte-compared.
+
+use bytes::Bytes;
+use poem_client::{ClientApp, Nic};
+use poem_core::linkmodel::LinkParams;
+use poem_core::mobility::MobilityModel;
+use poem_core::packet::Destination;
+use poem_core::radio::RadioConfig;
+use poem_core::{ChannelId, EmuDuration, EmuPacket, NodeId, Point};
+use poem_record::TrafficRecord;
+use poem_server::{SimConfig, SimNet};
+use std::time::Instant;
+
+/// Workload sizing for one E18 sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleoutConfig {
+    /// Grid nodes in the scene.
+    pub nodes: u32,
+    /// Packets each node broadcasts.
+    pub packets: usize,
+    /// Pacing interval between a node's sends.
+    pub interval: EmuDuration,
+    /// Payload bytes per packet.
+    pub payload: usize,
+    /// Scenario seed (decision stream, mobility).
+    pub seed: u64,
+    /// Tile edge for the spatial partition (must cover the radio range).
+    pub tile_edge: f64,
+    /// Worker counts to sweep; `0` is the single-process baseline.
+    pub workers: Vec<u32>,
+}
+
+impl ScaleoutConfig {
+    /// The full sweep: 144 nodes, 1 → 4 workers.
+    pub fn full() -> Self {
+        ScaleoutConfig {
+            nodes: 144,
+            packets: 40,
+            interval: EmuDuration::from_millis(100),
+            payload: 200,
+            seed: 21,
+            tile_edge: 250.0,
+            workers: vec![0, 1, 2, 4],
+        }
+    }
+
+    /// A fast configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        ScaleoutConfig {
+            nodes: 36,
+            packets: 6,
+            interval: EmuDuration::from_millis(100),
+            payload: 200,
+            seed: 21,
+            tile_edge: 250.0,
+            workers: vec![0, 2],
+        }
+    }
+}
+
+/// One sweep row: the same workload at one worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleoutRow {
+    /// Shard worker processes (`0` = single-process baseline).
+    pub workers: u32,
+    /// Scene nodes.
+    pub nodes: u32,
+    /// Packets ingested (ingress records).
+    pub packets: usize,
+    /// Copies forwarded (delivered).
+    pub copies: usize,
+    /// Copies dropped.
+    pub dropped: usize,
+    /// Wall-clock seconds for the virtual-time run.
+    pub elapsed_s: f64,
+    /// `packets / elapsed_s`.
+    pub throughput_pps: f64,
+}
+
+/// One E18 sweep (serialized as `BENCH_cluster_scaleout.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleoutReport {
+    /// Packets per node.
+    pub packets_per_node: usize,
+    /// Pacing interval, seconds.
+    pub interval_s: f64,
+    /// Tile edge of the spatial partition.
+    pub tile_edge: f64,
+    /// One row per swept worker count.
+    pub rows: Vec<ScaleoutRow>,
+}
+
+/// A paced broadcaster (one broadcast per interval, `packets` times).
+struct PacedSender {
+    interval: EmuDuration,
+    remaining: usize,
+    payload: usize,
+}
+
+impl ClientApp for PacedSender {
+    fn on_start(&mut self, _nic: &mut dyn Nic) -> Option<EmuDuration> {
+        Some(self.interval)
+    }
+
+    fn on_packet(&mut self, _nic: &mut dyn Nic, _pkt: EmuPacket) {}
+
+    fn on_tick(&mut self, nic: &mut dyn Nic) -> Option<EmuDuration> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        nic.send(ChannelId(1), Destination::Broadcast, Bytes::from(vec![0u8; self.payload]));
+        if self.remaining > 0 {
+            Some(self.interval)
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs the workload at one worker count. `workers == 0` is the plain
+/// single-process `SimNet`; otherwise the coordinator spawns that many
+/// `poem-shardd` processes and every ingest crosses the wire.
+pub fn run_one(cfg: &ScaleoutConfig, workers: u32) -> Result<ScaleoutRow, String> {
+    let mut sim = SimNet::new(SimConfig { seed: cfg.seed, ..SimConfig::default() });
+    let side = (cfg.nodes as f64).sqrt().ceil() as u32;
+    for i in 0..cfg.nodes {
+        // A slow linear drift on every sixth node keeps the mobility /
+        // halo-resync path in the measured loop.
+        let mobility = if i % 6 == 0 {
+            MobilityModel::Linear { direction_deg: (i % 360) as f64, speed: 2.0 }
+        } else {
+            MobilityModel::Stationary
+        };
+        sim.add_node(
+            NodeId(i),
+            Point::new((i % side) as f64 * 80.0, (i / side) as f64 * 80.0),
+            RadioConfig::single(ChannelId(1), 170.0),
+            mobility,
+            LinkParams::ideal(8e6),
+            Box::new(PacedSender {
+                interval: cfg.interval,
+                remaining: cfg.packets,
+                payload: cfg.payload,
+            }),
+        )
+        .map_err(|e| format!("add node {i}: {e}"))?;
+    }
+    if workers > 0 {
+        sim.attach_cluster(poem_cluster::ClusterConfig {
+            workers,
+            tile_edge: cfg.tile_edge,
+            ..poem_cluster::ClusterConfig::default()
+        })
+        .map_err(|e| format!("attach {workers} worker(s): {e}"))?;
+    }
+
+    let horizon = poem_core::EmuTime::ZERO + cfg.interval * (cfg.packets as i64 + 2);
+    let start = Instant::now();
+    sim.run_until(horizon);
+    let elapsed_s = start.elapsed().as_secs_f64();
+    if let Some(e) = sim.cluster_error() {
+        return Err(format!("{workers} worker(s): cluster failed mid-run: {e}"));
+    }
+    sim.shutdown_cluster();
+
+    let mut packets = 0usize;
+    let mut copies = 0usize;
+    let mut dropped = 0usize;
+    for r in &sim.recorder().traffic() {
+        match r {
+            TrafficRecord::Ingress { .. } => packets += 1,
+            TrafficRecord::Forward { .. } => copies += 1,
+            TrafficRecord::Drop { .. } => dropped += 1,
+        }
+    }
+    Ok(ScaleoutRow {
+        workers,
+        nodes: cfg.nodes,
+        packets,
+        copies,
+        dropped,
+        elapsed_s,
+        throughput_pps: if elapsed_s > 0.0 { packets as f64 / elapsed_s } else { 0.0 },
+    })
+}
+
+/// Runs the whole sweep.
+pub fn run(cfg: &ScaleoutConfig) -> Result<ScaleoutReport, String> {
+    let rows = cfg.workers.iter().map(|&w| run_one(cfg, w)).collect::<Result<Vec<_>, String>>()?;
+    Ok(ScaleoutReport {
+        packets_per_node: cfg.packets,
+        interval_s: cfg.interval.as_secs_f64(),
+        tile_edge: cfg.tile_edge,
+        rows,
+    })
+}
+
+/// Scalar fields `BENCH_cluster_scaleout.json` must carry.
+const SCHEMA_FIELDS: &[&str] = &["packets_per_node", "interval_s", "tile_edge"];
+
+/// Per-row fields each `rows[]` object must carry.
+const ROW_FIELDS: &[&str] =
+    &["workers", "nodes", "packets", "copies", "dropped", "elapsed_s", "throughput_pps"];
+
+/// Serializes a report as the `BENCH_cluster_scaleout.json` document.
+pub fn render_json(r: &ScaleoutReport) -> String {
+    let mut s = String::from("{\n  \"experiment\": \"E18\",\n");
+    s.push_str(&format!("  \"packets_per_node\": {},\n", r.packets_per_node));
+    s.push_str(&format!("  \"interval_s\": {:.4},\n", r.interval_s));
+    s.push_str(&format!("  \"tile_edge\": {:.1},\n", r.tile_edge));
+    s.push_str("  \"rows\": [\n");
+    for (i, row) in r.rows.iter().enumerate() {
+        let sep = if i + 1 == r.rows.len() { "\n" } else { ",\n" };
+        s.push_str(&format!(
+            "    {{\"workers\": {}, \"nodes\": {}, \"packets\": {}, \"copies\": {}, \
+             \"dropped\": {}, \"elapsed_s\": {:.6}, \"throughput_pps\": {:.1}}}{sep}",
+            row.workers,
+            row.nodes,
+            row.packets,
+            row.copies,
+            row.dropped,
+            row.elapsed_s,
+            row.throughput_pps
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts the numeric value following `"key":`, if present and finite.
+fn field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
+/// Schema check for a `BENCH_cluster_scaleout.json` document: the
+/// experiment tag, every scalar field, at least a baseline and one
+/// distributed row, and numeric row fields. Deliberately does **not**
+/// gate on the measured throughput — wall-clock numbers are reviewed on
+/// the committed artifact.
+pub fn validate(json: &str) -> Result<(), String> {
+    if !json.contains("\"experiment\": \"E18\"") {
+        return Err("missing experiment tag \"E18\"".into());
+    }
+    for key in SCHEMA_FIELDS {
+        if field(json, key).is_none() {
+            return Err(format!("missing or non-numeric field \"{key}\""));
+        }
+    }
+    if !json.contains("\"workers\": 0") {
+        return Err("missing the single-process baseline row (workers = 0)".into());
+    }
+    let distributed = json.matches("\"workers\": ").count();
+    if distributed < 2 {
+        return Err("need at least one distributed row beyond the baseline".into());
+    }
+    for key in ROW_FIELDS {
+        if field(json, key).is_none() {
+            return Err(format!("missing or non-numeric row field \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Process-free slice of the sweep: the baseline row runs entirely
+    /// in-process. Worker rows need the `poem-shardd` binary and are
+    /// covered by the poem-server integration tests and the CI
+    /// bench-smoke job.
+    #[test]
+    fn baseline_row_counts_the_whole_workload() {
+        let cfg = ScaleoutConfig::smoke();
+        let row = run_one(&cfg, 0).expect("baseline runs");
+        assert_eq!(row.workers, 0);
+        assert_eq!(row.packets, cfg.nodes as usize * cfg.packets);
+        assert!(row.copies > 0, "{row:?}");
+        assert!(row.throughput_pps > 0.0, "{row:?}");
+    }
+
+    #[test]
+    fn rendered_document_validates_and_checker_rejects_malformed_ones() {
+        let report = ScaleoutReport {
+            packets_per_node: 6,
+            interval_s: 0.1,
+            tile_edge: 250.0,
+            rows: vec![
+                ScaleoutRow {
+                    workers: 0,
+                    nodes: 36,
+                    packets: 216,
+                    copies: 600,
+                    dropped: 12,
+                    elapsed_s: 0.01,
+                    throughput_pps: 21_600.0,
+                },
+                ScaleoutRow {
+                    workers: 2,
+                    nodes: 36,
+                    packets: 216,
+                    copies: 600,
+                    dropped: 12,
+                    elapsed_s: 0.02,
+                    throughput_pps: 10_800.0,
+                },
+            ],
+        };
+        let good = render_json(&report);
+        validate(&good).expect("good document");
+        assert!(validate("{}").is_err());
+        assert!(validate(&good.replace("E18", "E19")).is_err());
+        assert!(validate(&good.replace("\"throughput_pps\"", "\"pps\"")).is_err());
+        assert!(validate(&good.replace("\"workers\": 0", "\"workers\": 9")).is_err());
+    }
+}

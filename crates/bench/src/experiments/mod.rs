@@ -1,6 +1,7 @@
 //! Experiment runners, one per table/figure (DESIGN.md experiment index).
 
 pub mod cluster;
+pub mod cluster_scaleout;
 pub mod energy;
 pub mod fault_sweep;
 pub mod fig10;

@@ -1,0 +1,146 @@
+//! The worker-side decision kernel.
+//!
+//! [`decide_packet`] reproduces exactly what
+//! `poem_server::engine::Pipeline::ingest` decides for one packet under
+//! the baseline models (no MAC, no power metering — the only
+//! configuration distributed mode offers): route the packet on the
+//! mirror scene, then draw one decision per target **in canonical
+//! (ascending id) target order** from the packet's own
+//! [`poem_core::rng::decide_rng`] stream. Because that stream is a pure
+//! function of `(decide_base, packet id)` and the mirror holds every
+//! node within radio range of the sender (the halo invariant), the
+//! result is byte-identical to the single-process pipeline no matter
+//! which worker computes it or in what order packets arrive.
+
+use poem_core::linkmodel::ForwardDecision;
+use poem_core::packet::Destination;
+use poem_core::rng::decide_rng;
+use poem_core::scene::Scene;
+use poem_core::{EmuPacket, NodeId};
+use poem_profiles::ProfileBook;
+use poem_proto::{TargetDecision, WireDecision};
+
+/// Decides one packet against the mirror scene. `targets` is a reused
+/// routing buffer. Returns the per-target outcomes in canonical order;
+/// an unreachable unicast yields a single `NoRoute` entry (mirroring the
+/// pipeline's routing-failure record), a neighborless broadcast yields
+/// an empty vector.
+pub fn decide_packet(
+    scene: &Scene,
+    book: &mut Option<ProfileBook>,
+    decide_base: u64,
+    pkt: &EmuPacket,
+    targets: &mut Vec<NodeId>,
+) -> Vec<TargetDecision> {
+    scene.route_into(pkt.src, pkt.channel, pkt.dst, targets);
+    if targets.is_empty() {
+        if let Destination::Unicast(d) = pkt.dst {
+            return vec![TargetDecision { to: d, decision: WireDecision::NoRoute }];
+        }
+        return Vec::new();
+    }
+    // Base of the forward-time axis: with no MAC there is no CSMA
+    // deferral, so the transmission starts at the client stamp.
+    let base = pkt.sent_at;
+    let mut rng = decide_rng(decide_base, pkt.id);
+    let sender_profile = scene.link_profile(pkt.src);
+    let mut out = Vec::with_capacity(targets.len());
+    for &to in targets.iter() {
+        let profiled = match (sender_profile, book.as_mut()) {
+            (Some(pid), Some(book)) => scene
+                .link_gate(pkt.src, to, pkt.channel)
+                .and_then(|_| book.snapshot(pid, pkt.src, to, base))
+                .map(|snap| snap.decide(pkt.wire_size(), &mut rng)),
+            _ => None,
+        };
+        let decision = match profiled {
+            Some(d) => Some(d),
+            None => scene.decide(pkt.src, to, pkt.channel, pkt.wire_size(), &mut rng),
+        };
+        let decision = match decision {
+            Some(ForwardDecision::ForwardAfter(d)) => WireDecision::Forward { fire_at: base + d },
+            Some(ForwardDecision::Drop) => WireDecision::Loss,
+            None => WireDecision::NoRoute,
+        };
+        out.push(TargetDecision { to, decision });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::linkmodel::LinkParams;
+    use poem_core::mobility::MobilityModel;
+    use poem_core::radio::RadioConfig;
+    use poem_core::scene::SceneOp;
+    use poem_core::{ChannelId, EmuTime, PacketId, Point, RadioId};
+
+    fn scene_pair(link: LinkParams) -> Scene {
+        let mut s = Scene::new();
+        for (id, x) in [(1u32, 0.0), (2u32, 60.0)] {
+            s.apply(
+                EmuTime::ZERO,
+                &SceneOp::AddNode {
+                    id: NodeId(id),
+                    pos: Point::new(x, 0.0),
+                    radios: RadioConfig::single(ChannelId(1), 100.0),
+                    mobility: MobilityModel::Stationary,
+                    link,
+                },
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn pkt(id: u64, dst: Destination) -> EmuPacket {
+        EmuPacket::new(
+            PacketId(id),
+            NodeId(1),
+            dst,
+            ChannelId(1),
+            RadioId(0),
+            EmuTime::from_millis(50),
+            vec![0u8; 100],
+        )
+    }
+
+    #[test]
+    fn ideal_link_forwards_and_unreachable_unicast_noroutes() {
+        let scene = scene_pair(LinkParams::ideal(8e6));
+        let mut targets = Vec::new();
+        let out =
+            decide_packet(&scene, &mut None, 7, &pkt(1, Destination::Broadcast), &mut targets);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, NodeId(2));
+        assert!(matches!(out[0].decision, WireDecision::Forward { .. }));
+
+        let out = decide_packet(
+            &scene,
+            &mut None,
+            7,
+            &pkt(2, Destination::Unicast(NodeId(9))),
+            &mut targets,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, NodeId(9));
+        assert!(matches!(out[0].decision, WireDecision::NoRoute));
+    }
+
+    #[test]
+    fn decisions_are_independent_of_processing_order() {
+        let scene = scene_pair(LinkParams { p0: 0.5, p1: 0.5, ..LinkParams::ideal(8e6) });
+        let mut t1 = Vec::new();
+        let a: Vec<_> = (0..64)
+            .map(|i| decide_packet(&scene, &mut None, 3, &pkt(i, Destination::Broadcast), &mut t1))
+            .collect();
+        let mut t2 = Vec::new();
+        let b: Vec<_> = (0..64)
+            .rev()
+            .map(|i| decide_packet(&scene, &mut None, 3, &pkt(i, Destination::Broadcast), &mut t2))
+            .collect();
+        let b: Vec<_> = b.into_iter().rev().collect();
+        assert_eq!(a, b, "per-packet streams must not couple packets");
+    }
+}

@@ -1,0 +1,133 @@
+//! Structured cluster failures.
+//!
+//! Everything that can go wrong across the process boundary surfaces as a
+//! [`ClusterError`] instead of a hung barrier: a worker that died is named
+//! with its exit status, a hung worker is named with how long the
+//! coordinator polled for it, a protocol violation carries the offending
+//! message's description.
+
+use poem_core::scene::SceneError;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Why a cluster operation failed.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// An I/O error on a coordinator↔worker connection.
+    Io(io::Error),
+    /// The shard worker binary could not be spawned.
+    Spawn {
+        /// The binary the coordinator tried to launch.
+        binary: PathBuf,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// A worker process exited while the coordinator still needed it.
+    ShardDied {
+        /// The dead shard.
+        shard: u32,
+        /// Its exit code, when the OS reported one.
+        status: Option<i32>,
+    },
+    /// A worker stopped responding: the coordinator polled for
+    /// `waited` without receiving the expected message, and the process
+    /// is still running (a hang, not a crash).
+    ShardTimeout {
+        /// The unresponsive shard.
+        shard: u32,
+        /// Total time polled before giving up.
+        waited: Duration,
+    },
+    /// A worker sent a message the protocol does not allow at this point.
+    Protocol {
+        /// The offending shard.
+        shard: u32,
+        /// What it sent / what was expected.
+        detail: String,
+    },
+    /// The configured tile edge is smaller than the longest radio range
+    /// in the scene, which would break the 3×3 halo invariant (a sender
+    /// could reach a neighbor its worker does not mirror).
+    TileTooSmall {
+        /// Configured tile edge.
+        tile_edge: f64,
+        /// Longest radio range found in the scene.
+        max_range: f64,
+    },
+    /// Distributed mode does not support the requested configuration
+    /// (e.g. a MAC model or power metering, which are inherently global).
+    Unsupported(&'static str),
+    /// A scene operation failed to apply on a worker mirror.
+    Scene(SceneError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "cluster i/o: {e}"),
+            ClusterError::Spawn { binary, source } => {
+                write!(f, "cannot spawn shard worker {}: {source}", binary.display())
+            }
+            ClusterError::ShardDied { shard, status } => match status {
+                Some(code) => write!(f, "shard {shard} exited with status {code} mid-run"),
+                None => write!(f, "shard {shard} was killed by a signal mid-run"),
+            },
+            ClusterError::ShardTimeout { shard, waited } => {
+                write!(f, "shard {shard} unresponsive after {waited:.1?} (process still alive)")
+            }
+            ClusterError::Protocol { shard, detail } => {
+                write!(f, "protocol violation from shard {shard}: {detail}")
+            }
+            ClusterError::TileTooSmall { tile_edge, max_range } => write!(
+                f,
+                "tile edge {tile_edge} is below the longest radio range {max_range}; \
+                 halo lookups would be inexact"
+            ),
+            ClusterError::Unsupported(what) => {
+                write!(f, "distributed emulation does not support {what}")
+            }
+            ClusterError::Scene(e) => write!(f, "worker mirror scene op failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io(e) | ClusterError::Spawn { source: e, .. } => Some(e),
+            ClusterError::Scene(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClusterError {
+    fn from(e: io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<SceneError> for ClusterError {
+    fn from(e: SceneError) -> Self {
+        ClusterError::Scene(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failure() {
+        let died = ClusterError::ShardDied { shard: 2, status: Some(101) };
+        assert!(died.to_string().contains("shard 2"));
+        assert!(died.to_string().contains("101"));
+        let hung = ClusterError::ShardTimeout { shard: 1, waited: Duration::from_millis(1500) };
+        assert!(hung.to_string().contains("shard 1"));
+        let tile = ClusterError::TileTooSmall { tile_edge: 50.0, max_range: 120.0 };
+        assert!(tile.to_string().contains("50"));
+        assert!(tile.to_string().contains("120"));
+    }
+}

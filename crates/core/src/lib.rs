@@ -19,6 +19,9 @@
 //! * [`scene`] — the emulated network scene: virtual MANET nodes (VMNs),
 //!   the GUI's scene-operation vocabulary, and per-packet forwarding
 //!   decisions.
+//! * [`partition`] — shard ownership for clustered runs: modulo and
+//!   grid-aligned spatial tile partitioning with pins, tile overrides,
+//!   and 3×3 halo membership.
 //! * [`schedule`] — the server's forward schedule (§3.2 steps 4–6).
 //! * [`sleep`] — real-time scan-loop sleep policies (naive / hybrid /
 //!   spin) and the online guard-band calibrator behind the hybrid one.
@@ -74,6 +77,7 @@ pub mod mac;
 pub mod mobility;
 pub mod neighbor;
 pub mod packet;
+pub mod partition;
 pub mod radio;
 pub mod rng;
 pub mod scene;
@@ -91,8 +95,9 @@ pub use mac::{CollisionDomain, MacModel};
 pub use mobility::{FieldSpec, MobilityModel, MobilityState};
 pub use neighbor::{ChannelIndexedTables, NeighborTables, UnifiedTable};
 pub use packet::EmuPacket;
+pub use partition::{Membership, Partitioner, TilePartition};
 pub use radio::Radio;
-pub use rng::EmuRng;
+pub use rng::{decide_rng, EmuRng, DECIDE_STREAM};
 pub use scene::{Scene, SceneOp, Vmn};
 pub use schedule::ForwardSchedule;
 pub use sleep::{GuardBand, SleepPolicy};

@@ -20,6 +20,11 @@ pub struct Exhaustiveness;
 const CHECKS: &[(&str, &str, &[&str])] = &[
     ("crates/proto/src/messages.rs", "ClientMsg", &["crates/server/src/server.rs"]),
     ("crates/proto/src/messages.rs", "ServerMsg", &["crates/client/src/client.rs"]),
+    (
+        "crates/proto/src/messages.rs",
+        "ClusterMsg",
+        &["crates/cluster/src/worker.rs", "crates/cluster/src/coordinator.rs"],
+    ),
     ("crates/record/src/records.rs", "TrafficRecord", &["crates/record/src/query.rs"]),
     ("crates/record/src/records.rs", "FaultRecord", &["crates/record/src/query.rs"]),
     (

@@ -90,6 +90,7 @@ pub(crate) fn determinism_scope(rel: &str) -> bool {
         || rel.starts_with("crates/record/src/")
         || rel.starts_with("crates/chaos/src/")
         || rel.starts_with("crates/profiles/src/")
+        || rel.starts_with("crates/cluster/src/")
         || matches!(
             rel,
             "crates/server/src/sim.rs"
@@ -103,6 +104,7 @@ pub(crate) fn determinism_scope(rel: &str) -> bool {
 /// threads. A malformed frame must surface as `Err`, never a panic.
 pub(crate) fn panic_scope(rel: &str) -> bool {
     rel.starts_with("crates/proto/src/")
+        || rel.starts_with("crates/cluster/src/")
         || matches!(
             rel,
             "crates/server/src/server.rs"

@@ -1,0 +1,6 @@
+// Clean fixture coordinator: references every ClusterMsg variant.
+pub fn drive(w: &mut Writer) -> Result<(), Error> {
+    w.send(&ClusterMsg::Assign { shard: 0 })?;
+    w.send(&ClusterMsg::Barrier { epoch: 1 })?;
+    w.send(&ClusterMsg::Shutdown)
+}

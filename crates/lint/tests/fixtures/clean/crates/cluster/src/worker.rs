@@ -1,0 +1,8 @@
+// Clean fixture worker: every ClusterMsg variant has a dispatch arm.
+pub fn serve(msg: ClusterMsg) -> Result<(), Error> {
+    match msg {
+        ClusterMsg::Assign { shard } => assign(shard),
+        ClusterMsg::Barrier { epoch } => ack(epoch),
+        ClusterMsg::Shutdown => Ok(()),
+    }
+}

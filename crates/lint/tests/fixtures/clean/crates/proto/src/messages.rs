@@ -8,3 +8,10 @@ pub enum ClientMsg {
 pub enum ServerMsg {
     Welcome { version: u16 },
 }
+
+#[derive(Serialize, Deserialize)]
+pub enum ClusterMsg {
+    Assign { shard: u32 },
+    Barrier { epoch: u64 },
+    Shutdown,
+}

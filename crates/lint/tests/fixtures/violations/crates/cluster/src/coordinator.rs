@@ -1,0 +1,6 @@
+// Fixture coordinator: sends Assign and Shutdown but never references
+// Barrier — a worker's BarrierAck contract would drift silently.
+pub fn handshake(w: &mut Writer) -> Result<(), Error> {
+    w.send(&ClusterMsg::Assign { shard: 0 })?;
+    w.send(&ClusterMsg::Shutdown)
+}

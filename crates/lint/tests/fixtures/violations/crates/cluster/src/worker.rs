@@ -1,0 +1,10 @@
+// Fixture shard worker: dispatches Assign and Barrier but forgot the
+// Shutdown arm — the coordinator's clean-teardown request would be
+// silently mishandled.
+pub fn serve(msg: ClusterMsg) -> Result<(), Error> {
+    match msg {
+        ClusterMsg::Assign { shard } => assign(shard),
+        ClusterMsg::Barrier { epoch } => ack(epoch),
+        _ => Err(Error::Protocol),
+    }
+}

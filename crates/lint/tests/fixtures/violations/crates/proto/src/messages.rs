@@ -9,3 +9,10 @@ pub enum ClientMsg {
 pub enum ServerMsg {
     Welcome,
 }
+
+#[derive(Serialize, Deserialize)]
+pub enum ClusterMsg {
+    Assign { shard: u32 },
+    Barrier { epoch: u64 },
+    Shutdown,
+}

@@ -46,6 +46,8 @@ fn violations_fixture_hits_every_rule_and_exits_nonzero() {
             ("panic_safety", "crates/proto/src/codec.rs", 2),
             ("panic_safety", "crates/proto/src/codec.rs", 2),
             ("exhaustiveness", "crates/proto/src/messages.rs", 5),
+            ("exhaustiveness", "crates/proto/src/messages.rs", 16),
+            ("exhaustiveness", "crates/proto/src/messages.rs", 17),
             ("exhaustiveness", "crates/record/src/records.rs", 11),
             ("lock_graph", "crates/server/src/a.rs", 3),
             ("metrics_drift", "crates/server/src/metrics.rs", 3),
@@ -173,6 +175,8 @@ fn violations_fixture_messages_name_the_problem() {
     assert!(msgs.iter().any(|m| m.contains("Instant::now")));
     assert!(msgs.iter().any(|m| m.contains("nondeterministic order")));
     assert!(msgs.iter().any(|m| m.contains("ClientMsg::Bye")));
+    assert!(msgs.iter().any(|m| m.contains("ClusterMsg::Shutdown")));
+    assert!(msgs.iter().any(|m| m.contains("ClusterMsg::Barrier")));
     assert!(msgs.iter().any(|m| m.contains("FaultRecord::Clock")));
     assert!(msgs.iter().any(|m| m.contains("SleepPolicy::Spin")));
     assert!(msgs.iter().any(|m| m.contains("SAFETY")));

@@ -28,4 +28,7 @@ pub mod pipe;
 
 pub use codec::{from_bytes, to_bytes, CodecError};
 pub use framing::{FrameDecoder, MsgReader, MsgWriter, MAX_FRAME_LEN};
-pub use messages::{ClientMsg, ServerMsg};
+pub use messages::{
+    ClientMsg, ClusterMsg, PacketDecisions, ServerMsg, TargetDecision, WireDecision,
+    PROTOCOL_VERSION,
+};

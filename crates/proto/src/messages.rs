@@ -6,7 +6,8 @@
 //! (2) answers sync requests, (3) delivers forwarded traffic, and
 //! (4) announces shutdown.
 
-use poem_core::{EmuPacket, EmuTime, NodeId};
+use poem_core::scene::SceneOp;
+use poem_core::{EmuPacket, EmuTime, NodeId, PacketId};
 use serde::{Deserialize, Serialize};
 
 /// Current protocol version; bumped on any wire-incompatible change.
@@ -70,6 +71,146 @@ pub enum ServerMsg {
         forwarded_at: EmuTime,
     },
     /// The emulation is over; the client should disconnect.
+    Shutdown,
+}
+
+/// Per-target outcome of a worker-side forwarding decision, as shipped
+/// back to the cluster coordinator. Mirrors the pipeline's
+/// `ForwardDecision` plus the unreachable case, with the forward time
+/// already resolved to an absolute instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireDecision {
+    /// Deliver a copy to the target when the emulation clock reaches
+    /// `fire_at` (client stamp + serialization + model delay).
+    Forward {
+        /// Absolute forward time.
+        fire_at: EmuTime,
+    },
+    /// The per-packet loss Bernoulli said drop.
+    Loss,
+    /// No usable link to the target (out of range, wrong channel, or a
+    /// unicast destination that is not a neighbor).
+    NoRoute,
+}
+
+/// One target's outcome within a [`PacketDecisions`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetDecision {
+    /// The would-be receiver.
+    pub to: NodeId,
+    /// What happened to its copy.
+    pub decision: WireDecision,
+}
+
+/// Every decision for one packet of a [`ClusterMsg::Batch`], in the
+/// scene's canonical target order (ascending node id) so the coordinator
+/// can replay them into the record log in the exact single-process order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketDecisions {
+    /// Index of the packet within the batch that carried it.
+    pub idx: u32,
+    /// Per-target outcomes. Empty for a broadcast with no neighbors; a
+    /// single `NoRoute` entry for an unreachable unicast.
+    pub targets: Vec<TargetDecision>,
+}
+
+/// Messages flowing coordinator ↔ shard worker (`poem-shardd`), framed
+/// exactly like the client protocol. The coordinator remains the single
+/// authority for the scene and the record log; workers hold a mirror of
+/// their members (owned nodes plus halo) and compute pure per-packet
+/// forwarding decisions against it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClusterMsg {
+    /// Coordinator → worker: run parameters. First message on every
+    /// worker connection.
+    Assign {
+        /// Protocol version spoken by the coordinator.
+        version: u16,
+        /// This worker's shard index.
+        shard: u32,
+        /// Total shard count.
+        shards: u32,
+        /// Scenario seed (feeds the worker's profile book).
+        seed: u64,
+        /// Base of the per-packet decision RNG stream
+        /// (`poem_core::rng::decide_rng`).
+        decide_base: u64,
+        /// Profile library text, when the scenario installed one.
+        profiles: Option<String>,
+    },
+    /// Coordinator → worker: a scene operation for the worker's mirror
+    /// (only ops touching the worker's members are sent).
+    Op {
+        /// Scenario time of the operation.
+        at: EmuTime,
+        /// The operation.
+        op: SceneOp,
+    },
+    /// Coordinator → worker: membership delta — nodes entering the
+    /// worker's mirror (as `AddNode`/`SetLinkProfile` ops) and nodes
+    /// leaving it.
+    HaloUpdate {
+        /// Scenario time of the update.
+        at: EmuTime,
+        /// Ops materializing the entering nodes.
+        enter: Vec<SceneOp>,
+        /// Nodes leaving the mirror.
+        leave: Vec<NodeId>,
+    },
+    /// Coordinator → worker: decide these packets (their senders are
+    /// owned by this shard).
+    Batch {
+        /// Server receipt time of the batch.
+        received_at: EmuTime,
+        /// `(index within the coordinator batch, packet)` pairs.
+        pkts: Vec<(u32, EmuPacket)>,
+    },
+    /// Worker → coordinator: the decisions for one [`ClusterMsg::Batch`].
+    BatchResult {
+        /// One entry per batch packet, in batch order.
+        results: Vec<PacketDecisions>,
+    },
+    /// Coordinator → worker: a copy of a packet decided by *another*
+    /// shard is headed for a node this worker owns (the cross-shard
+    /// forwarding path). Informational — delivery itself is scheduled by
+    /// the coordinator — but keeps per-shard traffic accounting exact.
+    Forward {
+        /// The forwarded packet.
+        id: PacketId,
+        /// The receiving node (owned by this worker).
+        to: NodeId,
+        /// When the copy fires.
+        fire_at: EmuTime,
+    },
+    /// Coordinator → worker: end of a lockstep epoch; the worker replies
+    /// [`ClusterMsg::BarrierAck`] once everything before it is applied.
+    Barrier {
+        /// Epoch number (monotonic).
+        epoch: u64,
+    },
+    /// Worker → coordinator: barrier acknowledged — everything the
+    /// coordinator sent before the barrier has been applied.
+    BarrierAck {
+        /// Echoed epoch number.
+        epoch: u64,
+        /// The acknowledging shard.
+        shard: u32,
+    },
+    /// Worker → coordinator: per-shard counters, sent just before each
+    /// barrier ack so the coordinator's gauges stay fresh at epoch
+    /// granularity. (Ownership vs halo split is the coordinator's
+    /// knowledge; the worker only sees its member mirror.)
+    Metrics {
+        /// Reporting shard.
+        shard: u32,
+        /// Packets decided since assignment.
+        decided: u64,
+        /// Cross-shard forwards received since assignment.
+        forwards_in: u64,
+        /// Nodes currently in the worker's mirror (owned + halo).
+        member_nodes: u64,
+    },
+    /// Coordinator → worker: the run is over; exit cleanly.
     Shutdown,
 }
 
@@ -159,6 +300,80 @@ mod tests {
         for m in msgs {
             let bytes = to_bytes(&m).unwrap();
             assert_eq!(from_bytes::<ServerMsg>(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn cluster_messages_roundtrip() {
+        use poem_core::linkmodel::LinkParams;
+        use poem_core::mobility::MobilityModel;
+        use poem_core::radio::RadioConfig;
+        use poem_core::Point;
+        let msgs = vec![
+            ClusterMsg::Assign {
+                version: PROTOCOL_VERSION,
+                shard: 1,
+                shards: 4,
+                seed: 7,
+                decide_base: 0xDEAD_BEEF,
+                profiles: Some("profile clean trace\nat 0 loss 0 bps 8e6 delay 0\nend\n".into()),
+            },
+            ClusterMsg::Op {
+                at: EmuTime::from_millis(5),
+                op: SceneOp::MoveNode { id: NodeId(3), pos: Point::new(1.0, -2.0) },
+            },
+            ClusterMsg::HaloUpdate {
+                at: EmuTime::from_millis(6),
+                enter: vec![SceneOp::AddNode {
+                    id: NodeId(9),
+                    pos: Point::new(10.0, 20.0),
+                    radios: RadioConfig::single(poem_core::ChannelId(2), 120.0),
+                    mobility: MobilityModel::Stationary,
+                    link: LinkParams::ideal(8e6),
+                }],
+                leave: vec![NodeId(4), NodeId(5)],
+            },
+            ClusterMsg::Batch {
+                received_at: EmuTime::from_millis(9),
+                pkts: vec![(
+                    2,
+                    EmuPacket::new(
+                        PacketId(11),
+                        NodeId(1),
+                        poem_core::packet::Destination::Broadcast,
+                        poem_core::ChannelId(1),
+                        poem_core::RadioId(0),
+                        EmuTime::from_millis(8),
+                        vec![3u8; 32],
+                    ),
+                )],
+            },
+            ClusterMsg::BatchResult {
+                results: vec![PacketDecisions {
+                    idx: 2,
+                    targets: vec![
+                        TargetDecision {
+                            to: NodeId(2),
+                            decision: WireDecision::Forward { fire_at: EmuTime::from_millis(9) },
+                        },
+                        TargetDecision { to: NodeId(3), decision: WireDecision::Loss },
+                        TargetDecision { to: NodeId(4), decision: WireDecision::NoRoute },
+                    ],
+                }],
+            },
+            ClusterMsg::Forward {
+                id: PacketId(11),
+                to: NodeId(6),
+                fire_at: EmuTime::from_millis(10),
+            },
+            ClusterMsg::Barrier { epoch: 3 },
+            ClusterMsg::BarrierAck { epoch: 3, shard: 1 },
+            ClusterMsg::Metrics { shard: 1, decided: 40, forwards_in: 2, member_nodes: 25 },
+            ClusterMsg::Shutdown,
+        ];
+        for m in msgs {
+            let bytes = to_bytes(&m).unwrap();
+            assert_eq!(from_bytes::<ClusterMsg>(&bytes).unwrap(), m);
         }
     }
 

@@ -34,13 +34,17 @@ struct Args {
     duration: Option<f64>,
     sleep_policy: SleepPolicy,
     profiles: Option<PathBuf>,
+    cluster: bool,
+    shards: u32,
+    tile_edge: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let script = PathBuf::from(args.next().ok_or(
         "usage: poem-server <scenario.poem> [--listen ADDR] [--seed N] [--duration SECS] \
-         [--sleep-policy naive|hybrid|spin|auto] [--profiles FILE]",
+         [--sleep-policy naive|hybrid|spin|auto] [--profiles FILE] \
+         [--cluster [--shards N] [--tile-edge UNITS]]",
     )?);
     let mut out = Args {
         script,
@@ -49,6 +53,9 @@ fn parse_args() -> Result<Args, String> {
         duration: None,
         sleep_policy: SleepPolicy::default(),
         profiles: None,
+        cluster: false,
+        shards: 2,
+        tile_edge: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -60,6 +67,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--sleep-policy" => out.sleep_policy = value()?.parse()?,
             "--profiles" => out.profiles = Some(PathBuf::from(value()?)),
+            "--cluster" => out.cluster = true,
+            "--shards" => {
+                out.shards = value()?.parse().map_err(|e| format!("bad shard count: {e}"))?;
+                out.cluster = true;
+            }
+            "--tile-edge" => {
+                out.tile_edge = Some(value()?.parse().map_err(|e| format!("bad tile edge: {e}"))?)
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -72,8 +87,10 @@ fn parse_args() -> Result<Args, String> {
 fn load_profiles(
     args: &Args,
     script: &Script,
-) -> Result<Option<(poem_profiles::ProfileLibrary, Vec<poem_server::script::ScriptEntry>)>, String>
-{
+) -> Result<
+    Option<(String, poem_profiles::ProfileLibrary, Vec<poem_server::script::ScriptEntry>)>,
+    String,
+> {
     let path = match &args.profiles {
         Some(p) => p.clone(),
         None if script.profile_count() > 0 => args.script.with_extension("profile"),
@@ -89,7 +106,7 @@ fn load_profiles(
     let lib = poem_profiles::ProfileLibrary::parse(&text)
         .map_err(|e| format!("{}: {e}", path.display()))?;
     let resolved = script.resolve_profiles(&lib).map_err(|e| format!("{}: {e}", path.display()))?;
-    Ok(Some((lib, resolved)))
+    Ok(Some((text, lib, resolved)))
 }
 
 fn main() {
@@ -125,7 +142,7 @@ fn main() {
 
     // t = 0 ops form the initial scene; later ops fire live. Resolved
     // profile bindings join the same timeline.
-    let resolved = profiles.as_ref().map(|(_, r)| r.as_slice()).unwrap_or(&[]);
+    let resolved = profiles.as_ref().map(|(_, _, r)| r.as_slice()).unwrap_or(&[]);
     let mut timeline: Vec<_> = script.entries().iter().chain(resolved).cloned().collect();
     timeline.sort_by_key(|e| e.at);
     let mut scene = Scene::new();
@@ -158,13 +175,35 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if let Some((lib, _)) = &profiles {
+    if let Some((_, lib, _)) = &profiles {
         server.install_profiles(lib.clone());
         println!(
             "profiles: {} ({} binding(s) on the timeline)",
             lib.names().collect::<Vec<_>>().join(", "),
             script.profile_count()
         );
+    }
+    if args.cluster {
+        // Tile edge defaults to the scene's longest radio range — the
+        // smallest tiling the halo invariant allows.
+        let max_range = server.with_scene(|s| {
+            s.nodes()
+                .flat_map(|v| v.radios.radios().iter().map(|r| r.range))
+                .fold(1.0_f64, f64::max)
+        });
+        let config = poem_cluster::ClusterConfig {
+            workers: args.shards.max(1),
+            tile_edge: args.tile_edge.unwrap_or(max_range),
+            profiles: profiles.as_ref().map(|(text, _, _)| text.clone()),
+            ..poem_cluster::ClusterConfig::default()
+        };
+        match server.attach_cluster(config) {
+            Ok(()) => println!("cluster: {} shard worker(s) attached", args.shards.max(1)),
+            Err(e) => {
+                eprintln!("cannot attach cluster: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     println!("poem-server listening on {}", server.addr());
     println!(

@@ -1,0 +1,31 @@
+//! `poem-shardd` — one cluster shard worker process.
+//!
+//! Spawned by the cluster coordinator with a single argument: the
+//! coordinator's listen address. Everything else — shard assignment,
+//! seed, decision base, the mirror sub-scene — arrives over the
+//! connection. Exits cleanly when the coordinator shuts the cluster down
+//! or disappears.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let addr = match args.next() {
+        Some(a) if a != "--help" && a != "-h" => a,
+        _ => {
+            eprintln!("usage: poem-shardd <coordinator-addr>");
+            eprintln!();
+            eprintln!("Shard worker for distributed PoEm emulation. Not meant to be");
+            eprintln!("run by hand: the coordinator (poem-server --cluster, or a");
+            eprintln!("poem_cluster::Coordinator embedding) spawns one per shard.");
+            return ExitCode::FAILURE;
+        }
+    };
+    match poem_cluster::worker::run(&addr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("poem-shardd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -35,6 +35,7 @@ use crossbeam::thread;
 use parking_lot::{Mutex, RwLock};
 use poem_core::linkmodel::ForwardDecision;
 use poem_core::packet::Destination;
+use poem_core::partition::Partitioner;
 use poem_core::scene::{Scene, SceneError, SceneOp};
 use poem_core::{EmuPacket, EmuRng, EmuTime, NodeId, Point};
 use poem_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
@@ -195,6 +196,10 @@ fn shard_worker(
 pub struct ClusterPipeline {
     scene: Arc<RwLock<Scene>>,
     shards: Arc<Vec<Mutex<Shard>>>,
+    /// Shard-assignment strategy, shared with the multi-process cluster
+    /// coordinator via `poem_core::partition` so the two sharding modes
+    /// cannot drift apart.
+    partitioner: Partitioner,
     /// Scene-op log (single writer, so unsharded).
     recorder: Arc<Recorder>,
     mobility_rng: Mutex<EmuRng>,
@@ -235,6 +240,7 @@ impl ClusterPipeline {
         ClusterPipeline {
             scene,
             shards,
+            partitioner: Partitioner::Modulo { shards: config.shards as u32 },
             recorder,
             mobility_rng: Mutex::new(root.fork()),
             batch_size: registry.histogram("poem_batch_size_packets", BATCH_SIZE_BOUNDS),
@@ -259,9 +265,11 @@ impl ClusterPipeline {
         self.shards.len()
     }
 
-    /// The shard that owns a source VMN.
+    /// The shard that owns a source VMN. Delegates to the shared
+    /// [`Partitioner`]; the in-process cluster uses the position-free
+    /// modulo strategy, so the position argument is immaterial.
     pub fn shard_of(&self, node: NodeId) -> usize {
-        node.0 as usize % self.shards.len()
+        self.partitioner.owner_of(node, Point::ORIGIN) as usize
     }
 
     /// The scene-op recorder (traffic records live in per-shard logs;

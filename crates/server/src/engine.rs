@@ -88,7 +88,16 @@ pub struct Delivery {
 pub struct Pipeline {
     scene: Scene,
     recorder: Arc<Recorder>,
+    /// Mobility stream: field sampling and waypoint draws. Forwarding
+    /// decisions do NOT draw from here — see `decide_base`.
     rng: EmuRng,
+    /// Base of the per-packet decision stream: every loss / bandwidth /
+    /// delay draw for a packet comes from
+    /// [`poem_core::rng::decide_rng`]`(decide_base, pkt.id)`, making the
+    /// decisions a pure function of `(seed, packet id)` — the property
+    /// that lets a distributed cluster run reproduce this pipeline byte
+    /// for byte regardless of which worker decides which packet.
+    decide_base: u64,
     mac: MacModel,
     collisions: CollisionDomain,
     energy: Option<EnergyBook>,
@@ -115,9 +124,12 @@ impl Pipeline {
     pub fn with_config(
         scene: Scene,
         recorder: Arc<Recorder>,
-        rng: EmuRng,
+        mut rng: EmuRng,
         config: PipelineConfig,
     ) -> Self {
+        // One draw splits the seed stream in two: the remainder drives
+        // mobility, the drawn value bases the per-packet decision streams.
+        let decide_base = rng.next_u64();
         let energy = config.power.map(|p| {
             let mut book = EnergyBook::new(p);
             for v in scene.nodes() {
@@ -132,6 +144,7 @@ impl Pipeline {
             scene,
             recorder,
             rng,
+            decide_base,
             mac: config.mac,
             collisions: CollisionDomain::new(),
             energy,
@@ -180,6 +193,18 @@ impl Pipeline {
     /// Read access to the scene.
     pub fn scene(&self) -> &Scene {
         &self.scene
+    }
+
+    /// Base of the per-packet decision RNG stream. A cluster coordinator
+    /// hands this to its shard workers so their decisions reproduce this
+    /// pipeline's exactly.
+    pub fn decide_base(&self) -> u64 {
+        self.decide_base
+    }
+
+    /// The configured MAC discipline.
+    pub fn mac(&self) -> MacModel {
+        self.mac
     }
 
     /// Records the current scene's nodes as `AddNode` ops at `at`, so a
@@ -307,9 +332,13 @@ impl Pipeline {
         // When the sender is bound to an empirical profile (and a library
         // is installed), link quality comes from the profile's snapshot at
         // the transmission instant instead of the analytic distance ramps.
-        // The loss Bernoulli still draws from the pipeline RNG — exactly
-        // one draw per reachable target, same as the analytic path — so a
-        // scenario replays byte-identically whichever backend decides.
+        // Either backend draws from the packet's own decision stream —
+        // exactly one draw per reachable target, in canonical (ascending
+        // id) target order — so the decisions are a pure function of
+        // `(seed, packet id)`: a scenario replays byte-identically
+        // whichever backend decides, and whichever process (this pipeline
+        // or a cluster shard worker) does the deciding.
+        let mut decide = poem_core::rng::decide_rng(self.decide_base, pkt.id);
         let sender_profile = self.scene.link_profile(pkt.src);
         for &to in &targets {
             let profiled = match (sender_profile, self.profiles.as_mut()) {
@@ -319,7 +348,7 @@ impl Pipeline {
                     .and_then(|_| book.snapshot(pid, pkt.src, to, base))
                     .map(|snap| {
                         self.metrics.profile_decides.inc();
-                        snap.decide(pkt.wire_size(), &mut self.rng)
+                        snap.decide(pkt.wire_size(), &mut decide)
                     }),
                 // No profile bound (or no library / unknown id): fall back
                 // to the analytic models below.
@@ -327,7 +356,7 @@ impl Pipeline {
             };
             let decision = match profiled {
                 Some(d) => Some(d),
-                None => self.scene.decide(pkt.src, to, pkt.channel, pkt.wire_size(), &mut self.rng),
+                None => self.scene.decide(pkt.src, to, pkt.channel, pkt.wire_size(), &mut decide),
             };
             match decision {
                 Some(ForwardDecision::ForwardAfter(d)) => {

@@ -24,7 +24,7 @@ use poem_chaos::{ChaosMetrics, FaultKind, FaultPlan, WireFaultHub};
 use poem_core::clock::Clock;
 use poem_core::scene::{Scene, SceneError, SceneOp};
 use poem_core::sleep::{DutyCycle, GuardBand, SleepPolicy};
-use poem_core::{EmuDuration, EmuRng, EmuTime, ForwardSchedule, NodeId};
+use poem_core::{EmuDuration, EmuPacket, EmuRng, EmuTime, ForwardSchedule, NodeId};
 use poem_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use poem_proto::messages::{ClientMsg, ServerMsg, PROTOCOL_VERSION};
 use poem_proto::{MsgReader, MsgWriter};
@@ -210,6 +210,12 @@ struct Shared {
     receivers: Mutex<Vec<JoinHandle<()>>>,
     /// Active transport faults (stall / slow-reader), keyed by victim.
     stalls: Mutex<HashMap<NodeId, StallEntry>>,
+    /// Distributed forwarding, when a worker fleet is attached. The
+    /// real-time frontend uses it best-effort: any cluster failure logs,
+    /// tears the fleet down, and falls back to local forwarding (unlike
+    /// the virtual-time harness, which fails the run — real time has no
+    /// byte-identity contract to protect).
+    cluster: Mutex<Option<Box<poem_cluster::Coordinator>>>,
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
     /// Paired mutex/condvar the periodic threads (mobility, metrics)
@@ -256,6 +262,7 @@ impl ServerHandle {
             metrics,
             receivers: Mutex::new(Vec::new()),
             stalls: Mutex::new(HashMap::new()),
+            cluster: Mutex::new(None),
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
             shutdown_mx: Mutex::new(()),
@@ -314,11 +321,68 @@ impl ServerHandle {
         self.shared.registry.snapshot()
     }
 
+    /// Switches forwarding to a `poem-shardd` worker fleet. Call before
+    /// clients connect; the fleet mirrors the current scene. Real-time
+    /// cluster use is best-effort — a cluster failure mid-run falls back
+    /// to local forwarding instead of killing the server.
+    pub fn attach_cluster(
+        &self,
+        mut config: poem_cluster::ClusterConfig,
+    ) -> Result<(), poem_cluster::ClusterError> {
+        let pipeline = self.shared.pipeline.lock();
+        if pipeline.mac() != poem_core::mac::MacModel::None {
+            return Err(poem_cluster::ClusterError::Unsupported(
+                "MAC models (medium state is global)",
+            ));
+        }
+        config.seed = self.shared.seed;
+        let coord = poem_cluster::Coordinator::launch(
+            config,
+            pipeline.decide_base(),
+            pipeline.scene(),
+            pipeline.metrics_registry(),
+        )?;
+        *self.shared.cluster.lock() = Some(Box::new(coord));
+        Ok(())
+    }
+
+    /// Whether a worker fleet is currently attached.
+    pub fn cluster_attached(&self) -> bool {
+        self.shared.cluster.lock().is_some()
+    }
+
     /// Applies a scene operation right now — the API behind the paper's
     /// GUI drag/configure interactions.
     pub fn apply_op(&self, op: SceneOp) -> Result<(), SceneError> {
         let now = self.shared.clock.now();
-        self.shared.pipeline.lock().apply_op(now, op)
+        let dead = {
+            let mut pipeline = self.shared.pipeline.lock();
+            pipeline.apply_op(now, op.clone())?;
+            let mut cluster = self.shared.cluster.lock();
+            match cluster.as_deref_mut() {
+                Some(coord) => {
+                    // The coordinator round-trip is the resource this
+                    // dedicated mutex serializes: mirror order must match
+                    // pipeline apply order, so the RPC cannot move outside
+                    // the guards.
+                    // poem-lint: allow(blocking_under_lock): the cluster mutex exists to serialize the coordinator wire protocol
+                    if let Err(e) = coord.apply_op(now, &op, pipeline.scene()) {
+                        eprintln!(
+                            "cluster failure on `{op}`, falling back to local forwarding: {e}"
+                        );
+                        cluster.take()
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            }
+        };
+        // Teardown blocks on the wire — run it with every lock released.
+        if let Some(mut coord) = dead {
+            coord.shutdown();
+        }
+        Ok(())
     }
 
     /// Runs `f` with read access to the current scene.
@@ -406,6 +470,11 @@ impl ServerHandle {
         let receivers: Vec<_> = self.shared.receivers.lock().drain(..).collect();
         for t in receivers {
             let _ = t.join();
+        }
+        // Detach first so the (blocking) teardown runs unlocked.
+        let dead = self.shared.cluster.lock().take();
+        if let Some(mut coord) = dead {
+            coord.shutdown();
         }
     }
 }
@@ -536,7 +605,7 @@ fn client_session(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                     continue;
                 }
                 let received_at = shared.clock.now();
-                let deliveries = shared.pipeline.lock().ingest(&pkt, received_at);
+                let deliveries = ingest_best_effort(&shared, &pkt, received_at);
                 if !deliveries.is_empty() {
                     let mut schedule = shared.schedule.lock();
                     for d in deliveries {
@@ -878,12 +947,63 @@ fn mobility_loop(shared: Arc<Shared>, step: Duration) {
     // more after `running` flipped.
     while shared.interruptible_sleep(step) {
         let now = shared.clock.now();
-        let mut pipeline = shared.pipeline.lock();
-        let had_mobile = pipeline.scene().nodes().any(|v| v.mobility.is_mobile());
-        if had_mobile {
-            pipeline.advance_mobility(now);
+        let mut dead = None;
+        {
+            let mut pipeline = shared.pipeline.lock();
+            let had_mobile = pipeline.scene().nodes().any(|v| v.mobility.is_mobile());
+            if had_mobile {
+                pipeline.advance_mobility(now);
+                let mut cluster = shared.cluster.lock();
+                if let Some(coord) = cluster.as_deref_mut() {
+                    // The sync must see the freshly-advanced scene under
+                    // the same pipeline guard, and the cluster mutex
+                    // serializes the coordinator wire protocol.
+                    // poem-lint: allow(blocking_under_lock): epoch sync must run against the scene state it barriers
+                    if let Err(e) = coord.sync(now, pipeline.scene()) {
+                        eprintln!("cluster sync failed, falling back to local forwarding: {e}");
+                        dead = cluster.take();
+                    }
+                }
+            }
+        }
+        // Teardown blocks on the wire — run it with every lock released.
+        if let Some(mut coord) = dead {
+            coord.shutdown();
         }
     }
+}
+
+/// Real-time ingest: through the attached worker fleet when one exists,
+/// else the local pipeline. Best-effort: any cluster failure logs, tears
+/// the fleet down, and the packet (plus all later ones) is decided
+/// locally.
+fn ingest_best_effort(shared: &Shared, pkt: &EmuPacket, received_at: EmuTime) -> Vec<Delivery> {
+    let mut dead = None;
+    {
+        let mut cluster = shared.cluster.lock();
+        if let Some(coord) = cluster.as_deref_mut() {
+            // The batch round-trip is the resource the cluster mutex
+            // serializes; concurrent receivers must not interleave frames.
+            // poem-lint: allow(blocking_under_lock): the cluster mutex exists to serialize the coordinator wire protocol
+            match coord.ingest_batch(std::slice::from_ref(pkt), received_at, &shared.recorder) {
+                Ok(settled) => {
+                    return settled
+                        .into_iter()
+                        .map(|d| Delivery { to: d.to, fire_at: d.fire_at, packet: d.packet })
+                        .collect();
+                }
+                Err(e) => {
+                    eprintln!("cluster failure, falling back to local forwarding: {e}");
+                    dead = cluster.take();
+                }
+            }
+        }
+    }
+    // Teardown blocks on the wire — run it with every lock released.
+    if let Some(mut coord) = dead {
+        coord.shutdown();
+    }
+    shared.pipeline.lock().ingest(pkt, received_at)
 }
 
 /// Step-7 companion: periodically appends a [`MetricsRecord`] snapshot of

@@ -14,6 +14,7 @@ use bytes::Bytes;
 use poem_chaos::{ChaosMetrics, FaultKind, FaultPlan};
 use poem_client::nic::QueueNic;
 use poem_client::ClientApp;
+use poem_cluster::{ClusterConfig, ClusterError, Coordinator};
 use poem_core::linkmodel::LinkParams;
 use poem_core::mobility::MobilityModel;
 use poem_core::radio::RadioConfig;
@@ -219,6 +220,15 @@ impl SimChaos {
     }
 }
 
+/// Distributed-mode state: the worker fleet plus the first failure, if
+/// any. Distributed execution is all-or-nothing — after a cluster error
+/// the harness stops producing traffic outcomes rather than silently
+/// falling back to local decisions (which would fork the record log).
+struct ClusterState {
+    coord: Coordinator,
+    error: Option<ClusterError>,
+}
+
 /// The single-process deterministic emulation.
 pub struct SimNet {
     pipeline: Pipeline,
@@ -229,6 +239,7 @@ pub struct SimNet {
     mobility_step: EmuDuration,
     mobility_armed: bool,
     chaos: Option<Box<SimChaos>>,
+    cluster: Option<Box<ClusterState>>,
 }
 
 impl SimNet {
@@ -249,6 +260,98 @@ impl SimNet {
             mobility_step: config.mobility_step,
             mobility_armed: false,
             chaos: None,
+            cluster: None,
+        }
+    }
+
+    /// Switches the harness to distributed execution: spawns
+    /// `config.workers` `poem-shardd` processes, ships them the current
+    /// scene, and from here on routes every packet decision through the
+    /// cluster. The coordinator inherits the harness seed and the
+    /// pipeline's decision base, so the merged record log is
+    /// byte-identical to a local run of the same scenario. If empirical
+    /// profiles are in play, install the library locally first and pass
+    /// the same text in `config.profiles`.
+    ///
+    /// Only the baseline models distribute: a MAC discipline or power
+    /// metering couples every transmission globally and is refused.
+    pub fn attach_cluster(&mut self, mut config: ClusterConfig) -> Result<(), ClusterError> {
+        if self.pipeline.mac() != poem_core::mac::MacModel::None {
+            return Err(ClusterError::Unsupported("MAC models (medium state is global)"));
+        }
+        if self.pipeline.energy().is_some() {
+            return Err(ClusterError::Unsupported("power metering (energy ledger is global)"));
+        }
+        config.seed = self.seed;
+        let coord = Coordinator::launch(
+            config,
+            self.pipeline.decide_base(),
+            self.pipeline.scene(),
+            self.pipeline.metrics_registry(),
+        )?;
+        self.cluster = Some(Box::new(ClusterState { coord, error: None }));
+        Ok(())
+    }
+
+    /// The first cluster failure, if distributed execution broke down.
+    /// Virtual-time drivers should treat `Some` as a failed run.
+    pub fn cluster_error(&self) -> Option<&ClusterError> {
+        self.cluster.as_ref().and_then(|c| c.error.as_ref())
+    }
+
+    /// The cluster coordinator, when distributed execution is attached.
+    pub fn cluster(&self) -> Option<&Coordinator> {
+        self.cluster.as_ref().map(|c| &c.coord)
+    }
+
+    /// Tears the worker fleet down (orderly shutdown, then kill). The
+    /// harness reverts to local execution.
+    pub fn shutdown_cluster(&mut self) {
+        if let Some(mut cl) = self.cluster.take() {
+            cl.coord.shutdown();
+        }
+    }
+
+    /// Mirrors a successfully applied scene op to the worker fleet.
+    fn mirror_op(&mut self, op: &SceneOp) {
+        let Some(cl) = self.cluster.as_mut() else { return };
+        if cl.error.is_some() {
+            return;
+        }
+        if let Err(e) = cl.coord.apply_op(self.now, op, self.pipeline.scene()) {
+            cl.error = Some(e);
+        }
+    }
+
+    /// Rebalances, ships position updates, and runs a lockstep barrier —
+    /// the distributed analogue of one scan tick.
+    fn cluster_sync(&mut self) {
+        let Some(cl) = self.cluster.as_mut() else { return };
+        if cl.error.is_some() {
+            return;
+        }
+        if let Err(e) = cl.coord.sync(self.now, self.pipeline.scene()) {
+            cl.error = Some(e);
+        }
+    }
+
+    /// Routes one ingress packet through the cluster and maps the settled
+    /// outcomes onto pipeline deliveries.
+    fn cluster_ingest(&mut self, pkt: &EmuPacket) -> Vec<Delivery> {
+        let Some(cl) = self.cluster.as_mut() else { return Vec::new() };
+        if cl.error.is_some() {
+            return Vec::new();
+        }
+        let recorder = self.pipeline.recorder();
+        match cl.coord.ingest_batch(std::slice::from_ref(pkt), self.now, recorder) {
+            Ok(settled) => settled
+                .into_iter()
+                .map(|d| Delivery { to: d.to, fire_at: d.fire_at, packet: d.packet })
+                .collect(),
+            Err(e) => {
+                cl.error = Some(e);
+                Vec::new()
+            }
         }
     }
 
@@ -301,10 +404,9 @@ impl SimNet {
         link: LinkParams,
         app: Box<dyn ClientApp>,
     ) -> Result<(), SceneError> {
-        self.pipeline.apply_op(
-            self.now,
-            SceneOp::AddNode { id, pos, radios: radios.clone(), mobility, link },
-        )?;
+        let add = SceneOp::AddNode { id, pos, radios: radios.clone(), mobility, link };
+        self.pipeline.apply_op(self.now, add.clone())?;
+        self.mirror_op(&add);
         let mut node = SimNode { nic: QueueNic::new(id, radios), app };
         node.nic.set_now(self.now);
         if let Some(delay) = node.app.on_start(&mut node.nic) {
@@ -344,6 +446,7 @@ impl SimNet {
     pub fn apply_op(&mut self, op: SceneOp) -> Result<(), SceneError> {
         let op_clone = op.clone();
         self.pipeline.apply_op(self.now, op)?;
+        self.mirror_op(&op_clone);
         self.after_op(&op_clone);
         Ok(())
     }
@@ -456,7 +559,8 @@ impl SimNet {
                 let legs = poem_chaos::crash_legs(self.pipeline.scene(), now, node, restart_after);
                 if let Some((remove, restore)) = legs {
                     let parked_node = self.nodes.remove(&node);
-                    if self.pipeline.apply_op(now, remove).is_ok() {
+                    if self.pipeline.apply_op(now, remove.clone()).is_ok() {
+                        self.mirror_op(&remove);
                         if let (Some(sim_node), Some((at, add))) = (parked_node, restore) {
                             if let Some(chaos) = self.chaos.as_mut() {
                                 chaos.parked.insert(node, (sim_node, add));
@@ -515,6 +619,7 @@ impl SimNet {
         for (at, op) in legs {
             if at <= self.now {
                 if self.pipeline.apply_op(self.now, op.clone()).is_ok() {
+                    self.mirror_op(&op);
                     self.after_op(&op);
                 }
             } else {
@@ -553,7 +658,14 @@ impl SimNet {
             };
             for pkt in copies {
                 // In-process transport: the server "receives" instantly.
-                for d in self.pipeline.ingest(&pkt, self.now) {
+                // Distributed mode fans the decision out to the shard
+                // owning the sender instead of deciding locally.
+                let deliveries = if self.cluster.is_some() {
+                    self.cluster_ingest(&pkt)
+                } else {
+                    self.pipeline.ingest(&pkt, self.now)
+                };
+                for d in deliveries {
                     let at = d.fire_at.max(self.now) + extra_delay;
                     self.schedule.schedule(at, SimEvent::Deliver(d));
                 }
@@ -583,6 +695,7 @@ impl SimNet {
                 }
                 SimEvent::Mobility => {
                     self.pipeline.advance_mobility(self.now);
+                    self.cluster_sync();
                     self.schedule.schedule(self.now + self.mobility_step, SimEvent::Mobility);
                 }
                 SimEvent::Op(op) => {
@@ -590,6 +703,7 @@ impl SimNet {
                     // here (e.g. removing an already-removed node) is
                     // recorded nowhere and simply skipped.
                     if self.pipeline.apply_op(self.now, op.clone()).is_ok() {
+                        self.mirror_op(&op);
                         self.after_op(&op);
                     }
                 }
@@ -611,6 +725,7 @@ impl SimNet {
         self.now = self.now.max(t_end);
         if self.mobility_armed {
             self.pipeline.advance_mobility(self.now);
+            self.cluster_sync();
         }
     }
 
@@ -647,9 +762,10 @@ impl SimNet {
         let Some((mut node, add)) = self.chaos.as_mut().and_then(|c| c.unpark(id, self.now)) else {
             return;
         };
-        if self.pipeline.apply_op(self.now, add).is_err() {
+        if self.pipeline.apply_op(self.now, add.clone()).is_err() {
             return;
         }
+        self.mirror_op(&add);
         if let Some(radios) = self.pipeline.scene().node(id).map(|v| v.radios.clone()) {
             node.nic.set_radios(radios);
         }

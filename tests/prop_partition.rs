@@ -1,0 +1,133 @@
+//! Property tests for the spatial shard partition behind the cluster
+//! coordinator (`poem_core::partition`): for arbitrary node populations,
+//! shard counts, tile edges, and pins,
+//!
+//! * every node has exactly one owner, and it is in shard range;
+//! * pins always win over tile ownership;
+//! * a shard's mirror set is *exactly* the 3×3 tile neighborhoods of the
+//!   nodes it owns (no more, no less); and
+//! * with tile edge ≥ the radio range, every in-range neighbor of an
+//!   owned node is in the owner's mirror set — the **halo invariant**
+//!   that makes boundary neighbor lookups on a shard worker exact.
+
+use poem_core::partition::{Tile, TilePartition};
+use poem_core::{NodeId, Point};
+use proptest::prelude::*;
+
+fn cheb(a: Tile, b: Tile) -> i64 {
+    (a.0 - b.0).abs().max((a.1 - b.1).abs())
+}
+
+/// Node populations on a plane that spans several tiles both ways,
+/// including negative coordinates.
+fn nodes_strategy() -> impl Strategy<Value = Vec<(u32, (f64, f64))>> {
+    proptest::collection::vec((0u32..64, (-900.0..900.0f64, -900.0..900.0f64)), 1..48)
+}
+
+proptest! {
+    #[test]
+    fn every_node_has_exactly_one_in_range_owner(
+        raw in nodes_strategy(),
+        shards in 1u32..6,
+        tile_edge in 40.0..260.0f64,
+    ) {
+        let t = TilePartition::new(shards, tile_edge);
+        let nodes: Vec<(NodeId, Point)> = dedup(&raw);
+        let m = t.membership(nodes.iter().copied());
+        prop_assert_eq!(m.owner.len(), nodes.len());
+        let mut owned_total = 0usize;
+        for s in 0..shards {
+            prop_assert!(m.members.contains_key(&s), "shard {} missing a member set", s);
+            owned_total += m.owner.values().filter(|&&o| o == s).count();
+        }
+        prop_assert_eq!(owned_total, nodes.len(), "ownership must partition the population");
+        for (&id, &s) in &m.owner {
+            prop_assert!(s < shards, "{} owned by out-of-range shard {}", id, s);
+            prop_assert_eq!(
+                s,
+                t.owner_of(id, pos_of(&nodes, id)),
+                "membership and owner_of disagree for {}", id
+            );
+        }
+    }
+
+    #[test]
+    fn pins_always_win_over_tiles(
+        raw in nodes_strategy(),
+        shards in 2u32..6,
+        tile_edge in 40.0..260.0f64,
+        pin_shard in 0u32..8,
+    ) {
+        let mut t = TilePartition::new(shards, tile_edge);
+        let nodes: Vec<(NodeId, Point)> = dedup(&raw);
+        let pinned = nodes[0].0;
+        t.pin(pinned, pin_shard);
+        let m = t.membership(nodes.iter().copied());
+        let expect = pin_shard.min(shards - 1);
+        prop_assert_eq!(m.owner[&pinned], expect);
+        // The pinned node is still mirrored by its owner.
+        prop_assert!(m.members[&expect].contains(&pinned));
+    }
+
+    #[test]
+    fn mirror_sets_are_exactly_the_three_by_three_neighborhoods(
+        raw in nodes_strategy(),
+        shards in 1u32..6,
+        tile_edge in 40.0..260.0f64,
+    ) {
+        let t = TilePartition::new(shards, tile_edge);
+        let nodes: Vec<(NodeId, Point)> = dedup(&raw);
+        let m = t.membership(nodes.iter().copied());
+        for &(b, bpos) in &nodes {
+            for s in 0..shards {
+                let held = m.members[&s].contains(&b);
+                let needed = nodes.iter().any(|&(a, apos)| {
+                    m.owner[&a] == s && cheb(t.tile_of(apos), t.tile_of(bpos)) <= 1
+                });
+                prop_assert_eq!(held, needed, "shard {}, node {}", s, b);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_covers_every_in_range_neighbor(
+        raw in nodes_strategy(),
+        shards in 1u32..6,
+        tile_edge in 40.0..260.0f64,
+        range_frac in 0.1..1.0f64,
+    ) {
+        // The invariant's precondition: radio range ≤ tile edge.
+        let range = tile_edge * range_frac;
+        let t = TilePartition::new(shards, tile_edge);
+        let nodes: Vec<(NodeId, Point)> = dedup(&raw);
+        let m = t.membership(nodes.iter().copied());
+        for &(a, apos) in &nodes {
+            let owner = m.owner[&a];
+            for &(b, bpos) in &nodes {
+                let dx = apos.x - bpos.x;
+                let dy = apos.y - bpos.y;
+                if (dx * dx + dy * dy).sqrt() <= range {
+                    prop_assert!(
+                        m.members[&owner].contains(&b),
+                        "shard {} owns {} but does not mirror in-range neighbor {}",
+                        owner, a, b
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deduplicates generated ids (keeping the first position) and converts
+/// to the partition's input shape.
+fn dedup(raw: &[(u32, (f64, f64))]) -> Vec<(NodeId, Point)> {
+    let mut seen = std::collections::BTreeSet::new();
+    raw.iter()
+        .filter(|(id, _)| seen.insert(*id))
+        .map(|&(id, (x, y))| (NodeId(id), Point::new(x, y)))
+        .collect()
+}
+
+fn pos_of(nodes: &[(NodeId, Point)], id: NodeId) -> Point {
+    nodes.iter().find(|(n, _)| *n == id).expect("listed").1
+}
