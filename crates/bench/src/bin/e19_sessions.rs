@@ -1,0 +1,92 @@
+//! Extension experiment E19: session scalability of the reactor server
+//! core — attach rate, sustained ingest and shutdown latency for 1 k to
+//! 100 k multiplexed sessions. Emits the machine-readable
+//! `BENCH_sessions.json` artifact. Run with --release; the rates are
+//! wall-clock measurements.
+//!
+//! Usage:
+//!   e19_sessions [--smoke] [--out PATH]   run and write the artifact
+//!   e19_sessions --check PATH             validate an existing artifact
+//!                                          (exit 1 if missing/malformed)
+
+use poem_bench::sessions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_sessions.json");
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().cloned().unwrap_or(out),
+            "--check" => check = it.next().cloned(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check {
+        let doc = match std::fs::read_to_string(&path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("E19 check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = sessions::validate(&doc) {
+            eprintln!("E19 check: {path} is malformed: {e}");
+            std::process::exit(1);
+        }
+        println!("E19 check: {path} OK");
+        return;
+    }
+
+    let cfg =
+        if smoke { sessions::SessionsConfig::smoke() } else { sessions::SessionsConfig::full() };
+    let mode = if smoke { "smoke" } else { "full" };
+    println!(
+        "E19 — session scalability ({mode}: {:?} sessions over {} conns, {} senders × {} packets)\n",
+        cfg.sessions, cfg.conns, cfg.senders, cfg.packets
+    );
+    let report = sessions::run(&cfg);
+
+    println!(
+        "{:>9} {:>6} {:>10} {:>12} {:>9} {:>12} {:>11} {:>9} {:>8}",
+        "sessions",
+        "conns",
+        "attach s",
+        "attach /s",
+        "ingested",
+        "ingest pps",
+        "shutdown s",
+        "evicted",
+        "timeout"
+    );
+    for row in &report.rows {
+        println!(
+            "{:>9} {:>6} {:>10.3} {:>12.0} {:>9} {:>12.0} {:>11.3} {:>9} {:>8}",
+            row.sessions,
+            row.conns,
+            row.attach_s,
+            row.attach_rate_per_s,
+            row.ingested,
+            row.ingest_rate_pps,
+            row.shutdown_s,
+            row.evictions,
+            row.timeouts
+        );
+    }
+
+    let json = sessions::render_json(&report);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("E19: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out}");
+    println!("Sessions are multiplexed VMNs over a fixed socket count; the reactor's");
+    println!("claim is that attach, ingest and shutdown stay tractable as the fleet grows.");
+}

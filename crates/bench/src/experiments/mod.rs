@@ -14,4 +14,5 @@ pub mod mac;
 pub mod overhead;
 pub mod rt_fidelity;
 pub mod scenario_matrix;
+pub mod sessions;
 pub mod table2;

@@ -75,9 +75,9 @@ pub struct EmuClient {
     clock_offset_ns: Arc<Gauge>,
 }
 
-/// Object-safe writer facade so [`EmuClient`] is not generic over the
-/// transport.
-trait WriteSend: Send {
+/// Object-safe writer facade so [`EmuClient`] (and the mux client) is not
+/// generic over the transport.
+pub(crate) trait WriteSend: Send {
     fn send_msg(&mut self, msg: &ClientMsg) -> std::io::Result<()>;
 }
 
@@ -383,6 +383,16 @@ fn spawn_reader<R: Read + Send + 'static>(
                 Ok(ServerMsg::Shutdown) => {
                     closed.store(true, Ordering::Release);
                     break;
+                }
+                Ok(
+                    ServerMsg::MuxWelcome { .. }
+                    | ServerMsg::Attached { .. }
+                    | ServerMsg::AttachRefused { .. }
+                    | ServerMsg::Detached { .. }
+                    | ServerMsg::DeliverTo { .. },
+                ) => {
+                    // Mux-family frames belong to `MuxClient` connections; a
+                    // legacy session never negotiated them — drop the frame.
                 }
                 Ok(_) => { /* late Welcome/Refused: ignore */ }
                 Err(_) => {

@@ -18,6 +18,9 @@
 //!   VMN identity, runs the Fig. 5 clock synchronization, time-stamps
 //!   outgoing packets against the synchronized emulation clock, and
 //!   receives forwarded traffic on a background reader thread.
+//! * [`mux`] — [`MuxClient`]: many VMNs as virtual sessions
+//!   ([`MuxSession`]) over one connection, for hosting large node counts
+//!   without one socket and reader thread per node.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,11 +29,13 @@
 pub mod app;
 pub mod backoff;
 pub mod client;
+pub mod mux;
 pub mod nic;
 pub mod runner;
 
 pub use app::{ClientApp, TimerMux};
 pub use backoff::Backoff;
 pub use client::{ClientError, EmuClient, PeriodicSync};
+pub use mux::{MuxClient, MuxSession};
 pub use nic::{Nic, QueueNic};
 pub use runner::AppRunner;

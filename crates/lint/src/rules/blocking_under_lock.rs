@@ -74,7 +74,11 @@ impl super::Rule for BlockingUnderLock {
     }
 
     fn check(&self, cx: &Ctx<'_>, out: &mut Vec<Finding>) {
-        let hot = cx.sema.graph.reachable_from_names(&cx.sema.symbols, &["scan_loop", "ingest"], 2);
+        let hot = cx.sema.graph.reachable_from_names(
+            &cx.sema.symbols,
+            &["scan_loop", "ingest", "reactor_worker_loop"],
+            2,
+        );
         let blocking_fns = blocking_fn_map(cx);
 
         for (fi, f) in cx.files.iter().enumerate() {

@@ -19,7 +19,11 @@ pub struct Exhaustiveness;
 /// (enum file, enum name, files that must dispatch on every variant).
 const CHECKS: &[(&str, &str, &[&str])] = &[
     ("crates/proto/src/messages.rs", "ClientMsg", &["crates/server/src/server.rs"]),
-    ("crates/proto/src/messages.rs", "ServerMsg", &["crates/client/src/client.rs"]),
+    (
+        "crates/proto/src/messages.rs",
+        "ServerMsg",
+        &["crates/client/src/client.rs", "crates/client/src/mux.rs"],
+    ),
     (
         "crates/proto/src/messages.rs",
         "ClusterMsg",

@@ -108,9 +108,13 @@ pub(crate) fn panic_scope(rel: &str) -> bool {
         || matches!(
             rel,
             "crates/server/src/server.rs"
+                | "crates/server/src/reactor.rs"
+                | "crates/server/src/session.rs"
+                | "crates/server/src/timer.rs"
                 | "crates/server/src/engine.rs"
                 | "crates/server/src/cluster.rs"
                 | "crates/server/src/sim.rs"
+                | "crates/client/src/mux.rs"
                 | "crates/profiles/src/parser.rs"
         )
 }

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -240,7 +241,11 @@ enum Instrument {
 /// string as the key.
 #[derive(Default)]
 pub struct Registry {
-    instruments: Mutex<Vec<(String, Instrument)>>,
+    // Keyed storage: lookup-or-create must stay O(log n) — per-client
+    // instruments (`poem_client_deliveries_total{node="N"}`) put one
+    // entry here per session, and a 100k-session fleet registers them
+    // all during mass admission.
+    instruments: Mutex<BTreeMap<String, Instrument>>,
 }
 
 impl Registry {
@@ -254,14 +259,14 @@ impl Registry {
     /// instrument kind.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         let mut instruments = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some((_, inst)) = instruments.iter().find(|(n, _)| n == name) {
+        if let Some(inst) = instruments.get(name) {
             match inst {
                 Instrument::Counter(c) => return Arc::clone(c),
                 _ => panic!("metric {name} already registered with a different kind"),
             }
         }
         let c = Arc::new(Counter::new());
-        instruments.push((name.to_string(), Instrument::Counter(Arc::clone(&c))));
+        instruments.insert(name.to_string(), Instrument::Counter(Arc::clone(&c)));
         c
     }
 
@@ -269,14 +274,14 @@ impl Registry {
     /// first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         let mut instruments = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some((_, inst)) = instruments.iter().find(|(n, _)| n == name) {
+        if let Some(inst) = instruments.get(name) {
             match inst {
                 Instrument::Gauge(g) => return Arc::clone(g),
                 _ => panic!("metric {name} already registered with a different kind"),
             }
         }
         let g = Arc::new(Gauge::new());
-        instruments.push((name.to_string(), Instrument::Gauge(Arc::clone(&g))));
+        instruments.insert(name.to_string(), Instrument::Gauge(Arc::clone(&g)));
         g
     }
 
@@ -285,14 +290,14 @@ impl Registry {
     /// registered histogram win.
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
         let mut instruments = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some((_, inst)) = instruments.iter().find(|(n, _)| n == name) {
+        if let Some(inst) = instruments.get(name) {
             match inst {
                 Instrument::Histogram(h) => return Arc::clone(h),
                 _ => panic!("metric {name} already registered with a different kind"),
             }
         }
         let h = Arc::new(Histogram::new(bounds));
-        instruments.push((name.to_string(), Instrument::Histogram(Arc::clone(&h))));
+        instruments.insert(name.to_string(), Instrument::Histogram(Arc::clone(&h)));
         h
     }
 
@@ -301,19 +306,19 @@ impl Registry {
     /// panics on a name collision.
     pub fn register_counter(&self, name: &str, counter: Arc<Counter>) {
         let mut instruments = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
-        assert!(!instruments.iter().any(|(n, _)| n == name), "metric {name} already registered");
-        instruments.push((name.to_string(), Instrument::Counter(counter)));
+        assert!(!instruments.contains_key(name), "metric {name} already registered");
+        instruments.insert(name.to_string(), Instrument::Counter(counter));
     }
 
     /// Attaches an externally created gauge under `name`.
     pub fn register_gauge(&self, name: &str, gauge: Arc<Gauge>) {
         let mut instruments = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
-        assert!(!instruments.iter().any(|(n, _)| n == name), "metric {name} already registered");
-        instruments.push((name.to_string(), Instrument::Gauge(gauge)));
+        assert!(!instruments.contains_key(name), "metric {name} already registered");
+        instruments.insert(name.to_string(), Instrument::Gauge(gauge));
     }
 
     /// A point-in-time copy of every registered instrument, sorted by
-    /// name within each kind.
+    /// name within each kind (the keyed storage iterates in name order).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let instruments = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
         let mut snap = MetricsSnapshot::default();
@@ -324,9 +329,6 @@ impl Registry {
                 Instrument::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
             }
         }
-        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
-        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
-        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
         snap
     }
 }

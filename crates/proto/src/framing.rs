@@ -20,6 +20,21 @@ fn codec_err(e: CodecError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
 }
 
+/// Encodes one message as a complete frame (length prefix + body), for
+/// callers that manage their own write buffers — e.g. the server reactor,
+/// which appends frames to per-connection output buffers instead of
+/// writing through a blocking [`MsgWriter`].
+pub fn encode_frame<T: Serialize>(msg: &T) -> io::Result<Vec<u8>> {
+    let body = to_bytes(msg).map_err(codec_err)?;
+    if body.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    Ok(frame)
+}
+
 /// Writes framed messages to a byte sink.
 #[derive(Debug)]
 pub struct MsgWriter<W: Write> {

@@ -27,7 +27,7 @@ pub mod messages;
 pub mod pipe;
 
 pub use codec::{from_bytes, to_bytes, CodecError};
-pub use framing::{FrameDecoder, MsgReader, MsgWriter, MAX_FRAME_LEN};
+pub use framing::{encode_frame, FrameDecoder, MsgReader, MsgWriter, MAX_FRAME_LEN};
 pub use messages::{
     ClientMsg, ClusterMsg, PacketDecisions, ServerMsg, TargetDecision, WireDecision,
     PROTOCOL_VERSION,

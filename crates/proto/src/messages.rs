@@ -35,6 +35,27 @@ pub enum ClientMsg {
     Data(EmuPacket),
     /// Graceful disconnect.
     Bye,
+    /// Registration of a *multiplexed* connection: the client carries
+    /// many VMN identities over this one socket, attached individually
+    /// with [`ClientMsg::Attach`]. Appended after the v1 variants so the
+    /// wire encoding of every legacy message is unchanged.
+    MuxHello {
+        /// Protocol version spoken by the client.
+        version: u16,
+    },
+    /// Mux connections only: open a virtual session for `node` on this
+    /// socket. Answered in FIFO order by [`ServerMsg::Attached`] or
+    /// [`ServerMsg::AttachRefused`].
+    Attach {
+        /// The VMN to embody.
+        node: NodeId,
+    },
+    /// Mux connections only: close `node`'s virtual session. Answered by
+    /// [`ServerMsg::Detached`].
+    Detach {
+        /// The VMN to release.
+        node: NodeId,
+    },
 }
 
 /// Messages flowing server → client.
@@ -72,6 +93,50 @@ pub enum ServerMsg {
     },
     /// The emulation is over; the client should disconnect.
     Shutdown,
+    /// A [`ClientMsg::MuxHello`] was accepted; the socket is now a mux
+    /// connection awaiting [`ClientMsg::Attach`] requests. Appended after
+    /// the v1 variants so the wire encoding of every legacy message is
+    /// unchanged.
+    MuxWelcome {
+        /// Protocol version spoken by the server.
+        version: u16,
+        /// Server clock at acceptance (informational).
+        server_time: EmuTime,
+    },
+    /// A virtual session opened (answers [`ClientMsg::Attach`] in FIFO
+    /// order).
+    Attached {
+        /// Echo of the attached VMN id.
+        node: NodeId,
+        /// Server clock at acceptance (informational).
+        server_time: EmuTime,
+    },
+    /// A virtual session was refused (duplicate VMN, unknown VMN).
+    AttachRefused {
+        /// Echo of the requested VMN id.
+        node: NodeId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A virtual session closed — answering a [`ClientMsg::Detach`] or
+    /// announcing a server-side eviction (disconnect fault, slow
+    /// consumer). The socket itself stays up.
+    Detached {
+        /// The released VMN.
+        node: NodeId,
+        /// Human-readable reason (`"detached"` for client-requested).
+        reason: String,
+    },
+    /// A forwarded packet delivered to one virtual session of a mux
+    /// connection (the mux counterpart of [`ServerMsg::Deliver`]).
+    DeliverTo {
+        /// The receiving VMN (which virtual session this copy is for).
+        to: NodeId,
+        /// The packet (original client timestamp preserved).
+        packet: EmuPacket,
+        /// Server emulation time at which the forward fired.
+        forwarded_at: EmuTime,
+    },
 }
 
 /// Per-target outcome of a worker-side forwarding decision, as shipped
@@ -219,6 +284,11 @@ impl ClientMsg {
     pub fn hello(node: NodeId) -> Self {
         ClientMsg::Hello { version: PROTOCOL_VERSION, node }
     }
+
+    /// Builds the registration message for a multiplexed connection.
+    pub fn mux_hello() -> Self {
+        ClientMsg::MuxHello { version: PROTOCOL_VERSION }
+    }
 }
 
 impl ServerMsg {
@@ -266,11 +336,32 @@ mod tests {
                 vec![9u8; 64],
             )),
             ClientMsg::Bye,
+            ClientMsg::mux_hello(),
+            ClientMsg::Attach { node: NodeId(7) },
+            ClientMsg::Detach { node: NodeId(7) },
         ];
         for m in msgs {
             let bytes = to_bytes(&m).unwrap();
             assert_eq!(from_bytes::<ClientMsg>(&bytes).unwrap(), m);
         }
+    }
+
+    /// The mux extension appends variants; the v1 wire encodings must not
+    /// shift (a v1 client decodes a reactor server's legacy replies).
+    #[test]
+    fn legacy_variant_indexes_are_stable() {
+        // Enum variants encode as a little-endian u32 index prefix.
+        assert_eq!(to_bytes(&ClientMsg::Bye).unwrap()[..4], 3u32.to_le_bytes());
+        assert_eq!(to_bytes(&ClientMsg::mux_hello()).unwrap()[..4], 4u32.to_le_bytes());
+        assert_eq!(to_bytes(&ServerMsg::Shutdown).unwrap()[..4], 4u32.to_le_bytes());
+        assert_eq!(
+            to_bytes(&ServerMsg::MuxWelcome {
+                version: PROTOCOL_VERSION,
+                server_time: EmuTime::ZERO
+            })
+            .unwrap()[..4],
+            5u32.to_le_bytes()
+        );
     }
 
     #[test]
@@ -296,6 +387,26 @@ mod tests {
                 forwarded_at: EmuTime::from_millis(2),
             },
             ServerMsg::Shutdown,
+            ServerMsg::MuxWelcome {
+                version: PROTOCOL_VERSION,
+                server_time: EmuTime::from_millis(4),
+            },
+            ServerMsg::Attached { node: NodeId(6), server_time: EmuTime::from_millis(5) },
+            ServerMsg::AttachRefused { node: NodeId(6), reason: "duplicate VMN6".into() },
+            ServerMsg::Detached { node: NodeId(6), reason: "detached".into() },
+            ServerMsg::DeliverTo {
+                to: NodeId(6),
+                packet: EmuPacket::new(
+                    PacketId(2),
+                    NodeId(3),
+                    poem_core::packet::Destination::Broadcast,
+                    ChannelId(1),
+                    RadioId(0),
+                    EmuTime::from_millis(3),
+                    vec![7u8; 8],
+                ),
+                forwarded_at: EmuTime::from_millis(4),
+            },
         ];
         for m in msgs {
             let bytes = to_bytes(&m).unwrap();

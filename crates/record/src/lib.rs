@@ -20,6 +20,7 @@ pub mod query;
 pub mod records;
 pub mod replay;
 pub mod scenestats;
+pub mod segment;
 pub mod store;
 
 pub use query::{CopyCounts, FaultCounts, FaultQuery, TrafficQuery};
@@ -28,4 +29,7 @@ pub use records::{
 };
 pub use replay::ReplayEngine;
 pub use scenestats::{OpHistogram, SceneStats};
+pub use segment::{
+    RecordSpool, SegmentConfig, SegmentedReader, SegmentedStore, SpoolRecord, SpoolStats,
+};
 pub use store::{LogStore, Recorder};

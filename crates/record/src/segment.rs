@@ -1,0 +1,672 @@
+//! Segmented, rotating on-disk record storage with a bounded
+//! single-writer spool.
+//!
+//! The in-memory [`crate::Recorder`] is the determinism-bearing store:
+//! replay and the byte-identity contracts read from it. At production
+//! scale its logs cannot live in RAM for the whole run, and a synchronous
+//! disk write on the ingest path would let a slow disk backpressure the
+//! emulation — exactly the failure mode a real-time frontend must not
+//! have. This module adds the scaling layer:
+//!
+//! * [`SegmentedStore`] — an append-only log split across rotating
+//!   segment files (`<stem>.00000.poemseg`, `<stem>.00001.poemseg`, …)
+//!   plus an offset index (`<stem>.poemidx`) mapping each segment to its
+//!   first record sequence number, so a reader can seek to a sequence
+//!   without scanning every segment.
+//! * [`RecordSpool`] — a bounded queue in front of a single writer
+//!   thread. Producers [`RecordSpool::offer`] records without ever
+//!   blocking: when the queue is full the record is *dropped and
+//!   counted* (`poem_record_spool_dropped_total`), never awaited. The
+//!   recorder therefore cannot backpressure ingest, and the drop counter
+//!   makes the loss visible instead of silent.
+//!
+//! Segment file format: magic `POEMSEG1`, then `u32`-length-prefixed
+//! codec frames to end-of-file. Unlike [`crate::LogStore`] there is no
+//! count header — the index carries authoritative counts for sealed
+//! segments, and the *active* (last) segment is read to EOF with a torn
+//! trailing frame tolerated, so a crash mid-append loses at most the
+//! final partial record.
+
+use crate::records::{FaultRecord, MetricsRecord, SceneRecord, TrafficRecord};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use poem_obs::{Counter, Gauge, Registry};
+use poem_proto::{from_bytes, to_bytes};
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+const SEG_MAGIC: &[u8; 8] = b"POEMSEG1";
+const IDX_HEADER: &str = "poemidx 1";
+
+/// One record in the unified spool stream. The four typed logs of the
+/// in-memory recorder interleave here in arrival order; readers filter
+/// by variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpoolRecord {
+    /// A traffic-log record.
+    Traffic(TrafficRecord),
+    /// A scene-log record.
+    Scene(SceneRecord),
+    /// A metrics-snapshot record.
+    Metrics(MetricsRecord),
+    /// A fault-injection record.
+    Fault(FaultRecord),
+}
+
+/// Configuration for a segmented store / spool.
+#[derive(Debug, Clone)]
+pub struct SegmentConfig {
+    /// Directory the segment and index files live in (created if absent).
+    pub dir: PathBuf,
+    /// File-name stem; files are `<stem>.NNNNN.poemseg` + `<stem>.poemidx`.
+    pub stem: String,
+    /// Records per segment before rotation.
+    pub max_segment_records: usize,
+    /// Spool queue capacity; a full queue drops (and counts) new records.
+    pub queue_capacity: usize,
+}
+
+impl SegmentConfig {
+    /// A config with production-ish defaults (64 Ki records per segment,
+    /// 64 Ki queue slots).
+    pub fn new(dir: impl Into<PathBuf>, stem: impl Into<String>) -> Self {
+        SegmentConfig {
+            dir: dir.into(),
+            stem: stem.into(),
+            max_segment_records: 64 * 1024,
+            queue_capacity: 64 * 1024,
+        }
+    }
+}
+
+/// One index row: a segment and the sequence span it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Segment number (`<stem>.<seg:05>.poemseg`).
+    pub seg: u32,
+    /// Sequence number of the segment's first record.
+    pub first_seq: u64,
+    /// Records in the segment.
+    pub records: u64,
+}
+
+fn segment_path(dir: &Path, stem: &str, seg: u32) -> PathBuf {
+    dir.join(format!("{stem}.{seg:05}.poemseg"))
+}
+
+fn index_path(dir: &Path, stem: &str) -> PathBuf {
+    dir.join(format!("{stem}.poemidx"))
+}
+
+/// The single-writer segmented log. Not thread-safe by itself — the
+/// [`RecordSpool`] owns one behind its writer thread; tests drive it
+/// directly.
+#[derive(Debug)]
+pub struct SegmentedStore {
+    dir: PathBuf,
+    stem: String,
+    max_segment_records: usize,
+    writer: BufWriter<File>,
+    /// Sealed segments, oldest first; the active segment is not listed
+    /// until it seals (rotation or [`SegmentedStore::finish`]).
+    sealed: Vec<SegmentEntry>,
+    active_seg: u32,
+    active_first_seq: u64,
+    active_records: u64,
+}
+
+impl SegmentedStore {
+    /// Creates the directory and opens segment 0.
+    pub fn create(config: &SegmentConfig) -> io::Result<Self> {
+        fs::create_dir_all(&config.dir)?;
+        let writer = Self::open_segment(&config.dir, &config.stem, 0)?;
+        Ok(SegmentedStore {
+            dir: config.dir.clone(),
+            stem: config.stem.clone(),
+            max_segment_records: config.max_segment_records.max(1),
+            writer,
+            sealed: Vec::new(),
+            active_seg: 0,
+            active_first_seq: 0,
+            active_records: 0,
+        })
+    }
+
+    fn open_segment(dir: &Path, stem: &str, seg: u32) -> io::Result<BufWriter<File>> {
+        let mut w = BufWriter::new(File::create(segment_path(dir, stem, seg))?);
+        w.write_all(SEG_MAGIC)?;
+        Ok(w)
+    }
+
+    /// Appends one record, rotating first when the active segment is full.
+    pub fn append(&mut self, rec: &SpoolRecord) -> io::Result<()> {
+        if self.active_records as usize >= self.max_segment_records {
+            self.rotate()?;
+        }
+        let body = to_bytes(rec).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.writer.write_all(&(body.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&body)?;
+        self.active_records += 1;
+        Ok(())
+    }
+
+    /// Total records appended so far.
+    pub fn len(&self) -> u64 {
+        self.active_first_seq + self.active_records
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Segments written so far (sealed + active).
+    pub fn segments(&self) -> u32 {
+        self.active_seg + 1
+    }
+
+    fn seal_active(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.sealed.push(SegmentEntry {
+            seg: self.active_seg,
+            first_seq: self.active_first_seq,
+            records: self.active_records,
+        });
+        Ok(())
+    }
+
+    /// Seals the active segment, rewrites the index and opens the next
+    /// segment.
+    fn rotate(&mut self) -> io::Result<()> {
+        self.seal_active()?;
+        self.write_index()?;
+        self.active_seg += 1;
+        self.active_first_seq += self.active_records;
+        self.active_records = 0;
+        self.writer = Self::open_segment(&self.dir, &self.stem, self.active_seg)?;
+        Ok(())
+    }
+
+    /// Rewrites the offset index (write-new-then-rename, so a crash never
+    /// leaves a half-written index).
+    fn write_index(&mut self) -> io::Result<()> {
+        let mut text = String::from(IDX_HEADER);
+        text.push('\n');
+        for e in &self.sealed {
+            text.push_str(&format!("segment {} {} {}\n", e.seg, e.first_seq, e.records));
+        }
+        let tmp = self.dir.join(format!("{}.poemidx.tmp", self.stem));
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, index_path(&self.dir, &self.stem))
+    }
+
+    /// Flushes, seals the active segment and writes the final index.
+    pub fn finish(mut self) -> io::Result<Vec<SegmentEntry>> {
+        self.seal_active()?;
+        self.write_index()?;
+        Ok(self.sealed)
+    }
+}
+
+/// Reader over a finished (or crashed) segmented store.
+#[derive(Debug)]
+pub struct SegmentedReader {
+    dir: PathBuf,
+    stem: String,
+    entries: Vec<SegmentEntry>,
+}
+
+impl SegmentedReader {
+    /// Opens a store by its index. For a store that crashed before
+    /// [`SegmentedStore::finish`], the index lists the sealed segments —
+    /// the still-active segment past the last index row is picked up by
+    /// scanning for its file.
+    pub fn open(dir: impl Into<PathBuf>, stem: impl Into<String>) -> io::Result<Self> {
+        let dir = dir.into();
+        let stem = stem.into();
+        let text = fs::read_to_string(index_path(&dir, &stem))?;
+        let mut lines = text.lines();
+        if lines.next() != Some(IDX_HEADER) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index header"));
+        }
+        let mut entries = Vec::new();
+        for line in lines {
+            let mut parts = line.split_ascii_whitespace();
+            let (kw, seg, first_seq, records) =
+                (parts.next(), parts.next(), parts.next(), parts.next());
+            let (Some("segment"), Some(seg), Some(first), Some(recs), None) =
+                (kw, seg, first_seq, records, parts.next())
+            else {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index row"));
+            };
+            let row = (|| -> Option<SegmentEntry> {
+                Some(SegmentEntry {
+                    seg: seg.parse().ok()?,
+                    first_seq: first.parse().ok()?,
+                    records: recs.parse().ok()?,
+                })
+            })()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad index numbers"))?;
+            entries.push(row);
+        }
+        // A crashed store: the segment after the last sealed one may exist
+        // with an unknown count (read to EOF, torn tail tolerated).
+        let next_seg = entries.last().map(|e| e.seg + 1).unwrap_or(0);
+        if segment_path(&dir, &stem, next_seg).exists() {
+            let first_seq = entries.last().map(|e| e.first_seq + e.records).unwrap_or(0);
+            entries.push(SegmentEntry { seg: next_seg, first_seq, records: u64::MAX });
+        }
+        Ok(SegmentedReader { dir, stem, entries })
+    }
+
+    /// The index rows (sealed segments, plus a trailing `records ==
+    /// u64::MAX` row for an unsealed active segment after a crash).
+    pub fn entries(&self) -> &[SegmentEntry] {
+        &self.entries
+    }
+
+    fn read_segment(&self, entry: &SegmentEntry) -> io::Result<Vec<SpoolRecord>> {
+        let sealed = entry.records != u64::MAX;
+        let mut r = BufReader::new(File::open(segment_path(&self.dir, &self.stem, entry.seg))?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != SEG_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad segment magic"));
+        }
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            let mut len_bytes = [0u8; 4];
+            match read_exact_or_eof(&mut r, &mut len_bytes)? {
+                Tail::Eof => break,
+                Tail::Torn if !sealed => break,
+                Tail::Torn => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "torn frame in sealed segment",
+                    ));
+                }
+                Tail::Full => {}
+            }
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            buf.resize(len, 0);
+            match read_all_or_eof(&mut r, &mut buf)? {
+                true => {}
+                false if !sealed => break,
+                false => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "torn frame in sealed segment",
+                    ));
+                }
+            }
+            out.push(from_bytes(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?);
+        }
+        if sealed && out.len() as u64 != entry.records {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "segment {} holds {} records, index says {}",
+                    entry.seg,
+                    out.len(),
+                    entry.records
+                ),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Every record across every segment, in append order.
+    pub fn read_all(&self) -> io::Result<Vec<SpoolRecord>> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            out.extend(self.read_segment(e)?);
+        }
+        Ok(out)
+    }
+
+    /// Records from sequence `seq` on — the index seek path: segments
+    /// wholly before `seq` are never opened.
+    pub fn read_from(&self, seq: u64) -> io::Result<Vec<SpoolRecord>> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if e.records != u64::MAX && e.first_seq + e.records <= seq {
+                continue;
+            }
+            let recs = self.read_segment(e)?;
+            let skip = seq.saturating_sub(e.first_seq) as usize;
+            out.extend(recs.into_iter().skip(skip));
+        }
+        Ok(out)
+    }
+}
+
+enum Tail {
+    Full,
+    Torn,
+    Eof,
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing a clean EOF at a frame
+/// boundary from a torn prefix.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<Tail> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Ok(if filled == 0 { Tail::Eof } else { Tail::Torn });
+        }
+        filled += n;
+    }
+    Ok(Tail::Full)
+}
+
+/// Reads exactly `buf.len()` bytes; `false` means the stream ended early.
+fn read_all_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Ok(false);
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Outcome of a finished spool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpoolStats {
+    /// Records written to disk.
+    pub written: u64,
+    /// Records dropped at the full queue.
+    pub dropped: u64,
+    /// Segments produced.
+    pub segments: u32,
+}
+
+/// A bounded, never-blocking front to a [`SegmentedStore`] writer thread.
+///
+/// [`RecordSpool::offer`] is wait-free from the producer's view: a
+/// `try_send` onto a bounded queue. Overflow increments
+/// `poem_record_spool_dropped_total` and returns `false`; the hot ingest
+/// path never parks behind the disk.
+#[derive(Debug)]
+pub struct RecordSpool {
+    /// `None` once finished: late offers count as drops.
+    tx: parking_lot::Mutex<Option<Sender<SpoolRecord>>>,
+    handle: parking_lot::Mutex<Option<JoinHandle<io::Result<Vec<SegmentEntry>>>>>,
+    enqueued: Arc<Counter>,
+    dropped: Arc<Counter>,
+    depth: Arc<Gauge>,
+    segments: Arc<Counter>,
+}
+
+impl RecordSpool {
+    /// Creates the store and starts the writer thread.
+    pub fn start(config: SegmentConfig) -> io::Result<RecordSpool> {
+        let store = SegmentedStore::create(&config)?;
+        let (tx, rx): (Sender<SpoolRecord>, Receiver<SpoolRecord>) =
+            bounded(config.queue_capacity.max(1));
+        let enqueued = Arc::new(Counter::default());
+        let dropped = Arc::new(Counter::default());
+        let depth = Arc::new(Gauge::default());
+        let segments = Arc::new(Counter::default());
+        let handle = {
+            let depth = Arc::clone(&depth);
+            let segments = Arc::clone(&segments);
+            std::thread::Builder::new().name("poem-spool".into()).spawn(move || {
+                let mut store = store;
+                let mut seen_segs = 1u64;
+                segments.inc();
+                while let Ok(rec) = rx.recv() {
+                    depth.sub(1);
+                    store.append(&rec)?;
+                    let segs = store.segments() as u64;
+                    if segs > seen_segs {
+                        segments.add(segs - seen_segs);
+                        seen_segs = segs;
+                    }
+                }
+                store.finish()
+            })?
+        };
+        Ok(RecordSpool {
+            tx: parking_lot::Mutex::new(Some(tx)),
+            handle: parking_lot::Mutex::new(Some(handle)),
+            enqueued,
+            dropped,
+            depth,
+            segments,
+        })
+    }
+
+    /// Enqueues one record without blocking. `false` means the record was
+    /// dropped (and counted) — queue full, or spool already finished.
+    pub fn offer(&self, rec: SpoolRecord) -> bool {
+        let accepted = match self.tx.lock().as_ref() {
+            Some(tx) => tx.try_send(rec).is_ok(),
+            None => false,
+        };
+        if accepted {
+            self.enqueued.inc();
+            self.depth.add(1);
+        } else {
+            self.dropped.inc();
+        }
+        accepted
+    }
+
+    /// Records dropped at the full queue so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Attaches the spool's instruments to `registry`.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("poem_record_spool_enqueued_total", Arc::clone(&self.enqueued));
+        registry.register_counter("poem_record_spool_dropped_total", Arc::clone(&self.dropped));
+        registry.register_gauge("poem_record_spool_depth", Arc::clone(&self.depth));
+        registry.register_counter("poem_record_segments_total", Arc::clone(&self.segments));
+    }
+
+    /// Closes the queue (the writer drains what is buffered, seals the
+    /// active segment, writes the final index), joins the writer and
+    /// returns the run's stats. A second call reports the spool already
+    /// sealed.
+    pub fn seal(&self) -> io::Result<SpoolStats> {
+        // Dropping the sender ends the writer's `recv` loop after it has
+        // drained everything already queued.
+        drop(self.tx.lock().take());
+        let handle =
+            self.handle.lock().take().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotConnected, "spool already finished")
+            })?;
+        let sealed = handle.join().map_err(|_| io::Error::other("spool writer panicked"))??;
+        Ok(SpoolStats {
+            written: sealed.iter().map(|e| e.records).sum(),
+            dropped: self.dropped.get(),
+            segments: sealed.len() as u32,
+        })
+    }
+}
+
+impl Drop for RecordSpool {
+    fn drop(&mut self) {
+        drop(self.tx.lock().take());
+        if let Some(handle) = self.handle.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poem_core::{EmuTime, NodeId, PacketId};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("poemseg-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(n: u64) -> Vec<SpoolRecord> {
+        (0..n)
+            .map(|i| {
+                SpoolRecord::Traffic(TrafficRecord::Forward {
+                    id: PacketId(i),
+                    to: NodeId((i % 7) as u32),
+                    at: EmuTime::from_micros(i * 50),
+                })
+            })
+            .collect()
+    }
+
+    fn small_config(dir: &Path) -> SegmentConfig {
+        SegmentConfig { max_segment_records: 8, ..SegmentConfig::new(dir, "run") }
+    }
+
+    #[test]
+    fn store_rotates_and_reader_roundtrips() {
+        let dir = tmp_dir("rotate");
+        let mut store = SegmentedStore::create(&small_config(&dir)).unwrap();
+        let records = sample(20);
+        for r in &records {
+            store.append(r).unwrap();
+        }
+        assert_eq!(store.len(), 20);
+        assert_eq!(store.segments(), 3, "20 records at 8/segment = 3 segments");
+        let sealed = store.finish().unwrap();
+        assert_eq!(
+            sealed,
+            vec![
+                SegmentEntry { seg: 0, first_seq: 0, records: 8 },
+                SegmentEntry { seg: 1, first_seq: 8, records: 8 },
+                SegmentEntry { seg: 2, first_seq: 16, records: 4 },
+            ]
+        );
+        let reader = SegmentedReader::open(&dir, "run").unwrap();
+        assert_eq!(reader.entries(), &sealed[..]);
+        assert_eq!(reader.read_all().unwrap(), records);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_seeks_by_sequence_without_scanning_earlier_segments() {
+        let dir = tmp_dir("seek");
+        let mut store = SegmentedStore::create(&small_config(&dir)).unwrap();
+        let records = sample(21);
+        for r in &records {
+            store.append(r).unwrap();
+        }
+        store.finish().unwrap();
+        // Poison segment 0 on disk: a correct seek to seq 10 never opens it.
+        fs::write(segment_path(&dir, "run", 0), b"garbage").unwrap();
+        let reader = SegmentedReader::open(&dir, "run").unwrap();
+        assert_eq!(reader.read_from(10).unwrap(), records[10..]);
+        assert!(reader.read_all().is_err(), "full scan must hit the poisoned segment");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_on_unsealed_active_segment_is_tolerated() {
+        let dir = tmp_dir("torn");
+        let records = sample(12);
+        {
+            let mut store = SegmentedStore::create(&small_config(&dir)).unwrap();
+            for r in &records {
+                store.append(r).unwrap();
+            }
+            // No finish(): simulates a crash. The BufWriter flushes on
+            // drop, so the active segment holds its 4 records...
+        }
+        // ...then lose the tail mid-frame.
+        let active = segment_path(&dir, "run", 1);
+        let len = fs::metadata(&active).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&active).unwrap();
+        f.set_len(len - 3).unwrap();
+        let reader = SegmentedReader::open(&dir, "run").unwrap();
+        assert_eq!(reader.entries().len(), 2);
+        assert_eq!(reader.entries()[1].records, u64::MAX, "active segment count unknown");
+        // Sealed 8 survive in full; the torn 4th active record is dropped.
+        assert_eq!(reader.read_all().unwrap(), records[..11]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_sealed_segment_is_an_error() {
+        let dir = tmp_dir("sealed-torn");
+        let mut store = SegmentedStore::create(&small_config(&dir)).unwrap();
+        for r in sample(16) {
+            store.append(&r).unwrap();
+        }
+        store.finish().unwrap();
+        let seg0 = segment_path(&dir, "run", 0);
+        let len = fs::metadata(&seg0).unwrap().len();
+        fs::OpenOptions::new().write(true).open(&seg0).unwrap().set_len(len - 2).unwrap();
+        let reader = SegmentedReader::open(&dir, "run").unwrap();
+        assert!(reader.read_all().is_err(), "a sealed segment must be intact");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spool_writes_through_and_reports_stats() {
+        let dir = tmp_dir("spool");
+        let spool = RecordSpool::start(small_config(&dir)).unwrap();
+        let registry = Registry::new();
+        spool.register_metrics(&registry);
+        let records = sample(30);
+        for r in &records {
+            assert!(spool.offer(r.clone()));
+        }
+        let stats = spool.seal().unwrap();
+        assert_eq!(stats, SpoolStats { written: 30, dropped: 0, segments: 4 });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("poem_record_spool_enqueued_total"), Some(30));
+        assert_eq!(snap.counter("poem_record_spool_dropped_total"), Some(0));
+        assert_eq!(snap.counter("poem_record_segments_total"), Some(4));
+        let reader = SegmentedReader::open(&dir, "run").unwrap();
+        assert_eq!(reader.read_all().unwrap(), records);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn finished_spool_drops_and_counts_instead_of_blocking() {
+        let dir = tmp_dir("spool-drop");
+        let spool = RecordSpool::start(small_config(&dir)).unwrap();
+        spool.seal().unwrap();
+        let begun = std::time::Instant::now();
+        assert!(!spool.offer(sample(1).remove(0)), "offer past finish must not be accepted");
+        assert!(begun.elapsed() < std::time::Duration::from_millis(100), "offer must not block");
+        assert_eq!(spool.dropped(), 1);
+        assert!(spool.seal().is_err(), "double seal reports an error");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recorder_mirrors_records_into_attached_spool() {
+        let dir = tmp_dir("recorder");
+        let spool = Arc::new(RecordSpool::start(small_config(&dir)).unwrap());
+        let rec = crate::Recorder::new();
+        rec.attach_spool(Arc::clone(&spool)).unwrap();
+        assert!(rec.attach_spool(Arc::clone(&spool)).is_err(), "second spool refused");
+        for r in sample(5) {
+            let SpoolRecord::Traffic(t) = r else { unreachable!() };
+            rec.record_traffic(t);
+        }
+        rec.record_fault(FaultRecord::Scene { at: EmuTime::from_secs(1), action: "jam".into() });
+        let stats = spool.seal().unwrap();
+        assert_eq!(stats.written, 6);
+        let reader = SegmentedReader::open(&dir, "run").unwrap();
+        let all = reader.read_all().unwrap();
+        assert_eq!(all.len(), 6);
+        assert!(matches!(all[5], SpoolRecord::Fault(_)));
+        // The in-memory log is untouched by the mirroring.
+        assert_eq!(rec.counts().0, 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

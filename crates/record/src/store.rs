@@ -145,6 +145,12 @@ pub struct Recorder {
     scene_buffered: Arc<Counter>,
     fault_buffered: Arc<Counter>,
     records_written: Arc<Counter>,
+    /// Optional disk spool ([`Recorder::attach_spool`]): every record is
+    /// mirrored to the segmented store via a non-blocking `offer`, so a
+    /// slow disk can only ever *drop* spool copies, never backpressure
+    /// the recording threads. The in-memory logs above stay authoritative
+    /// for replay.
+    spool: std::sync::OnceLock<Arc<crate::segment::RecordSpool>>,
 }
 
 impl Recorder {
@@ -153,25 +159,52 @@ impl Recorder {
         Self::default()
     }
 
+    /// Attaches a disk spool: from now on every record is mirrored (via a
+    /// bounded, never-blocking queue) to its segmented store. Call once,
+    /// before recording starts; a second spool is rejected.
+    pub fn attach_spool(
+        &self,
+        spool: Arc<crate::segment::RecordSpool>,
+    ) -> Result<(), &'static str> {
+        self.spool.set(spool).map_err(|_| "a spool is already attached")
+    }
+
+    /// The attached spool, if any.
+    pub fn spool(&self) -> Option<&Arc<crate::segment::RecordSpool>> {
+        self.spool.get()
+    }
+
     /// Appends a traffic record.
     pub fn record_traffic(&self, rec: TrafficRecord) {
+        if let Some(s) = self.spool.get() {
+            s.offer(crate::segment::SpoolRecord::Traffic(rec.clone()));
+        }
         self.traffic.lock().append(rec);
         self.traffic_buffered.inc();
     }
 
     /// Appends a scene record.
     pub fn record_scene(&self, rec: SceneRecord) {
+        if let Some(s) = self.spool.get() {
+            s.offer(crate::segment::SpoolRecord::Scene(rec.clone()));
+        }
         self.scene.lock().append(rec);
         self.scene_buffered.inc();
     }
 
     /// Appends a metrics snapshot record.
     pub fn record_metrics(&self, rec: MetricsRecord) {
+        if let Some(s) = self.spool.get() {
+            s.offer(crate::segment::SpoolRecord::Metrics(rec.clone()));
+        }
         self.metrics.lock().append(rec);
     }
 
     /// Appends a fault-injection record.
     pub fn record_fault(&self, rec: FaultRecord) {
+        if let Some(s) = self.spool.get() {
+            s.offer(crate::segment::SpoolRecord::Fault(rec.clone()));
+        }
         self.faults.lock().append(rec);
         self.fault_buffered.inc();
     }

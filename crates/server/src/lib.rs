@@ -9,8 +9,10 @@
 //! * [`engine::Pipeline`] — the per-packet steps 2–4 and the recording
 //!   step 7, transport-independent.
 //! * [`server::ServerHandle`] — the real-time TCP server with the paper's
-//!   thread architecture (receiver threads, scheduling, one scanning
-//!   thread, mobility integration).
+//!   thread architecture, its receive path run by a readiness reactor
+//!   ([`reactor`]) hosting sessions as explicit state machines
+//!   ([`session`]) with timer-wheel deadlines ([`timer`]) — plus the
+//!   scheduling/scanning thread and mobility integration.
 //! * [`sim::SimNet`] — the deterministic in-process harness: the same
 //!   pipeline driven by a virtual-time event loop, hosting
 //!   [`poem_client::ClientApp`]s directly. Every experiment in the
@@ -30,13 +32,17 @@
 
 pub mod cluster;
 pub mod engine;
+pub(crate) mod reactor;
 pub mod script;
 pub mod server;
+pub(crate) mod session;
 pub mod sim;
+pub(crate) mod timer;
 pub mod viz;
 
 pub use cluster::{ClusterConfig, ClusterPipeline};
 pub use engine::{Delivery, Pipeline, PipelineConfig};
 pub use script::{Script, ScriptEntry};
 pub use server::{ServerConfig, ServerHandle};
+pub use session::PacingConfig;
 pub use sim::{SimConfig, SimNet};

@@ -1,23 +1,36 @@
 //! The real-time TCP emulation server (§3.2).
 //!
-//! Thread architecture mirrors the paper's step list:
+//! Thread architecture follows the paper's step list, with the receive
+//! path run by a readiness reactor instead of a thread per client:
 //!
-//! * one **accept** thread takes client connections;
-//! * one **receiver** thread per client performs steps 1–4 (receive,
-//!   neighbor lookup, drop/forward-time decision, list into the schedule)
-//!   and answers clock-sync requests;
+//! * a small set of **poll workers** ([`crate::reactor`]) own the
+//!   listener and every client socket (non-blocking), performing steps
+//!   1–4 (receive, neighbor lookup, drop/forward-time decision, list
+//!   into the schedule) and answering clock-sync requests; each session
+//!   is an explicit state machine ([`crate::session`]) — `Handshake →
+//!   Legacy` for the classic one-VMN protocol, `Handshake → Mux` for
+//!   multiplexed connections carrying many virtual sessions;
 //! * one **scanning** thread "keeps watching the schedule and initiates"
 //!   the send "once the emulation clock meets the time to forward"
-//!   (steps 5–6);
+//!   (steps 5–6) — sends never block: frames land in per-connection
+//!   output buffers flushed by the owning worker;
 //! * one **mobility** thread integrates mobility models in real time;
 //! * recording (step 7) happens through the shared, thread-safe
 //!   [`Recorder`].
+//!
+//! Read/idle deadlines are enforced by a per-worker timer wheel
+//! ([`crate::timer`]) rather than `SO_RCVTIMEO`; shutdown wakes the
+//! workers through explicit [`crate::reactor::Waker`] handles, so no
+//! loopback self-connect is needed to unblock an accept call.
 //!
 //! Scene construction stays centralized: [`ServerHandle::apply_op`] is the
 //! programmatic equivalent of the paper's GUI interactions and takes
 //! effect immediately for every client — the consistency argument of §2.3.
 
 use crate::engine::{Delivery, Pipeline};
+use crate::reactor::{ConnShared, Enqueue, Reactor};
+use crate::session::{Conn, PacingConfig, SessionState};
+use crate::timer::TimerWheel;
 use parking_lot::{Condvar, Mutex};
 use poem_chaos::engine::{crash_legs, flap_legs, injection_record, jam_legs};
 use poem_chaos::{ChaosMetrics, FaultKind, FaultPlan, WireFaultHub};
@@ -26,17 +39,17 @@ use poem_core::scene::{Scene, SceneError, SceneOp};
 use poem_core::sleep::{DutyCycle, GuardBand, SleepPolicy};
 use poem_core::{EmuDuration, EmuPacket, EmuRng, EmuTime, ForwardSchedule, NodeId};
 use poem_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use poem_proto::encode_frame;
 use poem_proto::messages::{ClientMsg, ServerMsg, PROTOCOL_VERSION};
-use poem_proto::{MsgReader, MsgWriter};
 use poem_record::HistogramRow;
 use poem_record::{FaultRecord, MetricsRecord, Recorder, TrafficRecord};
-use std::collections::HashMap;
-use std::io;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -69,6 +82,18 @@ pub struct ServerConfig {
     /// scan interval) instead of per-entry precision firing, and the
     /// `poem_scan_overload` gauge is raised until the loop catches up.
     pub overload_threshold: Duration,
+    /// Poll workers in the reactor. Two suffice for the scenarios the
+    /// paper sizes (readiness scanning is cheap); raise for many busy
+    /// connections on a many-core host.
+    pub reactor_workers: usize,
+    /// Cap on one connection's pending output bytes. A consumer whose
+    /// backlog would exceed it is evicted (`poem_writebuf_evictions_total`).
+    pub write_buffer_cap: usize,
+    /// Per-session token-bucket send pacing. `None` (the default) ingests
+    /// at line rate; `Some` grants each virtual session a sustained rate
+    /// plus burst, parking excess packets (`poem_session_paced_total`)
+    /// and pausing the connection's reads when the parked queue fills.
+    pub pacing: Option<PacingConfig>,
 }
 
 impl Default for ServerConfig {
@@ -82,18 +107,20 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(2)),
             sleep_policy: SleepPolicy::default(),
             overload_threshold: Duration::from_millis(5),
+            reactor_workers: 2,
+            write_buffer_cap: 8 * 1024 * 1024,
+            pacing: None,
         }
     }
 }
 
-type SharedWriter = Arc<Mutex<MsgWriter<TcpStream>>>;
-
-/// Per-connection server-side state.
+/// One attached VMN's routing entry: which connection hosts it and how to
+/// frame deliveries towards it.
 struct ClientEntry {
-    writer: SharedWriter,
-    /// A clone of the session's stream so shutdown can unblock the
-    /// session's blocking read deterministically.
-    stream: TcpStream,
+    conn: Arc<ConnShared>,
+    /// Deliveries travel as `DeliverTo` (mux virtual session) instead of
+    /// `Deliver` (legacy whole-socket session).
+    mux: bool,
     /// Deliveries sent to this client
     /// (`poem_client_deliveries_total{node="N"}`).
     delivered: Arc<Counter>,
@@ -144,6 +171,13 @@ struct ServerMetrics {
     disconnects: Arc<Counter>,
     deliveries_sent: Arc<Counter>,
     drops_disconnected: Arc<Counter>,
+    reactor_conns: Arc<Gauge>,
+    reactor_wakes: Arc<Counter>,
+    reactor_read_bytes: Arc<Counter>,
+    reactor_write_bytes: Arc<Counter>,
+    session_timeouts: Arc<Counter>,
+    session_paced: Arc<Counter>,
+    writebuf_evictions: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -164,6 +198,13 @@ impl ServerMetrics {
             deliveries_sent: registry.counter("poem_deliveries_sent_total"),
             // Same instrument the pipeline registered — shared handle.
             drops_disconnected: registry.counter("poem_drops_total{reason=\"disconnected\"}"),
+            reactor_conns: registry.gauge("poem_reactor_conns"),
+            reactor_wakes: registry.counter("poem_reactor_wakes_total"),
+            reactor_read_bytes: registry.counter("poem_reactor_read_bytes_total"),
+            reactor_write_bytes: registry.counter("poem_reactor_write_bytes_total"),
+            session_timeouts: registry.counter("poem_session_timeouts_total"),
+            session_paced: registry.counter("poem_session_paced_total"),
+            writebuf_evictions: registry.counter("poem_writebuf_evictions_total"),
         }
     }
 
@@ -205,9 +246,10 @@ struct Shared {
     running: AtomicBool,
     registry: Arc<Registry>,
     metrics: ServerMetrics,
-    /// Per-client receiver threads, joined on shutdown (they used to be
-    /// detached, leaking a thread per connection on long-running servers).
-    receivers: Mutex<Vec<JoinHandle<()>>>,
+    /// The poll-worker set and its connection registry.
+    reactor: Reactor,
+    /// Wake total already folded into `poem_reactor_wakes_total`.
+    wakes_seen: AtomicU64,
     /// Active transport faults (stall / slow-reader), keyed by victim.
     stalls: Mutex<HashMap<NodeId, StallEntry>>,
     /// Distributed forwarding, when a worker fleet is attached. The
@@ -218,6 +260,8 @@ struct Shared {
     cluster: Mutex<Option<Box<poem_cluster::Coordinator>>>,
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
+    write_buffer_cap: usize,
+    pacing: Option<PacingConfig>,
     /// Paired mutex/condvar the periodic threads (mobility, metrics)
     /// sleep on; `shutdown()` notifies it so a long step interval never
     /// stalls the join and no step runs after `running` flips.
@@ -240,6 +284,9 @@ impl ServerHandle {
         config: ServerConfig,
     ) -> io::Result<Arc<ServerHandle>> {
         let listener = TcpListener::bind(config.addr)?;
+        // Non-blocking accept: worker 0 polls it alongside its sockets,
+        // so shutdown needs no dummy connection to unblock an accept.
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let recorder = Arc::new(Recorder::new());
         let pipeline = Pipeline::new(scene, Arc::clone(&recorder), EmuRng::seed(config.seed));
@@ -260,20 +307,27 @@ impl ServerHandle {
             running: AtomicBool::new(true),
             registry,
             metrics,
-            receivers: Mutex::new(Vec::new()),
+            reactor: Reactor::new(config.reactor_workers),
+            wakes_seen: AtomicU64::new(0),
             stalls: Mutex::new(HashMap::new()),
             cluster: Mutex::new(None),
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
+            write_buffer_cap: config.write_buffer_cap,
+            pacing: config.pacing,
             shutdown_mx: Mutex::new(()),
             shutdown_cv: Condvar::new(),
         });
 
         let mut threads = Vec::new();
-        threads.push(spawn_named("poem-accept", {
-            let shared = Arc::clone(&shared);
-            move || accept_loop(listener, shared)
-        })?);
+        let mut listener = Some(listener);
+        for idx in 0..shared.reactor.workers.len() {
+            threads.push(spawn_named(&format!("poem-reactor-{idx}"), {
+                let shared = Arc::clone(&shared);
+                let listener = listener.take();
+                move || reactor_worker_loop(shared, idx, listener)
+            })?);
+        }
         threads.push(spawn_named("poem-scan", {
             let shared = Arc::clone(&shared);
             let policy = config.sleep_policy;
@@ -318,6 +372,7 @@ impl ServerHandle {
         // Refresh the depth gauge so a snapshot between scan wake-ups
         // still reflects reality.
         self.shared.metrics.schedule_depth.set(self.shared.schedule.lock().len() as i64);
+        self.shared.refresh_reactor_metrics();
         self.shared.registry.snapshot()
     }
 
@@ -431,22 +486,26 @@ impl ServerHandle {
         spawn_named("poem-chaos", move || fault_driver(shared, plan, wires))
     }
 
-    /// Announces shutdown to every client and stops all threads,
-    /// including the per-client receiver threads.
+    /// Announces shutdown to every client and stops all threads. The
+    /// reactor workers are woken through their [`crate::reactor::Waker`]
+    /// handles — no loopback self-connect — and perform one bounded final
+    /// flush so queued `Shutdown` frames still reach well-behaved peers.
     pub fn shutdown(&self) {
         if !self.shared.running.swap(false, Ordering::AcqRel) {
             return;
         }
-        // Drain under the lock, notify outside it: sending Shutdown takes
-        // each entry's writer lock, and holding `clients` across that would
-        // invert the session threads' writer → clients order.
-        let drained: Vec<_> = self.shared.clients.lock().drain().collect();
-        for (_, entry) in drained {
-            let _ = entry.writer.lock().send(&ServerMsg::Shutdown);
-            // Unblock the session's blocking read so its receiver thread
-            // can be joined even if the client never closes its end.
-            let _ = entry.stream.shutdown(std::net::Shutdown::Both);
+        // Queue the goodbye on every live connection (handshake-stage
+        // ones included). The direct-write fast path usually puts the
+        // frame on the wire right here; leftovers flush in the workers'
+        // teardown pass.
+        if let Ok(frame) = encode_frame(&ServerMsg::Shutdown) {
+            let conns: Vec<_> = self.shared.reactor.conns.lock().values().cloned().collect();
+            for conn in conns {
+                let _ = conn.enqueue_frame(&frame, self.shared.write_buffer_cap, None);
+                conn.close_after_flush();
+            }
         }
+        self.shared.clients.lock().clear();
         self.shared.metrics.clients_connected.set(0);
         self.shared.schedule_cv.notify_all();
         // Wake the periodic threads mid-interval. The lock round-trip
@@ -456,19 +515,9 @@ impl ServerHandle {
             let _guard = self.shared.shutdown_mx.lock();
             self.shared.shutdown_cv.notify_all();
         }
-        // Unblock the accept thread with a dummy connection. A bounded
-        // connect: if the listener already died (e.g. the OS tore it down
-        // first), shutdown must not hang on the wake-up it no longer needs.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
-        // Drain each handle list under its lock, then join with the locks
-        // released: a session thread being joined may itself still touch
-        // `receivers` (deregistration) before it exits.
+        self.shared.reactor.wake_all();
         let threads: Vec<_> = self.threads.lock().drain(..).collect();
         for t in threads {
-            let _ = t.join();
-        }
-        let receivers: Vec<_> = self.shared.receivers.lock().drain(..).collect();
-        for t in receivers {
             let _ = t.join();
         }
         // Detach first so the (blocking) teardown runs unlocked.
@@ -498,163 +547,453 @@ fn spawn_named(name: &str, f: impl FnOnce() + Send + 'static) -> io::Result<Join
     std::thread::Builder::new().name(name.into()).spawn(f)
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    for stream in listener.incoming() {
-        if !shared.running.load(Ordering::Acquire) {
+/// Tick interval of each worker's timer wheel: idle-deadline granularity.
+const TIMER_TICK: Duration = Duration::from_millis(50);
+
+/// Slots per timer wheel. One revolution covers 64 × 50 ms = 3.2 s;
+/// longer read timeouts fire early and lazily re-arm with the remainder.
+const TIMER_SLOTS: usize = 64;
+
+/// How long a worker parks when a full pass made no progress. Bounds the
+/// latency of any wake the unpark token missed (there are none in theory;
+/// this is the liveness backstop).
+const PARK_IDLE: Duration = Duration::from_millis(1);
+
+/// Bound on the final output drain a worker performs at shutdown, so
+/// queued `Shutdown` frames reach well-behaved peers without a wedged one
+/// stalling the join.
+const SHUTDOWN_FLUSH: Duration = Duration::from_millis(200);
+
+/// One poll worker (§3.2 steps 1–4 for its share of the connections).
+/// Worker 0 additionally owns the (non-blocking) listener. Each pass:
+/// accept, register dispatched streams, drain paced packets whose tokens
+/// refilled, read + decode + handle every readable socket (accumulating
+/// `Data` into one batch stamped with a single `received_at`), ingest the
+/// batch, flush pending output (evicting stalled consumers), advance the
+/// timer wheel for idle deadlines, reap closed connections, and park
+/// briefly if nothing moved.
+fn reactor_worker_loop(shared: Arc<Shared>, idx: usize, listener: Option<TcpListener>) {
+    let worker = Arc::clone(&shared.reactor.workers[idx]);
+    worker.waker.register();
+    let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+    let mut wheel = TimerWheel::new(TIMER_TICK, TIMER_SLOTS, Instant::now());
+    let mut fired: Vec<u64> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut batch: Vec<EmuPacket> = Vec::new();
+    while shared.running.load(Ordering::Acquire) {
+        let mut progress = false;
+        if let Some(l) = listener.as_ref() {
+            loop {
+                match l.accept() {
+                    Ok((stream, _)) => {
+                        shared.reactor.dispatch(stream);
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        let fresh: Vec<TcpStream> = std::mem::take(&mut *worker.incoming.lock());
+        for stream in fresh {
+            progress = true;
+            if let Some(conn) = register_conn(&shared, idx, stream, &mut wheel) {
+                conns.insert(conn.shared.id, conn);
+            }
+        }
+        for conn in conns.values_mut() {
+            progress |= read_pass(&shared, conn, &mut scratch, &mut batch);
+        }
+        if !batch.is_empty() {
+            // One timestamp for everything this pass received: packets
+            // that arrived together are decided together (and, under a
+            // cluster, travel as one coordinator round-trip).
+            let received_at = shared.clock.now();
+            let deliveries = ingest_batch_best_effort(&shared, &batch, received_at);
+            batch.clear();
+            if !deliveries.is_empty() {
+                let mut schedule = shared.schedule.lock();
+                for d in deliveries {
+                    schedule.schedule(d.fire_at, d);
+                }
+                shared.metrics.schedule_depth.set(schedule.len() as i64);
+                shared.schedule_cv.notify_all();
+            }
+            progress = true;
+        }
+        for conn in conns.values() {
+            if conn.shared.closed.load(Ordering::Acquire) || conn.shared.backlog() == 0 {
+                continue;
+            }
+            match conn.shared.flush(shared.write_timeout) {
+                Ok(0) => {}
+                Ok(n) => {
+                    progress = true;
+                    conn.shared.touch();
+                    shared.metrics.reactor_write_bytes.add(n as u64);
+                }
+                Err(e) => {
+                    if e.kind() == io::ErrorKind::TimedOut {
+                        shared.metrics.writebuf_evictions.inc();
+                    }
+                    conn.shared.close();
+                    progress = true;
+                }
+            }
+        }
+        fired.clear();
+        wheel.advance(Instant::now(), &mut fired);
+        if let Some(limit) = shared.read_timeout {
+            for id in fired.drain(..) {
+                let Some(conn) = conns.get(&id) else { continue };
+                if conn.shared.closed.load(Ordering::Acquire) {
+                    continue;
+                }
+                let idle = conn.shared.idle_for();
+                if idle >= limit {
+                    // Fully silent in both directions for the whole
+                    // timeout: a half-open carcass. Deliveries count as
+                    // activity, so a pure listener is never reaped.
+                    shared.metrics.session_timeouts.inc();
+                    conn.shared.close();
+                    progress = true;
+                } else {
+                    wheel.arm(id, limit - idle);
+                }
+            }
+        }
+        conns.retain(|_, conn| {
+            if conn.shared.closed.load(Ordering::Acquire) {
+                deregister_conn(&shared, conn);
+                progress = true;
+                false
+            } else {
+                true
+            }
+        });
+        if !progress {
+            std::thread::park_timeout(PARK_IDLE);
+        }
+    }
+    // Teardown: bounded final flush so the Shutdown frames shutdown()
+    // queued still reach peers that are reading.
+    let deadline = Instant::now() + SHUTDOWN_FLUSH;
+    loop {
+        let mut pending = false;
+        for conn in conns.values() {
+            if conn.shared.closed.load(Ordering::Acquire) {
+                continue;
+            }
+            if conn.shared.flush(None).is_err() {
+                conn.shared.close();
+            } else if conn.shared.backlog() > 0 {
+                pending = true;
+            }
+        }
+        if !pending || Instant::now() >= deadline {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        let Ok(handle) = spawn_named("poem-receiver", {
-            let shared = Arc::clone(&shared);
-            move || {
-                let _ = client_session(stream, shared);
-            }
-        }) else {
-            // Thread exhaustion: drop this connection and keep serving the
-            // clients that are already registered.
-            continue;
-        };
-        let mut receivers = shared.receivers.lock();
-        // Keep the vec bounded on long-running servers with churning
-        // clients: finished sessions need no join.
-        receivers.retain(|h| !h.is_finished());
-        receivers.push(handle);
+        std::thread::park_timeout(Duration::from_millis(5));
+    }
+    for conn in conns.values() {
+        conn.shared.close();
+        deregister_conn(&shared, conn);
     }
 }
 
-/// Registration + receive loop for one client connection (§3.2 steps 1–4).
-/// Sends one message under the writer lock; the guard drops before this
-/// returns, so callers never hold it across another lock acquisition.
-fn send_locked(writer: &SharedWriter, msg: &ServerMsg) -> io::Result<()> {
-    writer.lock().send(msg)
+/// Sets up one freshly accepted stream: non-blocking, no Nagle, an
+/// [`ConnShared`] write half in the reactor registry, and a first timer
+/// entry. `None` means the socket died mid-setup (the peer is gone).
+fn register_conn(
+    shared: &Shared,
+    worker: usize,
+    stream: TcpStream,
+    wheel: &mut TimerWheel,
+) -> Option<Conn> {
+    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+        return None;
+    }
+    let write_half = stream.try_clone().ok()?;
+    let id = shared.reactor.alloc_id();
+    let cs = Arc::new(ConnShared::new(id, write_half, worker));
+    shared.reactor.conns.lock().insert(id, Arc::clone(&cs));
+    if let Some(limit) = shared.read_timeout {
+        wheel.arm(id, limit);
+    }
+    Some(Conn::new(cs, stream))
 }
 
-fn client_session(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    // Socket options live on the underlying socket, so setting them here
-    // covers every clone (reader, shared writer, shutdown handle).
-    stream.set_read_timeout(shared.read_timeout)?;
-    stream.set_write_timeout(shared.write_timeout)?;
-    let stream_for_shutdown = stream.try_clone()?;
-    let mut reader = MsgReader::new(stream.try_clone()?);
-    let writer: SharedWriter = Arc::new(Mutex::new(MsgWriter::new(stream)));
-
-    // Registration.
-    let node = match reader.recv::<ClientMsg>()? {
-        ClientMsg::Hello { version, node } => {
-            let refusal = if version != PROTOCOL_VERSION {
-                Some(format!("protocol v{version} unsupported"))
-            } else if shared.pipeline.lock().scene().node(node).is_none() {
-                Some(format!("{node} is not part of the emulated scene"))
-            } else if shared.clients.lock().contains_key(&node) {
-                Some(format!("{node} is already connected"))
-            } else {
-                None
-            };
-            if let Some(reason) = refusal {
-                writer.lock().send(&ServerMsg::Refused { reason })?;
-                return Ok(());
+/// Drains paced packets whose tokens refilled, then reads and handles
+/// everything the socket has (unless pacing paused reads). Returns
+/// whether any bytes or packets moved.
+fn read_pass(
+    shared: &Shared,
+    conn: &mut Conn,
+    scratch: &mut [u8],
+    batch: &mut Vec<EmuPacket>,
+) -> bool {
+    let mut progress = false;
+    if let Some(cfg) = shared.pacing {
+        let now = Instant::now();
+        while let Some(pkt) = conn.paced.front() {
+            let src = pkt.src;
+            if !conn.take_token(src, &cfg, now) {
+                break;
             }
-            let entry = ClientEntry {
-                writer: Arc::clone(&writer),
-                stream: stream_for_shutdown,
-                delivered: shared
-                    .registry
-                    .counter(&format!("poem_client_deliveries_total{{node=\"{}\"}}", node.0)),
-            };
-            // Register before Welcome: the moment the client sees the
-            // handshake complete, the server must already know it.
-            shared.clients.lock().insert(node, entry);
-            shared.metrics.clients_connected.add(1);
-            // `send_locked` drops the writer guard before returning, so the
-            // rollback path below never holds writer → clients (the reverse
-            // of shutdown's clients → writer order).
-            let welcomed = send_locked(
-                &writer,
-                &ServerMsg::Welcome {
+            if let Some(pkt) = conn.paced.pop_front() {
+                batch.push(pkt);
+                progress = true;
+            }
+        }
+        if conn.paused && conn.paced.len() <= cfg.queue_cap / 2 {
+            conn.paused = false;
+        }
+    }
+    if conn.paused || conn.shared.closed.load(Ordering::Acquire) {
+        return progress;
+    }
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.shared.close();
+                return true;
+            }
+            Ok(n) => {
+                progress = true;
+                conn.shared.touch();
+                shared.metrics.reactor_read_bytes.add(n as u64);
+                conn.decoder.feed(&scratch[..n]);
+                loop {
+                    match conn.decoder.next_msg::<ClientMsg>() {
+                        Ok(Some(msg)) => handle_msg(shared, conn, msg, batch),
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Unframeable garbage: the stream cannot
+                            // resynchronize, drop the connection.
+                            conn.shared.close();
+                            return true;
+                        }
+                    }
+                    if conn.shared.closed.load(Ordering::Acquire) {
+                        return true;
+                    }
+                }
+                if conn.paused {
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return progress,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.shared.close();
+                return true;
+            }
+        }
+    }
+}
+
+/// The per-message state machine (`Handshake → Legacy | Mux`).
+fn handle_msg(shared: &Shared, conn: &mut Conn, msg: ClientMsg, batch: &mut Vec<EmuPacket>) {
+    match (conn.state, msg) {
+        (SessionState::Handshake, ClientMsg::Hello { version, node }) => {
+            match admit(shared, conn, version, Some(node)) {
+                Ok(()) => {
+                    conn.state = SessionState::Legacy(node);
+                    send_conn(
+                        shared,
+                        &conn.shared,
+                        &ServerMsg::Welcome {
+                            version: PROTOCOL_VERSION,
+                            node,
+                            server_time: shared.clock.now(),
+                        },
+                    );
+                }
+                Err(reason) => refuse(shared, conn, ServerMsg::Refused { reason }),
+            }
+        }
+        (SessionState::Handshake, ClientMsg::MuxHello { version }) => {
+            if version != PROTOCOL_VERSION {
+                refuse(
+                    shared,
+                    conn,
+                    ServerMsg::Refused { reason: format!("protocol v{version} unsupported") },
+                );
+                return;
+            }
+            conn.state = SessionState::Mux;
+            conn.shared.mux.store(true, Ordering::Release);
+            send_conn(
+                shared,
+                &conn.shared,
+                &ServerMsg::MuxWelcome {
                     version: PROTOCOL_VERSION,
-                    node,
                     server_time: shared.clock.now(),
                 },
             );
-            if let Err(e) = welcomed {
+        }
+        (SessionState::Mux, ClientMsg::Attach { node }) => {
+            match admit(shared, conn, PROTOCOL_VERSION, Some(node)) {
+                Ok(()) => send_conn(
+                    shared,
+                    &conn.shared,
+                    &ServerMsg::Attached { node, server_time: shared.clock.now() },
+                ),
+                Err(reason) => {
+                    send_conn(shared, &conn.shared, &ServerMsg::AttachRefused { node, reason })
+                }
+            }
+        }
+        (SessionState::Mux, ClientMsg::Detach { node }) => {
+            let owned = {
                 let mut clients = shared.clients.lock();
-                if clients.get(&node).is_some_and(|c| Arc::ptr_eq(&c.writer, &writer)) {
-                    clients.remove(&node);
-                    drop(clients);
-                    shared.metrics.clients_connected.sub(1);
-                }
-                return Err(e);
-            }
-            node
-        }
-        other => {
-            writer
-                .lock()
-                .send(&ServerMsg::Refused { reason: format!("expected Hello, got {other:?}") })?;
-            return Ok(());
-        }
-    };
-
-    // Receive loop.
-    let result = loop {
-        match reader.recv::<ClientMsg>() {
-            Ok(ClientMsg::Data(pkt)) => {
-                if pkt.src != node {
-                    // A client may only originate traffic as itself.
-                    continue;
-                }
-                let received_at = shared.clock.now();
-                let deliveries = ingest_best_effort(&shared, &pkt, received_at);
-                if !deliveries.is_empty() {
-                    let mut schedule = shared.schedule.lock();
-                    for d in deliveries {
-                        schedule.schedule(d.fire_at, d);
+                match clients.get(&node) {
+                    Some(e) if Arc::ptr_eq(&e.conn, &conn.shared) => {
+                        clients.remove(&node);
+                        true
                     }
-                    shared.metrics.schedule_depth.set(schedule.len() as i64);
-                    shared.schedule_cv.notify_all();
+                    _ => false,
                 }
+            };
+            if owned {
+                conn.shared.nodes.lock().remove(&node);
+                shared.metrics.clients_connected.sub(1);
+                shared.metrics.disconnects.inc();
             }
-            Ok(ClientMsg::SyncRequest { t_c1 }) => {
-                let t_s2 = shared.clock.now();
-                let t_s3 = shared.clock.now();
-                // `break`, not `?`: an early return here would skip the
-                // client-map cleanup below and leave the node registered
-                // forever (rejecting its reconnects as duplicates).
-                if let Err(e) = writer.lock().send(&ServerMsg::sync_reply(t_c1, t_s2, t_s3)) {
-                    break Err(e);
-                }
-            }
-            Ok(ClientMsg::Bye) => break Ok(()),
-            Ok(ClientMsg::Hello { .. }) => { /* duplicate Hello: ignore */ }
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                // Read-timeout tick on an idle client: keep serving while
-                // the server runs and the node is still registered (an
-                // eviction shuts the socket down, but the wake-up makes
-                // the exit deterministic either way).
-                if shared.running.load(Ordering::Acquire)
-                    && shared.clients.lock().contains_key(&node)
-                {
-                    continue;
-                }
-                break Ok(());
-            }
-            Err(e) => break Err(e),
+            send_conn(
+                shared,
+                &conn.shared,
+                &ServerMsg::Detached { node, reason: "detached".into() },
+            );
         }
+        // Anything else before a handshake is a protocol-order violation,
+        // answered exactly like the thread-per-client server did.
+        (SessionState::Handshake, other) => {
+            refuse(
+                shared,
+                conn,
+                ServerMsg::Refused { reason: format!("expected Hello, got {other:?}") },
+            );
+        }
+        (_, ClientMsg::Data(pkt)) => {
+            if !conn.owns(pkt.src) {
+                // A client may only originate traffic as an identity it
+                // registered; anything else is silently ignored, like the
+                // thread-per-client server did.
+                return;
+            }
+            if let Some(cfg) = shared.pacing {
+                if !conn.take_token(pkt.src, &cfg, Instant::now()) {
+                    shared.metrics.session_paced.inc();
+                    conn.paced.push_back(pkt);
+                    if conn.paced.len() >= cfg.queue_cap {
+                        // Transport backpressure: stop reading until the
+                        // parked queue half-drains.
+                        conn.paused = true;
+                    }
+                    return;
+                }
+            }
+            batch.push(pkt);
+        }
+        (_, ClientMsg::SyncRequest { t_c1 }) => {
+            let t_s2 = shared.clock.now();
+            let t_s3 = shared.clock.now();
+            send_conn(shared, &conn.shared, &ServerMsg::sync_reply(t_c1, t_s2, t_s3));
+        }
+        (_, ClientMsg::Bye) => {
+            conn.shared.close_after_flush();
+        }
+        // Duplicate or out-of-place control traffic: ignore, exactly as
+        // the old receive loop ignored duplicate Hellos.
+        (_, ClientMsg::Hello { .. })
+        | (_, ClientMsg::MuxHello { .. })
+        | (_, ClientMsg::Attach { .. })
+        | (_, ClientMsg::Detach { .. }) => {}
+    }
+}
+
+/// Validates an identity claim and, on success, registers the node on
+/// this connection (entry in the client map + the conn's attached set).
+/// Registration happens before the acceptance message goes out, so the
+/// moment the client sees the handshake complete the server already
+/// routes to it.
+fn admit(shared: &Shared, conn: &Conn, version: u16, node: Option<NodeId>) -> Result<(), String> {
+    if version != PROTOCOL_VERSION {
+        return Err(format!("protocol v{version} unsupported"));
+    }
+    let Some(node) = node else {
+        return Err("no identity claimed".into());
     };
-    {
-        // Remove only *this* session's entry: after an eviction the node
-        // may already have re-registered, and unconditionally removing by
-        // id would tear the fresh connection's bookkeeping down.
+    if shared.pipeline.lock().scene().node(node).is_none() {
+        return Err(format!("{node} is not part of the emulated scene"));
+    }
+    let mux = conn.state == SessionState::Mux;
+    let mut clients = shared.clients.lock();
+    if clients.contains_key(&node) {
+        return Err(format!("{node} is already connected"));
+    }
+    clients.insert(
+        node,
+        ClientEntry {
+            conn: Arc::clone(&conn.shared),
+            mux,
+            delivered: shared
+                .registry
+                .counter(&format!("poem_client_deliveries_total{{node=\"{}\"}}", node.0)),
+        },
+    );
+    drop(clients);
+    conn.shared.nodes.lock().insert(node);
+    shared.metrics.clients_connected.add(1);
+    Ok(())
+}
+
+/// Sends a refusal and closes the connection once it flushed.
+fn refuse(shared: &Shared, conn: &mut Conn, msg: ServerMsg) {
+    send_conn(shared, &conn.shared, &msg);
+    conn.shared.close_after_flush();
+}
+
+/// Encodes and enqueues one control/delivery message on a connection,
+/// closing it when the consumer is stalled or its buffer overflows. The
+/// worker-side counterpart of [`deliver`]'s scan-thread sends.
+fn send_conn(shared: &Shared, conn: &ConnShared, msg: &ServerMsg) {
+    let Ok(frame) = encode_frame(msg) else {
+        return;
+    };
+    match conn.enqueue_frame(&frame, shared.write_buffer_cap, shared.write_timeout) {
+        Enqueue::Sent => {
+            conn.touch();
+            shared.metrics.reactor_write_bytes.add(frame.len() as u64);
+            if conn.backlog() > 0 {
+                shared.reactor.wake_owner(conn);
+            }
+        }
+        Enqueue::Stalled | Enqueue::Overflow => {
+            shared.metrics.writebuf_evictions.inc();
+            conn.close();
+            shared.reactor.wake_owner(conn);
+        }
+        Enqueue::Closed => {}
+    }
+}
+
+/// Tears down one reaped connection: every VMN still attached to it is
+/// deregistered (guarded by identity, so a node that already re-registered
+/// on a fresh connection is left alone) and the conn leaves the registry.
+fn deregister_conn(shared: &Shared, conn: &Conn) {
+    let nodes: Vec<NodeId> = std::mem::take(&mut *conn.shared.nodes.lock()).into_iter().collect();
+    for node in nodes {
         let mut clients = shared.clients.lock();
-        if clients.get(&node).is_some_and(|e| Arc::ptr_eq(&e.writer, &writer)) {
+        if clients.get(&node).is_some_and(|e| Arc::ptr_eq(&e.conn, &conn.shared)) {
             clients.remove(&node);
             drop(clients);
             shared.metrics.clients_connected.sub(1);
             shared.metrics.disconnects.inc();
         }
     }
-    result
+    shared.reactor.conns.lock().remove(&conn.shared.id);
 }
 
 /// Longest single condvar wait: bounds how stale the loop's view of
@@ -878,28 +1217,49 @@ fn deliver(shared: &Shared, d: Delivery, now: EmuTime) {
     shared.metrics.note_lag(now.since(d.fire_at).as_nanos().max(0) as u64);
     let target = {
         let clients = shared.clients.lock();
-        clients.get(&d.to).map(|e| (Arc::clone(&e.writer), Arc::clone(&e.delivered)))
+        clients.get(&d.to).map(|e| (Arc::clone(&e.conn), e.mux, Arc::clone(&e.delivered)))
     };
-    match target {
-        Some((w, delivered)) => {
-            let msg = ServerMsg::Deliver { packet: d.packet.clone(), forwarded_at: now };
-            if w.lock().send(&msg).is_ok() {
-                shared.metrics.deliveries_sent.inc();
-                delivered.inc();
-                shared.recorder.record_traffic(TrafficRecord::Forward {
-                    id: d.packet.id,
-                    to: d.to,
-                    at: now,
-                });
-                return;
+    let Some((conn, mux, delivered)) = target else {
+        shared.record_disconnected(&d, now);
+        return;
+    };
+    let msg = if mux {
+        ServerMsg::DeliverTo { to: d.to, packet: d.packet.clone(), forwarded_at: now }
+    } else {
+        ServerMsg::Deliver { packet: d.packet.clone(), forwarded_at: now }
+    };
+    let Ok(frame) = encode_frame(&msg) else {
+        shared.record_disconnected(&d, now);
+        return;
+    };
+    match conn.enqueue_frame(&frame, shared.write_buffer_cap, shared.write_timeout) {
+        Enqueue::Sent => {
+            conn.touch();
+            shared.metrics.deliveries_sent.inc();
+            shared.metrics.reactor_write_bytes.add(frame.len() as u64);
+            delivered.inc();
+            shared.recorder.record_traffic(TrafficRecord::Forward {
+                id: d.packet.id,
+                to: d.to,
+                at: now,
+            });
+            if conn.backlog() > 0 {
+                // Part of the frame is buffered: the owning worker
+                // finishes it. The enqueue itself never blocked, so a
+                // wedged client costs the scan thread nothing.
+                shared.reactor.wake_owner(&conn);
             }
-            // The bounded write failed (slow consumer or dead socket):
-            // evict so one wedged client can't absorb the scan thread's
-            // time budget again and again.
-            shared.evict(d.to);
+        }
+        Enqueue::Stalled | Enqueue::Overflow => {
+            // The consumer stalled past the write timeout or its backlog
+            // hit the cap: evict so it can't absorb buffer memory and
+            // scan-thread time again and again.
+            shared.metrics.writebuf_evictions.inc();
+            conn.close();
+            shared.reactor.wake_owner(&conn);
             shared.record_disconnected(&d, now);
         }
-        None => shared.record_disconnected(&d, now),
+        Enqueue::Closed => shared.record_disconnected(&d, now),
     }
 }
 
@@ -927,17 +1287,38 @@ impl Shared {
         self.running.load(Ordering::Acquire)
     }
 
-    /// Removes `node`'s connection entry and shuts its socket down,
-    /// waking the session's receiver thread. Returns `false` when the
-    /// node was not connected.
+    /// Deregisters `node`. A legacy session loses its whole connection; a
+    /// mux virtual session is detached (with a `Detached` notice) while
+    /// the socket and its sibling sessions stay up. Returns `false` when
+    /// the node was not connected.
     fn evict(&self, node: NodeId) -> bool {
         let Some(entry) = self.clients.lock().remove(&node) else {
             return false;
         };
-        let _ = entry.stream.shutdown(std::net::Shutdown::Both);
         self.metrics.clients_connected.sub(1);
         self.metrics.disconnects.inc();
+        if entry.mux {
+            entry.conn.nodes.lock().remove(&node);
+            if let Ok(frame) = encode_frame(&ServerMsg::Detached { node, reason: "evicted".into() })
+            {
+                let _ = entry.conn.enqueue_frame(&frame, self.write_buffer_cap, None);
+            }
+        } else {
+            entry.conn.close();
+        }
+        self.reactor.wake_owner(&entry.conn);
         true
+    }
+
+    /// Folds reactor-side state into the metrics registry: the live-conn
+    /// gauge and the (monotonic) wake total.
+    fn refresh_reactor_metrics(&self) {
+        self.metrics.reactor_conns.set(self.reactor.conns.lock().len() as i64);
+        let total = self.reactor.total_wakes();
+        let seen = self.wakes_seen.swap(total, Ordering::Relaxed);
+        if total > seen {
+            self.metrics.reactor_wakes.add(total - seen);
+        }
     }
 }
 
@@ -973,19 +1354,25 @@ fn mobility_loop(shared: Arc<Shared>, step: Duration) {
     }
 }
 
-/// Real-time ingest: through the attached worker fleet when one exists,
-/// else the local pipeline. Best-effort: any cluster failure logs, tears
-/// the fleet down, and the packet (plus all later ones) is decided
-/// locally.
-fn ingest_best_effort(shared: &Shared, pkt: &EmuPacket, received_at: EmuTime) -> Vec<Delivery> {
+/// Real-time ingest of one pass's packet batch: through the attached
+/// worker fleet when one exists (a single coordinator round-trip for the
+/// whole batch — everything a pass read together travels as one
+/// `IngestBatch`), else the local pipeline under one lock acquisition.
+/// Best-effort: any cluster failure logs, tears the fleet down, and the
+/// batch (plus all later ones) is decided locally.
+fn ingest_batch_best_effort(
+    shared: &Shared,
+    pkts: &[EmuPacket],
+    received_at: EmuTime,
+) -> Vec<Delivery> {
     let mut dead = None;
     {
         let mut cluster = shared.cluster.lock();
         if let Some(coord) = cluster.as_deref_mut() {
             // The batch round-trip is the resource the cluster mutex
-            // serializes; concurrent receivers must not interleave frames.
+            // serializes; concurrent workers must not interleave frames.
             // poem-lint: allow(blocking_under_lock): the cluster mutex exists to serialize the coordinator wire protocol
-            match coord.ingest_batch(std::slice::from_ref(pkt), received_at, &shared.recorder) {
+            match coord.ingest_batch(pkts, received_at, &shared.recorder) {
                 Ok(settled) => {
                     return settled
                         .into_iter()
@@ -1003,7 +1390,12 @@ fn ingest_best_effort(shared: &Shared, pkt: &EmuPacket, received_at: EmuTime) ->
     if let Some(mut coord) = dead {
         coord.shutdown();
     }
-    shared.pipeline.lock().ingest(pkt, received_at)
+    let mut pipeline = shared.pipeline.lock();
+    let mut out = Vec::new();
+    for pkt in pkts {
+        out.extend(pipeline.ingest(pkt, received_at));
+    }
+    out
 }
 
 /// Step-7 companion: periodically appends a [`MetricsRecord`] snapshot of
@@ -1239,6 +1631,7 @@ mod tests {
     use poem_core::packet::Destination;
     use poem_core::radio::RadioConfig;
     use poem_core::{ChannelId, Point};
+    use poem_proto::{MsgReader, MsgWriter};
 
     fn test_scene() -> Scene {
         let mut s = Scene::new();
@@ -1753,7 +2146,37 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_joins_receiver_threads() {
+    fn pacing_parks_bursts_and_still_delivers_everything_in_order() {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let config = ServerConfig {
+            pacing: Some(PacingConfig { rate_pps: 200.0, burst: 4, queue_cap: 64 }),
+            ..ServerConfig::default()
+        };
+        let server = ServerHandle::start(test_scene(), clock, config).unwrap();
+        let c1 = connect(&server, 1);
+        let c2 = connect(&server, 2);
+        // 20 back-to-back sends against a 4-token burst: the tail parks in
+        // the paced queue and trickles out at the sustained rate.
+        for i in 0..20u8 {
+            c1.send(ChannelId(1), Destination::Unicast(NodeId(2)), Bytes::from(vec![i]))
+                .unwrap()
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            let (pkt, _) = c2.recv_timeout(Duration::from_secs(10)).unwrap();
+            got.push(pkt.payload[0]);
+        }
+        // The paced queue is FIFO, so pacing never reorders a session.
+        assert_eq!(got, (0..20).collect::<Vec<u8>>());
+        let snap = server.metrics();
+        assert!(snap.counter("poem_session_paced_total").unwrap_or(0) >= 1, "{snap:?}");
+        drop((c1, c2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_every_session_and_empties_the_registry() {
         let server = start_server();
         let c1 = connect(&server, 1);
         let _c2 = connect(&server, 2);
@@ -1761,7 +2184,9 @@ mod tests {
         c1.close().unwrap();
         std::thread::sleep(Duration::from_millis(50));
         server.shutdown();
-        assert!(server.shared.receivers.lock().is_empty());
+        // The workers joined (shutdown returned), reaping every
+        // connection out of the reactor registry on the way down.
+        assert!(server.shared.reactor.conns.lock().is_empty());
         assert_eq!(server.connected(), vec![]);
     }
 }

@@ -1,0 +1,168 @@
+//! Per-connection session state for the reactor: the explicit state
+//! machine that replaced the straight-line thread-per-client receive
+//! loop, plus per-session send pacing.
+//!
+//! A connection advances `Handshake → Legacy` (one VMN per socket, the
+//! original protocol) or `Handshake → Mux` (a [`poem_client::MuxClient`]
+//! hosting many VMNs as virtual sessions over one socket). All transitions
+//! run on the owning poll worker; the cross-thread write half lives in
+//! [`crate::reactor::ConnShared`].
+
+use crate::reactor::ConnShared;
+use poem_core::{EmuPacket, NodeId};
+use poem_proto::FrameDecoder;
+use std::collections::{BTreeMap, VecDeque};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where a connection stands in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SessionState {
+    /// Connected, no `Hello`/`MuxHello` yet. Data here is a protocol
+    /// violation answered with `Refused`.
+    Handshake,
+    /// A classic one-VMN session.
+    Legacy(NodeId),
+    /// A multiplexed connection; the attached set lives in
+    /// [`ConnShared::nodes`].
+    Mux,
+}
+
+/// Token-bucket send pacing applied per virtual session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacingConfig {
+    /// Sustained ingest rate granted to each session, packets/second.
+    pub rate_pps: f64,
+    /// Burst allowance, packets.
+    pub burst: u32,
+    /// Per-connection cap on packets parked awaiting tokens; past it the
+    /// connection's reads pause (transport backpressure) until the queue
+    /// drains below half.
+    pub queue_cap: usize,
+}
+
+impl Default for PacingConfig {
+    fn default() -> Self {
+        PacingConfig { rate_pps: 10_000.0, burst: 64, queue_cap: 1024 }
+    }
+}
+
+/// One session's token bucket.
+#[derive(Debug)]
+pub(crate) struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    pub fn new(cfg: &PacingConfig, now: Instant) -> Self {
+        TokenBucket { tokens: cfg.burst as f64, last: now }
+    }
+
+    /// Refills by elapsed wall time and tries to take one token.
+    pub fn try_take(&mut self, cfg: &PacingConfig, now: Instant) -> bool {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * cfg.rate_pps).min(cfg.burst as f64);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The worker-owned read half of one connection.
+pub(crate) struct Conn {
+    /// The cross-thread half (write buffer, attached set, close flag).
+    pub shared: Arc<ConnShared>,
+    /// Read handle onto the (non-blocking) socket.
+    pub stream: TcpStream,
+    /// Stream reassembly.
+    pub decoder: FrameDecoder,
+    /// Lifecycle state.
+    pub state: SessionState,
+    /// Per-session pacing buckets (mux: one per attached VMN).
+    pub buckets: BTreeMap<NodeId, TokenBucket>,
+    /// Packets parked awaiting pacing tokens, FIFO per connection so
+    /// paced traffic keeps its arrival order.
+    pub paced: VecDeque<EmuPacket>,
+    /// Reads paused by pacing backpressure (paced queue past its cap).
+    pub paused: bool,
+}
+
+impl Conn {
+    pub fn new(shared: Arc<ConnShared>, stream: TcpStream) -> Self {
+        Conn {
+            shared,
+            stream,
+            decoder: FrameDecoder::new(),
+            state: SessionState::Handshake,
+            buckets: BTreeMap::new(),
+            paced: VecDeque::new(),
+            paused: false,
+        }
+    }
+
+    /// Whether `src` may originate traffic on this connection.
+    pub fn owns(&self, src: NodeId) -> bool {
+        match self.state {
+            SessionState::Handshake => false,
+            SessionState::Legacy(node) => node == src,
+            SessionState::Mux => self.shared.nodes.lock().contains(&src),
+        }
+    }
+
+    /// Takes a pacing token for `src`, creating the bucket on first use.
+    pub fn take_token(&mut self, src: NodeId, cfg: &PacingConfig, now: Instant) -> bool {
+        self.buckets.entry(src).or_insert_with(|| TokenBucket::new(cfg, now)).try_take(cfg, now)
+    }
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn")
+            .field("id", &self.shared.id)
+            .field("state", &self.state)
+            .field("paced", &self.paced.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_bucket_grants_burst_then_rates() {
+        let cfg = PacingConfig { rate_pps: 1000.0, burst: 4, queue_cap: 16 };
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(&cfg, t0);
+        for _ in 0..4 {
+            assert!(b.try_take(&cfg, t0), "burst tokens available up front");
+        }
+        assert!(!b.try_take(&cfg, t0), "burst exhausted");
+        // 2 ms at 1000 pps refills two tokens.
+        let t1 = t0 + Duration::from_millis(2);
+        assert!(b.try_take(&cfg, t1));
+        assert!(b.try_take(&cfg, t1));
+        assert!(!b.try_take(&cfg, t1));
+    }
+
+    #[test]
+    fn refill_is_capped_at_burst() {
+        let cfg = PacingConfig { rate_pps: 1000.0, burst: 2, queue_cap: 16 };
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(&cfg, t0);
+        assert!(b.try_take(&cfg, t0));
+        assert!(b.try_take(&cfg, t0));
+        // A long idle gap refills to the burst cap, not beyond.
+        let t1 = t0 + Duration::from_secs(10);
+        assert!(b.try_take(&cfg, t1));
+        assert!(b.try_take(&cfg, t1));
+        assert!(!b.try_take(&cfg, t1));
+    }
+}

@@ -1,0 +1,104 @@
+//! A hashed timer wheel for reactor session timeouts.
+//!
+//! The thread-per-client server leaned on `SO_RCVTIMEO` to wake blocked
+//! reads; the reactor's sockets are non-blocking, so idle/read deadlines
+//! need their own clock. Each poll worker owns one wheel: `slots` buckets
+//! of connection ids, a cursor advancing one bucket per `tick` of wall
+//! time. Arming is O(1) (push into the bucket `ticks` ahead); expiry is
+//! amortized O(1) per armed entry (drain every bucket the cursor passes).
+//!
+//! Deadlines longer than one wheel revolution are handled by **lazy
+//! re-arm**: an entry fires early, the caller compares the session's
+//! `last_activity` against its real deadline and re-arms with the
+//! remainder when it has not actually expired. Activity therefore never
+//! needs to *move* an entry — stale firings are cheap no-ops.
+
+use std::time::{Duration, Instant};
+
+/// A fixed-slot timer wheel over `u64` connection ids.
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    slots: Vec<Vec<u64>>,
+    tick: Duration,
+    cursor: usize,
+    /// Wall-clock instant at which the cursor's current slot began.
+    epoch: Instant,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets advancing every `tick`.
+    pub fn new(tick: Duration, slots: usize, now: Instant) -> Self {
+        let slots = slots.max(2);
+        TimerWheel { slots: (0..slots).map(|_| Vec::new()).collect(), tick, cursor: 0, epoch: now }
+    }
+
+    /// Arms `id` to fire after roughly `after` (rounded up to a tick,
+    /// capped at one revolution — longer deadlines fire early and are
+    /// lazily re-armed by the caller).
+    pub fn arm(&mut self, id: u64, after: Duration) {
+        let ticks = after.as_nanos().div_ceil(self.tick.as_nanos().max(1)) as usize;
+        let ticks = ticks.clamp(1, self.slots.len() - 1);
+        let slot = (self.cursor + ticks) % self.slots.len();
+        self.slots[slot].push(id);
+    }
+
+    /// Advances the cursor to `now`, appending every fired id to `out`.
+    /// A pause longer than one revolution drains each slot at most once.
+    pub fn advance(&mut self, now: Instant, out: &mut Vec<u64>) {
+        let mut steps = 0;
+        while now.duration_since(self.epoch) >= self.tick {
+            self.epoch += self.tick;
+            if steps < self.slots.len() {
+                self.cursor = (self.cursor + 1) % self.slots.len();
+                out.append(&mut self.slots[self.cursor]);
+                steps += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_fire_in_deadline_order() {
+        let t0 = Instant::now();
+        let tick = Duration::from_millis(10);
+        let mut wheel = TimerWheel::new(tick, 16, t0);
+        wheel.arm(1, Duration::from_millis(10));
+        wheel.arm(2, Duration::from_millis(40));
+        let mut fired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(15), &mut fired);
+        assert_eq!(fired, vec![1]);
+        wheel.advance(t0 + Duration::from_millis(39), &mut fired);
+        assert_eq!(fired, vec![1], "entry 2 not due yet");
+        wheel.advance(t0 + Duration::from_millis(41), &mut fired);
+        assert_eq!(fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn deadlines_past_one_revolution_fire_early_for_lazy_rearm() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8, t0);
+        // 1 s with an 80 ms horizon: capped to the last slot.
+        wheel.arm(7, Duration::from_secs(1));
+        let mut fired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(80), &mut fired);
+        assert_eq!(fired, vec![7], "caller re-arms after checking the real deadline");
+    }
+
+    #[test]
+    fn long_pause_drains_each_slot_once() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 4, t0);
+        for id in 0..4u64 {
+            wheel.arm(id, Duration::from_millis(id + 1));
+        }
+        let mut fired = Vec::new();
+        // 10 revolutions late: every armed entry fires exactly once.
+        wheel.advance(t0 + Duration::from_millis(40), &mut fired);
+        fired.sort_unstable();
+        assert_eq!(fired, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Ingest coalescing must be *invisible*: the reactor batches everything
+//! one worker pass read into a single coordinator `IngestBatch` (one
+//! round-trip, one `received_at` stamp), and the contract is that this
+//! produces **byte-identical** record logs and identical delivery
+//! decisions to submitting the same packets one at a time — and to the
+//! single-process pipeline deciding them locally. Decisions are a pure
+//! function of `(seed, packet id)` and records settle in batch order, so
+//! batch size is not allowed to leak into the output.
+//!
+//! Living in `poem-server/tests/` guarantees cargo builds `poem-shardd`
+//! before these run.
+
+use bytes::Bytes;
+use poem_cluster::{ClusterConfig, Coordinator};
+use poem_core::linkmodel::LinkParams;
+use poem_core::mobility::MobilityModel;
+use poem_core::packet::Destination;
+use poem_core::radio::RadioConfig;
+use poem_core::scene::{Scene, SceneOp};
+use poem_core::{ChannelId, EmuPacket, EmuRng, EmuTime, NodeId, PacketId, Point, RadioId};
+use poem_record::Recorder;
+use poem_server::Pipeline;
+use std::sync::Arc;
+
+const SEED: u64 = 99;
+
+/// Six nodes on a 120 m line with 220 m lossy (Table-3) radios: every
+/// packet fans out to 1–2 neighbors and draws real loss decisions.
+fn scene() -> Scene {
+    let mut s = Scene::new();
+    for i in 0..6u32 {
+        s.apply(
+            EmuTime::ZERO,
+            &SceneOp::AddNode {
+                id: NodeId(i + 1),
+                pos: Point::new(f64::from(i) * 120.0, 0.0),
+                radios: RadioConfig::single(ChannelId(1), 220.0),
+                mobility: MobilityModel::Stationary,
+                link: LinkParams::table3(),
+            },
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// A mixed workload: broadcasts and unicasts from every node, distinct
+/// packet ids, distinct client stamps.
+fn workload() -> Vec<EmuPacket> {
+    (0..24u64)
+        .map(|i| {
+            let src = NodeId((i % 6) as u32 + 1);
+            let dst = if i % 2 == 0 {
+                Destination::Broadcast
+            } else {
+                Destination::Unicast(NodeId((i % 6) as u32 % 6 + 1))
+            };
+            EmuPacket::new(
+                PacketId((u64::from(src.0) << 40) | i),
+                src,
+                dst,
+                ChannelId(1),
+                RadioId(0),
+                EmuTime::from_secs_f64(0.001 * i as f64),
+                Bytes::from_static(b"coalesce-me"),
+            )
+        })
+        .collect()
+}
+
+/// One fleet, the whole workload, submitted either as a single batch or
+/// packet by packet — all at the same `received_at`. Returns the
+/// serialized traffic log and the flattened decision stream.
+fn run_cluster(batched: bool) -> (Vec<u8>, Vec<(NodeId, EmuTime, PacketId)>) {
+    let recorder = Arc::new(Recorder::new());
+    let pipeline = Pipeline::new(scene(), Arc::clone(&recorder), EmuRng::seed(SEED));
+    let cfg =
+        ClusterConfig { workers: 2, tile_edge: 260.0, seed: SEED, ..ClusterConfig::default() };
+    let mut coord = Coordinator::launch(
+        cfg,
+        pipeline.decide_base(),
+        pipeline.scene(),
+        pipeline.metrics_registry(),
+    )
+    .expect("fleet launches");
+
+    let pkts = workload();
+    let received_at = EmuTime::from_secs_f64(0.5);
+    let mut deliveries = Vec::new();
+    if batched {
+        deliveries
+            .extend(coord.ingest_batch(&pkts, received_at, &recorder).expect("batch settles"));
+    } else {
+        for pkt in &pkts {
+            deliveries.extend(
+                coord
+                    .ingest_batch(std::slice::from_ref(pkt), received_at, &recorder)
+                    .expect("single-packet batch settles"),
+            );
+        }
+    }
+    coord.shutdown();
+
+    let traffic = poem_proto::to_bytes(&recorder.traffic()).expect("serialize traffic log");
+    let decisions = deliveries.into_iter().map(|d| (d.to, d.fire_at, d.packet.id)).collect();
+    (traffic, decisions)
+}
+
+/// The same workload decided by the local single-process pipeline,
+/// sequentially, at the same stamp.
+fn run_local() -> (Vec<u8>, Vec<(NodeId, EmuTime, PacketId)>) {
+    let recorder = Arc::new(Recorder::new());
+    let mut pipeline = Pipeline::new(scene(), Arc::clone(&recorder), EmuRng::seed(SEED));
+    let received_at = EmuTime::from_secs_f64(0.5);
+    let mut deliveries = Vec::new();
+    for pkt in &workload() {
+        deliveries.extend(pipeline.ingest(pkt, received_at));
+    }
+    let traffic = poem_proto::to_bytes(&recorder.traffic()).expect("serialize traffic log");
+    let decisions = deliveries.into_iter().map(|d| (d.to, d.fire_at, d.packet.id)).collect();
+    (traffic, decisions)
+}
+
+#[test]
+fn one_coalesced_batch_matches_per_packet_submission_byte_for_byte() {
+    let (traffic_batched, decisions_batched) = run_cluster(true);
+    let (traffic_single, decisions_single) = run_cluster(false);
+    assert!(!traffic_batched.is_empty(), "workload produced no records");
+    assert!(!decisions_batched.is_empty(), "workload produced no deliveries");
+    assert_eq!(
+        traffic_batched, traffic_single,
+        "batch coalescing changed the recorded traffic log"
+    );
+    assert_eq!(
+        decisions_batched, decisions_single,
+        "batch coalescing changed the delivery decisions"
+    );
+}
+
+#[test]
+fn coalesced_cluster_batch_matches_the_local_pipeline_byte_for_byte() {
+    let (traffic_cluster, decisions_cluster) = run_cluster(true);
+    let (traffic_local, decisions_local) = run_local();
+    assert_eq!(
+        traffic_cluster, traffic_local,
+        "cluster batch diverged from the single-process pipeline log"
+    );
+    assert_eq!(
+        decisions_cluster, decisions_local,
+        "cluster batch diverged from the single-process pipeline decisions"
+    );
+}
